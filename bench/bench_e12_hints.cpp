@@ -1,0 +1,130 @@
+// E12 (reconstructed ablation): MPI-IO hint sweeps on the E7 strided
+// workload — collective buffer size (cb_buffer_size), aggregator count
+// (cb_nodes), and data-sieving toggles for independent access on the DAFS
+// driver. Demonstrates that the defaults sit near the knee.
+#include <array>
+#include <atomic>
+
+#include "bench/common.hpp"
+#include "mpiio/ad_dafs.hpp"
+#include "mpiio/file.hpp"
+
+using namespace bench;
+
+namespace {
+
+constexpr int kNp = 4;
+constexpr std::uint32_t kBlock = 4096;
+constexpr int kTiles = 16;
+
+double run_collective(const mpiio::Info& info) {
+  sim::Fabric fabric;
+  const auto server_node = fabric.add_node("filer");
+  dafs::Server server(fabric, server_node);
+  server.start();
+  mpi::WorldConfig cfg;
+  cfg.nprocs = kNp;
+  cfg.fabric = &fabric;
+  mpi::World world(cfg);
+  std::atomic<std::uint64_t> elapsed{0};
+  world.run([&](mpi::Comm& c) {
+    via::Nic nic(fabric, world.node_of(c.rank()), "cli");
+    auto session = std::move(dafs::Session::connect(nic).value());
+    auto f = std::move(mpiio::File::open(c, "/s.dat",
+                                         mpiio::kModeCreate | mpiio::kModeRdwr,
+                                         info, mpiio::dafs_driver(*session))
+                           .value());
+    const std::array<std::uint32_t, 1> sizes = {kBlock * kNp};
+    const std::array<std::uint32_t, 1> subsizes = {kBlock};
+    const std::array<std::uint32_t, 1> starts = {
+        static_cast<std::uint32_t>(c.rank()) * kBlock};
+    auto ft =
+        mpi::Datatype::subarray(sizes, subsizes, starts, mpi::Datatype::byte());
+    f->set_view(0, mpi::Datatype::byte(), ft);
+    auto data = make_data(kBlock * kTiles, 40 + c.rank());
+    c.barrier();
+    const sim::Time t0 = c.actor().now();
+    f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte());
+    std::uint64_t dt = c.actor().now() - t0;
+    std::vector<std::uint64_t> mv = {dt};
+    c.allreduce(std::span<std::uint64_t>(mv), mpi::Op::kMax);
+    if (c.rank() == 0) elapsed.store(mv[0]);
+    f->close();
+  });
+  return mbps(static_cast<std::uint64_t>(kNp) * kBlock * kTiles,
+              elapsed.load());
+}
+
+double run_sieving(const char* ds_read) {
+  DafsBed bed;
+  sim::ActorScope scope(*bed.client_actor);
+  // A single client reading 4 KiB of every 16 KiB out of 1 MiB.
+  auto fh = bed.session->open("/sv.dat", dafs::kOpenCreate).value();
+  auto data = make_data(1 << 20, 9);
+  bed.session->pwrite(fh, 0, data);
+
+  // Drive through MPI-IO with np=1.
+  mpi::WorldConfig cfg;
+  cfg.nprocs = 1;
+  cfg.fabric = &bed.fabric;
+  mpi::World world(cfg);
+  std::atomic<std::uint64_t> elapsed{0};
+  world.run([&](mpi::Comm& c) {
+    via::Nic nic(bed.fabric, world.node_of(0), "cli2");
+    auto session = std::move(dafs::Session::connect(nic).value());
+    mpiio::Info info;
+    info.set("romio_ds_read", ds_read);
+    auto f = std::move(mpiio::File::open(c, "/sv.dat", mpiio::kModeRdwr,
+                                         info, mpiio::dafs_driver(*session))
+                           .value());
+    auto ft = mpi::Datatype::resized(
+        mpi::Datatype::hvector(1, 4096, 16384, mpi::Datatype::byte()), 0,
+        16384);
+    f->set_view(0, mpi::Datatype::byte(), ft);
+    std::vector<std::byte> back(64 * 4096);
+    const sim::Time t0 = c.actor().now();
+    f->read_at(0, back.data(), back.size(), mpi::Datatype::byte());
+    elapsed.store(c.actor().now() - t0);
+    f->close();
+  });
+  return mbps(64 * 4096, elapsed.load());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E12 [reconstructed ablations]: MPI-IO hint sweeps\n\n");
+  {
+    std::printf("cb_buffer_size sweep (collective strided write, np=4):\n");
+    Table t({"cb_buffer_size", "MB/s"});
+    for (std::uint64_t cb : {64ull << 10, 256ull << 10, 1ull << 20,
+                             4ull << 20}) {
+      mpiio::Info info;
+      info.set("cb_buffer_size", cb);
+      t.row({size_label(cb), fmt(run_collective(info))});
+    }
+    t.print();
+  }
+  {
+    std::printf("\ncb_nodes (aggregator count) sweep:\n");
+    Table t({"cb_nodes", "MB/s"});
+    for (std::uint64_t n : {1ull, 2ull, 4ull}) {
+      mpiio::Info info;
+      info.set("cb_nodes", n);
+      t.row({std::to_string(n), fmt(run_collective(info))});
+    }
+    t.print();
+  }
+  {
+    std::printf("\ndata sieving vs list-I/O (independent strided read):\n");
+    Table t({"romio_ds_read", "MB/s"});
+    t.row({"disable (list-io)", fmt(run_sieving("disable"))});
+    t.row({"enable (sieve)", fmt(run_sieving("enable"))});
+    t.print();
+  }
+  std::printf(
+      "\nExpected shape: larger cb buffers help until server accesses are\n"
+      "already large; more aggregators help until the link saturates; on\n"
+      "DAFS, batched list-I/O beats sieving (no wasted hole bytes).\n");
+  return 0;
+}

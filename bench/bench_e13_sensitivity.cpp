@@ -1,0 +1,92 @@
+// E13 (model-sensitivity ablation, beyond the paper): how do the headline
+// results depend on the calibration? Sweeps host memcpy bandwidth (the
+// copy-engine speed) and shows that the NFS plateau tracks it while DAFS
+// direct I/O is indifferent — i.e., the paper's conclusion is a property of
+// the *architecture* (copies on/off the data path), not of one calibration
+// point. Also sweeps the link rate to show both scale with the wire once
+// copies are off the path.
+#include "bench/common.hpp"
+
+using namespace bench;
+
+namespace {
+
+constexpr std::size_t kReq = 256 * 1024;
+constexpr int kIters = 12;
+
+double dafs_read_mbps(const sim::CostModel& cm) {
+  dafs::ServerConfig scfg;
+  scfg.store.memcpy_mbps = cm.memcpy_mbps;
+  sim::Fabric fabric(cm);
+  dafs::Server server(fabric, fabric.add_node("filer"), scfg);
+  server.start();
+  const auto node = fabric.add_node("client");
+  sim::Actor actor("client", &fabric.node(node));
+  sim::ActorScope scope(actor);
+  via::Nic nic(fabric, node, "cli");
+  auto s = std::move(dafs::Session::connect(nic).value());
+  auto fh = s->open("/f", dafs::kOpenCreate).value();
+  auto data = make_data(kReq, 1);
+  s->pwrite(fh, 0, data);
+  std::vector<std::byte> back(kReq);
+  const sim::Time t0 = actor.now();
+  for (int i = 0; i < kIters; ++i) s->pread(fh, 0, back);
+  const double out = mbps(static_cast<std::uint64_t>(kIters) * kReq,
+                          actor.now() - t0);
+  s.reset();
+  return out;
+}
+
+double nfs_read_mbps(const sim::CostModel& cm) {
+  nfs::ServerConfig scfg;
+  scfg.store.memcpy_mbps = cm.memcpy_mbps;
+  sim::Fabric fabric(cm);
+  nfs::Server server(fabric, fabric.add_node("srv"), scfg);
+  server.start();
+  const auto node = fabric.add_node("client");
+  sim::Actor actor("client", &fabric.node(node));
+  sim::ActorScope scope(actor);
+  auto c = std::move(nfs::Client::connect(fabric, node).value());
+  auto ino = c->open("/f", nfs::kOpenCreate).value();
+  auto data = make_data(kReq, 2);
+  c->pwrite(ino, 0, data);
+  std::vector<std::byte> back(kReq);
+  const sim::Time t0 = actor.now();
+  for (int i = 0; i < kIters; ++i) c->pread(ino, 0, back);
+  return mbps(static_cast<std::uint64_t>(kIters) * kReq, actor.now() - t0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E13 [sensitivity ablation]: calibration sweeps, 256 KiB reads\n\n");
+  {
+    std::printf("Host copy-engine sweep (link fixed at 125 MB/s):\n");
+    Table t({"memcpy MB/s", "DAFS MB/s", "NFS MB/s", "speedup"});
+    for (double copy : {200.0, 400.0, 800.0, 1600.0}) {
+      sim::CostModel cm;
+      cm.memcpy_mbps = copy;
+      const double d = dafs_read_mbps(cm);
+      const double n = nfs_read_mbps(cm);
+      t.row({fmt(copy, 0), fmt(d), fmt(n), fmt(d / n, 2) + "x"});
+    }
+    t.print();
+  }
+  {
+    std::printf("\nLink-rate sweep (copies fixed at 400 MB/s):\n");
+    Table t({"link MB/s", "DAFS MB/s", "NFS MB/s"});
+    for (double link : {62.5, 125.0, 250.0, 500.0}) {
+      sim::CostModel cm;
+      cm.link_mbps = link;
+      t.row({fmt(link, 1), fmt(dafs_read_mbps(cm)), fmt(nfs_read_mbps(cm))});
+    }
+    t.print();
+  }
+  std::printf(
+      "\nExpected shape: the NFS plateau tracks the copy engine (its\n"
+      "bottleneck); DAFS tracks the wire. As hosts get faster the gap\n"
+      "narrows; as links get faster it widens — the VIA/DAFS architectural\n"
+      "argument in one table.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E3 (paper Fig. 3, reconstructed): DAFS inline vs direct transfer bandwidth
+// vs request size, warm server cache. Expected shape: inline wins for small
+// requests (one round trip, no registration, copy cost negligible); direct
+// wins above a few KiB and approaches the wire rate; the crossover is the
+// client's direct_threshold design point.
+#include "bench/common.hpp"
+
+using namespace bench;
+
+namespace {
+
+/// Measure client-side elapsed virtual time for `iters` preads/pwrites of
+/// `size`, with the session forced to one transfer mode.
+struct Point {
+  double read_mbps;
+  double write_mbps;
+};
+
+Point run_mode(bool force_inline, std::size_t size, int iters) {
+  dafs::ClientConfig cfg;
+  cfg.direct_threshold = force_inline ? SIZE_MAX : 0;
+  DafsBed bed(cfg);
+  sim::ActorScope scope(*bed.client_actor);
+  auto fh = bed.session->open("/bench.dat", dafs::kOpenCreate).value();
+  auto data = make_data(size, 42);
+
+  // Warm the file (and the store slabs) before timing.
+  bed.session->pwrite(fh, 0, data);
+
+  const sim::Time w0 = bed.client_actor->now();
+  for (int i = 0; i < iters; ++i) {
+    bed.session->pwrite(fh, (static_cast<std::uint64_t>(i) % 8) * size, data);
+  }
+  const sim::Time wt = bed.client_actor->now() - w0;
+
+  std::vector<std::byte> back(size);
+  const sim::Time r0 = bed.client_actor->now();
+  for (int i = 0; i < iters; ++i) {
+    bed.session->pread(fh, (static_cast<std::uint64_t>(i) % 8) * size, back);
+  }
+  const sim::Time rt = bed.client_actor->now() - r0;
+
+  const std::uint64_t total = static_cast<std::uint64_t>(iters) * size;
+  return Point{mbps(total, rt), mbps(total, wt)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E3 [reconstructed Fig.3]: DAFS inline vs direct I/O bandwidth\n"
+      "(warm cache, single client, modeled time)\n\n");
+  Table t({"request", "inline rd MB/s", "direct rd MB/s", "inline wr MB/s",
+           "direct wr MB/s"});
+  constexpr int kIters = 20;
+  for (std::size_t size :
+       {std::size_t{512}, std::size_t{2048}, std::size_t{4096},
+        std::size_t{8192}, std::size_t{16384}, std::size_t{65536},
+        std::size_t{262144}, std::size_t{1048576}}) {
+    const Point in = run_mode(true, size, kIters);
+    const Point di = run_mode(false, size, kIters);
+    t.row({size_label(size), fmt(in.read_mbps), fmt(di.read_mbps),
+           fmt(in.write_mbps), fmt(di.write_mbps)});
+  }
+  t.print();
+  std::printf(
+      "\nExpected shape: inline competitive below ~4 KiB (single round trip,\n"
+      "no registration); direct overtakes above and approaches the 125 MB/s\n"
+      "wire rate while inline saturates at the copy-limited rate.\n");
+  return 0;
+}

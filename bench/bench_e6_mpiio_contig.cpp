@@ -1,0 +1,116 @@
+// E6 (paper Fig. 5, reconstructed): MPI-IO independent contiguous bandwidth
+// vs request size, 4 ranks, ad_dafs vs ad_nfs. Each rank owns a disjoint
+// region; aggregate bandwidth = total bytes / slowest rank's elapsed
+// (modeled) time. Expected shape: the DAFS driver rides direct I/O toward
+// the server wire limit; NFS saturates earlier on server CPU (copies) and
+// the kernel path.
+#include <atomic>
+
+#include "bench/common.hpp"
+#include "mpiio/ad_dafs.hpp"
+#include "mpiio/ad_nfs.hpp"
+#include "mpiio/file.hpp"
+
+using namespace bench;
+
+namespace {
+
+constexpr int kNp = 4;
+constexpr int kIters = 8;
+
+struct Point {
+  double read_mbps;
+  double write_mbps;
+};
+
+Point run(bool use_dafs, std::size_t size) {
+  sim::Fabric fabric;
+  const auto server_node = fabric.add_node("filer");
+  dafs::Server dserver(fabric, server_node);
+  nfs::Server nserver(fabric, server_node == 0 ? fabric.add_node("nfs")
+                                               : fabric.add_node("nfs"));
+  dserver.start();
+  nserver.start();
+  mpi::WorldConfig cfg;
+  cfg.nprocs = kNp;
+  cfg.fabric = &fabric;
+  mpi::World world(cfg);
+
+  std::atomic<std::uint64_t> read_ns{0}, write_ns{0};
+  world.run([&](mpi::Comm& c) {
+    std::unique_ptr<via::Nic> nic;
+    std::unique_ptr<dafs::Session> session;
+    std::unique_ptr<nfs::Client> client;
+    std::unique_ptr<mpiio::AdioDriver> driver;
+    if (use_dafs) {
+      nic = std::make_unique<via::Nic>(fabric, world.node_of(c.rank()), "cli");
+      session = std::move(dafs::Session::connect(*nic).value());
+      driver = mpiio::dafs_driver(*session);
+    } else {
+      client = std::move(
+          nfs::Client::connect(fabric, world.node_of(c.rank())).value());
+      driver = mpiio::nfs_driver(*client);
+    }
+    auto f = std::move(mpiio::File::open(c, "/bench.dat",
+                                         mpiio::kModeCreate | mpiio::kModeRdwr,
+                                         mpiio::Info{}, std::move(driver))
+                           .value());
+    auto data = make_data(size, 100 + c.rank());
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(c.rank()) * size * kIters;
+
+    f->write_at(base, data.data(), size, mpi::Datatype::byte());  // warm
+    c.barrier();
+    sim::Time t0 = c.actor().now();
+    for (int i = 0; i < kIters; ++i) {
+      f->write_at(base + static_cast<std::uint64_t>(i) * size, data.data(),
+                  size, mpi::Datatype::byte());
+    }
+    std::uint64_t w = c.actor().now() - t0;
+    std::vector<std::uint64_t> wv = {w};
+    c.allreduce(std::span<std::uint64_t>(wv), mpi::Op::kMax);
+
+    std::vector<std::byte> back(size);
+    c.barrier();
+    t0 = c.actor().now();
+    for (int i = 0; i < kIters; ++i) {
+      f->read_at(base + static_cast<std::uint64_t>(i) * size, back.data(),
+                 size, mpi::Datatype::byte());
+    }
+    std::uint64_t r = c.actor().now() - t0;
+    std::vector<std::uint64_t> rv = {r};
+    c.allreduce(std::span<std::uint64_t>(rv), mpi::Op::kMax);
+
+    if (c.rank() == 0) {
+      write_ns.store(wv[0]);
+      read_ns.store(rv[0]);
+    }
+    f->close();
+  });
+
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kNp) * kIters * size;
+  return Point{mbps(total, read_ns.load()), mbps(total, write_ns.load())};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E6 [reconstructed Fig.5]: MPI-IO independent contiguous bandwidth\n"
+      "(np=4, per-rank disjoint regions, aggregate MB/s, modeled time)\n\n");
+  Table t({"request", "DAFS rd", "NFS rd", "DAFS wr", "NFS wr"});
+  for (std::size_t size :
+       {std::size_t{4096}, std::size_t{16384}, std::size_t{65536},
+        std::size_t{262144}, std::size_t{1048576}}) {
+    const Point d = run(true, size);
+    const Point n = run(false, size);
+    t.row({size_label(size), fmt(d.read_mbps), fmt(n.read_mbps),
+           fmt(d.write_mbps), fmt(n.write_mbps)});
+  }
+  t.print();
+  std::printf(
+      "\nExpected shape: both grow with request size; ad_dafs approaches the\n"
+      "server link limit; ad_nfs saturates lower (server copies + kernel).\n");
+  return 0;
+}

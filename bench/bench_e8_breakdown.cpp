@@ -1,0 +1,93 @@
+// E8 (paper Table 2, reconstructed): latency breakdown of a single
+// MPI_File_write_at on the DAFS driver — where does the time go?
+// Components: client CPU (MPI-IO + uDAFS protocol, registration), server
+// CPU (dispatch + fs), and the remainder (wire serialization, propagation
+// and DMA — time nobody's CPU burns). Expected shape: small writes dominated
+// by fixed per-op costs/round trip; large writes dominated by wire time with
+// a near-constant CPU floor.
+#include "bench/common.hpp"
+#include "mpiio/ad_dafs.hpp"
+#include "mpiio/file.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct Row {
+  double total_us;
+  double client_proto_us;
+  double client_reg_us;
+  double client_copy_us;
+  double server_us;
+  double wire_us;  // residual
+};
+
+Row run(std::size_t size) {
+  sim::Fabric fabric;
+  const auto server_node = fabric.add_node("filer");
+  dafs::Server server(fabric, server_node);
+  server.start();
+  mpi::WorldConfig cfg;
+  cfg.nprocs = 1;
+  cfg.fabric = &fabric;
+  mpi::World world(cfg);
+
+  Row out{};
+  world.run([&](mpi::Comm& c) {
+    via::Nic nic(fabric, world.node_of(c.rank()), "cli");
+    auto session = std::move(dafs::Session::connect(nic).value());
+    auto f = std::move(mpiio::File::open(c, "/f",
+                                         mpiio::kModeCreate | mpiio::kModeRdwr,
+                                         mpiio::Info{},
+                                         mpiio::dafs_driver(*session))
+                           .value());
+    auto data = make_data(size, 5);
+    f->write_at(0, data.data(), size, mpi::Datatype::byte());  // warm + reg
+
+    constexpr int kIters = 20;
+    c.actor().reset_busy();
+    const sim::BusyBreakdown server_before = server.worker_busy();
+    const sim::Time t0 = c.actor().now();
+    for (int i = 0; i < kIters; ++i) {
+      f->write_at(0, data.data(), size, mpi::Datatype::byte());
+    }
+    const sim::Time total = c.actor().now() - t0;
+    const auto& cb = c.actor().busy();
+    const sim::BusyBreakdown server_after = server.worker_busy();
+
+    const double n = kIters;
+    out.total_us = sim::to_usec(total) / n;
+    out.client_proto_us = sim::to_usec(cb[sim::CostKind::kProtocol]) / n;
+    out.client_reg_us = sim::to_usec(cb[sim::CostKind::kRegistration]) / n;
+    out.client_copy_us = sim::to_usec(cb[sim::CostKind::kCopy]) / n;
+    out.server_us =
+        sim::to_usec(server_after.total() - server_before.total()) / n;
+    out.wire_us = out.total_us - out.client_proto_us - out.client_reg_us -
+                  out.client_copy_us - out.server_us;
+    f->close();
+  });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E8 [reconstructed Table 2]: MPI_File_write_at latency breakdown\n"
+      "(DAFS driver, single rank, per-op modeled microseconds)\n\n");
+  Table t({"size", "total us", "client proto", "client reg", "client copy",
+           "server cpu", "wire+dma"});
+  for (std::size_t size :
+       {std::size_t{4096}, std::size_t{65536}, std::size_t{1048576}}) {
+    const Row r = run(size);
+    t.row({size_label(size), fmt(r.total_us), fmt(r.client_proto_us),
+           fmt(r.client_reg_us), fmt(r.client_copy_us), fmt(r.server_us),
+           fmt(r.wire_us)});
+  }
+  t.print();
+  std::printf(
+      "\nExpected shape: 4 KiB dominated by fixed round-trip costs; 1 MiB\n"
+      "dominated by wire time (~8000 us at 125 MB/s) with a small, nearly\n"
+      "size-independent CPU component (zero client copies on direct I/O).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Google-benchmark microbenchmarks of the emulation substrate itself (real
+// host time, not modeled time): datatype flattening, resource arithmetic,
+// and the fabric transfer computation. These guard against the cost engine
+// itself becoming the bottleneck of large experiments.
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "mpi/datatype.hpp"
+#include "sim/fabric.hpp"
+#include "sim/resource.hpp"
+
+namespace {
+
+void BM_ResourceOccupy(benchmark::State& state) {
+  sim::Resource r;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    t = r.occupy(t, 100);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_ResourceOccupy);
+
+void BM_FabricTransfer(benchmark::State& state) {
+  sim::Fabric f;
+  const auto a = f.add_node("a");
+  const auto b = f.add_node("b");
+  const auto bytes = static_cast<std::uint64_t>(state.range(0));
+  sim::Time t = 0;
+  for (auto _ : state) {
+    t = f.transfer(a, b, bytes, t);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_FabricTransfer)->Arg(4096)->Arg(262144)->Arg(1 << 20);
+
+void BM_DatatypeFlattenVector(benchmark::State& state) {
+  const auto blocks = static_cast<std::uint32_t>(state.range(0));
+  auto t = mpi::Datatype::vector(blocks, 16, 32, mpi::Datatype::int32());
+  for (auto _ : state) {
+    auto segs = t.flatten_n(4);
+    benchmark::DoNotOptimize(segs.data());
+  }
+}
+BENCHMARK(BM_DatatypeFlattenVector)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_DatatypeSubarray2d(benchmark::State& state) {
+  const std::array<std::uint32_t, 2> sizes = {1024, 1024};
+  const std::array<std::uint32_t, 2> subsizes = {256, 256};
+  const std::array<std::uint32_t, 2> starts = {128, 128};
+  auto t =
+      mpi::Datatype::subarray(sizes, subsizes, starts, mpi::Datatype::byte());
+  for (auto _ : state) {
+    std::vector<mpi::Segment> segs;
+    t.flatten(segs);
+    benchmark::DoNotOptimize(segs.data());
+  }
+}
+BENCHMARK(BM_DatatypeSubarray2d);
+
+void BM_DatatypePackStrided(benchmark::State& state) {
+  auto t = mpi::Datatype::vector(64, 16, 32, mpi::Datatype::int32());
+  std::vector<std::byte> src(1 << 20);
+  std::vector<std::byte> out;
+  for (auto _ : state) {
+    t.pack(src.data(), 4, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4 *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_DatatypePackStrided);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dafs/client.hpp"
+#include "dafs/server.hpp"
+#include "mpi/runtime.hpp"
+#include "nfs/client.hpp"
+#include "nfs/server.hpp"
+#include "sim/rng.hpp"
+
+/// \file common.hpp
+/// Shared scaffolding for the figure/table reproduction binaries. All
+/// reported times/bandwidths are **modeled (virtual) time** from the cost
+/// engine — deterministic and calibrated to the paper-era hardware — never
+/// host wall-clock.
+namespace bench {
+
+/// MB/s (1 MB = 1e6 bytes) from bytes moved in virtual nanoseconds.
+inline double mbps(std::uint64_t bytes, sim::Time ns) {
+  if (ns == 0) return 0.0;
+  return static_cast<double>(bytes) * 1'000.0 / static_cast<double>(ns);
+}
+
+inline std::vector<std::byte> make_data(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xff);
+  return out;
+}
+
+/// Pretty size for row labels.
+inline std::string size_label(std::uint64_t n) {
+  char buf[32];
+  if (n >= (1u << 20) && n % (1u << 20) == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluMiB",
+                  static_cast<unsigned long long>(n >> 20));
+  } else if (n >= 1024 && n % 1024 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lluKiB",
+                  static_cast<unsigned long long>(n >> 10));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluB",
+                  static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+/// Simple aligned table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (std::size_t i = 0; i < r.size() && i < w.size(); ++i) {
+        w[i] = std::max(w[i], r[i].size());
+      }
+    }
+    auto line = [&] {
+      std::printf("+");
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        for (std::size_t k = 0; k < w[i] + 2; ++k) std::printf("-");
+        std::printf("+");
+      }
+      std::printf("\n");
+    };
+    line();
+    std::printf("|");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      std::printf(" %-*s |", static_cast<int>(w[i]), headers_[i].c_str());
+    }
+    std::printf("\n");
+    line();
+    for (const auto& r : rows_) {
+      std::printf("|");
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        std::printf(" %*s |", static_cast<int>(w[i]), r[i].c_str());
+      }
+      std::printf("\n");
+    }
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+/// A ready-to-use DAFS testbed: fabric, filer, one client node + session.
+struct DafsBed {
+  sim::Fabric fabric;
+  sim::NodeId server_node;
+  sim::NodeId client_node;
+  std::unique_ptr<dafs::Server> server;
+  std::unique_ptr<via::Nic> client_nic;
+  std::unique_ptr<sim::Actor> client_actor;
+  std::unique_ptr<dafs::Session> session;
+
+  explicit DafsBed(dafs::ClientConfig ccfg = {}, dafs::ServerConfig scfg = {}) {
+    server_node = fabric.add_node("filer");
+    client_node = fabric.add_node("client0");
+    server = std::make_unique<dafs::Server>(fabric, server_node, scfg);
+    server->start();
+    client_nic = std::make_unique<via::Nic>(fabric, client_node, "cli-nic");
+    client_actor =
+        std::make_unique<sim::Actor>("client0", &fabric.node(client_node));
+    sim::ActorScope scope(*client_actor);
+    session = std::move(dafs::Session::connect(*client_nic, ccfg).value());
+  }
+
+  ~DafsBed() {
+    sim::ActorScope scope(*client_actor);
+    session.reset();
+  }
+};
+
+/// An NFS testbed mirror.
+struct NfsBed {
+  sim::Fabric fabric;
+  sim::NodeId server_node;
+  sim::NodeId client_node;
+  std::unique_ptr<nfs::Server> server;
+  std::unique_ptr<sim::Actor> client_actor;
+  std::unique_ptr<nfs::Client> client;
+
+  explicit NfsBed(nfs::ClientConfig ccfg = {}) {
+    server_node = fabric.add_node("nfs-server");
+    client_node = fabric.add_node("client0");
+    server = std::make_unique<nfs::Server>(fabric, server_node);
+    server->start();
+    client_actor =
+        std::make_unique<sim::Actor>("client0", &fabric.node(client_node));
+    sim::ActorScope scope(*client_actor);
+    client = std::move(nfs::Client::connect(fabric, client_node, ccfg).value());
+  }
+};
+
+}  // namespace bench

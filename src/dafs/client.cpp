@@ -1,0 +1,743 @@
+#include "dafs/client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <thread>
+
+#include "sim/actor.hpp"
+
+namespace dafs {
+
+using sim::Actor;
+using sim::CostKind;
+
+namespace {
+using namespace std::chrono_literals;
+constexpr auto kIoWait = std::chrono::milliseconds(10'000);
+constexpr sim::Time kLockBackoff = 20'000;  // 20 us virtual between retries
+constexpr int kLockRetries = 100'000;
+}  // namespace
+
+namespace {
+via::ViAttrs session_vi_attrs(via::ProtectionTag tag) {
+  via::ViAttrs attrs;
+  attrs.ptag = tag;  // inbound RDMA must match our registrations
+  return attrs;
+}
+}  // namespace
+
+Session::Session(via::Nic& nic, ClientConfig cfg)
+    : nic_(nic),
+      cfg_(std::move(cfg)),
+      ptag_(nic.create_ptag()),
+      vi_(nic, session_vi_attrs(ptag_)) {}
+
+Result<std::unique_ptr<Session>> Session::connect(via::Nic& nic,
+                                                  ClientConfig cfg) {
+  auto s = std::unique_ptr<Session>(new Session(nic, std::move(cfg)));
+  if (const PStatus st = s->do_connect(); st != PStatus::kOk) return st;
+  return s;
+}
+
+PStatus Session::do_connect() {
+  Actor* actor = Actor::current();
+  assert(actor && "Session::connect outside an ActorScope");
+  (void)actor;
+
+  // The service may still be coming up; retry name-service misses briefly.
+  via::Status cst = via::Status::kNoMatchingListener;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    cst = nic_.connect(vi_, cfg_.service, kIoWait);
+    if (cst != via::Status::kNoMatchingListener) break;
+    std::this_thread::sleep_for(10ms);
+  }
+  if (cst != via::Status::kSuccess) return PStatus::kProtoError;
+  // Receive buffers must be posted before the first request leaves (credit
+  // contract with the server).
+  recv_bufs_.resize(cfg_.credits);
+  for (auto& rb : recv_bufs_) {
+    rb.mem.resize(cfg_.msg_buf_size);
+    rb.handle = nic_.register_memory(rb.mem.data(), rb.mem.size(), ptag_, {});
+    rb.desc.segs = {via::DataSegment{
+        rb.mem.data(), rb.handle, static_cast<std::uint32_t>(rb.mem.size())}};
+    if (vi_.post_recv(rb.desc) != via::Status::kSuccess) {
+      return PStatus::kProtoError;
+    }
+  }
+  slots_.resize(cfg_.credits);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    auto& sl = slots_[i];
+    sl.send_buf.resize(cfg_.msg_buf_size);
+    sl.send_handle =
+        nic_.register_memory(sl.send_buf.data(), sl.send_buf.size(), ptag_, {});
+    free_slots_.push_back(static_cast<OpId>(i));
+  }
+
+  auto id = submit_simple(Proc::kConnect, {}, Fh{}, 0, 0, 0, 0);
+  if (!id.ok()) return id.error();
+  if (const PStatus st = wait_slot(id.value()); st != PStatus::kOk) {
+    free_slot(id.value());
+    return st;
+  }
+  session_id_ = slots_[id.value()].resp.aux;
+  free_slot(id.value());
+  nic_.fabric().stats().add("dafs.client_sessions");
+  return PStatus::kOk;
+}
+
+Session::~Session() {
+  if (!dead_ && session_id_ != 0) {
+    if (auto id = submit_simple(Proc::kDisconnect, {}, Fh{}, 0, 0, 0, 0);
+        id.ok()) {
+      wait_slot(id.value());
+      free_slot(id.value());
+    }
+  }
+  vi_.disconnect();
+  // NIC registrations are dropped with the registry; explicit deregistration
+  // here would charge an actor that may already be gone.
+}
+
+// ---------------------------------------------------------------------------
+// Slot management & transport
+// ---------------------------------------------------------------------------
+
+Result<OpId> Session::alloc_slot() {
+  if (dead_) return PStatus::kProtoError;
+  if (free_slots_.empty()) return PStatus::kInval;  // credit limit exceeded
+  const OpId id = free_slots_.back();
+  free_slots_.pop_back();
+  Slot& sl = slots_[id];
+  sl.in_use = true;
+  sl.done = false;
+  sl.user_buf = nullptr;
+  sl.user_cap = 0;
+  sl.payload.clear();
+  sl.temp_handles.clear();
+  return id;
+}
+
+void Session::free_slot(OpId id) {
+  Slot& sl = slots_[id];
+  if (!sl.temp_handles.empty()) {
+    for (const via::MemHandle h : sl.temp_handles) {
+      nic_.deregister_memory(h);
+    }
+    sl.temp_handles.clear();
+  }
+  sl.in_use = false;
+  free_slots_.push_back(id);
+}
+
+PStatus Session::transmit(OpId id) {
+  Actor* actor = Actor::current();
+  assert(actor && "DAFS op outside an ActorScope");
+  actor->charge(CostKind::kProtocol, nic_.cost().client_op);
+
+  Slot& sl = slots_[id];
+  MsgView msg(sl.send_buf.data(), sl.send_buf.size());
+  msg.header().request_id = id;
+  msg.header().session_id = session_id_;
+
+  sl.send_desc = via::Descriptor{};
+  sl.send_desc.op = via::Opcode::kSend;
+  sl.send_desc.segs = {
+      via::DataSegment{sl.send_buf.data(), sl.send_handle,
+                       static_cast<std::uint32_t>(msg.wire_size())}};
+  if (vi_.post_send(sl.send_desc) != via::Status::kSuccess) {
+    dead_ = true;
+    return PStatus::kProtoError;
+  }
+  via::Descriptor* done = nullptr;
+  if (vi_.send_wait(done, kIoWait) != via::Status::kSuccess ||
+      done->status != via::DescStatus::kSuccess) {
+    dead_ = true;
+    return PStatus::kProtoError;
+  }
+  return PStatus::kOk;
+}
+
+bool Session::pump_one() {
+  via::Descriptor* d = nullptr;
+  if (vi_.recv_wait(d, kIoWait) != via::Status::kSuccess) {
+    dead_ = true;
+    return false;
+  }
+  if (d->status != via::DescStatus::kSuccess) {
+    dead_ = true;
+    return false;
+  }
+  // Find the buffer this descriptor scatters into.
+  RecvBuf* rb = nullptr;
+  for (auto& b : recv_bufs_) {
+    if (&b.desc == d) {
+      rb = &b;
+      break;
+    }
+  }
+  assert(rb != nullptr);
+  MsgView resp(rb->mem.data(), rb->mem.size());
+  const OpId id = resp.header().request_id;
+  assert(id < slots_.size() && slots_[id].in_use);
+  Slot& sl = slots_[id];
+  sl.resp = resp.header();
+  if (resp.header().data_len > 0) {
+    Actor* actor = Actor::current();
+    const std::uint32_t n = resp.header().data_len;
+    if (sl.user_buf != nullptr) {
+      // Inline read payload: the copy the direct path avoids.
+      const std::uint64_t take = std::min<std::uint64_t>(n, sl.user_cap);
+      std::memcpy(sl.user_buf, resp.data_payload(), take);
+      actor->charge(CostKind::kCopy, nic_.cost().copy_time(take));
+      nic_.fabric().stats().add("dafs.client_copy_bytes", take);
+    } else {
+      sl.payload.assign(resp.data_payload(), resp.data_payload() + n);
+      actor->charge(CostKind::kCopy, nic_.cost().copy_time(n));
+    }
+  }
+  sl.done = true;
+  // Return the receive buffer to the pool.
+  rb->desc.segs = {via::DataSegment{
+      rb->mem.data(), rb->handle, static_cast<std::uint32_t>(rb->mem.size())}};
+  vi_.post_recv(rb->desc);
+  return true;
+}
+
+PStatus Session::wait_slot(OpId id) {
+  Slot& sl = slots_[id];
+  while (!sl.done) {
+    if (!pump_one()) return PStatus::kProtoError;
+  }
+  return sl.resp.status;
+}
+
+// ---------------------------------------------------------------------------
+// Registration cache
+// ---------------------------------------------------------------------------
+
+void Session::note_use(RegEntry& e) { e.last_use = ++reg_clock_; }
+
+via::MemHandle Session::reg_for(const std::byte* buf, std::size_t len,
+                                OpId slot) {
+  const auto base = reinterpret_cast<std::uintptr_t>(buf);
+  via::MemAttrs attrs;
+  attrs.enable_rdma_write = true;
+  attrs.enable_rdma_read = true;
+
+  if (!cfg_.reg_cache) {
+    ++reg_misses_;
+    const via::MemHandle h = nic_.register_memory(
+        const_cast<std::byte*>(buf), len, ptag_, attrs);
+    slots_[slot].temp_handles.push_back(h);
+    return h;
+  }
+  for (auto& e : reg_cache_entries_) {
+    if (base >= e.base && base + len <= e.base + e.len) {
+      note_use(e);
+      ++reg_hits_;
+      return e.handle;
+    }
+  }
+  ++reg_misses_;
+  const via::MemHandle h =
+      nic_.register_memory(const_cast<std::byte*>(buf), len, ptag_, attrs);
+  if (reg_cache_entries_.size() >= cfg_.reg_cache_entries) {
+    auto victim = std::min_element(
+        reg_cache_entries_.begin(), reg_cache_entries_.end(),
+        [](const RegEntry& a, const RegEntry& b) {
+          return a.last_use < b.last_use;
+        });
+    nic_.deregister_memory(victim->handle);
+    reg_cache_entries_.erase(victim);
+    nic_.fabric().stats().add("dafs.regcache_evictions");
+  }
+  reg_cache_entries_.push_back(RegEntry{base, len, h, 0});
+  note_use(reg_cache_entries_.back());
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Request builders
+// ---------------------------------------------------------------------------
+
+Result<OpId> Session::submit_simple(Proc proc, std::string_view name, Fh fh,
+                                    std::uint64_t offset, std::uint64_t len,
+                                    std::uint64_t aux, std::uint16_t flags) {
+  auto id = alloc_slot();
+  if (!id.ok()) return id;
+  Slot& sl = slots_[id.value()];
+  MsgView msg(sl.send_buf.data(), sl.send_buf.size());
+  msg.header() = MsgHeader{};
+  msg.header().proc = proc;
+  msg.header().flags = flags;
+  msg.header().ino = fh.ino;
+  msg.header().offset = offset;
+  msg.header().len = len;
+  msg.header().aux = aux;
+  msg.set_name(name);
+  if (const PStatus st = transmit(id.value()); st != PStatus::kOk) {
+    free_slot(id.value());
+    return st;
+  }
+  return id;
+}
+
+Result<OpId> Session::submit_io(Proc proc, Fh fh, std::span<const IoVec> iovs,
+                                bool writing) {
+  auto id = alloc_slot();
+  if (!id.ok()) return id;
+  Slot& sl = slots_[id.value()];
+  MsgView msg(sl.send_buf.data(), sl.send_buf.size());
+  msg.header() = MsgHeader{};
+  msg.header().proc = proc;
+  msg.header().ino = fh.ino;
+
+  // Registration strategy: a batch may carry hundreds of segments; taking a
+  // cache entry per segment could evict a handle that an earlier segment of
+  // this same request still needs. When the segments live in one compact
+  // buffer (the common MPI-IO case), register the hull once; otherwise pin
+  // each segment with a per-request temporary registration.
+  std::uintptr_t lo = UINTPTR_MAX, hi = 0;
+  std::uint64_t total_len = 0;
+  for (const IoVec& v : iovs) {
+    lo = std::min(lo, reinterpret_cast<std::uintptr_t>(v.buf));
+    hi = std::max(hi, reinterpret_cast<std::uintptr_t>(v.buf) + v.len);
+    total_len += v.len;
+  }
+  via::MemHandle hull = via::kInvalidMemHandle;
+  const bool use_hull =
+      iovs.size() > 1 && hi > lo && (hi - lo) <= std::max<std::uint64_t>(
+                                                     16 * total_len, 1 << 20);
+  if (use_hull) {
+    hull = reg_for(reinterpret_cast<const std::byte*>(lo), hi - lo,
+                   id.value());
+  }
+
+  // Build the direct-segment list, splitting at max_rdma_seg.
+  std::vector<DirectSeg> segs;
+  for (const IoVec& v : iovs) {
+    via::MemHandle h = hull;
+    if (!use_hull) {
+      if (iovs.size() == 1) {
+        h = reg_for(v.buf, v.len, id.value());
+      } else {
+        // Scattered buffers: pin for the lifetime of this request only.
+        via::MemAttrs attrs;
+        attrs.enable_rdma_write = true;
+        attrs.enable_rdma_read = true;
+        h = nic_.register_memory(v.buf, v.len, ptag_, attrs);
+        slots_[id.value()].temp_handles.push_back(h);
+      }
+    }
+    std::uint64_t off = 0;
+    while (off < v.len) {
+      const std::uint64_t n = std::min<std::uint64_t>(
+          v.len - off, cfg_.max_rdma_seg);
+      DirectSeg s;
+      s.file_off = v.file_off + off;
+      s.addr = reinterpret_cast<std::uint64_t>(v.buf + off);
+      s.mem = h;
+      s.len = static_cast<std::uint32_t>(n);
+      segs.push_back(s);
+      off += n;
+    }
+  }
+  if (sizeof(MsgHeader) + segs.size() * sizeof(DirectSeg) >
+      sl.send_buf.size()) {
+    free_slot(id.value());
+    return PStatus::kInval;  // too many segments for one request
+  }
+  msg.set_segs(segs);
+  nic_.fabric().stats().add(writing ? "dafs.direct_write_reqs"
+                                    : "dafs.direct_read_reqs");
+  if (const PStatus st = transmit(id.value()); st != PStatus::kOk) {
+    free_slot(id.value());
+    return st;
+  }
+  return id;
+}
+
+Result<std::uint64_t> Session::run_sync(OpId id) {
+  const PStatus st = wait_slot(id);
+  const std::uint64_t bytes = slots_[id].resp.len;
+  free_slot(id);
+  if (st != PStatus::kOk) return st;
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+// ---------------------------------------------------------------------------
+
+Result<Fh> Session::open(std::string_view path, std::uint16_t flags) {
+  auto id = submit_simple(Proc::kOpen, path, Fh{}, 0, 0, 0, flags);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  const Fh fh{slots_[id.value()].resp.ino};
+  free_slot(id.value());
+  if (st != PStatus::kOk) return st;
+  return fh;
+}
+
+Result<fstore::Attrs> Session::getattr(Fh fh) {
+  auto id = submit_simple(Proc::kGetattr, {}, fh, 0, 0, 0, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  fstore::Attrs attrs;
+  if (st == PStatus::kOk &&
+      slots_[id.value()].payload.size() >= sizeof(attrs)) {
+    std::memcpy(&attrs, slots_[id.value()].payload.data(), sizeof(attrs));
+  }
+  free_slot(id.value());
+  if (st != PStatus::kOk) return st;
+  return attrs;
+}
+
+PStatus Session::set_size(Fh fh, std::uint64_t size) {
+  auto id = submit_simple(Proc::kSetSize, {}, fh, 0, 0, size, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  free_slot(id.value());
+  return st;
+}
+
+PStatus Session::remove(std::string_view path) {
+  auto id = submit_simple(Proc::kRemove, path, Fh{}, 0, 0, 0, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  free_slot(id.value());
+  return st;
+}
+
+PStatus Session::mkdir(std::string_view path) {
+  auto id = submit_simple(Proc::kMkdir, path, Fh{}, 0, 0, 0, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  free_slot(id.value());
+  return st;
+}
+
+PStatus Session::rmdir(std::string_view path) {
+  auto id = submit_simple(Proc::kRmdir, path, Fh{}, 0, 0, 0, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  free_slot(id.value());
+  return st;
+}
+
+PStatus Session::rename(std::string_view from, std::string_view to) {
+  std::string both;
+  both.reserve(from.size() + 1 + to.size());
+  both.append(from);
+  both.push_back('\0');
+  both.append(to);
+  auto id = submit_simple(Proc::kRename, both, Fh{}, 0, 0, 0, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  free_slot(id.value());
+  return st;
+}
+
+Result<std::vector<fstore::DirEntry>> Session::readdir(std::string_view path) {
+  std::vector<fstore::DirEntry> out;
+  std::uint64_t cookie = 0;
+  for (;;) {
+    auto id = submit_simple(Proc::kReaddir, path, Fh{}, cookie, 0, 0, 0);
+    if (!id.ok()) return id.error();
+    const PStatus st = wait_slot(id.value());
+    if (st != PStatus::kOk) {
+      free_slot(id.value());
+      return st;
+    }
+    Slot& sl = slots_[id.value()];
+    const std::byte* p = sl.payload.data();
+    const std::byte* end = p + sl.payload.size();
+    for (std::uint64_t i = 0; i < sl.resp.len && p + sizeof(WireDirent) <= end;
+         ++i) {
+      WireDirent wd;
+      std::memcpy(&wd, p, sizeof(wd));
+      p += sizeof(wd);
+      fstore::DirEntry e;
+      e.ino = wd.ino;
+      e.is_dir = wd.is_dir != 0;
+      e.name.assign(reinterpret_cast<const char*>(p), wd.name_len);
+      p += wd.name_len;
+      out.push_back(std::move(e));
+    }
+    const bool done = sl.resp.flags != 0;
+    cookie = sl.resp.aux;
+    free_slot(id.value());
+    if (done) return out;
+  }
+}
+
+PStatus Session::sync(Fh fh) {
+  auto id = submit_simple(Proc::kSync, {}, fh, 0, 0, 0, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  free_slot(id.value());
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Data path
+// ---------------------------------------------------------------------------
+
+Result<std::uint64_t> Session::pread(Fh fh, std::uint64_t off,
+                                     std::span<std::byte> out) {
+  if (out.size() >= cfg_.direct_threshold) {
+    IoVec v{off, out.data(), out.size()};
+    auto id = submit_io(Proc::kReadDirect, fh, std::span(&v, 1), false);
+    if (!id.ok()) return id.error();
+    return run_sync(id.value());
+  }
+  // Inline: may take several round trips if larger than a message.
+  std::uint64_t done = 0;
+  while (done < out.size()) {
+    const std::size_t cap =
+        MsgView(nullptr, cfg_.msg_buf_size).inline_capacity(0);
+    const std::uint64_t want =
+        std::min<std::uint64_t>(out.size() - done, cap);
+    auto id = submit_simple(Proc::kReadInline, {}, fh, off + done, want, 0, 0);
+    if (!id.ok()) return id.error();
+    slots_[id.value()].user_buf = out.data() + done;
+    slots_[id.value()].user_cap = want;
+    auto r = run_sync(id.value());
+    if (!r.ok()) return r;
+    done += r.value();
+    if (r.value() < want) break;  // EOF
+  }
+  return done;
+}
+
+Result<std::uint64_t> Session::pwrite(Fh fh, std::uint64_t off,
+                                      std::span<const std::byte> in) {
+  if (in.size() >= cfg_.direct_threshold) {
+    IoVec v{off, const_cast<std::byte*>(in.data()), in.size()};
+    auto id = submit_io(Proc::kWriteDirect, fh, std::span(&v, 1), true);
+    if (!id.ok()) return id.error();
+    return run_sync(id.value());
+  }
+  std::uint64_t done = 0;
+  Actor* actor = Actor::current();
+  while (done < in.size() || (in.empty() && done == 0)) {
+    auto id = alloc_slot();
+    if (!id.ok()) return id.error();
+    Slot& sl = slots_[id.value()];
+    MsgView msg(sl.send_buf.data(), sl.send_buf.size());
+    msg.header() = MsgHeader{};
+    msg.header().proc = Proc::kWriteInline;
+    msg.header().ino = fh.ino;
+    msg.header().offset = off + done;
+    const std::uint64_t want = std::min<std::uint64_t>(
+        in.size() - done, msg.inline_capacity(0));
+    // Marshalling copy into the message buffer — the cost inline writes pay.
+    if (want > 0) {
+      std::memcpy(msg.data_payload(), in.data() + done, want);
+      actor->charge(CostKind::kCopy, nic_.cost().copy_time(want));
+    }
+    nic_.fabric().stats().add("dafs.client_copy_bytes", want);
+    msg.header().data_len = static_cast<std::uint32_t>(want);
+    msg.header().len = want;
+    if (const PStatus st = transmit(id.value()); st != PStatus::kOk) {
+      free_slot(id.value());
+      return st;
+    }
+    auto r = run_sync(id.value());
+    if (!r.ok()) return r;
+    done += r.value();
+    if (in.empty()) break;
+  }
+  return done;
+}
+
+Result<std::uint64_t> Session::read_batch(Fh fh, std::span<const IoVec> iovs) {
+  auto id = submit_io(Proc::kReadDirect, fh, iovs, false);
+  if (!id.ok()) return id.error();
+  return run_sync(id.value());
+}
+
+Result<std::uint64_t> Session::write_batch(Fh fh, std::span<const IoVec> iovs) {
+  auto id = submit_io(Proc::kWriteDirect, fh, iovs, true);
+  if (!id.ok()) return id.error();
+  return run_sync(id.value());
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous I/O
+// ---------------------------------------------------------------------------
+
+Result<OpId> Session::submit_pread(Fh fh, std::uint64_t off,
+                                   std::span<std::byte> out) {
+  if (out.size() >= cfg_.direct_threshold ||
+      out.size() > MsgView(nullptr, cfg_.msg_buf_size).inline_capacity(0)) {
+    IoVec v{off, out.data(), out.size()};
+    return submit_io(Proc::kReadDirect, fh, std::span(&v, 1), false);
+  }
+  auto id = submit_simple(Proc::kReadInline, {}, fh, off, out.size(), 0, 0);
+  if (id.ok()) {
+    slots_[id.value()].user_buf = out.data();
+    slots_[id.value()].user_cap = out.size();
+  }
+  return id;
+}
+
+Result<OpId> Session::submit_pwrite(Fh fh, std::uint64_t off,
+                                    std::span<const std::byte> in) {
+  if (in.size() >= cfg_.direct_threshold ||
+      in.size() > MsgView(nullptr, cfg_.msg_buf_size).inline_capacity(0)) {
+    IoVec v{off, const_cast<std::byte*>(in.data()), in.size()};
+    return submit_io(Proc::kWriteDirect, fh, std::span(&v, 1), true);
+  }
+  auto id = alloc_slot();
+  if (!id.ok()) return id;
+  Slot& sl = slots_[id.value()];
+  MsgView msg(sl.send_buf.data(), sl.send_buf.size());
+  msg.header() = MsgHeader{};
+  msg.header().proc = Proc::kWriteInline;
+  msg.header().ino = fh.ino;
+  msg.header().offset = off;
+  std::memcpy(msg.data_payload(), in.data(), in.size());
+  Actor::current()->charge(CostKind::kCopy, nic_.cost().copy_time(in.size()));
+  msg.header().data_len = static_cast<std::uint32_t>(in.size());
+  msg.header().len = in.size();
+  if (const PStatus st = transmit(id.value()); st != PStatus::kOk) {
+    free_slot(id.value());
+    return st;
+  }
+  return id;
+}
+
+PStatus Session::wait(OpId op, std::uint64_t* bytes) {
+  const PStatus st = wait_slot(op);
+  if (bytes != nullptr) *bytes = slots_[op].resp.len;
+  free_slot(op);
+  return st;
+}
+
+Result<bool> Session::test(OpId op, std::uint64_t* bytes) {
+  if (dead_) return PStatus::kProtoError;
+  if (!slots_[op].done) {
+    // Opportunistically drain anything already delivered.
+    via::Descriptor* d = nullptr;
+    while (vi_.recv_done(d) == via::Status::kSuccess) {
+      // Re-dispatch through pump logic: emulate by handling inline here.
+      // (recv_done already popped; find buffer and process as pump_one does.)
+      RecvBuf* rb = nullptr;
+      for (auto& b : recv_bufs_) {
+        if (&b.desc == d) {
+          rb = &b;
+          break;
+        }
+      }
+      assert(rb != nullptr);
+      MsgView resp(rb->mem.data(), rb->mem.size());
+      const OpId id = resp.header().request_id;
+      Slot& sl = slots_[id];
+      sl.resp = resp.header();
+      if (resp.header().data_len > 0) {
+        const std::uint32_t n = resp.header().data_len;
+        if (sl.user_buf != nullptr) {
+          const std::uint64_t take = std::min<std::uint64_t>(n, sl.user_cap);
+          std::memcpy(sl.user_buf, resp.data_payload(), take);
+          Actor::current()->charge(CostKind::kCopy, nic_.cost().copy_time(take));
+        } else {
+          sl.payload.assign(resp.data_payload(), resp.data_payload() + n);
+        }
+      }
+      sl.done = true;
+      rb->desc.segs = {via::DataSegment{
+          rb->mem.data(), rb->handle,
+          static_cast<std::uint32_t>(rb->mem.size())}};
+      vi_.post_recv(rb->desc);
+      d = nullptr;
+    }
+  }
+  if (!slots_[op].done) return false;
+  if (bytes != nullptr) *bytes = slots_[op].resp.len;
+  const PStatus st = slots_[op].resp.status;
+  free_slot(op);
+  if (st != PStatus::kOk) return st;
+  return true;
+}
+
+Result<std::size_t> Session::wait_any(std::span<const OpId> ops,
+                                      std::uint64_t* bytes) {
+  if (ops.empty()) return PStatus::kInval;
+  for (;;) {
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      Slot& sl = slots_[ops[i]];
+      if (sl.in_use && sl.done) {
+        if (bytes != nullptr) *bytes = sl.resp.len;
+        free_slot(ops[i]);
+        return i;
+      }
+    }
+    if (!pump_one()) return PStatus::kProtoError;
+  }
+}
+
+PStatus Session::wait_all(std::span<const OpId> ops) {
+  PStatus worst = PStatus::kOk;
+  for (const OpId op : ops) {
+    const PStatus st = wait(op);
+    if (st != PStatus::kOk) worst = st;
+  }
+  return worst;
+}
+
+// ---------------------------------------------------------------------------
+// Locks & counters
+// ---------------------------------------------------------------------------
+
+PStatus Session::try_lock(Fh fh, std::uint64_t start, std::uint64_t len,
+                          bool exclusive) {
+  auto id = submit_simple(Proc::kLock, {}, fh, start, len,
+                          exclusive ? kLockExclusive : 0, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  free_slot(id.value());
+  return st;
+}
+
+PStatus Session::lock(Fh fh, std::uint64_t start, std::uint64_t len,
+                      bool exclusive) {
+  Actor* actor = Actor::current();
+  for (int i = 0; i < kLockRetries; ++i) {
+    const PStatus st = try_lock(fh, start, len, exclusive);
+    if (st != PStatus::kLockConflict) return st;
+    actor->advance(kLockBackoff);
+    std::this_thread::yield();
+  }
+  return PStatus::kLockConflict;
+}
+
+PStatus Session::unlock(Fh fh, std::uint64_t start, std::uint64_t len) {
+  auto id = submit_simple(Proc::kUnlock, {}, fh, start, len, 0, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  free_slot(id.value());
+  return st;
+}
+
+Result<std::uint64_t> Session::fetch_add(std::string_view key,
+                                         std::uint64_t delta) {
+  auto id = submit_simple(Proc::kFetchAdd, key, Fh{}, 0, 0, delta, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  const std::uint64_t old = slots_[id.value()].resp.aux;
+  free_slot(id.value());
+  if (st != PStatus::kOk) return st;
+  return old;
+}
+
+PStatus Session::set_counter(std::string_view key, std::uint64_t value) {
+  auto id = submit_simple(Proc::kSetCounter, key, Fh{}, 0, 0, value, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  free_slot(id.value());
+  return st;
+}
+
+}  // namespace dafs

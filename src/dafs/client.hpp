@@ -1,0 +1,191 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dafs/proto.hpp"
+#include "fstore/types.hpp"
+#include "sim/expected.hpp"
+#include "via/vi.hpp"
+
+namespace dafs {
+
+template <typename T>
+using Result = sim::Expected<T, PStatus>;
+
+struct ClientConfig {
+  std::string service = "dafs";
+  std::size_t msg_buf_size = kMsgBufSize;
+  /// Max outstanding requests (== request slots == posted receive buffers).
+  /// Must not exceed the server's per-session receive credits.
+  std::size_t credits = 8;
+  /// Transfers at or above this size use direct (RDMA) I/O; below it, data
+  /// rides inline in the message. E3 sweeps this crossover.
+  std::size_t direct_threshold = 4096;
+  /// Cache memory registrations across operations (E10 ablation flag).
+  bool reg_cache = true;
+  std::size_t reg_cache_entries = 64;
+  /// Split direct-I/O segments so no RDMA descriptor exceeds this.
+  std::size_t max_rdma_seg = 2u << 20;
+};
+
+/// An open file handle (DAFS handles carry more state; the inode suffices
+/// for the emulated server).
+struct Fh {
+  fstore::Ino ino = fstore::kInvalidIno;
+  bool valid() const { return ino != fstore::kInvalidIno; }
+};
+
+/// One element of a batch ("list I/O") access.
+struct IoVec {
+  std::uint64_t file_off = 0;
+  std::byte* buf = nullptr;
+  std::uint64_t len = 0;
+};
+
+/// Identifier of an in-flight asynchronous operation.
+using OpId = std::uint32_t;
+
+/// A uDAFS-style client session: a user-space file-access library speaking
+/// the DAFS protocol over one VI. Small transfers ride inline in messages;
+/// large ones are *direct*: the client registers the user buffer (with a
+/// registration cache) and the server RDMAs the data, so the client CPU
+/// never touches payload bytes.
+///
+/// Concurrency contract: a Session is owned by one thread (each MPI rank
+/// opens its own session), matching the DAFS provider model.
+class Session {
+ public:
+  static Result<std::unique_ptr<Session>> connect(via::Nic& nic,
+                                                  ClientConfig cfg = {});
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // ---- namespace -----------------------------------------------------------
+  Result<Fh> open(std::string_view path, std::uint16_t flags = 0);
+  Result<fstore::Attrs> getattr(Fh fh);
+  PStatus set_size(Fh fh, std::uint64_t size);
+  PStatus remove(std::string_view path);
+  PStatus mkdir(std::string_view path);
+  PStatus rmdir(std::string_view path);
+  PStatus rename(std::string_view from, std::string_view to);
+  Result<std::vector<fstore::DirEntry>> readdir(std::string_view path);
+  PStatus sync(Fh fh);
+
+  // ---- data -----------------------------------------------------------------
+  Result<std::uint64_t> pread(Fh fh, std::uint64_t off,
+                              std::span<std::byte> out);
+  Result<std::uint64_t> pwrite(Fh fh, std::uint64_t off,
+                               std::span<const std::byte> in);
+  /// Scatter/gather list I/O: each IoVec names its own file offset. Uses one
+  /// direct request when possible, minimizing round trips.
+  Result<std::uint64_t> read_batch(Fh fh, std::span<const IoVec> iovs);
+  Result<std::uint64_t> write_batch(Fh fh, std::span<const IoVec> iovs);
+
+  // ---- asynchronous I/O ------------------------------------------------------
+  Result<OpId> submit_pread(Fh fh, std::uint64_t off, std::span<std::byte> out);
+  Result<OpId> submit_pwrite(Fh fh, std::uint64_t off,
+                             std::span<const std::byte> in);
+  /// Block until `op` completes; optionally return bytes transferred.
+  PStatus wait(OpId op, std::uint64_t* bytes = nullptr);
+  /// Non-blocking completion check; frees the op when it returns done=true.
+  Result<bool> test(OpId op, std::uint64_t* bytes = nullptr);
+  PStatus wait_all(std::span<const OpId> ops);
+  /// Completion-group wait: block until any of `ops` completes; returns its
+  /// index within `ops` (and frees that op). kInval on an empty span.
+  Result<std::size_t> wait_any(std::span<const OpId> ops,
+                               std::uint64_t* bytes = nullptr);
+
+  // ---- locks & counters -------------------------------------------------------
+  /// Acquire with bounded retry on conflict.
+  PStatus lock(Fh fh, std::uint64_t start, std::uint64_t len, bool exclusive);
+  PStatus try_lock(Fh fh, std::uint64_t start, std::uint64_t len,
+                   bool exclusive);
+  PStatus unlock(Fh fh, std::uint64_t start, std::uint64_t len);
+  Result<std::uint64_t> fetch_add(std::string_view key, std::uint64_t delta);
+  PStatus set_counter(std::string_view key, std::uint64_t value);
+
+  std::uint64_t session_id() const { return session_id_; }
+  via::Nic& nic() { return nic_; }
+  const ClientConfig& config() const { return cfg_; }
+  /// Registration-cache counters (hits/misses/evictions).
+  std::uint64_t reg_cache_hits() const { return reg_hits_; }
+  std::uint64_t reg_cache_misses() const { return reg_misses_; }
+
+ private:
+  struct Slot {
+    bool in_use = false;
+    bool done = false;
+    MsgHeader resp;
+    std::vector<std::byte> payload;   // small response payloads (attrs, dirents)
+    std::byte* user_buf = nullptr;    // inline-read destination
+    std::uint64_t user_cap = 0;
+    std::vector<via::MemHandle> temp_handles;  // dereg on completion
+    std::vector<std::byte> send_buf;
+    via::MemHandle send_handle = via::kInvalidMemHandle;
+    via::Descriptor send_desc;
+  };
+
+  struct RecvBuf {
+    std::vector<std::byte> mem;
+    via::MemHandle handle = via::kInvalidMemHandle;
+    via::Descriptor desc;
+  };
+
+  struct RegEntry {
+    std::uintptr_t base = 0;
+    std::size_t len = 0;
+    via::MemHandle handle = via::kInvalidMemHandle;
+    std::uint64_t last_use = 0;
+  };
+
+  Session(via::Nic& nic, ClientConfig cfg);
+  PStatus do_connect();
+
+  /// Allocate a free request slot; kProtoError if the session is dead,
+  /// kInval if the caller exceeded the credit limit.
+  Result<OpId> alloc_slot();
+  void free_slot(OpId id);
+  /// Build+transmit the request in slot `id`. MsgView over the slot's send
+  /// buffer must already be finalized.
+  PStatus transmit(OpId id);
+  /// Pump one response off the VI (blocking). Returns false if the session
+  /// died.
+  bool pump_one();
+  PStatus wait_slot(OpId id);
+
+  /// Get a NIC handle for [buf, buf+len) suitable for server-side RDMA.
+  via::MemHandle reg_for(const std::byte* buf, std::size_t len, OpId slot);
+  void note_use(RegEntry& e);
+
+  Result<OpId> submit_io(Proc proc, Fh fh, std::span<const IoVec> iovs,
+                         bool writing);
+  Result<std::uint64_t> run_sync(OpId id);
+  Result<OpId> submit_simple(Proc proc, std::string_view name, Fh fh,
+                             std::uint64_t offset, std::uint64_t len,
+                             std::uint64_t aux, std::uint16_t flags);
+
+  via::Nic& nic_;
+  ClientConfig cfg_;
+  via::ProtectionTag ptag_;
+  via::Vi vi_;
+  std::uint64_t session_id_ = 0;
+  bool dead_ = false;
+
+  std::vector<Slot> slots_;
+  std::vector<OpId> free_slots_;
+  std::vector<RecvBuf> recv_bufs_;
+
+  std::vector<RegEntry> reg_cache_entries_;
+  std::uint64_t reg_clock_ = 0;
+  std::uint64_t reg_hits_ = 0;
+  std::uint64_t reg_misses_ = 0;
+};
+
+}  // namespace dafs

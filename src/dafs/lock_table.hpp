@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace dafs {
+
+/// Server-side byte-range locks (DAFS lock operations). Shared locks are
+/// compatible with each other; exclusive locks conflict with everything
+/// overlapping. `len == 0` means "to end of file". Conflicting requests are
+/// refused (the client retries), which keeps workers non-blocking.
+class LockTable {
+ public:
+  bool try_acquire(std::uint64_t ino, std::uint64_t start, std::uint64_t len,
+                   std::uint64_t owner, bool exclusive) {
+    std::lock_guard lock(mu_);
+    auto& v = locks_[ino];
+    for (const auto& l : v) {
+      if (!overlap(l.start, l.len, start, len)) continue;
+      if (l.owner == owner) continue;  // owner may stack its own ranges
+      if (l.exclusive || exclusive) return false;
+    }
+    v.push_back(Range{start, len, owner, exclusive});
+    return true;
+  }
+
+  bool release(std::uint64_t ino, std::uint64_t start, std::uint64_t len,
+               std::uint64_t owner) {
+    std::lock_guard lock(mu_);
+    auto it = locks_.find(ino);
+    if (it == locks_.end()) return false;
+    auto& v = it->second;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i].owner == owner && v[i].start == start && v[i].len == len) {
+        v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+        if (v.empty()) locks_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Drop everything a session held (session teardown).
+  void release_owner(std::uint64_t owner) {
+    std::lock_guard lock(mu_);
+    for (auto it = locks_.begin(); it != locks_.end();) {
+      auto& v = it->second;
+      std::erase_if(v, [owner](const Range& r) { return r.owner == owner; });
+      it = v.empty() ? locks_.erase(it) : std::next(it);
+    }
+  }
+
+  std::size_t held(std::uint64_t ino) const {
+    std::lock_guard lock(mu_);
+    auto it = locks_.find(ino);
+    return it == locks_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  struct Range {
+    std::uint64_t start;
+    std::uint64_t len;  // 0 = to EOF
+    std::uint64_t owner;
+    bool exclusive;
+  };
+
+  static bool overlap(std::uint64_t s1, std::uint64_t l1, std::uint64_t s2,
+                      std::uint64_t l2) {
+    const std::uint64_t e1 = l1 == 0 ? UINT64_MAX : s1 + l1;
+    const std::uint64_t e2 = l2 == 0 ? UINT64_MAX : s2 + l2;
+    return s1 < e2 && s2 < e1;
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::vector<Range>> locks_;
+};
+
+}  // namespace dafs

@@ -1,0 +1,209 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string_view>
+
+#include "fstore/types.hpp"
+
+/// \file proto.hpp
+/// The DAFS wire protocol, as exchanged over a session VI. Modelled on the
+/// DAFS 1.0 protocol (itself derived from NFSv4): session-oriented, with
+/// *inline* operations carrying data in the message and *direct* operations
+/// where the server moves file data with RDMA against client-registered
+/// buffers. Extensions beyond the spec are marked [ext] and documented in
+/// DESIGN.md (named atomic counters backing MPI shared file pointers).
+namespace dafs {
+
+/// Protocol procedures.
+enum class Proc : std::uint8_t {
+  kConnect = 1,
+  kDisconnect,
+  kOpen,         // path [+ create/excl/trunc flags] -> ino + attrs
+  kGetattr,
+  kSetSize,
+  kRemove,       // path
+  kMkdir,        // path
+  kRmdir,        // path
+  kRename,       // payload: old-path \0 new-path
+  kReaddir,      // cookie in `offset`; packed entries back
+  kReadInline,   // data returned in the response message
+  kWriteInline,  // data carried in the request message
+  kReadDirect,   // server RDMA-writes into client segments
+  kWriteDirect,  // server RDMA-reads from client segments
+  kSync,
+  kLock,         // byte-range lock; offset/len; aux bit0 = exclusive
+  kUnlock,
+  kFetchAdd,     // [ext] named atomic counter; name payload, delta in aux
+  kSetCounter,   // [ext]
+};
+
+/// Protocol status codes.
+enum class PStatus : std::uint8_t {
+  kOk = 0,
+  kNoEnt,
+  kExists,
+  kIsDir,
+  kNotDir,
+  kNotEmpty,
+  kInval,
+  kStale,
+  kBadSession,
+  kLockConflict,
+  kProtoError,
+};
+
+constexpr PStatus to_pstatus(fstore::Errc e) {
+  switch (e) {
+    case fstore::Errc::kOk: return PStatus::kOk;
+    case fstore::Errc::kNoEnt: return PStatus::kNoEnt;
+    case fstore::Errc::kExists: return PStatus::kExists;
+    case fstore::Errc::kIsDir: return PStatus::kIsDir;
+    case fstore::Errc::kNotDir: return PStatus::kNotDir;
+    case fstore::Errc::kNotEmpty: return PStatus::kNotEmpty;
+    case fstore::Errc::kInval: return PStatus::kInval;
+    case fstore::Errc::kStale: return PStatus::kStale;
+  }
+  return PStatus::kProtoError;
+}
+
+constexpr fstore::Errc to_errc(PStatus s) {
+  switch (s) {
+    case PStatus::kOk: return fstore::Errc::kOk;
+    case PStatus::kNoEnt: return fstore::Errc::kNoEnt;
+    case PStatus::kExists: return fstore::Errc::kExists;
+    case PStatus::kIsDir: return fstore::Errc::kIsDir;
+    case PStatus::kNotDir: return fstore::Errc::kNotDir;
+    case PStatus::kNotEmpty: return fstore::Errc::kNotEmpty;
+    case PStatus::kInval: return fstore::Errc::kInval;
+    case PStatus::kStale: return fstore::Errc::kStale;
+    default: return fstore::Errc::kInval;
+  }
+}
+
+constexpr const char* to_string(PStatus s) {
+  switch (s) {
+    case PStatus::kOk: return "ok";
+    case PStatus::kNoEnt: return "no-entry";
+    case PStatus::kExists: return "exists";
+    case PStatus::kIsDir: return "is-directory";
+    case PStatus::kNotDir: return "not-directory";
+    case PStatus::kNotEmpty: return "not-empty";
+    case PStatus::kInval: return "invalid";
+    case PStatus::kStale: return "stale";
+    case PStatus::kBadSession: return "bad-session";
+    case PStatus::kLockConflict: return "lock-conflict";
+    case PStatus::kProtoError: return "protocol-error";
+  }
+  return "?";
+}
+
+/// Open flags (header.flags).
+inline constexpr std::uint16_t kOpenCreate = 0x1;
+inline constexpr std::uint16_t kOpenExcl = 0x2;
+inline constexpr std::uint16_t kOpenTrunc = 0x4;
+
+/// Lock flags (header.aux bit 0).
+inline constexpr std::uint64_t kLockExclusive = 0x1;
+
+/// Fixed message header. The message body is: `name_len` bytes of name/path
+/// payload, then either `data_len` bytes of inline data or `nseg` packed
+/// DirectSeg records.
+struct MsgHeader {
+  Proc proc = Proc::kConnect;
+  PStatus status = PStatus::kOk;
+  std::uint16_t flags = 0;
+  std::uint32_t request_id = 0;
+  std::uint64_t session_id = 0;
+  std::uint64_t ino = 0;
+  std::uint64_t offset = 0;   // file offset / readdir cookie
+  std::uint64_t len = 0;      // request length / bytes transferred
+  std::uint64_t aux = 0;      // setsize target, lock mode, counter delta, ...
+  std::uint32_t name_len = 0;
+  std::uint32_t data_len = 0;
+  std::uint32_t nseg = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(MsgHeader) == 64, "wire header is one cache line");
+
+/// One client-buffer segment in a direct-I/O request. Each segment carries
+/// its own file offset, so a single request can describe a scatter/gather
+/// ("list I/O") access — which is what the MPI-IO noncontiguous driver
+/// batches into.
+struct DirectSeg {
+  std::uint64_t file_off = 0;
+  std::uint64_t addr = 0;  // client virtual address
+  std::uint64_t mem = 0;   // client memory handle
+  std::uint32_t len = 0;
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(DirectSeg) == 32);
+
+/// Packed readdir entry: header then name bytes.
+struct WireDirent {
+  std::uint64_t ino = 0;
+  std::uint8_t is_dir = 0;
+  std::uint8_t pad[3] = {};
+  std::uint32_t name_len = 0;
+};
+
+/// Helpers to build/parse messages in a flat buffer.
+class MsgView {
+ public:
+  MsgView(std::byte* buf, std::size_t cap) : buf_(buf), cap_(cap) {}
+
+  MsgHeader& header() { return *reinterpret_cast<MsgHeader*>(buf_); }
+  const MsgHeader& header() const {
+    return *reinterpret_cast<const MsgHeader*>(buf_);
+  }
+
+  std::byte* name_payload() { return buf_ + sizeof(MsgHeader); }
+  const std::byte* name_payload() const { return buf_ + sizeof(MsgHeader); }
+  std::byte* data_payload() {
+    return buf_ + sizeof(MsgHeader) + header().name_len;
+  }
+  const std::byte* data_payload() const {
+    return buf_ + sizeof(MsgHeader) + header().name_len;
+  }
+
+  std::string_view name() const {
+    return {reinterpret_cast<const char*>(name_payload()), header().name_len};
+  }
+
+  void set_name(std::string_view s) {
+    header().name_len = static_cast<std::uint32_t>(s.size());
+    std::memcpy(name_payload(), s.data(), s.size());
+  }
+
+  std::span<const DirectSeg> segs() const {
+    return {reinterpret_cast<const DirectSeg*>(data_payload()), header().nseg};
+  }
+  void set_segs(std::span<const DirectSeg> segs) {
+    header().nseg = static_cast<std::uint32_t>(segs.size());
+    header().data_len =
+        static_cast<std::uint32_t>(segs.size() * sizeof(DirectSeg));
+    std::memcpy(data_payload(), segs.data(), segs.size_bytes());
+  }
+
+  std::size_t wire_size() const {
+    return sizeof(MsgHeader) + header().name_len + header().data_len;
+  }
+  std::size_t capacity() const { return cap_; }
+  std::byte* raw() { return buf_; }
+
+  /// Bytes of inline data that fit after a name of `name_len` bytes.
+  std::size_t inline_capacity(std::size_t name_len) const {
+    const std::size_t used = sizeof(MsgHeader) + name_len;
+    return used >= cap_ ? 0 : cap_ - used;
+  }
+
+ private:
+  std::byte* buf_;
+  std::size_t cap_;
+};
+
+/// Default session message-buffer size (limits inline transfer size).
+inline constexpr std::size_t kMsgBufSize = 16 * 1024;
+
+}  // namespace dafs

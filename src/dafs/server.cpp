@@ -1,0 +1,582 @@
+#include "dafs/server.hpp"
+
+#include <pthread.h>
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace dafs {
+
+using sim::Actor;
+using sim::ActorScope;
+using sim::CostKind;
+using via::DataSegment;
+using via::Descriptor;
+using via::DescStatus;
+using via::MemAttrs;
+
+namespace {
+using namespace std::chrono_literals;
+constexpr auto kPollPeriod = 50ms;
+constexpr auto kSendWait = std::chrono::milliseconds(5'000);
+}  // namespace
+
+Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
+    : fabric_(fabric),
+      node_(node),
+      cfg_(std::move(cfg)),
+      nic_(fabric, node, "dafs-server-nic"),
+      ptag_(nic_.create_ptag()) {
+  // The store registers every buffer-cache slab with the NIC as it is
+  // allocated; direct I/O then DMAs straight out of / into the cache.
+  store_ = std::make_unique<fstore::FileStore>(
+      cfg_.store, [this](std::span<std::byte> slab) {
+        const via::MemHandle h =
+            nic_.register_memory(slab.data(), slab.size(), ptag_, MemAttrs{});
+        std::lock_guard lock(slabs_mu_);
+        slabs_.emplace_back(slab.data(),
+                            std::make_pair(slab.size(), h));
+      });
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  accept_actor_ =
+      std::make_unique<Actor>("dafs-accept", &fabric_.node(node_));
+  for (int i = 0; i < cfg_.workers; ++i) {
+    worker_actors_.push_back(std::make_unique<Actor>(
+        "dafs-worker" + std::to_string(i), &fabric_.node(node_)));
+    auto buf = std::make_unique<MsgBuf>();
+    buf->mem.resize(cfg_.msg_buf_size);
+    {
+      ActorScope scope(*worker_actors_.back());
+      buf->handle =
+          nic_.register_memory(buf->mem.data(), buf->mem.size(), ptag_, {});
+    }
+    worker_send_bufs_.push_back(std::move(buf));
+  }
+  accept_thread_ = std::thread([this] {
+    pthread_setname_np(pthread_self(), "dafs-accept");
+    accept_loop();
+  });
+  for (int i = 0; i < cfg_.workers; ++i) {
+    worker_threads_.emplace_back([this, i] {
+      pthread_setname_np(pthread_self(),
+                         ("dafs-w" + std::to_string(i)).c_str());
+      worker_loop(i);
+    });
+  }
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+  worker_threads_.clear();
+  std::lock_guard lock(sessions_mu_);
+  for (auto& s : sessions_) {
+    if (s->vi) s->vi->disconnect();
+  }
+  sessions_.clear();
+  by_vi_.clear();
+}
+
+sim::BusyBreakdown Server::worker_busy() const {
+  sim::BusyBreakdown total;
+  for (const auto& a : worker_actors_) {
+    const auto& b = a->busy();
+    for (std::size_t i = 0; i < b.by_kind.size(); ++i) {
+      total.by_kind[i] += b.by_kind[i];
+    }
+  }
+  return total;
+}
+
+std::size_t Server::session_count() const {
+  std::lock_guard lock(sessions_mu_);
+  return sessions_.size();
+}
+
+via::MemHandle Server::slab_handle(const std::byte* p) const {
+  std::lock_guard lock(slabs_mu_);
+  for (const auto& [base, info] : slabs_) {
+    if (p >= base && p < base + info.first) return info.second;
+  }
+  return via::kInvalidMemHandle;
+}
+
+// ---------------------------------------------------------------------------
+// Accept / worker loops
+// ---------------------------------------------------------------------------
+
+void Server::accept_loop() {
+  ActorScope scope(*accept_actor_);
+  via::Listener listener(nic_, cfg_.service);
+  while (running_.load()) {
+    // Build the session fully armed *before* accepting: receive buffers
+    // posted (legal on an idle VI) and the VI already registered with the
+    // dispatch map, so the client's first request — which can arrive the
+    // instant the handshake completes — always finds its session. The armed
+    // session is reused across accept timeouts and only consumed by a real
+    // connection (or destroyed at shutdown).
+    auto session = std::make_unique<Session>();
+    session->id = next_session_++;
+    session->vi = std::make_unique<via::Vi>(nic_, via::ViAttrs{}, nullptr,
+                                            &recv_cq_);
+    for (std::size_t i = 0; i < cfg_.recv_credits; ++i) {
+      auto buf = std::make_unique<MsgBuf>();
+      buf->mem.resize(cfg_.msg_buf_size);
+      buf->handle =
+          nic_.register_memory(buf->mem.data(), buf->mem.size(), ptag_, {});
+      buf->desc.segs = {DataSegment{
+          buf->mem.data(), buf->handle,
+          static_cast<std::uint32_t>(buf->mem.size())}};
+      session->vi->post_recv(buf->desc);
+      session->recv_bufs.push_back(std::move(buf));
+    }
+    via::Vi* vi = session->vi.get();
+    {
+      std::lock_guard lock(sessions_mu_);
+      by_vi_.emplace(vi, session.get());
+      sessions_.push_back(std::move(session));
+    }
+    bool accepted = false;
+    while (running_.load()) {
+      if (listener.accept(*vi, kPollPeriod) == via::Status::kSuccess) {
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) break;  // shutdown; the armed session dies in stop()
+    fabric_.stats().add("dafs.sessions");
+  }
+}
+
+void Server::worker_loop(int idx) {
+  ActorScope scope(*worker_actors_[idx]);
+  while (running_.load()) {
+    via::Completion c;
+    if (recv_cq_.wait(c, kPollPeriod) != via::Status::kSuccess) continue;
+    if (c.desc->status != DescStatus::kSuccess) continue;  // flushed recv
+    Session* session = nullptr;
+    {
+      std::lock_guard lock(sessions_mu_);
+      auto it = by_vi_.find(c.vi);
+      if (it != by_vi_.end()) session = it->second;
+    }
+    if (session == nullptr) continue;
+    // Recover which MsgBuf this descriptor belongs to.
+    MsgBuf* req = nullptr;
+    for (auto& b : session->recv_bufs) {
+      if (&b->desc == c.desc) {
+        req = b.get();
+        break;
+      }
+    }
+    assert(req != nullptr);
+    handle_request(*session, *req, *worker_send_bufs_[idx]);
+    // Return the buffer to the session's receive pool (credit restored).
+    req->desc.segs = {DataSegment{
+        req->mem.data(), req->handle,
+        static_cast<std::uint32_t>(req->mem.size())}};
+    session->vi->post_recv(req->desc);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch
+// ---------------------------------------------------------------------------
+
+via::DescStatus Server::post_and_reap(Session& s, Descriptor& d) {
+  if (s.vi->post_send(d) != via::Status::kSuccess) {
+    return DescStatus::kFlushed;
+  }
+  Descriptor* done = nullptr;
+  if (s.vi->send_wait(done, kSendWait) != via::Status::kSuccess) {
+    return DescStatus::kFlushed;
+  }
+  assert(done == &d);
+  return done->status;
+}
+
+void Server::send_response(Session& s, MsgBuf& out) {
+  MsgView view(out.mem.data(), out.mem.size());
+  out.desc = Descriptor{};
+  out.desc.op = via::Opcode::kSend;
+  out.desc.segs = {DataSegment{out.mem.data(), out.handle,
+                               static_cast<std::uint32_t>(view.wire_size())}};
+  std::lock_guard lock(s.send_mu);
+  post_and_reap(s, out.desc);
+}
+
+void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
+  Actor* actor = Actor::current();
+  const sim::CostModel& cm = fabric_.cost();
+  actor->charge(CostKind::kDispatch, cm.request_dispatch);
+
+  MsgView req(req_buf.mem.data(), req_buf.mem.size());
+  MsgView resp(out.mem.data(), out.mem.size());
+  resp.header() = MsgHeader{};
+  resp.header().proc = req.header().proc;
+  resp.header().request_id = req.header().request_id;
+  resp.header().session_id = s.id;
+  resp.header().status = PStatus::kOk;
+
+  if (req.header().proc != Proc::kConnect &&
+      req.header().session_id != s.id) {
+    resp.header().status = PStatus::kBadSession;
+    send_response(s, out);
+    return;
+  }
+
+  switch (req.header().proc) {
+    case Proc::kConnect:
+      resp.header().aux = s.id;
+      break;
+    case Proc::kDisconnect:
+      locks_.release_owner(s.id);
+      s.closing = true;
+      break;
+    case Proc::kOpen:
+      do_open(req, resp);
+      break;
+    case Proc::kGetattr:
+    case Proc::kSetSize:
+    case Proc::kRemove:
+    case Proc::kMkdir:
+    case Proc::kRmdir:
+    case Proc::kRename:
+    case Proc::kSync:
+    case Proc::kFetchAdd:
+    case Proc::kSetCounter:
+      do_namespace(req, resp);
+      break;
+    case Proc::kReaddir:
+      do_readdir(req, resp);
+      break;
+    case Proc::kReadInline:
+      do_read_inline(req, resp);
+      break;
+    case Proc::kWriteInline:
+      do_write_inline(req, resp);
+      break;
+    case Proc::kReadDirect:
+      do_read_direct(s, req, resp);
+      break;
+    case Proc::kWriteDirect:
+      do_write_direct(s, req, resp);
+      break;
+    case Proc::kLock:
+    case Proc::kUnlock:
+      do_lock(s, req, resp);
+      break;
+    default:
+      resp.header().status = PStatus::kProtoError;  // unknown procedure
+      break;
+  }
+  fabric_.stats().add("dafs.requests");
+  send_response(s, out);
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Split "/a/b/c" into the directory path "/a/b" and the leaf "c".
+std::pair<std::string_view, std::string_view> split_path(
+    std::string_view path) {
+  while (!path.empty() && path.back() == '/') path.remove_suffix(1);
+  const auto pos = path.rfind('/');
+  if (pos == std::string_view::npos) return {"", path};
+  return {path.substr(0, pos), path.substr(pos + 1)};
+}
+
+void put_attrs(MsgView& resp, const fstore::Attrs& attrs) {
+  resp.header().data_len = sizeof(fstore::Attrs);
+  std::memcpy(resp.data_payload(), &attrs, sizeof(attrs));
+}
+
+}  // namespace
+
+void Server::do_open(MsgView& req, MsgView& resp) {
+  Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  const auto [dir_path, leaf] = split_path(req.name());
+  fstore::Ino ino = fstore::kInvalidIno;
+  if (leaf.empty()) {
+    ino = fstore::kRootIno;  // opening the root directory
+  } else {
+    auto dir = store_->resolve(dir_path);
+    if (!dir.ok()) {
+      resp.header().status = to_pstatus(dir.error());
+      return;
+    }
+    if (req.header().flags & kOpenCreate) {
+      auto r = store_->create(dir.value(), leaf,
+                              (req.header().flags & kOpenExcl) != 0);
+      if (!r.ok()) {
+        resp.header().status = to_pstatus(r.error());
+        return;
+      }
+      ino = r.value();
+    } else {
+      auto r = store_->lookup(dir.value(), leaf);
+      if (!r.ok()) {
+        resp.header().status = to_pstatus(r.error());
+        return;
+      }
+      ino = r.value();
+    }
+  }
+  if (req.header().flags & kOpenTrunc) {
+    if (const fstore::Errc e = store_->set_size(ino, 0);
+        e != fstore::Errc::kOk) {
+      resp.header().status = to_pstatus(e);
+      return;
+    }
+  }
+  auto attrs = store_->getattr(ino);
+  if (!attrs.ok()) {
+    resp.header().status = to_pstatus(attrs.error());
+    return;
+  }
+  resp.header().ino = ino;
+  put_attrs(resp, attrs.value());
+}
+
+void Server::do_namespace(MsgView& req, MsgView& resp) {
+  Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  switch (req.header().proc) {
+    case Proc::kGetattr: {
+      auto attrs = store_->getattr(req.header().ino);
+      if (!attrs.ok()) {
+        resp.header().status = to_pstatus(attrs.error());
+        return;
+      }
+      resp.header().ino = req.header().ino;
+      put_attrs(resp, attrs.value());
+      return;
+    }
+    case Proc::kSetSize:
+      resp.header().status =
+          to_pstatus(store_->set_size(req.header().ino, req.header().aux));
+      return;
+    case Proc::kRemove: {
+      const auto [dir_path, leaf] = split_path(req.name());
+      auto dir = store_->resolve(dir_path);
+      if (!dir.ok()) {
+        resp.header().status = to_pstatus(dir.error());
+        return;
+      }
+      resp.header().status = to_pstatus(store_->remove(dir.value(), leaf));
+      return;
+    }
+    case Proc::kMkdir: {
+      const auto [dir_path, leaf] = split_path(req.name());
+      auto dir = store_->resolve(dir_path);
+      if (!dir.ok()) {
+        resp.header().status = to_pstatus(dir.error());
+        return;
+      }
+      auto r = store_->mkdir(dir.value(), leaf);
+      if (!r.ok()) {
+        resp.header().status = to_pstatus(r.error());
+        return;
+      }
+      resp.header().ino = r.value();
+      return;
+    }
+    case Proc::kRmdir: {
+      const auto [dir_path, leaf] = split_path(req.name());
+      auto dir = store_->resolve(dir_path);
+      if (!dir.ok()) {
+        resp.header().status = to_pstatus(dir.error());
+        return;
+      }
+      resp.header().status = to_pstatus(store_->rmdir(dir.value(), leaf));
+      return;
+    }
+    case Proc::kRename: {
+      const std::string_view both = req.name();
+      const auto nul = both.find('\0');
+      if (nul == std::string_view::npos) {
+        resp.header().status = PStatus::kInval;
+        return;
+      }
+      const auto [fd_path, f_leaf] = split_path(both.substr(0, nul));
+      const auto [td_path, t_leaf] = split_path(both.substr(nul + 1));
+      auto fd = store_->resolve(fd_path);
+      auto td = store_->resolve(td_path);
+      if (!fd.ok() || !td.ok()) {
+        resp.header().status =
+            to_pstatus(!fd.ok() ? fd.error() : td.error());
+        return;
+      }
+      resp.header().status = to_pstatus(
+          store_->rename(fd.value(), f_leaf, td.value(), t_leaf));
+      return;
+    }
+    case Proc::kSync:
+      resp.header().status = to_pstatus(store_->sync(req.header().ino));
+      return;
+    case Proc::kFetchAdd:
+      resp.header().aux = store_->counter_fetch_add(std::string(req.name()),
+                                                    req.header().aux);
+      return;
+    case Proc::kSetCounter:
+      store_->counter_set(std::string(req.name()), req.header().aux);
+      return;
+    default:
+      resp.header().status = PStatus::kProtoError;
+      return;
+  }
+}
+
+void Server::do_readdir(MsgView& req, MsgView& resp) {
+  Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  auto dir = store_->resolve(req.name());
+  if (!dir.ok()) {
+    resp.header().status = to_pstatus(dir.error());
+    return;
+  }
+  auto entries = store_->readdir(dir.value());
+  if (!entries.ok()) {
+    resp.header().status = to_pstatus(entries.error());
+    return;
+  }
+  const std::uint64_t cookie = req.header().offset;
+  std::byte* out = resp.data_payload();
+  const std::byte* end = resp.raw() + resp.capacity();
+  std::uint64_t i = cookie;
+  std::uint32_t packed = 0;
+  for (; i < entries.value().size(); ++i) {
+    const auto& e = entries.value()[i];
+    const std::size_t need = sizeof(WireDirent) + e.name.size();
+    if (out + need > end) break;
+    WireDirent wd;
+    wd.ino = e.ino;
+    wd.is_dir = e.is_dir ? 1 : 0;
+    wd.name_len = static_cast<std::uint32_t>(e.name.size());
+    std::memcpy(out, &wd, sizeof(wd));
+    std::memcpy(out + sizeof(wd), e.name.data(), e.name.size());
+    out += need;
+    ++packed;
+  }
+  resp.header().len = packed;
+  resp.header().aux = i;  // next cookie
+  resp.header().flags = (i >= entries.value().size()) ? 1 : 0;
+  resp.header().data_len =
+      static_cast<std::uint32_t>(out - resp.data_payload());
+}
+
+void Server::do_read_inline(MsgView& req, MsgView& resp) {
+  Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  const std::size_t cap = resp.inline_capacity(0);
+  const std::uint64_t want = std::min<std::uint64_t>(req.header().len, cap);
+  auto r = store_->pread(
+      req.header().ino, req.header().offset,
+      std::span<std::byte>(resp.data_payload(), want));
+  if (!r.ok()) {
+    resp.header().status = to_pstatus(r.error());
+    return;
+  }
+  resp.header().len = r.value();
+  resp.header().data_len = static_cast<std::uint32_t>(r.value());
+  fabric_.stats().add("dafs.inline_read_bytes", r.value());
+}
+
+void Server::do_write_inline(MsgView& req, MsgView& resp) {
+  Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  auto r = store_->pwrite(
+      req.header().ino, req.header().offset,
+      std::span<const std::byte>(req.data_payload(), req.header().data_len));
+  if (!r.ok()) {
+    resp.header().status = to_pstatus(r.error());
+    return;
+  }
+  resp.header().len = r.value();
+  fabric_.stats().add("dafs.inline_write_bytes", r.value());
+}
+
+void Server::do_read_direct(Session& s, MsgView& req, MsgView& resp) {
+  Actor* actor = Actor::current();
+  actor->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  std::uint64_t total = 0;
+  std::lock_guard lock(s.send_mu);
+  for (const DirectSeg& seg : req.segs()) {
+    auto extents =
+        store_->extents_for_read(req.header().ino, seg.file_off, seg.len);
+    if (!extents.ok()) {
+      resp.header().status = to_pstatus(extents.error());
+      return;
+    }
+    std::uint64_t actual = 0;
+    Descriptor d;
+    d.op = via::Opcode::kRdmaWrite;
+    for (const auto& span : extents.value()) {
+      d.segs.push_back(DataSegment{span.data(), slab_handle(span.data()),
+                                   static_cast<std::uint32_t>(span.size())});
+      actual += span.size();
+    }
+    if (actual == 0) continue;  // read past EOF: nothing to move
+    d.remote = {seg.addr, seg.mem};
+    if (post_and_reap(s, d) != DescStatus::kSuccess) {
+      resp.header().status = PStatus::kProtoError;
+      return;
+    }
+    total += actual;
+  }
+  resp.header().len = total;
+  fabric_.stats().add("dafs.direct_read_bytes", total);
+}
+
+void Server::do_write_direct(Session& s, MsgView& req, MsgView& resp) {
+  Actor* actor = Actor::current();
+  actor->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  std::uint64_t total = 0;
+  std::lock_guard lock(s.send_mu);
+  for (const DirectSeg& seg : req.segs()) {
+    auto extents =
+        store_->ensure_extents(req.header().ino, seg.file_off, seg.len);
+    if (!extents.ok()) {
+      resp.header().status = to_pstatus(extents.error());
+      return;
+    }
+    Descriptor d;
+    d.op = via::Opcode::kRdmaRead;
+    for (const auto& span : extents.value()) {
+      d.segs.push_back(DataSegment{span.data(), slab_handle(span.data()),
+                                   static_cast<std::uint32_t>(span.size())});
+    }
+    d.remote = {seg.addr, seg.mem};
+    if (post_and_reap(s, d) != DescStatus::kSuccess) {
+      resp.header().status = PStatus::kProtoError;
+      return;
+    }
+    store_->commit_write(req.header().ino, seg.file_off, seg.len);
+    total += seg.len;
+  }
+  resp.header().len = total;
+  fabric_.stats().add("dafs.direct_write_bytes", total);
+}
+
+void Server::do_lock(Session& s, MsgView& req, MsgView& resp) {
+  Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  if (req.header().proc == Proc::kLock) {
+    const bool ok = locks_.try_acquire(
+        req.header().ino, req.header().offset, req.header().len, s.id,
+        (req.header().aux & kLockExclusive) != 0);
+    resp.header().status = ok ? PStatus::kOk : PStatus::kLockConflict;
+  } else {
+    locks_.release(req.header().ino, req.header().offset, req.header().len,
+                   s.id);
+  }
+}
+
+}  // namespace dafs

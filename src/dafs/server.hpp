@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dafs/lock_table.hpp"
+#include "dafs/proto.hpp"
+#include "fstore/file_store.hpp"
+#include "sim/actor.hpp"
+#include "sim/fabric.hpp"
+#include "via/vi.hpp"
+
+namespace dafs {
+
+struct ServerConfig {
+  std::string service = "dafs";
+  std::size_t msg_buf_size = kMsgBufSize;
+  /// Receive descriptors pre-posted per session; clients must keep no more
+  /// than this many requests outstanding (credit contract).
+  std::size_t recv_credits = 16;
+  /// Worker threads servicing the shared receive CQ.
+  int workers = 1;
+  fstore::Options store;
+};
+
+/// The DAFS file server ("filer"): accepts sessions over VIA, serves the
+/// protocol out of an in-memory FileStore whose cache slabs are registered
+/// with the NIC so direct I/O RDMAs straight between the buffer cache and
+/// client memory, with zero server-side data copies.
+class Server {
+ public:
+  Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void start();
+  void stop();
+
+  fstore::FileStore& store() { return *store_; }
+  via::Nic& nic() { return nic_; }
+  const ServerConfig& config() const { return cfg_; }
+  sim::Fabric& fabric() { return fabric_; }
+
+  /// Aggregate CPU breakdown across all worker actors (E5/E8 tables).
+  sim::BusyBreakdown worker_busy() const;
+  std::size_t session_count() const;
+
+ private:
+  struct MsgBuf {
+    std::vector<std::byte> mem;
+    via::MemHandle handle = via::kInvalidMemHandle;
+    via::Descriptor desc;
+  };
+
+  struct Session {
+    std::uint64_t id = 0;
+    std::unique_ptr<via::Vi> vi;
+    std::vector<std::unique_ptr<MsgBuf>> recv_bufs;
+    std::mutex send_mu;  // serializes response transmission per session
+    bool closing = false;
+  };
+
+  void accept_loop();
+  void worker_loop(int idx);
+  void handle_request(Session& s, MsgBuf& req, MsgBuf& out);
+  void send_response(Session& s, MsgBuf& out);
+  /// Post a send-side descriptor on the session VI and reap its completion.
+  /// Caller must hold s.send_mu.
+  via::DescStatus post_and_reap(Session& s, via::Descriptor& d);
+
+  // Request handlers; `req` is the parsed request, `resp` the response being
+  // built (header pre-initialized from the request).
+  void do_open(MsgView& req, MsgView& resp);
+  void do_namespace(MsgView& req, MsgView& resp);
+  void do_read_inline(MsgView& req, MsgView& resp);
+  void do_write_inline(MsgView& req, MsgView& resp);
+  void do_read_direct(Session& s, MsgView& req, MsgView& resp);
+  void do_write_direct(Session& s, MsgView& req, MsgView& resp);
+  void do_readdir(MsgView& req, MsgView& resp);
+  void do_lock(Session& s, MsgView& req, MsgView& resp);
+
+  /// Memory handle covering a buffer-cache span (slab registration lookup).
+  via::MemHandle slab_handle(const std::byte* p) const;
+
+  sim::Fabric& fabric_;
+  sim::NodeId node_;
+  ServerConfig cfg_;
+  via::Nic nic_;
+  via::ProtectionTag ptag_;
+  std::unique_ptr<fstore::FileStore> store_;
+  LockTable locks_;
+
+  via::CompletionQueue recv_cq_;
+
+  mutable std::mutex slabs_mu_;
+  std::vector<std::pair<const std::byte*, std::pair<std::size_t, via::MemHandle>>>
+      slabs_;
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
+  std::unordered_map<via::Vi*, Session*> by_vi_;
+  std::uint64_t next_session_ = 1;
+
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::vector<std::unique_ptr<sim::Actor>> worker_actors_;
+  std::unique_ptr<sim::Actor> accept_actor_;
+  std::vector<std::unique_ptr<MsgBuf>> worker_send_bufs_;
+};
+
+}  // namespace dafs

@@ -1,0 +1,428 @@
+#include "fstore/file_store.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "sim/actor.hpp"
+#include "sim/cost_model.hpp"
+
+namespace fstore {
+
+using sim::Actor;
+using sim::CostKind;
+
+FileStore::FileStore(Options opt,
+                     std::function<void(std::span<std::byte>)> on_new_slab)
+    : opt_(opt), on_new_slab_(std::move(on_new_slab)) {
+  Inode root;
+  root.attrs.ino = kRootIno;
+  root.attrs.is_dir = true;
+  root.attrs.nlink = 2;
+  inodes_.emplace(kRootIno, std::move(root));
+}
+
+std::uint64_t FileStore::now() const {
+  Actor* actor = Actor::current();
+  return actor ? actor->now() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Internals
+// ---------------------------------------------------------------------------
+
+FileStore::Inode* FileStore::find_locked(Ino ino) {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+const FileStore::Inode* FileStore::find_locked(Ino ino) const {
+  auto it = inodes_.find(ino);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+std::byte* FileStore::chunk_for_locked(Inode& node, std::uint64_t chunk_idx,
+                                       bool allocate) {
+  auto it = node.chunks.find(chunk_idx);
+  if (it != node.chunks.end()) return it->second;
+  if (!allocate) return nullptr;
+  if (free_chunks_.empty()) {
+    const std::size_t slab_bytes = opt_.chunk_size * opt_.chunks_per_slab;
+    slabs_.push_back(std::make_unique<std::byte[]>(slab_bytes));
+    std::byte* base = slabs_.back().get();
+    std::memset(base, 0, slab_bytes);
+    if (on_new_slab_) on_new_slab_(std::span<std::byte>(base, slab_bytes));
+    for (std::size_t i = 0; i < opt_.chunks_per_slab; ++i) {
+      free_chunks_.push_back(base + i * opt_.chunk_size);
+    }
+    stats_.add("fstore.slabs");
+  }
+  std::byte* chunk = free_chunks_.back();
+  free_chunks_.pop_back();
+  std::memset(chunk, 0, opt_.chunk_size);
+  node.chunks.emplace(chunk_idx, chunk);
+  stats_.add("fstore.chunks_allocated");
+  return chunk;
+}
+
+void FileStore::free_file_data_locked(Inode& node) {
+  for (auto& [idx, ptr] : node.chunks) free_chunks_.push_back(ptr);
+  node.chunks.clear();
+}
+
+void FileStore::touch_cache_locked(Ino ino, std::uint64_t chunk_idx) {
+  if (!opt_.disk_enabled) return;
+  const CacheKey key{ino, chunk_idx};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    stats_.add("fstore.cache_hits");
+    return;
+  }
+  // Miss: charge disk service for one chunk, evict if over capacity.
+  stats_.add("fstore.cache_misses");
+  if (Actor* actor = Actor::current()) {
+    const auto xfer = static_cast<sim::Time>(
+        static_cast<double>(opt_.chunk_size) * 1'000.0 / opt_.disk_mbps);
+    actor->advance(opt_.disk_latency_ns + xfer);  // I/O wait, not CPU
+  }
+  lru_.push_front(key);
+  cache_.emplace(key, lru_.begin());
+  while (cache_.size() > opt_.cache_chunks) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+    stats_.add("fstore.cache_evictions");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Namespace
+// ---------------------------------------------------------------------------
+
+Result<Ino> FileStore::lookup(Ino dir, std::string_view name) const {
+  std::lock_guard lock(mu_);
+  const Inode* d = find_locked(dir);
+  if (d == nullptr) return Errc::kStale;
+  if (!d->attrs.is_dir) return Errc::kNotDir;
+  auto it = d->entries.find(std::string(name));
+  if (it == d->entries.end()) return Errc::kNoEnt;
+  return it->second;
+}
+
+Result<Ino> FileStore::resolve(std::string_view path) const {
+  Ino cur = kRootIno;
+  std::size_t pos = 0;
+  while (pos < path.size()) {
+    while (pos < path.size() && path[pos] == '/') ++pos;
+    if (pos >= path.size()) break;
+    std::size_t end = path.find('/', pos);
+    if (end == std::string_view::npos) end = path.size();
+    auto r = lookup(cur, path.substr(pos, end - pos));
+    if (!r.ok()) return r.error();
+    cur = r.value();
+    pos = end;
+  }
+  return cur;
+}
+
+Result<Ino> FileStore::insert_child_locked(Ino dir, std::string_view name,
+                                           bool exclusive, bool is_dir) {
+  Inode* d = find_locked(dir);
+  if (d == nullptr) return Errc::kStale;
+  if (!d->attrs.is_dir) return Errc::kNotDir;
+  if (name.empty() || name.find('/') != std::string_view::npos) {
+    return Errc::kInval;
+  }
+  auto it = d->entries.find(std::string(name));
+  if (it != d->entries.end()) {
+    if (exclusive) return Errc::kExists;
+    const Inode* existing = find_locked(it->second);
+    if (existing != nullptr && existing->attrs.is_dir != is_dir) {
+      return is_dir ? Errc::kNotDir : Errc::kIsDir;
+    }
+    return it->second;
+  }
+  const Ino ino = next_ino_++;
+  Inode node;
+  node.attrs.ino = ino;
+  node.attrs.is_dir = is_dir;
+  node.attrs.nlink = is_dir ? 2 : 1;
+  node.attrs.mtime = now();
+  inodes_.emplace(ino, std::move(node));
+  d->entries.emplace(std::string(name), ino);
+  d->attrs.mtime = now();
+  return ino;
+}
+
+Result<Ino> FileStore::create(Ino dir, std::string_view name, bool exclusive) {
+  std::lock_guard lock(mu_);
+  auto r = insert_child_locked(dir, name, exclusive, /*is_dir=*/false);
+  if (r.ok()) stats_.add("fstore.creates");
+  return r;
+}
+
+Result<Ino> FileStore::mkdir(Ino dir, std::string_view name) {
+  std::lock_guard lock(mu_);
+  return insert_child_locked(dir, name, /*exclusive=*/true, /*is_dir=*/true);
+}
+
+Errc FileStore::remove(Ino dir, std::string_view name) {
+  std::lock_guard lock(mu_);
+  Inode* d = find_locked(dir);
+  if (d == nullptr) return Errc::kStale;
+  if (!d->attrs.is_dir) return Errc::kNotDir;
+  auto it = d->entries.find(std::string(name));
+  if (it == d->entries.end()) return Errc::kNoEnt;
+  Inode* child = find_locked(it->second);
+  if (child != nullptr) {
+    if (child->attrs.is_dir) return Errc::kIsDir;
+    free_file_data_locked(*child);
+    inodes_.erase(it->second);
+  }
+  d->entries.erase(it);
+  d->attrs.mtime = now();
+  stats_.add("fstore.removes");
+  return Errc::kOk;
+}
+
+Errc FileStore::rmdir(Ino dir, std::string_view name) {
+  std::lock_guard lock(mu_);
+  Inode* d = find_locked(dir);
+  if (d == nullptr) return Errc::kStale;
+  if (!d->attrs.is_dir) return Errc::kNotDir;
+  auto it = d->entries.find(std::string(name));
+  if (it == d->entries.end()) return Errc::kNoEnt;
+  Inode* child = find_locked(it->second);
+  if (child == nullptr) return Errc::kStale;
+  if (!child->attrs.is_dir) return Errc::kNotDir;
+  if (!child->entries.empty()) return Errc::kNotEmpty;
+  inodes_.erase(it->second);
+  d->entries.erase(it);
+  d->attrs.mtime = now();
+  return Errc::kOk;
+}
+
+Errc FileStore::rename(Ino from_dir, std::string_view from, Ino to_dir,
+                       std::string_view to) {
+  std::lock_guard lock(mu_);
+  Inode* fd = find_locked(from_dir);
+  Inode* td = find_locked(to_dir);
+  if (fd == nullptr || td == nullptr) return Errc::kStale;
+  if (!fd->attrs.is_dir || !td->attrs.is_dir) return Errc::kNotDir;
+  auto it = fd->entries.find(std::string(from));
+  if (it == fd->entries.end()) return Errc::kNoEnt;
+  if (to.empty() || to.find('/') != std::string_view::npos) return Errc::kInval;
+  const Ino moved = it->second;
+  // Replace any existing target (file only).
+  auto tgt = td->entries.find(std::string(to));
+  if (tgt != td->entries.end()) {
+    Inode* existing = find_locked(tgt->second);
+    if (existing != nullptr && existing->attrs.is_dir) return Errc::kIsDir;
+    if (existing != nullptr) {
+      free_file_data_locked(*existing);
+      inodes_.erase(tgt->second);
+    }
+    td->entries.erase(tgt);
+  }
+  fd->entries.erase(it);
+  td->entries.emplace(std::string(to), moved);
+  fd->attrs.mtime = now();
+  td->attrs.mtime = now();
+  return Errc::kOk;
+}
+
+Result<std::vector<DirEntry>> FileStore::readdir(Ino dir) const {
+  std::lock_guard lock(mu_);
+  const Inode* d = find_locked(dir);
+  if (d == nullptr) return Errc::kStale;
+  if (!d->attrs.is_dir) return Errc::kNotDir;
+  std::vector<DirEntry> out;
+  out.reserve(d->entries.size());
+  for (const auto& [name, ino] : d->entries) {
+    const Inode* child = find_locked(ino);
+    out.push_back(DirEntry{name, ino, child != nullptr && child->attrs.is_dir});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Attributes
+// ---------------------------------------------------------------------------
+
+Result<Attrs> FileStore::getattr(Ino ino) const {
+  std::lock_guard lock(mu_);
+  const Inode* n = find_locked(ino);
+  if (n == nullptr) return Errc::kStale;
+  return n->attrs;
+}
+
+Errc FileStore::set_size(Ino ino, std::uint64_t size) {
+  std::lock_guard lock(mu_);
+  Inode* n = find_locked(ino);
+  if (n == nullptr) return Errc::kStale;
+  if (n->attrs.is_dir) return Errc::kIsDir;
+  if (size < n->attrs.size) {
+    // Drop whole chunks past the new EOF and zero the tail of the last one.
+    const std::uint64_t first_dead = (size + opt_.chunk_size - 1) / opt_.chunk_size;
+    for (auto it = n->chunks.lower_bound(first_dead); it != n->chunks.end();) {
+      free_chunks_.push_back(it->second);
+      it = n->chunks.erase(it);
+    }
+    if (size % opt_.chunk_size != 0) {
+      auto it = n->chunks.find(size / opt_.chunk_size);
+      if (it != n->chunks.end()) {
+        std::memset(it->second + size % opt_.chunk_size, 0,
+                    opt_.chunk_size - size % opt_.chunk_size);
+      }
+    }
+  }
+  n->attrs.size = size;
+  n->attrs.mtime = now();
+  return Errc::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Data
+// ---------------------------------------------------------------------------
+
+Result<std::uint64_t> FileStore::pread(Ino ino, std::uint64_t off,
+                                       std::span<std::byte> out) {
+  std::lock_guard lock(mu_);
+  Inode* n = find_locked(ino);
+  if (n == nullptr) return Errc::kStale;
+  if (n->attrs.is_dir) return Errc::kIsDir;
+  if (off >= n->attrs.size) return std::uint64_t{0};
+  const std::uint64_t len =
+      std::min<std::uint64_t>(out.size(), n->attrs.size - off);
+
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::uint64_t pos = off + done;
+    const std::uint64_t ci = pos / opt_.chunk_size;
+    const std::uint64_t co = pos % opt_.chunk_size;
+    const std::uint64_t n_here = std::min(len - done, opt_.chunk_size - co);
+    touch_cache_locked(ino, ci);
+    const std::byte* chunk =
+        chunk_for_locked(*n, ci, /*allocate=*/false);
+    if (chunk == nullptr) {
+      std::memset(out.data() + done, 0, n_here);  // hole reads as zeros
+    } else {
+      std::memcpy(out.data() + done, chunk + co, n_here);
+    }
+    done += n_here;
+  }
+  if (Actor* actor = Actor::current()) {
+    actor->charge(CostKind::kCopy,
+                  static_cast<sim::Time>(static_cast<double>(len) * 1'000.0 /
+                                         opt_.memcpy_mbps));
+  }
+  stats_.add("fstore.pread_bytes", len);
+  return len;
+}
+
+Result<std::uint64_t> FileStore::pwrite(Ino ino, std::uint64_t off,
+                                        std::span<const std::byte> in) {
+  std::lock_guard lock(mu_);
+  Inode* n = find_locked(ino);
+  if (n == nullptr) return Errc::kStale;
+  if (n->attrs.is_dir) return Errc::kIsDir;
+
+  std::uint64_t done = 0;
+  while (done < in.size()) {
+    const std::uint64_t pos = off + done;
+    const std::uint64_t ci = pos / opt_.chunk_size;
+    const std::uint64_t co = pos % opt_.chunk_size;
+    const std::uint64_t n_here =
+        std::min<std::uint64_t>(in.size() - done, opt_.chunk_size - co);
+    touch_cache_locked(ino, ci);
+    std::byte* chunk = chunk_for_locked(*n, ci, /*allocate=*/true);
+    std::memcpy(chunk + co, in.data() + done, n_here);
+    done += n_here;
+  }
+  n->attrs.size = std::max(n->attrs.size, off + in.size());
+  n->attrs.mtime = now();
+  if (Actor* actor = Actor::current()) {
+    actor->charge(CostKind::kCopy,
+                  static_cast<sim::Time>(static_cast<double>(in.size()) *
+                                         1'000.0 / opt_.memcpy_mbps));
+  }
+  stats_.add("fstore.pwrite_bytes", in.size());
+  return std::uint64_t{in.size()};
+}
+
+Result<std::vector<std::span<std::byte>>> FileStore::extents_for_read(
+    Ino ino, std::uint64_t off, std::uint64_t len) {
+  std::lock_guard lock(mu_);
+  Inode* n = find_locked(ino);
+  if (n == nullptr) return Errc::kStale;
+  if (n->attrs.is_dir) return Errc::kIsDir;
+  std::vector<std::span<std::byte>> out;
+  if (off >= n->attrs.size) return out;
+  len = std::min(len, n->attrs.size - off);
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::uint64_t pos = off + done;
+    const std::uint64_t ci = pos / opt_.chunk_size;
+    const std::uint64_t co = pos % opt_.chunk_size;
+    const std::uint64_t n_here = std::min(len - done, opt_.chunk_size - co);
+    touch_cache_locked(ino, ci);
+    // DMA source must be materialized even for holes.
+    std::byte* chunk = chunk_for_locked(*n, ci, /*allocate=*/true);
+    out.emplace_back(chunk + co, n_here);
+    done += n_here;
+  }
+  return out;
+}
+
+Result<std::vector<std::span<std::byte>>> FileStore::ensure_extents(
+    Ino ino, std::uint64_t off, std::uint64_t len) {
+  std::lock_guard lock(mu_);
+  Inode* n = find_locked(ino);
+  if (n == nullptr) return Errc::kStale;
+  if (n->attrs.is_dir) return Errc::kIsDir;
+  std::vector<std::span<std::byte>> out;
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::uint64_t pos = off + done;
+    const std::uint64_t ci = pos / opt_.chunk_size;
+    const std::uint64_t co = pos % opt_.chunk_size;
+    const std::uint64_t n_here = std::min(len - done, opt_.chunk_size - co);
+    touch_cache_locked(ino, ci);
+    std::byte* chunk = chunk_for_locked(*n, ci, /*allocate=*/true);
+    out.emplace_back(chunk + co, n_here);
+    done += n_here;
+  }
+  return out;
+}
+
+Errc FileStore::commit_write(Ino ino, std::uint64_t off, std::uint64_t len) {
+  std::lock_guard lock(mu_);
+  Inode* n = find_locked(ino);
+  if (n == nullptr) return Errc::kStale;
+  if (n->attrs.is_dir) return Errc::kIsDir;
+  n->attrs.size = std::max(n->attrs.size, off + len);
+  n->attrs.mtime = now();
+  return Errc::kOk;
+}
+
+Errc FileStore::sync(Ino ino) {
+  std::lock_guard lock(mu_);
+  if (find_locked(ino) == nullptr) return Errc::kStale;
+  stats_.add("fstore.syncs");
+  return Errc::kOk;
+}
+
+std::uint64_t FileStore::counter_fetch_add(const std::string& key,
+                                           std::uint64_t delta) {
+  std::lock_guard lock(counters_mu_);
+  const std::uint64_t old = counters_[key];
+  counters_[key] = old + delta;
+  return old;
+}
+
+void FileStore::counter_set(const std::string& key, std::uint64_t value) {
+  std::lock_guard lock(counters_mu_);
+  counters_[key] = value;
+}
+
+}  // namespace fstore

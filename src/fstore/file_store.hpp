@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/expected.hpp"
+#include "sim/stats.hpp"
+#include "fstore/types.hpp"
+
+namespace fstore {
+
+template <typename T>
+using Result = sim::Expected<T, Errc>;
+
+/// Configuration for the store.
+struct Options {
+  /// Extent chunk size. File data lives in fixed-size chunks carved out of
+  /// large slabs so a DAFS server can register whole slabs with its NIC once
+  /// and RDMA straight out of the buffer cache.
+  std::size_t chunk_size = 64 * 1024;
+  /// Chunks per slab.
+  std::size_t chunks_per_slab = 256;
+  /// Model a disk behind the buffer cache. Off by default: the paper's
+  /// bandwidth experiments run against a warm server cache.
+  bool disk_enabled = false;
+  /// Buffer-cache capacity in chunks when the disk model is on.
+  std::size_t cache_chunks = 4096;
+  /// Disk service parameters (charged per missing chunk).
+  std::uint64_t disk_latency_ns = 5'000'000;  // 5 ms seek+rotate
+  double disk_mbps = 40.0;
+  /// Host copy rate for the copying data path (keep in sync with the
+  /// fabric's CostModel::memcpy_mbps).
+  double memcpy_mbps = 400.0;
+};
+
+/// The file server's storage substrate: an in-memory inode-based file system
+/// with directory tree, sparse chunked extents, attributes, and an optional
+/// buffer-cache/disk model. Thread-safe (single internal lock: the vnode
+/// layer serializes, which is also how the CPU-contention model wants it).
+///
+/// Two data paths mirror what a DAFS filer does:
+///  * `pread`/`pwrite`: copy in/out of a caller buffer (the inline path and
+///    the NFS baseline). Charges host memcpy time to the calling actor.
+///  * `extents_for_read`/`ensure_extents`: expose the cache chunks
+///    themselves so the caller can DMA from/to them with zero host copies
+///    (the direct path). Only per-op vnode costs are charged.
+class FileStore {
+ public:
+  /// `on_new_slab` fires whenever the store allocates a fresh slab; the DAFS
+  /// server uses it to register slab memory with its NIC.
+  explicit FileStore(Options opt = {},
+                     std::function<void(std::span<std::byte>)> on_new_slab = {});
+
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
+
+  // ---- namespace ----------------------------------------------------------
+  Result<Ino> lookup(Ino dir, std::string_view name) const;
+  /// Resolve a '/'-separated path from the root. Empty or "/" is the root.
+  Result<Ino> resolve(std::string_view path) const;
+  Result<Ino> create(Ino dir, std::string_view name, bool exclusive);
+  Result<Ino> mkdir(Ino dir, std::string_view name);
+  Errc remove(Ino dir, std::string_view name);
+  Errc rmdir(Ino dir, std::string_view name);
+  Errc rename(Ino from_dir, std::string_view from, Ino to_dir,
+              std::string_view to);
+  Result<std::vector<DirEntry>> readdir(Ino dir) const;
+
+  // ---- attributes ----------------------------------------------------------
+  Result<Attrs> getattr(Ino ino) const;
+  Errc set_size(Ino ino, std::uint64_t size);
+
+  // ---- data: copying path --------------------------------------------------
+  /// Read up to out.size() bytes at `off`; returns bytes read (short at EOF).
+  Result<std::uint64_t> pread(Ino ino, std::uint64_t off,
+                              std::span<std::byte> out);
+  /// Write in.size() bytes at `off`, extending the file as needed.
+  Result<std::uint64_t> pwrite(Ino ino, std::uint64_t off,
+                               std::span<const std::byte> in);
+
+  // ---- data: zero-copy (DMA) path -------------------------------------------
+  /// Chunk-pieces covering [off, off+len) of existing file data, clamped to
+  /// EOF. The spans point into the buffer cache; valid until the file is
+  /// truncated or removed.
+  Result<std::vector<std::span<std::byte>>> extents_for_read(
+      Ino ino, std::uint64_t off, std::uint64_t len);
+  /// Allocate (if needed) and return chunk-pieces covering [off, off+len)
+  /// for an incoming write; call `commit_write` afterwards to update size
+  /// and mtime.
+  Result<std::vector<std::span<std::byte>>> ensure_extents(
+      Ino ino, std::uint64_t off, std::uint64_t len);
+  Errc commit_write(Ino ino, std::uint64_t off, std::uint64_t len);
+
+  Errc sync(Ino ino);
+
+  // ---- named atomic counters (DAFS extension backing MPI shared pointers) --
+  /// Atomically add `delta` to the counter `key`, returning the old value.
+  std::uint64_t counter_fetch_add(const std::string& key, std::uint64_t delta);
+  void counter_set(const std::string& key, std::uint64_t value);
+
+  sim::Stats& stats() { return stats_; }
+  const Options& options() const { return opt_; }
+
+ private:
+  struct Inode {
+    Attrs attrs;
+    std::map<std::string, Ino> entries;           // directories
+    std::map<std::uint64_t, std::byte*> chunks;   // files: chunk idx -> data
+  };
+
+  Inode* find_locked(Ino ino);
+  const Inode* find_locked(Ino ino) const;
+  Result<Ino> insert_child_locked(Ino dir, std::string_view name,
+                                  bool exclusive, bool is_dir);
+  std::byte* chunk_for_locked(Inode& node, std::uint64_t chunk_idx,
+                              bool allocate);
+  void free_file_data_locked(Inode& node);
+  void touch_cache_locked(Ino ino, std::uint64_t chunk_idx);
+  std::uint64_t now() const;
+
+  Options opt_;
+  std::function<void(std::span<std::byte>)> on_new_slab_;
+
+  mutable std::mutex mu_;
+  Ino next_ino_ = kRootIno + 1;
+  std::unordered_map<Ino, Inode> inodes_;
+
+  // Slab allocator for chunks.
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::vector<std::byte*> free_chunks_;
+
+  // Buffer-cache model (only consulted when the disk model is enabled):
+  // LRU over (ino, chunk) keys; a miss charges disk service time.
+  struct CacheKey {
+    Ino ino;
+    std::uint64_t chunk;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return std::hash<std::uint64_t>()(k.ino * 0x9e3779b97f4a7c15ULL ^
+                                        k.chunk);
+    }
+  };
+  std::list<CacheKey> lru_;
+  std::unordered_map<CacheKey, std::list<CacheKey>::iterator, CacheKeyHash>
+      cache_;
+
+  std::mutex counters_mu_;
+  std::unordered_map<std::string, std::uint64_t> counters_;
+
+  sim::Stats stats_;
+};
+
+}  // namespace fstore

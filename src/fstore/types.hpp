@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fstore {
+
+/// Inode number. 0 is invalid; the root directory is always 1.
+using Ino = std::uint64_t;
+inline constexpr Ino kInvalidIno = 0;
+inline constexpr Ino kRootIno = 1;
+
+/// File-system error codes (POSIX-flavoured subset).
+enum class Errc : std::uint8_t {
+  kOk = 0,
+  kNoEnt,      // no such file or directory
+  kExists,     // create-exclusive on an existing name
+  kIsDir,      // data op on a directory
+  kNotDir,     // path component is not a directory
+  kNotEmpty,   // rmdir of a non-empty directory
+  kInval,      // bad argument
+  kStale,      // inode number no longer valid
+};
+
+constexpr const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::kOk: return "ok";
+    case Errc::kNoEnt: return "no-entry";
+    case Errc::kExists: return "exists";
+    case Errc::kIsDir: return "is-directory";
+    case Errc::kNotDir: return "not-directory";
+    case Errc::kNotEmpty: return "not-empty";
+    case Errc::kInval: return "invalid";
+    case Errc::kStale: return "stale";
+  }
+  return "?";
+}
+
+/// File attributes (DAFS/NFS GETATTR payload).
+struct Attrs {
+  Ino ino = kInvalidIno;
+  bool is_dir = false;
+  std::uint64_t size = 0;
+  std::uint64_t mtime = 0;  // virtual-time stamp
+  std::uint32_t nlink = 0;
+};
+
+/// One directory entry.
+struct DirEntry {
+  std::string name;
+  Ino ino = kInvalidIno;
+  bool is_dir = false;
+};
+
+}  // namespace fstore

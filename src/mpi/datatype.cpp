@@ -1,0 +1,432 @@
+#include "mpi/datatype.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace mpi {
+
+/// Internal representation: every constructor is lowered to one of three
+/// shapes — a basic block, a list of (displacement, child, count, blocklen)
+/// pieces, or a resized wrapper. Keeping the set small makes flatten easy to
+/// verify.
+struct Datatype::Node {
+  enum class Kind : std::uint8_t { kBasic, kPieces, kResized };
+
+  struct Piece {
+    std::int64_t displ;       // bytes from element base
+    std::uint32_t count;      // children in this piece (tiled at extent)
+    std::uint32_t blocklen;   // children per tile (contiguous run of child)
+    std::shared_ptr<const Node> child;
+  };
+
+  Kind kind = Kind::kBasic;
+  std::uint32_t basic_size = 0;
+  std::vector<Piece> pieces;
+  std::shared_ptr<const Node> inner;  // resized
+
+  // cached metrics
+  std::uint64_t size = 0;
+  std::int64_t lb = 0;
+  std::int64_t ub = 0;
+  bool contiguous = false;
+
+  std::int64_t extent() const { return ub - lb; }
+};
+
+namespace {
+
+using Node = Datatype::Node;
+
+std::shared_ptr<const Node> finish(std::shared_ptr<Node> n) {
+  // Compute size / bounds / contiguity.
+  switch (n->kind) {
+    case Node::Kind::kBasic:
+      n->size = n->basic_size;
+      n->lb = 0;
+      n->ub = n->basic_size;
+      n->contiguous = true;
+      break;
+    case Node::Kind::kPieces: {
+      n->size = 0;
+      bool first = true;
+      for (const auto& p : n->pieces) {
+        if (p.count == 0 || p.blocklen == 0) continue;
+        const std::int64_t child_ext = p.child->extent();
+        const std::uint64_t tiles = p.count;
+        n->size += static_cast<std::uint64_t>(p.count) * p.blocklen *
+                   p.child->size;
+        // Bounds: tiles are placed at displ + i*block_span where block_span
+        // is blocklen*child_extent... no: a Piece is `count` repetitions,
+        // each repetition is `blocklen` children back to back; repetitions
+        // are packed contiguously too (stride handled by emitting several
+        // pieces). So the piece spans [displ + min, displ + total + max).
+        const std::int64_t span =
+            static_cast<std::int64_t>(tiles) * p.blocklen * child_ext;
+        const std::int64_t plb =
+            p.displ + p.child->lb;
+        const std::int64_t pub = p.displ + p.child->lb + span;
+        if (first) {
+          n->lb = std::min(plb, pub);
+          n->ub = std::max(plb, pub);
+          first = false;
+        } else {
+          n->lb = std::min({n->lb, plb, pub});
+          n->ub = std::max({n->ub, plb, pub});
+        }
+      }
+      if (first) {  // empty type
+        n->lb = 0;
+        n->ub = 0;
+      }
+      n->contiguous = false;  // refined below via flatten check
+      break;
+    }
+    case Node::Kind::kResized:
+      n->size = n->inner->size;
+      n->contiguous = false;
+      break;
+  }
+  return n;
+}
+
+/// Decide contiguity by flattening one element (cheap for bounded types).
+bool compute_contiguous(const Datatype& t) {
+  std::vector<Segment> segs;
+  t.flatten(segs);
+  return segs.size() == 1 && segs[0].offset == 0 &&
+         segs[0].len == static_cast<std::uint64_t>(t.extent()) &&
+         t.lb() == 0;
+}
+
+void flatten_node(const Node& n, std::vector<Segment>& out,
+                  std::int64_t base);
+
+void emit(std::vector<Segment>& out, std::int64_t off, std::uint64_t len) {
+  if (len == 0) return;
+  if (!out.empty() &&
+      out.back().offset + static_cast<std::int64_t>(out.back().len) == off) {
+    out.back().len += len;
+    return;
+  }
+  out.push_back(Segment{off, len});
+}
+
+void flatten_node(const Node& n, std::vector<Segment>& out,
+                  std::int64_t base) {
+  switch (n.kind) {
+    case Node::Kind::kBasic:
+      emit(out, base, n.basic_size);
+      break;
+    case Node::Kind::kPieces:
+      for (const auto& p : n.pieces) {
+        const std::int64_t child_ext = p.child->extent();
+        std::int64_t pos = base + p.displ;
+        for (std::uint32_t i = 0; i < p.count; ++i) {
+          for (std::uint32_t b = 0; b < p.blocklen; ++b) {
+            if (p.child->kind == Node::Kind::kBasic) {
+              emit(out, pos, p.child->basic_size);
+            } else {
+              flatten_node(*p.child, out, pos);
+            }
+            pos += child_ext;
+          }
+        }
+      }
+      break;
+    case Node::Kind::kResized:
+      flatten_node(*n.inner, out, base);
+      break;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Constructors
+// ---------------------------------------------------------------------------
+
+Datatype Datatype::basic(std::uint32_t size) {
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kBasic;
+  n->basic_size = size;
+  return Datatype(finish(std::move(n)));
+}
+
+Datatype Datatype::contiguous(std::uint32_t count, const Datatype& t) {
+  assert(t.valid());
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kPieces;
+  n->pieces.push_back(Node::Piece{0, count, 1, t.node_});
+  auto out = Datatype(finish(std::move(n)));
+  const_cast<Node*>(out.node_.get())->contiguous = compute_contiguous(out);
+  return out;
+}
+
+Datatype Datatype::vector(std::uint32_t count, std::uint32_t blocklen,
+                          std::int32_t stride, const Datatype& t) {
+  return hvector(count, blocklen, static_cast<std::int64_t>(stride) * t.extent(),
+                 t);
+}
+
+Datatype Datatype::hvector(std::uint32_t count, std::uint32_t blocklen,
+                           std::int64_t stride_bytes, const Datatype& t) {
+  assert(t.valid());
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kPieces;
+  n->pieces.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    n->pieces.push_back(
+        Node::Piece{static_cast<std::int64_t>(i) * stride_bytes, 1, blocklen,
+                    t.node_});
+  }
+  auto out = Datatype(finish(std::move(n)));
+  const_cast<Node*>(out.node_.get())->contiguous = compute_contiguous(out);
+  return out;
+}
+
+Datatype Datatype::indexed(std::span<const std::uint32_t> blocklens,
+                           std::span<const std::int32_t> displs,
+                           const Datatype& t) {
+  assert(blocklens.size() == displs.size());
+  std::vector<std::int64_t> bytes(displs.size());
+  for (std::size_t i = 0; i < displs.size(); ++i) {
+    bytes[i] = static_cast<std::int64_t>(displs[i]) * t.extent();
+  }
+  return hindexed(blocklens, bytes, t);
+}
+
+Datatype Datatype::hindexed(std::span<const std::uint32_t> blocklens,
+                            std::span<const std::int64_t> displs_bytes,
+                            const Datatype& t) {
+  assert(t.valid());
+  assert(blocklens.size() == displs_bytes.size());
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kPieces;
+  n->pieces.reserve(blocklens.size());
+  for (std::size_t i = 0; i < blocklens.size(); ++i) {
+    n->pieces.push_back(Node::Piece{displs_bytes[i], 1, blocklens[i], t.node_});
+  }
+  auto out = Datatype(finish(std::move(n)));
+  const_cast<Node*>(out.node_.get())->contiguous = compute_contiguous(out);
+  return out;
+}
+
+Datatype Datatype::struct_of(std::span<const std::uint32_t> blocklens,
+                             std::span<const std::int64_t> displs_bytes,
+                             std::span<const Datatype> types) {
+  assert(blocklens.size() == displs_bytes.size() &&
+         blocklens.size() == types.size());
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kPieces;
+  n->pieces.reserve(blocklens.size());
+  for (std::size_t i = 0; i < blocklens.size(); ++i) {
+    assert(types[i].valid());
+    n->pieces.push_back(
+        Node::Piece{displs_bytes[i], 1, blocklens[i], types[i].node_});
+  }
+  auto out = Datatype(finish(std::move(n)));
+  const_cast<Node*>(out.node_.get())->contiguous = compute_contiguous(out);
+  return out;
+}
+
+Datatype Datatype::subarray(std::span<const std::uint32_t> sizes,
+                            std::span<const std::uint32_t> subsizes,
+                            std::span<const std::uint32_t> starts,
+                            const Datatype& t) {
+  assert(sizes.size() == subsizes.size() && sizes.size() == starts.size());
+  assert(!sizes.empty());
+  // Build from the innermost dimension outwards: a run of subsizes[d]
+  // elements at stride = product of faster dimensions, displaced by
+  // starts[d] strides; the full array extent is preserved with resized().
+  const int nd = static_cast<int>(sizes.size());
+  std::int64_t stride = t.extent();  // bytes per element of dim nd-1
+  Datatype cur = t;
+  std::int64_t displ = 0;
+  for (int d = nd - 1; d >= 0; --d) {
+    Datatype row = (d == nd - 1)
+                       ? contiguous(subsizes[d], cur)
+                       : hvector(subsizes[d], 1, stride, cur);
+    displ += static_cast<std::int64_t>(starts[d]) * stride;
+    stride *= sizes[d];
+    cur = row;
+  }
+  // Place the subarray at its start offset and give it the full-array
+  // extent so tiling across elements (count > 1) lands correctly.
+  std::array<std::uint32_t, 1> one = {1};
+  std::array<std::int64_t, 1> disp = {displ};
+  std::array<Datatype, 1> inner = {cur};
+  Datatype placed = struct_of(one, disp, inner);
+  return resized(placed, 0, stride /* == full array bytes */);
+}
+
+Datatype Datatype::darray(int rank, std::span<const std::uint32_t> gsizes,
+                          std::span<const Dist> dists,
+                          std::span<const std::int32_t> dargs,
+                          std::span<const std::uint32_t> psizes,
+                          const Datatype& t) {
+  const std::size_t nd = gsizes.size();
+  assert(dists.size() == nd && dargs.size() == nd && psizes.size() == nd);
+  assert(t.valid());
+
+  // C-order process coordinates of `rank` in the psizes grid.
+  std::vector<std::uint32_t> coord(nd);
+  {
+    std::uint32_t rem = static_cast<std::uint32_t>(rank);
+    for (std::size_t d = nd; d-- > 0;) {
+      coord[d] = rem % psizes[d];
+      rem /= psizes[d];
+    }
+  }
+
+  // Ownership of dimension d as index ranges [start, start+len).
+  struct Range {
+    std::uint32_t start;
+    std::uint32_t len;
+  };
+  auto ranges_of = [&](std::size_t d) {
+    std::vector<Range> out;
+    const std::uint32_t g = gsizes[d];
+    const std::uint32_t p = psizes[d];
+    const std::uint32_t me = coord[d];
+    switch (dists[d]) {
+      case Dist::kNone:
+        out.push_back(Range{0, g});
+        break;
+      case Dist::kBlock: {
+        // Default blocking: ceil(g/p); darg may widen it (MPI rules).
+        const std::uint32_t b =
+            dargs[d] == kDfltDarg ? (g + p - 1) / p
+                                  : static_cast<std::uint32_t>(dargs[d]);
+        const std::uint64_t start = static_cast<std::uint64_t>(me) * b;
+        if (start < g) {
+          out.push_back(Range{static_cast<std::uint32_t>(start),
+                              static_cast<std::uint32_t>(
+                                  std::min<std::uint64_t>(b, g - start))});
+        }
+        break;
+      }
+      case Dist::kCyclic: {
+        const std::uint32_t b =
+            dargs[d] == kDfltDarg ? 1 : static_cast<std::uint32_t>(dargs[d]);
+        for (std::uint64_t start = static_cast<std::uint64_t>(me) * b;
+             start < g; start += static_cast<std::uint64_t>(p) * b) {
+          out.push_back(Range{static_cast<std::uint32_t>(start),
+                              static_cast<std::uint32_t>(
+                                  std::min<std::uint64_t>(b, g - start))});
+        }
+        break;
+      }
+    }
+    return out;
+  };
+
+  // Build inside out: `cur` covers dims (d, nd); resize it to one index
+  // step of dim d, then gather this process's ranges with hindexed.
+  Datatype cur = t;
+  std::int64_t unit = t.extent();  // bytes per index step of the current dim
+  for (std::size_t d = nd; d-- > 0;) {
+    Datatype stepped = resized(cur, 0, unit);
+    const auto ranges = ranges_of(d);
+    std::vector<std::uint32_t> lens;
+    std::vector<std::int64_t> displs;
+    lens.reserve(ranges.size());
+    displs.reserve(ranges.size());
+    for (const Range& r : ranges) {
+      lens.push_back(r.len);
+      displs.push_back(static_cast<std::int64_t>(r.start) * unit);
+    }
+    cur = hindexed(lens, displs, stepped);
+    unit *= gsizes[d];
+  }
+  // Full-array extent so consecutive elements tile whole arrays.
+  return resized(cur, 0, unit);
+}
+
+Datatype Datatype::resized(const Datatype& t, std::int64_t lb,
+                           std::int64_t extent) {
+  assert(t.valid());
+  auto n = std::make_shared<Node>();
+  n->kind = Node::Kind::kResized;
+  n->inner = t.node_;
+  n->lb = lb;
+  n->ub = lb + extent;
+  auto out = Datatype(finish(std::move(n)));
+  const_cast<Node*>(out.node_.get())->lb = lb;
+  const_cast<Node*>(out.node_.get())->ub = lb + extent;
+  const_cast<Node*>(out.node_.get())->contiguous = compute_contiguous(out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
+
+std::uint64_t Datatype::size() const {
+  assert(valid());
+  return node_->size;
+}
+
+std::int64_t Datatype::extent() const {
+  assert(valid());
+  return node_->extent();
+}
+
+std::int64_t Datatype::lb() const {
+  assert(valid());
+  return node_->lb;
+}
+
+bool Datatype::is_contiguous() const {
+  assert(valid());
+  return node_->contiguous;
+}
+
+void Datatype::flatten(std::vector<Segment>& out, std::int64_t base) const {
+  assert(valid());
+  flatten_node(*node_, out, base);
+}
+
+std::vector<Segment> Datatype::flatten_n(std::uint64_t count,
+                                         std::int64_t base) const {
+  std::vector<Segment> out;
+  if (is_contiguous()) {
+    if (count > 0) {
+      out.push_back(Segment{base, count * static_cast<std::uint64_t>(extent())});
+    }
+    return out;
+  }
+  const std::int64_t ext = extent();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    flatten(out, base + static_cast<std::int64_t>(i) * ext);
+  }
+  return out;
+}
+
+void Datatype::pack(const std::byte* base, std::uint64_t count,
+                    std::vector<std::byte>& out) const {
+  const auto segs = flatten_n(count);
+  std::uint64_t total = 0;
+  for (const auto& s : segs) total += s.len;
+  out.resize(total);
+  std::uint64_t pos = 0;
+  for (const auto& s : segs) {
+    std::memcpy(out.data() + pos, base + s.offset, s.len);
+    pos += s.len;
+  }
+}
+
+std::uint64_t Datatype::unpack(std::span<const std::byte> in, std::byte* base,
+                               std::uint64_t count) const {
+  const auto segs = flatten_n(count);
+  std::uint64_t pos = 0;
+  for (const auto& s : segs) {
+    if (pos >= in.size()) break;
+    const std::uint64_t n = std::min<std::uint64_t>(s.len, in.size() - pos);
+    std::memcpy(base + s.offset, in.data() + pos, n);
+    pos += n;
+  }
+  return pos;
+}
+
+}  // namespace mpi

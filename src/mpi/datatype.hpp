@@ -1,0 +1,116 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+/// \file datatype.hpp
+/// MPI derived datatypes — the machinery MPI-IO file views are built from.
+/// A Datatype is an immutable tree (value-semantic handle over a shared
+/// node); `flatten` produces the (offset, length) run list of one element,
+/// with adjacent runs coalesced. Packing/unpacking against flat buffers
+/// serves both the eager/rendezvous message paths and the I/O drivers.
+namespace mpi {
+
+/// One contiguous piece of a type map.
+struct Segment {
+  std::int64_t offset = 0;  // bytes from the element base
+  std::uint64_t len = 0;    // bytes
+  bool operator==(const Segment&) const = default;
+};
+
+class Datatype {
+ public:
+  /// Uncommitted default; using it is an error caught by assert.
+  Datatype() = default;
+
+  // ---- predefined ----------------------------------------------------------
+  static Datatype byte() { return basic(1); }
+  static Datatype int32() { return basic(4); }
+  static Datatype int64() { return basic(8); }
+  static Datatype uint64() { return basic(8); }
+  static Datatype float64() { return basic(8); }
+  static Datatype basic(std::uint32_t size);
+
+  // ---- constructors (MPI_Type_*) -------------------------------------------
+  static Datatype contiguous(std::uint32_t count, const Datatype& t);
+  /// stride in *elements* of t (MPI_Type_vector).
+  static Datatype vector(std::uint32_t count, std::uint32_t blocklen,
+                         std::int32_t stride, const Datatype& t);
+  /// stride in *bytes* (MPI_Type_create_hvector).
+  static Datatype hvector(std::uint32_t count, std::uint32_t blocklen,
+                          std::int64_t stride_bytes, const Datatype& t);
+  /// displacements in elements of t (MPI_Type_indexed).
+  static Datatype indexed(std::span<const std::uint32_t> blocklens,
+                          std::span<const std::int32_t> displs,
+                          const Datatype& t);
+  /// displacements in bytes (MPI_Type_create_hindexed).
+  static Datatype hindexed(std::span<const std::uint32_t> blocklens,
+                           std::span<const std::int64_t> displs_bytes,
+                           const Datatype& t);
+  /// heterogeneous struct (MPI_Type_create_struct).
+  static Datatype struct_of(std::span<const std::uint32_t> blocklens,
+                            std::span<const std::int64_t> displs_bytes,
+                            std::span<const Datatype> types);
+  /// C-order n-dimensional subarray (MPI_Type_create_subarray).
+  static Datatype subarray(std::span<const std::uint32_t> sizes,
+                           std::span<const std::uint32_t> subsizes,
+                           std::span<const std::uint32_t> starts,
+                           const Datatype& t);
+  /// Override lb/extent (MPI_Type_create_resized).
+  static Datatype resized(const Datatype& t, std::int64_t lb,
+                          std::int64_t extent);
+
+  /// Distribution kinds for darray dimensions.
+  enum class Dist : std::uint8_t { kNone, kBlock, kCyclic };
+  /// Distribution argument meaning "use the default blocking".
+  static constexpr std::int32_t kDfltDarg = -1;
+  /// C-order multidimensional distributed array
+  /// (MPI_Type_create_darray): the portion of a gsizes[] array owned by
+  /// process `rank` of a psizes[] process grid, one dimension distributed
+  /// kNone / kBlock / kCyclic(darg). The resulting type's extent is the
+  /// full array, so tiling works like subarray's.
+  static Datatype darray(int rank, std::span<const std::uint32_t> gsizes,
+                         std::span<const Dist> dists,
+                         std::span<const std::int32_t> dargs,
+                         std::span<const std::uint32_t> psizes,
+                         const Datatype& t);
+
+  // ---- queries ---------------------------------------------------------------
+  bool valid() const { return node_ != nullptr; }
+  /// Bytes of actual data per element (MPI_Type_size).
+  std::uint64_t size() const;
+  /// Spacing between consecutive elements (MPI_Type_get_extent).
+  std::int64_t extent() const;
+  std::int64_t lb() const;
+  /// True if one element is a single run starting at offset 0 whose length
+  /// equals the extent (fast-path eligible).
+  bool is_contiguous() const;
+
+  /// Append the runs of one element, displaced by `base`, to `out`,
+  /// coalescing with the previous run when adjacent.
+  void flatten(std::vector<Segment>& out, std::int64_t base = 0) const;
+  /// Convenience: runs of `count` elements tiled at the type extent.
+  std::vector<Segment> flatten_n(std::uint64_t count,
+                                 std::int64_t base = 0) const;
+
+  /// Gather `count` elements from `base` into a contiguous buffer.
+  void pack(const std::byte* base, std::uint64_t count,
+            std::vector<std::byte>& out) const;
+  /// Scatter a contiguous buffer into `count` elements at `base`. Returns
+  /// bytes consumed (= min(in.size(), count*size())).
+  std::uint64_t unpack(std::span<const std::byte> in, std::byte* base,
+                       std::uint64_t count) const;
+
+  bool operator==(const Datatype& o) const { return node_ == o.node_; }
+
+  /// Implementation node; opaque outside datatype.cpp.
+  struct Node;
+
+ private:
+  explicit Datatype(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace mpi

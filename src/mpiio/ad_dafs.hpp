@@ -1,0 +1,100 @@
+#pragma once
+
+#include <memory>
+
+#include "dafs/client.hpp"
+#include "mpiio/adio.hpp"
+
+namespace mpiio {
+
+/// The paper's contribution in driver form: MPI-IO over a uDAFS session.
+/// Large/contiguous accesses become DAFS direct I/O (server-driven RDMA,
+/// zero client copies); list I/O maps onto a single batched direct request;
+/// locks and shared counters come from the DAFS server, so sieving writes,
+/// atomic mode and shared file pointers all work without extra
+/// infrastructure. The session is borrowed (one per rank, owned by the app).
+class AdDafs final : public AdioDriver {
+ public:
+  explicit AdDafs(dafs::Session& session) : s_(session) {}
+
+  Err open(const std::string& path, std::uint16_t open_flags) override {
+    auto r = s_.open(path, open_flags);
+    if (!r.ok()) return r.error();
+    fh_ = r.value();
+    path_ = path;
+    return Err::kOk;
+  }
+
+  Err close() override {
+    fh_ = dafs::Fh{};
+    return Err::kOk;
+  }
+
+  Err remove(const std::string& path) override { return s_.remove(path); }
+
+  Result<std::uint64_t> pread(std::uint64_t off,
+                              std::span<std::byte> out) override {
+    return s_.pread(fh_, off, out);
+  }
+  Result<std::uint64_t> pwrite(std::uint64_t off,
+                               std::span<const std::byte> in) override {
+    return s_.pwrite(fh_, off, in);
+  }
+
+  Result<std::uint64_t> read_list(std::span<const IoSeg> segs) override;
+  Result<std::uint64_t> write_list(std::span<const IoSeg> segs) override;
+
+  Result<AioHandle> submit_pread(std::uint64_t off,
+                                 std::span<std::byte> out) override {
+    auto r = s_.submit_pread(fh_, off, out);
+    if (!r.ok()) return r.error();
+    return static_cast<AioHandle>(r.value());
+  }
+  Result<AioHandle> submit_pwrite(std::uint64_t off,
+                                  std::span<const std::byte> in) override {
+    auto r = s_.submit_pwrite(fh_, off, in);
+    if (!r.ok()) return r.error();
+    return static_cast<AioHandle>(r.value());
+  }
+  Err aio_wait(AioHandle h, std::uint64_t* bytes) override {
+    return s_.wait(static_cast<dafs::OpId>(h), bytes);
+  }
+
+  Result<std::uint64_t> size() override {
+    auto a = s_.getattr(fh_);
+    if (!a.ok()) return a.error();
+    return a.value().size;
+  }
+  Err set_size(std::uint64_t size) override { return s_.set_size(fh_, size); }
+  Err sync() override { return s_.sync(fh_); }
+
+  Err lock(std::uint64_t off, std::uint64_t len, bool exclusive) override {
+    return s_.lock(fh_, off, len, exclusive);
+  }
+  Err unlock(std::uint64_t off, std::uint64_t len) override {
+    return s_.unlock(fh_, off, len);
+  }
+  bool supports_locks() const override { return true; }
+
+  Result<std::uint64_t> counter_fetch_add(const std::string& key,
+                                          std::uint64_t delta) override {
+    return s_.fetch_add(key, delta);
+  }
+  Err counter_set(const std::string& key, std::uint64_t value) override {
+    return s_.set_counter(key, value);
+  }
+  bool supports_counters() const override { return true; }
+
+  const char* name() const override { return "dafs"; }
+
+ private:
+  dafs::Session& s_;
+  dafs::Fh fh_;
+  std::string path_;
+};
+
+inline std::unique_ptr<AdioDriver> dafs_driver(dafs::Session& session) {
+  return std::make_unique<AdDafs>(session);
+}
+
+}  // namespace mpiio

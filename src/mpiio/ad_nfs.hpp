@@ -1,0 +1,73 @@
+#pragma once
+
+#include <memory>
+
+#include "mpiio/adio.hpp"
+#include "nfs/client.hpp"
+
+namespace mpiio {
+
+/// Baseline driver: MPI-IO over the kernel-NFS-like client. Every byte is
+/// copied through RPC payloads and the TCP stack; no locks, no shared
+/// counters (classic NFS mounts lacked usable NLM for this), so the
+/// portable layer falls back to strategies that avoid them.
+class AdNfs final : public AdioDriver {
+ public:
+  explicit AdNfs(nfs::Client& client) : c_(client) {}
+
+  Err open(const std::string& path, std::uint16_t open_flags) override {
+    auto r = c_.open(path, open_flags);
+    if (!r.ok()) return r.error();
+    ino_ = r.value();
+    return Err::kOk;
+  }
+
+  Err close() override {
+    ino_ = fstore::kInvalidIno;
+    return Err::kOk;
+  }
+
+  Err remove(const std::string& path) override { return c_.remove(path); }
+
+  Result<std::uint64_t> pread(std::uint64_t off,
+                              std::span<std::byte> out) override {
+    return c_.pread(ino_, off, out);
+  }
+  Result<std::uint64_t> pwrite(std::uint64_t off,
+                               std::span<const std::byte> in) override {
+    return c_.pwrite(ino_, off, in);
+  }
+
+  Result<std::uint64_t> size() override {
+    auto a = c_.getattr(ino_);
+    if (!a.ok()) return a.error();
+    return a.value().size;
+  }
+  Err set_size(std::uint64_t size) override { return c_.set_size(ino_, size); }
+  Err sync() override { return c_.sync(ino_); }
+
+  Err lock(std::uint64_t, std::uint64_t, bool) override { return Err::kInval; }
+  Err unlock(std::uint64_t, std::uint64_t) override { return Err::kInval; }
+  bool supports_locks() const override { return false; }
+
+  Result<std::uint64_t> counter_fetch_add(const std::string&,
+                                          std::uint64_t) override {
+    return Err::kInval;
+  }
+  Err counter_set(const std::string&, std::uint64_t) override {
+    return Err::kInval;
+  }
+  bool supports_counters() const override { return false; }
+
+  const char* name() const override { return "nfs"; }
+
+ private:
+  nfs::Client& c_;
+  fstore::Ino ino_ = fstore::kInvalidIno;
+};
+
+inline std::unique_ptr<AdioDriver> nfs_driver(nfs::Client& client) {
+  return std::make_unique<AdNfs>(client);
+}
+
+}  // namespace mpiio

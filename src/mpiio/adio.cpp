@@ -1,0 +1,52 @@
+#include "mpiio/adio.hpp"
+
+namespace mpiio {
+
+Result<std::uint64_t> AdioDriver::read_list(std::span<const IoSeg> segs) {
+  std::uint64_t total = 0;
+  for (const IoSeg& s : segs) {
+    auto r = pread(s.file_off, std::span<std::byte>(s.mem, s.len));
+    if (!r.ok()) return r;
+    total += r.value();
+    if (r.value() < s.len) break;  // EOF
+  }
+  return total;
+}
+
+Result<std::uint64_t> AdioDriver::write_list(std::span<const IoSeg> segs) {
+  std::uint64_t total = 0;
+  for (const IoSeg& s : segs) {
+    auto r = pwrite(s.file_off, std::span<const std::byte>(s.mem, s.len));
+    if (!r.ok()) return r;
+    total += r.value();
+  }
+  return total;
+}
+
+Result<AioHandle> AdioDriver::submit_pread(std::uint64_t off,
+                                           std::span<std::byte> out) {
+  auto r = pread(off, out);
+  SyncAio a;
+  a.status = r.ok() ? Err::kOk : r.error();
+  a.bytes = r.ok() ? r.value() : 0;
+  sync_aio_.push_back(a);
+  return static_cast<AioHandle>(sync_aio_.size() - 1);
+}
+
+Result<AioHandle> AdioDriver::submit_pwrite(std::uint64_t off,
+                                            std::span<const std::byte> in) {
+  auto r = pwrite(off, in);
+  SyncAio a;
+  a.status = r.ok() ? Err::kOk : r.error();
+  a.bytes = r.ok() ? r.value() : 0;
+  sync_aio_.push_back(a);
+  return static_cast<AioHandle>(sync_aio_.size() - 1);
+}
+
+Err AdioDriver::aio_wait(AioHandle h, std::uint64_t* bytes) {
+  if (h >= sync_aio_.size()) return Err::kInval;
+  if (bytes != nullptr) *bytes = sync_aio_[h].bytes;
+  return sync_aio_[h].status;
+}
+
+}  // namespace mpiio

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dafs/proto.hpp"
+#include "sim/expected.hpp"
+
+/// \file adio.hpp
+/// The abstract device layer under the portable MPI-IO code (ROMIO's ADIO).
+/// One driver instance exists per rank per open file; drivers wrap the
+/// rank's file-access endpoint (DAFS session or NFS client).
+namespace mpiio {
+
+/// MPI-IO reuses the DAFS status vocabulary (both sides map fstore::Errc).
+using Err = dafs::PStatus;
+
+template <typename T>
+using Result = sim::Expected<T, Err>;
+
+/// One element of a list-I/O access: a file range paired with memory.
+struct IoSeg {
+  std::uint64_t file_off = 0;
+  std::byte* mem = nullptr;
+  std::uint64_t len = 0;
+};
+
+/// Handle for a driver-level asynchronous operation.
+using AioHandle = std::uint64_t;
+inline constexpr AioHandle kInvalidAio = ~0ull;
+
+class AdioDriver {
+ public:
+  virtual ~AdioDriver() = default;
+
+  virtual Err open(const std::string& path, std::uint16_t open_flags) = 0;
+  virtual Err close() = 0;
+  virtual Err remove(const std::string& path) = 0;
+
+  virtual Result<std::uint64_t> pread(std::uint64_t off,
+                                      std::span<std::byte> out) = 0;
+  virtual Result<std::uint64_t> pwrite(std::uint64_t off,
+                                       std::span<const std::byte> in) = 0;
+
+  /// Scatter/gather list I/O. Default: one operation per segment; drivers
+  /// with native batch support (DAFS) override.
+  virtual Result<std::uint64_t> read_list(std::span<const IoSeg> segs);
+  virtual Result<std::uint64_t> write_list(std::span<const IoSeg> segs);
+
+  /// Asynchronous contiguous I/O. Default: synchronous execution at submit
+  /// (completion at wait is immediate); the DAFS driver overrides with real
+  /// overlapped operations.
+  virtual Result<AioHandle> submit_pread(std::uint64_t off,
+                                         std::span<std::byte> out);
+  virtual Result<AioHandle> submit_pwrite(std::uint64_t off,
+                                          std::span<const std::byte> in);
+  virtual Err aio_wait(AioHandle h, std::uint64_t* bytes);
+
+  virtual Result<std::uint64_t> size() = 0;
+  virtual Err set_size(std::uint64_t size) = 0;
+  virtual Err sync() = 0;
+
+  /// Byte-range locks (needed for read-modify-write sieving and atomic
+  /// mode). Drivers without lock support return kInval; the portable layer
+  /// then avoids strategies that need them.
+  virtual Err lock(std::uint64_t off, std::uint64_t len, bool exclusive) = 0;
+  virtual Err unlock(std::uint64_t off, std::uint64_t len) = 0;
+  virtual bool supports_locks() const = 0;
+
+  /// Named shared counters (back MPI shared file pointers). Drivers without
+  /// support return kInval.
+  virtual Result<std::uint64_t> counter_fetch_add(const std::string& key,
+                                                  std::uint64_t delta) = 0;
+  virtual Err counter_set(const std::string& key, std::uint64_t value) = 0;
+  virtual bool supports_counters() const = 0;
+
+  virtual const char* name() const = 0;
+
+ protected:
+  /// Bookkeeping for the default (synchronous) async implementation.
+  struct SyncAio {
+    Err status = Err::kOk;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<SyncAio> sync_aio_;
+};
+
+/// Factory helpers (definitions in ad_dafs.cpp / ad_nfs.cpp).
+namespace detail {}
+
+}  // namespace mpiio

@@ -1,0 +1,1070 @@
+#include "mpiio/file.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "sim/actor.hpp"
+
+namespace mpiio {
+
+using mpi::Datatype;
+using sim::Actor;
+using sim::CostKind;
+
+namespace {
+
+constexpr std::uint64_t kDefaultCbBufferSize = 4u << 20;
+constexpr std::uint64_t kDefaultIndRdBuffer = 4u << 20;
+constexpr std::uint64_t kDefaultIndWrBuffer = 512u << 10;
+
+void charge_copy(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  if (Actor* a = Actor::current()) {
+    a->charge(CostKind::kCopy, sim::CostModel{}.copy_time(bytes));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Open / close
+// ---------------------------------------------------------------------------
+
+File::File(mpi::Comm comm, std::string path, int amode, Info info,
+           std::unique_ptr<AdioDriver> driver)
+    : comm_(comm),
+      path_(std::move(path)),
+      amode_(amode),
+      info_(std::move(info)),
+      driver_(std::move(driver)),
+      etype_(Datatype::byte()),
+      filetype_(Datatype::byte()) {
+  sfp_key_ = "mpiio.sfp:" + path_;
+}
+
+Result<std::unique_ptr<File>> File::open(const mpi::Comm& comm,
+                                         std::string path, int amode,
+                                         const Info& info,
+                                         std::unique_ptr<AdioDriver> driver) {
+  auto f = std::unique_ptr<File>(
+      new File(comm, std::move(path), amode, info, std::move(driver)));
+
+  std::uint16_t flags = 0;
+  if (amode & kModeCreate) flags |= dafs::kOpenCreate;
+  if (amode & kModeExcl) flags |= dafs::kOpenExcl;
+
+  // Rank 0 applies the creation flags; everyone else opens plain after it
+  // succeeded, so create-exclusive has single-open semantics.
+  Err st = Err::kOk;
+  if (f->comm_.rank() == 0) {
+    st = f->driver_->open(f->path_, flags);
+    if (st == Err::kOk && f->driver_->supports_counters()) {
+      f->driver_->counter_set(f->sfp_key_, 0);
+    }
+  }
+  int ok = (f->comm_.rank() != 0 || st == Err::kOk) ? 1 : 0;
+  f->comm_.bcast(&ok, sizeof(ok), Datatype::byte(), 0);
+  if (!ok) {
+    // Propagate rank 0's failure everywhere.
+    int code = static_cast<int>(st);
+    f->comm_.bcast(&code, sizeof(code), Datatype::byte(), 0);
+    return static_cast<Err>(code);
+  }
+  if (f->comm_.rank() != 0) {
+    st = f->driver_->open(f->path_, 0);
+    if (st != Err::kOk) return st;
+  }
+  f->comm_.barrier();
+
+  f->set_view(0, Datatype::byte(), Datatype::byte(), f->info_);
+  if (amode & kModeAppend) {
+    // Applied after the default view: set_view resets the file pointer.
+    auto size = f->driver_->size();
+    if (size.ok()) f->pos_ = size.value();  // etype is byte at open
+  }
+  return f;
+}
+
+File::~File() {
+  if (driver_) driver_->close();
+}
+
+Err File::close() {
+  comm_.barrier();
+  Err st = driver_->close();
+  if ((amode_ & kModeDeleteOnClose) && comm_.rank() == 0) {
+    driver_->remove(path_);
+  }
+  comm_.barrier();
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Views
+// ---------------------------------------------------------------------------
+
+Err File::set_view(std::uint64_t disp, const Datatype& etype,
+                   const Datatype& filetype, const Info& info) {
+  if (!etype.valid() || !filetype.valid()) return Err::kInval;
+  if (filetype.size() == 0 || etype.size() == 0) return Err::kInval;
+  if (filetype.size() % etype.size() != 0) return Err::kInval;
+  disp_ = disp;
+  etype_ = etype;
+  filetype_ = filetype;
+  for (const auto& [k, v] : info.all()) info_.set(k, v);
+
+  view_runs_.clear();
+  filetype_.flatten(view_runs_);
+  view_prefix_.assign(view_runs_.size() + 1, 0);
+  for (std::size_t i = 0; i < view_runs_.size(); ++i) {
+    view_prefix_[i + 1] = view_prefix_[i] + view_runs_[i].len;
+  }
+  ft_size_ = filetype_.size();
+  ft_extent_ = filetype_.extent();
+  trivial_view_ =
+      filetype_.is_contiguous() &&
+      ft_size_ == static_cast<std::uint64_t>(ft_extent_) &&
+      view_runs_.size() == 1 && view_runs_[0].offset == 0;
+  pos_ = 0;
+  return Err::kOk;
+}
+
+std::vector<File::FileRun> File::map_view(std::uint64_t pos,
+                                          std::uint64_t nbytes) const {
+  std::vector<FileRun> out;
+  if (nbytes == 0) return out;
+  if (trivial_view_) {
+    out.push_back(FileRun{disp_ + pos, nbytes});
+    return out;
+  }
+  std::uint64_t tile = pos / ft_size_;
+  std::uint64_t r = pos % ft_size_;  // data offset within the tile
+  auto emit = [&out](std::uint64_t off, std::uint64_t len) {
+    if (len == 0) return;
+    if (!out.empty() && out.back().off + out.back().len == off) {
+      out.back().len += len;
+      return;
+    }
+    out.push_back(FileRun{off, len});
+  };
+  while (nbytes > 0) {
+    // First run whose data interval contains r.
+    const auto it = std::upper_bound(view_prefix_.begin(), view_prefix_.end(),
+                                     r) -
+                    1;
+    std::size_t i = static_cast<std::size_t>(it - view_prefix_.begin());
+    for (; i < view_runs_.size() && nbytes > 0; ++i) {
+      const std::uint64_t skip = r - view_prefix_[i];
+      const std::uint64_t avail = view_runs_[i].len - skip;
+      const std::uint64_t take = std::min(avail, nbytes);
+      const std::int64_t file_off =
+          static_cast<std::int64_t>(disp_) +
+          static_cast<std::int64_t>(tile) * ft_extent_ +
+          view_runs_[i].offset + static_cast<std::int64_t>(skip);
+      emit(static_cast<std::uint64_t>(file_off), take);
+      nbytes -= take;
+      r += take;
+    }
+    ++tile;
+    r = 0;
+  }
+  return out;
+}
+
+std::uint64_t File::byte_offset(std::uint64_t view_offset) const {
+  const auto runs = map_view(view_offset * etype_.size(), 1);
+  return runs.empty() ? disp_ : runs[0].off;
+}
+
+// ---------------------------------------------------------------------------
+// Access construction
+// ---------------------------------------------------------------------------
+
+std::vector<IoSeg> File::build_segs(std::uint64_t offset_etypes,
+                                    std::byte* buf, std::uint64_t count,
+                                    const Datatype& type,
+                                    std::uint64_t* total_bytes) const {
+  const std::uint64_t total = count * type.size();
+  *total_bytes = total;
+  std::vector<IoSeg> segs;
+  if (total == 0) return segs;
+
+  const auto file_runs = map_view(offset_etypes * etype_.size(), total);
+  const auto mem_runs = type.flatten_n(count);
+
+  // Two-cursor merge: both lists describe exactly `total` bytes.
+  std::size_t fi = 0, mi = 0;
+  std::uint64_t foff = 0, moff = 0;
+  while (fi < file_runs.size() && mi < mem_runs.size()) {
+    const std::uint64_t n = std::min(file_runs[fi].len - foff,
+                                     mem_runs[mi].len - moff);
+    IoSeg seg;
+    seg.file_off = file_runs[fi].off + foff;
+    seg.mem = buf + mem_runs[mi].offset + static_cast<std::int64_t>(moff);
+    seg.len = n;
+    // Merge with the previous segment when both sides are adjacent.
+    if (!segs.empty() && segs.back().file_off + segs.back().len == seg.file_off &&
+        segs.back().mem + segs.back().len == seg.mem) {
+      segs.back().len += n;
+    } else {
+      segs.push_back(seg);
+    }
+    foff += n;
+    moff += n;
+    if (foff == file_runs[fi].len) {
+      ++fi;
+      foff = 0;
+    }
+    if (moff == mem_runs[mi].len) {
+      ++mi;
+      moff = 0;
+    }
+  }
+  return segs;
+}
+
+std::uint64_t File::etypes_of(std::uint64_t count,
+                              const Datatype& type) const {
+  return count * type.size() / etype_.size();
+}
+
+Err File::check_writable() const {
+  return (amode_ & kModeRdonly) ? Err::kInval : Err::kOk;
+}
+
+Err File::check_readable() const {
+  return (amode_ & kModeWronly) ? Err::kInval : Err::kOk;
+}
+
+// ---------------------------------------------------------------------------
+// Data sieving
+// ---------------------------------------------------------------------------
+
+bool File::use_sieving(bool writing, const std::vector<IoSeg>& segs) const {
+  if (segs.size() <= 1) return false;
+  const bool native_list = std::string_view(driver_->name()) == "dafs";
+  const bool fallback = !native_list;  // sieve on drivers without list I/O
+  const bool enabled =
+      info_.get_switch(writing ? "romio_ds_write" : "romio_ds_read", fallback);
+  if (!enabled) return false;
+  if (writing && !driver_->supports_locks()) return false;  // RMW needs locks
+  return true;
+}
+
+Result<std::uint64_t> File::sieved_read(std::vector<IoSeg> segs) {
+  std::sort(segs.begin(), segs.end(),
+            [](const IoSeg& a, const IoSeg& b) { return a.file_off < b.file_off; });
+  const std::uint64_t buf_size =
+      std::max<std::uint64_t>(info_.get_uint("ind_rd_buffer_size",
+                                             kDefaultIndRdBuffer),
+                              64 * 1024);
+  std::vector<std::byte> sieve(buf_size);
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  while (i < segs.size()) {
+    const std::uint64_t wlo = segs[i].file_off;
+    // Extend the window while the next segment still starts inside it.
+    std::size_t j = i;
+    std::uint64_t whi = wlo;
+    while (j < segs.size() && segs[j].file_off < wlo + buf_size) {
+      whi = std::max(whi, segs[j].file_off + segs[j].len);
+      ++j;
+    }
+    whi = std::min(whi, wlo + buf_size);
+    auto r = driver_->pread(wlo, std::span(sieve.data(), whi - wlo));
+    if (!r.ok()) return r;
+    const std::uint64_t got = r.value();
+    for (std::size_t k = i; k < j; ++k) {
+      const IoSeg& s = segs[k];
+      std::uint64_t off = s.file_off - wlo;
+      std::uint64_t take = 0;
+      if (off < got) take = std::min(s.len, got - off);
+      if (take > 0) {
+        std::memcpy(s.mem, sieve.data() + off, take);
+        charge_copy(take);
+        total += take;
+      }
+      if (s.file_off + s.len > whi) {
+        // Segment continues past the window; handle the tail next round.
+        segs[k].file_off += take;
+        segs[k].mem += take;
+        segs[k].len -= take;
+        j = k;
+        break;
+      }
+    }
+    i = j;
+  }
+  comm_.world().fabric().stats().add("mpiio.sieved_reads");
+  return total;
+}
+
+Result<std::uint64_t> File::sieved_write(std::vector<IoSeg> segs) {
+  std::sort(segs.begin(), segs.end(),
+            [](const IoSeg& a, const IoSeg& b) { return a.file_off < b.file_off; });
+  const std::uint64_t buf_size =
+      std::max<std::uint64_t>(info_.get_uint("ind_wr_buffer_size",
+                                             kDefaultIndWrBuffer),
+                              64 * 1024);
+  std::vector<std::byte> sieve(buf_size);
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  while (i < segs.size()) {
+    const std::uint64_t wlo = segs[i].file_off;
+    std::size_t j = i;
+    std::uint64_t whi = wlo;
+    while (j < segs.size() && segs[j].file_off < wlo + buf_size &&
+           segs[j].file_off + segs[j].len <= wlo + buf_size) {
+      whi = std::max(whi, segs[j].file_off + segs[j].len);
+      ++j;
+    }
+    if (j == i) {
+      // Single segment larger than the buffer: write it directly.
+      auto r = driver_->pwrite(segs[i].file_off,
+                               std::span<const std::byte>(segs[i].mem,
+                                                          segs[i].len));
+      if (!r.ok()) return r;
+      total += r.value();
+      ++i;
+      continue;
+    }
+    const std::uint64_t wlen = whi - wlo;
+    // Read-modify-write under an exclusive lock.
+    if (driver_->lock(wlo, wlen, /*exclusive=*/true) != Err::kOk) {
+      return Err::kLockConflict;
+    }
+    auto r = driver_->pread(wlo, std::span(sieve.data(), wlen));
+    if (!r.ok()) {
+      driver_->unlock(wlo, wlen);
+      return r;
+    }
+    for (std::size_t k = i; k < j; ++k) {
+      std::memcpy(sieve.data() + (segs[k].file_off - wlo), segs[k].mem,
+                  segs[k].len);
+      charge_copy(segs[k].len);
+      total += segs[k].len;
+    }
+    auto wr = driver_->pwrite(wlo, std::span<const std::byte>(sieve.data(),
+                                                              wlen));
+    driver_->unlock(wlo, wlen);
+    if (!wr.ok()) return wr;
+    i = j;
+  }
+  comm_.world().fabric().stats().add("mpiio.sieved_writes");
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Independent I/O
+// ---------------------------------------------------------------------------
+
+Result<std::uint64_t> File::independent_io(bool writing,
+                                           std::uint64_t offset_etypes,
+                                           void* buf, std::uint64_t count,
+                                           const Datatype& type) {
+  std::uint64_t total = 0;
+  auto segs = build_segs(offset_etypes, static_cast<std::byte*>(buf), count,
+                         type, &total);
+  if (total == 0) return std::uint64_t{0};
+
+  // Atomic mode: serialize the whole affected byte range.
+  const bool lock_range = atomic_ && driver_->supports_locks();
+  std::uint64_t lo = segs.front().file_off;
+  std::uint64_t hi = 0;
+  for (const auto& s : segs) {
+    lo = std::min(lo, s.file_off);
+    hi = std::max(hi, s.file_off + s.len);
+  }
+  if (lock_range) {
+    if (driver_->lock(lo, hi - lo, writing) != Err::kOk) {
+      return Err::kLockConflict;
+    }
+  }
+
+  Result<std::uint64_t> result = std::uint64_t{0};
+  if (segs.size() == 1) {
+    result = writing
+                 ? driver_->pwrite(segs[0].file_off,
+                                   std::span<const std::byte>(segs[0].mem,
+                                                              segs[0].len))
+                 : driver_->pread(segs[0].file_off,
+                                  std::span<std::byte>(segs[0].mem,
+                                                       segs[0].len));
+  } else if (use_sieving(writing, segs)) {
+    result = writing ? sieved_write(std::move(segs))
+                     : sieved_read(std::move(segs));
+  } else {
+    result = writing ? driver_->write_list(segs) : driver_->read_list(segs);
+  }
+
+  if (lock_range) driver_->unlock(lo, hi - lo);
+  return result;
+}
+
+Result<std::uint64_t> File::read_at(std::uint64_t offset, void* buf,
+                                    std::uint64_t count,
+                                    const Datatype& type) {
+  if (const Err st = check_readable(); st != Err::kOk) return st;
+  return independent_io(false, offset, buf, count, type);
+}
+
+Result<std::uint64_t> File::write_at(std::uint64_t offset, const void* buf,
+                                     std::uint64_t count,
+                                     const Datatype& type) {
+  if (const Err st = check_writable(); st != Err::kOk) return st;
+  return independent_io(true, offset, const_cast<void*>(buf), count, type);
+}
+
+Result<std::uint64_t> File::read(void* buf, std::uint64_t count,
+                                 const Datatype& type) {
+  auto r = read_at(pos_, buf, count, type);
+  if (r.ok()) pos_ += etypes_of(count, type);
+  return r;
+}
+
+Result<std::uint64_t> File::write(const void* buf, std::uint64_t count,
+                                  const Datatype& type) {
+  auto r = write_at(pos_, buf, count, type);
+  if (r.ok()) pos_ += etypes_of(count, type);
+  return r;
+}
+
+Err File::seek(std::int64_t offset, Whence whence) {
+  switch (whence) {
+    case Whence::kSet:
+      if (offset < 0) return Err::kInval;
+      pos_ = static_cast<std::uint64_t>(offset);
+      return Err::kOk;
+    case Whence::kCur: {
+      const std::int64_t np = static_cast<std::int64_t>(pos_) + offset;
+      if (np < 0) return Err::kInval;
+      pos_ = static_cast<std::uint64_t>(np);
+      return Err::kOk;
+    }
+    case Whence::kEnd: {
+      auto size = driver_->size();
+      if (!size.ok()) return size.error();
+      const std::int64_t end_etypes =
+          static_cast<std::int64_t>(size.value() / etype_.size());
+      const std::int64_t np = end_etypes + offset;
+      if (np < 0) return Err::kInval;
+      pos_ = static_cast<std::uint64_t>(np);
+      return Err::kOk;
+    }
+  }
+  return Err::kInval;
+}
+
+// ---------------------------------------------------------------------------
+// Collective I/O (two-phase)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Piece {
+  std::uint64_t off;
+  std::uint64_t len;
+};
+
+}  // namespace
+
+Result<std::uint64_t> File::collective_io(bool writing,
+                                          std::uint64_t offset_etypes,
+                                          void* buf, std::uint64_t count,
+                                          const Datatype& type) {
+  const int n = comm_.size();
+  std::uint64_t total = 0;
+  auto segs = build_segs(offset_etypes, static_cast<std::byte*>(buf), count,
+                         type, &total);
+
+  const bool cb_enabled = info_.get_switch(
+      writing ? "romio_cb_write" : "romio_cb_read", true);
+  if (n == 1 || !cb_enabled) {
+    auto r = independent_io(writing, offset_etypes, buf, count, type);
+    if (n > 1) comm_.barrier();
+    return r;
+  }
+
+  // Global extent of the collective access.
+  std::uint64_t lo = ~0ull, hi = 0;
+  for (const auto& s : segs) {
+    lo = std::min(lo, s.file_off);
+    hi = std::max(hi, s.file_off + s.len);
+  }
+  std::vector<std::uint64_t> mm = {~lo, hi};  // encode min via max(~lo)
+  comm_.allreduce(std::span<std::uint64_t>(mm), mpi::Op::kMax);
+  const std::uint64_t gmin = ~mm[0];
+  const std::uint64_t gmax = mm[1];
+  if (gmax <= gmin) {
+    comm_.barrier();
+    return std::uint64_t{0};  // nobody has data
+  }
+
+  const auto naggr = static_cast<int>(std::min<std::uint64_t>(
+      info_.get_uint("cb_nodes", static_cast<std::uint64_t>(n)),
+      static_cast<std::uint64_t>(n)));
+  const std::uint64_t span = gmax - gmin;
+  const std::uint64_t dlen = (span + static_cast<std::uint64_t>(naggr) - 1) /
+                             static_cast<std::uint64_t>(naggr);
+  auto domain_of = [&](std::uint64_t off) {
+    return static_cast<int>((off - gmin) / dlen);
+  };
+  auto domain_end = [&](int d) {
+    return gmin + (static_cast<std::uint64_t>(d) + 1) * dlen;
+  };
+
+  // Split my segments across aggregator domains.
+  std::vector<std::vector<Piece>> out_pieces(static_cast<std::size_t>(naggr));
+  std::vector<std::vector<std::byte*>> out_mem(static_cast<std::size_t>(naggr));
+  for (const auto& seg : segs) {
+    std::uint64_t off = seg.file_off;
+    std::byte* mem = seg.mem;
+    std::uint64_t left = seg.len;
+    while (left > 0) {
+      const int d = domain_of(off);
+      const std::uint64_t take = std::min(left, domain_end(d) - off);
+      out_pieces[static_cast<std::size_t>(d)].push_back(Piece{off, take});
+      out_mem[static_cast<std::size_t>(d)].push_back(mem);
+      off += take;
+      mem += take;
+      left -= take;
+    }
+  }
+
+  // Exchange piece lists (metadata) with the aggregators.
+  std::vector<std::uint64_t> meta_scounts(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> meta_sdispls(static_cast<std::size_t>(n), 0);
+  std::vector<std::byte> meta_out;
+  for (int d = 0; d < naggr; ++d) {
+    meta_sdispls[static_cast<std::size_t>(d)] = meta_out.size();
+    const auto& ps = out_pieces[static_cast<std::size_t>(d)];
+    meta_scounts[static_cast<std::size_t>(d)] = ps.size() * sizeof(Piece);
+    const std::size_t at = meta_out.size();
+    meta_out.resize(at + ps.size() * sizeof(Piece));
+    std::memcpy(meta_out.data() + at, ps.data(), ps.size() * sizeof(Piece));
+  }
+  // Everyone learns how much metadata each rank sends to each aggregator.
+  std::vector<std::uint64_t> all_meta(static_cast<std::size_t>(n) *
+                                      static_cast<std::size_t>(n));
+  comm_.allgather(meta_scounts.data(),
+                  static_cast<std::uint64_t>(n) * sizeof(std::uint64_t),
+                  all_meta.data());
+  auto meta_from = [&](int src, int dst) {
+    return all_meta[static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(n) +
+                    static_cast<std::size_t>(dst)];
+  };
+
+  const bool aggregator = comm_.rank() < naggr;
+  std::vector<std::uint64_t> meta_rcounts(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> meta_rdispls(static_cast<std::size_t>(n), 0);
+  std::uint64_t meta_in_total = 0;
+  for (int s = 0; s < n; ++s) {
+    meta_rcounts[static_cast<std::size_t>(s)] =
+        aggregator ? meta_from(s, comm_.rank()) : 0;
+    meta_rdispls[static_cast<std::size_t>(s)] = meta_in_total;
+    meta_in_total += meta_rcounts[static_cast<std::size_t>(s)];
+  }
+  std::vector<std::byte> meta_in(meta_in_total);
+  comm_.alltoallv(meta_out.data(), meta_scounts, meta_sdispls, meta_in.data(),
+                  meta_rcounts, meta_rdispls);
+
+  const std::uint64_t cb_buffer =
+      std::max<std::uint64_t>(info_.get_uint("cb_buffer_size",
+                                             kDefaultCbBufferSize),
+                              64 * 1024);
+
+  if (writing) {
+    // Ship the data alongside, in piece order.
+    std::vector<std::uint64_t> data_scounts(static_cast<std::size_t>(n), 0);
+    std::vector<std::uint64_t> data_sdispls(static_cast<std::size_t>(n), 0);
+    std::vector<std::byte> data_out;
+    for (int d = 0; d < naggr; ++d) {
+      data_sdispls[static_cast<std::size_t>(d)] = data_out.size();
+      const auto& ps = out_pieces[static_cast<std::size_t>(d)];
+      const auto& ms = out_mem[static_cast<std::size_t>(d)];
+      for (std::size_t k = 0; k < ps.size(); ++k) {
+        const std::size_t at = data_out.size();
+        data_out.resize(at + ps[k].len);
+        std::memcpy(data_out.data() + at, ms[k], ps[k].len);
+      }
+      data_scounts[static_cast<std::size_t>(d)] =
+          data_out.size() - data_sdispls[static_cast<std::size_t>(d)];
+      charge_copy(data_scounts[static_cast<std::size_t>(d)]);
+    }
+    // Data counts are derivable from the metadata on the receive side.
+    std::vector<std::uint64_t> data_rcounts(static_cast<std::size_t>(n), 0);
+    std::vector<std::uint64_t> data_rdispls(static_cast<std::size_t>(n), 0);
+    std::uint64_t data_in_total = 0;
+    for (int s = 0; s < n && aggregator; ++s) {
+      const std::uint64_t nm = meta_rcounts[static_cast<std::size_t>(s)];
+      std::uint64_t bytes = 0;
+      const auto* pieces = reinterpret_cast<const Piece*>(
+          meta_in.data() + meta_rdispls[static_cast<std::size_t>(s)]);
+      for (std::uint64_t k = 0; k < nm / sizeof(Piece); ++k) {
+        bytes += pieces[k].len;
+      }
+      data_rcounts[static_cast<std::size_t>(s)] = bytes;
+      data_rdispls[static_cast<std::size_t>(s)] = data_in_total;
+      data_in_total += bytes;
+    }
+    std::vector<std::byte> data_in(data_in_total);
+    comm_.alltoallv(data_out.data(), data_scounts, data_sdispls,
+                    data_in.data(), data_rcounts, data_rdispls);
+
+    if (aggregator && data_in_total > 0) {
+      // Assemble (off, len, src-bytes) triples, sort, coalesce and write.
+      struct Item {
+        std::uint64_t off;
+        std::uint64_t len;
+        const std::byte* data;
+      };
+      std::vector<Item> items;
+      for (int s = 0; s < n; ++s) {
+        const auto* pieces = reinterpret_cast<const Piece*>(
+            meta_in.data() + meta_rdispls[static_cast<std::size_t>(s)]);
+        const std::uint64_t np =
+            meta_rcounts[static_cast<std::size_t>(s)] / sizeof(Piece);
+        const std::byte* pd =
+            data_in.data() + data_rdispls[static_cast<std::size_t>(s)];
+        for (std::uint64_t k = 0; k < np; ++k) {
+          items.push_back(Item{pieces[k].off, pieces[k].len, pd});
+          pd += pieces[k].len;
+        }
+      }
+      std::sort(items.begin(), items.end(),
+                [](const Item& a, const Item& b) { return a.off < b.off; });
+      std::vector<std::byte> stage;
+      std::size_t i = 0;
+      while (i < items.size()) {
+        if (items[i].len > cb_buffer) {
+          // Giant piece (already contiguous): write it directly.
+          auto r = driver_->pwrite(
+              items[i].off,
+              std::span<const std::byte>(items[i].data, items[i].len));
+          if (!r.ok()) {
+            comm_.barrier();
+            return r;
+          }
+          ++i;
+          continue;
+        }
+        // Coalesce a contiguous run, bounded by the collective buffer size.
+        std::uint64_t run_off = items[i].off;
+        stage.clear();
+        std::size_t j = i;
+        while (j < items.size() &&
+               items[j].off == run_off + stage.size() &&
+               stage.size() + items[j].len <= cb_buffer) {
+          stage.insert(stage.end(), items[j].data, items[j].data + items[j].len);
+          ++j;
+        }
+        charge_copy(stage.size());
+        auto r = driver_->pwrite(run_off, stage);
+        if (!r.ok()) {
+          comm_.barrier();
+          return r;
+        }
+        i = j;
+      }
+      comm_.world().fabric().stats().add("mpiio.twophase_writes");
+    }
+    comm_.barrier();  // writes visible before anyone proceeds
+    return total;
+  }
+
+  // Collective read: aggregators fetch and reply with piece data.
+  std::vector<std::uint64_t> reply_scounts(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> reply_sdispls(static_cast<std::size_t>(n), 0);
+  std::vector<std::byte> reply_out;
+  if (aggregator && meta_in_total > 0) {
+    struct Item {
+      std::uint64_t off;
+      std::uint64_t len;
+      std::byte* dst;  // into reply_out
+    };
+    // First size the reply buffer: piece data goes back in (src, piece)
+    // order.
+    std::uint64_t out_total = 0;
+    for (int s = 0; s < n; ++s) {
+      const std::uint64_t nm = meta_rcounts[static_cast<std::size_t>(s)];
+      const auto* pieces = reinterpret_cast<const Piece*>(
+          meta_in.data() + meta_rdispls[static_cast<std::size_t>(s)]);
+      reply_sdispls[static_cast<std::size_t>(s)] = out_total;
+      std::uint64_t bytes = 0;
+      for (std::uint64_t k = 0; k < nm / sizeof(Piece); ++k) {
+        bytes += pieces[k].len;
+      }
+      reply_scounts[static_cast<std::size_t>(s)] = bytes;
+      out_total += bytes;
+    }
+    reply_out.resize(out_total);
+    std::vector<Item> items;
+    for (int s = 0; s < n; ++s) {
+      const auto* pieces = reinterpret_cast<const Piece*>(
+          meta_in.data() + meta_rdispls[static_cast<std::size_t>(s)]);
+      const std::uint64_t np =
+          meta_rcounts[static_cast<std::size_t>(s)] / sizeof(Piece);
+      std::byte* pd = reply_out.data() +
+                      reply_sdispls[static_cast<std::size_t>(s)];
+      for (std::uint64_t k = 0; k < np; ++k) {
+        items.push_back(Item{pieces[k].off, pieces[k].len, pd});
+        pd += pieces[k].len;
+      }
+    }
+    std::sort(items.begin(), items.end(),
+              [](const Item& a, const Item& b) { return a.off < b.off; });
+    // Read coalesced ranges through a cb-buffer-sized staging area.
+    std::vector<std::byte> stage(cb_buffer);
+    std::size_t i = 0;
+    while (i < items.size()) {
+      const std::uint64_t run_off = items[i].off;
+      std::uint64_t run_len = 0;
+      std::size_t j = i;
+      while (j < items.size() && items[j].off < run_off + cb_buffer) {
+        const std::uint64_t end = items[j].off + items[j].len - run_off;
+        if (end > cb_buffer) break;
+        run_len = std::max(run_len, end);
+        ++j;
+      }
+      if (j == i) {  // giant piece: read it directly
+        auto r = driver_->pread(items[i].off,
+                                std::span(items[i].dst, items[i].len));
+        if (!r.ok()) {
+          comm_.barrier();
+          return r;
+        }
+        ++i;
+        continue;
+      }
+      auto r = driver_->pread(run_off, std::span(stage.data(), run_len));
+      if (!r.ok()) {
+        comm_.barrier();
+        return r;
+      }
+      for (std::size_t k = i; k < j; ++k) {
+        std::memcpy(items[k].dst, stage.data() + (items[k].off - run_off),
+                    items[k].len);
+        charge_copy(items[k].len);
+      }
+      i = j;
+    }
+    comm_.world().fabric().stats().add("mpiio.twophase_reads");
+  }
+  // Reply counts mirror the request metadata; both sides can compute them.
+  std::vector<std::uint64_t> reply_rcounts(static_cast<std::size_t>(n), 0);
+  std::vector<std::uint64_t> reply_rdispls(static_cast<std::size_t>(n), 0);
+  std::uint64_t reply_in_total = 0;
+  for (int d = 0; d < n; ++d) {
+    std::uint64_t bytes = 0;
+    if (d < naggr) {
+      for (const Piece& p : out_pieces[static_cast<std::size_t>(d)]) {
+        bytes += p.len;
+      }
+    }
+    reply_rcounts[static_cast<std::size_t>(d)] = bytes;
+    reply_rdispls[static_cast<std::size_t>(d)] = reply_in_total;
+    reply_in_total += bytes;
+  }
+  std::vector<std::byte> reply_in(reply_in_total);
+  comm_.alltoallv(reply_out.data(), reply_scounts, reply_sdispls,
+                  reply_in.data(), reply_rcounts, reply_rdispls);
+
+  // Scatter the returned bytes into the user buffer, in the same piece
+  // order they were generated.
+  for (int d = 0; d < naggr; ++d) {
+    const auto& ps = out_pieces[static_cast<std::size_t>(d)];
+    const auto& ms = out_mem[static_cast<std::size_t>(d)];
+    const std::byte* pd =
+        reply_in.data() + reply_rdispls[static_cast<std::size_t>(d)];
+    for (std::size_t k = 0; k < ps.size(); ++k) {
+      std::memcpy(ms[k], pd, ps[k].len);
+      pd += ps[k].len;
+    }
+    charge_copy(reply_rcounts[static_cast<std::size_t>(d)]);
+  }
+  comm_.barrier();
+  return total;
+}
+
+Result<std::uint64_t> File::read_at_all(std::uint64_t offset, void* buf,
+                                        std::uint64_t count,
+                                        const Datatype& type) {
+  if (const Err st = check_readable(); st != Err::kOk) return st;
+  return collective_io(false, offset, buf, count, type);
+}
+
+Result<std::uint64_t> File::write_at_all(std::uint64_t offset, const void* buf,
+                                         std::uint64_t count,
+                                         const Datatype& type) {
+  if (const Err st = check_writable(); st != Err::kOk) return st;
+  return collective_io(true, offset, const_cast<void*>(buf), count, type);
+}
+
+Result<std::uint64_t> File::read_all(void* buf, std::uint64_t count,
+                                     const Datatype& type) {
+  auto r = read_at_all(pos_, buf, count, type);
+  if (r.ok()) pos_ += etypes_of(count, type);
+  return r;
+}
+
+Result<std::uint64_t> File::write_all(const void* buf, std::uint64_t count,
+                                      const Datatype& type) {
+  auto r = write_at_all(pos_, buf, count, type);
+  if (r.ok()) pos_ += etypes_of(count, type);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Shared file pointer
+// ---------------------------------------------------------------------------
+
+Result<std::uint64_t> File::read_shared(void* buf, std::uint64_t count,
+                                        const Datatype& type) {
+  if (!driver_->supports_counters()) return Err::kInval;
+  const std::uint64_t n_etypes = etypes_of(count, type);
+  auto base = driver_->counter_fetch_add(sfp_key_, n_etypes);
+  if (!base.ok()) return base.error();
+  return read_at(base.value(), buf, count, type);
+}
+
+Result<std::uint64_t> File::write_shared(const void* buf, std::uint64_t count,
+                                         const Datatype& type) {
+  if (!driver_->supports_counters()) return Err::kInval;
+  const std::uint64_t n_etypes = etypes_of(count, type);
+  auto base = driver_->counter_fetch_add(sfp_key_, n_etypes);
+  if (!base.ok()) return base.error();
+  return write_at(base.value(), buf, count, type);
+}
+
+Result<std::uint64_t> File::read_ordered(void* buf, std::uint64_t count,
+                                         const Datatype& type) {
+  if (!driver_->supports_counters()) return Err::kInval;
+  const std::uint64_t mine = etypes_of(count, type);
+  const std::uint64_t prefix = comm_.exscan_sum(mine);
+  std::vector<std::uint64_t> tot = {mine};
+  comm_.allreduce(std::span<std::uint64_t>(tot), mpi::Op::kSum);
+  std::uint64_t base = 0;
+  if (comm_.rank() == 0) {
+    auto r = driver_->counter_fetch_add(sfp_key_, tot[0]);
+    if (r.ok()) base = r.value();
+  }
+  comm_.bcast(&base, sizeof(base), Datatype::byte(), 0);
+  auto r = read_at(base + prefix, buf, count, type);
+  comm_.barrier();
+  return r;
+}
+
+Result<std::uint64_t> File::write_ordered(const void* buf, std::uint64_t count,
+                                          const Datatype& type) {
+  if (!driver_->supports_counters()) return Err::kInval;
+  const std::uint64_t mine = etypes_of(count, type);
+  const std::uint64_t prefix = comm_.exscan_sum(mine);
+  std::vector<std::uint64_t> tot = {mine};
+  comm_.allreduce(std::span<std::uint64_t>(tot), mpi::Op::kSum);
+  std::uint64_t base = 0;
+  if (comm_.rank() == 0) {
+    auto r = driver_->counter_fetch_add(sfp_key_, tot[0]);
+    if (r.ok()) base = r.value();
+  }
+  comm_.bcast(&base, sizeof(base), Datatype::byte(), 0);
+  auto r = write_at(base + prefix, buf, count, type);
+  comm_.barrier();
+  return r;
+}
+
+Err File::seek_shared(std::int64_t offset, Whence whence) {
+  if (!driver_->supports_counters()) return Err::kInval;
+  Err st = Err::kOk;
+  if (comm_.rank() == 0) {
+    std::int64_t target = offset;
+    if (whence == Whence::kCur) {
+      auto cur = driver_->counter_fetch_add(sfp_key_, 0);
+      if (!cur.ok()) st = cur.error();
+      target += cur.ok() ? static_cast<std::int64_t>(cur.value()) : 0;
+    } else if (whence == Whence::kEnd) {
+      auto size = driver_->size();
+      if (!size.ok()) st = size.error();
+      target += size.ok() ? static_cast<std::int64_t>(size.value() /
+                                                      etype_.size())
+                          : 0;
+    }
+    if (st == Err::kOk) {
+      if (target < 0) {
+        st = Err::kInval;
+      } else {
+        st = driver_->counter_set(sfp_key_, static_cast<std::uint64_t>(target));
+      }
+    }
+  }
+  int code = static_cast<int>(st);
+  comm_.bcast(&code, sizeof(code), Datatype::byte(), 0);
+  comm_.barrier();
+  return static_cast<Err>(code);
+}
+
+Result<std::uint64_t> File::position_shared() {
+  if (!driver_->supports_counters()) return Err::kInval;
+  return driver_->counter_fetch_add(sfp_key_, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Nonblocking
+// ---------------------------------------------------------------------------
+
+Result<Request> File::iread_at(std::uint64_t offset, void* buf,
+                               std::uint64_t count, const Datatype& type) {
+  if (const Err st = check_readable(); st != Err::kOk) return st;
+  std::uint64_t total = 0;
+  auto segs = build_segs(offset, static_cast<std::byte*>(buf), count, type,
+                         &total);
+  Request req;
+  if (segs.size() == 1) {
+    auto h = driver_->submit_pread(segs[0].file_off,
+                                   std::span(segs[0].mem, segs[0].len));
+    if (!h.ok()) return h.error();
+    req.kind = Request::Kind::kDriverAio;
+    req.handle = h.value();
+    return req;
+  }
+  // Noncontiguous: perform eagerly; the request is born complete.
+  auto r = independent_io(false, offset, buf, count, type);
+  req.kind = Request::Kind::kDone;
+  req.status = r.ok() ? Err::kOk : r.error();
+  req.bytes = r.ok() ? r.value() : 0;
+  return req;
+}
+
+Result<Request> File::iwrite_at(std::uint64_t offset, const void* buf,
+                                std::uint64_t count, const Datatype& type) {
+  if (const Err st = check_writable(); st != Err::kOk) return st;
+  std::uint64_t total = 0;
+  auto segs = build_segs(offset, static_cast<std::byte*>(const_cast<void*>(buf)),
+                         count, type, &total);
+  Request req;
+  if (segs.size() == 1) {
+    auto h = driver_->submit_pwrite(
+        segs[0].file_off, std::span<const std::byte>(segs[0].mem, segs[0].len));
+    if (!h.ok()) return h.error();
+    req.kind = Request::Kind::kDriverAio;
+    req.handle = h.value();
+    return req;
+  }
+  auto r = independent_io(true, offset, const_cast<void*>(buf), count, type);
+  req.kind = Request::Kind::kDone;
+  req.status = r.ok() ? Err::kOk : r.error();
+  req.bytes = r.ok() ? r.value() : 0;
+  return req;
+}
+
+Err File::wait(Request& req, std::uint64_t* bytes) {
+  switch (req.kind) {
+    case Request::Kind::kInvalid:
+      return Err::kInval;
+    case Request::Kind::kDone:
+      if (bytes != nullptr) *bytes = req.bytes;
+      req.kind = Request::Kind::kInvalid;
+      return req.status;
+    case Request::Kind::kDriverAio: {
+      std::uint64_t got = 0;
+      const Err st = driver_->aio_wait(req.handle, &got);
+      if (bytes != nullptr) *bytes = got;
+      req.kind = Request::Kind::kInvalid;
+      return st;
+    }
+  }
+  return Err::kInval;
+}
+
+// ---------------------------------------------------------------------------
+// Split collectives
+// ---------------------------------------------------------------------------
+
+Err File::read_at_all_begin(std::uint64_t offset, void* buf,
+                            std::uint64_t count, const mpi::Datatype& type) {
+  if (split_state_ != SplitState::kNone) return Err::kInval;
+  auto r = read_at_all(offset, buf, count, type);
+  split_state_ = SplitState::kRead;
+  split_buf_ = buf;
+  split_err_ = r.ok() ? Err::kOk : r.error();
+  split_bytes_ = r.ok() ? r.value() : 0;
+  return Err::kOk;
+}
+
+Result<std::uint64_t> File::read_at_all_end(void* buf) {
+  if (split_state_ != SplitState::kRead || buf != split_buf_) {
+    return Err::kInval;
+  }
+  split_state_ = SplitState::kNone;
+  if (split_err_ != Err::kOk) return split_err_;
+  return split_bytes_;
+}
+
+Err File::write_at_all_begin(std::uint64_t offset, const void* buf,
+                             std::uint64_t count, const mpi::Datatype& type) {
+  if (split_state_ != SplitState::kNone) return Err::kInval;
+  auto r = write_at_all(offset, buf, count, type);
+  split_state_ = SplitState::kWrite;
+  split_buf_ = buf;
+  split_err_ = r.ok() ? Err::kOk : r.error();
+  split_bytes_ = r.ok() ? r.value() : 0;
+  return Err::kOk;
+}
+
+Result<std::uint64_t> File::write_at_all_end(const void* buf) {
+  if (split_state_ != SplitState::kWrite || buf != split_buf_) {
+    return Err::kInval;
+  }
+  split_state_ = SplitState::kNone;
+  if (split_err_ != Err::kOk) return split_err_;
+  return split_bytes_;
+}
+
+// ---------------------------------------------------------------------------
+// Management
+// ---------------------------------------------------------------------------
+
+Result<std::uint64_t> File::get_size() { return driver_->size(); }
+
+Err File::set_size(std::uint64_t size) {
+  Err st = Err::kOk;
+  if (comm_.rank() == 0) st = driver_->set_size(size);
+  int code = static_cast<int>(st);
+  comm_.bcast(&code, sizeof(code), Datatype::byte(), 0);
+  comm_.barrier();
+  return static_cast<Err>(code);
+}
+
+Err File::preallocate(std::uint64_t size) {
+  // Collective: rank 0 decides whether growth is needed and broadcasts the
+  // decision. Each rank deciding from its own getattr would race with
+  // concurrent growth and leave ranks disagreeing about whether the
+  // set_size collective below happens — deadlocking the communicator.
+  struct Decision {
+    int code;
+    int need;
+  } d{static_cast<int>(Err::kOk), 0};
+  if (comm_.rank() == 0) {
+    auto cur = driver_->size();
+    if (!cur.ok()) {
+      d.code = static_cast<int>(cur.error());
+    } else {
+      d.need = cur.value() < size ? 1 : 0;
+    }
+  }
+  comm_.bcast(&d, sizeof(d), Datatype::byte(), 0);
+  if (static_cast<Err>(d.code) != Err::kOk) return static_cast<Err>(d.code);
+  if (!d.need) return Err::kOk;
+  return set_size(size);
+}
+
+Err File::sync() { return driver_->sync(); }
+
+Err File::set_atomicity(bool atomic) {
+  if (atomic && !driver_->supports_locks()) return Err::kInval;
+  atomic_ = atomic;
+  return Err::kOk;
+}
+
+}  // namespace mpiio

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace mpiio {
+
+/// MPI_Info: string key/value hints. The keys this implementation honours
+/// (ROMIO-compatible names):
+///   cb_buffer_size       two-phase collective buffer per aggregator (bytes)
+///   cb_nodes             number of aggregator ranks
+///   romio_cb_read        "enable" | "disable" | "automatic"
+///   romio_cb_write       "enable" | "disable" | "automatic"
+///   ind_rd_buffer_size   data-sieving read buffer (bytes)
+///   ind_wr_buffer_size   data-sieving write buffer (bytes)
+///   romio_ds_read        "enable" | "disable" | "automatic"
+///   romio_ds_write       "enable" | "disable" | "automatic"
+class Info {
+ public:
+  Info() = default;
+
+  void set(const std::string& key, const std::string& value) {
+    kv_[key] = value;
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    kv_[key] = std::to_string(value);
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    auto it = kv_.find(key);
+    if (it == kv_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::uint64_t get_uint(const std::string& key, std::uint64_t fallback) const {
+    auto v = get(key);
+    if (!v) return fallback;
+    return std::stoull(*v);
+  }
+
+  /// Tri-state hint: returns fallback for "automatic"/absent.
+  bool get_switch(const std::string& key, bool fallback) const {
+    auto v = get(key);
+    if (!v) return fallback;
+    if (*v == "enable" || *v == "true") return true;
+    if (*v == "disable" || *v == "false") return false;
+    return fallback;
+  }
+
+  const std::map<std::string, std::string>& all() const { return kv_; }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace mpiio

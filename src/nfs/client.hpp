@@ -1,0 +1,88 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fstore/types.hpp"
+#include "nfs/proto.hpp"
+#include "nfs/tcp.hpp"
+#include "sim/expected.hpp"
+
+namespace nfs {
+
+template <typename T>
+using Result = sim::Expected<T, PStatus>;
+
+struct ClientConfig {
+  std::string service = "nfs";
+  std::uint32_t rsize = kDefaultRsize;
+  std::uint32_t wsize = kDefaultWsize;
+  /// Attribute-cache lifetime in virtual microseconds (classic NFS "ac"
+  /// mount behaviour): getattr within the window is served locally and may
+  /// be stale w.r.t. other clients — one of the consistency problems the
+  /// session-based DAFS protocol avoids. 0 disables caching.
+  std::uint64_t attr_cache_us = 0;
+};
+
+/// Baseline file client ("NFS mount"): synchronous RPC over the emulated
+/// kernel TCP stack, all data inline. API mirrors the DAFS session so the
+/// MPI-IO drivers are symmetric.
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> connect(sim::Fabric& fabric,
+                                                 sim::NodeId node,
+                                                 ClientConfig cfg = {});
+  ~Client() = default;
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Result<fstore::Ino> open(std::string_view path, std::uint16_t flags = 0);
+  Result<fstore::Attrs> getattr(fstore::Ino ino);
+  PStatus set_size(fstore::Ino ino, std::uint64_t size);
+  PStatus remove(std::string_view path);
+  PStatus mkdir(std::string_view path);
+  PStatus rmdir(std::string_view path);
+  PStatus rename(std::string_view from, std::string_view to);
+  Result<std::vector<fstore::DirEntry>> readdir(std::string_view path);
+  PStatus sync(fstore::Ino ino);
+
+  Result<std::uint64_t> pread(fstore::Ino ino, std::uint64_t off,
+                              std::span<std::byte> out);
+  Result<std::uint64_t> pwrite(fstore::Ino ino, std::uint64_t off,
+                               std::span<const std::byte> in);
+
+ private:
+  Client(std::unique_ptr<TcpStream> stream, ClientConfig cfg);
+
+  /// One RPC round trip. Request payload comes from `name` and `data`; the
+  /// response is left in resp_ (header + payload).
+  PStatus call(Proc proc, std::string_view name, fstore::Ino ino,
+               std::uint64_t offset, std::uint64_t len, std::uint64_t aux,
+               std::uint16_t flags, std::span<const std::byte> data);
+
+  const RpcHeader& resp_header() const {
+    return *reinterpret_cast<const RpcHeader*>(resp_.data());
+  }
+  const std::byte* resp_data() const {
+    return resp_.data() + sizeof(RpcHeader) + resp_header().name_len;
+  }
+
+  std::unique_ptr<TcpStream> stream_;
+  ClientConfig cfg_;
+  std::uint32_t next_xid_ = 1;
+  std::vector<std::byte> req_;
+  std::vector<std::byte> resp_;
+
+  struct CachedAttrs {
+    fstore::Attrs attrs;
+    std::uint64_t fetched_at = 0;  // virtual ns
+  };
+  std::unordered_map<fstore::Ino, CachedAttrs> attr_cache_;
+};
+
+}  // namespace nfs

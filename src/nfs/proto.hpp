@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "dafs/proto.hpp"
+
+/// \file proto.hpp
+/// The baseline file-access RPC ("NFS-like over TCP"). Procedures mirror the
+/// DAFS namespace/attribute surface but *all* data travels inline in the RPC
+/// payload — there is no direct path; that is the point of the baseline. The
+/// wire record is a fixed header followed by name and data payloads,
+/// length-prefixed by the header itself (framing over the byte stream).
+namespace nfs {
+
+enum class Proc : std::uint8_t {
+  kNull = 0,
+  kOpen,
+  kGetattr,
+  kSetSize,
+  kRemove,
+  kMkdir,
+  kRmdir,
+  kRename,
+  kReaddir,
+  kRead,
+  kWrite,
+  kSync,
+};
+
+/// Reuse the DAFS status vocabulary (both map fstore::Errc).
+using PStatus = dafs::PStatus;
+
+struct RpcHeader {
+  Proc proc = Proc::kNull;
+  PStatus status = PStatus::kOk;
+  std::uint16_t flags = 0;
+  std::uint32_t xid = 0;  // transaction id
+  std::uint64_t ino = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+  std::uint64_t aux = 0;
+  std::uint32_t name_len = 0;
+  std::uint32_t data_len = 0;
+};
+static_assert(sizeof(RpcHeader) == 48);
+
+/// Open flags shared with DAFS.
+using dafs::kOpenCreate;
+using dafs::kOpenExcl;
+using dafs::kOpenTrunc;
+
+/// Classic mount parameters: maximum read/write RPC payload.
+inline constexpr std::uint32_t kDefaultRsize = 32 * 1024;
+inline constexpr std::uint32_t kDefaultWsize = 32 * 1024;
+
+}  // namespace nfs

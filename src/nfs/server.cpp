@@ -1,0 +1,324 @@
+#include "nfs/server.hpp"
+
+#include <pthread.h>
+
+#include <cassert>
+#include <cstring>
+
+namespace nfs {
+
+using sim::Actor;
+using sim::ActorScope;
+using sim::CostKind;
+
+namespace {
+using namespace std::chrono_literals;
+constexpr auto kPollPeriod = 50ms;
+
+/// Split "/a/b/c" into directory path and leaf (same rule as the DAFS
+/// server).
+std::pair<std::string_view, std::string_view> split_path(
+    std::string_view path) {
+  while (!path.empty() && path.back() == '/') path.remove_suffix(1);
+  const auto pos = path.rfind('/');
+  if (pos == std::string_view::npos) return {"", path};
+  return {path.substr(0, pos), path.substr(pos + 1)};
+}
+
+RpcHeader& header_of(std::vector<std::byte>& msg) {
+  return *reinterpret_cast<RpcHeader*>(msg.data());
+}
+
+std::string_view name_of(const std::vector<std::byte>& msg) {
+  const auto& h = *reinterpret_cast<const RpcHeader*>(msg.data());
+  return {reinterpret_cast<const char*>(msg.data() + sizeof(RpcHeader)),
+          h.name_len};
+}
+
+std::byte* data_of(std::vector<std::byte>& msg) {
+  auto& h = header_of(msg);
+  return msg.data() + sizeof(RpcHeader) + h.name_len;
+}
+
+void finish(std::vector<std::byte>& resp) {
+  auto& h = header_of(resp);
+  resp.resize(sizeof(RpcHeader) + h.name_len + h.data_len);
+}
+
+}  // namespace
+
+Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
+    : fabric_(fabric), node_(node), cfg_(std::move(cfg)) {
+  store_ = std::make_unique<fstore::FileStore>(cfg_.store);
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  accept_actor_ = std::make_unique<Actor>("nfs-accept", &fabric_.node(node_));
+  accept_thread_ = std::thread([this] {
+    pthread_setname_np(pthread_self(), "nfs-accept");
+    accept_loop();
+  });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lock(workers_mu_);
+  for (auto& t : worker_threads_) {
+    if (t.joinable()) t.join();
+  }
+  worker_threads_.clear();
+}
+
+sim::BusyBreakdown Server::worker_busy() const {
+  sim::BusyBreakdown total;
+  for (const auto& a : worker_actors_) {
+    for (std::size_t i = 0; i < total.by_kind.size(); ++i) {
+      total.by_kind[i] += a->busy().by_kind[i];
+    }
+  }
+  return total;
+}
+
+void Server::accept_loop() {
+  ActorScope scope(*accept_actor_);
+  TcpListener listener(fabric_, node_, cfg_.service);
+  int next_worker = 0;
+  while (running_.load()) {
+    auto stream = listener.accept(kPollPeriod);
+    if (!stream) continue;
+    std::lock_guard lock(workers_mu_);
+    worker_actors_.push_back(std::make_unique<Actor>(
+        "nfsd" + std::to_string(next_worker++), &fabric_.node(node_)));
+    Actor* actor = worker_actors_.back().get();
+    worker_threads_.emplace_back(
+        [this, s = std::shared_ptr<TcpStream>(std::move(stream)), actor] {
+          ActorScope inner(*actor);
+          serve(*s, *actor);
+        });
+    fabric_.stats().add("nfs.connections");
+  }
+}
+
+void Server::serve(TcpStream& stream, sim::Actor&) {
+  std::vector<std::byte> req;
+  std::vector<std::byte> resp;
+  while (running_.load()) {
+    RpcHeader h;
+    if (!stream.recv_exact(
+            std::span(reinterpret_cast<std::byte*>(&h), sizeof(h)))) {
+      return;  // client closed
+    }
+    req.resize(sizeof(RpcHeader) + h.name_len + h.data_len);
+    std::memcpy(req.data(), &h, sizeof(h));
+    if (h.name_len + h.data_len > 0) {
+      if (!stream.recv_exact(std::span(req.data() + sizeof(h),
+                                       h.name_len + h.data_len))) {
+        return;
+      }
+    }
+    resp.assign(sizeof(RpcHeader) + cfg_.max_payload, std::byte{0});
+    dispatch(req, resp);
+    if (!stream.send(resp)) return;
+  }
+}
+
+void Server::dispatch(std::vector<std::byte>& req,
+                      std::vector<std::byte>& resp) {
+  Actor* actor = Actor::current();
+  const sim::CostModel& cm = fabric_.cost();
+  actor->charge(CostKind::kDispatch, cm.request_dispatch + cm.fs_op);
+  fabric_.stats().add("nfs.requests");
+
+  RpcHeader& rq = header_of(req);
+  RpcHeader& rs = header_of(resp);
+  rs = RpcHeader{};
+  rs.proc = rq.proc;
+  rs.xid = rq.xid;
+  rs.status = PStatus::kOk;
+
+  switch (rq.proc) {
+    case Proc::kNull:
+      break;
+    case Proc::kOpen: {
+      const auto [dir_path, leaf] = split_path(name_of(req));
+      fstore::Ino ino = fstore::kInvalidIno;
+      if (leaf.empty()) {
+        ino = fstore::kRootIno;
+      } else {
+        auto dir = store_->resolve(dir_path);
+        if (!dir.ok()) {
+          rs.status = dafs::to_pstatus(dir.error());
+          break;
+        }
+        if (rq.flags & kOpenCreate) {
+          auto r = store_->create(dir.value(), leaf, (rq.flags & kOpenExcl) != 0);
+          if (!r.ok()) {
+            rs.status = dafs::to_pstatus(r.error());
+            break;
+          }
+          ino = r.value();
+        } else {
+          auto r = store_->lookup(dir.value(), leaf);
+          if (!r.ok()) {
+            rs.status = dafs::to_pstatus(r.error());
+            break;
+          }
+          ino = r.value();
+        }
+      }
+      if (rq.flags & kOpenTrunc) {
+        if (auto e = store_->set_size(ino, 0); e != fstore::Errc::kOk) {
+          rs.status = dafs::to_pstatus(e);
+          break;
+        }
+      }
+      auto attrs = store_->getattr(ino);
+      if (!attrs.ok()) {
+        rs.status = dafs::to_pstatus(attrs.error());
+        break;
+      }
+      rs.ino = ino;
+      rs.data_len = sizeof(fstore::Attrs);
+      std::memcpy(data_of(resp), &attrs.value(), sizeof(fstore::Attrs));
+      break;
+    }
+    case Proc::kGetattr: {
+      auto attrs = store_->getattr(rq.ino);
+      if (!attrs.ok()) {
+        rs.status = dafs::to_pstatus(attrs.error());
+        break;
+      }
+      rs.ino = rq.ino;
+      rs.data_len = sizeof(fstore::Attrs);
+      std::memcpy(data_of(resp), &attrs.value(), sizeof(fstore::Attrs));
+      break;
+    }
+    case Proc::kSetSize:
+      rs.status = dafs::to_pstatus(store_->set_size(rq.ino, rq.aux));
+      break;
+    case Proc::kRemove: {
+      const auto [dir_path, leaf] = split_path(name_of(req));
+      auto dir = store_->resolve(dir_path);
+      if (!dir.ok()) {
+        rs.status = dafs::to_pstatus(dir.error());
+        break;
+      }
+      rs.status = dafs::to_pstatus(store_->remove(dir.value(), leaf));
+      break;
+    }
+    case Proc::kMkdir: {
+      const auto [dir_path, leaf] = split_path(name_of(req));
+      auto dir = store_->resolve(dir_path);
+      if (!dir.ok()) {
+        rs.status = dafs::to_pstatus(dir.error());
+        break;
+      }
+      auto r = store_->mkdir(dir.value(), leaf);
+      if (!r.ok()) {
+        rs.status = dafs::to_pstatus(r.error());
+        break;
+      }
+      rs.ino = r.value();
+      break;
+    }
+    case Proc::kRmdir: {
+      const auto [dir_path, leaf] = split_path(name_of(req));
+      auto dir = store_->resolve(dir_path);
+      if (!dir.ok()) {
+        rs.status = dafs::to_pstatus(dir.error());
+        break;
+      }
+      rs.status = dafs::to_pstatus(store_->rmdir(dir.value(), leaf));
+      break;
+    }
+    case Proc::kRename: {
+      const std::string_view both = name_of(req);
+      const auto nul = both.find('\0');
+      if (nul == std::string_view::npos) {
+        rs.status = PStatus::kInval;
+        break;
+      }
+      const auto [fd_path, f_leaf] = split_path(both.substr(0, nul));
+      const auto [td_path, t_leaf] = split_path(both.substr(nul + 1));
+      auto fd = store_->resolve(fd_path);
+      auto td = store_->resolve(td_path);
+      if (!fd.ok() || !td.ok()) {
+        rs.status = dafs::to_pstatus(!fd.ok() ? fd.error() : td.error());
+        break;
+      }
+      rs.status = dafs::to_pstatus(
+          store_->rename(fd.value(), f_leaf, td.value(), t_leaf));
+      break;
+    }
+    case Proc::kReaddir: {
+      auto dir = store_->resolve(name_of(req));
+      if (!dir.ok()) {
+        rs.status = dafs::to_pstatus(dir.error());
+        break;
+      }
+      auto entries = store_->readdir(dir.value());
+      if (!entries.ok()) {
+        rs.status = dafs::to_pstatus(entries.error());
+        break;
+      }
+      std::byte* out = data_of(resp);
+      const std::byte* end = resp.data() + sizeof(RpcHeader) + cfg_.max_payload;
+      std::uint64_t i = rq.offset;
+      std::uint32_t packed = 0;
+      for (; i < entries.value().size(); ++i) {
+        const auto& e = entries.value()[i];
+        const std::size_t need = sizeof(dafs::WireDirent) + e.name.size();
+        if (out + need > end) break;
+        dafs::WireDirent wd;
+        wd.ino = e.ino;
+        wd.is_dir = e.is_dir ? 1 : 0;
+        wd.name_len = static_cast<std::uint32_t>(e.name.size());
+        std::memcpy(out, &wd, sizeof(wd));
+        std::memcpy(out + sizeof(wd), e.name.data(), e.name.size());
+        out += need;
+        ++packed;
+      }
+      rs.len = packed;
+      rs.aux = i;
+      rs.flags = (i >= entries.value().size()) ? 1 : 0;
+      rs.data_len = static_cast<std::uint32_t>(out - data_of(resp));
+      break;
+    }
+    case Proc::kRead: {
+      const std::uint64_t want =
+          std::min<std::uint64_t>(rq.len, cfg_.max_payload);
+      auto r = store_->pread(rq.ino, rq.offset,
+                             std::span<std::byte>(data_of(resp), want));
+      if (!r.ok()) {
+        rs.status = dafs::to_pstatus(r.error());
+        break;
+      }
+      rs.len = r.value();
+      rs.data_len = static_cast<std::uint32_t>(r.value());
+      fabric_.stats().add("nfs.read_bytes", r.value());
+      break;
+    }
+    case Proc::kWrite: {
+      auto r = store_->pwrite(
+          rq.ino, rq.offset,
+          std::span<const std::byte>(data_of(req), rq.data_len));
+      if (!r.ok()) {
+        rs.status = dafs::to_pstatus(r.error());
+        break;
+      }
+      rs.len = r.value();
+      fabric_.stats().add("nfs.write_bytes", r.value());
+      break;
+    }
+    case Proc::kSync:
+      rs.status = dafs::to_pstatus(store_->sync(rq.ino));
+      break;
+  }
+  finish(resp);
+}
+
+}  // namespace nfs

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fstore/file_store.hpp"
+#include "nfs/proto.hpp"
+#include "nfs/tcp.hpp"
+#include "sim/actor.hpp"
+#include "sim/fabric.hpp"
+
+namespace nfs {
+
+struct ServerConfig {
+  std::string service = "nfs";
+  fstore::Options store;
+  std::uint32_t max_payload = 64 * 1024;  // server-side RPC payload cap
+};
+
+/// The kernel-NFS-like baseline server: one nfsd thread per connection, all
+/// data copied through RPC payloads over the emulated TCP stack.
+class Server {
+ public:
+  Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void start();
+  void stop();
+
+  fstore::FileStore& store() { return *store_; }
+  const ServerConfig& config() const { return cfg_; }
+  sim::BusyBreakdown worker_busy() const;
+
+ private:
+  void accept_loop();
+  void serve(TcpStream& stream, sim::Actor& actor);
+  void dispatch(std::vector<std::byte>& req, std::vector<std::byte>& resp);
+
+  sim::Fabric& fabric_;
+  sim::NodeId node_;
+  ServerConfig cfg_;
+  std::unique_ptr<fstore::FileStore> store_;
+
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::unique_ptr<sim::Actor> accept_actor_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> worker_threads_;
+  std::vector<std::unique_ptr<sim::Actor>> worker_actors_;
+};
+
+}  // namespace nfs

@@ -1,0 +1,17 @@
+#include "sim/actor.hpp"
+
+namespace sim {
+
+namespace {
+thread_local Actor* g_current_actor = nullptr;
+}  // namespace
+
+Actor* Actor::current() { return g_current_actor; }
+
+ActorScope::ActorScope(Actor& actor) : prev_(g_current_actor) {
+  g_current_actor = &actor;
+}
+
+ActorScope::~ActorScope() { g_current_actor = prev_; }
+
+}  // namespace sim

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace sim {
+
+/// Minimal expected<T, E>: a value or an error code. Used across modules so
+/// hot paths stay exception-free (errors are part of normal control flow for
+/// a file system / transport: ENOENT, timeouts, protection faults).
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : v_(std::in_place_index<0>, std::move(value)) {}
+  Expected(E error) : v_(std::in_place_index<1>, std::move(error)) {}
+
+  bool ok() const { return v_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<0>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<0>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(v_));
+  }
+  E error() const {
+    assert(!ok());
+    return std::get<1>(v_);
+  }
+
+  T value_or(T fallback) const { return ok() ? std::get<0>(v_) : fallback; }
+
+ private:
+  std::variant<T, E> v_;
+};
+
+}  // namespace sim

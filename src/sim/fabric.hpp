@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cost_model.hpp"
+#include "sim/node.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace sim {
+
+/// The simulated cluster interconnect: a set of Nodes joined by an ideal
+/// switch. Each node has dedicated egress/ingress link segments that
+/// serialize at the configured rate; `transfer` computes when a packetized
+/// message's last byte lands at the receiver, pushing through any contention
+/// on either segment (cut-through forwarding: the receive segment starts one
+/// propagation delay after the send segment).
+///
+/// The fabric also provides the cluster "name service" used for connection
+/// establishment (VIA VI listeners, TCP listen sockets, MPI rank bootstrap):
+/// a plain key -> opaque-pointer map, standing in for the out-of-band
+/// discovery mechanism a real cluster would use.
+class Fabric {
+ public:
+  explicit Fabric(CostModel cm = {}) : cost_(cm) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  NodeId add_node(const std::string& name);
+  Node& node(NodeId id);
+  std::size_t node_count() const;
+
+  const CostModel& cost() const { return cost_; }
+
+  /// Arrival time at `dst` of the last byte of a `bytes`-sized message
+  /// injected at `src` no earlier than `ready`. Packetizes at the MTU and
+  /// charges per-packet NIC processing on the wire occupation. Does not
+  /// charge any host CPU: callers model their own doorbell/interrupt costs.
+  Time transfer(NodeId src, NodeId dst, std::uint64_t bytes, Time ready);
+
+  // -- name service --------------------------------------------------------
+  void bind(const std::string& key, void* endpoint);
+  void unbind(const std::string& key);
+  void* lookup(const std::string& key) const;
+
+  Stats& stats() { return stats_; }
+
+ private:
+  CostModel cost_;
+  mutable std::mutex nodes_mu_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+
+  mutable std::mutex names_mu_;
+  std::unordered_map<std::string, void*> names_;
+
+  Stats stats_;
+};
+
+}  // namespace sim

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/resource.hpp"
+
+namespace sim {
+
+using NodeId = std::uint32_t;
+
+/// A host in the simulated cluster: one CPU resource (all protocol, copy and
+/// kernel work on the host serializes through it) and one full-duplex NIC
+/// port (separate egress/ingress link resources).
+struct Node {
+  Node(NodeId id_, std::string name_)
+      : id(id_),
+        name(std::move(name_)),
+        cpu(name + ".cpu"),
+        egress(name + ".tx"),
+        ingress(name + ".rx") {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id;
+  std::string name;
+  Resource cpu;
+  Resource egress;
+  Resource ingress;
+};
+
+}  // namespace sim

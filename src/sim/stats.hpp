@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace sim {
+
+/// Named event counters (bytes copied, RDMA operations, kernel crossings,
+/// packets on the wire, ...). Cheap enough for per-operation increments;
+/// benchmarks snapshot/diff them to report the "why" behind the timings.
+class Stats {
+ public:
+  void add(const std::string& key, std::uint64_t v = 1) {
+    std::lock_guard lock(mu_);
+    counters_[key] += v;
+  }
+
+  std::uint64_t get(const std::string& key) const {
+    std::lock_guard lock(mu_);
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  std::map<std::string, std::uint64_t> snapshot() const {
+    std::lock_guard lock(mu_);
+    return counters_;
+  }
+
+  void reset() {
+    std::lock_guard lock(mu_);
+    counters_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace sim

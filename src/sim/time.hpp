@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file time.hpp
+/// Virtual-time base types. All modelled durations/instants in this project
+/// are expressed in virtual nanoseconds (`sim::Time`). Virtual time is
+/// advanced analytically by the cost engine and is fully decoupled from wall
+/// clock: benchmarks report these values because they are deterministic and
+/// calibrated to the paper-era hardware, while data movement still happens
+/// for real.
+namespace sim {
+
+/// Virtual nanoseconds.
+using Time = std::uint64_t;
+
+inline constexpr Time kUsec = 1'000;
+inline constexpr Time kMsec = 1'000'000;
+inline constexpr Time kSec = 1'000'000'000;
+
+/// Convert microseconds (possibly fractional) to virtual time.
+constexpr Time usec(double u) { return static_cast<Time>(u * 1'000.0 + 0.5); }
+
+/// Convert virtual time to (fractional) microseconds, for reporting.
+constexpr double to_usec(Time t) { return static_cast<double>(t) / 1'000.0; }
+
+/// Convert virtual time to (fractional) milliseconds, for reporting.
+constexpr double to_msec(Time t) { return static_cast<double>(t) / 1'000'000.0; }
+
+}  // namespace sim

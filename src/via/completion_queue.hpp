@@ -1,0 +1,59 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "via/descriptor.hpp"
+#include "via/types.hpp"
+
+namespace via {
+
+class Vi;
+
+/// One reaped work completion: which VI, which descriptor, which queue.
+struct Completion {
+  Vi* vi = nullptr;
+  Descriptor* desc = nullptr;
+  bool is_recv = false;
+};
+
+/// A VIA completion queue: multiple VIs' work queues can funnel their
+/// completions into one CQ so a server thread can wait on many connections
+/// at once (this is how the DAFS server and the MPI progress engine multiplex
+/// sessions). Reaping a completion charges the reaper the per-completion cost
+/// and synchronizes its virtual clock with the completion instant.
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(std::size_t depth = 4096) : depth_(depth) {}
+
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Block (real time) until a completion is available or `timeout` expires.
+  Status wait(Completion& out, std::chrono::milliseconds timeout);
+
+  /// Non-blocking reap; kNotDone when empty.
+  Status poll(Completion& out);
+
+  std::size_t pending() const {
+    std::lock_guard lock(mu_);
+    return q_.size();
+  }
+
+  std::size_t depth() const { return depth_; }
+
+ private:
+  friend class Vi;
+  void push(const Completion& c);
+  Status finish_reap(Completion& out);  // charges reap cost; mu_ NOT held
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Completion> q_;
+  std::size_t depth_;
+};
+
+}  // namespace via

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "via/types.hpp"
+
+namespace via {
+
+/// What a posted descriptor asks the NIC to do.
+enum class Opcode : std::uint8_t {
+  kSend,       // two-sided: consumes a receive descriptor at the peer
+  kReceive,    // scatter target for an incoming send
+  kRdmaWrite,  // one-sided write to peer memory (optional immediate data)
+  kRdmaRead,   // one-sided read from peer memory (reliable VIs only)
+};
+
+/// Completion state of a descriptor.
+enum class DescStatus : std::uint8_t {
+  kIdle = 0,          // never posted / reaped
+  kPosted,            // on a work queue
+  kSuccess,
+  kFormatError,       // bad segment list / over max_transfer
+  kProtectionError,   // local segment not registered for the access
+  kRdmaProtectionError,  // remote segment rejected by the target NIC
+  kFlushed,           // connection went away while posted
+  kDropped,           // unreliable VI: peer had no receive descriptor
+};
+
+constexpr const char* to_string(DescStatus s) {
+  switch (s) {
+    case DescStatus::kIdle: return "idle";
+    case DescStatus::kPosted: return "posted";
+    case DescStatus::kSuccess: return "success";
+    case DescStatus::kFormatError: return "format-error";
+    case DescStatus::kProtectionError: return "protection-error";
+    case DescStatus::kRdmaProtectionError: return "rdma-protection-error";
+    case DescStatus::kFlushed: return "flushed";
+    case DescStatus::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+/// One local gather/scatter element. `addr` must lie inside a region
+/// registered with `handle` on the posting NIC.
+struct DataSegment {
+  std::byte* addr = nullptr;
+  MemHandle handle = kInvalidMemHandle;
+  std::uint32_t len = 0;
+};
+
+/// Remote target of an RDMA operation: a virtual address inside a region the
+/// *peer* registered, plus the peer's memory handle for it.
+struct RemoteSegment {
+  std::uint64_t addr = 0;
+  MemHandle handle = kInvalidMemHandle;
+};
+
+/// A VIA work-queue descriptor. Like VIPL, descriptors are caller-owned and
+/// must stay alive (and unmodified) from post until reap; the library fills
+/// in the completion fields.
+struct Descriptor {
+  // ---- request (caller fills) -------------------------------------------
+  Opcode op = Opcode::kSend;
+  std::vector<DataSegment> segs;  // gather (send/rdma) or scatter (recv)
+  RemoteSegment remote;           // RDMA only
+  bool has_immediate = false;     // send / rdma-write: deliver 32-bit imm
+  std::uint32_t immediate = 0;
+
+  // ---- completion (library fills) ---------------------------------------
+  DescStatus status = DescStatus::kIdle;
+  std::uint32_t length = 0;        // bytes actually transferred
+  std::uint32_t recv_immediate = 0;
+  bool recv_has_immediate = false;
+  sim::Time done_at = 0;           // virtual completion instant
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& s : segs) n += s.len;
+    return n;
+  }
+
+  bool ok() const { return status == DescStatus::kSuccess; }
+};
+
+}  // namespace via

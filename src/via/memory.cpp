@@ -1,0 +1,49 @@
+#include "via/memory.hpp"
+
+namespace via {
+
+MemHandle MemoryRegistry::register_region(void* base, std::size_t len,
+                                          ProtectionTag tag, MemAttrs attrs) {
+  std::lock_guard lock(mu_);
+  const MemHandle h = next_++;
+  regions_[h] = Region{static_cast<std::byte*>(base), len, tag, attrs};
+  return h;
+}
+
+Status MemoryRegistry::deregister(MemHandle h) {
+  std::lock_guard lock(mu_);
+  return regions_.erase(h) == 1 ? Status::kSuccess : Status::kInvalidParameter;
+}
+
+bool MemoryRegistry::validate_local(MemHandle h, const std::byte* addr,
+                                    std::uint64_t len) const {
+  std::lock_guard lock(mu_);
+  auto it = regions_.find(h);
+  if (it == regions_.end()) return false;
+  const Region& r = it->second;
+  return addr >= r.base && addr + len <= r.base + r.len;
+}
+
+Status MemoryRegistry::validate_rdma(MemHandle h, std::uint64_t addr,
+                                     std::uint64_t len, bool is_write,
+                                     ProtectionTag required_tag) const {
+  std::lock_guard lock(mu_);
+  auto it = regions_.find(h);
+  if (it == regions_.end()) return Status::kInvalidMemory;
+  const Region& r = it->second;
+  const auto base = reinterpret_cast<std::uint64_t>(r.base);
+  if (addr < base || addr + len > base + r.len) return Status::kInvalidMemory;
+  if (is_write && !r.attrs.enable_rdma_write) return Status::kInvalidRdmaOp;
+  if (!is_write && !r.attrs.enable_rdma_read) return Status::kInvalidRdmaOp;
+  if (required_tag != 0 && r.tag != required_tag) {
+    return Status::kInvalidMemory;
+  }
+  return Status::kSuccess;
+}
+
+std::size_t MemoryRegistry::region_count() const {
+  std::lock_guard lock(mu_);
+  return regions_.size();
+}
+
+}  // namespace via

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "via/types.hpp"
+
+namespace via {
+
+/// Per-NIC table of registered memory regions. Registration is the VIA
+/// contract that makes user-level DMA safe: the NIC refuses to touch any
+/// address not covered by a live registration with the right protection tag
+/// and access rights. Upper layers (DAFS direct I/O, MPI rendezvous) depend
+/// on these checks, and the cost of registration is a first-class quantity
+/// in the evaluation (E10: registration cache ablation).
+class MemoryRegistry {
+ public:
+  /// Register [base, base+len). Returns the handle the NIC will honour.
+  MemHandle register_region(void* base, std::size_t len, ProtectionTag tag,
+                            MemAttrs attrs);
+
+  /// Remove a registration. kInvalidParameter if unknown.
+  Status deregister(MemHandle h);
+
+  /// Is [addr, addr+len) inside the region of `h`? (local send/recv access)
+  bool validate_local(MemHandle h, const std::byte* addr,
+                      std::uint64_t len) const;
+
+  /// Validate an RDMA access by a remote initiator: handle known, range in
+  /// bounds, the region was registered with the matching RDMA right, and —
+  /// when `required_tag` is nonzero — the region's protection tag matches
+  /// the target VI's tag.
+  Status validate_rdma(MemHandle h, std::uint64_t addr, std::uint64_t len,
+                       bool is_write, ProtectionTag required_tag = 0) const;
+
+  std::size_t region_count() const;
+
+ private:
+  struct Region {
+    std::byte* base;
+    std::uint64_t len;
+    ProtectionTag tag;
+    MemAttrs attrs;
+  };
+
+  mutable std::mutex mu_;
+  MemHandle next_ = 1;
+  std::unordered_map<MemHandle, Region> regions_;
+};
+
+}  // namespace via

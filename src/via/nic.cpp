@@ -1,0 +1,159 @@
+#include "via/nic.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/actor.hpp"
+#include "via/vi.hpp"
+
+namespace via {
+
+using sim::Actor;
+using sim::CostKind;
+using sim::Time;
+
+Nic::Nic(sim::Fabric& fabric, sim::NodeId node, std::string name)
+    : fabric_(fabric), node_(node), name_(std::move(name)) {}
+
+Nic::~Nic() = default;
+
+MemHandle Nic::register_memory(void* base, std::size_t len, ProtectionTag tag,
+                               MemAttrs attrs) {
+  if (Actor* actor = Actor::current()) {
+    actor->charge(CostKind::kRegistration, cost().reg_time(len));
+  }
+  fabric_.stats().add("via.registrations");
+  fabric_.stats().add("via.registered_bytes", len);
+  return memory_.register_region(base, len, tag, attrs);
+}
+
+Status Nic::deregister_memory(MemHandle h) {
+  if (Actor* actor = Actor::current()) {
+    actor->charge(CostKind::kRegistration, cost().dereg_base);
+  }
+  fabric_.stats().add("via.deregistrations");
+  return memory_.deregister(h);
+}
+
+Status Nic::connect(Vi& vi, const std::string& service,
+                    std::chrono::milliseconds timeout) {
+  Actor* actor = Actor::current();
+  assert(actor && "connect outside an ActorScope");
+  if (vi.state() != Vi::State::kIdle) return Status::kInvalidState;
+
+  auto* listener = static_cast<Listener*>(fabric_.lookup("via:" + service));
+  if (listener == nullptr) return Status::kNoMatchingListener;
+
+  Listener::Request req;
+  req.client_vi = &vi;
+  req.client_time = actor->now();
+
+  std::unique_lock lock(listener->mu_);
+  if (listener->closed_) return Status::kNoMatchingListener;
+  listener->pending_.push_back(&req);
+  listener->cv_.notify_all();
+
+  const bool got = [&] {
+    if (timeout > std::chrono::hours(1)) {
+      req.cv.wait(lock, [&] { return req.done; });
+      return true;
+    }
+    return req.cv.wait_for(lock, timeout, [&] { return req.done; });
+  }();
+
+  if (!got) {
+    // Withdraw the request if the listener has not claimed it yet; if it
+    // has, we must wait for the (imminent) resolution.
+    auto it = std::find(listener->pending_.begin(), listener->pending_.end(),
+                        &req);
+    if (it != listener->pending_.end()) {
+      listener->pending_.erase(it);
+      return Status::kTimeout;
+    }
+    req.cv.wait(lock, [&] { return req.done; });
+  }
+
+  if (!req.accepted) return Status::kRejected;
+  // The handshake costs a round trip plus setup on each side; complete at
+  // the same (agreed) instant on both ends.
+  actor->charge(CostKind::kProtocol, cost().connect_setup);
+  actor->sync_to(req.server_time + cost().propagation);
+  fabric_.stats().add("via.connects");
+  return Status::kSuccess;
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+Listener::Listener(Nic& nic, std::string service)
+    : nic_(nic), service_(std::move(service)), key_("via:" + service_) {
+  nic_.fabric().bind(key_, this);
+}
+
+Listener::~Listener() {
+  nic_.fabric().unbind(key_);
+  std::lock_guard lock(mu_);
+  closed_ = true;
+  for (Request* req : pending_) {
+    req->done = true;
+    req->accepted = false;
+    req->cv.notify_all();
+  }
+  pending_.clear();
+}
+
+Status Listener::take_request(Request*& out, std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  const bool got = [&] {
+    if (timeout > std::chrono::hours(1)) {
+      cv_.wait(lock, [&] { return !pending_.empty() || closed_; });
+      return true;
+    }
+    return cv_.wait_for(lock, timeout,
+                        [&] { return !pending_.empty() || closed_; });
+  }();
+  if (!got) return Status::kTimeout;
+  if (closed_ || pending_.empty()) return Status::kInvalidState;
+  out = pending_.front();
+  pending_.pop_front();
+  return Status::kSuccess;
+}
+
+Status Listener::accept(Vi& vi, std::chrono::milliseconds timeout) {
+  Actor* actor = Actor::current();
+  assert(actor && "accept outside an ActorScope");
+  if (vi.state() != Vi::State::kIdle) return Status::kInvalidState;
+
+  Request* req = nullptr;
+  if (Status st = take_request(req, timeout); st != Status::kSuccess) {
+    return st;
+  }
+
+  Vi::link(*req->client_vi, vi);
+  actor->charge(CostKind::kProtocol, nic_.cost().connect_setup);
+  const Time agreed = std::max(actor->now(), req->client_time +
+                                                 nic_.cost().connect_setup);
+  actor->sync_to(agreed + nic_.cost().propagation);
+
+  std::lock_guard lock(mu_);
+  req->server_time = agreed;
+  req->done = true;
+  req->accepted = true;
+  req->cv.notify_all();
+  return Status::kSuccess;
+}
+
+Status Listener::reject(std::chrono::milliseconds timeout) {
+  Request* req = nullptr;
+  if (Status st = take_request(req, timeout); st != Status::kSuccess) {
+    return st;
+  }
+  std::lock_guard lock(mu_);
+  req->done = true;
+  req->accepted = false;
+  req->cv.notify_all();
+  return Status::kSuccess;
+}
+
+}  // namespace via

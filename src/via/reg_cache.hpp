@@ -1,0 +1,96 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "via/nic.hpp"
+
+namespace via {
+
+/// Memory-registration cache: VIA registration pins pages through the
+/// kernel, which costs tens of microseconds — far too much to pay per
+/// operation. Long-lived communication layers (the DAFS client, the MPI
+/// rendezvous path) therefore cache registrations keyed by address range and
+/// evict LRU. Not thread-safe; owned by a single endpoint like the
+/// structures around it.
+class RegCache {
+ public:
+  RegCache(Nic& nic, ProtectionTag tag, std::size_t capacity, bool enabled)
+      : nic_(nic), tag_(tag), capacity_(capacity), enabled_(enabled) {}
+
+  ~RegCache() { clear(); }
+
+  RegCache(const RegCache&) = delete;
+  RegCache& operator=(const RegCache&) = delete;
+
+  /// Handle covering [buf, buf+len), registered with RDMA read+write access.
+  /// When caching is disabled the caller owns releasing via `release`.
+  MemHandle get(const void* buf, std::size_t len) {
+    const auto base = reinterpret_cast<std::uintptr_t>(buf);
+    MemAttrs attrs;
+    attrs.enable_rdma_write = true;
+    attrs.enable_rdma_read = true;
+    if (enabled_) {
+      for (auto& e : entries_) {
+        if (base >= e.base && base + len <= e.base + e.len) {
+          e.last_use = ++clock_;
+          ++hits_;
+          return e.handle;
+        }
+      }
+    }
+    ++misses_;
+    const MemHandle h =
+        nic_.register_memory(const_cast<void*>(buf), len, tag_, attrs);
+    if (!enabled_) return h;
+    if (entries_.size() >= capacity_) {
+      auto victim =
+          std::min_element(entries_.begin(), entries_.end(),
+                           [](const Entry& a, const Entry& b) {
+                             return a.last_use < b.last_use;
+                           });
+      nic_.deregister_memory(victim->handle);
+      entries_.erase(victim);
+      ++evictions_;
+    }
+    entries_.push_back(Entry{base, len, h, ++clock_});
+    return h;
+  }
+
+  /// Release a handle obtained while caching was disabled.
+  void release(MemHandle h) {
+    if (!enabled_) nic_.deregister_memory(h);
+  }
+
+  /// Deregister everything (requires an ActorScope for cost accounting).
+  void clear() {
+    for (const auto& e : entries_) nic_.deregister_memory(e.handle);
+    entries_.clear();
+  }
+
+  bool enabled() const { return enabled_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::uintptr_t base;
+    std::size_t len;
+    MemHandle handle;
+    std::uint64_t last_use;
+  };
+
+  Nic& nic_;
+  ProtectionTag tag_;
+  std::size_t capacity_;
+  bool enabled_;
+  std::vector<Entry> entries_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace via

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file types.hpp
+/// Core VIA vocabulary types, shaped after the VIPL 1.0 API (VipXxx). The
+/// emulation preserves the architectural contract MPI/DAFS code was written
+/// against: memory must be registered before the NIC touches it, work is
+/// posted as descriptors to per-VI queues, completions are reaped by polling
+/// or via completion queues, and reliability levels gate which operations are
+/// legal.
+namespace via {
+
+/// Operation status, mirroring the VIP_* return codes we need.
+enum class Status : std::uint8_t {
+  kSuccess = 0,
+  kNotDone,             // poll: nothing completed yet
+  kTimeout,
+  kInvalidParameter,
+  kInvalidState,        // e.g. posting on an unconnected VI
+  kInvalidMemory,       // segment not covered by a registration
+  kInvalidRdmaOp,       // RDMA not permitted (reliability level / attrs)
+  kNoMatchingListener,  // connect: nobody bound to the discriminator
+  kConnectionLost,      // peer disconnected / VI in error state
+  kErrorResource,       // out of queue resources
+  kRejected,            // connect rejected by peer
+};
+
+constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::kSuccess: return "success";
+    case Status::kNotDone: return "not-done";
+    case Status::kTimeout: return "timeout";
+    case Status::kInvalidParameter: return "invalid-parameter";
+    case Status::kInvalidState: return "invalid-state";
+    case Status::kInvalidMemory: return "invalid-memory";
+    case Status::kInvalidRdmaOp: return "invalid-rdma-op";
+    case Status::kNoMatchingListener: return "no-matching-listener";
+    case Status::kConnectionLost: return "connection-lost";
+    case Status::kErrorResource: return "error-resource";
+    case Status::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+/// VIA reliability levels (VIA spec section 2.4).
+enum class ReliabilityLevel : std::uint8_t {
+  kUnreliable,         // sends may be dropped; no RDMA Read
+  kReliableDelivery,   // send completes once on the wire, delivery guaranteed
+  kReliableReception,  // send completes once received by the peer
+};
+
+/// Opaque handle to a registered memory region.
+using MemHandle = std::uint64_t;
+inline constexpr MemHandle kInvalidMemHandle = 0;
+
+/// Protection tag: registrations and VIs carry one; RDMA access requires the
+/// initiator to present a handle whose tag matches the target registration.
+using ProtectionTag = std::uint64_t;
+
+/// Memory registration attributes.
+struct MemAttrs {
+  bool enable_rdma_write = false;
+  bool enable_rdma_read = false;
+};
+
+/// Per-VI attributes fixed at creation.
+struct ViAttrs {
+  ReliabilityLevel reliability = ReliabilityLevel::kReliableDelivery;
+  std::uint32_t max_transfer = 4u << 20;  // per-descriptor byte limit
+  /// Protection tag of this endpoint. Inbound RDMA against this VI is only
+  /// honoured for regions registered with the same tag (VIA's memory
+  /// protection contract). 0 disables the check.
+  ProtectionTag ptag = 0;
+  /// Strict VIA semantics: a send arriving with no posted receive descriptor
+  /// breaks the connection. When false (default) the emulated link-level
+  /// flow control blocks the sender briefly instead, which is what credit
+  /// schemes on real hardware achieve; upper layers here implement credits,
+  /// and the lenient mode only papers over start-up races in tests.
+  bool strict_no_recv_error = false;
+};
+
+/// Wire header bytes accompanying every VIA message (framing + CRC).
+inline constexpr std::uint32_t kWireHeaderBytes = 64;
+
+}  // namespace via

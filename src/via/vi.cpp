@@ -1,0 +1,530 @@
+#include "via/vi.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "sim/actor.hpp"
+
+namespace via {
+
+using sim::Actor;
+using sim::CostKind;
+using sim::Time;
+
+namespace {
+
+constexpr auto kLenientRecvWait = std::chrono::seconds(5);
+
+/// wait_for with protection against absurd durations (callers use
+/// milliseconds::max() to mean "forever").
+template <typename Pred>
+bool bounded_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
+                  std::chrono::milliseconds timeout, Pred pred) {
+  if (timeout > std::chrono::hours(1)) {
+    cv.wait(lk, pred);
+    return true;
+  }
+  return cv.wait_for(lk, timeout, pred);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CompletionQueue
+// ---------------------------------------------------------------------------
+
+void CompletionQueue::push(const Completion& c) {
+  {
+    std::lock_guard lock(mu_);
+    q_.push_back(c);
+  }
+  cv_.notify_all();
+}
+
+Status CompletionQueue::finish_reap(Completion& out) {
+  Actor* actor = Actor::current();
+  assert(actor && "CQ reaped outside an ActorScope");
+  actor->sync_to(out.desc->done_at);
+  actor->charge(CostKind::kProtocol, out.vi->nic().cost().completion);
+  return Status::kSuccess;
+}
+
+Status CompletionQueue::wait(Completion& out, std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mu_);
+  if (!bounded_wait(cv_, lock, timeout, [&] { return !q_.empty(); })) {
+    return Status::kTimeout;
+  }
+  out = q_.front();
+  q_.pop_front();
+  lock.unlock();
+  return finish_reap(out);
+}
+
+Status CompletionQueue::poll(Completion& out) {
+  {
+    std::lock_guard lock(mu_);
+    if (q_.empty()) return Status::kNotDone;
+    out = q_.front();
+    q_.pop_front();
+  }
+  return finish_reap(out);
+}
+
+// ---------------------------------------------------------------------------
+// Vi lifecycle / channel plumbing
+// ---------------------------------------------------------------------------
+
+Vi::Vi(Nic& nic, ViAttrs attrs, CompletionQueue* send_cq,
+       CompletionQueue* recv_cq)
+    : nic_(nic), attrs_(attrs), send_cq_(send_cq), recv_cq_(recv_cq) {}
+
+Vi::~Vi() { disconnect(); }
+
+void Vi::link(Vi& x, Vi& y) {
+  auto chan = std::make_shared<Channel>();
+  chan->a = &x;
+  chan->b = &y;
+  {
+    std::lock_guard lx(x.mu_);
+    x.chan_ = chan;
+    x.state_ = State::kConnected;
+  }
+  {
+    std::lock_guard ly(y.mu_);
+    y.chan_ = chan;
+    y.state_ = State::kConnected;
+  }
+}
+
+Vi::PeerPin Vi::pin_peer() {
+  PeerPin pin;
+  {
+    std::lock_guard lock(mu_);
+    pin.chan = chan_;
+  }
+  if (!pin.chan) return pin;
+  std::lock_guard lock(pin.chan->ptr_mu);
+  if (pin.chan->a == this) {
+    if (pin.chan->b) {
+      ++pin.chan->use_b;
+      pin.pinned_a = false;
+    }
+    pin.vi = pin.chan->b;
+  } else {
+    if (pin.chan->a) {
+      ++pin.chan->use_a;
+      pin.pinned_a = true;
+    }
+    pin.vi = pin.chan->a;
+  }
+  return pin;
+}
+
+void Vi::unpin_peer(const PeerPin& pin) {
+  if (!pin.chan || pin.vi == nullptr) return;
+  {
+    std::lock_guard lock(pin.chan->ptr_mu);
+    // The peer may have cleared its slot while we held the pin; the recorded
+    // side, not the (possibly nulled) pointer, names the counter.
+    if (pin.pinned_a) {
+      --pin.chan->use_a;
+    } else {
+      --pin.chan->use_b;
+    }
+  }
+  pin.chan->cv.notify_all();
+}
+
+void Vi::unlink() {
+  std::shared_ptr<Channel> chan;
+  {
+    std::lock_guard lock(mu_);
+    chan = chan_;
+    chan_.reset();
+  }
+  if (!chan) return;
+  std::unique_lock lock(chan->ptr_mu);
+  if (chan->a == this) {
+    chan->a = nullptr;
+    chan->cv.wait(lock, [&] { return chan->use_a == 0; });
+  } else if (chan->b == this) {
+    chan->b = nullptr;
+    chan->cv.wait(lock, [&] { return chan->use_b == 0; });
+  }
+}
+
+void Vi::disconnect() {
+  // Tell the peer first (it may be blocked waiting for receives).
+  if (PeerPin pin = pin_peer(); pin.vi != nullptr) {
+    Vi* peer = pin.vi;
+    {
+      std::lock_guard lock(peer->mu_);
+      if (peer->state_ == State::kConnected) {
+        peer->state_ = State::kDisconnected;
+        Actor* actor = Actor::current();
+        peer->flush_recvs_locked(actor ? actor->now() : 0);
+      }
+    }
+    peer->cv_.notify_all();
+    unpin_peer(pin);
+  }
+  unlink();
+  {
+    std::lock_guard lock(mu_);
+    if (state_ == State::kConnected || state_ == State::kIdle) {
+      state_ = State::kDisconnected;
+    }
+    Actor* actor = Actor::current();
+    flush_recvs_locked(actor ? actor->now() : 0);
+  }
+  cv_.notify_all();
+}
+
+Vi::State Vi::state() const {
+  std::lock_guard lock(mu_);
+  return state_;
+}
+
+std::size_t Vi::posted_recvs() const {
+  std::lock_guard lock(mu_);
+  return recv_posted_.size();
+}
+
+void Vi::flush_recvs_locked(Time t) {
+  while (!recv_posted_.empty()) {
+    Descriptor* d = recv_posted_.front();
+    recv_posted_.pop_front();
+    d->status = DescStatus::kFlushed;
+    d->length = 0;
+    d->done_at = t;
+    complete_recv_locked(*d);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Completion delivery
+// ---------------------------------------------------------------------------
+
+void Vi::complete_send(Descriptor& d) {
+  if (send_cq_ != nullptr) {
+    send_cq_->push(Completion{this, &d, /*is_recv=*/false});
+    return;
+  }
+  {
+    std::lock_guard lock(mu_);
+    send_done_q_.push_back(&d);
+  }
+  cv_.notify_all();
+}
+
+void Vi::complete_recv_locked(Descriptor& d) {
+  if (recv_cq_ != nullptr) {
+    recv_cq_->push(Completion{this, &d, /*is_recv=*/true});
+    return;
+  }
+  recv_done_q_.push_back(&d);
+  cv_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Posting
+// ---------------------------------------------------------------------------
+
+Status Vi::post_recv(Descriptor& d) {
+  if (d.op != Opcode::kReceive && d.op != Opcode::kSend) {
+    // Tolerate callers reusing a descriptor; normalize to receive.
+  }
+  d.op = Opcode::kReceive;
+  for (const auto& seg : d.segs) {
+    if (seg.len != 0 &&
+        !nic_.memory().validate_local(seg.handle, seg.addr, seg.len)) {
+      return Status::kInvalidMemory;
+    }
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (state_ == State::kError) return Status::kInvalidState;
+    d.status = DescStatus::kPosted;
+    d.length = 0;
+    d.recv_has_immediate = false;
+    recv_posted_.push_back(&d);
+  }
+  cv_.notify_all();
+  nic_.fabric().stats().add("via.recv_posted");
+  return Status::kSuccess;
+}
+
+Status Vi::post_send(Descriptor& d) {
+  Actor* actor = Actor::current();
+  assert(actor && "post_send outside an ActorScope");
+  const sim::CostModel& cm = nic_.cost();
+
+  if (d.op == Opcode::kReceive) return Status::kInvalidParameter;
+  {
+    std::lock_guard lock(mu_);
+    if (state_ != State::kConnected) return Status::kInvalidState;
+  }
+  if (d.op == Opcode::kRdmaRead &&
+      attrs_.reliability == ReliabilityLevel::kUnreliable) {
+    return Status::kInvalidRdmaOp;
+  }
+  const std::uint64_t total = d.total_bytes();
+  if (total > attrs_.max_transfer) return Status::kInvalidParameter;
+
+  // Local gather/scatter segments must be registered.
+  for (const auto& seg : d.segs) {
+    if (seg.len != 0 &&
+        !nic_.memory().validate_local(seg.handle, seg.addr, seg.len)) {
+      d.status = DescStatus::kProtectionError;
+      d.done_at = actor->now();
+      complete_send(d);
+      return Status::kSuccess;  // error is reported via the completion
+    }
+  }
+
+  d.status = DescStatus::kPosted;
+  actor->charge(CostKind::kProtocol, cm.doorbell);
+  const Time wire_start = actor->now() + cm.dma_setup;
+
+  PeerPin pin = pin_peer();
+  Vi* peer = pin.vi;
+  if (peer == nullptr) {
+    d.status = DescStatus::kFlushed;
+    d.done_at = actor->now();
+    complete_send(d);
+    return Status::kSuccess;
+  }
+
+  const sim::NodeId src = nic_.node_id();
+  const sim::NodeId dst = peer->nic().node_id();
+  sim::Fabric& fabric = nic_.fabric();
+  const bool lenient = !attrs_.strict_no_recv_error;
+
+  switch (d.op) {
+    case Opcode::kSend: {
+      const Time arrival =
+          fabric.transfer(src, dst, kWireHeaderBytes + total, wire_start);
+      DepositOutcome out = peer->deposit(&d, static_cast<std::uint32_t>(total),
+                                         d.has_immediate, d.immediate, arrival,
+                                         lenient);
+      d.status = out.sender_status;
+      d.length = static_cast<std::uint32_t>(total);
+      d.done_at = attrs_.reliability == ReliabilityLevel::kReliableReception
+                      ? std::max(arrival, out.delivered)
+                      : std::max(wire_start, arrival - cm.propagation);
+      if (out.broke) {
+        std::lock_guard lock(mu_);
+        state_ = State::kError;
+      }
+      fabric.stats().add("via.sends");
+      fabric.stats().add("via.send_bytes", total);
+      break;
+    }
+    case Opcode::kRdmaWrite: {
+      const Status vs = peer->nic().memory().validate_rdma(
+          d.remote.handle, d.remote.addr, total, /*is_write=*/true,
+          peer->attrs().ptag);
+      if (vs != Status::kSuccess) {
+        d.status = DescStatus::kRdmaProtectionError;
+        d.done_at = actor->now();
+        break;
+      }
+      // The NIC's DMA engine moves the data; no host CPU is charged.
+      auto* dst_mem = reinterpret_cast<std::byte*>(d.remote.addr);
+      std::uint64_t off = 0;
+      for (const auto& seg : d.segs) {
+        std::memcpy(dst_mem + off, seg.addr, seg.len);
+        off += seg.len;
+      }
+      const Time arrival =
+          fabric.transfer(src, dst, kWireHeaderBytes + total, wire_start);
+      if (d.has_immediate) {
+        DepositOutcome out =
+            peer->deposit(nullptr, static_cast<std::uint32_t>(total),
+                          /*has_imm=*/true, d.immediate, arrival, lenient);
+        if (out.sender_status != DescStatus::kSuccess &&
+            out.sender_status != DescStatus::kDropped) {
+          d.status = out.sender_status;
+          d.done_at = arrival;
+          if (out.broke) {
+            std::lock_guard lock(mu_);
+            state_ = State::kError;
+          }
+          break;
+        }
+      }
+      d.status = DescStatus::kSuccess;
+      d.length = static_cast<std::uint32_t>(total);
+      d.done_at = attrs_.reliability == ReliabilityLevel::kReliableReception
+                      ? arrival
+                      : std::max(wire_start, arrival - cm.propagation);
+      fabric.stats().add("via.rdma_writes");
+      fabric.stats().add("via.rdma_write_bytes", total);
+      break;
+    }
+    case Opcode::kRdmaRead: {
+      const Status vs = peer->nic().memory().validate_rdma(
+          d.remote.handle, d.remote.addr, total, /*is_write=*/false,
+          peer->attrs().ptag);
+      if (vs != Status::kSuccess) {
+        d.status = DescStatus::kRdmaProtectionError;
+        d.done_at = actor->now();
+        break;
+      }
+      const auto* src_mem = reinterpret_cast<const std::byte*>(d.remote.addr);
+      std::uint64_t off = 0;
+      for (const auto& seg : d.segs) {
+        std::memcpy(seg.addr, src_mem + off, seg.len);
+        off += seg.len;
+      }
+      // Request goes out, data comes back: one round trip plus the payload.
+      const Time req_arrival =
+          fabric.transfer(src, dst, kWireHeaderBytes, wire_start);
+      const Time arrival = fabric.transfer(
+          dst, src, kWireHeaderBytes + total, req_arrival + cm.dma_setup);
+      d.status = DescStatus::kSuccess;
+      d.length = static_cast<std::uint32_t>(total);
+      d.done_at = arrival;
+      fabric.stats().add("via.rdma_reads");
+      fabric.stats().add("via.rdma_read_bytes", total);
+      break;
+    }
+    case Opcode::kReceive:
+      break;  // unreachable; handled above
+  }
+
+  unpin_peer(pin);
+  complete_send(d);
+  return Status::kSuccess;
+}
+
+// ---------------------------------------------------------------------------
+// Deposit (runs on the sender's thread, against the receiving VI)
+// ---------------------------------------------------------------------------
+
+Vi::DepositOutcome Vi::deposit(const Descriptor* gather,
+                               std::uint32_t report_len, bool has_imm,
+                               std::uint32_t imm, Time arrival,
+                               bool lenient_wait) {
+  std::unique_lock lock(mu_);
+  if (state_ != State::kConnected) {
+    return DepositOutcome{DescStatus::kFlushed, false};
+  }
+
+  if (recv_posted_.empty()) {
+    if (attrs_.reliability == ReliabilityLevel::kUnreliable) {
+      nic_.fabric().stats().add("via.unreliable_drops");
+      return DepositOutcome{DescStatus::kDropped, false};
+    }
+    if (lenient_wait) {
+      // Emulated link-level flow control: give the receiver a moment (real
+      // time) to replenish its descriptor pool.
+      cv_.wait_for(lock, kLenientRecvWait, [&] {
+        return !recv_posted_.empty() || state_ != State::kConnected;
+      });
+      if (state_ != State::kConnected) {
+        return DepositOutcome{DescStatus::kFlushed, false};
+      }
+    }
+    if (recv_posted_.empty()) {
+      // Strict VIA semantics: the connection breaks.
+      state_ = State::kError;
+      flush_recvs_locked(arrival);
+      nic_.fabric().stats().add("via.no_recv_errors");
+      return DepositOutcome{DescStatus::kFlushed, true};
+    }
+  }
+
+  Descriptor* r = recv_posted_.front();
+  recv_posted_.pop_front();
+
+  std::uint32_t copied = 0;
+  if (gather != nullptr) {
+    // Two-sided delivery: the receiving NIC fetches the descriptor and sets
+    // up the scatter — the per-message work RDMA avoids.
+    arrival += nic_.cost().recv_descriptor;
+    // Scatter the gathered bytes into the receive descriptor's segments.
+    std::uint64_t capacity = r->total_bytes();
+    if (gather->total_bytes() > capacity) {
+      // Message longer than the posted buffer: both sides see an error.
+      r->status = DescStatus::kFormatError;
+      r->length = 0;
+      r->done_at = arrival;
+      complete_recv_locked(*r);
+      return DepositOutcome{DescStatus::kFormatError, false};
+    }
+    auto dst_it = r->segs.begin();
+    std::uint32_t dst_off = 0;
+    for (const auto& sseg : gather->segs) {
+      std::uint32_t src_off = 0;
+      while (src_off < sseg.len) {
+        while (dst_it != r->segs.end() && dst_it->len == dst_off) {
+          ++dst_it;
+          dst_off = 0;
+        }
+        assert(dst_it != r->segs.end());
+        const std::uint32_t n =
+            std::min(sseg.len - src_off, dst_it->len - dst_off);
+        std::memcpy(dst_it->addr + dst_off, sseg.addr + src_off, n);
+        src_off += n;
+        dst_off += n;
+        copied += n;
+      }
+    }
+    r->length = copied;
+  } else {
+    r->length = report_len;  // RDMA write w/ immediate: data already placed
+  }
+
+  r->status = DescStatus::kSuccess;
+  r->recv_has_immediate = has_imm;
+  r->recv_immediate = imm;
+  r->done_at = arrival;
+  complete_recv_locked(*r);
+  return DepositOutcome{DescStatus::kSuccess, false, arrival};
+}
+
+// ---------------------------------------------------------------------------
+// Reaping
+// ---------------------------------------------------------------------------
+
+Status Vi::reap(std::deque<Descriptor*>& q, Descriptor*& out, bool block,
+                std::chrono::milliseconds timeout) {
+  Descriptor* d = nullptr;
+  {
+    std::unique_lock lock(mu_);
+    if (q.empty()) {
+      if (!block) return Status::kNotDone;
+      if (!bounded_wait(cv_, lock, timeout, [&] { return !q.empty(); })) {
+        return Status::kTimeout;
+      }
+    }
+    d = q.front();
+    q.pop_front();
+  }
+  Actor* actor = Actor::current();
+  assert(actor && "reap outside an ActorScope");
+  actor->sync_to(d->done_at);
+  actor->charge(CostKind::kProtocol, nic_.cost().completion);
+  out = d;
+  return Status::kSuccess;
+}
+
+Status Vi::send_done(Descriptor*& out) {
+  return reap(send_done_q_, out, /*block=*/false, {});
+}
+
+Status Vi::recv_done(Descriptor*& out) {
+  return reap(recv_done_q_, out, /*block=*/false, {});
+}
+
+Status Vi::send_wait(Descriptor*& out, std::chrono::milliseconds timeout) {
+  return reap(send_done_q_, out, /*block=*/true, timeout);
+}
+
+Status Vi::recv_wait(Descriptor*& out, std::chrono::milliseconds timeout) {
+  return reap(recv_done_q_, out, /*block=*/true, timeout);
+}
+
+}  // namespace via

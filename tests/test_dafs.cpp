@@ -1,0 +1,539 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "dafs/client.hpp"
+#include "dafs/lock_table.hpp"
+#include "dafs/server.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using dafs::ClientConfig;
+using dafs::Fh;
+using dafs::IoVec;
+using dafs::kOpenCreate;
+using dafs::kOpenExcl;
+using dafs::kOpenTrunc;
+using dafs::LockTable;
+using dafs::PStatus;
+using dafs::Server;
+using dafs::ServerConfig;
+using dafs::Session;
+using sim::Actor;
+using sim::ActorScope;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xff);
+  return out;
+}
+
+/// Fabric + server + one client node; sessions created per test.
+class DafsTest : public ::testing::Test {
+ protected:
+  DafsTest()
+      : server_node_(fabric_.add_node("filer")),
+        client_node_(fabric_.add_node("client")),
+        server_(fabric_, server_node_, ServerConfig{}),
+        client_nic_(fabric_, client_node_, "client-nic"),
+        client_actor_("client", &fabric_.node(client_node_)) {
+    server_.start();
+  }
+
+  std::unique_ptr<Session> Connect(ClientConfig cfg = {}) {
+    ActorScope scope(client_actor_);
+    auto r = Session::connect(client_nic_, cfg);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? std::move(r.value()) : nullptr;
+  }
+
+  sim::Fabric fabric_;
+  sim::NodeId server_node_, client_node_;
+  Server server_;
+  via::Nic client_nic_;
+  Actor client_actor_;
+};
+
+// ---------------------------------------------------------------------------
+// LockTable unit tests
+// ---------------------------------------------------------------------------
+
+TEST(LockTable, SharedLocksCoexistExclusiveConflicts) {
+  LockTable t;
+  EXPECT_TRUE(t.try_acquire(1, 0, 100, /*owner=*/1, /*exclusive=*/false));
+  EXPECT_TRUE(t.try_acquire(1, 50, 100, 2, false));
+  EXPECT_FALSE(t.try_acquire(1, 60, 10, 3, true));
+  EXPECT_TRUE(t.try_acquire(1, 200, 10, 3, true));
+  EXPECT_FALSE(t.try_acquire(1, 205, 10, 4, false));
+}
+
+TEST(LockTable, NonOverlappingRangesAreIndependent) {
+  LockTable t;
+  EXPECT_TRUE(t.try_acquire(1, 0, 100, 1, true));
+  EXPECT_TRUE(t.try_acquire(1, 100, 100, 2, true));
+  EXPECT_TRUE(t.try_acquire(2, 0, 100, 3, true));  // different file
+}
+
+TEST(LockTable, ZeroLengthMeansToEof) {
+  LockTable t;
+  EXPECT_TRUE(t.try_acquire(1, 1000, 0, 1, true));
+  EXPECT_FALSE(t.try_acquire(1, 5000, 10, 2, true));
+  EXPECT_TRUE(t.try_acquire(1, 0, 1000, 2, true));  // below the EOF lock
+}
+
+TEST(LockTable, ReleaseRequiresExactMatch) {
+  LockTable t;
+  EXPECT_TRUE(t.try_acquire(1, 0, 100, 1, true));
+  EXPECT_FALSE(t.release(1, 0, 50, 1));
+  EXPECT_FALSE(t.release(1, 0, 100, 2));
+  EXPECT_TRUE(t.release(1, 0, 100, 1));
+  EXPECT_TRUE(t.try_acquire(1, 0, 100, 2, true));
+}
+
+TEST(LockTable, ReleaseOwnerDropsEverything) {
+  LockTable t;
+  EXPECT_TRUE(t.try_acquire(1, 0, 10, 1, true));
+  EXPECT_TRUE(t.try_acquire(2, 0, 10, 1, true));
+  EXPECT_TRUE(t.try_acquire(3, 0, 10, 2, true));
+  t.release_owner(1);
+  EXPECT_EQ(t.held(1), 0u);
+  EXPECT_EQ(t.held(2), 0u);
+  EXPECT_EQ(t.held(3), 1u);
+}
+
+TEST(LockTable, OwnerMayStackOwnRanges) {
+  LockTable t;
+  EXPECT_TRUE(t.try_acquire(1, 0, 100, 1, true));
+  EXPECT_TRUE(t.try_acquire(1, 50, 100, 1, true));
+}
+
+// ---------------------------------------------------------------------------
+// Session / namespace
+// ---------------------------------------------------------------------------
+
+TEST_F(DafsTest, ConnectAssignsSession) {
+  auto s = Connect();
+  ASSERT_NE(s, nullptr);
+  EXPECT_NE(s->session_id(), 0u);
+  ActorScope scope(client_actor_);
+  s.reset();
+}
+
+TEST_F(DafsTest, OpenCreateLookup) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/data.bin", kOpenCreate);
+  ASSERT_TRUE(fh.ok());
+  EXPECT_TRUE(fh.value().valid());
+  // Plain open finds it again.
+  auto fh2 = s->open("/data.bin");
+  ASSERT_TRUE(fh2.ok());
+  EXPECT_EQ(fh2.value().ino, fh.value().ino);
+  // Exclusive create now fails.
+  auto fh3 = s->open("/data.bin", kOpenCreate | kOpenExcl);
+  ASSERT_FALSE(fh3.ok());
+  EXPECT_EQ(fh3.error(), PStatus::kExists);
+  // Missing file fails.
+  auto fh4 = s->open("/nope");
+  ASSERT_FALSE(fh4.ok());
+  EXPECT_EQ(fh4.error(), PStatus::kNoEnt);
+  s.reset();
+}
+
+TEST_F(DafsTest, MkdirNestedCreateAndReaddir) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  ASSERT_EQ(s->mkdir("/exp"), PStatus::kOk);
+  ASSERT_EQ(s->mkdir("/exp/run1"), PStatus::kOk);
+  ASSERT_TRUE(s->open("/exp/run1/out.dat", kOpenCreate).ok());
+  ASSERT_TRUE(s->open("/exp/run1/log.txt", kOpenCreate).ok());
+  auto ls = s->readdir("/exp/run1");
+  ASSERT_TRUE(ls.ok());
+  ASSERT_EQ(ls.value().size(), 2u);
+  EXPECT_EQ(ls.value()[0].name, "log.txt");
+  EXPECT_EQ(ls.value()[1].name, "out.dat");
+  s.reset();
+}
+
+TEST_F(DafsTest, ReaddirPaginatesLargeDirectories) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  ASSERT_EQ(s->mkdir("/big"), PStatus::kOk);
+  constexpr int kFiles = 700;  // overflows one 16 KiB response
+  for (int i = 0; i < kFiles; ++i) {
+    ASSERT_TRUE(
+        s->open("/big/file_" + std::to_string(10000 + i), kOpenCreate).ok());
+  }
+  auto ls = s->readdir("/big");
+  ASSERT_TRUE(ls.ok());
+  EXPECT_EQ(ls.value().size(), static_cast<std::size_t>(kFiles));
+  s.reset();
+}
+
+TEST_F(DafsTest, RemoveRenameGetattr) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/a", kOpenCreate);
+  ASSERT_TRUE(fh.ok());
+  auto data = pattern(100, 1);
+  ASSERT_TRUE(s->pwrite(fh.value(), 0, data).ok());
+  auto attrs = s->getattr(fh.value());
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs.value().size, 100u);
+  EXPECT_FALSE(attrs.value().is_dir);
+  ASSERT_EQ(s->rename("/a", "/b"), PStatus::kOk);
+  EXPECT_EQ(s->open("/a").error(), PStatus::kNoEnt);
+  ASSERT_TRUE(s->open("/b").ok());
+  ASSERT_EQ(s->remove("/b"), PStatus::kOk);
+  EXPECT_EQ(s->open("/b").error(), PStatus::kNoEnt);
+  s.reset();
+}
+
+TEST_F(DafsTest, TruncOnOpenResetsFile) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/t", kOpenCreate);
+  auto data = pattern(1000, 2);
+  ASSERT_TRUE(s->pwrite(fh.value(), 0, data).ok());
+  auto fh2 = s->open("/t", kOpenTrunc);
+  ASSERT_TRUE(fh2.ok());
+  EXPECT_EQ(s->getattr(fh2.value()).value().size, 0u);
+  s.reset();
+}
+
+TEST_F(DafsTest, SetSizeRoundTrips) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/sz", kOpenCreate);
+  ASSERT_EQ(s->set_size(fh.value(), 1 << 20), PStatus::kOk);
+  EXPECT_EQ(s->getattr(fh.value()).value().size, 1u << 20);
+  s.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Inline vs direct data path
+// ---------------------------------------------------------------------------
+
+class DafsIoSweep : public DafsTest,
+                    public ::testing::WithParamInterface<std::size_t> {};
+
+TEST_P(DafsIoSweep, WriteReadRoundTrip) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  const std::size_t n = GetParam();
+  auto fh = s->open("/io.bin", kOpenCreate);
+  ASSERT_TRUE(fh.ok());
+  auto data = pattern(n, n);
+  auto w = s->pwrite(fh.value(), 0, data);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), n);
+  std::vector<std::byte> back(n, std::byte{0});
+  auto r = s->pread(fh.value(), 0, back);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), n);
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), n), 0);
+  s.reset();
+}
+
+// Spans inline (<4K), the threshold boundary, multi-message inline would-be
+// sizes, and multi-chunk/multi-packet direct transfers.
+INSTANTIATE_TEST_SUITE_P(Sizes, DafsIoSweep,
+                         ::testing::Values(1, 100, 4095, 4096, 4097, 16 * 1024,
+                                           64 * 1024, 100 * 1000,
+                                           1 << 20));
+
+TEST_F(DafsTest, InlinePathUsedBelowThreshold) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/x", kOpenCreate);
+  auto data = pattern(1024, 3);
+  ASSERT_TRUE(s->pwrite(fh.value(), 0, data).ok());
+  std::vector<std::byte> back(1024);
+  ASSERT_TRUE(s->pread(fh.value(), 0, back).ok());
+  EXPECT_GT(fabric_.stats().get("dafs.inline_read_bytes"), 0u);
+  EXPECT_GT(fabric_.stats().get("dafs.inline_write_bytes"), 0u);
+  EXPECT_EQ(fabric_.stats().get("dafs.direct_read_bytes"), 0u);
+  EXPECT_EQ(fabric_.stats().get("dafs.direct_write_bytes"), 0u);
+  s.reset();
+}
+
+TEST_F(DafsTest, DirectPathUsedAboveThresholdWithZeroClientCopies) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/big", kOpenCreate);
+  auto data = pattern(256 * 1024, 4);
+  const std::uint64_t copies_before =
+      fabric_.stats().get("dafs.client_copy_bytes");
+  ASSERT_TRUE(s->pwrite(fh.value(), 0, data).ok());
+  std::vector<std::byte> back(256 * 1024);
+  ASSERT_TRUE(s->pread(fh.value(), 0, back).ok());
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), back.size()), 0);
+  // Zero-copy: the client never touched payload bytes.
+  EXPECT_EQ(fabric_.stats().get("dafs.client_copy_bytes"), copies_before);
+  EXPECT_EQ(fabric_.stats().get("dafs.direct_read_bytes"), 256u * 1024);
+  EXPECT_EQ(fabric_.stats().get("dafs.direct_write_bytes"), 256u * 1024);
+  EXPECT_GT(fabric_.stats().get("via.rdma_writes"), 0u);
+  EXPECT_GT(fabric_.stats().get("via.rdma_reads"), 0u);
+  s.reset();
+}
+
+TEST_F(DafsTest, ReadPastEofReturnsShort) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/short", kOpenCreate);
+  auto data = pattern(1000, 5);
+  ASSERT_TRUE(s->pwrite(fh.value(), 0, data).ok());
+  std::vector<std::byte> back(100'000);
+  auto r = s->pread(fh.value(), 0, back);  // direct path (>= threshold)
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 1000u);
+  std::vector<std::byte> small(64);
+  auto r2 = s->pread(fh.value(), 990, small);  // inline path
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value(), 10u);
+  auto r3 = s->pread(fh.value(), 5000, small);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3.value(), 0u);
+  s.reset();
+}
+
+TEST_F(DafsTest, SparseWriteAtOffsetPreservesHole) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/sparse", kOpenCreate);
+  auto data = pattern(64 * 1024, 6);
+  ASSERT_TRUE(s->pwrite(fh.value(), 1 << 20, data).ok());
+  EXPECT_EQ(s->getattr(fh.value()).value().size, (1u << 20) + 64 * 1024);
+  std::vector<std::byte> hole(4096, std::byte{0xee});
+  ASSERT_TRUE(s->pread(fh.value(), 1000, hole).ok());
+  for (auto b : hole) ASSERT_EQ(b, std::byte{0});
+  s.reset();
+}
+
+TEST_F(DafsTest, BatchListIoRoundTrip) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/batch", kOpenCreate);
+  // Strided write: 8 pieces of 8 KiB every 32 KiB.
+  auto data = pattern(8 * 8192, 7);
+  std::vector<IoVec> iovs;
+  for (int i = 0; i < 8; ++i) {
+    iovs.push_back(IoVec{static_cast<std::uint64_t>(i) * 32 * 1024,
+                         data.data() + i * 8192, 8192});
+  }
+  auto w = s->write_batch(fh.value(), iovs);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), data.size());
+  // One request on the wire, not eight.
+  EXPECT_EQ(fabric_.stats().get("dafs.direct_write_reqs"), 1u);
+
+  std::vector<std::byte> back(data.size(), std::byte{0});
+  std::vector<IoVec> riovs;
+  for (int i = 0; i < 8; ++i) {
+    riovs.push_back(IoVec{static_cast<std::uint64_t>(i) * 32 * 1024,
+                          back.data() + i * 8192, 8192});
+  }
+  auto r = s->read_batch(fh.value(), riovs);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), data.size());
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), data.size()), 0);
+  s.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Async I/O
+// ---------------------------------------------------------------------------
+
+TEST_F(DafsTest, AsyncWritesOverlapAndComplete) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/async", kOpenCreate);
+  constexpr int kOps = 4;
+  std::vector<std::vector<std::byte>> bufs;
+  std::vector<dafs::OpId> ops;
+  for (int i = 0; i < kOps; ++i) {
+    bufs.push_back(pattern(64 * 1024, 100 + i));
+    auto op = s->submit_pwrite(fh.value(), static_cast<std::uint64_t>(i) * 64 * 1024,
+                               bufs.back());
+    ASSERT_TRUE(op.ok());
+    ops.push_back(op.value());
+  }
+  ASSERT_EQ(s->wait_all(ops), PStatus::kOk);
+  EXPECT_EQ(s->getattr(fh.value()).value().size, kOps * 64u * 1024);
+  // Read everything back through one async read per region.
+  std::vector<std::vector<std::byte>> back(kOps,
+                                           std::vector<std::byte>(64 * 1024));
+  std::vector<dafs::OpId> rops;
+  for (int i = 0; i < kOps; ++i) {
+    auto op = s->submit_pread(fh.value(), static_cast<std::uint64_t>(i) * 64 * 1024,
+                              back[i]);
+    ASSERT_TRUE(op.ok());
+    rops.push_back(op.value());
+  }
+  ASSERT_EQ(s->wait_all(rops), PStatus::kOk);
+  for (int i = 0; i < kOps; ++i) {
+    EXPECT_EQ(std::memcmp(bufs[i].data(), back[i].data(), 64 * 1024), 0);
+  }
+  s.reset();
+}
+
+TEST_F(DafsTest, AsyncTestPollsToCompletion) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/poll", kOpenCreate);
+  auto data = pattern(32 * 1024, 9);
+  auto op = s->submit_pwrite(fh.value(), 0, data);
+  ASSERT_TRUE(op.ok());
+  std::uint64_t bytes = 0;
+  for (;;) {
+    auto done = s->test(op.value(), &bytes);
+    ASSERT_TRUE(done.ok());
+    if (done.value()) break;
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(bytes, data.size());
+  s.reset();
+}
+
+TEST_F(DafsTest, CreditLimitRefusesExcessOutstandingOps) {
+  ClientConfig cfg;
+  cfg.credits = 2;
+  auto s = Connect(cfg);
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/credits", kOpenCreate);
+  auto data = pattern(64 * 1024, 10);
+  auto op1 = s->submit_pwrite(fh.value(), 0, data);
+  ASSERT_TRUE(op1.ok());
+  auto op2 = s->submit_pwrite(fh.value(), 1 << 20, data);
+  ASSERT_TRUE(op2.ok());
+  auto op3 = s->submit_pwrite(fh.value(), 2 << 20, data);
+  ASSERT_FALSE(op3.ok());
+  EXPECT_EQ(op3.error(), PStatus::kInval);
+  ASSERT_EQ(s->wait(op1.value()), PStatus::kOk);
+  ASSERT_EQ(s->wait(op2.value()), PStatus::kOk);
+  s.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Locks / counters
+// ---------------------------------------------------------------------------
+
+TEST_F(DafsTest, LocksConflictAcrossSessions) {
+  auto s1 = Connect();
+  auto s2 = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s1->open("/locked", kOpenCreate);
+  ASSERT_TRUE(fh.ok());
+  auto fh2 = s2->open("/locked");
+  ASSERT_TRUE(fh2.ok());
+  ASSERT_EQ(s1->try_lock(fh.value(), 0, 100, true), PStatus::kOk);
+  EXPECT_EQ(s2->try_lock(fh2.value(), 50, 100, true), PStatus::kLockConflict);
+  ASSERT_EQ(s1->unlock(fh.value(), 0, 100), PStatus::kOk);
+  EXPECT_EQ(s2->try_lock(fh2.value(), 50, 100, true), PStatus::kOk);
+  ASSERT_EQ(s2->unlock(fh2.value(), 50, 100), PStatus::kOk);
+  s1.reset();
+  s2.reset();
+}
+
+TEST_F(DafsTest, DisconnectReleasesLocks) {
+  auto s1 = Connect();
+  auto s2 = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s1->open("/locked2", kOpenCreate);
+  ASSERT_EQ(s1->try_lock(fh.value(), 0, 0, true), PStatus::kOk);
+  auto fh2 = s2->open("/locked2");
+  EXPECT_EQ(s2->try_lock(fh2.value(), 0, 0, true), PStatus::kLockConflict);
+  s1.reset();  // disconnect releases the lock server-side
+  EXPECT_EQ(s2->lock(fh2.value(), 0, 0, true), PStatus::kOk);
+  s2.reset();
+}
+
+TEST_F(DafsTest, NamedCountersFetchAdd) {
+  auto s1 = Connect();
+  auto s2 = Connect();
+  ActorScope scope(client_actor_);
+  EXPECT_EQ(s1->fetch_add("shared_ptr:/f", 10).value(), 0u);
+  EXPECT_EQ(s2->fetch_add("shared_ptr:/f", 5).value(), 10u);
+  EXPECT_EQ(s1->fetch_add("shared_ptr:/f", 0).value(), 15u);
+  ASSERT_EQ(s1->set_counter("shared_ptr:/f", 0), PStatus::kOk);
+  EXPECT_EQ(s2->fetch_add("shared_ptr:/f", 1).value(), 0u);
+  s1.reset();
+  s2.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Registration cache
+// ---------------------------------------------------------------------------
+
+TEST_F(DafsTest, RegistrationCacheHitsOnRepeatedBuffers) {
+  auto s = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/reg", kOpenCreate);
+  auto data = pattern(128 * 1024, 11);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(s->pwrite(fh.value(), 0, data).ok());
+  }
+  EXPECT_EQ(s->reg_cache_misses(), 1u);
+  EXPECT_EQ(s->reg_cache_hits(), 4u);
+  s.reset();
+}
+
+TEST_F(DafsTest, RegistrationCacheDisabledRegistersEachTime) {
+  ClientConfig cfg;
+  cfg.reg_cache = false;
+  auto s = Connect(cfg);
+  ActorScope scope(client_actor_);
+  auto fh = s->open("/noreg", kOpenCreate);
+  auto data = pattern(128 * 1024, 12);
+  // Warm the server's slab cache so its one-time slab registration does not
+  // land inside the measured window.
+  ASSERT_TRUE(s->pwrite(fh.value(), 0, data).ok());
+  const auto regs_before = fabric_.stats().get("via.registrations");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(s->pwrite(fh.value(), 0, data).ok());
+  }
+  EXPECT_EQ(fabric_.stats().get("via.registrations") - regs_before, 3u);
+  EXPECT_EQ(s->reg_cache_hits(), 0u);
+  s.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Virtual-time sanity: direct beats inline for large transfers
+// ---------------------------------------------------------------------------
+
+TEST_F(DafsTest, DirectReadIsFasterThanInlineForLargeTransfers) {
+  // Force-inline client vs default client on identical workloads.
+  ClientConfig inline_cfg;
+  inline_cfg.direct_threshold = SIZE_MAX;  // never use direct
+  auto prep = Connect();
+  ActorScope scope(client_actor_);
+  auto fh = prep->open("/perf", kOpenCreate);
+  auto data = pattern(1 << 20, 13);
+  ASSERT_TRUE(prep->pwrite(fh.value(), 0, data).ok());
+  prep.reset();
+
+  std::vector<std::byte> back(1 << 20);
+
+  auto s_inline = Connect(inline_cfg);
+  const sim::Time t0 = client_actor_.now();
+  ASSERT_TRUE(
+      s_inline->pread(s_inline->open("/perf").value(), 0, back).ok());
+  const sim::Time inline_cost = client_actor_.now() - t0;
+  s_inline.reset();
+
+  auto s_direct = Connect();
+  const sim::Time t1 = client_actor_.now();
+  ASSERT_TRUE(
+      s_direct->pread(s_direct->open("/perf").value(), 0, back).ok());
+  const sim::Time direct_cost = client_actor_.now() - t1;
+  s_direct.reset();
+
+  EXPECT_LT(direct_cost, inline_cost);
+}
+
+}  // namespace

@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "fstore/file_store.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using fstore::Attrs;
+using fstore::Errc;
+using fstore::FileStore;
+using fstore::Ino;
+using fstore::kRootIno;
+using fstore::Options;
+
+std::span<const std::byte> as_bytes(const std::string& s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xff);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Namespace operations
+// ---------------------------------------------------------------------------
+
+TEST(FStoreNamespace, CreateAndLookup) {
+  FileStore fs;
+  auto ino = fs.create(kRootIno, "a.txt", true);
+  ASSERT_TRUE(ino.ok());
+  auto found = fs.lookup(kRootIno, "a.txt");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), ino.value());
+  EXPECT_FALSE(fs.lookup(kRootIno, "b.txt").ok());
+}
+
+TEST(FStoreNamespace, CreateExclusiveFailsOnExisting) {
+  FileStore fs;
+  ASSERT_TRUE(fs.create(kRootIno, "a", true).ok());
+  auto again = fs.create(kRootIno, "a", true);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error(), Errc::kExists);
+  // Non-exclusive open-create returns the same inode.
+  auto open = fs.create(kRootIno, "a", false);
+  ASSERT_TRUE(open.ok());
+}
+
+TEST(FStoreNamespace, RejectsBadNames) {
+  FileStore fs;
+  EXPECT_EQ(fs.create(kRootIno, "", true).error(), Errc::kInval);
+  EXPECT_EQ(fs.create(kRootIno, "a/b", true).error(), Errc::kInval);
+}
+
+TEST(FStoreNamespace, MkdirAndNestedResolve) {
+  FileStore fs;
+  auto d1 = fs.mkdir(kRootIno, "dir");
+  ASSERT_TRUE(d1.ok());
+  auto d2 = fs.mkdir(d1.value(), "sub");
+  ASSERT_TRUE(d2.ok());
+  auto f = fs.create(d2.value(), "file", true);
+  ASSERT_TRUE(f.ok());
+  auto r = fs.resolve("/dir/sub/file");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), f.value());
+  EXPECT_EQ(fs.resolve("").value(), kRootIno);
+  EXPECT_EQ(fs.resolve("/").value(), kRootIno);
+  EXPECT_EQ(fs.resolve("dir/sub").value(), d2.value());
+  EXPECT_EQ(fs.resolve("/dir/none").error(), Errc::kNoEnt);
+  EXPECT_EQ(fs.resolve("/dir/sub/file/deeper").error(), Errc::kNotDir);
+}
+
+TEST(FStoreNamespace, RemoveFrees) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "f", true);
+  ASSERT_TRUE(f.ok());
+  std::string data = "hello";
+  ASSERT_TRUE(fs.pwrite(f.value(), 0, as_bytes(data)).ok());
+  EXPECT_EQ(fs.remove(kRootIno, "f"), Errc::kOk);
+  EXPECT_EQ(fs.lookup(kRootIno, "f").error(), Errc::kNoEnt);
+  EXPECT_EQ(fs.getattr(f.value()).error(), Errc::kStale);
+  EXPECT_EQ(fs.remove(kRootIno, "f"), Errc::kNoEnt);
+}
+
+TEST(FStoreNamespace, RemoveRejectsDirectories) {
+  FileStore fs;
+  ASSERT_TRUE(fs.mkdir(kRootIno, "d").ok());
+  EXPECT_EQ(fs.remove(kRootIno, "d"), Errc::kIsDir);
+  EXPECT_EQ(fs.rmdir(kRootIno, "d"), Errc::kOk);
+}
+
+TEST(FStoreNamespace, RmdirRequiresEmpty) {
+  FileStore fs;
+  auto d = fs.mkdir(kRootIno, "d");
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(fs.create(d.value(), "f", true).ok());
+  EXPECT_EQ(fs.rmdir(kRootIno, "d"), Errc::kNotEmpty);
+  EXPECT_EQ(fs.remove(d.value(), "f"), Errc::kOk);
+  EXPECT_EQ(fs.rmdir(kRootIno, "d"), Errc::kOk);
+}
+
+TEST(FStoreNamespace, RenameMovesAndReplaces) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "old", true);
+  ASSERT_TRUE(f.ok());
+  auto d = fs.mkdir(kRootIno, "dir");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(fs.rename(kRootIno, "old", d.value(), "new"), Errc::kOk);
+  EXPECT_FALSE(fs.lookup(kRootIno, "old").ok());
+  EXPECT_EQ(fs.lookup(d.value(), "new").value(), f.value());
+  // Replace an existing file.
+  auto g = fs.create(d.value(), "victim", true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(fs.rename(d.value(), "new", d.value(), "victim"), Errc::kOk);
+  EXPECT_EQ(fs.lookup(d.value(), "victim").value(), f.value());
+  EXPECT_EQ(fs.getattr(g.value()).error(), Errc::kStale);
+}
+
+TEST(FStoreNamespace, ReaddirListsEntries) {
+  FileStore fs;
+  ASSERT_TRUE(fs.create(kRootIno, "b", true).ok());
+  ASSERT_TRUE(fs.create(kRootIno, "a", true).ok());
+  ASSERT_TRUE(fs.mkdir(kRootIno, "d").ok());
+  auto list = fs.readdir(kRootIno);
+  ASSERT_TRUE(list.ok());
+  ASSERT_EQ(list.value().size(), 3u);
+  EXPECT_EQ(list.value()[0].name, "a");  // map order: sorted
+  EXPECT_EQ(list.value()[1].name, "b");
+  EXPECT_EQ(list.value()[2].name, "d");
+  EXPECT_TRUE(list.value()[2].is_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Data path: pread/pwrite
+// ---------------------------------------------------------------------------
+
+TEST(FStoreData, WriteReadRoundTrip) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "f", true);
+  ASSERT_TRUE(f.ok());
+  auto data = pattern(10'000, 1);
+  ASSERT_EQ(fs.pwrite(f.value(), 0, data).value(), 10'000u);
+  std::vector<std::byte> back(10'000);
+  ASSERT_EQ(fs.pread(f.value(), 0, back).value(), 10'000u);
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), data.size()), 0);
+  EXPECT_EQ(fs.getattr(f.value()).value().size, 10'000u);
+}
+
+TEST(FStoreData, ReadShortAtEof) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "f", true);
+  std::string data = "0123456789";
+  ASSERT_TRUE(fs.pwrite(f.value(), 0, as_bytes(data)).ok());
+  std::vector<std::byte> buf(100);
+  EXPECT_EQ(fs.pread(f.value(), 5, buf).value(), 5u);
+  EXPECT_EQ(fs.pread(f.value(), 10, buf).value(), 0u);
+  EXPECT_EQ(fs.pread(f.value(), 999, buf).value(), 0u);
+}
+
+TEST(FStoreData, SparseHolesReadAsZeros) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "f", true);
+  std::string tail = "end";
+  const std::uint64_t far = 1'000'000;
+  ASSERT_TRUE(fs.pwrite(f.value(), far, as_bytes(tail)).ok());
+  EXPECT_EQ(fs.getattr(f.value()).value().size, far + 3);
+  std::vector<std::byte> buf(64, std::byte{0xff});
+  ASSERT_EQ(fs.pread(f.value(), 1000, buf).value(), 64u);
+  for (auto b : buf) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(FStoreData, CrossChunkWritesAreSeamless) {
+  Options opt;
+  opt.chunk_size = 256;  // tiny chunks to force many boundaries
+  opt.chunks_per_slab = 8;
+  FileStore fs(opt);
+  auto f = fs.create(kRootIno, "f", true);
+  auto data = pattern(10'000, 2);
+  // Write in awkward misaligned pieces.
+  std::uint64_t off = 0;
+  std::size_t piece = 1;
+  while (off < data.size()) {
+    const std::size_t n = std::min(piece, data.size() - off);
+    ASSERT_TRUE(fs.pwrite(f.value(), off,
+                          std::span<const std::byte>(data.data() + off, n))
+                    .ok());
+    off += n;
+    piece = piece * 3 + 1;
+  }
+  std::vector<std::byte> back(data.size());
+  ASSERT_EQ(fs.pread(f.value(), 0, back).value(), data.size());
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), data.size()), 0);
+}
+
+TEST(FStoreData, OverwriteInPlace) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "f", true);
+  std::string a(100, 'a'), b(10, 'b');
+  ASSERT_TRUE(fs.pwrite(f.value(), 0, as_bytes(a)).ok());
+  ASSERT_TRUE(fs.pwrite(f.value(), 45, as_bytes(b)).ok());
+  EXPECT_EQ(fs.getattr(f.value()).value().size, 100u);
+  std::vector<std::byte> back(100);
+  ASSERT_TRUE(fs.pread(f.value(), 0, back).ok());
+  EXPECT_EQ(static_cast<char>(back[44]), 'a');
+  EXPECT_EQ(static_cast<char>(back[45]), 'b');
+  EXPECT_EQ(static_cast<char>(back[54]), 'b');
+  EXPECT_EQ(static_cast<char>(back[55]), 'a');
+}
+
+TEST(FStoreData, DataOpsOnDirectoryFail) {
+  FileStore fs;
+  auto d = fs.mkdir(kRootIno, "d");
+  std::vector<std::byte> buf(10);
+  EXPECT_EQ(fs.pread(d.value(), 0, buf).error(), Errc::kIsDir);
+  EXPECT_EQ(fs.pwrite(d.value(), 0, buf).error(), Errc::kIsDir);
+  EXPECT_EQ(fs.set_size(d.value(), 0), Errc::kIsDir);
+}
+
+TEST(FStoreData, SetSizeTruncatesAndZeroFills) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "f", true);
+  auto data = pattern(100'000, 3);
+  ASSERT_TRUE(fs.pwrite(f.value(), 0, data).ok());
+  ASSERT_EQ(fs.set_size(f.value(), 50'000), Errc::kOk);
+  EXPECT_EQ(fs.getattr(f.value()).value().size, 50'000u);
+  // Growing the file again must expose zeros, not stale bytes.
+  ASSERT_EQ(fs.set_size(f.value(), 100'000), Errc::kOk);
+  std::vector<std::byte> back(50'000);
+  ASSERT_EQ(fs.pread(f.value(), 50'000, back).value(), 50'000u);
+  for (std::size_t i = 0; i < back.size(); i += 997) {
+    EXPECT_EQ(back[i], std::byte{0}) << "offset " << i;
+  }
+}
+
+TEST(FStoreData, SetSizeExtendsSparsely) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "f", true);
+  ASSERT_EQ(fs.set_size(f.value(), 1 << 20), Errc::kOk);
+  EXPECT_EQ(fs.getattr(f.value()).value().size, 1u << 20);
+  EXPECT_EQ(fs.stats().get("fstore.chunks_allocated"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy extent path
+// ---------------------------------------------------------------------------
+
+TEST(FStoreExtents, EnsureThenCommitBehavesLikeWrite) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "f", true);
+  auto data = pattern(200'000, 4);
+  auto ext = fs.ensure_extents(f.value(), 0, data.size());
+  ASSERT_TRUE(ext.ok());
+  std::size_t off = 0;
+  for (auto s : ext.value()) {
+    std::memcpy(s.data(), data.data() + off, s.size());
+    off += s.size();
+  }
+  EXPECT_EQ(off, data.size());
+  ASSERT_EQ(fs.commit_write(f.value(), 0, data.size()), Errc::kOk);
+  EXPECT_EQ(fs.getattr(f.value()).value().size, data.size());
+  std::vector<std::byte> back(data.size());
+  ASSERT_TRUE(fs.pread(f.value(), 0, back).ok());
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), data.size()), 0);
+}
+
+TEST(FStoreExtents, ReadExtentsClampToEof) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "f", true);
+  auto data = pattern(1000, 5);
+  ASSERT_TRUE(fs.pwrite(f.value(), 0, data).ok());
+  auto ext = fs.extents_for_read(f.value(), 500, 10'000);
+  ASSERT_TRUE(ext.ok());
+  std::size_t total = 0;
+  for (auto s : ext.value()) total += s.size();
+  EXPECT_EQ(total, 500u);
+  auto past = fs.extents_for_read(f.value(), 5'000, 100);
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past.value().empty());
+}
+
+TEST(FStoreExtents, ExtentsExposeLiveChunks) {
+  FileStore fs;
+  auto f = fs.create(kRootIno, "f", true);
+  std::string data = "abcdef";
+  ASSERT_TRUE(fs.pwrite(f.value(), 0, as_bytes(data)).ok());
+  auto ext = fs.extents_for_read(f.value(), 2, 3);
+  ASSERT_TRUE(ext.ok());
+  ASSERT_EQ(ext.value().size(), 1u);
+  EXPECT_EQ(static_cast<char>(ext.value()[0][0]), 'c');
+  // Writing through the span is visible to pread (it IS the cache chunk).
+  ext.value()[0][0] = static_cast<std::byte>('C');
+  std::vector<std::byte> back(6);
+  ASSERT_TRUE(fs.pread(f.value(), 0, back).ok());
+  EXPECT_EQ(static_cast<char>(back[2]), 'C');
+}
+
+TEST(FStoreExtents, SlabCallbackFiresOnAllocation) {
+  Options opt;
+  opt.chunk_size = 1024;
+  opt.chunks_per_slab = 4;
+  std::vector<std::size_t> slab_sizes;
+  FileStore fs(opt, [&](std::span<std::byte> s) {
+    slab_sizes.push_back(s.size());
+  });
+  auto f = fs.create(kRootIno, "f", true);
+  std::vector<std::byte> data(10 * 1024);
+  ASSERT_TRUE(fs.pwrite(f.value(), 0, data).ok());
+  // 10 chunks needed -> 3 slabs of 4 chunks.
+  EXPECT_EQ(slab_sizes.size(), 3u);
+  for (auto s : slab_sizes) EXPECT_EQ(s, 4096u);
+}
+
+// ---------------------------------------------------------------------------
+// Cache / disk model
+// ---------------------------------------------------------------------------
+
+TEST(FStoreCache, MissesChargeDiskAndHitsDoNot) {
+  Options opt;
+  opt.disk_enabled = true;
+  opt.cache_chunks = 16;
+  FileStore fs(opt);
+  auto f = fs.create(kRootIno, "f", true);
+  std::vector<std::byte> data(opt.chunk_size);
+  ASSERT_TRUE(fs.pwrite(f.value(), 0, data).ok());  // first touch: miss
+  EXPECT_EQ(fs.stats().get("fstore.cache_misses"), 1u);
+  std::vector<std::byte> back(opt.chunk_size);
+  ASSERT_TRUE(fs.pread(f.value(), 0, back).ok());  // warm: hit
+  EXPECT_EQ(fs.stats().get("fstore.cache_hits"), 1u);
+  EXPECT_EQ(fs.stats().get("fstore.cache_misses"), 1u);
+}
+
+TEST(FStoreCache, LruEvictsColdChunks) {
+  Options opt;
+  opt.disk_enabled = true;
+  opt.cache_chunks = 2;
+  opt.chunk_size = 1024;
+  FileStore fs(opt);
+  auto f = fs.create(kRootIno, "f", true);
+  std::vector<std::byte> chunk(1024);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(fs.pwrite(f.value(), i * 1024, chunk).ok());
+  }
+  EXPECT_EQ(fs.stats().get("fstore.cache_misses"), 4u);
+  EXPECT_EQ(fs.stats().get("fstore.cache_evictions"), 2u);
+  // Chunk 0 was evicted: re-reading it misses again.
+  std::vector<std::byte> back(1024);
+  ASSERT_TRUE(fs.pread(f.value(), 0, back).ok());
+  EXPECT_EQ(fs.stats().get("fstore.cache_misses"), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Named counters
+// ---------------------------------------------------------------------------
+
+TEST(FStoreCounters, FetchAddIsSequential) {
+  FileStore fs;
+  EXPECT_EQ(fs.counter_fetch_add("c", 5), 0u);
+  EXPECT_EQ(fs.counter_fetch_add("c", 3), 5u);
+  EXPECT_EQ(fs.counter_fetch_add("c", 0), 8u);
+  fs.counter_set("c", 100);
+  EXPECT_EQ(fs.counter_fetch_add("c", 1), 100u);
+  EXPECT_EQ(fs.counter_fetch_add("other", 1), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Property: random op sequence matches a reference model
+// ---------------------------------------------------------------------------
+
+TEST(FStoreProperty, RandomWritesMatchReferenceModel) {
+  Options opt;
+  opt.chunk_size = 512;
+  FileStore fs(opt);
+  auto f = fs.create(kRootIno, "f", true);
+  std::vector<std::byte> model;  // reference: a plain flat buffer
+  sim::Rng rng(99);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t off = rng.below(8'192);
+    const std::size_t len = 1 + rng.below(1'500);
+    auto data = pattern(len, rng.next());
+    ASSERT_TRUE(fs.pwrite(f.value(), off, data).ok());
+    if (model.size() < off + len) model.resize(off + len);
+    std::memcpy(model.data() + off, data.data(), len);
+  }
+  std::vector<std::byte> back(model.size());
+  ASSERT_EQ(fs.pread(f.value(), 0, back).value(), model.size());
+  EXPECT_EQ(std::memcmp(model.data(), back.data(), model.size()), 0);
+  EXPECT_EQ(fs.getattr(f.value()).value().size, model.size());
+}
+
+}  // namespace

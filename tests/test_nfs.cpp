@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "nfs/client.hpp"
+#include "nfs/server.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using nfs::Client;
+using nfs::ClientConfig;
+using nfs::kOpenCreate;
+using nfs::kOpenExcl;
+using nfs::kOpenTrunc;
+using nfs::PStatus;
+using nfs::Server;
+using nfs::ServerConfig;
+using nfs::TcpListener;
+using nfs::TcpStream;
+using sim::Actor;
+using sim::ActorScope;
+
+using namespace std::chrono_literals;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xff);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TCP stream
+// ---------------------------------------------------------------------------
+
+class TcpTest : public ::testing::Test {
+ protected:
+  TcpTest()
+      : na_(fabric_.add_node("a")),
+        nb_(fabric_.add_node("b")),
+        actor_a_("a", &fabric_.node(na_)),
+        actor_b_("b", &fabric_.node(nb_)) {}
+
+  sim::Fabric fabric_;
+  sim::NodeId na_, nb_;
+  Actor actor_a_, actor_b_;
+};
+
+TEST_F(TcpTest, ConnectSendReceive) {
+  TcpListener lis(fabric_, nb_, "svc");
+  std::unique_ptr<TcpStream> server_side;
+  std::thread srv([&] {
+    ActorScope scope(actor_b_);
+    server_side = lis.accept(2000ms);
+  });
+  ActorScope scope(actor_a_);
+  auto client = TcpStream::connect(fabric_, na_, "svc", 2000ms);
+  srv.join();
+  ASSERT_NE(client, nullptr);
+  ASSERT_NE(server_side, nullptr);
+
+  auto data = pattern(100'000, 1);
+  ASSERT_TRUE(client->send(data));
+  std::vector<std::byte> back(100'000);
+  {
+    ActorScope scope_b(actor_b_);
+    ASSERT_TRUE(server_side->recv_exact(back));
+  }
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), data.size()), 0);
+}
+
+TEST_F(TcpTest, ReceiveSpansMultipleSends) {
+  TcpListener lis(fabric_, nb_, "svc");
+  std::unique_ptr<TcpStream> server_side;
+  std::thread srv([&] {
+    ActorScope scope(actor_b_);
+    server_side = lis.accept(2000ms);
+  });
+  ActorScope scope(actor_a_);
+  auto client = TcpStream::connect(fabric_, na_, "svc", 2000ms);
+  srv.join();
+  ASSERT_NE(client, nullptr);
+
+  std::string p1 = "hello ", p2 = "stream ", p3 = "world";
+  auto as_bytes = [](const std::string& s) {
+    return std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(s.data()), s.size());
+  };
+  ASSERT_TRUE(client->send(as_bytes(p1)));
+  ASSERT_TRUE(client->send(as_bytes(p2)));
+  ASSERT_TRUE(client->send(as_bytes(p3)));
+  std::vector<std::byte> all(p1.size() + p2.size() + p3.size());
+  ActorScope scope_b(actor_b_);
+  ASSERT_TRUE(server_side->recv_exact(all));
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(all.data()), all.size()),
+            "hello stream world");
+}
+
+TEST_F(TcpTest, CloseUnblocksReceiver) {
+  TcpListener lis(fabric_, nb_, "svc");
+  std::unique_ptr<TcpStream> server_side;
+  std::thread srv([&] {
+    ActorScope scope(actor_b_);
+    server_side = lis.accept(2000ms);
+  });
+  ActorScope scope(actor_a_);
+  auto client = TcpStream::connect(fabric_, na_, "svc", 2000ms);
+  srv.join();
+  ASSERT_NE(client, nullptr);
+  std::thread closer([&] { client->close(); });
+  std::vector<std::byte> buf(10);
+  ActorScope scope_b(actor_b_);
+  EXPECT_FALSE(server_side->recv_exact(buf));
+  closer.join();
+  EXPECT_FALSE(server_side->send(buf));
+}
+
+TEST_F(TcpTest, ConnectToMissingServiceFails) {
+  ActorScope scope(actor_a_);
+  EXPECT_EQ(TcpStream::connect(fabric_, na_, "nothing", 100ms), nullptr);
+}
+
+TEST_F(TcpTest, KernelCostsChargedOnBothSides) {
+  TcpListener lis(fabric_, nb_, "svc");
+  std::unique_ptr<TcpStream> server_side;
+  std::thread srv([&] {
+    ActorScope scope(actor_b_);
+    server_side = lis.accept(2000ms);
+  });
+  ActorScope scope(actor_a_);
+  auto client = TcpStream::connect(fabric_, na_, "svc", 2000ms);
+  srv.join();
+
+  auto data = pattern(1 << 20, 2);
+  ASSERT_TRUE(client->send(data));
+  // Sender: one syscall, a full user->kernel copy, per-segment stack work.
+  const auto& busy_a = actor_a_.busy();
+  EXPECT_GE(busy_a[sim::CostKind::kCopy], fabric_.cost().copy_time(1 << 20));
+  EXPECT_GT(busy_a[sim::CostKind::kKernel], fabric_.cost().syscall);
+
+  std::vector<std::byte> back(1 << 20);
+  {
+    ActorScope scope_b(actor_b_);
+    ASSERT_TRUE(server_side->recv_exact(back));
+  }
+  const auto& busy_b = actor_b_.busy();
+  EXPECT_GE(busy_b[sim::CostKind::kCopy], fabric_.cost().copy_time(1 << 20));
+  EXPECT_GT(busy_b[sim::CostKind::kInterrupt], 0u);
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), data.size()), 0);
+}
+
+// ---------------------------------------------------------------------------
+// NFS client/server
+// ---------------------------------------------------------------------------
+
+class NfsTest : public ::testing::Test {
+ protected:
+  NfsTest()
+      : server_node_(fabric_.add_node("nfs-server")),
+        client_node_(fabric_.add_node("client")),
+        server_(fabric_, server_node_, ServerConfig{}),
+        client_actor_("client", &fabric_.node(client_node_)) {
+    server_.start();
+  }
+
+  std::unique_ptr<Client> Connect(ClientConfig cfg = {}) {
+    ActorScope scope(client_actor_);
+    auto r = Client::connect(fabric_, client_node_, cfg);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? std::move(r.value()) : nullptr;
+  }
+
+  sim::Fabric fabric_;
+  sim::NodeId server_node_, client_node_;
+  Server server_;
+  Actor client_actor_;
+};
+
+TEST_F(NfsTest, OpenCreateReadWrite) {
+  auto c = Connect();
+  ASSERT_NE(c, nullptr);
+  ActorScope scope(client_actor_);
+  auto ino = c->open("/file", kOpenCreate);
+  ASSERT_TRUE(ino.ok());
+  auto data = pattern(200'000, 3);
+  auto w = c->pwrite(ino.value(), 0, data);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), data.size());
+  std::vector<std::byte> back(data.size());
+  auto r = c->pread(ino.value(), 0, back);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), data.size());
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), data.size()), 0);
+  EXPECT_EQ(c->getattr(ino.value()).value().size, data.size());
+}
+
+TEST_F(NfsTest, NamespaceOperations) {
+  auto c = Connect();
+  ActorScope scope(client_actor_);
+  ASSERT_EQ(c->mkdir("/d"), PStatus::kOk);
+  ASSERT_TRUE(c->open("/d/x", kOpenCreate).ok());
+  ASSERT_TRUE(c->open("/d/y", kOpenCreate).ok());
+  auto ls = c->readdir("/d");
+  ASSERT_TRUE(ls.ok());
+  EXPECT_EQ(ls.value().size(), 2u);
+  ASSERT_EQ(c->rename("/d/x", "/d/z"), PStatus::kOk);
+  EXPECT_EQ(c->open("/d/x").error(), PStatus::kNoEnt);
+  ASSERT_EQ(c->remove("/d/y"), PStatus::kOk);
+  ASSERT_EQ(c->remove("/d/z"), PStatus::kOk);
+  ASSERT_EQ(c->rmdir("/d"), PStatus::kOk);
+  EXPECT_EQ(c->open("/d").error(), PStatus::kNoEnt);
+}
+
+TEST_F(NfsTest, ExclusiveCreateAndTrunc) {
+  auto c = Connect();
+  ActorScope scope(client_actor_);
+  ASSERT_TRUE(c->open("/f", kOpenCreate | kOpenExcl).ok());
+  EXPECT_EQ(c->open("/f", kOpenCreate | kOpenExcl).error(), PStatus::kExists);
+  auto data = pattern(1000, 4);
+  auto ino = c->open("/f");
+  ASSERT_TRUE(c->pwrite(ino.value(), 0, data).ok());
+  ASSERT_TRUE(c->open("/f", kOpenTrunc).ok());
+  EXPECT_EQ(c->getattr(ino.value()).value().size, 0u);
+}
+
+TEST_F(NfsTest, LargeTransferChunksByWsize) {
+  auto c = Connect();
+  ActorScope scope(client_actor_);
+  auto ino = c->open("/big", kOpenCreate);
+  auto data = pattern(1 << 20, 5);
+  ASSERT_TRUE(c->pwrite(ino.value(), 0, data).ok());
+  // 1 MiB at 32 KiB per RPC = 32 write requests.
+  EXPECT_EQ(fabric_.stats().get("nfs.requests"),
+            1u /*open*/ + 32u /*writes*/);
+  std::vector<std::byte> back(1 << 20);
+  ASSERT_TRUE(c->pread(ino.value(), 0, back).ok());
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), back.size()), 0);
+}
+
+TEST_F(NfsTest, TwoClientsShareNamespace) {
+  auto c1 = Connect();
+  auto c2 = Connect();
+  ActorScope scope(client_actor_);
+  auto ino = c1->open("/shared", kOpenCreate);
+  ASSERT_TRUE(ino.ok());
+  auto data = pattern(10'000, 6);
+  ASSERT_TRUE(c1->pwrite(ino.value(), 0, data).ok());
+  auto ino2 = c2->open("/shared");
+  ASSERT_TRUE(ino2.ok());
+  EXPECT_EQ(ino2.value(), ino.value());
+  std::vector<std::byte> back(10'000);
+  ASSERT_TRUE(c2->pread(ino2.value(), 0, back).ok());
+  EXPECT_EQ(std::memcmp(data.data(), back.data(), back.size()), 0);
+}
+
+TEST_F(NfsTest, ReadShortAtEof) {
+  auto c = Connect();
+  ActorScope scope(client_actor_);
+  auto ino = c->open("/s", kOpenCreate);
+  auto data = pattern(100, 7);
+  ASSERT_TRUE(c->pwrite(ino.value(), 0, data).ok());
+  std::vector<std::byte> back(1000);
+  auto r = c->pread(ino.value(), 0, back);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 100u);
+}
+
+
+TEST_F(NfsTest, AttributeCacheServesStaleSizeUntilTimeout) {
+  // Classic NFS weak consistency: with the attribute cache on, another
+  // client's growth of the file is invisible until the cache entry expires
+  // (virtual time). DAFS sessions never have this problem.
+  ClientConfig cached;
+  cached.attr_cache_us = 50'000;  // 50 ms virtual
+  auto observer = Connect(cached);
+  auto writer = Connect();  // no cache
+  ActorScope scope(client_actor_);
+  auto ino = writer->open("/stale", kOpenCreate).value();
+  auto data = pattern(1000, 8);
+  ASSERT_TRUE(writer->pwrite(ino, 0, data).ok());
+
+  auto ino2 = observer->open("/stale").value();
+  EXPECT_EQ(observer->getattr(ino2).value().size, 1000u);  // primes cache
+
+  // Writer grows the file; observer still sees the cached size.
+  ASSERT_TRUE(writer->pwrite(ino, 1000, data).ok());
+  EXPECT_EQ(observer->getattr(ino2).value().size, 1000u);
+
+  // After the cache lifetime passes (virtual), the fresh size appears.
+  client_actor_.advance(60'000 * 1'000);  // 60 ms
+  EXPECT_EQ(observer->getattr(ino2).value().size, 2000u);
+}
+
+TEST_F(NfsTest, AttributeCacheInvalidatedByLocalWrites) {
+  ClientConfig cached;
+  cached.attr_cache_us = 1'000'000;  // very long
+  auto c = Connect(cached);
+  ActorScope scope(client_actor_);
+  auto ino = c->open("/own", kOpenCreate).value();
+  auto data = pattern(500, 9);
+  ASSERT_TRUE(c->pwrite(ino, 0, data).ok());
+  EXPECT_EQ(c->getattr(ino).value().size, 500u);
+  // Our own writes must be visible immediately despite the cache.
+  ASSERT_TRUE(c->pwrite(ino, 500, data).ok());
+  EXPECT_EQ(c->getattr(ino).value().size, 1000u);
+  ASSERT_EQ(c->set_size(ino, 100), PStatus::kOk);
+  EXPECT_EQ(c->getattr(ino).value().size, 100u);
+}
+
+}  // namespace

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sim/actor.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/fabric.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using sim::Actor;
+using sim::ActorScope;
+using sim::CostKind;
+using sim::CostModel;
+using sim::Fabric;
+using sim::Resource;
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// Time helpers
+// ---------------------------------------------------------------------------
+
+TEST(SimTime, UsecRoundTrips) {
+  EXPECT_EQ(sim::usec(1.0), 1'000u);
+  EXPECT_EQ(sim::usec(2.5), 2'500u);
+  EXPECT_DOUBLE_EQ(sim::to_usec(1'500), 1.5);
+  EXPECT_DOUBLE_EQ(sim::to_msec(2'000'000), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// CostModel
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, WireTimeMatchesRate) {
+  CostModel cm;
+  cm.link_mbps = 125.0;
+  // 125 MB/s == 125 bytes/us -> 125000 bytes take 1000 us.
+  EXPECT_EQ(cm.wire_time(125'000), 1'000'000u);
+  EXPECT_EQ(cm.wire_time(0), 0u);
+}
+
+TEST(CostModel, CopyTimeMatchesRate) {
+  CostModel cm;
+  cm.memcpy_mbps = 400.0;
+  EXPECT_EQ(cm.copy_time(400'000), 1'000'000u);
+}
+
+TEST(CostModel, RegistrationScalesWithPages) {
+  CostModel cm;
+  const Time one_page = cm.reg_time(1);
+  const Time ten_pages = cm.reg_time(10 * cm.page_size);
+  EXPECT_EQ(one_page, cm.reg_base + cm.reg_per_page);
+  EXPECT_EQ(ten_pages, cm.reg_base + 10 * cm.reg_per_page);
+}
+
+TEST(CostModel, PacketCountCeils) {
+  CostModel cm;
+  cm.mtu = 1024;
+  EXPECT_EQ(cm.packets(0), 1u);
+  EXPECT_EQ(cm.packets(1), 1u);
+  EXPECT_EQ(cm.packets(1024), 1u);
+  EXPECT_EQ(cm.packets(1025), 2u);
+}
+
+TEST(CostModel, TcpSegmentsCeil) {
+  CostModel cm;
+  EXPECT_EQ(cm.tcp_segments(1460), 1u);
+  EXPECT_EQ(cm.tcp_segments(1461), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Resource
+// ---------------------------------------------------------------------------
+
+TEST(Resource, BackToBackOccupationsSerialize) {
+  Resource r;
+  EXPECT_EQ(r.occupy(0, 100), 100u);
+  EXPECT_EQ(r.occupy(0, 50), 150u);   // pushed behind the first
+  EXPECT_EQ(r.occupy(500, 10), 510u); // idle gap honoured
+  EXPECT_EQ(r.total_busy(), 160u);
+}
+
+TEST(Resource, OccupyNeverStartsBeforeReady) {
+  Resource r;
+  const Time done = r.occupy(1'000, 1);
+  EXPECT_EQ(done, 1'001u);
+}
+
+// ---------------------------------------------------------------------------
+// Actor
+// ---------------------------------------------------------------------------
+
+TEST(Actor, ChargeAdvancesClockAndAccounts) {
+  Fabric f;
+  auto n = f.add_node("n0");
+  Actor a("a", &f.node(n));
+  ActorScope scope(a);
+  a.charge(CostKind::kCopy, 500);
+  a.charge(CostKind::kProtocol, 300);
+  EXPECT_EQ(a.now(), 800u);
+  EXPECT_EQ(a.busy()[CostKind::kCopy], 500u);
+  EXPECT_EQ(a.busy()[CostKind::kProtocol], 300u);
+  EXPECT_EQ(a.busy().total(), 800u);
+}
+
+TEST(Actor, SyncToOnlyMovesForward) {
+  Fabric f;
+  auto n = f.add_node("n0");
+  Actor a("a", &f.node(n));
+  a.sync_to(1'000);
+  EXPECT_EQ(a.now(), 1'000u);
+  a.sync_to(500);
+  EXPECT_EQ(a.now(), 1'000u);
+}
+
+TEST(Actor, CoLocatedActorsContendForCpu) {
+  Fabric f;
+  auto n = f.add_node("n0");
+  Actor a("a", &f.node(n));
+  Actor b("b", &f.node(n));
+  a.charge(CostKind::kCopy, 1'000);
+  b.charge(CostKind::kCopy, 1'000);
+  // b's charge was pushed behind a's on the shared CPU.
+  EXPECT_EQ(b.now(), 2'000u);
+}
+
+TEST(Actor, CurrentFollowsScopeNesting) {
+  Fabric f;
+  auto n = f.add_node("n0");
+  Actor a("a", &f.node(n));
+  Actor b("b", &f.node(n));
+  EXPECT_EQ(Actor::current(), nullptr);
+  {
+    ActorScope sa(a);
+    EXPECT_EQ(Actor::current(), &a);
+    {
+      ActorScope sb(b);
+      EXPECT_EQ(Actor::current(), &b);
+    }
+    EXPECT_EQ(Actor::current(), &a);
+  }
+  EXPECT_EQ(Actor::current(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Fabric transfer timing
+// ---------------------------------------------------------------------------
+
+TEST(Fabric, SingleSmallMessageLatency) {
+  CostModel cm;
+  Fabric f(cm);
+  auto a = f.add_node("a");
+  auto b = f.add_node("b");
+  const std::uint64_t bytes = 64;
+  const Time arrival = f.transfer(a, b, bytes, 0);
+  EXPECT_EQ(arrival, cm.propagation + cm.wire_time(bytes) + cm.per_packet);
+}
+
+TEST(Fabric, LargeMessagePipelinesAcrossPackets) {
+  CostModel cm;
+  Fabric f(cm);
+  auto a = f.add_node("a");
+  auto b = f.add_node("b");
+  const std::uint64_t bytes = 4ull * cm.mtu;
+  const Time arrival = f.transfer(a, b, bytes, 0);
+  // Pipelined: total ~= serialization of all packets + one propagation.
+  const Time ser = cm.wire_time(bytes) + 4 * cm.per_packet;
+  EXPECT_EQ(arrival, ser + cm.propagation);
+}
+
+TEST(Fabric, LoopbackIsFree) {
+  Fabric f;
+  auto a = f.add_node("a");
+  EXPECT_EQ(f.transfer(a, a, 1 << 20, 42), 42u);
+}
+
+TEST(Fabric, TwoSendersSaturateReceiverIngress) {
+  CostModel cm;
+  Fabric f(cm);
+  auto a = f.add_node("a");
+  auto b = f.add_node("b");
+  auto dst = f.add_node("dst");
+  const std::uint64_t bytes = cm.mtu;
+  const Time t1 = f.transfer(a, dst, bytes, 0);
+  const Time t2 = f.transfer(b, dst, bytes, 0);
+  // Second flow serializes behind the first on dst's ingress.
+  EXPECT_GE(t2, t1 + cm.wire_time(bytes));
+}
+
+TEST(Fabric, BandwidthApproachesLinkRateForLargeTransfers) {
+  CostModel cm;
+  Fabric f(cm);
+  auto a = f.add_node("a");
+  auto b = f.add_node("b");
+  const std::uint64_t bytes = 8 << 20;
+  const Time arrival = f.transfer(a, b, bytes, 0);
+  const double mbps = static_cast<double>(bytes) * 1'000.0 /
+                      static_cast<double>(arrival);
+  EXPECT_GT(mbps, cm.link_mbps * 0.9);
+  EXPECT_LE(mbps, cm.link_mbps * 1.01);
+}
+
+TEST(Fabric, NameServiceBindLookupUnbind) {
+  Fabric f;
+  int x = 0;
+  f.bind("svc", &x);
+  EXPECT_EQ(f.lookup("svc"), &x);
+  f.unbind("svc");
+  EXPECT_EQ(f.lookup("svc"), nullptr);
+  EXPECT_EQ(f.lookup("nope"), nullptr);
+}
+
+TEST(Fabric, StatsCountPacketsAndBytes) {
+  CostModel cm;
+  Fabric f(cm);
+  auto a = f.add_node("a");
+  auto b = f.add_node("b");
+  f.transfer(a, b, 3 * cm.mtu, 0);
+  EXPECT_EQ(f.stats().get("fabric.packets"), 3u);
+  EXPECT_EQ(f.stats().get("fabric.bytes"), 3ull * cm.mtu);
+}
+
+// ---------------------------------------------------------------------------
+// Property-style sweeps
+// ---------------------------------------------------------------------------
+
+class TransferMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransferMonotonicity, ArrivalGrowsWithSize) {
+  CostModel cm;
+  Fabric f(cm);
+  auto a = f.add_node("a");
+  auto b = f.add_node("b");
+  const std::uint64_t bytes = GetParam();
+  Fabric f2(cm);
+  auto a2 = f2.add_node("a");
+  auto b2 = f2.add_node("b");
+  const Time small = f.transfer(a, b, bytes, 0);
+  const Time bigger = f2.transfer(a2, b2, bytes * 2, 0);
+  EXPECT_LT(small, bigger);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransferMonotonicity,
+                         ::testing::Values(64, 1024, 32 * 1024, 256 * 1024,
+                                           1 << 20));
+
+TEST(ResourceProperty, RandomOccupationsNeverOverlap) {
+  sim::Rng rng(7);
+  Resource r;
+  Time prev_end = 0;
+  Time total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const Time ready = rng.below(10'000);
+    const Time dur = 1 + rng.below(100);
+    const Time end = r.occupy(ready, dur);
+    EXPECT_GE(end, ready + dur);
+    EXPECT_GE(end, prev_end + dur);  // serialized after all previous work
+    prev_end = end;
+    total += dur;
+  }
+  EXPECT_EQ(r.total_busy(), total);
+}
+
+TEST(ResourceProperty, ConcurrentOccupationsConserveBusyTime) {
+  Resource r;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 500;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&r] {
+      for (int i = 0; i < kOps; ++i) r.occupy(0, 10);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(r.total_busy(), static_cast<Time>(kThreads) * kOps * 10);
+  EXPECT_EQ(r.busy_until(), static_cast<Time>(kThreads) * kOps * 10);
+}
+
+}  // namespace
