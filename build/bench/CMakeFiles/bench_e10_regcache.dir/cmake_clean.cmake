@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_regcache.dir/bench_e10_regcache.cpp.o"
+  "CMakeFiles/bench_e10_regcache.dir/bench_e10_regcache.cpp.o.d"
+  "bench_e10_regcache"
+  "bench_e10_regcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_regcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e11_async.cpp" "bench/CMakeFiles/bench_e11_async.dir/bench_e11_async.cpp.o" "gcc" "bench/CMakeFiles/bench_e11_async.dir/bench_e11_async.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dafs/CMakeFiles/dafs.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfs/CMakeFiles/nfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/fstore/CMakeFiles/fstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/via.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

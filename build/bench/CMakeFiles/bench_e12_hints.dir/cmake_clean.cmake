@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_hints.dir/bench_e12_hints.cpp.o"
+  "CMakeFiles/bench_e12_hints.dir/bench_e12_hints.cpp.o.d"
+  "bench_e12_hints"
+  "bench_e12_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_via_bandwidth.dir/bench_e2_via_bandwidth.cpp.o"
+  "CMakeFiles/bench_e2_via_bandwidth.dir/bench_e2_via_bandwidth.cpp.o.d"
+  "bench_e2_via_bandwidth"
+  "bench_e2_via_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_via_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

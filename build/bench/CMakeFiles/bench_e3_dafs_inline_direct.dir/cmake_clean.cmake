@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_dafs_inline_direct.dir/bench_e3_dafs_inline_direct.cpp.o"
+  "CMakeFiles/bench_e3_dafs_inline_direct.dir/bench_e3_dafs_inline_direct.cpp.o.d"
+  "bench_e3_dafs_inline_direct"
+  "bench_e3_dafs_inline_direct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_dafs_inline_direct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_dafs_vs_nfs.dir/bench_e4_dafs_vs_nfs.cpp.o"
+  "CMakeFiles/bench_e4_dafs_vs_nfs.dir/bench_e4_dafs_vs_nfs.cpp.o.d"
+  "bench_e4_dafs_vs_nfs"
+  "bench_e4_dafs_vs_nfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_dafs_vs_nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

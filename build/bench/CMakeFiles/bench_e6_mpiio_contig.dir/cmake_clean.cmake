@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_mpiio_contig.dir/bench_e6_mpiio_contig.cpp.o"
+  "CMakeFiles/bench_e6_mpiio_contig.dir/bench_e6_mpiio_contig.cpp.o.d"
+  "bench_e6_mpiio_contig"
+  "bench_e6_mpiio_contig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_mpiio_contig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

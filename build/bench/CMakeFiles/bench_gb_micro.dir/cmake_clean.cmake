@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gb_micro.dir/bench_gb_micro.cpp.o"
+  "CMakeFiles/bench_gb_micro.dir/bench_gb_micro.cpp.o.d"
+  "bench_gb_micro"
+  "bench_gb_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gb_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dafs_cp.cpp" "examples/CMakeFiles/dafs_cp.dir/dafs_cp.cpp.o" "gcc" "examples/CMakeFiles/dafs_cp.dir/dafs_cp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dafs/CMakeFiles/dafs.dir/DependInfo.cmake"
+  "/root/repo/build/src/via/CMakeFiles/via.dir/DependInfo.cmake"
+  "/root/repo/build/src/fstore/CMakeFiles/fstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

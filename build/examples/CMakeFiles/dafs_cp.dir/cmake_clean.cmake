@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dafs_cp.dir/dafs_cp.cpp.o"
+  "CMakeFiles/dafs_cp.dir/dafs_cp.cpp.o.d"
+  "dafs_cp"
+  "dafs_cp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dafs_cp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiledimage.dir/tiledimage.cpp.o"
+  "CMakeFiles/tiledimage.dir/tiledimage.cpp.o.d"
+  "tiledimage"
+  "tiledimage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiledimage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via_pingpong.dir/via_pingpong.cpp.o"
+  "CMakeFiles/via_pingpong.dir/via_pingpong.cpp.o.d"
+  "via_pingpong"
+  "via_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

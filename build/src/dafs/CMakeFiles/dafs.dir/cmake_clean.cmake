@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dafs.dir/client.cpp.o"
+  "CMakeFiles/dafs.dir/client.cpp.o.d"
+  "CMakeFiles/dafs.dir/server.cpp.o"
+  "CMakeFiles/dafs.dir/server.cpp.o.d"
+  "libdafs.a"
+  "libdafs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

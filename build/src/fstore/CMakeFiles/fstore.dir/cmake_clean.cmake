@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fstore.dir/file_store.cpp.o"
+  "CMakeFiles/fstore.dir/file_store.cpp.o.d"
+  "libfstore.a"
+  "libfstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

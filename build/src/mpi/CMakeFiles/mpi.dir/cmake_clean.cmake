@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi.dir/datatype.cpp.o"
+  "CMakeFiles/mpi.dir/datatype.cpp.o.d"
+  "CMakeFiles/mpi.dir/runtime.cpp.o"
+  "CMakeFiles/mpi.dir/runtime.cpp.o.d"
+  "libmpi.a"
+  "libmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpiio.dir/ad_dafs.cpp.o"
+  "CMakeFiles/mpiio.dir/ad_dafs.cpp.o.d"
+  "CMakeFiles/mpiio.dir/adio.cpp.o"
+  "CMakeFiles/mpiio.dir/adio.cpp.o.d"
+  "CMakeFiles/mpiio.dir/file.cpp.o"
+  "CMakeFiles/mpiio.dir/file.cpp.o.d"
+  "libmpiio.a"
+  "libmpiio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpiio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfs/client.cpp" "src/nfs/CMakeFiles/nfs.dir/client.cpp.o" "gcc" "src/nfs/CMakeFiles/nfs.dir/client.cpp.o.d"
+  "/root/repo/src/nfs/server.cpp" "src/nfs/CMakeFiles/nfs.dir/server.cpp.o" "gcc" "src/nfs/CMakeFiles/nfs.dir/server.cpp.o.d"
+  "/root/repo/src/nfs/tcp.cpp" "src/nfs/CMakeFiles/nfs.dir/tcp.cpp.o" "gcc" "src/nfs/CMakeFiles/nfs.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fstore/CMakeFiles/fstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

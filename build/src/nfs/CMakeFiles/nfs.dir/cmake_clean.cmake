@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfs.dir/client.cpp.o"
+  "CMakeFiles/nfs.dir/client.cpp.o.d"
+  "CMakeFiles/nfs.dir/server.cpp.o"
+  "CMakeFiles/nfs.dir/server.cpp.o.d"
+  "CMakeFiles/nfs.dir/tcp.cpp.o"
+  "CMakeFiles/nfs.dir/tcp.cpp.o.d"
+  "libnfs.a"
+  "libnfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

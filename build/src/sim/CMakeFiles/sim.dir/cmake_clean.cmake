@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/actor.cpp.o"
+  "CMakeFiles/sim.dir/actor.cpp.o.d"
+  "CMakeFiles/sim.dir/fabric.cpp.o"
+  "CMakeFiles/sim.dir/fabric.cpp.o.d"
+  "libsim.a"
+  "libsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/via/memory.cpp" "src/via/CMakeFiles/via.dir/memory.cpp.o" "gcc" "src/via/CMakeFiles/via.dir/memory.cpp.o.d"
+  "/root/repo/src/via/nic.cpp" "src/via/CMakeFiles/via.dir/nic.cpp.o" "gcc" "src/via/CMakeFiles/via.dir/nic.cpp.o.d"
+  "/root/repo/src/via/vi.cpp" "src/via/CMakeFiles/via.dir/vi.cpp.o" "gcc" "src/via/CMakeFiles/via.dir/vi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

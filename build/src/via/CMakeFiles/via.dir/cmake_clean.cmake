@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/via.dir/memory.cpp.o"
+  "CMakeFiles/via.dir/memory.cpp.o.d"
+  "CMakeFiles/via.dir/nic.cpp.o"
+  "CMakeFiles/via.dir/nic.cpp.o.d"
+  "CMakeFiles/via.dir/vi.cpp.o"
+  "CMakeFiles/via.dir/vi.cpp.o.d"
+  "libvia.a"
+  "libvia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/via.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dafs.dir/test_dafs.cpp.o"
+  "CMakeFiles/test_dafs.dir/test_dafs.cpp.o.d"
+  "test_dafs"
+  "test_dafs.pdb"
+  "test_dafs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dafs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fstore.dir/test_fstore.cpp.o"
+  "CMakeFiles/test_fstore.dir/test_fstore.cpp.o.d"
+  "test_fstore"
+  "test_fstore.pdb"
+  "test_fstore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpiio_unit.dir/test_mpiio_unit.cpp.o"
+  "CMakeFiles/test_mpiio_unit.dir/test_mpiio_unit.cpp.o.d"
+  "test_mpiio_unit"
+  "test_mpiio_unit.pdb"
+  "test_mpiio_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpiio_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_via[1]_include.cmake")
+include("/root/repo/build/tests/test_fstore[1]_include.cmake")
+include("/root/repo/build/tests/test_dafs[1]_include.cmake")
+include("/root/repo/build/tests/test_nfs[1]_include.cmake")
+include("/root/repo/build/tests/test_datatype[1]_include.cmake")
+include("/root/repo/build/tests/test_mpi[1]_include.cmake")
+include("/root/repo/build/tests/test_mpiio[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_mpiio_unit[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
