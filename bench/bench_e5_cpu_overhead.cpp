@@ -36,6 +36,7 @@ Cpu dafs_case(std::size_t size, bool force_inline, bool reading) {
   auto data = make_data(size, 7);
   bed.session->pwrite(fh, 0, data);  // warm
   constexpr int kIters = 16;
+  bed.fabric.histograms().reset();  // measured loop only
   bed.client_actor->reset_busy();
   std::vector<std::byte> back(size);
   for (int i = 0; i < kIters; ++i) {
@@ -45,6 +46,11 @@ Cpu dafs_case(std::size_t size, bool force_inline, bool reading) {
       bed.session->pwrite(fh, 0, data);
     }
   }
+  emit_histogram_json(
+      bed.fabric, "e5_cpu_overhead",
+      std::string("{\"path\":\"") + (force_inline ? "inline" : "direct") +
+          "\",\"op\":\"" + (reading ? "read" : "write") +
+          "\",\"size\":" + std::to_string(size) + "}");
   return cpu_of(bed.client_actor->busy(),
                 static_cast<std::uint64_t>(kIters) * size);
 }

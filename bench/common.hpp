@@ -11,6 +11,7 @@
 #include "mpi/runtime.hpp"
 #include "nfs/client.hpp"
 #include "nfs/server.hpp"
+#include "sim/fabric.hpp"
 #include "sim/rng.hpp"
 
 /// \file common.hpp
@@ -99,6 +100,36 @@ inline std::string fmt(double v, int prec = 1) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
   return buf;
+}
+
+/// Emit the fabric's histogram registry as a single-line JSON object, next
+/// to the bench's human-readable tables. Schema (documented in
+/// EXPERIMENTS.md "Histogram JSON" section):
+///   {"bench": "<name>", "params": <object>,
+///    "histograms": {"<key>": {"count": u64, "sum": u64, "min": u64,
+///                             "max": u64, "mean": f64, "p50": u64,
+///                             "p95": u64}, ...}}
+/// Latency keys end in _ns (virtual nanoseconds), size keys in _bytes.
+/// Only histograms with at least one sample appear.
+inline void emit_histogram_json(sim::Fabric& fabric, const std::string& bench,
+                                const std::string& params_json = "{}") {
+  const auto snaps = fabric.histograms().snapshot_all();
+  std::printf("{\"bench\":\"%s\",\"params\":%s,\"histograms\":{",
+              bench.c_str(), params_json.c_str());
+  bool first = true;
+  for (const auto& [key, s] : snaps) {
+    std::printf("%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
+                "\"max\":%llu,\"mean\":%.1f,\"p50\":%llu,\"p95\":%llu}",
+                first ? "" : ",", key.c_str(),
+                static_cast<unsigned long long>(s.count),
+                static_cast<unsigned long long>(s.sum),
+                static_cast<unsigned long long>(s.min),
+                static_cast<unsigned long long>(s.max), s.mean(),
+                static_cast<unsigned long long>(s.p50()),
+                static_cast<unsigned long long>(s.p95()));
+    first = false;
+  }
+  std::printf("}}\n");
 }
 
 /// A ready-to-use DAFS testbed: fabric, filer, one client node + session.

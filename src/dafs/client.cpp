@@ -139,6 +139,8 @@ PStatus Session::transmit(OpId id) {
   MsgView msg(sl.send_buf.data(), sl.send_buf.size());
   msg.header().request_id = id;
   msg.header().session_id = session_id_;
+  sl.proc = msg.header().proc;
+  sl.t_submit = actor->now();
 
   sl.send_desc = via::Descriptor{};
   sl.send_desc.op = via::Opcode::kSend;
@@ -197,6 +199,7 @@ bool Session::pump_one() {
     }
   }
   sl.done = true;
+  record_rtt(sl);
   // Return the receive buffer to the pool.
   rb->desc.segs = {via::DataSegment{
       rb->mem.data(), rb->handle, static_cast<std::uint32_t>(rb->mem.size())}};
@@ -210,6 +213,15 @@ PStatus Session::wait_slot(OpId id) {
     if (!pump_one()) return PStatus::kProtoError;
   }
   return sl.resp.status;
+}
+
+void Session::record_rtt(const Slot& sl) {
+  Actor* actor = Actor::current();
+  if (actor == nullptr) return;
+  const sim::Time now = actor->now();
+  nic_.fabric().histograms().record(
+      std::string("dafs.rtt_ns.") + proc_name(sl.proc),
+      now > sl.t_submit ? now - sl.t_submit : 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -647,6 +659,7 @@ Result<bool> Session::test(OpId op, std::uint64_t* bytes) {
         }
       }
       sl.done = true;
+      record_rtt(sl);
       rb->desc.segs = {via::DataSegment{
           rb->mem.data(), rb->handle,
           static_cast<std::uint32_t>(rb->mem.size())}};

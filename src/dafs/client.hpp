@@ -122,6 +122,8 @@ class Session {
   struct Slot {
     bool in_use = false;
     bool done = false;
+    Proc proc{};                 // procedure in flight (RTT attribution)
+    sim::Time t_submit = 0;      // virtual doorbell time of the request
     MsgHeader resp;
     std::vector<std::byte> payload;   // small response payloads (attrs, dirents)
     std::byte* user_buf = nullptr;    // inline-read destination
@@ -159,6 +161,9 @@ class Session {
   /// died.
   bool pump_one();
   PStatus wait_slot(OpId id);
+  /// Record the request's submit->response RTT into the fabric histogram
+  /// registry, keyed by procedure ("dafs.rtt_ns.<proc>").
+  void record_rtt(const Slot& sl);
 
   /// Get a NIC handle for [buf, buf+len) suitable for server-side RDMA.
   via::MemHandle reg_for(const std::byte* buf, std::size_t len, OpId slot);

@@ -39,6 +39,32 @@ enum class Proc : std::uint8_t {
   kSetCounter,   // [ext]
 };
 
+/// Stable lowercase names, used as histogram-key suffixes ("dafs.rtt_ns.<proc>").
+constexpr const char* proc_name(Proc p) {
+  switch (p) {
+    case Proc::kConnect: return "connect";
+    case Proc::kDisconnect: return "disconnect";
+    case Proc::kOpen: return "open";
+    case Proc::kGetattr: return "getattr";
+    case Proc::kSetSize: return "setsize";
+    case Proc::kRemove: return "remove";
+    case Proc::kMkdir: return "mkdir";
+    case Proc::kRmdir: return "rmdir";
+    case Proc::kRename: return "rename";
+    case Proc::kReaddir: return "readdir";
+    case Proc::kReadInline: return "read_inline";
+    case Proc::kWriteInline: return "write_inline";
+    case Proc::kReadDirect: return "read_direct";
+    case Proc::kWriteDirect: return "write_direct";
+    case Proc::kSync: return "sync";
+    case Proc::kLock: return "lock";
+    case Proc::kUnlock: return "unlock";
+    case Proc::kFetchAdd: return "fetch_add";
+    case Proc::kSetCounter: return "set_counter";
+  }
+  return "?";
+}
+
 /// Protocol status codes.
 enum class PStatus : std::uint8_t {
   kOk = 0,
@@ -173,7 +199,8 @@ class MsgView {
 
   void set_name(std::string_view s) {
     header().name_len = static_cast<std::uint32_t>(s.size());
-    std::memcpy(name_payload(), s.data(), s.size());
+    // An empty view may carry a null data() — UB to hand to memcpy.
+    if (!s.empty()) std::memcpy(name_payload(), s.data(), s.size());
   }
 
   std::span<const DirectSeg> segs() const {

@@ -33,9 +33,14 @@ Result<std::uint64_t> AdDafs::read_list(std::span<const IoSeg> segs) {
   auto iovs = to_iovecs(segs);
   for (std::size_t i = 0; i < iovs.size(); i += kMaxSegsPerRequest) {
     const std::size_t n = std::min(kMaxSegsPerRequest, iovs.size() - i);
+    std::uint64_t want = 0;
+    for (std::size_t k = i; k < i + n; ++k) want += iovs[k].len;
     auto r = s_.read_batch(fh_, std::span(iovs.data() + i, n));
     if (!r.ok()) return r;
     total += r.value();
+    // A short batch means EOF inside it; later batches lie wholly past EOF,
+    // and issuing them would over-report the transfer across the hole.
+    if (r.value() < want) break;
   }
   return total;
 }
@@ -50,9 +55,14 @@ Result<std::uint64_t> AdDafs::write_list(std::span<const IoSeg> segs) {
   auto iovs = to_iovecs(segs);
   for (std::size_t i = 0; i < iovs.size(); i += kMaxSegsPerRequest) {
     const std::size_t n = std::min(kMaxSegsPerRequest, iovs.size() - i);
+    std::uint64_t want = 0;
+    for (std::size_t k = i; k < i + n; ++k) want += iovs[k].len;
     auto r = s_.write_batch(fh_, std::span(iovs.data() + i, n));
     if (!r.ok()) return r;
     total += r.value();
+    // Stop on a short batch: the device accepted less than asked, so
+    // continuing would misstate how much of the list actually landed.
+    if (r.value() < want) break;
   }
   return total;
 }

@@ -25,7 +25,21 @@ void charge_copy(std::uint64_t bytes) {
   }
 }
 
+/// This rank's virtual clock, or 0 outside an ActorScope (phase timings are
+/// then skipped — see File::record_phase).
+sim::Time actor_now() {
+  Actor* a = Actor::current();
+  return a != nullptr ? a->now() : 0;
+}
+
 }  // namespace
+
+void File::record_phase(const char* key, sim::Time t0) const {
+  Actor* a = Actor::current();
+  if (a == nullptr) return;
+  const sim::Time now = a->now();
+  comm_.world().fabric().histograms().record(key, now > t0 ? now - t0 : 0);
+}
 
 // ---------------------------------------------------------------------------
 // Open / close
@@ -272,8 +286,10 @@ Result<std::uint64_t> File::sieved_read(std::vector<IoSeg> segs) {
       ++j;
     }
     whi = std::min(whi, wlo + buf_size);
+    const sim::Time t_window = actor_now();
     auto r = driver_->pread(wlo, std::span(sieve.data(), whi - wlo));
     if (!r.ok()) return r;
+    record_phase("mpiio.sieve_read_window_ns", t_window);
     const std::uint64_t got = r.value();
     for (std::size_t k = i; k < j; ++k) {
       const IoSeg& s = segs[k];
@@ -293,6 +309,12 @@ Result<std::uint64_t> File::sieved_read(std::vector<IoSeg> segs) {
         j = k;
         break;
       }
+    }
+    if (got < whi - wlo) {
+      // Short device read: EOF fell inside the window. Every remaining
+      // segment starts at or past the file end, so stop here with a short
+      // count (re-reading the window can never make progress).
+      break;
     }
     i = j;
   }
@@ -334,6 +356,7 @@ Result<std::uint64_t> File::sieved_write(std::vector<IoSeg> segs) {
     if (driver_->lock(wlo, wlen, /*exclusive=*/true) != Err::kOk) {
       return Err::kLockConflict;
     }
+    const sim::Time t_hold = actor_now();
     auto r = driver_->pread(wlo, std::span(sieve.data(), wlen));
     if (!r.ok()) {
       driver_->unlock(wlo, wlen);
@@ -348,6 +371,7 @@ Result<std::uint64_t> File::sieved_write(std::vector<IoSeg> segs) {
     auto wr = driver_->pwrite(wlo, std::span<const std::byte>(sieve.data(),
                                                               wlen));
     driver_->unlock(wlo, wlen);
+    record_phase("mpiio.rmw_lock_hold_ns", t_hold);
     if (!wr.ok()) return wr;
     i = j;
   }
@@ -406,14 +430,20 @@ Result<std::uint64_t> File::read_at(std::uint64_t offset, void* buf,
                                     std::uint64_t count,
                                     const Datatype& type) {
   if (const Err st = check_readable(); st != Err::kOk) return st;
-  return independent_io(false, offset, buf, count, type);
+  const sim::Time t0 = actor_now();
+  auto r = independent_io(false, offset, buf, count, type);
+  record_phase("mpiio.read_at_ns", t0);
+  return r;
 }
 
 Result<std::uint64_t> File::write_at(std::uint64_t offset, const void* buf,
                                      std::uint64_t count,
                                      const Datatype& type) {
   if (const Err st = check_writable(); st != Err::kOk) return st;
-  return independent_io(true, offset, const_cast<void*>(buf), count, type);
+  const sim::Time t0 = actor_now();
+  auto r = independent_io(true, offset, const_cast<void*>(buf), count, type);
+  record_phase("mpiio.write_at_ns", t0);
+  return r;
 }
 
 Result<std::uint64_t> File::read(void* buf, std::uint64_t count,
@@ -485,6 +515,9 @@ Result<std::uint64_t> File::collective_io(bool writing,
     if (n > 1) comm_.barrier();
     return r;
   }
+
+  // Metadata phase: extent agreement + piece-list exchange with aggregators.
+  const sim::Time t_meta = actor_now();
 
   // Global extent of the collective access.
   std::uint64_t lo = ~0ull, hi = 0;
@@ -569,6 +602,7 @@ Result<std::uint64_t> File::collective_io(bool writing,
   std::vector<std::byte> meta_in(meta_in_total);
   comm_.alltoallv(meta_out.data(), meta_scounts, meta_sdispls, meta_in.data(),
                   meta_rcounts, meta_rdispls);
+  record_phase("mpiio.twophase_meta_ns", t_meta);
 
   const std::uint64_t cb_buffer =
       std::max<std::uint64_t>(info_.get_uint("cb_buffer_size",
@@ -609,10 +643,13 @@ Result<std::uint64_t> File::collective_io(bool writing,
       data_rdispls[static_cast<std::size_t>(s)] = data_in_total;
       data_in_total += bytes;
     }
+    const sim::Time t_exchange = actor_now();
     std::vector<std::byte> data_in(data_in_total);
     comm_.alltoallv(data_out.data(), data_scounts, data_sdispls,
                     data_in.data(), data_rcounts, data_rdispls);
+    record_phase("mpiio.twophase_exchange_ns", t_exchange);
 
+    const sim::Time t_disk = actor_now();
     if (aggregator && data_in_total > 0) {
       // Assemble (off, len, src-bytes) triples, sort, coalesce and write.
       struct Item {
@@ -669,6 +706,7 @@ Result<std::uint64_t> File::collective_io(bool writing,
         i = j;
       }
       comm_.world().fabric().stats().add("mpiio.twophase_writes");
+      record_phase("mpiio.twophase_disk_ns", t_disk);
     }
     comm_.barrier();  // writes visible before anyone proceeds
     return total;
@@ -678,6 +716,7 @@ Result<std::uint64_t> File::collective_io(bool writing,
   std::vector<std::uint64_t> reply_scounts(static_cast<std::size_t>(n), 0);
   std::vector<std::uint64_t> reply_sdispls(static_cast<std::size_t>(n), 0);
   std::vector<std::byte> reply_out;
+  const sim::Time t_disk = actor_now();
   if (aggregator && meta_in_total > 0) {
     struct Item {
       std::uint64_t off;
@@ -751,6 +790,7 @@ Result<std::uint64_t> File::collective_io(bool writing,
       i = j;
     }
     comm_.world().fabric().stats().add("mpiio.twophase_reads");
+    record_phase("mpiio.twophase_disk_ns", t_disk);
   }
   // Reply counts mirror the request metadata; both sides can compute them.
   std::vector<std::uint64_t> reply_rcounts(static_cast<std::size_t>(n), 0);
@@ -767,9 +807,11 @@ Result<std::uint64_t> File::collective_io(bool writing,
     reply_rdispls[static_cast<std::size_t>(d)] = reply_in_total;
     reply_in_total += bytes;
   }
+  const sim::Time t_exchange = actor_now();
   std::vector<std::byte> reply_in(reply_in_total);
   comm_.alltoallv(reply_out.data(), reply_scounts, reply_sdispls,
                   reply_in.data(), reply_rcounts, reply_rdispls);
+  record_phase("mpiio.twophase_exchange_ns", t_exchange);
 
   // Scatter the returned bytes into the user buffer, in the same piece
   // order they were generated.
@@ -792,14 +834,20 @@ Result<std::uint64_t> File::read_at_all(std::uint64_t offset, void* buf,
                                         std::uint64_t count,
                                         const Datatype& type) {
   if (const Err st = check_readable(); st != Err::kOk) return st;
-  return collective_io(false, offset, buf, count, type);
+  const sim::Time t0 = actor_now();
+  auto r = collective_io(false, offset, buf, count, type);
+  record_phase("mpiio.read_at_all_ns", t0);
+  return r;
 }
 
 Result<std::uint64_t> File::write_at_all(std::uint64_t offset, const void* buf,
                                          std::uint64_t count,
                                          const Datatype& type) {
   if (const Err st = check_writable(); st != Err::kOk) return st;
-  return collective_io(true, offset, const_cast<void*>(buf), count, type);
+  const sim::Time t0 = actor_now();
+  auto r = collective_io(true, offset, const_cast<void*>(buf), count, type);
+  record_phase("mpiio.write_at_all_ns", t0);
+  return r;
 }
 
 Result<std::uint64_t> File::read_all(void* buf, std::uint64_t count,
@@ -838,6 +886,28 @@ Result<std::uint64_t> File::write_shared(const void* buf, std::uint64_t count,
   return write_at(base.value(), buf, count, type);
 }
 
+Result<std::uint64_t> File::ordered_base(std::uint64_t total_etypes) {
+  // Rank 0 advances the shared counter for everyone and broadcasts both the
+  // base offset and the status: a failed fetch_add must surface on every
+  // rank, not leave them all silently operating at offset 0 (matching the
+  // error-broadcast discipline of seek_shared).
+  struct Shared {
+    std::uint64_t base;
+    int code;
+  } sh{0, static_cast<int>(Err::kOk)};
+  if (comm_.rank() == 0) {
+    auto r = driver_->counter_fetch_add(sfp_key_, total_etypes);
+    if (r.ok()) {
+      sh.base = r.value();
+    } else {
+      sh.code = static_cast<int>(r.error());
+    }
+  }
+  comm_.bcast(&sh, sizeof(sh), Datatype::byte(), 0);
+  if (static_cast<Err>(sh.code) != Err::kOk) return static_cast<Err>(sh.code);
+  return sh.base;
+}
+
 Result<std::uint64_t> File::read_ordered(void* buf, std::uint64_t count,
                                          const Datatype& type) {
   if (!driver_->supports_counters()) return Err::kInval;
@@ -845,13 +915,12 @@ Result<std::uint64_t> File::read_ordered(void* buf, std::uint64_t count,
   const std::uint64_t prefix = comm_.exscan_sum(mine);
   std::vector<std::uint64_t> tot = {mine};
   comm_.allreduce(std::span<std::uint64_t>(tot), mpi::Op::kSum);
-  std::uint64_t base = 0;
-  if (comm_.rank() == 0) {
-    auto r = driver_->counter_fetch_add(sfp_key_, tot[0]);
-    if (r.ok()) base = r.value();
+  auto base = ordered_base(tot[0]);
+  if (!base.ok()) {
+    comm_.barrier();  // keep the collective's exit synchronized
+    return base.error();
   }
-  comm_.bcast(&base, sizeof(base), Datatype::byte(), 0);
-  auto r = read_at(base + prefix, buf, count, type);
+  auto r = read_at(base.value() + prefix, buf, count, type);
   comm_.barrier();
   return r;
 }
@@ -863,13 +932,12 @@ Result<std::uint64_t> File::write_ordered(const void* buf, std::uint64_t count,
   const std::uint64_t prefix = comm_.exscan_sum(mine);
   std::vector<std::uint64_t> tot = {mine};
   comm_.allreduce(std::span<std::uint64_t>(tot), mpi::Op::kSum);
-  std::uint64_t base = 0;
-  if (comm_.rank() == 0) {
-    auto r = driver_->counter_fetch_add(sfp_key_, tot[0]);
-    if (r.ok()) base = r.value();
+  auto base = ordered_base(tot[0]);
+  if (!base.ok()) {
+    comm_.barrier();
+    return base.error();
   }
-  comm_.bcast(&base, sizeof(base), Datatype::byte(), 0);
-  auto r = write_at(base + prefix, buf, count, type);
+  auto r = write_at(base.value() + prefix, buf, count, type);
   comm_.barrier();
   return r;
 }

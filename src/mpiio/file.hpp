@@ -162,9 +162,15 @@ class File {
                                       std::uint64_t offset_etypes, void* buf,
                                       std::uint64_t count,
                                       const mpi::Datatype& type);
+  /// Fetch-add the shared file pointer by `total_etypes` on rank 0 and
+  /// broadcast base + status, so a counter failure surfaces on every rank.
+  Result<std::uint64_t> ordered_base(std::uint64_t total_etypes);
   Result<std::uint64_t> sieved_read(std::vector<IoSeg> segs);
   Result<std::uint64_t> sieved_write(std::vector<IoSeg> segs);
   bool use_sieving(bool writing, const std::vector<IoSeg>& segs) const;
+  /// Record `now - t0` into the fabric histogram `key` (no-op outside an
+  /// ActorScope, where there is no virtual clock to read).
+  void record_phase(const char* key, sim::Time t0) const;
   Err check_writable() const;
   Err check_readable() const;
   std::uint64_t etypes_of(std::uint64_t count, const mpi::Datatype& type) const;

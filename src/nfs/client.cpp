@@ -52,7 +52,9 @@ PStatus Client::call(Proc proc, std::string_view name, fstore::Ino ino,
 
   req_.resize(sizeof(h) + name.size() + data.size());
   std::memcpy(req_.data(), &h, sizeof(h));
-  std::memcpy(req_.data() + sizeof(h), name.data(), name.size());
+  if (!name.empty()) {
+    std::memcpy(req_.data() + sizeof(h), name.data(), name.size());
+  }
   if (!data.empty()) {
     // Marshalling the write payload into the RPC buffer is part of the send
     // copy already charged by the TCP layer; this memcpy is the mechanism.

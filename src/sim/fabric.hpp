@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/cost_model.hpp"
+#include "sim/histogram.hpp"
 #include "sim/node.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
@@ -50,6 +51,7 @@ class Fabric {
   void* lookup(const std::string& key) const;
 
   Stats& stats() { return stats_; }
+  HistogramRegistry& histograms() { return hists_; }
 
  private:
   CostModel cost_;
@@ -60,6 +62,7 @@ class Fabric {
   std::unordered_map<std::string, void*> names_;
 
   Stats stats_;
+  HistogramRegistry hists_;
 };
 
 }  // namespace sim

@@ -74,6 +74,7 @@ struct Descriptor {
   std::uint32_t length = 0;        // bytes actually transferred
   std::uint32_t recv_immediate = 0;
   bool recv_has_immediate = false;
+  sim::Time posted_at = 0;         // virtual doorbell instant (sends only)
   sim::Time done_at = 0;           // virtual completion instant
 
   std::uint64_t total_bytes() const {

@@ -28,6 +28,10 @@ bool bounded_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
   return cv.wait_for(lk, timeout, pred);
 }
 
+/// Saturating virtual-time delta (flush/error completions can carry a
+/// done_at from another actor's clock).
+Time since(Time from, Time to) { return to > from ? to - from : 0; }
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -47,6 +51,10 @@ Status CompletionQueue::finish_reap(Completion& out) {
   assert(actor && "CQ reaped outside an ActorScope");
   actor->sync_to(out.desc->done_at);
   actor->charge(CostKind::kProtocol, out.vi->nic().cost().completion);
+  if (!out.is_recv && out.desc->posted_at != 0) {
+    out.vi->nic().fabric().histograms().record(
+        "via.doorbell_to_reap_ns", since(out.desc->posted_at, actor->now()));
+  }
   return Status::kSuccess;
 }
 
@@ -285,6 +293,7 @@ Status Vi::post_send(Descriptor& d) {
 
   d.status = DescStatus::kPosted;
   actor->charge(CostKind::kProtocol, cm.doorbell);
+  d.posted_at = actor->now();
   const Time wire_start = actor->now() + cm.dma_setup;
 
   PeerPin pin = pin_peer();
@@ -392,6 +401,30 @@ Status Vi::post_send(Descriptor& d) {
     }
     case Opcode::kReceive:
       break;  // unreachable; handled above
+  }
+
+  // Doorbell->completion latency and transfer-size distributions, per op.
+  const char* lat_key = nullptr;
+  const char* size_key = nullptr;
+  switch (d.op) {
+    case Opcode::kSend:
+      lat_key = "via.send_latency_ns";
+      size_key = "via.send_size_bytes";
+      break;
+    case Opcode::kRdmaWrite:
+      lat_key = "via.rdma_write_latency_ns";
+      size_key = "via.rdma_write_size_bytes";
+      break;
+    case Opcode::kRdmaRead:
+      lat_key = "via.rdma_read_latency_ns";
+      size_key = "via.rdma_read_size_bytes";
+      break;
+    case Opcode::kReceive:
+      break;
+  }
+  if (lat_key != nullptr) {
+    fabric.histograms().record(lat_key, since(d.posted_at, d.done_at));
+    fabric.histograms().record(size_key, total);
   }
 
   unpin_peer(pin);
@@ -507,6 +540,10 @@ Status Vi::reap(std::deque<Descriptor*>& q, Descriptor*& out, bool block,
   assert(actor && "reap outside an ActorScope");
   actor->sync_to(d->done_at);
   actor->charge(CostKind::kProtocol, nic_.cost().completion);
+  if (d->op != Opcode::kReceive && d->posted_at != 0) {
+    nic_.fabric().histograms().record("via.doorbell_to_reap_ns",
+                                      since(d->posted_at, actor->now()));
+  }
   out = d;
   return Status::kSuccess;
 }

@@ -723,6 +723,82 @@ TEST_F(MpiioTest, ReadPastEofIsShort) {
 }
 
 
+TEST_F(MpiioTest, ListReadStopsAtFirstShortBatch) {
+  // A strided read past EOF that spans more than one DAFS batch (400 segs
+  // per request): the first batch comes back short, and the driver must not
+  // issue the second, all-past-EOF batch.
+  world_->run([this](Comm& c) {
+    Comm self = c.split(c.rank() == 0 ? 0 : 1, 0);  // split is collective
+    if (c.rank() != 0) return;
+    DafsCtx ctx(*fabric_, world_->node_of(c.rank()));
+    auto f = OpenDafs(self, ctx, "/batch.dat", kModeCreate | kModeRdwr);
+    ASSERT_NE(f, nullptr);
+    auto data = pattern(1000, 17);
+    ASSERT_TRUE(
+        f->write_at(0, data.data(), data.size(), Datatype::byte()).ok());
+    // 16 B of every 32 B -> 500 segments, split 400 + 100; EOF at 1000
+    // falls inside the first batch.
+    auto ft = Datatype::resized(
+        Datatype::hvector(1, 16, 32, Datatype::byte()), 0, 32);
+    ASSERT_EQ(f->set_view(0, Datatype::byte(), ft), Err::kOk);
+    const std::uint64_t reqs_before =
+        fabric_->stats().get("dafs.direct_read_reqs");
+    std::vector<std::byte> out(500 * 16, std::byte{0});
+    auto r = f->read_at(0, out.data(), out.size(), Datatype::byte());
+    ASSERT_TRUE(r.ok());
+    std::uint64_t expect = 0;  // stride bytes that lie before EOF
+    for (std::uint64_t k = 0; k < 500 && k * 32 < 1000; ++k) {
+      expect += std::min<std::uint64_t>(16, 1000 - k * 32);
+    }
+    EXPECT_EQ(r.value(), expect);
+    EXPECT_EQ(fabric_->stats().get("dafs.direct_read_reqs") - reqs_before, 1u);
+    // The bytes that do exist arrive intact.
+    EXPECT_EQ(std::memcmp(out.data(), data.data(), 16), 0);
+    EXPECT_EQ(std::memcmp(out.data() + 16, data.data() + 32, 16), 0);
+    f->close();
+  });
+}
+
+TEST_F(MpiioTest, CollectiveWritePopulatesPhaseHistograms) {
+  // The cross-layer tracing tentpole: one collective write/read must leave
+  // samples in the VIA, DAFS and MPI-IO phase histograms.
+  world_->run([this](Comm& c) {
+    DafsCtx ctx(*fabric_, world_->node_of(c.rank()));
+    auto f = OpenDafs(c, ctx, "/hist.dat", kModeCreate | kModeRdwr);
+    ASSERT_NE(f, nullptr);
+    constexpr std::uint32_t kBlock = 4096;
+    const std::array<std::uint32_t, 1> sizes = {kBlock * kNp};
+    const std::array<std::uint32_t, 1> subsizes = {kBlock};
+    const std::array<std::uint32_t, 1> starts = {
+        static_cast<std::uint32_t>(c.rank()) * kBlock};
+    auto ft = Datatype::subarray(sizes, subsizes, starts, Datatype::byte());
+    ASSERT_EQ(f->set_view(0, Datatype::byte(), ft), Err::kOk);
+    auto mine = pattern(kBlock * 8, 400 + c.rank());
+    ASSERT_TRUE(
+        f->write_at_all(0, mine.data(), mine.size(), Datatype::byte()).ok());
+    std::vector<std::byte> back(mine.size());
+    ASSERT_TRUE(
+        f->read_at_all(0, back.data(), back.size(), Datatype::byte()).ok());
+    c.barrier();
+    if (c.rank() == 0) {
+      const auto snaps = fabric_->histograms().snapshot_all();
+      for (const char* key :
+           {"mpiio.write_at_all_ns", "mpiio.read_at_all_ns",
+            "mpiio.twophase_meta_ns", "mpiio.twophase_exchange_ns",
+            "mpiio.twophase_disk_ns", "via.send_latency_ns",
+            "via.doorbell_to_reap_ns"}) {
+        auto it = snaps.find(key);
+        ASSERT_NE(it, snaps.end()) << key;
+        EXPECT_GT(it->second.count, 0u) << key;
+        EXPECT_GT(it->second.sum, 0u) << key;
+      }
+      // Per-procedure DAFS RTTs: the collective surely did direct writes.
+      EXPECT_EQ(snaps.count("dafs.rtt_ns.write_direct"), 1u);
+    }
+    f->close();
+  });
+}
+
 TEST_F(MpiioTest, PositionSharedTracksSharedPointer) {
   world_->run([this](Comm& c) {
     DafsCtx ctx(*fabric_, world_->node_of(c.rank()));

@@ -100,6 +100,7 @@ class FakeDriver final : public AdioDriver {
 
   Result<std::uint64_t> counter_fetch_add(const std::string& key,
                                           std::uint64_t delta) override {
+    if (fail_fetch_add) return Err::kStale;
     const std::uint64_t old = counters_map_[key];
     counters_map_[key] += delta;
     return old;
@@ -113,6 +114,10 @@ class FakeDriver final : public AdioDriver {
   const char* name() const override { return "fake"; }
 
   std::vector<std::byte>& data() { return data_; }
+
+  /// Simulated shared-counter outage: fetch_add fails while counter_set
+  /// (used at open) still works.
+  bool fail_fetch_add = false;
 
  private:
   bool with_locks_;
@@ -322,6 +327,63 @@ TEST(Sieving, SmallWindowSplitsIntoMultipleDeviceReads) {
   });
 }
 
+TEST(Sieving, ReadPastEofReturnsShortCount) {
+  // Strided view whose tail lies past EOF: the sieve window read comes back
+  // short and the op must return just the bytes that exist.
+  FakeDriver::Counters counters;
+  Info info;
+  info.set("romio_ds_read", "enable");
+  with_file(&counters, info, [&](File& f, FakeDriver& drv) {
+    auto base = pattern(10'000, 11);
+    f.write_at(0, base.data(), base.size(), Datatype::byte());
+    // 700 B of every 1 KiB; EOF at 10 KiB cuts the stride off after 10 blocks.
+    auto ft = Datatype::resized(
+        Datatype::hvector(1, 700, 1000, Datatype::byte()), 0, 1000);
+    ASSERT_EQ(f.set_view(0, Datatype::byte(), ft), Err::kOk);
+    counters = {};
+    std::vector<std::byte> out(66 * 700, std::byte{0});
+    auto r = f.read_at(0, out.data(), out.size(), Datatype::byte());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 10u * 700);  // blocks 0..9 exist, the rest are gone
+    EXPECT_EQ(counters.preads, 1);    // one short window, no futile re-reads
+    for (int blk = 0; blk < 10; ++blk) {
+      EXPECT_EQ(std::memcmp(out.data() + blk * 700, base.data() + blk * 1000,
+                            700),
+                0)
+          << blk;
+    }
+    (void)drv;
+  });
+}
+
+TEST(Sieving, ReadSegmentLargerThanBufferPastEofTerminates) {
+  // Regression: a segment longer than the sieve buffer starting past EOF
+  // used to respawn the same window forever (short read -> zero progress on
+  // the tail -> identical retry). Must terminate with the bytes before EOF.
+  FakeDriver::Counters counters;
+  Info info;
+  info.set("romio_ds_read", "enable");
+  info.set("ind_rd_buffer_size", std::uint64_t{64 * 1024});
+  with_file(&counters, info, [&](File& f, FakeDriver& drv) {
+    auto base = pattern(10'000, 12);
+    f.write_at(0, base.data(), base.size(), Datatype::byte());
+    // Two blocks: 100 B in the data, then 70000 B (> the 64 KiB sieve
+    // buffer) starting far past EOF.
+    const std::array<std::uint32_t, 2> lens = {100, 70'000};
+    const std::array<std::int64_t, 2> displs = {0, 100'000};
+    auto ft = Datatype::hindexed(lens, displs, Datatype::byte());
+    ASSERT_EQ(f.set_view(0, Datatype::byte(), ft), Err::kOk);
+    counters = {};
+    std::vector<std::byte> out(70'100, std::byte{0});
+    auto r = f.read_at(0, out.data(), out.size(), Datatype::byte());
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), 100u);
+    EXPECT_LE(counters.preads, 2);  // in-data window + one short probe
+    EXPECT_EQ(std::memcmp(out.data(), base.data(), 100), 0);
+    (void)drv;
+  });
+}
+
 // ---------------------------------------------------------------------------
 // Portable-layer odds and ends over the fake device
 // ---------------------------------------------------------------------------
@@ -350,6 +412,37 @@ TEST(PortableLayer, SharedPointerOpsOverCounters) {
     EXPECT_EQ(std::memcmp(back.data(), data.data() + 50, 50), 0);
     EXPECT_EQ(std::memcmp(back.data() + 50, data.data(), 50), 0);
   });
+}
+
+TEST(PortableLayer, OrderedOpsPropagateCounterFailureToEveryRank) {
+  // The ordered ops fetch-add the shared pointer on rank 0 only. When that
+  // counter op fails, every rank must see the error — not a silent base of
+  // zero on the non-root ranks.
+  constexpr int kNp = 2;
+  mpi::WorldConfig cfg;
+  cfg.nprocs = kNp;
+  mpi::World world(cfg);
+  std::array<Err, kNp> write_err{};
+  std::array<Err, kNp> read_err{};
+  world.run([&](Comm& c) {
+    auto drv = std::make_unique<FakeDriver>();
+    drv->fail_fetch_add = true;  // counter_set at open still succeeds
+    auto f = std::move(File::open(c, "/ord",
+                                  mpiio::kModeCreate | mpiio::kModeRdwr,
+                                  Info{}, std::move(drv))
+                           .value());
+    auto data = pattern(64, 13);
+    auto w = f->write_ordered(data.data(), data.size(), Datatype::byte());
+    write_err[c.rank()] = w.ok() ? Err::kOk : w.error();
+    std::vector<std::byte> back(64);
+    auto r = f->read_ordered(back.data(), back.size(), Datatype::byte());
+    read_err[c.rank()] = r.ok() ? Err::kOk : r.error();
+    f->close();
+  });
+  for (int rank = 0; rank < kNp; ++rank) {
+    EXPECT_EQ(write_err[rank], Err::kStale) << "rank " << rank;
+    EXPECT_EQ(read_err[rank], Err::kStale) << "rank " << rank;
+  }
 }
 
 TEST(PortableLayer, AppendModePositionsAtEof) {

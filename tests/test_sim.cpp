@@ -280,4 +280,100 @@ TEST(ResourceProperty, ConcurrentOccupationsConserveBusyTime) {
   EXPECT_EQ(r.busy_until(), static_cast<Time>(kThreads) * kOps * 10);
 }
 
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  using sim::Histogram;
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}), Histogram::kBuckets - 1);
+  // Buckets tile the value range: [lo, hi) maps back to the bucket and
+  // adjacent buckets share an edge.
+  for (std::size_t b = 1; b + 1 < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(b)), b) << b;
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_hi(b) - 1), b) << b;
+    EXPECT_EQ(Histogram::bucket_lo(b + 1), Histogram::bucket_hi(b)) << b;
+  }
+}
+
+TEST(Histogram, QuantilesTrackBulkAndTail) {
+  sim::Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(10);
+  h.record(1'000'000);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 101u);
+  EXPECT_EQ(s.sum, 100u * 10 + 1'000'000u);
+  EXPECT_EQ(s.min, 10u);
+  EXPECT_EQ(s.max, 1'000'000u);
+  EXPECT_NEAR(s.mean(), (100.0 * 10 + 1e6) / 101.0, 1e-6);
+  // p50/p95 fall in the bucket of 10 ([8,16)); the outlier only moves the
+  // extreme quantiles. Log-bucketed, so exact within a factor of two.
+  EXPECT_GE(s.p50(), 10u);
+  EXPECT_LT(s.p50(), 16u);
+  EXPECT_GE(s.p95(), 10u);
+  EXPECT_LT(s.p95(), 16u);
+  EXPECT_EQ(s.quantile(1.0), 1'000'000u);  // clamped to observed max
+  EXPECT_LT(s.quantile(0.0), 16u);         // first sample's bucket
+}
+
+TEST(Histogram, ZeroValuesAndEmptySnapshot) {
+  sim::Histogram h;
+  const auto empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  h.record(0);
+  h.record(0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.p95(), 0u);
+}
+
+TEST(Histogram, SnapshotIsStableAndResetClears) {
+  sim::Histogram h;
+  h.record(5);
+  const auto before = h.snapshot();
+  h.record(500);  // must not alter the earlier snapshot
+  EXPECT_EQ(before.count, 1u);
+  EXPECT_EQ(before.max, 5u);
+  h.reset();
+  const auto after = h.snapshot();
+  EXPECT_EQ(after.count, 0u);
+  EXPECT_EQ(after.sum, 0u);
+  EXPECT_EQ(after.max, 0u);
+}
+
+TEST(HistogramRegistry, NamedAccessAndSnapshotAll) {
+  sim::HistogramRegistry reg;
+  sim::Histogram& a = reg.get("via.send_latency_ns");
+  EXPECT_EQ(&a, &reg.get("via.send_latency_ns"));  // stable identity
+  reg.record("via.send_latency_ns", 100);
+  reg.record("dafs.rtt_ns.read_direct", 2000);
+  reg.get("empty.untouched");  // registered but empty -> omitted below
+  const auto all = reg.snapshot_all();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all.at("via.send_latency_ns").count, 1u);
+  EXPECT_EQ(all.at("dafs.rtt_ns.read_direct").sum, 2000u);
+  EXPECT_EQ(all.count("empty.untouched"), 0u);
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot_all().empty());
+}
+
+TEST(HistogramRegistry, LivesInTheFabric) {
+  Fabric f;
+  f.histograms().record("layer.key_ns", 42);
+  const auto all = f.histograms().snapshot_all();
+  ASSERT_EQ(all.count("layer.key_ns"), 1u);
+  EXPECT_EQ(all.at("layer.key_ns").count, 1u);
+}
+
 }  // namespace
