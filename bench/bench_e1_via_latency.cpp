@@ -31,10 +31,12 @@ struct Pair {
     via::Listener lis(*nic_b, "svc");
     std::thread srv([&] {
       sim::ActorScope scope(*actor_b);
-      lis.accept(*vi_b, std::chrono::milliseconds(5000));
+      require_ok(lis.accept(*vi_b, std::chrono::milliseconds(5000)),
+                 "accept");
     });
     sim::ActorScope scope(*actor_a);
-    nic_a->connect(*vi_a, "svc", std::chrono::milliseconds(5000));
+    require_ok(nic_a->connect(*vi_a, "svc", std::chrono::milliseconds(5000)),
+               "connect");
     srv.join();
   }
 };
@@ -55,15 +57,17 @@ double sendrecv_latency(std::size_t size, int iters) {
       via::Descriptor r;
       if (size) r.segs = {via::DataSegment{buf_b.data(), hb,
                                            static_cast<std::uint32_t>(size)}};
-      p.vi_b->post_recv(r);
+      require_ok(p.vi_b->post_recv(r), "post_recv");
       via::Descriptor* done = nullptr;
-      p.vi_b->recv_wait(done, std::chrono::milliseconds(5000));
+      require_ok(p.vi_b->recv_wait(done, std::chrono::milliseconds(5000)),
+                 "recv_wait");
       via::Descriptor s;
       if (size) s.segs = {via::DataSegment{buf_b.data(), hb,
                                            static_cast<std::uint32_t>(size)}};
-      p.vi_b->post_send(s);
+      require_ok(p.vi_b->post_send(s), "post_send");
       via::Descriptor* sd = nullptr;
-      p.vi_b->send_wait(sd, std::chrono::milliseconds(5000));
+      require_ok(p.vi_b->send_wait(sd, std::chrono::milliseconds(5000)),
+                 "send_wait");
     }
   });
   sim::ActorScope scope(*p.actor_a);
@@ -72,15 +76,17 @@ double sendrecv_latency(std::size_t size, int iters) {
     via::Descriptor r;
     if (size) r.segs = {via::DataSegment{buf_a.data(), ha,
                                          static_cast<std::uint32_t>(size)}};
-    p.vi_a->post_recv(r);
+    require_ok(p.vi_a->post_recv(r), "post_recv");
     via::Descriptor s;
     if (size) s.segs = {via::DataSegment{buf_a.data(), ha,
                                          static_cast<std::uint32_t>(size)}};
-    p.vi_a->post_send(s);
+    require_ok(p.vi_a->post_send(s), "post_send");
     via::Descriptor* sd = nullptr;
-    p.vi_a->send_wait(sd, std::chrono::milliseconds(5000));
+    require_ok(p.vi_a->send_wait(sd, std::chrono::milliseconds(5000)),
+               "send_wait");
     via::Descriptor* done = nullptr;
-    p.vi_a->recv_wait(done, std::chrono::milliseconds(5000));
+    require_ok(p.vi_a->recv_wait(done, std::chrono::milliseconds(5000)),
+               "recv_wait");
   }
   const sim::Time rtt = p.actor_a->now() - t0;
   echo.join();
@@ -103,36 +109,40 @@ double rdma_latency(std::size_t size, int iters) {
     sim::ActorScope scope(*p.actor_b);
     for (int i = 0; i < iters; ++i) {
       via::Descriptor r;  // notification target
-      p.vi_b->post_recv(r);
+      require_ok(p.vi_b->post_recv(r), "post_recv");
       via::Descriptor* done = nullptr;
-      p.vi_b->recv_wait(done, std::chrono::milliseconds(5000));
+      require_ok(p.vi_b->recv_wait(done, std::chrono::milliseconds(5000)),
+                 "recv_wait");
       via::Descriptor w;
       w.op = via::Opcode::kRdmaWrite;
       if (size) w.segs = {via::DataSegment{buf_b.data(), hb,
                                            static_cast<std::uint32_t>(size)}};
       w.remote = {reinterpret_cast<std::uint64_t>(buf_a.data()), ha};
       w.has_immediate = true;
-      p.vi_b->post_send(w);
+      require_ok(p.vi_b->post_send(w), "post_send");
       via::Descriptor* sd = nullptr;
-      p.vi_b->send_wait(sd, std::chrono::milliseconds(5000));
+      require_ok(p.vi_b->send_wait(sd, std::chrono::milliseconds(5000)),
+                 "send_wait");
     }
   });
   sim::ActorScope scope(*p.actor_a);
   const sim::Time t0 = p.actor_a->now();
   for (int i = 0; i < iters; ++i) {
     via::Descriptor r;
-    p.vi_a->post_recv(r);
+    require_ok(p.vi_a->post_recv(r), "post_recv");
     via::Descriptor w;
     w.op = via::Opcode::kRdmaWrite;
     if (size) w.segs = {via::DataSegment{buf_a.data(), ha,
                                          static_cast<std::uint32_t>(size)}};
     w.remote = {reinterpret_cast<std::uint64_t>(buf_b.data()), hb};
     w.has_immediate = true;
-    p.vi_a->post_send(w);
+    require_ok(p.vi_a->post_send(w), "post_send");
     via::Descriptor* sd = nullptr;
-    p.vi_a->send_wait(sd, std::chrono::milliseconds(5000));
+    require_ok(p.vi_a->send_wait(sd, std::chrono::milliseconds(5000)),
+               "send_wait");
     via::Descriptor* done = nullptr;
-    p.vi_a->recv_wait(done, std::chrono::milliseconds(5000));
+    require_ok(p.vi_a->recv_wait(done, std::chrono::milliseconds(5000)),
+               "recv_wait");
   }
   const sim::Time rtt = p.actor_a->now() - t0;
   echo.join();

@@ -37,10 +37,12 @@ struct Bed {
     via::Listener lis(*nic_b, "svc");
     std::thread srv([&] {
       sim::ActorScope scope(*actor_b);
-      lis.accept(*vi_b, std::chrono::milliseconds(5000));
+      require_ok(lis.accept(*vi_b, std::chrono::milliseconds(5000)),
+                 "accept");
     });
     sim::ActorScope scope(*actor_a);
-    nic_a->connect(*vi_a, "svc", std::chrono::milliseconds(5000));
+    require_ok(nic_a->connect(*vi_a, "svc", std::chrono::milliseconds(5000)),
+               "connect");
     srv.join();
   }
 };
@@ -59,7 +61,7 @@ double stream_sendrecv(std::uint32_t mtu, std::size_t size, int iters) {
   for (auto& r : recvs) {
     r.segs = {via::DataSegment{dst.data(), hd,
                                static_cast<std::uint32_t>(size)}};
-    bed.vi_b->post_recv(r);
+    require_ok(bed.vi_b->post_recv(r), "post_recv");
   }
   sim::Time last_arrival = 0;
   {
@@ -68,16 +70,18 @@ double stream_sendrecv(std::uint32_t mtu, std::size_t size, int iters) {
       via::Descriptor s;
       s.segs = {via::DataSegment{src.data(), hs,
                                  static_cast<std::uint32_t>(size)}};
-      bed.vi_a->post_send(s);
+      require_ok(bed.vi_a->post_send(s), "post_send");
       via::Descriptor* done = nullptr;
-      bed.vi_a->send_wait(done, std::chrono::milliseconds(5000));
+      require_ok(bed.vi_a->send_wait(done, std::chrono::milliseconds(5000)),
+                 "send_wait");
     }
   }
   {
     sim::ActorScope scope(*bed.actor_b);
     for (int i = 0; i < iters; ++i) {
       via::Descriptor* done = nullptr;
-      bed.vi_b->recv_wait(done, std::chrono::milliseconds(5000));
+      require_ok(bed.vi_b->recv_wait(done, std::chrono::milliseconds(5000)),
+                 "recv_wait");
       last_arrival = std::max(last_arrival, done->done_at);
     }
   }
@@ -102,9 +106,10 @@ double stream_rdma(std::uint32_t mtu, std::size_t size, int iters) {
     w.segs = {via::DataSegment{src.data(), hs,
                                static_cast<std::uint32_t>(size)}};
     w.remote = {reinterpret_cast<std::uint64_t>(dst.data()), hd};
-    bed.vi_a->post_send(w);
+    require_ok(bed.vi_a->post_send(w), "post_send");
     via::Descriptor* done = nullptr;
-    bed.vi_a->send_wait(done, std::chrono::milliseconds(5000));
+    require_ok(bed.vi_a->send_wait(done, std::chrono::milliseconds(5000)),
+               "send_wait");
     last = std::max(last, done->done_at + bed.fabric.cost().propagation);
   }
   return mbps(static_cast<std::uint64_t>(iters) * size, last);

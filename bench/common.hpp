@@ -21,6 +21,15 @@
 /// host wall-clock.
 namespace bench {
 
+/// Abort loudly on an unexpected VIA failure — benches have no recovery
+/// story, and a silent error would corrupt the reported numbers.
+inline void require_ok(via::Status st, const char* what) {
+  if (st != via::Status::kSuccess) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", what, via::to_string(st));
+    std::abort();
+  }
+}
+
 /// MB/s (1 MB = 1e6 bytes) from bytes moved in virtual nanoseconds.
 inline double mbps(std::uint64_t bytes, sim::Time ns) {
   if (ns == 0) return 0.0;

@@ -1,6 +1,7 @@
 // via_pingpong: the raw transport demo — two nodes, one VI pair, classic
 // ping-pong over send/receive, printing modeled one-way latency per size.
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -9,6 +10,16 @@
 #include "via/vi.hpp"
 
 using namespace std::chrono_literals;
+
+namespace {
+void require_ok(via::Status st, const char* what) {
+  if (st != via::Status::kSuccess) {
+    std::fprintf(stderr, "via_pingpong: %s failed: %s\n", what,
+                 via::to_string(st));
+    std::abort();
+  }
+}
+}  // namespace
 
 int main() {
   sim::Fabric fabric;
@@ -24,11 +35,11 @@ int main() {
   via::Listener listener(nic_b, "pingpong");
   std::thread acceptor([&] {
     sim::ActorScope scope(actor_b);
-    listener.accept(vi_b, 5000ms);
+    require_ok(listener.accept(vi_b, 5000ms), "accept");
   });
   {
     sim::ActorScope scope(actor_a);
-    nic_a.connect(vi_a, "pingpong", 5000ms);
+    require_ok(nic_a.connect(vi_a, "pingpong", 5000ms), "connect");
   }
   acceptor.join();
   std::printf("connected: two VIs over the simulated SAN\n\n");
@@ -48,15 +59,15 @@ int main() {
         via::Descriptor r;
         r.segs = {via::DataSegment{buf_b.data(), hb,
                                    static_cast<std::uint32_t>(size)}};
-        vi_b.post_recv(r);
+        require_ok(vi_b.post_recv(r), "post_recv");
         via::Descriptor* d = nullptr;
-        vi_b.recv_wait(d, 5000ms);
+        require_ok(vi_b.recv_wait(d, 5000ms), "recv_wait");
         via::Descriptor s;
         s.segs = {via::DataSegment{buf_b.data(), hb,
                                    static_cast<std::uint32_t>(size)}};
-        vi_b.post_send(s);
+        require_ok(vi_b.post_send(s), "post_send");
         via::Descriptor* sd = nullptr;
-        vi_b.send_wait(sd, 5000ms);
+        require_ok(vi_b.send_wait(sd, 5000ms), "send_wait");
       }
     });
 
@@ -66,15 +77,15 @@ int main() {
       via::Descriptor r;
       r.segs = {via::DataSegment{buf_a.data(), ha,
                                  static_cast<std::uint32_t>(size)}};
-      vi_a.post_recv(r);
+      require_ok(vi_a.post_recv(r), "post_recv");
       via::Descriptor s;
       s.segs = {via::DataSegment{buf_a.data(), ha,
                                  static_cast<std::uint32_t>(size)}};
-      vi_a.post_send(s);
+      require_ok(vi_a.post_send(s), "post_send");
       via::Descriptor* sd = nullptr;
-      vi_a.send_wait(sd, 5000ms);
+      require_ok(vi_a.send_wait(sd, 5000ms), "send_wait");
       via::Descriptor* d = nullptr;
-      vi_a.recv_wait(d, 5000ms);
+      require_ok(vi_a.recv_wait(d, 5000ms), "recv_wait");
     }
     echo.join();
     const double oneway =

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the standard build + full test suite, then an
+# AddressSanitizer/UBSan build running the fault-injection slice (ctest -L
+# fault), which stresses the recovery paths where lifetime bugs would hide.
+#
+# Usage: scripts/tier1.sh [build-dir] [asan-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+ASAN_BUILD="${2:-build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier1: standard build =="
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+
+echo "== tier1: sanitizer leg (ASan+UBSan, fault label) =="
+cmake -B "$ASAN_BUILD" -S . -DDAFS_SANITIZE=ON >/dev/null
+cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault
+ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" -L fault
+
+echo "== tier1: all green =="

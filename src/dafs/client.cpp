@@ -15,8 +15,12 @@ using sim::CostKind;
 namespace {
 using namespace std::chrono_literals;
 constexpr auto kIoWait = std::chrono::milliseconds(10'000);
-constexpr sim::Time kLockBackoff = 20'000;  // 20 us virtual between retries
+constexpr sim::Time kLockBackoffBase = 20'000;  // 20 us virtual, first retry
+constexpr sim::Time kLockBackoffCap = 1'280'000;
 constexpr int kLockRetries = 100'000;
+/// request_id of the resume handshake. Out of range of any slot index, so
+/// duplicate resume responses fall out of the normal path as stale.
+constexpr OpId kResumeReqId = 0xFFFFFFFFu;
 }  // namespace
 
 namespace {
@@ -31,7 +35,8 @@ Session::Session(via::Nic& nic, ClientConfig cfg)
     : nic_(nic),
       cfg_(std::move(cfg)),
       ptag_(nic.create_ptag()),
-      vi_(nic, session_vi_attrs(ptag_)) {}
+      vi_(std::make_unique<via::Vi>(nic, session_vi_attrs(ptag_))),
+      backoff_rng_(cfg_.recovery_seed) {}
 
 Result<std::unique_ptr<Session>> Session::connect(via::Nic& nic,
                                                   ClientConfig cfg) {
@@ -48,7 +53,7 @@ PStatus Session::do_connect() {
   // The service may still be coming up; retry name-service misses briefly.
   via::Status cst = via::Status::kNoMatchingListener;
   for (int attempt = 0; attempt < 200; ++attempt) {
-    cst = nic_.connect(vi_, cfg_.service, kIoWait);
+    cst = nic_.connect(*vi_, cfg_.service, kIoWait);
     if (cst != via::Status::kNoMatchingListener) break;
     std::this_thread::sleep_for(10ms);
   }
@@ -59,9 +64,10 @@ PStatus Session::do_connect() {
   for (auto& rb : recv_bufs_) {
     rb.mem.resize(cfg_.msg_buf_size);
     rb.handle = nic_.register_memory(rb.mem.data(), rb.mem.size(), ptag_, {});
+    if (rb.handle == via::kInvalidMemHandle) return PStatus::kNoResource;
     rb.desc.segs = {via::DataSegment{
         rb.mem.data(), rb.handle, static_cast<std::uint32_t>(rb.mem.size())}};
-    if (vi_.post_recv(rb.desc) != via::Status::kSuccess) {
+    if (vi_->post_recv(rb.desc) != via::Status::kSuccess) {
       return PStatus::kProtoError;
     }
   }
@@ -71,8 +77,13 @@ PStatus Session::do_connect() {
     sl.send_buf.resize(cfg_.msg_buf_size);
     sl.send_handle =
         nic_.register_memory(sl.send_buf.data(), sl.send_buf.size(), ptag_, {});
+    if (sl.send_handle == via::kInvalidMemHandle) return PStatus::kNoResource;
     free_slots_.push_back(static_cast<OpId>(i));
   }
+  resume_buf_.resize(sizeof(MsgHeader));
+  resume_handle_ = nic_.register_memory(resume_buf_.data(), resume_buf_.size(),
+                                        ptag_, {});
+  if (resume_handle_ == via::kInvalidMemHandle) return PStatus::kNoResource;
 
   auto id = submit_simple(Proc::kConnect, {}, Fh{}, 0, 0, 0, 0);
   if (!id.ok()) return id.error();
@@ -88,13 +99,20 @@ PStatus Session::do_connect() {
 
 Session::~Session() {
   if (!dead_ && session_id_ != 0) {
+    // A failed farewell must not abort teardown, but it must not vanish
+    // either: a filer that missed the disconnect keeps the session (and its
+    // locks) alive until it expires.
     if (auto id = submit_simple(Proc::kDisconnect, {}, Fh{}, 0, 0, 0, 0);
         id.ok()) {
-      wait_slot(id.value());
+      if (const PStatus st = wait_slot(id.value()); st != PStatus::kOk) {
+        nic_.fabric().stats().add("dafs.disconnect_errors");
+      }
       free_slot(id.value());
+    } else {
+      nic_.fabric().stats().add("dafs.disconnect_errors");
     }
   }
-  vi_.disconnect();
+  vi_->disconnect();
   // NIC registrations are dropped with the registry; explicit deregistration
   // here would charge an actor that may already be gone.
 }
@@ -104,7 +122,7 @@ Session::~Session() {
 // ---------------------------------------------------------------------------
 
 Result<OpId> Session::alloc_slot() {
-  if (dead_) return PStatus::kProtoError;
+  if (dead_) return PStatus::kConnLost;
   if (free_slots_.empty()) return PStatus::kInval;  // credit limit exceeded
   const OpId id = free_slots_.back();
   free_slots_.pop_back();
@@ -122,7 +140,9 @@ void Session::free_slot(OpId id) {
   Slot& sl = slots_[id];
   if (!sl.temp_handles.empty()) {
     for (const via::MemHandle h : sl.temp_handles) {
-      nic_.deregister_memory(h);
+      if (nic_.deregister_memory(h) != via::Status::kSuccess) {
+        nic_.fabric().stats().add("via.dereg_failures");
+      }
     }
     sl.temp_handles.clear();
   }
@@ -139,38 +159,188 @@ PStatus Session::transmit(OpId id) {
   MsgView msg(sl.send_buf.data(), sl.send_buf.size());
   msg.header().request_id = id;
   msg.header().session_id = session_id_;
+  // Stamp the request with its session sequence number exactly once: a
+  // retransmission after recovery must carry the same seq so the server's
+  // replay cache can recognize it.
+  sl.seq = next_seq_++;
+  msg.header().seq = sl.seq;
   sl.proc = msg.header().proc;
+  sl.wire_len = msg.wire_size();
   sl.t_submit = actor->now();
 
   sl.send_desc = via::Descriptor{};
   sl.send_desc.op = via::Opcode::kSend;
   sl.send_desc.segs = {
       via::DataSegment{sl.send_buf.data(), sl.send_handle,
-                       static_cast<std::uint32_t>(msg.wire_size())}};
-  if (vi_.post_send(sl.send_desc) != via::Status::kSuccess) {
-    dead_ = true;
-    return PStatus::kProtoError;
-  }
+                       static_cast<std::uint32_t>(sl.wire_len)}};
   via::Descriptor* done = nullptr;
-  if (vi_.send_wait(done, kIoWait) != via::Status::kSuccess ||
-      done->status != via::DescStatus::kSuccess) {
-    dead_ = true;
-    return PStatus::kProtoError;
+  if (vi_->post_send(sl.send_desc) == via::Status::kSuccess &&
+      vi_->send_wait(done, kIoWait) == via::Status::kSuccess &&
+      done->status == via::DescStatus::kSuccess) {
+    return PStatus::kOk;
   }
-  return PStatus::kOk;
+  // Transport failure. This slot is in flight (in_use, not done), so a
+  // successful recovery has already retransmitted it.
+  if (recover()) return PStatus::kOk;
+  return PStatus::kConnLost;
 }
 
 bool Session::pump_one() {
+  for (;;) {
+    via::Descriptor* d = nullptr;
+    if (vi_->recv_wait(d, kIoWait) != via::Status::kSuccess ||
+        d->status != via::DescStatus::kSuccess) {
+      // Connection died (or a fault flushed the receive ring). Recovery
+      // retransmits everything in flight; responses arrive on the new VI.
+      if (recover()) continue;
+      return false;
+    }
+    // Find the buffer this descriptor scatters into.
+    RecvBuf* rb = nullptr;
+    for (auto& b : recv_bufs_) {
+      if (&b.desc == d) {
+        rb = &b;
+        break;
+      }
+    }
+    assert(rb != nullptr);
+    process_response(*rb);
+    return true;
+  }
+}
+
+bool Session::process_response(RecvBuf& rb) {
+  MsgView resp(rb.mem.data(), rb.mem.size());
+  const MsgHeader h = resp.header();
+  const OpId id = h.request_id;
+  // A duplicated response, or one for a request that was already answered
+  // before a retransmission, maps to no live slot: drop it.
+  const bool live = id < slots_.size() && slots_[id].in_use &&
+                    !slots_[id].done && slots_[id].seq == h.seq;
+  if (live) {
+    Slot& sl = slots_[id];
+    sl.resp = h;
+    if (h.data_len > 0) {
+      Actor* actor = Actor::current();
+      const std::uint32_t n = h.data_len;
+      if (sl.user_buf != nullptr) {
+        // Inline read payload: the copy the direct path avoids.
+        const std::uint64_t take = std::min<std::uint64_t>(n, sl.user_cap);
+        std::memcpy(sl.user_buf, resp.data_payload(), take);
+        actor->charge(CostKind::kCopy, nic_.cost().copy_time(take));
+        nic_.fabric().stats().add("dafs.client_copy_bytes", take);
+      } else {
+        sl.payload.assign(resp.data_payload(), resp.data_payload() + n);
+        actor->charge(CostKind::kCopy, nic_.cost().copy_time(n));
+      }
+    }
+    sl.done = true;
+    record_rtt(sl);
+  } else {
+    nic_.fabric().stats().add("dafs.stale_responses");
+  }
+  // Return the receive buffer to the pool. A repost failure means the
+  // connection just died again; the next pump recovers and reposts the ring.
+  rb.desc = via::Descriptor{};
+  rb.desc.segs = {via::DataSegment{
+      rb.mem.data(), rb.handle, static_cast<std::uint32_t>(rb.mem.size())}};
+  if (vi_->post_recv(rb.desc) != via::Status::kSuccess) {
+    nic_.fabric().stats().add("dafs.repost_failures");
+  }
+  return live;
+}
+
+PStatus Session::wait_slot(OpId id) {
+  Slot& sl = slots_[id];
+  while (!sl.done) {
+    if (!pump_one()) return PStatus::kConnLost;
+  }
+  return sl.resp.status;
+}
+
+// ---------------------------------------------------------------------------
+// Transport-failure recovery
+// ---------------------------------------------------------------------------
+
+bool Session::recover() {
+  if (recovering_ || dead_) return false;
+  recovering_ = true;
+  struct Reset {
+    bool& flag;
+    ~Reset() { flag = false; }
+  } reset{recovering_};
+
+  Actor* actor = Actor::current();
+  assert(actor && "recovery outside an ActorScope");
+  auto& stats = nic_.fabric().stats();
+  sim::Time backoff = cfg_.recovery_backoff_ns;
+  for (int attempt = 1; attempt <= cfg_.max_recovery_attempts; ++attempt) {
+    stats.add("dafs.recovery_attempts");
+    // Capped exponential backoff, jittered to [backoff/2, backoff] so a
+    // herd of clients that died together does not reconnect in lockstep.
+    actor->advance(backoff / 2 + backoff_rng_.below(backoff / 2 + 1));
+    backoff = std::min<sim::Time>(backoff * 2, cfg_.recovery_backoff_cap_ns);
+
+    const sim::Time t0 = actor->now();
+    // A VI that saw a transport failure is finished; replace the endpoint.
+    // NIC memory registrations are independent of the VI and survive, so
+    // the server can still RDMA against the same client buffers.
+    vi_->disconnect();
+    vi_ = std::make_unique<via::Vi>(nic_, session_vi_attrs(ptag_));
+    if (nic_.connect(*vi_, cfg_.service, kIoWait) != via::Status::kSuccess) {
+      continue;
+    }
+    bool armed = true;
+    for (auto& rb : recv_bufs_) {
+      rb.desc = via::Descriptor{};
+      rb.desc.segs = {via::DataSegment{
+          rb.mem.data(), rb.handle,
+          static_cast<std::uint32_t>(rb.mem.size())}};
+      if (vi_->post_recv(rb.desc) != via::Status::kSuccess) {
+        armed = false;
+        break;
+      }
+    }
+    if (!armed) continue;
+    if (!resume_session()) continue;
+    if (!retransmit_inflight()) continue;
+    nic_.fabric().histograms().record("dafs.reconnect_ns",
+                                      actor->now() - t0);
+    stats.add("dafs.recoveries");
+    return true;
+  }
+  dead_ = true;
+  stats.add("dafs.recovery_failures");
+  return false;
+}
+
+bool Session::resume_session() {
+  MsgView msg(resume_buf_.data(), resume_buf_.size());
+  msg.header() = MsgHeader{};
+  msg.header().proc = Proc::kConnect;
+  msg.header().flags = kConnectResume;
+  msg.header().request_id = kResumeReqId;
+  msg.header().aux = session_id_;  // the session we are reclaiming
+
+  resume_desc_ = via::Descriptor{};
+  resume_desc_.op = via::Opcode::kSend;
+  resume_desc_.segs = {
+      via::DataSegment{resume_buf_.data(), resume_handle_,
+                       static_cast<std::uint32_t>(msg.wire_size())}};
+  via::Descriptor* sd = nullptr;
+  if (vi_->post_send(resume_desc_) != via::Status::kSuccess ||
+      vi_->send_wait(sd, kIoWait) != via::Status::kSuccess ||
+      sd->status != via::DescStatus::kSuccess) {
+    return false;
+  }
+  // The resume is the only request outstanding on this fresh VI, so the
+  // next response is its answer (anything else would be a protocol bug and
+  // is treated as a failed attempt).
   via::Descriptor* d = nullptr;
-  if (vi_.recv_wait(d, kIoWait) != via::Status::kSuccess) {
-    dead_ = true;
+  if (vi_->recv_wait(d, kIoWait) != via::Status::kSuccess ||
+      d->status != via::DescStatus::kSuccess) {
     return false;
   }
-  if (d->status != via::DescStatus::kSuccess) {
-    dead_ = true;
-    return false;
-  }
-  // Find the buffer this descriptor scatters into.
   RecvBuf* rb = nullptr;
   for (auto& b : recv_bufs_) {
     if (&b.desc == d) {
@@ -180,39 +350,44 @@ bool Session::pump_one() {
   }
   assert(rb != nullptr);
   MsgView resp(rb->mem.data(), rb->mem.size());
-  const OpId id = resp.header().request_id;
-  assert(id < slots_.size() && slots_[id].in_use);
-  Slot& sl = slots_[id];
-  sl.resp = resp.header();
-  if (resp.header().data_len > 0) {
-    Actor* actor = Actor::current();
-    const std::uint32_t n = resp.header().data_len;
-    if (sl.user_buf != nullptr) {
-      // Inline read payload: the copy the direct path avoids.
-      const std::uint64_t take = std::min<std::uint64_t>(n, sl.user_cap);
-      std::memcpy(sl.user_buf, resp.data_payload(), take);
-      actor->charge(CostKind::kCopy, nic_.cost().copy_time(take));
-      nic_.fabric().stats().add("dafs.client_copy_bytes", take);
-    } else {
-      sl.payload.assign(resp.data_payload(), resp.data_payload() + n);
-      actor->charge(CostKind::kCopy, nic_.cost().copy_time(n));
-    }
-  }
-  sl.done = true;
-  record_rtt(sl);
-  // Return the receive buffer to the pool.
+  const bool ok = resp.header().request_id == kResumeReqId &&
+                  resp.header().status == PStatus::kOk &&
+                  resp.header().aux == session_id_;
+  rb->desc = via::Descriptor{};
   rb->desc.segs = {via::DataSegment{
       rb->mem.data(), rb->handle, static_cast<std::uint32_t>(rb->mem.size())}};
-  vi_.post_recv(rb->desc);
-  return true;
+  if (vi_->post_recv(rb->desc) != via::Status::kSuccess) return false;
+  return ok;
 }
 
-PStatus Session::wait_slot(OpId id) {
-  Slot& sl = slots_[id];
-  while (!sl.done) {
-    if (!pump_one()) return PStatus::kProtoError;
+bool Session::retransmit_inflight() {
+  // Replay every request whose response is still owed, oldest first, so the
+  // server sees them in the original submission order.
+  std::vector<OpId> pending;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].in_use && !slots_[i].done) {
+      pending.push_back(static_cast<OpId>(i));
+    }
   }
-  return sl.resp.status;
+  std::sort(pending.begin(), pending.end(), [&](OpId a, OpId b) {
+    return slots_[a].seq < slots_[b].seq;
+  });
+  for (const OpId id : pending) {
+    Slot& sl = slots_[id];
+    sl.send_desc = via::Descriptor{};
+    sl.send_desc.op = via::Opcode::kSend;
+    sl.send_desc.segs = {
+        via::DataSegment{sl.send_buf.data(), sl.send_handle,
+                         static_cast<std::uint32_t>(sl.wire_len)}};
+    via::Descriptor* done = nullptr;
+    if (vi_->post_send(sl.send_desc) != via::Status::kSuccess ||
+        vi_->send_wait(done, kIoWait) != via::Status::kSuccess ||
+        done->status != via::DescStatus::kSuccess) {
+      return false;
+    }
+    nic_.fabric().stats().add("dafs.retransmits");
+  }
+  return true;
 }
 
 void Session::record_rtt(const Slot& sl) {
@@ -241,7 +416,7 @@ via::MemHandle Session::reg_for(const std::byte* buf, std::size_t len,
     ++reg_misses_;
     const via::MemHandle h = nic_.register_memory(
         const_cast<std::byte*>(buf), len, ptag_, attrs);
-    slots_[slot].temp_handles.push_back(h);
+    if (h != via::kInvalidMemHandle) slots_[slot].temp_handles.push_back(h);
     return h;
   }
   for (auto& e : reg_cache_entries_) {
@@ -254,13 +429,18 @@ via::MemHandle Session::reg_for(const std::byte* buf, std::size_t len,
   ++reg_misses_;
   const via::MemHandle h =
       nic_.register_memory(const_cast<std::byte*>(buf), len, ptag_, attrs);
+  // Registration can fail (NIC out of resources); the caller turns that
+  // into kNoResource. Never cache the invalid handle.
+  if (h == via::kInvalidMemHandle) return h;
   if (reg_cache_entries_.size() >= cfg_.reg_cache_entries) {
     auto victim = std::min_element(
         reg_cache_entries_.begin(), reg_cache_entries_.end(),
         [](const RegEntry& a, const RegEntry& b) {
           return a.last_use < b.last_use;
         });
-    nic_.deregister_memory(victim->handle);
+    if (nic_.deregister_memory(victim->handle) != via::Status::kSuccess) {
+      nic_.fabric().stats().add("via.dereg_failures");
+    }
     reg_cache_entries_.erase(victim);
     nic_.fabric().stats().add("dafs.regcache_evictions");
   }
@@ -324,6 +504,10 @@ Result<OpId> Session::submit_io(Proc proc, Fh fh, std::span<const IoVec> iovs,
   if (use_hull) {
     hull = reg_for(reinterpret_cast<const std::byte*>(lo), hi - lo,
                    id.value());
+    if (hull == via::kInvalidMemHandle) {
+      free_slot(id.value());
+      return PStatus::kNoResource;
+    }
   }
 
   // Build the direct-segment list, splitting at max_rdma_seg.
@@ -339,7 +523,13 @@ Result<OpId> Session::submit_io(Proc proc, Fh fh, std::span<const IoVec> iovs,
         attrs.enable_rdma_write = true;
         attrs.enable_rdma_read = true;
         h = nic_.register_memory(v.buf, v.len, ptag_, attrs);
-        slots_[id.value()].temp_handles.push_back(h);
+        if (h != via::kInvalidMemHandle) {
+          slots_[id.value()].temp_handles.push_back(h);
+        }
+      }
+      if (h == via::kInvalidMemHandle) {
+        free_slot(id.value());
+        return PStatus::kNoResource;
       }
     }
     std::uint64_t off = 0;
@@ -629,13 +819,17 @@ PStatus Session::wait(OpId op, std::uint64_t* bytes) {
 }
 
 Result<bool> Session::test(OpId op, std::uint64_t* bytes) {
-  if (dead_) return PStatus::kProtoError;
+  if (dead_) return PStatus::kConnLost;
   if (!slots_[op].done) {
     // Opportunistically drain anything already delivered.
     via::Descriptor* d = nullptr;
-    while (vi_.recv_done(d) == via::Status::kSuccess) {
-      // Re-dispatch through pump logic: emulate by handling inline here.
-      // (recv_done already popped; find buffer and process as pump_one does.)
+    while (vi_->recv_done(d) == via::Status::kSuccess) {
+      if (d->status != via::DescStatus::kSuccess) {
+        // The ring was flushed by a transport failure; recover (which
+        // retransmits everything in flight) and report "not yet done".
+        if (!recover()) return PStatus::kConnLost;
+        break;
+      }
       RecvBuf* rb = nullptr;
       for (auto& b : recv_bufs_) {
         if (&b.desc == d) {
@@ -644,26 +838,7 @@ Result<bool> Session::test(OpId op, std::uint64_t* bytes) {
         }
       }
       assert(rb != nullptr);
-      MsgView resp(rb->mem.data(), rb->mem.size());
-      const OpId id = resp.header().request_id;
-      Slot& sl = slots_[id];
-      sl.resp = resp.header();
-      if (resp.header().data_len > 0) {
-        const std::uint32_t n = resp.header().data_len;
-        if (sl.user_buf != nullptr) {
-          const std::uint64_t take = std::min<std::uint64_t>(n, sl.user_cap);
-          std::memcpy(sl.user_buf, resp.data_payload(), take);
-          Actor::current()->charge(CostKind::kCopy, nic_.cost().copy_time(take));
-        } else {
-          sl.payload.assign(resp.data_payload(), resp.data_payload() + n);
-        }
-      }
-      sl.done = true;
-      record_rtt(sl);
-      rb->desc.segs = {via::DataSegment{
-          rb->mem.data(), rb->handle,
-          static_cast<std::uint32_t>(rb->mem.size())}};
-      vi_.post_recv(rb->desc);
+      process_response(*rb);
       d = nullptr;
     }
   }
@@ -687,7 +862,7 @@ Result<std::size_t> Session::wait_any(std::span<const OpId> ops,
         return i;
       }
     }
-    if (!pump_one()) return PStatus::kProtoError;
+    if (!pump_one()) return PStatus::kConnLost;
   }
 }
 
@@ -717,10 +892,14 @@ PStatus Session::try_lock(Fh fh, std::uint64_t start, std::uint64_t len,
 PStatus Session::lock(Fh fh, std::uint64_t start, std::uint64_t len,
                       bool exclusive) {
   Actor* actor = Actor::current();
+  // Jittered exponential backoff between conflict retries: fixed spacing
+  // keeps contending clients phase-locked, re-colliding on every probe.
+  sim::Time backoff = kLockBackoffBase;
   for (int i = 0; i < kLockRetries; ++i) {
     const PStatus st = try_lock(fh, start, len, exclusive);
     if (st != PStatus::kLockConflict) return st;
-    actor->advance(kLockBackoff);
+    actor->advance(backoff / 2 + backoff_rng_.below(backoff / 2 + 1));
+    backoff = std::min<sim::Time>(backoff * 2, kLockBackoffCap);
     std::this_thread::yield();
   }
   return PStatus::kLockConflict;

@@ -10,6 +10,7 @@
 #include "dafs/proto.hpp"
 #include "fstore/types.hpp"
 #include "sim/expected.hpp"
+#include "sim/rng.hpp"
 #include "via/vi.hpp"
 
 namespace dafs {
@@ -31,6 +32,13 @@ struct ClientConfig {
   std::size_t reg_cache_entries = 64;
   /// Split direct-I/O segments so no RDMA descriptor exceeds this.
   std::size_t max_rdma_seg = 2u << 20;
+  /// Transport-failure recovery: reconnect attempts before the session is
+  /// declared dead, plus base/cap (virtual ns) and seed of the jittered
+  /// exponential backoff between attempts.
+  int max_recovery_attempts = 8;
+  std::uint64_t recovery_backoff_ns = 100'000;         // 100 us
+  std::uint64_t recovery_backoff_cap_ns = 10'000'000;  // 10 ms
+  std::uint64_t recovery_seed = 1;
 };
 
 /// An open file handle (DAFS handles carry more state; the inode suffices
@@ -123,6 +131,8 @@ class Session {
     bool in_use = false;
     bool done = false;
     Proc proc{};                 // procedure in flight (RTT attribution)
+    std::uint32_t seq = 0;       // session sequence number of the request
+    std::size_t wire_len = 0;    // request bytes (for retransmission)
     sim::Time t_submit = 0;      // virtual doorbell time of the request
     MsgHeader resp;
     std::vector<std::byte> payload;   // small response payloads (attrs, dirents)
@@ -160,7 +170,19 @@ class Session {
   /// Pump one response off the VI (blocking). Returns false if the session
   /// died.
   bool pump_one();
+  /// Handle one successfully-received response buffer: complete the matching
+  /// slot (or count it as stale) and repost the buffer. Returns true when it
+  /// completed a live slot.
+  bool process_response(RecvBuf& rb);
   PStatus wait_slot(OpId id);
+
+  // ---- transport-failure recovery ----
+  /// Reconnect, resume the session, and retransmit in-flight requests, with
+  /// capped jittered exponential backoff between attempts. Returns false
+  /// (and marks the session dead) once attempts are exhausted.
+  bool recover();
+  bool resume_session();
+  bool retransmit_inflight();
   /// Record the request's submit->response RTT into the fabric histogram
   /// registry, keyed by procedure ("dafs.rtt_ns.<proc>").
   void record_rtt(const Slot& sl);
@@ -179,13 +201,25 @@ class Session {
   via::Nic& nic_;
   ClientConfig cfg_;
   via::ProtectionTag ptag_;
-  via::Vi vi_;
+  /// Owned by pointer so recovery can replace the endpoint: a VI that has
+  /// seen a transport failure is dead for good, but the NIC registrations
+  /// backing the session's buffers survive it.
+  std::unique_ptr<via::Vi> vi_;
   std::uint64_t session_id_ = 0;
+  std::uint32_t next_seq_ = 1;
   bool dead_ = false;
+  bool recovering_ = false;
+  sim::Rng backoff_rng_;
 
   std::vector<Slot> slots_;
   std::vector<OpId> free_slots_;
   std::vector<RecvBuf> recv_bufs_;
+
+  /// Dedicated send buffer for the resume handshake: every regular slot may
+  /// already be occupied by an in-flight request when the connection dies.
+  std::vector<std::byte> resume_buf_;
+  via::MemHandle resume_handle_ = via::kInvalidMemHandle;
+  via::Descriptor resume_desc_;
 
   std::vector<RegEntry> reg_cache_entries_;
   std::uint64_t reg_clock_ = 0;

@@ -39,6 +39,22 @@ enum class Proc : std::uint8_t {
   kSetCounter,   // [ext]
 };
 
+/// True when a procedure can safely be re-executed after a connection loss
+/// left its outcome unknown. Everything else must go through the server's
+/// replay cache so a retransmitted request is answered, not re-applied.
+constexpr bool is_idempotent(Proc p) {
+  switch (p) {
+    case Proc::kGetattr:
+    case Proc::kReaddir:
+    case Proc::kReadInline:
+    case Proc::kReadDirect:
+    case Proc::kSync:
+      return true;
+    default:
+      return false;
+  }
+}
+
 /// Stable lowercase names, used as histogram-key suffixes ("dafs.rtt_ns.<proc>").
 constexpr const char* proc_name(Proc p) {
   switch (p) {
@@ -78,6 +94,9 @@ enum class PStatus : std::uint8_t {
   kBadSession,
   kLockConflict,
   kProtoError,
+  kConnLost,     // transport failed and recovery exhausted its retries
+  kNoResource,   // server/NIC out of resources (e.g. memory registration)
+  kIo,           // backend storage error
 };
 
 constexpr PStatus to_pstatus(fstore::Errc e) {
@@ -90,6 +109,7 @@ constexpr PStatus to_pstatus(fstore::Errc e) {
     case fstore::Errc::kNotEmpty: return PStatus::kNotEmpty;
     case fstore::Errc::kInval: return PStatus::kInval;
     case fstore::Errc::kStale: return PStatus::kStale;
+    case fstore::Errc::kIo: return PStatus::kIo;
   }
   return PStatus::kProtoError;
 }
@@ -104,6 +124,7 @@ constexpr fstore::Errc to_errc(PStatus s) {
     case PStatus::kNotEmpty: return fstore::Errc::kNotEmpty;
     case PStatus::kInval: return fstore::Errc::kInval;
     case PStatus::kStale: return fstore::Errc::kStale;
+    case PStatus::kIo: return fstore::Errc::kIo;
     default: return fstore::Errc::kInval;
   }
 }
@@ -121,6 +142,9 @@ constexpr const char* to_string(PStatus s) {
     case PStatus::kBadSession: return "bad-session";
     case PStatus::kLockConflict: return "lock-conflict";
     case PStatus::kProtoError: return "protocol-error";
+    case PStatus::kConnLost: return "connection-lost";
+    case PStatus::kNoResource: return "no-resource";
+    case PStatus::kIo: return "io-error";
   }
   return "?";
 }
@@ -129,6 +153,11 @@ constexpr const char* to_string(PStatus s) {
 inline constexpr std::uint16_t kOpenCreate = 0x1;
 inline constexpr std::uint16_t kOpenExcl = 0x2;
 inline constexpr std::uint16_t kOpenTrunc = 0x4;
+
+/// kConnect flags (header.flags): resume an existing session after a
+/// transport failure instead of minting a new one. The old session id rides
+/// in header.aux.
+inline constexpr std::uint16_t kConnectResume = 0x1;
 
 /// Lock flags (header.aux bit 0).
 inline constexpr std::uint64_t kLockExclusive = 0x1;
@@ -149,7 +178,7 @@ struct MsgHeader {
   std::uint32_t name_len = 0;
   std::uint32_t data_len = 0;
   std::uint32_t nseg = 0;
-  std::uint32_t pad = 0;
+  std::uint32_t seq = 0;      // session sequence number (replay detection)
 };
 static_assert(sizeof(MsgHeader) == 64, "wire header is one cache line");
 

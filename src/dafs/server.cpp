@@ -20,6 +20,10 @@ namespace {
 using namespace std::chrono_literals;
 constexpr auto kPollPeriod = 50ms;
 constexpr auto kSendWait = std::chrono::milliseconds(5'000);
+/// Responses retained per session for replay. Far larger than any client's
+/// credit window (8), so a response is never pruned while its request can
+/// still be retransmitted.
+constexpr std::size_t kReplayWindow = 64;
 }  // namespace
 
 Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
@@ -28,6 +32,9 @@ Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
       cfg_(std::move(cfg)),
       nic_(fabric, node, "dafs-server-nic"),
       ptag_(nic_.create_ptag()) {
+  // One switchboard drives fault injection at every layer: the store's read
+  // paths consult the same plan the fabric uses for transfers.
+  cfg_.store.faults = &fabric_.faults();
   // The store registers every buffer-cache slab with the NIC as it is
   // allocated; direct I/O then DMAs straight out of / into the cache.
   store_ = std::make_unique<fstore::FileStore>(
@@ -136,7 +143,9 @@ void Server::accept_loop() {
       buf->desc.segs = {DataSegment{
           buf->mem.data(), buf->handle,
           static_cast<std::uint32_t>(buf->mem.size())}};
-      session->vi->post_recv(buf->desc);
+      const via::Status st = session->vi->post_recv(buf->desc);
+      assert(st == via::Status::kSuccess && "pre-arm post_recv on idle VI");
+      (void)st;
       session->recv_bufs.push_back(std::move(buf));
     }
     via::Vi* vi = session->vi.get();
@@ -180,11 +189,15 @@ void Server::worker_loop(int idx) {
     }
     assert(req != nullptr);
     handle_request(*session, *req, *worker_send_bufs_[idx]);
-    // Return the buffer to the session's receive pool (credit restored).
+    // Return the buffer to the session's receive pool (credit restored). A
+    // failed repost means the connection died; the session is torn down (or
+    // resumed onto a fresh VI) elsewhere.
     req->desc.segs = {DataSegment{
         req->mem.data(), req->handle,
         static_cast<std::uint32_t>(req->mem.size())}};
-    session->vi->post_recv(req->desc);
+    if (session->vi->post_recv(req->desc) != via::Status::kSuccess) {
+      fabric_.stats().add("dafs.server_repost_failures");
+    }
   }
 }
 
@@ -211,7 +224,11 @@ void Server::send_response(Session& s, MsgBuf& out) {
   out.desc.segs = {DataSegment{out.mem.data(), out.handle,
                                static_cast<std::uint32_t>(view.wire_size())}};
   std::lock_guard lock(s.send_mu);
-  post_and_reap(s, out.desc);
+  // A lost response is not rolled back: the operation has executed, and the
+  // client's retransmission is answered from the replay cache.
+  if (post_and_reap(s, out.desc) != DescStatus::kSuccess) {
+    fabric_.stats().add("dafs.response_send_failures");
+  }
 }
 
 void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
@@ -225,6 +242,7 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
   resp.header().proc = req.header().proc;
   resp.header().request_id = req.header().request_id;
   resp.header().session_id = s.id;
+  resp.header().seq = req.header().seq;
   resp.header().status = PStatus::kOk;
 
   if (req.header().proc != Proc::kConnect &&
@@ -234,9 +252,31 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
     return;
   }
 
+  // Exactly-once replay: a retransmitted non-idempotent request whose
+  // original execution already succeeded is answered with the cached
+  // response, never re-applied.
+  const Proc proc = req.header().proc;
+  const bool replay_protected = req.header().seq != 0 &&
+                                proc != Proc::kConnect && !is_idempotent(proc);
+  if (replay_protected) {
+    std::lock_guard rlock(s.replay_mu);
+    for (const CachedResp& c : s.replay) {
+      if (c.seq == req.header().seq) {
+        std::memcpy(out.mem.data(), c.bytes.data(), c.bytes.size());
+        fabric_.stats().add("dafs.replay_hits");
+        send_response(s, out);
+        return;
+      }
+    }
+  }
+
   switch (req.header().proc) {
     case Proc::kConnect:
-      resp.header().aux = s.id;
+      if (req.header().flags & kConnectResume) {
+        do_resume(s, req, resp);
+      } else {
+        resp.header().aux = s.id;
+      }
       break;
     case Proc::kDisconnect:
       locks_.release_owner(s.id);
@@ -279,8 +319,56 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
       resp.header().status = PStatus::kProtoError;  // unknown procedure
       break;
   }
+  // Cache the response *before* sending: if the send is lost to a transport
+  // failure the operation has still executed, and only the cache can answer
+  // the retransmission without applying it twice. Failed executions are not
+  // cached — re-running them is safe (the op never took effect) and lets a
+  // transient error clear.
+  if (replay_protected && proc != Proc::kDisconnect &&
+      resp.header().status == PStatus::kOk) {
+    std::lock_guard rlock(s.replay_mu);
+    s.replay.push_back(CachedResp{
+        req.header().seq,
+        std::vector<std::byte>(out.mem.data(),
+                               out.mem.data() + resp.wire_size())});
+    while (s.replay.size() > kReplayWindow) s.replay.pop_front();
+  }
   fabric_.stats().add("dafs.requests");
   send_response(s, out);
+}
+
+void Server::do_resume(Session& s, MsgView& req, MsgView& resp) {
+  const std::uint64_t old_id = req.header().aux;
+  Session* old = nullptr;
+  {
+    std::lock_guard lock(sessions_mu_);
+    for (auto& sess : sessions_) {
+      if (sess->id == old_id && sess.get() != &s) {
+        old = sess.get();
+        break;
+      }
+    }
+    if (old == nullptr) {
+      resp.header().status = PStatus::kBadSession;
+      return;
+    }
+    // Adopt the old identity wholesale: retransmitted requests carry the old
+    // session id, byte-range locks are owned by it, and the replay cache
+    // must follow the client to the new connection.
+    {
+      std::scoped_lock rlock(s.replay_mu, old->replay_mu);
+      s.replay = std::move(old->replay);
+    }
+    s.id = old_id;
+    old->closing = true;
+  }
+  // The old VI already died with the connection; this just flushes any
+  // descriptors still posted on it. The record itself stays in sessions_
+  // (a worker may still hold a pointer); it is reaped in stop().
+  old->vi->disconnect();
+  resp.header().session_id = s.id;
+  resp.header().aux = s.id;
+  fabric_.stats().add("dafs.session_resumes");
 }
 
 // ---------------------------------------------------------------------------

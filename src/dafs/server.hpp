@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -60,12 +61,24 @@ class Server {
     via::Descriptor desc;
   };
 
+  /// One cached response in a session's replay window.
+  struct CachedResp {
+    std::uint32_t seq = 0;
+    std::vector<std::byte> bytes;  // full wire image (header + payload)
+  };
+
   struct Session {
     std::uint64_t id = 0;
     std::unique_ptr<via::Vi> vi;
     std::vector<std::unique_ptr<MsgBuf>> recv_bufs;
     std::mutex send_mu;  // serializes response transmission per session
     bool closing = false;
+    /// Duplicate-request cache: successful non-idempotent responses, keyed
+    /// by session sequence number. A client that retransmits after a
+    /// connection loss gets the original answer instead of a re-execution —
+    /// exactly-once semantics for writes, creates, locks and counters.
+    std::mutex replay_mu;
+    std::deque<CachedResp> replay;
   };
 
   void accept_loop();
@@ -86,6 +99,9 @@ class Server {
   void do_write_direct(Session& s, MsgView& req, MsgView& resp);
   void do_readdir(MsgView& req, MsgView& resp);
   void do_lock(Session& s, MsgView& req, MsgView& resp);
+  /// kConnect with kConnectResume: rebind a reconnected client to its old
+  /// session identity (locks, replay cache) after a transport failure.
+  void do_resume(Session& s, MsgView& req, MsgView& resp);
 
   /// Memory handle covering a buffer-cache span (slab registration lookup).
   via::MemHandle slab_handle(const std::byte* p) const;

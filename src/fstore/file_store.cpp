@@ -6,6 +6,7 @@
 
 #include "sim/actor.hpp"
 #include "sim/cost_model.hpp"
+#include "sim/fault.hpp"
 
 namespace fstore {
 
@@ -292,8 +293,12 @@ Result<std::uint64_t> FileStore::pread(Ino ino, std::uint64_t off,
   if (n == nullptr) return Errc::kStale;
   if (n->attrs.is_dir) return Errc::kIsDir;
   if (off >= n->attrs.size) return std::uint64_t{0};
-  const std::uint64_t len =
+  std::uint64_t len =
       std::min<std::uint64_t>(out.size(), n->attrs.size - off);
+  if (opt_.faults != nullptr && opt_.faults->on_fstore_read(&len)) {
+    stats_.add("fault.fstore_read_errors");
+    return Errc::kIo;
+  }
 
   std::uint64_t done = 0;
   while (done < len) {
@@ -359,6 +364,12 @@ Result<std::vector<std::span<std::byte>>> FileStore::extents_for_read(
   std::vector<std::span<std::byte>> out;
   if (off >= n->attrs.size) return out;
   len = std::min(len, n->attrs.size - off);
+  // Zero-copy reads cannot be short (the spans *are* the cache), so only the
+  // hard-failure half of the fault plan applies here.
+  if (opt_.faults != nullptr && opt_.faults->on_fstore_read(nullptr)) {
+    stats_.add("fault.fstore_read_errors");
+    return Errc::kIo;
+  }
   std::uint64_t done = 0;
   while (done < len) {
     const std::uint64_t pos = off + done;

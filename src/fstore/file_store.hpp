@@ -16,6 +16,10 @@
 #include "sim/stats.hpp"
 #include "fstore/types.hpp"
 
+namespace sim {
+class FaultPlan;
+}
+
 namespace fstore {
 
 template <typename T>
@@ -40,6 +44,10 @@ struct Options {
   /// Host copy rate for the copying data path (keep in sync with the
   /// fabric's CostModel::memcpy_mbps).
   double memcpy_mbps = 400.0;
+  /// Optional fault plan consulted on the read paths (short reads and
+  /// injected media errors). Not owned; the DAFS server wires the fabric's
+  /// plan in here so one switchboard drives every layer.
+  sim::FaultPlan* faults = nullptr;
 };
 
 /// The file server's storage substrate: an in-memory inode-based file system

@@ -20,6 +20,7 @@ enum class Errc : std::uint8_t {
   kNotEmpty,   // rmdir of a non-empty directory
   kInval,      // bad argument
   kStale,      // inode number no longer valid
+  kIo,         // media/backend read failure (fault-injected)
 };
 
 constexpr const char* to_string(Errc e) {
@@ -32,6 +33,7 @@ constexpr const char* to_string(Errc e) {
     case Errc::kNotEmpty: return "not-empty";
     case Errc::kInval: return "invalid";
     case Errc::kStale: return "stale";
+    case Errc::kIo: return "io-error";
   }
   return "?";
 }

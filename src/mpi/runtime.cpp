@@ -206,7 +206,9 @@ std::unique_ptr<Endpoint::Peer> Endpoint::make_armed_peer() {
     b->handle = nic_.register_memory(b->mem.data(), b->mem.size(), ptag_, {});
     b->desc.segs = {via::DataSegment{
         b->mem.data(), b->handle, static_cast<std::uint32_t>(b->mem.size())}};
-    p->vi->post_recv(b->desc);
+    const via::Status st = p->vi->post_recv(b->desc);
+    assert(st == via::Status::kSuccess && "pre-arm post_recv on idle VI");
+    (void)st;
     recv_index_[&b->desc] = b.get();
     p->recv_bufs.push_back(std::move(b));
   }
@@ -386,7 +388,9 @@ void Endpoint::send(const void* buf, std::uint64_t count, const Datatype& type,
     const via::MemHandle h =
         nic_.register_memory(staging.data(), staging.size(), ptag_, attrs);
     rdma_write(p, staging.data(), staging.size(), h, cts.addr, cts.mem);
-    nic_.deregister_memory(h);
+    if (nic_.deregister_memory(h) != via::Status::kSuccess) {
+      fabric_.stats().add("via.dereg_failures");
+    }
   }
   WireHdr fin;
   fin.kind = MsgKind::kFin;
@@ -525,7 +529,10 @@ void Endpoint::handle_fin(const WireHdr& hdr) {
         const std::uint64_t took =
             op->type.unpack(op->staging, op->base, op->count);
         Actor::current()->charge(CostKind::kCopy, nic_.cost().copy_time(took));
-        nic_.deregister_memory(op->staging_handle);
+        if (nic_.deregister_memory(op->staging_handle) !=
+            via::Status::kSuccess) {
+          fabric_.stats().add("via.dereg_failures");
+        }
         op->staging.clear();
         op->status.bytes = took;
       }
@@ -601,10 +608,14 @@ bool Endpoint::progress(bool block) {
       handle_fin(hdr);
       break;
   }
-  // Return the buffer to its VI's receive pool.
+  // Return the buffer to its VI's receive pool. A repost can fail if the
+  // connection died under us; the buffer then just sits out the rest of the
+  // run (teardown still frees it).
   mb->desc.segs = {via::DataSegment{
       mb->mem.data(), mb->handle, static_cast<std::uint32_t>(mb->mem.size())}};
-  c.vi->post_recv(mb->desc);
+  if (c.vi->post_recv(mb->desc) != via::Status::kSuccess) {
+    fabric_.stats().add("mpi.repost_failures");
+  }
   return true;
 }
 

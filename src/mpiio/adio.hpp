@@ -21,6 +21,57 @@ using Err = dafs::PStatus;
 template <typename T>
 using Result = sim::Expected<T, Err>;
 
+/// MPI error classes (the MPI_ERR_* subset the I/O chapter raises). Driver
+/// statuses collapse onto these before they reach application code, so a
+/// DAFS session whose recovery exhausted its retries surfaces as the same
+/// class on every rank (MPI_ERR_IO), not as a transport-specific code.
+enum class ErrClass : std::uint8_t {
+  kSuccess = 0,
+  kArg,         // MPI_ERR_ARG: invalid parameter / unsupported feature
+  kAmode,       // MPI_ERR_AMODE: access mode forbids the operation
+  kNoSuchFile,  // MPI_ERR_NO_SUCH_FILE
+  kFileExists,  // MPI_ERR_FILE_EXISTS
+  kBadFile,     // MPI_ERR_BAD_FILE: not a usable file (directory, non-empty)
+  kAccess,      // MPI_ERR_ACCESS: permission / lock denied
+  kNoSpace,     // MPI_ERR_NO_SPACE: device or NIC resources exhausted
+  kIo,          // MPI_ERR_IO: transport lost or backend storage failure
+};
+
+constexpr ErrClass error_class(Err e) {
+  switch (e) {
+    case Err::kOk: return ErrClass::kSuccess;
+    case Err::kNoEnt: return ErrClass::kNoSuchFile;
+    case Err::kExists: return ErrClass::kFileExists;
+    case Err::kIsDir:
+    case Err::kNotDir:
+    case Err::kNotEmpty: return ErrClass::kBadFile;
+    case Err::kInval: return ErrClass::kArg;
+    case Err::kLockConflict: return ErrClass::kAccess;
+    case Err::kNoResource: return ErrClass::kNoSpace;
+    case Err::kStale:
+    case Err::kBadSession:
+    case Err::kProtoError:
+    case Err::kConnLost:
+    case Err::kIo: return ErrClass::kIo;
+  }
+  return ErrClass::kIo;
+}
+
+constexpr const char* to_string(ErrClass c) {
+  switch (c) {
+    case ErrClass::kSuccess: return "MPI_SUCCESS";
+    case ErrClass::kArg: return "MPI_ERR_ARG";
+    case ErrClass::kAmode: return "MPI_ERR_AMODE";
+    case ErrClass::kNoSuchFile: return "MPI_ERR_NO_SUCH_FILE";
+    case ErrClass::kFileExists: return "MPI_ERR_FILE_EXISTS";
+    case ErrClass::kBadFile: return "MPI_ERR_BAD_FILE";
+    case ErrClass::kAccess: return "MPI_ERR_ACCESS";
+    case ErrClass::kNoSpace: return "MPI_ERR_NO_SPACE";
+    case ErrClass::kIo: return "MPI_ERR_IO";
+  }
+  return "?";
+}
+
 /// One element of a list-I/O access: a file range paired with memory.
 struct IoSeg {
   std::uint64_t file_off = 0;

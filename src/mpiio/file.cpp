@@ -499,6 +499,20 @@ struct Piece {
 
 }  // namespace
 
+Result<std::uint64_t> File::finish_collective(Result<std::uint64_t> r) {
+  // A max-allreduce of the per-rank status code doubles as the exit
+  // synchronization a bare barrier used to provide, with one difference that
+  // matters under fault injection: when any rank failed, every rank leaves
+  // with the same (highest-coded) error instead of most ranks reporting
+  // success for a collective that did not complete.
+  std::vector<std::uint64_t> code = {
+      static_cast<std::uint64_t>(r.ok() ? Err::kOk : r.error())};
+  comm_.allreduce(std::span<std::uint64_t>(code), mpi::Op::kMax);
+  const Err agreed = static_cast<Err>(code[0]);
+  if (agreed != Err::kOk) return agreed;
+  return r;
+}
+
 Result<std::uint64_t> File::collective_io(bool writing,
                                           std::uint64_t offset_etypes,
                                           void* buf, std::uint64_t count,
@@ -512,7 +526,7 @@ Result<std::uint64_t> File::collective_io(bool writing,
       writing ? "romio_cb_write" : "romio_cb_read", true);
   if (n == 1 || !cb_enabled) {
     auto r = independent_io(writing, offset_etypes, buf, count, type);
-    if (n > 1) comm_.barrier();
+    if (n > 1) return finish_collective(std::move(r));
     return r;
   }
 
@@ -530,8 +544,7 @@ Result<std::uint64_t> File::collective_io(bool writing,
   const std::uint64_t gmin = ~mm[0];
   const std::uint64_t gmax = mm[1];
   if (gmax <= gmin) {
-    comm_.barrier();
-    return std::uint64_t{0};  // nobody has data
+    return finish_collective(std::uint64_t{0});  // nobody has data
   }
 
   const auto naggr = static_cast<int>(std::min<std::uint64_t>(
@@ -650,6 +663,10 @@ Result<std::uint64_t> File::collective_io(bool writing,
     record_phase("mpiio.twophase_exchange_ns", t_exchange);
 
     const sim::Time t_disk = actor_now();
+    // A disk-phase failure is remembered, not returned: the exit below is
+    // collective, so the other ranks must not be left waiting on a rank
+    // that bailed out early.
+    Err disk_st = Err::kOk;
     if (aggregator && data_in_total > 0) {
       // Assemble (off, len, src-bytes) triples, sort, coalesce and write.
       struct Item {
@@ -681,8 +698,8 @@ Result<std::uint64_t> File::collective_io(bool writing,
               items[i].off,
               std::span<const std::byte>(items[i].data, items[i].len));
           if (!r.ok()) {
-            comm_.barrier();
-            return r;
+            disk_st = r.error();
+            break;
           }
           ++i;
           continue;
@@ -700,16 +717,17 @@ Result<std::uint64_t> File::collective_io(bool writing,
         charge_copy(stage.size());
         auto r = driver_->pwrite(run_off, stage);
         if (!r.ok()) {
-          comm_.barrier();
-          return r;
+          disk_st = r.error();
+          break;
         }
         i = j;
       }
       comm_.world().fabric().stats().add("mpiio.twophase_writes");
       record_phase("mpiio.twophase_disk_ns", t_disk);
     }
-    comm_.barrier();  // writes visible before anyone proceeds
-    return total;
+    // Writes visible (and failures agreed on) before anyone proceeds.
+    if (disk_st != Err::kOk) return finish_collective(disk_st);
+    return finish_collective(total);
   }
 
   // Collective read: aggregators fetch and reply with piece data.
@@ -717,6 +735,10 @@ Result<std::uint64_t> File::collective_io(bool writing,
   std::vector<std::uint64_t> reply_sdispls(static_cast<std::size_t>(n), 0);
   std::vector<std::byte> reply_out;
   const sim::Time t_disk = actor_now();
+  // A failed read is remembered and the (partially zero-filled) reply still
+  // flows through the alltoallv below — returning here would deadlock the
+  // non-aggregator ranks already waiting in that exchange.
+  Err disk_st = Err::kOk;
   if (aggregator && meta_in_total > 0) {
     struct Item {
       std::uint64_t off;
@@ -771,16 +793,16 @@ Result<std::uint64_t> File::collective_io(bool writing,
         auto r = driver_->pread(items[i].off,
                                 std::span(items[i].dst, items[i].len));
         if (!r.ok()) {
-          comm_.barrier();
-          return r;
+          disk_st = r.error();
+          break;
         }
         ++i;
         continue;
       }
       auto r = driver_->pread(run_off, std::span(stage.data(), run_len));
       if (!r.ok()) {
-        comm_.barrier();
-        return r;
+        disk_st = r.error();
+        break;
       }
       for (std::size_t k = i; k < j; ++k) {
         std::memcpy(items[k].dst, stage.data() + (items[k].off - run_off),
@@ -826,8 +848,8 @@ Result<std::uint64_t> File::collective_io(bool writing,
     }
     charge_copy(reply_rcounts[static_cast<std::size_t>(d)]);
   }
-  comm_.barrier();
-  return total;
+  if (disk_st != Err::kOk) return finish_collective(disk_st);
+  return finish_collective(total);
 }
 
 Result<std::uint64_t> File::read_at_all(std::uint64_t offset, void* buf,
@@ -916,13 +938,9 @@ Result<std::uint64_t> File::read_ordered(void* buf, std::uint64_t count,
   std::vector<std::uint64_t> tot = {mine};
   comm_.allreduce(std::span<std::uint64_t>(tot), mpi::Op::kSum);
   auto base = ordered_base(tot[0]);
-  if (!base.ok()) {
-    comm_.barrier();  // keep the collective's exit synchronized
-    return base.error();
-  }
+  if (!base.ok()) return finish_collective(base.error());
   auto r = read_at(base.value() + prefix, buf, count, type);
-  comm_.barrier();
-  return r;
+  return finish_collective(std::move(r));
 }
 
 Result<std::uint64_t> File::write_ordered(const void* buf, std::uint64_t count,
@@ -933,13 +951,9 @@ Result<std::uint64_t> File::write_ordered(const void* buf, std::uint64_t count,
   std::vector<std::uint64_t> tot = {mine};
   comm_.allreduce(std::span<std::uint64_t>(tot), mpi::Op::kSum);
   auto base = ordered_base(tot[0]);
-  if (!base.ok()) {
-    comm_.barrier();
-    return base.error();
-  }
+  if (!base.ok()) return finish_collective(base.error());
   auto r = write_at(base.value() + prefix, buf, count, type);
-  comm_.barrier();
-  return r;
+  return finish_collective(std::move(r));
 }
 
 Err File::seek_shared(std::int64_t offset, Whence whence) {

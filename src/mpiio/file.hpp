@@ -165,6 +165,12 @@ class File {
   /// Fetch-add the shared file pointer by `total_etypes` on rank 0 and
   /// broadcast base + status, so a counter failure surfaces on every rank.
   Result<std::uint64_t> ordered_base(std::uint64_t total_etypes);
+  /// Collective exit agreement: allreduce this rank's status with every
+  /// other rank's and return the agreed verdict (the rank-local result when
+  /// all succeeded). Every exit path of a collective operation must funnel
+  /// through this so a rank whose transport died cannot strand its peers in
+  /// a barrier, and so all ranks report the same error class.
+  Result<std::uint64_t> finish_collective(Result<std::uint64_t> r);
   Result<std::uint64_t> sieved_read(std::vector<IoSeg> segs);
   Result<std::uint64_t> sieved_write(std::vector<IoSeg> segs);
   bool use_sieving(bool writing, const std::vector<IoSeg>& segs) const;

@@ -67,10 +67,15 @@ void Server::stop() {
   if (!running_.exchange(false)) return;
   if (accept_thread_.joinable()) accept_thread_.join();
   std::lock_guard lock(workers_mu_);
+  // Shut down the server side of every connection first: an nfsd blocked in
+  // recv waiting for the next request only wakes on a close, and the client
+  // may well keep its end open past stop().
+  for (auto& s : worker_streams_) s->close();
   for (auto& t : worker_threads_) {
     if (t.joinable()) t.join();
   }
   worker_threads_.clear();
+  worker_streams_.clear();
 }
 
 sim::BusyBreakdown Server::worker_busy() const {
@@ -94,11 +99,11 @@ void Server::accept_loop() {
     worker_actors_.push_back(std::make_unique<Actor>(
         "nfsd" + std::to_string(next_worker++), &fabric_.node(node_)));
     Actor* actor = worker_actors_.back().get();
-    worker_threads_.emplace_back(
-        [this, s = std::shared_ptr<TcpStream>(std::move(stream)), actor] {
-          ActorScope inner(*actor);
-          serve(*s, *actor);
-        });
+    worker_streams_.push_back(std::shared_ptr<TcpStream>(std::move(stream)));
+    worker_threads_.emplace_back([this, s = worker_streams_.back(), actor] {
+      ActorScope inner(*actor);
+      serve(*s, *actor);
+    });
     fabric_.stats().add("nfs.connections");
   }
 }

@@ -54,6 +54,10 @@ class Server {
   std::mutex workers_mu_;
   std::vector<std::thread> worker_threads_;
   std::vector<std::unique_ptr<sim::Actor>> worker_actors_;
+  // Server-side ends of accepted connections, so stop() can close them and
+  // unpark nfsd threads blocked in recv; joining alone would deadlock
+  // against a client that keeps its end open.
+  std::vector<std::shared_ptr<TcpStream>> worker_streams_;
 };
 
 }  // namespace nfs

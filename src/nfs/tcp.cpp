@@ -38,7 +38,7 @@ bool TcpStream::send(std::span<const std::byte> data) {
 
   {
     std::lock_guard lock(conn_->mu);
-    if ((is_a_ ? conn_->b_closed : conn_->a_closed)) return false;
+    if (conn_->a_closed || conn_->b_closed) return false;
   }
 
   // Sender kernel path: trap, user->kernel copy, per-segment stack work.
@@ -78,8 +78,12 @@ bool TcpStream::recv_exact(std::span<std::byte> out) {
   auto& q = is_a_ ? conn_->to_a : conn_->to_b;
   while (got < out.size()) {
     if (q.empty()) {
+      // EOF on peer close, and on local close too: a read on a socket this
+      // endpoint has shut down must not block. The server relies on this to
+      // unpark nfsd threads during stop().
       const bool peer_closed = is_a_ ? conn_->b_closed : conn_->a_closed;
-      if (peer_closed) return false;
+      const bool self_closed = is_a_ ? conn_->a_closed : conn_->b_closed;
+      if (peer_closed || self_closed) return false;
       conn_->cv.wait_for(lock, std::chrono::milliseconds(100));
       continue;
     }

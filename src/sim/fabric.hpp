@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "sim/cost_model.hpp"
+#include "sim/fault.hpp"
 #include "sim/histogram.hpp"
 #include "sim/node.hpp"
 #include "sim/stats.hpp"
@@ -52,6 +53,8 @@ class Fabric {
 
   Stats& stats() { return stats_; }
   HistogramRegistry& histograms() { return hists_; }
+  /// The fabric-wide fault injector (inert until armed; see sim/fault.hpp).
+  FaultPlan& faults() { return faults_; }
 
  private:
   CostModel cost_;
@@ -63,6 +66,7 @@ class Fabric {
 
   Stats stats_;
   HistogramRegistry hists_;
+  FaultPlan faults_;
 };
 
 }  // namespace sim

@@ -1,0 +1,149 @@
+#include "sim/fault.hpp"
+
+namespace sim {
+
+void FaultPlan::arm(std::uint64_t seed) {
+  std::lock_guard lock(mu_);
+  rng_ = Rng(seed);
+  drop_prob_ = dup_prob_ = delay_prob_ = 0.0;
+  delay_ = 0;
+  node_filter_ = kAnyNode;
+  conn_filter_.clear();
+  breaks_.clear();
+  reg_failures_left_ = 0;
+  fstore_read_failures_left_ = 0;
+  short_read_prob_ = 0.0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultPlan::clear() {
+  std::lock_guard lock(mu_);
+  drop_prob_ = dup_prob_ = delay_prob_ = 0.0;
+  delay_ = 0;
+  breaks_.clear();
+  reg_failures_left_ = 0;
+  fstore_read_failures_left_ = 0;
+  short_read_prob_ = 0.0;
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultPlan::recompute_armed_locked() {
+  const bool any = drop_prob_ > 0.0 || dup_prob_ > 0.0 || delay_prob_ > 0.0 ||
+                   !breaks_.empty() || reg_failures_left_ > 0 ||
+                   fstore_read_failures_left_ > 0 || short_read_prob_ > 0.0;
+  armed_.store(any, std::memory_order_relaxed);
+}
+
+void FaultPlan::set_drop_prob(double p) {
+  std::lock_guard lock(mu_);
+  drop_prob_ = p;
+  recompute_armed_locked();
+}
+
+void FaultPlan::set_duplicate_prob(double p) {
+  std::lock_guard lock(mu_);
+  dup_prob_ = p;
+  recompute_armed_locked();
+}
+
+void FaultPlan::set_delay(double p, Time delay) {
+  std::lock_guard lock(mu_);
+  delay_prob_ = p;
+  delay_ = delay;
+  recompute_armed_locked();
+}
+
+void FaultPlan::restrict_to_node(NodeId node) {
+  std::lock_guard lock(mu_);
+  node_filter_ = node;
+}
+
+void FaultPlan::restrict_to_conn(std::string conn) {
+  std::lock_guard lock(mu_);
+  conn_filter_ = std::move(conn);
+}
+
+void FaultPlan::break_conn_after(std::string conn, std::uint64_t n,
+                                 bool repeat) {
+  std::lock_guard lock(mu_);
+  breaks_[std::move(conn)] = BreakRule{n, 0, repeat, false};
+  recompute_armed_locked();
+}
+
+void FaultPlan::fail_next_registrations(std::uint64_t n) {
+  std::lock_guard lock(mu_);
+  reg_failures_left_ = n;
+  recompute_armed_locked();
+}
+
+void FaultPlan::fail_next_fstore_reads(std::uint64_t n) {
+  std::lock_guard lock(mu_);
+  fstore_read_failures_left_ = n;
+  recompute_armed_locked();
+}
+
+void FaultPlan::set_short_read_prob(double p) {
+  std::lock_guard lock(mu_);
+  short_read_prob_ = p;
+  recompute_armed_locked();
+}
+
+bool FaultPlan::transfer_candidate_locked(const std::string& conn, NodeId src,
+                                          NodeId dst) const {
+  if (node_filter_ != kAnyNode && src != node_filter_ && dst != node_filter_) {
+    return false;
+  }
+  return conn_filter_.empty() || conn == conn_filter_;
+}
+
+TransferFault FaultPlan::on_transfer(const std::string& conn, NodeId src,
+                                     NodeId dst) {
+  TransferFault f;
+  if (!armed()) return f;
+  std::lock_guard lock(mu_);
+  if (!transfer_candidate_locked(conn, src, dst)) return f;
+  if (drop_prob_ > 0.0 && rng_.unit() < drop_prob_) {
+    f.drop = true;
+    return f;  // a dropped message can't also be duplicated or delayed
+  }
+  if (dup_prob_ > 0.0 && rng_.unit() < dup_prob_) f.duplicate = true;
+  if (delay_prob_ > 0.0 && rng_.unit() < delay_prob_) f.delay = delay_;
+  return f;
+}
+
+bool FaultPlan::on_conn_completion(const std::string& conn) {
+  if (!armed()) return false;
+  std::lock_guard lock(mu_);
+  auto it = breaks_.find(conn);
+  if (it == breaks_.end()) return false;
+  BreakRule& r = it->second;
+  if (r.spent) return false;
+  if (++r.seen < r.every) return false;
+  r.seen = 0;
+  if (!r.repeat) r.spent = true;
+  return true;
+}
+
+bool FaultPlan::on_register() {
+  if (!armed()) return false;
+  std::lock_guard lock(mu_);
+  if (reg_failures_left_ == 0) return false;
+  --reg_failures_left_;
+  return true;
+}
+
+bool FaultPlan::on_fstore_read(std::uint64_t* len) {
+  if (!armed()) return false;
+  std::lock_guard lock(mu_);
+  if (fstore_read_failures_left_ > 0) {
+    --fstore_read_failures_left_;
+    return true;
+  }
+  if (len != nullptr && *len > 1 && short_read_prob_ > 0.0 &&
+      rng_.unit() < short_read_prob_) {
+    *len = 1 + rng_.below(*len - 1);  // short but never empty
+  }
+  return false;
+}
+
+}  // namespace sim

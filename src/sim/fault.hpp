@@ -1,0 +1,116 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sim/node.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace sim {
+
+/// Verdict for one fabric transfer, as decided by the FaultPlan.
+struct TransferFault {
+  bool drop = false;       // message never arrives (reliable VI => conn break)
+  bool duplicate = false;  // message delivered twice
+  Time delay = 0;          // extra latency before the wire sees it
+};
+
+/// Seeded, deterministic fault injector consulted by the VIA layer, the
+/// fabric and the file store. One plan lives on each Fabric (inert until
+/// armed), so every layer of a testbed shares a single schedule and a test
+/// can reproduce an exact failure interleaving from a seed.
+///
+/// Arming methods configure *what* goes wrong; the on_* query methods are
+/// called from the hot paths and decide, against the seeded RNG and the
+/// armed counters, whether this particular event is the one that fails.
+/// All methods are thread-safe; the disarmed fast path is one relaxed
+/// atomic load.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Re-seed the RNG and clear every armed fault and counter.
+  void arm(std::uint64_t seed);
+  /// Disarm everything (e.g. for the recovery phase of a test); counters and
+  /// seed survive so a later re-arm of probabilities continues the stream.
+  void clear();
+
+  // ---- transfer faults (consulted by via::Vi::post_send) ------------------
+  void set_drop_prob(double p);
+  void set_duplicate_prob(double p);
+  void set_delay(double p, Time delay);
+  /// Restrict transfer faults to transfers touching `node` (a filer, say),
+  /// leaving e.g. MPI rank-to-rank traffic unharmed. kInvalidNode = all.
+  void restrict_to_node(NodeId node);
+  /// Restrict transfer faults to connections established under this name
+  /// service key (via::Nic::connect / Listener service). Empty = all.
+  void restrict_to_conn(std::string conn);
+
+  // ---- connection break ---------------------------------------------------
+  /// Break the VI connection named `conn` after its Nth successful
+  /// completion (counted across both endpoints and, with `repeat`, across
+  /// re-established connections every further N completions).
+  void break_conn_after(std::string conn, std::uint64_t n, bool repeat = false);
+
+  // ---- resource faults ----------------------------------------------------
+  /// Fail the next `n` memory registrations (VIP kErrorResource upstairs).
+  void fail_next_registrations(std::uint64_t n);
+
+  // ---- file-store faults --------------------------------------------------
+  /// Fail the next `n` file-store reads outright.
+  void fail_next_fstore_reads(std::uint64_t n);
+  /// Each file-store pread independently returns a short count with
+  /// probability `p` (at least 1 byte, strictly less than requested).
+  void set_short_read_prob(double p);
+
+  // ---- queries (layer-facing) --------------------------------------------
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+  TransferFault on_transfer(const std::string& conn, NodeId src, NodeId dst);
+  /// True when this successful completion on `conn` trips a scheduled break.
+  bool on_conn_completion(const std::string& conn);
+  /// True when this memory registration should fail.
+  bool on_register();
+  /// True when this file-store read should fail outright; otherwise *len may
+  /// be clamped below its incoming value (short read). len == nullptr for
+  /// paths that cannot shorten (extent lookups).
+  bool on_fstore_read(std::uint64_t* len);
+
+ private:
+  static constexpr NodeId kAnyNode = ~NodeId{0};
+
+  bool transfer_candidate_locked(const std::string& conn, NodeId src,
+                                 NodeId dst) const;
+  void recompute_armed_locked();
+
+  mutable std::mutex mu_;
+  Rng rng_{0};
+  std::atomic<bool> armed_{false};
+
+  double drop_prob_ = 0.0;
+  double dup_prob_ = 0.0;
+  double delay_prob_ = 0.0;
+  Time delay_ = 0;
+  NodeId node_filter_ = kAnyNode;
+  std::string conn_filter_;
+
+  struct BreakRule {
+    std::uint64_t every = 0;  // break after this many completions
+    std::uint64_t seen = 0;
+    bool repeat = false;
+    bool spent = false;
+  };
+  std::unordered_map<std::string, BreakRule> breaks_;
+
+  std::uint64_t reg_failures_left_ = 0;
+  std::uint64_t fstore_read_failures_left_ = 0;
+  double short_read_prob_ = 0.0;
+};
+
+}  // namespace sim

@@ -35,10 +35,10 @@ class CompletionQueue {
   CompletionQueue& operator=(const CompletionQueue&) = delete;
 
   /// Block (real time) until a completion is available or `timeout` expires.
-  Status wait(Completion& out, std::chrono::milliseconds timeout);
+  [[nodiscard]] Status wait(Completion& out, std::chrono::milliseconds timeout);
 
   /// Non-blocking reap; kNotDone when empty.
-  Status poll(Completion& out);
+  [[nodiscard]] Status poll(Completion& out);
 
   std::size_t pending() const {
     std::lock_guard lock(mu_);

@@ -22,7 +22,7 @@ class MemoryRegistry {
                             MemAttrs attrs);
 
   /// Remove a registration. kInvalidParameter if unknown.
-  Status deregister(MemHandle h);
+  [[nodiscard]] Status deregister(MemHandle h);
 
   /// Is [addr, addr+len) inside the region of `h`? (local send/recv access)
   bool validate_local(MemHandle h, const std::byte* addr,
@@ -32,8 +32,9 @@ class MemoryRegistry {
   /// bounds, the region was registered with the matching RDMA right, and —
   /// when `required_tag` is nonzero — the region's protection tag matches
   /// the target VI's tag.
-  Status validate_rdma(MemHandle h, std::uint64_t addr, std::uint64_t len,
-                       bool is_write, ProtectionTag required_tag = 0) const;
+  [[nodiscard]] Status validate_rdma(MemHandle h, std::uint64_t addr,
+                                     std::uint64_t len, bool is_write,
+                                     ProtectionTag required_tag = 0) const;
 
   std::size_t region_count() const;
 

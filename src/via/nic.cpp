@@ -22,6 +22,10 @@ MemHandle Nic::register_memory(void* base, std::size_t len, ProtectionTag tag,
   if (Actor* actor = Actor::current()) {
     actor->charge(CostKind::kRegistration, cost().reg_time(len));
   }
+  if (fabric_.faults().on_register()) {
+    fabric_.stats().add("fault.reg_failures");
+    return kInvalidMemHandle;
+  }
   fabric_.stats().add("via.registrations");
   fabric_.stats().add("via.registered_bytes", len);
   return memory_.register_region(base, len, tag, attrs);
@@ -43,6 +47,8 @@ Status Nic::connect(Vi& vi, const std::string& service,
 
   auto* listener = static_cast<Listener*>(fabric_.lookup("via:" + service));
   if (listener == nullptr) return Status::kNoMatchingListener;
+
+  vi.conn_name_ = service;
 
   Listener::Request req;
   req.client_vi = &vi;
@@ -130,6 +136,7 @@ Status Listener::accept(Vi& vi, std::chrono::milliseconds timeout) {
     return st;
   }
 
+  vi.conn_name_ = service_;
   Vi::link(*req->client_vi, vi);
   actor->charge(CostKind::kProtocol, nic_.cost().connect_setup);
   const Time agreed = std::max(actor->now(), req->client_time +

@@ -36,17 +36,20 @@ class Nic {
   ProtectionTag create_ptag() { return next_ptag_.fetch_add(1); }
 
   /// Register memory for NIC access (VipRegisterMem). Charges the current
-  /// actor the pin cost.
-  MemHandle register_memory(void* base, std::size_t len, ProtectionTag tag,
-                            MemAttrs attrs = {});
+  /// actor the pin cost. Returns kInvalidMemHandle when the NIC is out of
+  /// registration resources (VIP_ERROR_RESOURCE) — which the fabric's fault
+  /// plan can inject on demand.
+  [[nodiscard]] MemHandle register_memory(void* base, std::size_t len,
+                                          ProtectionTag tag,
+                                          MemAttrs attrs = {});
 
   /// Deregister (VipDeregisterMem). Charges the unpin cost.
-  Status deregister_memory(MemHandle h);
+  [[nodiscard]] Status deregister_memory(MemHandle h);
 
   /// Connect `vi` (must be idle) to whatever Listener is bound to `service`
   /// on the fabric name service. Blocks (real time) for the accept.
-  Status connect(Vi& vi, const std::string& service,
-                 std::chrono::milliseconds timeout);
+  [[nodiscard]] Status connect(Vi& vi, const std::string& service,
+                               std::chrono::milliseconds timeout);
 
  private:
   sim::Fabric& fabric_;

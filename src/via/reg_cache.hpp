@@ -43,14 +43,16 @@ class RegCache {
     ++misses_;
     const MemHandle h =
         nic_.register_memory(const_cast<void*>(buf), len, tag_, attrs);
-    if (!enabled_) return h;
+    // A failed registration (resource exhaustion) is the caller's problem;
+    // never cache the invalid handle.
+    if (h == kInvalidMemHandle || !enabled_) return h;
     if (entries_.size() >= capacity_) {
       auto victim =
           std::min_element(entries_.begin(), entries_.end(),
                            [](const Entry& a, const Entry& b) {
                              return a.last_use < b.last_use;
                            });
-      nic_.deregister_memory(victim->handle);
+      drop(victim->handle);
       entries_.erase(victim);
       ++evictions_;
     }
@@ -60,12 +62,12 @@ class RegCache {
 
   /// Release a handle obtained while caching was disabled.
   void release(MemHandle h) {
-    if (!enabled_) nic_.deregister_memory(h);
+    if (!enabled_ && h != kInvalidMemHandle) drop(h);
   }
 
   /// Deregister everything (requires an ActorScope for cost accounting).
   void clear() {
-    for (const auto& e : entries_) nic_.deregister_memory(e.handle);
+    for (const auto& e : entries_) drop(e.handle);
     entries_.clear();
   }
 
@@ -75,6 +77,14 @@ class RegCache {
   std::uint64_t evictions() const { return evictions_; }
 
  private:
+  // Every handle we drop was minted by us, so a deregister failure is a
+  // registry bug — surface it in the stats rather than swallowing it.
+  void drop(MemHandle h) {
+    if (nic_.deregister_memory(h) != Status::kSuccess) {
+      nic_.fabric().stats().add("via.dereg_failures");
+    }
+  }
+
   struct Entry {
     std::uintptr_t base;
     std::size_t len;

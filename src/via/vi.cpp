@@ -310,13 +310,46 @@ Status Vi::post_send(Descriptor& d) {
   sim::Fabric& fabric = nic_.fabric();
   const bool lenient = !attrs_.strict_no_recv_error;
 
+  // Consult the fabric's fault plan (inert unless a test armed it). A drop
+  // on a reliable VI is a delivery-guarantee violation: VIA semantics are
+  // that the connection breaks and the descriptor flushes. On an unreliable
+  // VI the message just vanishes.
+  const sim::TransferFault tf =
+      fabric.faults().on_transfer(conn_name_, src, dst);
+  if (tf.drop) {
+    fabric.stats().add("fault.transfer_drops");
+    if (attrs_.reliability == ReliabilityLevel::kUnreliable) {
+      d.status = DescStatus::kSuccess;  // fire-and-forget; nothing arrives
+      d.length = static_cast<std::uint32_t>(total);
+      d.done_at = wire_start;
+    } else {
+      fault_break(peer, actor->now());
+      d.status = DescStatus::kFlushed;
+      d.done_at = actor->now();
+    }
+    unpin_peer(pin);
+    complete_send(d);
+    return Status::kSuccess;
+  }
+  const Time faulted_start = wire_start + tf.delay;
+  if (tf.delay != 0) fabric.stats().add("fault.transfer_delays");
+
   switch (d.op) {
     case Opcode::kSend: {
       const Time arrival =
-          fabric.transfer(src, dst, kWireHeaderBytes + total, wire_start);
+          fabric.transfer(src, dst, kWireHeaderBytes + total, faulted_start);
       DepositOutcome out = peer->deposit(&d, static_cast<std::uint32_t>(total),
                                          d.has_immediate, d.immediate, arrival,
                                          lenient);
+      if (tf.duplicate && out.sender_status == DescStatus::kSuccess) {
+        // Deliver the same message a second time (e.g. a spurious transport
+        // retransmit); exercises duplicate suppression upstairs.
+        fabric.stats().add("fault.transfer_dups");
+        const Time again =
+            fabric.transfer(src, dst, kWireHeaderBytes + total, arrival);
+        (void)peer->deposit(&d, static_cast<std::uint32_t>(total),
+                            d.has_immediate, d.immediate, again, lenient);
+      }
       d.status = out.sender_status;
       d.length = static_cast<std::uint32_t>(total);
       d.done_at = attrs_.reliability == ReliabilityLevel::kReliableReception
@@ -347,7 +380,7 @@ Status Vi::post_send(Descriptor& d) {
         off += seg.len;
       }
       const Time arrival =
-          fabric.transfer(src, dst, kWireHeaderBytes + total, wire_start);
+          fabric.transfer(src, dst, kWireHeaderBytes + total, faulted_start);
       if (d.has_immediate) {
         DepositOutcome out =
             peer->deposit(nullptr, static_cast<std::uint32_t>(total),
@@ -389,7 +422,7 @@ Status Vi::post_send(Descriptor& d) {
       }
       // Request goes out, data comes back: one round trip plus the payload.
       const Time req_arrival =
-          fabric.transfer(src, dst, kWireHeaderBytes, wire_start);
+          fabric.transfer(src, dst, kWireHeaderBytes, faulted_start);
       const Time arrival = fabric.transfer(
           dst, src, kWireHeaderBytes + total, req_arrival + cm.dma_setup);
       d.status = DescStatus::kSuccess;
@@ -427,9 +460,38 @@ Status Vi::post_send(Descriptor& d) {
     fabric.histograms().record(size_key, total);
   }
 
+  // Scheduled break: the Nth completion on a named connection succeeds, then
+  // the connection dies under the next operation.
+  if (d.status == DescStatus::kSuccess && !conn_name_.empty() &&
+      fabric.faults().on_conn_completion(conn_name_)) {
+    fabric.stats().add("fault.conn_breaks");
+    fault_break(peer, d.done_at);
+  }
+
   unpin_peer(pin);
   complete_send(d);
   return Status::kSuccess;
+}
+
+void Vi::fault_break(Vi* peer, Time t) {
+  if (peer != nullptr) {
+    {
+      std::lock_guard lock(peer->mu_);
+      if (peer->state_ == State::kConnected) {
+        peer->state_ = State::kError;
+        peer->flush_recvs_locked(t);
+      }
+    }
+    peer->cv_.notify_all();
+  }
+  {
+    std::lock_guard lock(mu_);
+    if (state_ == State::kConnected) {
+      state_ = State::kError;
+      flush_recvs_locked(t);
+    }
+  }
+  cv_.notify_all();
 }
 
 // ---------------------------------------------------------------------------
@@ -529,8 +591,15 @@ Status Vi::reap(std::deque<Descriptor*>& q, Descriptor*& out, bool block,
     std::unique_lock lock(mu_);
     if (q.empty()) {
       if (!block) return Status::kNotDone;
-      if (!bounded_wait(cv_, lock, timeout, [&] { return !q.empty(); })) {
-        return Status::kTimeout;
+      // A broken/disconnected VI will never complete more work: wake and
+      // report kConnectionLost instead of burning the full timeout (already
+      // delivered completions — including flushed ones — drain first).
+      auto live = [&] {
+        return state_ == State::kConnected || state_ == State::kIdle;
+      };
+      bounded_wait(cv_, lock, timeout, [&] { return !q.empty() || !live(); });
+      if (q.empty()) {
+        return live() ? Status::kTimeout : Status::kConnectionLost;
       }
     }
     d = q.front();

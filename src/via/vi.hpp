@@ -42,15 +42,17 @@ class Vi {
 
   // ---- posting ------------------------------------------------------------
   /// Post a receive descriptor (scatter list). Allowed before connection.
-  Status post_recv(Descriptor& d);
+  [[nodiscard]] Status post_recv(Descriptor& d);
   /// Post a send-side descriptor: kSend, kRdmaWrite or kRdmaRead.
-  Status post_send(Descriptor& d);
+  [[nodiscard]] Status post_send(Descriptor& d);
 
   // ---- reaping (per-VI; only when no CQ is attached to that queue) -------
-  Status send_done(Descriptor*& out);  // poll; kNotDone when empty
-  Status recv_done(Descriptor*& out);
-  Status send_wait(Descriptor*& out, std::chrono::milliseconds timeout);
-  Status recv_wait(Descriptor*& out, std::chrono::milliseconds timeout);
+  [[nodiscard]] Status send_done(Descriptor*& out);  // poll; kNotDone if empty
+  [[nodiscard]] Status recv_done(Descriptor*& out);
+  [[nodiscard]] Status send_wait(Descriptor*& out,
+                                 std::chrono::milliseconds timeout);
+  [[nodiscard]] Status recv_wait(Descriptor*& out,
+                                 std::chrono::milliseconds timeout);
 
   // ---- connection ----------------------------------------------------------
   /// Tear the connection down; flushes posted receives on both endpoints.
@@ -59,6 +61,9 @@ class Vi {
   State state() const;
   bool connected() const { return state() == State::kConnected; }
   const ViAttrs& attrs() const { return attrs_; }
+  /// Name-service key this connection was established under (fault plans
+  /// target connections by this name). Empty before establishment.
+  const std::string& conn_name() const { return conn_name_; }
   Nic& nic() const { return nic_; }
   /// Receive descriptors currently posted (credit accounting upstairs).
   std::size_t posted_recvs() const;
@@ -110,6 +115,10 @@ class Vi {
   void complete_recv_locked(Descriptor& d);   // mu_ held
   void flush_recvs_locked(sim::Time t);
 
+  /// Injected transport failure: both endpoints go to error state and flush
+  /// their posted receives so blocked reapers wake with kConnectionLost.
+  void fault_break(Vi* peer, sim::Time t);
+
   Status reap(std::deque<Descriptor*>& q, Descriptor*& out, bool block,
               std::chrono::milliseconds timeout);
 
@@ -117,6 +126,7 @@ class Vi {
   ViAttrs attrs_;
   CompletionQueue* send_cq_;
   CompletionQueue* recv_cq_;
+  std::string conn_name_;  // written during establishment only
   std::shared_ptr<Channel> chan_;
 
   mutable std::mutex mu_;
@@ -138,10 +148,10 @@ class Listener {
   Listener& operator=(const Listener&) = delete;
 
   /// Wait for a connection request and bind it to `vi` (which must be idle).
-  Status accept(Vi& vi, std::chrono::milliseconds timeout);
+  [[nodiscard]] Status accept(Vi& vi, std::chrono::milliseconds timeout);
 
   /// Wait for a request and refuse it.
-  Status reject(std::chrono::milliseconds timeout);
+  [[nodiscard]] Status reject(std::chrono::milliseconds timeout);
 
   const std::string& service() const { return service_; }
 
