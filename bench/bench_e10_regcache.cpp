@@ -17,10 +17,10 @@ double per_op_us(bool cache_on, std::size_t size) {
   sim::ActorScope scope(*bed.client_actor);
   auto fh = bed.session->open("/f", dafs::kOpenCreate).value();
   auto data = make_data(size, 3);
-  bed.session->pwrite(fh, 0, data);  // warm store + (maybe) cache
+  bench::require(bed.session->pwrite(fh, 0, data), "pwrite");  // warm store + (maybe) cache
   constexpr int kIters = 20;
   const sim::Time t0 = bed.client_actor->now();
-  for (int i = 0; i < kIters; ++i) bed.session->pwrite(fh, 0, data);
+  for (int i = 0; i < kIters; ++i) bench::require(bed.session->pwrite(fh, 0, data), "pwrite");
   return sim::to_usec(bed.client_actor->now() - t0) / kIters;
 }
 

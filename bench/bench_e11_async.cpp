@@ -15,7 +15,7 @@ double throughput(std::size_t size, int depth, int total_ops) {
   sim::ActorScope scope(*bed.client_actor);
   auto fh = bed.session->open("/f", dafs::kOpenCreate).value();
   auto data = make_data(size, 4);
-  bed.session->pwrite(fh, 0, data);  // warm
+  bench::require(bed.session->pwrite(fh, 0, data), "pwrite");  // warm
   std::vector<std::vector<std::byte>> bufs(static_cast<std::size_t>(depth),
                                            std::vector<std::byte>(size));
   const sim::Time t0 = bed.client_actor->now();
@@ -29,7 +29,7 @@ double throughput(std::size_t size, int depth, int total_ops) {
       inflight.push_back(op.value());
       ++submitted;
     }
-    bed.session->wait(inflight.front());
+    bench::require_ok(bed.session->wait(inflight.front()), "wait");
     inflight.erase(inflight.begin());
     ++completed;
   }

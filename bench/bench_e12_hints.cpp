@@ -40,16 +40,18 @@ double run_collective(const mpiio::Info& info) {
         static_cast<std::uint32_t>(c.rank()) * kBlock};
     auto ft =
         mpi::Datatype::subarray(sizes, subsizes, starts, mpi::Datatype::byte());
-    f->set_view(0, mpi::Datatype::byte(), ft);
+    bench::require_ok(f->set_view(0, mpi::Datatype::byte(), ft), "set_view");
     auto data = make_data(kBlock * kTiles, 40 + c.rank());
     c.barrier();
     const sim::Time t0 = c.actor().now();
-    f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte());
+    bench::require(
+        f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte()),
+        "write_at_all");
     std::uint64_t dt = c.actor().now() - t0;
     std::vector<std::uint64_t> mv = {dt};
     c.allreduce(std::span<std::uint64_t>(mv), mpi::Op::kMax);
     if (c.rank() == 0) elapsed.store(mv[0]);
-    f->close();
+    bench::require_ok(f->close(), "close");
   });
   return mbps(static_cast<std::uint64_t>(kNp) * kBlock * kTiles,
               elapsed.load());
@@ -61,7 +63,7 @@ double run_sieving(const char* ds_read) {
   // A single client reading 4 KiB of every 16 KiB out of 1 MiB.
   auto fh = bed.session->open("/sv.dat", dafs::kOpenCreate).value();
   auto data = make_data(1 << 20, 9);
-  bed.session->pwrite(fh, 0, data);
+  bench::require(bed.session->pwrite(fh, 0, data), "pwrite");
 
   // Drive through MPI-IO with np=1.
   mpi::WorldConfig cfg;
@@ -80,12 +82,14 @@ double run_sieving(const char* ds_read) {
     auto ft = mpi::Datatype::resized(
         mpi::Datatype::hvector(1, 4096, 16384, mpi::Datatype::byte()), 0,
         16384);
-    f->set_view(0, mpi::Datatype::byte(), ft);
+    bench::require_ok(f->set_view(0, mpi::Datatype::byte(), ft), "set_view");
     std::vector<std::byte> back(64 * 4096);
     const sim::Time t0 = c.actor().now();
-    f->read_at(0, back.data(), back.size(), mpi::Datatype::byte());
+    bench::require(
+        f->read_at(0, back.data(), back.size(), mpi::Datatype::byte()),
+        "read_at");
     elapsed.store(c.actor().now() - t0);
-    f->close();
+    bench::require_ok(f->close(), "close");
   });
   return mbps(64 * 4096, elapsed.load());
 }

@@ -25,18 +25,18 @@ Point run_mode(bool force_inline, std::size_t size, int iters) {
   auto data = make_data(size, 42);
 
   // Warm the file (and the store slabs) before timing.
-  bed.session->pwrite(fh, 0, data);
+  bench::require(bed.session->pwrite(fh, 0, data), "pwrite");
 
   const sim::Time w0 = bed.client_actor->now();
   for (int i = 0; i < iters; ++i) {
-    bed.session->pwrite(fh, (static_cast<std::uint64_t>(i) % 8) * size, data);
+    bench::require(bed.session->pwrite(fh, (static_cast<std::uint64_t>(i) % 8) * size, data), "pwrite");
   }
   const sim::Time wt = bed.client_actor->now() - w0;
 
   std::vector<std::byte> back(size);
   const sim::Time r0 = bed.client_actor->now();
   for (int i = 0; i < iters; ++i) {
-    bed.session->pread(fh, (static_cast<std::uint64_t>(i) % 8) * size, back);
+    bench::require(bed.session->pread(fh, (static_cast<std::uint64_t>(i) % 8) * size, back), "pread");
   }
   const sim::Time rt = bed.client_actor->now() - r0;
 

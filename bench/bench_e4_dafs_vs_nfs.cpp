@@ -18,16 +18,16 @@ Point run_dafs(std::size_t size, int iters) {
   sim::ActorScope scope(*bed.client_actor);
   auto fh = bed.session->open("/bench.dat", dafs::kOpenCreate).value();
   auto data = make_data(size, 1);
-  bed.session->pwrite(fh, 0, data);
+  bench::require(bed.session->pwrite(fh, 0, data), "pwrite");
   const sim::Time w0 = bed.client_actor->now();
   for (int i = 0; i < iters; ++i) {
-    bed.session->pwrite(fh, (static_cast<std::uint64_t>(i) % 8) * size, data);
+    bench::require(bed.session->pwrite(fh, (static_cast<std::uint64_t>(i) % 8) * size, data), "pwrite");
   }
   const sim::Time wt = bed.client_actor->now() - w0;
   std::vector<std::byte> back(size);
   const sim::Time r0 = bed.client_actor->now();
   for (int i = 0; i < iters; ++i) {
-    bed.session->pread(fh, (static_cast<std::uint64_t>(i) % 8) * size, back);
+    bench::require(bed.session->pread(fh, (static_cast<std::uint64_t>(i) % 8) * size, back), "pread");
   }
   const sim::Time rt = bed.client_actor->now() - r0;
   const std::uint64_t total = static_cast<std::uint64_t>(iters) * size;
@@ -39,16 +39,16 @@ Point run_nfs(std::size_t size, int iters) {
   sim::ActorScope scope(*bed.client_actor);
   auto ino = bed.client->open("/bench.dat", nfs::kOpenCreate).value();
   auto data = make_data(size, 2);
-  bed.client->pwrite(ino, 0, data);
+  bench::require(bed.client->pwrite(ino, 0, data), "pwrite");
   const sim::Time w0 = bed.client_actor->now();
   for (int i = 0; i < iters; ++i) {
-    bed.client->pwrite(ino, (static_cast<std::uint64_t>(i) % 8) * size, data);
+    bench::require(bed.client->pwrite(ino, (static_cast<std::uint64_t>(i) % 8) * size, data), "pwrite");
   }
   const sim::Time wt = bed.client_actor->now() - w0;
   std::vector<std::byte> back(size);
   const sim::Time r0 = bed.client_actor->now();
   for (int i = 0; i < iters; ++i) {
-    bed.client->pread(ino, (static_cast<std::uint64_t>(i) % 8) * size, back);
+    bench::require(bed.client->pread(ino, (static_cast<std::uint64_t>(i) % 8) * size, back), "pread");
   }
   const sim::Time rt = bed.client_actor->now() - r0;
   const std::uint64_t total = static_cast<std::uint64_t>(iters) * size;

@@ -34,16 +34,16 @@ Cpu dafs_case(std::size_t size, bool force_inline, bool reading) {
   sim::ActorScope scope(*bed.client_actor);
   auto fh = bed.session->open("/f", dafs::kOpenCreate).value();
   auto data = make_data(size, 7);
-  bed.session->pwrite(fh, 0, data);  // warm
+  bench::require(bed.session->pwrite(fh, 0, data), "pwrite");  // warm
   constexpr int kIters = 16;
   bed.fabric.histograms().reset();  // measured loop only
   bed.client_actor->reset_busy();
   std::vector<std::byte> back(size);
   for (int i = 0; i < kIters; ++i) {
     if (reading) {
-      bed.session->pread(fh, 0, back);
+      bench::require(bed.session->pread(fh, 0, back), "pread");
     } else {
-      bed.session->pwrite(fh, 0, data);
+      bench::require(bed.session->pwrite(fh, 0, data), "pwrite");
     }
   }
   emit_histogram_json(

@@ -59,12 +59,15 @@ Point run(bool use_dafs, std::size_t size) {
     const std::uint64_t base =
         static_cast<std::uint64_t>(c.rank()) * size * kIters;
 
-    f->write_at(base, data.data(), size, mpi::Datatype::byte());  // warm
+    bench::require(f->write_at(base, data.data(), size, mpi::Datatype::byte()),
+                   "write_at");  // warm
     c.barrier();
     sim::Time t0 = c.actor().now();
     for (int i = 0; i < kIters; ++i) {
-      f->write_at(base + static_cast<std::uint64_t>(i) * size, data.data(),
-                  size, mpi::Datatype::byte());
+      bench::require(
+          f->write_at(base + static_cast<std::uint64_t>(i) * size, data.data(),
+                  size, mpi::Datatype::byte()),
+          "write_at");
     }
     std::uint64_t w = c.actor().now() - t0;
     std::vector<std::uint64_t> wv = {w};
@@ -74,8 +77,10 @@ Point run(bool use_dafs, std::size_t size) {
     c.barrier();
     t0 = c.actor().now();
     for (int i = 0; i < kIters; ++i) {
-      f->read_at(base + static_cast<std::uint64_t>(i) * size, back.data(),
-                 size, mpi::Datatype::byte());
+      bench::require(
+          f->read_at(base + static_cast<std::uint64_t>(i) * size, back.data(),
+                 size, mpi::Datatype::byte()),
+          "read_at");
     }
     std::uint64_t r = c.actor().now() - t0;
     std::vector<std::uint64_t> rv = {r};
@@ -85,7 +90,7 @@ Point run(bool use_dafs, std::size_t size) {
       write_ns.store(wv[0]);
       read_ns.store(rv[0]);
     }
-    f->close();
+    bench::require_ok(f->close(), "close");
   });
 
   const std::uint64_t total =

@@ -70,10 +70,11 @@ double run(bool use_dafs, int np, Mode mode, bool writing) {
         static_cast<std::uint32_t>(c.rank()) * kBlock};
     auto ft =
         mpi::Datatype::subarray(sizes, subsizes, starts, mpi::Datatype::byte());
-    f->set_view(0, mpi::Datatype::byte(), ft);
+    bench::require_ok(f->set_view(0, mpi::Datatype::byte(), ft), "set_view");
 
     auto data = make_data(kBlock * kTiles, 10 + c.rank());
-    f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte());
+    bench::require(f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte()),
+        "write_at_all");
     c.barrier();
 
     const sim::Time t0 = c.actor().now();
@@ -83,26 +84,34 @@ double run(bool use_dafs, int np, Mode mode, bool writing) {
         for (int tile = 0; tile < kTiles; ++tile) {
           const std::uint64_t off = static_cast<std::uint64_t>(tile) * kBlock;
           if (writing) {
-            f->write_at(off, data.data() + tile * kBlock, kBlock,
-                        mpi::Datatype::byte());
+            bench::require(
+                f->write_at(off, data.data() + tile * kBlock, kBlock,
+                        mpi::Datatype::byte()),
+                "write_at");
           } else {
-            f->read_at(off, back.data() + tile * kBlock, kBlock,
-                       mpi::Datatype::byte());
+            bench::require(
+                f->read_at(off, back.data() + tile * kBlock, kBlock,
+                       mpi::Datatype::byte()),
+                "read_at");
           }
         }
         break;
       case Mode::kNative:
         if (writing) {
-          f->write_at(0, data.data(), data.size(), mpi::Datatype::byte());
+          bench::require(f->write_at(0, data.data(), data.size(), mpi::Datatype::byte()),
+              "write_at");
         } else {
-          f->read_at(0, back.data(), back.size(), mpi::Datatype::byte());
+          bench::require(f->read_at(0, back.data(), back.size(), mpi::Datatype::byte()),
+              "read_at");
         }
         break;
       case Mode::kCollective:
         if (writing) {
-          f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte());
+          bench::require(f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte()),
+              "write_at_all");
         } else {
-          f->read_at_all(0, back.data(), back.size(), mpi::Datatype::byte());
+          bench::require(f->read_at_all(0, back.data(), back.size(), mpi::Datatype::byte()),
+              "read_at_all");
         }
         break;
     }
@@ -110,7 +119,7 @@ double run(bool use_dafs, int np, Mode mode, bool writing) {
     std::vector<std::uint64_t> mv = {dt};
     c.allreduce(std::span<std::uint64_t>(mv), mpi::Op::kMax);
     if (c.rank() == 0) elapsed.store(mv[0]);
-    f->close();
+    bench::require_ok(f->close(), "close");
   });
   return mbps(static_cast<std::uint64_t>(np) * kBlock * kTiles,
               elapsed.load());

@@ -49,7 +49,8 @@ Row run(std::size_t size) {
                                          mpiio::dafs_driver(*session))
                            .value());
     auto data = make_data(size, 5);
-    f->write_at(0, data.data(), size, mpi::Datatype::byte());  // warm + reg
+    bench::require(f->write_at(0, data.data(), size, mpi::Datatype::byte()),
+        "write_at");  // warm + reg
 
     constexpr int kIters = 20;
     fabric.histograms().reset();  // distributions cover the measured loop only
@@ -57,7 +58,8 @@ Row run(std::size_t size) {
     const sim::BusyBreakdown server_before = server.worker_busy();
     const sim::Time t0 = c.actor().now();
     for (int i = 0; i < kIters; ++i) {
-      f->write_at(0, data.data(), size, mpi::Datatype::byte());
+      bench::require(f->write_at(0, data.data(), size, mpi::Datatype::byte()),
+          "write_at");
     }
     const sim::Time total = c.actor().now() - t0;
     const auto& cb = c.actor().busy();
@@ -75,7 +77,7 @@ Row run(std::size_t size) {
     emit_histogram_json(fabric, "e8_breakdown",
                         "{\"op\":\"write_at\",\"size\":" +
                             std::to_string(size) + "}");
-    f->close();
+    bench::require_ok(f->close(), "close");
   });
   return out;
 }
@@ -111,17 +113,21 @@ void collective_breakdown() {
         static_cast<std::uint32_t>(c.rank()) * kBlock};
     auto ft =
         mpi::Datatype::subarray(sizes, subsizes, starts, mpi::Datatype::byte());
-    f->set_view(0, mpi::Datatype::byte(), ft);
+    bench::require_ok(f->set_view(0, mpi::Datatype::byte(), ft), "set_view");
 
     auto data = make_data(kBlock * kTiles, 20 + c.rank());
-    f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte());
+    bench::require(f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte()),
+        "write_at_all");
     c.barrier();
     if (c.rank() == 0) fabric.histograms().reset();
     c.barrier();
 
-    f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte());
+    bench::require(f->write_at_all(0, data.data(), data.size(), mpi::Datatype::byte()),
+
+        "write_at_all");
     std::vector<std::byte> back(data.size());
-    f->read_at_all(0, back.data(), back.size(), mpi::Datatype::byte());
+    bench::require(f->read_at_all(0, back.data(), back.size(), mpi::Datatype::byte()),
+        "read_at_all");
     c.barrier();
     if (c.rank() == 0) {
       const auto snaps = fabric.histograms().snapshot_all();
@@ -141,7 +147,7 @@ void collective_breakdown() {
       emit_histogram_json(fabric, "e8_breakdown",
                           "{\"op\":\"write_read_at_all\",\"nprocs\":4}");
     }
-    f->close();
+    bench::require_ok(f->close(), "close");
   });
 }
 

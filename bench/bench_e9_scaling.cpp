@@ -33,9 +33,9 @@ double run_dafs(int nclients) {
                     ->open("/f" + std::to_string(i), dafs::kOpenCreate)
                     .value();
       auto data = make_data(kReq, 20 + i);
-      session->pwrite(fh, 0, data);  // warm
+      bench::require(session->pwrite(fh, 0, data), "pwrite");  // warm
       std::vector<std::byte> back(kReq);
-      for (int k = 0; k < kIters; ++k) session->pread(fh, 0, back);
+      for (int k = 0; k < kIters; ++k) bench::require(session->pread(fh, 0, back), "pread");
       done[static_cast<std::size_t>(i)] = actor.now();
     });
   }
@@ -62,9 +62,9 @@ double run_nfs(int nclients) {
       auto ino =
           client->open("/f" + std::to_string(i), nfs::kOpenCreate).value();
       auto data = make_data(kReq, 30 + i);
-      client->pwrite(ino, 0, data);
+      bench::require(client->pwrite(ino, 0, data), "pwrite");
       std::vector<std::byte> back(kReq);
-      for (int k = 0; k < kIters; ++k) client->pread(ino, 0, back);
+      for (int k = 0; k < kIters; ++k) bench::require(client->pread(ino, 0, back), "pread");
       done[static_cast<std::size_t>(i)] = actor.now();
     });
   }

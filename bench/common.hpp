@@ -30,6 +30,22 @@ inline void require_ok(via::Status st, const char* what) {
   }
 }
 
+/// Same contract for protocol statuses (mpiio::Err is dafs::PStatus).
+inline void require_ok(dafs::PStatus st, const char* what) {
+  if (st != dafs::PStatus::kOk) {
+    std::fprintf(stderr, "bench: %s failed: %s\n", what, dafs::to_string(st));
+    std::abort();
+  }
+}
+
+/// Unwrap a Result<T>, aborting loudly on error (timed loops must not
+/// silently measure failed operations).
+template <typename T>
+inline T require(sim::Expected<T, dafs::PStatus> r, const char* what) {
+  if (!r.ok()) require_ok(r.error(), what);
+  return std::move(r).value();
+}
+
 /// MB/s (1 MB = 1e6 bytes) from bytes moved in virtual nanoseconds.
 inline double mbps(std::uint64_t bytes, sim::Time ns) {
   if (ns == 0) return 0.0;
@@ -117,7 +133,7 @@ inline std::string fmt(double v, int prec = 1) {
 ///   {"bench": "<name>", "params": <object>,
 ///    "histograms": {"<key>": {"count": u64, "sum": u64, "min": u64,
 ///                             "max": u64, "mean": f64, "p50": u64,
-///                             "p95": u64}, ...}}
+///                             "p95": u64, "p99": u64}, ...}}
 /// Latency keys end in _ns (virtual nanoseconds), size keys in _bytes.
 /// Only histograms with at least one sample appear.
 inline void emit_histogram_json(sim::Fabric& fabric, const std::string& bench,
@@ -128,14 +144,16 @@ inline void emit_histogram_json(sim::Fabric& fabric, const std::string& bench,
   bool first = true;
   for (const auto& [key, s] : snaps) {
     std::printf("%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
-                "\"max\":%llu,\"mean\":%.1f,\"p50\":%llu,\"p95\":%llu}",
+                "\"max\":%llu,\"mean\":%.1f,\"p50\":%llu,\"p95\":%llu,"
+                "\"p99\":%llu}",
                 first ? "" : ",", key.c_str(),
                 static_cast<unsigned long long>(s.count),
                 static_cast<unsigned long long>(s.sum),
                 static_cast<unsigned long long>(s.min),
                 static_cast<unsigned long long>(s.max), s.mean(),
                 static_cast<unsigned long long>(s.p50()),
-                static_cast<unsigned long long>(s.p95()));
+                static_cast<unsigned long long>(s.p95()),
+                static_cast<unsigned long long>(s.quantile(0.99)));
     first = false;
   }
   std::printf("}}\n");

@@ -23,6 +23,14 @@ double cell(std::uint32_t r, std::uint32_t c) {
   return std::sin(0.001 * r) * 1000.0 + c;
 }
 
+/// Fail loudly instead of silently reporting numbers from a failed op.
+void expect_ok(mpiio::Err st, const char* what) {
+  if (st != mpiio::Err::kOk) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 mpiio::to_string(mpiio::error_class(st)));
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -62,11 +70,13 @@ int main() {
     const std::array<std::uint32_t, 2> row_start = {row0, 0};
     auto row_view = mpi::Datatype::subarray(sizes, row_sub, row_start,
                                             mpi::Datatype::float64());
-    file->set_view(0, mpi::Datatype::float64(), row_view);
+    expect_ok(file->set_view(0, mpi::Datatype::float64(), row_view),
+              "set_view");
 
     const sim::Time t0 = comm.actor().now();
-    file->write_at_all(0, block.data(), block.size(),
-                       mpi::Datatype::float64());
+    auto wr = file->write_at_all(0, block.data(), block.size(),
+                                 mpi::Datatype::float64());
+    if (!wr.ok()) expect_ok(wr.error(), "write_at_all");
     const sim::Time t_ckpt = comm.actor().now() - t0;
 
     // ---- restart: column-block decomposition ------------------------------
@@ -76,11 +86,14 @@ int main() {
     const std::array<std::uint32_t, 2> col_start = {0, col0};
     auto col_view = mpi::Datatype::subarray(sizes, col_sub, col_start,
                                             mpi::Datatype::float64());
-    file->set_view(0, mpi::Datatype::float64(), col_view);
+    expect_ok(file->set_view(0, mpi::Datatype::float64(), col_view),
+              "set_view");
 
     std::vector<double> cols(kN * kCols);
     const sim::Time t1 = comm.actor().now();
-    file->read_at_all(0, cols.data(), cols.size(), mpi::Datatype::float64());
+    auto rr = file->read_at_all(0, cols.data(), cols.size(),
+                                mpi::Datatype::float64());
+    if (!rr.ok()) expect_ok(rr.error(), "read_at_all");
     const sim::Time t_rest = comm.actor().now() - t1;
 
     // Verify the re-decomposed data.
@@ -98,7 +111,7 @@ int main() {
         comm.rank(), mb, sim::to_msec(t_ckpt),
         mb * 1000.0 / sim::to_msec(t_ckpt), sim::to_msec(t_rest),
         bad == 0 ? "verified" : "CORRUPT");
-    file->close();
+    expect_ok(file->close(), "close");
   });
   return 0;
 }

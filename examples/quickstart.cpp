@@ -40,15 +40,20 @@ int main() {
     std::vector<std::int32_t> mine(kCount);
     std::iota(mine.begin(), mine.end(), comm.rank() * 1'000'000);
     const std::uint64_t offset = comm.rank() * kCount * sizeof(std::int32_t);
-    file->write_at(offset, mine.data(), kCount, mpi::Datatype::int32());
+    auto wr = file->write_at(offset, mine.data(), kCount,
+                             mpi::Datatype::int32());
+    if (!wr.ok()) {
+      std::fprintf(stderr, "write_at failed: %s\n",
+                   mpiio::to_string(mpiio::error_class(wr.error())));
+    }
     comm.barrier();
 
     // 6. Read the next rank's slice and check it.
     const int next = (comm.rank() + 1) % comm.size();
     std::vector<std::int32_t> theirs(kCount);
-    file->read_at(next * kCount * sizeof(std::int32_t), theirs.data(), kCount,
-                  mpi::Datatype::int32());
-    bool ok = true;
+    auto rr = file->read_at(next * kCount * sizeof(std::int32_t),
+                            theirs.data(), kCount, mpi::Datatype::int32());
+    bool ok = rr.ok();
     for (std::uint64_t i = 0; i < kCount; ++i) {
       if (theirs[i] != static_cast<std::int32_t>(next * 1'000'000 + i)) {
         ok = false;
@@ -58,7 +63,10 @@ int main() {
     std::printf("rank %d: verified rank %d's slice: %s (modeled time %.2f ms)\n",
                 comm.rank(), next, ok ? "OK" : "CORRUPT",
                 sim::to_msec(comm.actor().now()));
-    file->close();
+    if (auto st = file->close(); st != mpiio::Err::kOk) {
+      std::fprintf(stderr, "close failed: %s\n",
+                   mpiio::to_string(mpiio::error_class(st)));
+    }
   });
 
   const auto stats = fabric.stats().snapshot();

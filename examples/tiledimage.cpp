@@ -43,9 +43,18 @@ int main() {
         for (std::uint32_t i = 0; i < image.size(); ++i) {
           image[i] = static_cast<std::byte>((i * 31) & 0xff);
         }
-        f->write_at(0, image.data(), image.size(), mpi::Datatype::byte());
+        auto w = f->write_at(0, image.data(), image.size(),
+                             mpi::Datatype::byte());
+        if (!w.ok()) {
+          std::fprintf(stderr, "image write failed: %s\n",
+                       mpiio::to_string(mpiio::error_class(w.error())));
+        }
       }
-      f->close();  // collective; includes the visibility barrier
+      // Collective; includes the visibility barrier.
+      if (auto st = f->close(); st != mpiio::Err::kOk) {
+        std::fprintf(stderr, "close failed: %s\n",
+                     mpiio::to_string(mpiio::error_class(st)));
+      }
     }
 
     // Each rank owns one tile per strategy run.
@@ -70,12 +79,22 @@ int main() {
       if (per_row) {
         // Naive: one request per tile row.
         for (std::uint32_t r = 0; r < kTile; ++r) {
-          f->read_at(static_cast<std::uint64_t>(tr + r) * kImage + tc,
-                     tile.data() + r * kTile, kTile, mpi::Datatype::byte());
+          if (!f->read_at(static_cast<std::uint64_t>(tr + r) * kImage + tc,
+                          tile.data() + r * kTile, kTile,
+                          mpi::Datatype::byte())
+                   .ok()) {
+            std::fprintf(stderr, "per-row read_at failed\n");
+          }
         }
       } else {
-        f->set_view(0, mpi::Datatype::byte(), tile_view);
-        f->read_at(0, tile.data(), tile.size(), mpi::Datatype::byte());
+        if (f->set_view(0, mpi::Datatype::byte(), tile_view) !=
+            mpiio::Err::kOk) {
+          std::fprintf(stderr, "set_view failed\n");
+        }
+        if (!f->read_at(0, tile.data(), tile.size(), mpi::Datatype::byte())
+                 .ok()) {
+          std::fprintf(stderr, "tile read_at failed\n");
+        }
       }
       const sim::Time dt = comm.actor().now() - t0;
       // Verify a few pixels.
@@ -92,7 +111,10 @@ int main() {
         std::printf("  %-28s %8.2f ms  (%s)\n", label, sim::to_msec(dt),
                     ok ? "verified" : "CORRUPT");
       }
-      f->close();
+      if (auto st = f->close(); st != mpiio::Err::kOk) {
+        std::fprintf(stderr, "close failed: %s\n",
+                     mpiio::to_string(mpiio::error_class(st)));
+      }
     };
 
     if (comm.rank() == 0) {

@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the standard build + full test suite, then an
 # AddressSanitizer/UBSan build running the fault-injection slice (ctest -L
-# fault), which stresses the recovery paths where lifetime bugs would hide.
+# fault) and the server crash/restart chaos slice (ctest -L chaos), which
+# stress the recovery paths where lifetime bugs would hide.
+#
+# Every ctest invocation runs under a per-test timeout so a hung recovery
+# path (the exact bug class the chaos suite hunts) fails the gate instead of
+# wedging it.
 #
 # Usage: scripts/tier1.sh [build-dir] [asan-build-dir]
 set -euo pipefail
@@ -10,15 +15,20 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 ASAN_BUILD="${2:-build-asan}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+# Generous per-test watchdog (seconds); sanitizer runs are several times
+# slower than the standard build.
+TEST_TIMEOUT="${TEST_TIMEOUT:-300}"
 
 echo "== tier1: standard build =="
 cmake -B "$BUILD" -S . >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
-ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS"
+ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
+  --timeout "$TEST_TIMEOUT"
 
-echo "== tier1: sanitizer leg (ASan+UBSan, fault label) =="
+echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos labels) =="
 cmake -B "$ASAN_BUILD" -S . -DDAFS_SANITIZE=ON >/dev/null
-cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault
-ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" -L fault
+cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault --target test_chaos
+ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" \
+  --timeout "$TEST_TIMEOUT" -L 'fault|chaos'
 
 echo "== tier1: all green =="

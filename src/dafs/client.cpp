@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 #include <thread>
 
@@ -21,6 +22,20 @@ constexpr int kLockRetries = 100'000;
 /// request_id of the resume handshake. Out of range of any slot index, so
 /// duplicate resume responses fall out of the normal path as stale.
 constexpr OpId kResumeReqId = 0xFFFFFFFFu;
+// Bound on how often one request may chase a restarting server through the
+// kBadSession-response path (each pass runs a full recover()); repeated
+// kBadSession beyond this means the server is crash-looping.
+constexpr int kSlotReclaimRetries = 4;
+
+/// Transport patience for one wait. With no deadline, the generous fixed
+/// kIoWait; with one, the deadline budget translated ns -> real time and
+/// floored so scheduling noise cannot starve a short-deadline request of its
+/// one chance to complete.
+std::chrono::milliseconds io_budget(std::uint64_t deadline_ns) {
+  if (deadline_ns == 0) return kIoWait;
+  return std::min(kIoWait, std::chrono::milliseconds(std::max<std::uint64_t>(
+                               100, deadline_ns / 1'000'000)));
+}
 }  // namespace
 
 namespace {
@@ -36,7 +51,9 @@ Session::Session(via::Nic& nic, ClientConfig cfg)
       cfg_(std::move(cfg)),
       ptag_(nic.create_ptag()),
       vi_(std::make_unique<via::Vi>(nic, session_vi_attrs(ptag_))),
-      backoff_rng_(cfg_.recovery_seed) {}
+      backoff_rng_(cfg_.recovery_seed) {
+  deadline_ns_ = cfg_.deadline_ns;
+}
 
 Result<std::unique_ptr<Session>> Session::connect(via::Nic& nic,
                                                   ClientConfig cfg) {
@@ -80,7 +97,9 @@ PStatus Session::do_connect() {
     if (sl.send_handle == via::kInvalidMemHandle) return PStatus::kNoResource;
     free_slots_.push_back(static_cast<OpId>(i));
   }
-  resume_buf_.resize(sizeof(MsgHeader));
+  // Full-size: lease reclaim runs open/lock RPCs (with path names) through
+  // this buffer while every regular slot is occupied by an in-flight request.
+  resume_buf_.resize(cfg_.msg_buf_size);
   resume_handle_ = nic_.register_memory(resume_buf_.data(), resume_buf_.size(),
                                         ptag_, {});
   if (resume_handle_ == via::kInvalidMemHandle) return PStatus::kNoResource;
@@ -92,6 +111,12 @@ PStatus Session::do_connect() {
     return st;
   }
   session_id_ = slots_[id.value()].resp.aux;
+  // Session ids are unique and never reused (they survive server restarts),
+  // so the first one makes a stable client identity for the durable
+  // duplicate filter unless the caller supplied its own.
+  if (client_id_ == 0) {
+    client_id_ = cfg_.client_id != 0 ? cfg_.client_id : session_id_;
+  }
   free_slot(id.value());
   nic_.fabric().stats().add("dafs.client_sessions");
   return PStatus::kOk;
@@ -129,6 +154,8 @@ Result<OpId> Session::alloc_slot() {
   Slot& sl = slots_[id];
   sl.in_use = true;
   sl.done = false;
+  sl.busy_retries = 0;
+  sl.reclaim_retries = 0;
   sl.user_buf = nullptr;
   sl.user_cap = 0;
   sl.payload.clear();
@@ -164,6 +191,18 @@ PStatus Session::transmit(OpId id) {
   // replay cache can recognize it.
   sl.seq = next_seq_++;
   msg.header().seq = sl.seq;
+  msg.header().client_id = client_id_;
+  msg.header().deadline =
+      deadline_ns_ == 0 ? 0 : actor->now() + deadline_ns_;
+  // Piggybacked cumulative ack: every seq below the oldest still-outstanding
+  // request has been answered, so the server may drop those replay entries.
+  std::uint32_t ack = sl.seq - 1;
+  for (const Slot& o : slots_) {
+    if (&o != &sl && o.in_use && !o.done && o.seq != 0 && o.seq <= ack) {
+      ack = o.seq - 1;
+    }
+  }
+  msg.header().ack_seq = ack;
   sl.proc = msg.header().proc;
   sl.wire_len = msg.wire_size();
   sl.t_submit = actor->now();
@@ -175,7 +214,7 @@ PStatus Session::transmit(OpId id) {
                        static_cast<std::uint32_t>(sl.wire_len)}};
   via::Descriptor* done = nullptr;
   if (vi_->post_send(sl.send_desc) == via::Status::kSuccess &&
-      vi_->send_wait(done, kIoWait) == via::Status::kSuccess &&
+      vi_->send_wait(done, io_budget(deadline_ns_)) == via::Status::kSuccess &&
       done->status == via::DescStatus::kSuccess) {
     return PStatus::kOk;
   }
@@ -188,7 +227,7 @@ PStatus Session::transmit(OpId id) {
 bool Session::pump_one() {
   for (;;) {
     via::Descriptor* d = nullptr;
-    if (vi_->recv_wait(d, kIoWait) != via::Status::kSuccess ||
+    if (vi_->recv_wait(d, io_budget(deadline_ns_)) != via::Status::kSuccess ||
         d->status != via::DescStatus::kSuccess) {
       // Connection died (or a fault flushed the receive ring). Recovery
       // retransmits everything in flight; responses arrive on the new VI.
@@ -252,10 +291,47 @@ bool Session::process_response(RecvBuf& rb) {
 
 PStatus Session::wait_slot(OpId id) {
   Slot& sl = slots_[id];
-  while (!sl.done) {
-    if (!pump_one()) return PStatus::kConnLost;
+  for (;;) {
+    while (!sl.done) {
+      if (!pump_one()) return PStatus::kConnLost;
+    }
+    if (sl.resp.status == PStatus::kBadSession &&
+        sl.reclaim_retries < kSlotReclaimRetries) {
+      // A kBadSession *response* (not a transport failure) means the server
+      // restarted but kept our idle VI alive: it forgot the session, not the
+      // connection. Rebuild its state from our leases and retransmit — the
+      // slot is marked un-done so recovery's replay includes it.
+      ++sl.reclaim_retries;
+      sl.done = false;
+      if (recover()) continue;
+      return PStatus::kConnLost;
+    }
+    if (sl.resp.status != PStatus::kBusy) return sl.resp.status;
+    // Shed by the server: honor the retry-after hint and retransmit, up to
+    // the slot's budget.
+    if (!busy_retry(id)) return sl.resp.status;
   }
-  return sl.resp.status;
+}
+
+bool Session::busy_retry(OpId id) {
+  Slot& sl = slots_[id];
+  const std::uint64_t retry_ns = sl.resp.aux;
+  // aux == 0 marks a deadline expiry, not overload: retrying cannot help.
+  if (retry_ns == 0 || sl.busy_retries >= cfg_.max_busy_retries) return false;
+  ++sl.busy_retries;
+  nic_.fabric().stats().add("dafs.busy_retries");
+  Actor* actor = Actor::current();
+  // Jittered virtual backoff per the server's hint, plus a real-time yield
+  // so the admission queue can actually drain before the retransmission.
+  actor->advance(retry_ns / 2 + backoff_rng_.below(retry_ns / 2 + 1));
+  std::this_thread::sleep_for(std::chrono::microseconds(500));
+  sl.done = false;
+  // A shed request never executed, so the fresh seq transmit() stamps is
+  // safe — this is a new submission, not a replay-protected retransmission.
+  if (transmit(id) == PStatus::kOk) return true;
+  sl.resp.status = PStatus::kConnLost;
+  sl.done = true;
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -287,9 +363,17 @@ bool Session::recover() {
     // the server can still RDMA against the same client buffers.
     vi_->disconnect();
     vi_ = std::make_unique<via::Vi>(nic_, session_vi_attrs(ptag_));
-    if (nic_.connect(*vi_, cfg_.service, kIoWait) != via::Status::kSuccess) {
-      continue;
+    // A crashed server takes its listener down for the whole (real-time)
+    // restart delay, not just an instant: poll through the outage instead of
+    // burning every recovery attempt against a void.
+    via::Status cst = via::Status::kNoMatchingListener;
+    for (int i = 0; i < 400 && cst == via::Status::kNoMatchingListener; ++i) {
+      cst = nic_.connect(*vi_, cfg_.service, kIoWait);
+      if (cst == via::Status::kNoMatchingListener) {
+        std::this_thread::sleep_for(5ms);
+      }
     }
+    if (cst != via::Status::kSuccess) continue;
     bool armed = true;
     for (auto& rb : recv_bufs_) {
       rb.desc = via::Descriptor{};
@@ -302,7 +386,11 @@ bool Session::recover() {
       }
     }
     if (!armed) continue;
-    if (!resume_session()) continue;
+    const ResumeOutcome ro = resume_session();
+    if (ro == ResumeOutcome::kFailed) continue;
+    // kBadSession after a reconnect means the server restarted and forgot
+    // us: rebuild its state from our leases before retransmitting.
+    if (ro == ResumeOutcome::kLostState && !reclaim_session()) continue;
     if (!retransmit_inflight()) continue;
     nic_.fabric().histograms().record("dafs.reconnect_ns",
                                       actor->now() - t0);
@@ -314,13 +402,13 @@ bool Session::recover() {
   return false;
 }
 
-bool Session::resume_session() {
+Session::RawResp Session::raw_rpc() {
+  RawResp r;
   MsgView msg(resume_buf_.data(), resume_buf_.size());
-  msg.header() = MsgHeader{};
-  msg.header().proc = Proc::kConnect;
-  msg.header().flags = kConnectResume;
   msg.header().request_id = kResumeReqId;
-  msg.header().aux = session_id_;  // the session we are reclaiming
+  msg.header().session_id = session_id_;
+  msg.header().seq = next_seq_++;
+  msg.header().client_id = client_id_;
 
   resume_desc_ = via::Descriptor{};
   resume_desc_.op = via::Opcode::kSend;
@@ -331,15 +419,14 @@ bool Session::resume_session() {
   if (vi_->post_send(resume_desc_) != via::Status::kSuccess ||
       vi_->send_wait(sd, kIoWait) != via::Status::kSuccess ||
       sd->status != via::DescStatus::kSuccess) {
-    return false;
+    return r;
   }
-  // The resume is the only request outstanding on this fresh VI, so the
-  // next response is its answer (anything else would be a protocol bug and
-  // is treated as a failed attempt).
+  // This RPC is the only request outstanding on the fresh VI, so the next
+  // response is its answer (anything else is treated as a failed attempt).
   via::Descriptor* d = nullptr;
   if (vi_->recv_wait(d, kIoWait) != via::Status::kSuccess ||
       d->status != via::DescStatus::kSuccess) {
-    return false;
+    return r;
   }
   RecvBuf* rb = nullptr;
   for (auto& b : recv_bufs_) {
@@ -350,14 +437,141 @@ bool Session::resume_session() {
   }
   assert(rb != nullptr);
   MsgView resp(rb->mem.data(), rb->mem.size());
-  const bool ok = resp.header().request_id == kResumeReqId &&
-                  resp.header().status == PStatus::kOk &&
-                  resp.header().aux == session_id_;
+  if (resp.header().request_id == kResumeReqId) {
+    r.transport_ok = true;
+    r.hdr = resp.header();
+    r.status = r.hdr.status;
+    if (r.hdr.data_len >= sizeof(fstore::Attrs)) {
+      std::memcpy(&r.attrs, resp.data_payload(), sizeof(r.attrs));
+      r.have_attrs = true;
+    }
+  } else {
+    nic_.fabric().stats().add("dafs.stale_responses");
+  }
   rb->desc = via::Descriptor{};
   rb->desc.segs = {via::DataSegment{
       rb->mem.data(), rb->handle, static_cast<std::uint32_t>(rb->mem.size())}};
-  if (vi_->post_recv(rb->desc) != via::Status::kSuccess) return false;
-  return ok;
+  if (vi_->post_recv(rb->desc) != via::Status::kSuccess) {
+    r.transport_ok = false;
+  }
+  return r;
+}
+
+Session::ResumeOutcome Session::resume_session() {
+  MsgView msg(resume_buf_.data(), resume_buf_.size());
+  msg.header() = MsgHeader{};
+  msg.header().proc = Proc::kConnect;
+  msg.header().flags = kConnectResume;
+  msg.header().aux = session_id_;  // the session we are reclaiming
+  const RawResp r = raw_rpc();
+  if (!r.transport_ok) return ResumeOutcome::kFailed;
+  if (r.status == PStatus::kOk && r.hdr.aux == session_id_) {
+    return ResumeOutcome::kResumed;
+  }
+  if (r.status == PStatus::kBadSession) return ResumeOutcome::kLostState;
+  return ResumeOutcome::kFailed;
+}
+
+bool Session::reclaim_session() {
+  auto& stats = nic_.fabric().stats();
+  Actor* actor = Actor::current();
+  // 1. A fresh session: the old identity died with the server.
+  {
+    MsgView msg(resume_buf_.data(), resume_buf_.size());
+    msg.header() = MsgHeader{};
+    msg.header().proc = Proc::kConnect;
+    const RawResp r = raw_rpc();
+    if (!r.transport_ok || r.status != PStatus::kOk) return false;
+    session_id_ = r.hdr.aux;
+  }
+  // 2. Re-open every leased path and validate that the handle still names
+  // the same file incarnation. A plain open — never create/truncate — so
+  // validation cannot destroy data.
+  for (const OpenLease& lease : leases_) {
+    if (stale_.count(lease.ino) != 0) continue;
+    bool is_stale = false;
+    for (int tries = 0;; ++tries) {
+      MsgView msg(resume_buf_.data(), resume_buf_.size());
+      msg.header() = MsgHeader{};
+      msg.header().proc = Proc::kOpen;
+      msg.set_name(lease.path);
+      const RawResp r = raw_rpc();
+      if (!r.transport_ok) return false;
+      if (r.status == PStatus::kBusy && tries < 200) {
+        actor->advance(std::max<std::uint64_t>(r.hdr.aux, 1'000));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      if (r.status == PStatus::kOk && r.hdr.ino == lease.ino &&
+          r.have_attrs && r.attrs.gen == lease.gen) {
+        break;  // same file, same incarnation: the handle survives
+      }
+      // Gone, replaced, or unreadable: the handle is stale for good.
+      is_stale = true;
+      break;
+    }
+    if (!is_stale) continue;
+    stale_.insert(lease.ino);
+    stats.add("dafs.stale_handles");
+    // In-flight requests against the stale handle complete locally with
+    // kStale — the server-side file they targeted no longer exists.
+    for (auto& sl : slots_) {
+      if (!sl.in_use || sl.done) continue;
+      MsgView m(sl.send_buf.data(), sl.send_buf.size());
+      if (m.header().ino == lease.ino) {
+        sl.resp = MsgHeader{};
+        sl.resp.status = PStatus::kStale;
+        sl.done = true;
+      }
+    }
+    std::erase_if(lock_leases_, [&](const LockLease& l) {
+      return l.ino == lease.ino;
+    });
+  }
+  // 3. Re-acquire leased byte-range locks, flagged as reclaims so the
+  // server's post-restart grace period admits them.
+  for (auto it = lock_leases_.begin(); it != lock_leases_.end();) {
+    const LockLease& l = *it;
+    PStatus st = PStatus::kOk;
+    for (int tries = 0;; ++tries) {
+      MsgView msg(resume_buf_.data(), resume_buf_.size());
+      msg.header() = MsgHeader{};
+      msg.header().proc = Proc::kLock;
+      msg.header().ino = l.ino;
+      msg.header().offset = l.start;
+      msg.header().len = l.len;
+      msg.header().aux =
+          (l.exclusive ? kLockExclusive : 0) | kLockReclaim;
+      const RawResp r = raw_rpc();
+      if (!r.transport_ok) return false;
+      st = r.status;
+      if ((st == PStatus::kBusy || st == PStatus::kLockConflict) &&
+          tries < 200) {
+        actor->advance(std::max<std::uint64_t>(r.hdr.aux, 20'000));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      break;
+    }
+    if (st == PStatus::kOk) {
+      ++it;
+    } else {
+      // The lock could not be re-established (another client raced into the
+      // range). The lease is gone; surface it in stats rather than deadlock.
+      stats.add("dafs.reclaim_lock_failures");
+      it = lock_leases_.erase(it);
+    }
+  }
+  // 4. Repoint still-pending requests at the new session before they are
+  // retransmitted.
+  for (auto& sl : slots_) {
+    if (sl.in_use && !sl.done) {
+      MsgView m(sl.send_buf.data(), sl.send_buf.size());
+      m.header().session_id = session_id_;
+    }
+  }
+  stats.add("dafs.session_reclaims");
+  return true;
 }
 
 bool Session::retransmit_inflight() {
@@ -374,6 +588,14 @@ bool Session::retransmit_inflight() {
   });
   for (const OpId id : pending) {
     Slot& sl = slots_[id];
+    // Restamp the wire identity with the *current* session: a reclaim that
+    // died partway (transport loss between the fresh connect and the lease
+    // replay) leaves slots carrying the dead session's id, and a later
+    // resume-only recovery would otherwise replay them verbatim into
+    // kBadSession forever. The seq is deliberately left untouched — it is
+    // the replay-protection key the server's dup filter matches on.
+    MsgView m(sl.send_buf.data(), sl.send_buf.size());
+    m.header().session_id = session_id_;
     sl.send_desc = via::Descriptor{};
     sl.send_desc.op = via::Opcode::kSend;
     sl.send_desc.segs = {
@@ -456,6 +678,7 @@ via::MemHandle Session::reg_for(const std::byte* buf, std::size_t len,
 Result<OpId> Session::submit_simple(Proc proc, std::string_view name, Fh fh,
                                     std::uint64_t offset, std::uint64_t len,
                                     std::uint64_t aux, std::uint16_t flags) {
+  if (fh.valid() && stale_.count(fh.ino) != 0) return PStatus::kStale;
   auto id = alloc_slot();
   if (!id.ok()) return id;
   Slot& sl = slots_[id.value()];
@@ -477,6 +700,7 @@ Result<OpId> Session::submit_simple(Proc proc, std::string_view name, Fh fh,
 
 Result<OpId> Session::submit_io(Proc proc, Fh fh, std::span<const IoVec> iovs,
                                 bool writing) {
+  if (fh.valid() && stale_.count(fh.ino) != 0) return PStatus::kStale;
   auto id = alloc_slot();
   if (!id.ok()) return id;
   Slot& sl = slots_[id.value()];
@@ -577,9 +801,51 @@ Result<Fh> Session::open(std::string_view path, std::uint16_t flags) {
   if (!id.ok()) return id.error();
   const PStatus st = wait_slot(id.value());
   const Fh fh{slots_[id.value()].resp.ino};
+  std::uint64_t gen = 0;
+  if (st == PStatus::kOk &&
+      slots_[id.value()].payload.size() >= sizeof(fstore::Attrs)) {
+    fstore::Attrs a;
+    std::memcpy(&a, slots_[id.value()].payload.data(), sizeof(a));
+    gen = a.gen;
+  }
   free_slot(id.value());
   if (st != PStatus::kOk) return st;
+  // Lease: enough client-side state to re-open and re-validate this handle
+  // ((ino, gen) names one file incarnation) after a server restart.
+  record_open_lease(path, fh.ino, gen);
   return fh;
+}
+
+void Session::record_open_lease(std::string_view path, fstore::Ino ino,
+                                std::uint64_t gen) {
+  for (auto& l : leases_) {
+    if (l.path == path) {
+      l.ino = ino;
+      l.gen = gen;
+      return;
+    }
+  }
+  leases_.push_back(OpenLease{std::string(path), ino, gen});
+}
+
+void Session::record_lock_lease(fstore::Ino ino, std::uint64_t start,
+                                std::uint64_t len, bool exclusive) {
+  for (auto& l : lock_leases_) {
+    if (l.ino == ino && l.start == start && l.len == len) {
+      l.exclusive = exclusive;
+      return;
+    }
+  }
+  lock_leases_.push_back(LockLease{ino, start, len, exclusive});
+}
+
+void Session::drop_lock_lease(fstore::Ino ino, std::uint64_t start,
+                              std::uint64_t len) {
+  const std::uint64_t re = len == 0 ? UINT64_MAX : start + len;
+  std::erase_if(lock_leases_, [&](const LockLease& l) {
+    const std::uint64_t le = l.len == 0 ? UINT64_MAX : l.start + l.len;
+    return l.ino == ino && l.start >= start && le <= re;
+  });
 }
 
 Result<fstore::Attrs> Session::getattr(Fh fh) {
@@ -843,6 +1109,9 @@ Result<bool> Session::test(OpId op, std::uint64_t* bytes) {
     }
   }
   if (!slots_[op].done) return false;
+  // A shed request goes back on the wire and reports "not yet done"; only a
+  // retry budget exhausted (or an expired deadline) surfaces the kBusy.
+  if (slots_[op].resp.status == PStatus::kBusy && busy_retry(op)) return false;
   if (bytes != nullptr) *bytes = slots_[op].resp.len;
   const PStatus st = slots_[op].resp.status;
   free_slot(op);
@@ -857,6 +1126,9 @@ Result<std::size_t> Session::wait_any(std::span<const OpId> ops,
     for (std::size_t i = 0; i < ops.size(); ++i) {
       Slot& sl = slots_[ops[i]];
       if (sl.in_use && sl.done) {
+        if (sl.resp.status == PStatus::kBusy && busy_retry(ops[i])) {
+          continue;  // back in flight
+        }
         if (bytes != nullptr) *bytes = sl.resp.len;
         free_slot(ops[i]);
         return i;
@@ -886,6 +1158,7 @@ PStatus Session::try_lock(Fh fh, std::uint64_t start, std::uint64_t len,
   if (!id.ok()) return id.error();
   const PStatus st = wait_slot(id.value());
   free_slot(id.value());
+  if (st == PStatus::kOk) record_lock_lease(fh.ino, start, len, exclusive);
   return st;
 }
 
@@ -910,6 +1183,7 @@ PStatus Session::unlock(Fh fh, std::uint64_t start, std::uint64_t len) {
   if (!id.ok()) return id.error();
   const PStatus st = wait_slot(id.value());
   free_slot(id.value());
+  if (st == PStatus::kOk) drop_lock_lease(fh.ino, start, len);
   return st;
 }
 

@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "dafs/proto.hpp"
@@ -39,6 +40,15 @@ struct ClientConfig {
   std::uint64_t recovery_backoff_ns = 100'000;         // 100 us
   std::uint64_t recovery_backoff_cap_ns = 10'000'000;  // 10 ms
   std::uint64_t recovery_seed = 1;
+  /// Stable client identity for the server's durable duplicate filter
+  /// (exactly-once counters across server restarts). 0 = adopt the first
+  /// server-assigned session id, which is unique and never reused.
+  std::uint64_t client_id = 0;
+  /// Per-request deadline budget (virtual ns) stamped on every request;
+  /// 0 = no deadline. Runtime-adjustable via set_deadline().
+  std::uint64_t deadline_ns = 0;
+  /// Retransmissions of a kBusy-shed request before surfacing kBusy.
+  int max_busy_retries = 64;
 };
 
 /// An open file handle (DAFS handles carry more state; the inode suffices
@@ -120,11 +130,19 @@ class Session {
   PStatus set_counter(std::string_view key, std::uint64_t value);
 
   std::uint64_t session_id() const { return session_id_; }
+  std::uint64_t client_id() const { return client_id_; }
   via::Nic& nic() { return nic_; }
   const ClientConfig& config() const { return cfg_; }
   /// Registration-cache counters (hits/misses/evictions).
   std::uint64_t reg_cache_hits() const { return reg_hits_; }
   std::uint64_t reg_cache_misses() const { return reg_misses_; }
+  /// Change the per-request deadline budget (virtual ns, 0 = none).
+  void set_deadline(std::uint64_t ns) { deadline_ns_ = ns; }
+  std::uint64_t deadline() const { return deadline_ns_; }
+  /// Handles invalidated by a server restart that found the file changed
+  /// underneath them (removed / recreated): ops on them return kStale.
+  bool is_stale(Fh fh) const { return stale_.count(fh.ino) != 0; }
+  std::size_t stale_count() const { return stale_.size(); }
 
  private:
   struct Slot {
@@ -132,6 +150,8 @@ class Session {
     bool done = false;
     Proc proc{};                 // procedure in flight (RTT attribution)
     std::uint32_t seq = 0;       // session sequence number of the request
+    int busy_retries = 0;        // kBusy retransmissions so far
+    int reclaim_retries = 0;     // kBadSession-triggered reclaims so far
     std::size_t wire_len = 0;    // request bytes (for retransmission)
     sim::Time t_submit = 0;      // virtual doorbell time of the request
     MsgHeader resp;
@@ -181,8 +201,33 @@ class Session {
   /// capped jittered exponential backoff between attempts. Returns false
   /// (and marks the session dead) once attempts are exhausted.
   bool recover();
-  bool resume_session();
+  enum class ResumeOutcome {
+    kFailed,     // transport error / garbled answer: retry the attempt
+    kResumed,    // server still had the session (connection-level failure)
+    kLostState,  // kBadSession: server restarted, reclaim from leases
+  };
+  ResumeOutcome resume_session();
+  /// Rebuild server-side state from client leases after a server restart:
+  /// fresh connect, re-open leased paths (validating (ino, gen) identity;
+  /// mismatches mark the handle stale), re-acquire leased byte-range locks
+  /// with kLockReclaim, then repoint in-flight requests at the new session.
+  bool reclaim_session();
   bool retransmit_inflight();
+  /// One synchronous RPC over the dedicated resume buffer (usable while all
+  /// regular slots are occupied by in-flight requests). The caller builds
+  /// the request in resume_buf_; identity/seq stamping happens here.
+  struct RawResp {
+    bool transport_ok = false;  // false: send/recv died, retry the attempt
+    PStatus status = PStatus::kProtoError;
+    MsgHeader hdr{};
+    fstore::Attrs attrs{};
+    bool have_attrs = false;
+  };
+  RawResp raw_rpc();
+  /// Retransmit a kBusy-shed request after honoring the retry-after hint.
+  /// False once the slot's retry budget is exhausted (or expiry was the
+  /// shed reason): the caller surfaces kBusy.
+  bool busy_retry(OpId id);
   /// Record the request's submit->response RTT into the fabric histogram
   /// registry, keyed by procedure ("dafs.rtt_ns.<proc>").
   void record_rtt(const Slot& sl);
@@ -198,6 +243,26 @@ class Session {
                              std::uint64_t offset, std::uint64_t len,
                              std::uint64_t aux, std::uint16_t flags);
 
+  /// Leases: the client-side record of server state it can rebuild after a
+  /// crash-restart wiped the server's volatile tables.
+  struct OpenLease {
+    std::string path;
+    fstore::Ino ino = fstore::kInvalidIno;
+    std::uint64_t gen = 0;  // (ino, gen) names one file incarnation
+  };
+  struct LockLease {
+    fstore::Ino ino = fstore::kInvalidIno;
+    std::uint64_t start = 0;
+    std::uint64_t len = 0;
+    bool exclusive = false;
+  };
+  void record_open_lease(std::string_view path, fstore::Ino ino,
+                         std::uint64_t gen);
+  void record_lock_lease(fstore::Ino ino, std::uint64_t start,
+                         std::uint64_t len, bool exclusive);
+  void drop_lock_lease(fstore::Ino ino, std::uint64_t start,
+                       std::uint64_t len);
+
   via::Nic& nic_;
   ClientConfig cfg_;
   via::ProtectionTag ptag_;
@@ -206,10 +271,16 @@ class Session {
   /// backing the session's buffers survive it.
   std::unique_ptr<via::Vi> vi_;
   std::uint64_t session_id_ = 0;
+  std::uint64_t client_id_ = 0;
+  std::uint64_t deadline_ns_ = 0;
   std::uint32_t next_seq_ = 1;
   bool dead_ = false;
   bool recovering_ = false;
   sim::Rng backoff_rng_;
+
+  std::vector<OpenLease> leases_;
+  std::vector<LockLease> lock_leases_;
+  std::unordered_set<fstore::Ino> stale_;
 
   std::vector<Slot> slots_;
   std::vector<OpId> free_slots_;

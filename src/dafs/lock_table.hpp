@@ -26,20 +26,48 @@ class LockTable {
     return true;
   }
 
+  /// Release [start, start+len) (len 0 = to EOF) from `owner`'s locks on
+  /// `ino`, POSIX-style: ranges wholly inside the request are dropped,
+  /// partially covered ranges are trimmed, and a range that strictly
+  /// contains the request is split in two. Returns true when any bytes were
+  /// released.
   bool release(std::uint64_t ino, std::uint64_t start, std::uint64_t len,
                std::uint64_t owner) {
     std::lock_guard lock(mu_);
     auto it = locks_.find(ino);
     if (it == locks_.end()) return false;
     auto& v = it->second;
-    for (std::size_t i = 0; i < v.size(); ++i) {
-      if (v[i].owner == owner && v[i].start == start && v[i].len == len) {
+    const std::uint64_t rs = start;
+    const std::uint64_t re = len == 0 ? UINT64_MAX : start + len;
+    bool any = false;
+    std::vector<Range> tails;  // split remainders, appended after the scan
+    for (std::size_t i = 0; i < v.size();) {
+      Range& l = v[i];
+      const std::uint64_t ls = l.start;
+      const std::uint64_t le = l.len == 0 ? UINT64_MAX : l.start + l.len;
+      if (l.owner != owner || le <= rs || re <= ls) {
+        ++i;
+        continue;
+      }
+      any = true;
+      const bool keeps_head = ls < rs;
+      const bool keeps_tail = le > re;
+      if (keeps_tail) {
+        Range t = l;
+        t.start = re;
+        t.len = le == UINT64_MAX ? 0 : le - re;
+        tails.push_back(t);
+      }
+      if (keeps_head) {
+        l.len = rs - ls;
+        ++i;
+      } else {
         v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
-        if (v.empty()) locks_.erase(it);
-        return true;
       }
     }
-    return false;
+    v.insert(v.end(), tails.begin(), tails.end());
+    if (v.empty()) locks_.erase(it);
+    return any;
   }
 
   /// Drop everything a session held (session teardown).
@@ -52,10 +80,29 @@ class LockTable {
     }
   }
 
+  /// Drop every lock on every inode — the table is volatile server state,
+  /// and a server crash forgets it wholesale (clients reclaim via lease).
+  void clear() {
+    std::lock_guard lock(mu_);
+    locks_.clear();
+  }
+
   std::size_t held(std::uint64_t ino) const {
     std::lock_guard lock(mu_);
     auto it = locks_.find(ino);
     return it == locks_.end() ? 0 : it->second.size();
+  }
+
+  /// Ranges `owner` holds on `ino` (tests / lease-reclaim verification).
+  std::size_t held_by(std::uint64_t ino, std::uint64_t owner) const {
+    std::lock_guard lock(mu_);
+    auto it = locks_.find(ino);
+    if (it == locks_.end()) return 0;
+    std::size_t n = 0;
+    for (const auto& l : it->second) {
+      if (l.owner == owner) ++n;
+    }
+    return n;
   }
 
  private:

@@ -97,6 +97,8 @@ enum class PStatus : std::uint8_t {
   kConnLost,     // transport failed and recovery exhausted its retries
   kNoResource,   // server/NIC out of resources (e.g. memory registration)
   kIo,           // backend storage error
+  kBusy,         // server shed the request (admission queue full / restart
+                 // grace period); retry-after hint (virtual ns) in aux
 };
 
 constexpr PStatus to_pstatus(fstore::Errc e) {
@@ -145,6 +147,7 @@ constexpr const char* to_string(PStatus s) {
     case PStatus::kConnLost: return "connection-lost";
     case PStatus::kNoResource: return "no-resource";
     case PStatus::kIo: return "io-error";
+    case PStatus::kBusy: return "busy";
   }
   return "?";
 }
@@ -161,6 +164,11 @@ inline constexpr std::uint16_t kConnectResume = 0x1;
 
 /// Lock flags (header.aux bit 0).
 inline constexpr std::uint64_t kLockExclusive = 0x1;
+/// Lock flags (header.aux bit 1): this acquire *reclaims* a lock the client
+/// already held before a server crash. Reclaims are admitted during the
+/// post-restart grace period, while fresh acquires get kBusy — so surviving
+/// clients can re-establish their state before new lock traffic races them.
+inline constexpr std::uint64_t kLockReclaim = 0x2;
 
 /// Fixed message header. The message body is: `name_len` bytes of name/path
 /// payload, then either `data_len` bytes of inline data or `nseg` packed
@@ -179,8 +187,22 @@ struct MsgHeader {
   std::uint32_t data_len = 0;
   std::uint32_t nseg = 0;
   std::uint32_t seq = 0;      // session sequence number (replay detection)
+  /// Absolute virtual-time deadline (ns) for this request; 0 = none. Stamped
+  /// by the client from the MPI-IO / session deadline and checked by the
+  /// server at admission: an already-expired request is shed with kBusy
+  /// rather than serviced into a void.
+  std::uint64_t deadline = 0;
+  /// Stable client identity surviving reconnects *and* server restarts
+  /// (unlike session_id, which a crashed server forgets). Keys the server's
+  /// durable duplicate filter for counter mutations.
+  std::uint64_t client_id = 0;
+  /// Cumulative acknowledgement: every response with seq <= ack_seq has been
+  /// received by this client. The server may evict acknowledged entries from
+  /// its replay cache — the piggybacked-ack bound on replay memory.
+  std::uint32_t ack_seq = 0;
+  std::uint32_t pad0 = 0;
 };
-static_assert(sizeof(MsgHeader) == 64, "wire header is one cache line");
+static_assert(sizeof(MsgHeader) == 88, "fixed wire header layout");
 
 /// One client-buffer segment in a direct-I/O request. Each segment carries
 /// its own file offset, so a single request can describe a scatter/gather

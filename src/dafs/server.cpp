@@ -20,10 +20,6 @@ namespace {
 using namespace std::chrono_literals;
 constexpr auto kPollPeriod = 50ms;
 constexpr auto kSendWait = std::chrono::milliseconds(5'000);
-/// Responses retained per session for replay. Far larger than any client's
-/// credit window (8), so a response is never pruned while its request can
-/// still be retransmitted.
-constexpr std::size_t kReplayWindow = 64;
 }  // namespace
 
 Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
@@ -35,6 +31,9 @@ Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
   // One switchboard drives fault injection at every layer: the store's read
   // paths consult the same plan the fabric uses for transfers.
   cfg_.store.faults = &fabric_.faults();
+  // The filer journals so sync is a durability barrier and crash() replays.
+  cfg_.store.journal_enabled = cfg_.journal;
+  admission_limit_.store(cfg_.admission_max_queue, std::memory_order_relaxed);
   // The store registers every buffer-cache slab with the NIC as it is
   // allocated; direct I/O then DMAs straight out of / into the cache.
   store_ = std::make_unique<fstore::FileStore>(
@@ -123,47 +122,140 @@ via::MemHandle Server::slab_handle(const std::byte* p) const {
 
 void Server::accept_loop() {
   ActorScope scope(*accept_actor_);
-  via::Listener listener(nic_, cfg_.service);
   while (running_.load()) {
-    // Build the session fully armed *before* accepting: receive buffers
-    // posted (legal on an idle VI) and the VI already registered with the
-    // dispatch map, so the client's first request — which can arrive the
-    // instant the handshake completes — always finds its session. The armed
-    // session is reused across accept timeouts and only consumed by a real
-    // connection (or destroyed at shutdown).
-    auto session = std::make_unique<Session>();
-    session->id = next_session_++;
-    session->vi = std::make_unique<via::Vi>(nic_, via::ViAttrs{}, nullptr,
-                                            &recv_cq_);
-    for (std::size_t i = 0; i < cfg_.recv_credits; ++i) {
-      auto buf = std::make_unique<MsgBuf>();
-      buf->mem.resize(cfg_.msg_buf_size);
-      buf->handle =
-          nic_.register_memory(buf->mem.data(), buf->mem.size(), ptag_, {});
-      buf->desc.segs = {DataSegment{
-          buf->mem.data(), buf->handle,
-          static_cast<std::uint32_t>(buf->mem.size())}};
-      const via::Status st = session->vi->post_recv(buf->desc);
-      assert(st == via::Status::kSuccess && "pre-arm post_recv on idle VI");
-      (void)st;
-      session->recv_bufs.push_back(std::move(buf));
-    }
-    via::Vi* vi = session->vi.get();
     {
-      std::lock_guard lock(sessions_mu_);
-      by_vi_.emplace(vi, session.get());
-      sessions_.push_back(std::move(session));
-    }
-    bool accepted = false;
-    while (running_.load()) {
-      if (listener.accept(*vi, kPollPeriod) == via::Status::kSuccess) {
-        accepted = true;
-        break;
+      // The listener lives only while the server is "up". Destroying it on a
+      // crash makes new connects fail with kNoMatchingListener — exactly what
+      // clients of a dead filer observe — until the restart delay elapses.
+      via::Listener listener(nic_, cfg_.service);
+      while (running_.load() && !crash_pending_.load()) {
+        // Build the session fully armed *before* accepting: receive buffers
+        // posted (legal on an idle VI) and the VI already registered with the
+        // dispatch map, so the client's first request — which can arrive the
+        // instant the handshake completes — always finds its session. The
+        // armed session is reused across accept timeouts and only consumed by
+        // a real connection (or abandoned on crash/shutdown).
+        auto session = std::make_unique<Session>();
+        session->id = next_session_++;
+        session->vi = std::make_unique<via::Vi>(nic_, via::ViAttrs{}, nullptr,
+                                                &recv_cq_);
+        for (std::size_t i = 0; i < cfg_.recv_credits; ++i) {
+          auto buf = std::make_unique<MsgBuf>();
+          buf->mem.resize(cfg_.msg_buf_size);
+          buf->handle =
+              nic_.register_memory(buf->mem.data(), buf->mem.size(), ptag_, {});
+          buf->desc.segs = {DataSegment{
+              buf->mem.data(), buf->handle,
+              static_cast<std::uint32_t>(buf->mem.size())}};
+          const via::Status st = session->vi->post_recv(buf->desc);
+          assert(st == via::Status::kSuccess && "pre-arm post_recv on idle VI");
+          (void)st;
+          session->recv_bufs.push_back(std::move(buf));
+        }
+        via::Vi* vi = session->vi.get();
+        {
+          std::lock_guard lock(sessions_mu_);
+          by_vi_.emplace(vi, session.get());
+          sessions_.push_back(std::move(session));
+        }
+        bool accepted = false;
+        while (running_.load() && !crash_pending_.load()) {
+          if (listener.accept(*vi, kPollPeriod) == via::Status::kSuccess) {
+            accepted = true;
+            break;
+          }
+        }
+        if (!accepted) break;  // crash/shutdown; armed session is abandoned
+        fabric_.stats().add("dafs.sessions");
       }
     }
-    if (!accepted) break;  // shutdown; the armed session dies in stop()
-    fabric_.stats().add("dafs.sessions");
+    if (!running_.load()) break;
+    // Reap sessions that slipped past the crash teardown: a session armed
+    // concurrently with do_crash re-enters the dispatch map after it was
+    // cleared, and a connection accepted in that window would otherwise be
+    // served straight through the outage. This runs on the arming thread
+    // after the listener died, so the sweep is complete by construction.
+    {
+      std::lock_guard lock(sessions_mu_);
+      for (auto& sess : sessions_) {
+        if (sess->closing) continue;
+        sess->closing = true;
+        if (sess->vi && sess->vi->state() != via::Vi::State::kIdle) {
+          sess->vi->disconnect();
+        }
+      }
+      by_vi_.clear();
+    }
+    // Down: hold the outage for the scheduled real-time delay, then come
+    // back with a fresh listener and a lease-reclaim grace period.
+    std::chrono::steady_clock::time_point until;
+    {
+      std::lock_guard lock(crash_mu_);
+      until = restart_at_;
+    }
+    while (running_.load() && std::chrono::steady_clock::now() < until) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    grace_until_.store((std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(cfg_.grace_period_ms))
+                           .time_since_epoch()
+                           .count());
+    crash_pending_.store(false);
+    fabric_.stats().add("dafs.server_restarts");
   }
+}
+
+bool Server::in_grace() const {
+  const std::int64_t until = grace_until_.load(std::memory_order_relaxed);
+  return until != 0 &&
+         std::chrono::steady_clock::now().time_since_epoch().count() < until;
+}
+
+void Server::inject_crash(std::uint64_t restart_delay_ms) {
+  do_crash(restart_delay_ms);
+}
+
+void Server::do_crash(std::uint64_t restart_delay_ms) {
+  std::lock_guard crash_lock(crash_mu_);
+  if (crash_pending_.load()) return;  // already down
+  restart_at_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(restart_delay_ms);
+  crash_count_.fetch_add(1);
+  fabric_.stats().add("dafs.server_crashes");
+  {
+    std::lock_guard lock(sessions_mu_);
+    for (auto& sess : sessions_) {
+      if (sess->closing) continue;
+      sess->closing = true;
+      {
+        std::lock_guard rlock(sess->replay_mu);
+        sess->replay.clear();
+        sess->replay_bytes = 0;
+      }
+      // Connected VIs die with the process. Idle (armed, pre-accept) VIs are
+      // left alone: the accept loop may be linking one right now, and the
+      // worker-side unknown-session fallback reaps that race.
+      if (sess->vi && sess->vi->state() != via::Vi::State::kIdle) {
+        sess->vi->disconnect();
+      }
+    }
+    by_vi_.clear();
+  }
+  locks_.clear();    // volatile: clients re-acquire via lease reclaim
+  store_->crash();   // un-synced data vanishes; journal replays durable image
+  // Publish last: the accept loop reads restart_at_ under crash_mu_ after
+  // observing the flag, so it never sees a stale restart time.
+  crash_pending_.store(true);
+}
+
+std::size_t Server::replay_cache_bytes() const {
+  std::lock_guard lock(sessions_mu_);
+  std::size_t total = 0;
+  for (const auto& s : sessions_) {
+    std::lock_guard rlock(s->replay_mu);
+    total += s->replay_bytes;
+  }
+  return total;
 }
 
 void Server::worker_loop(int idx) {
@@ -172,13 +264,28 @@ void Server::worker_loop(int idx) {
     via::Completion c;
     if (recv_cq_.wait(c, kPollPeriod) != via::Status::kSuccess) continue;
     if (c.desc->status != DescStatus::kSuccess) continue;  // flushed recv
+    // Scheduled crash: the fault plan may kill the server on this request.
+    // The tripping request dies unanswered, like every other in-flight op.
+    std::uint64_t restart_ms = 0;
+    if (fabric_.faults().on_server_request(worker_actors_[idx]->now(),
+                                           &restart_ms)) {
+      do_crash(restart_ms);
+      continue;
+    }
     Session* session = nullptr;
     {
       std::lock_guard lock(sessions_mu_);
       auto it = by_vi_.find(c.vi);
       if (it != by_vi_.end()) session = it->second;
     }
-    if (session == nullptr) continue;
+    if (session == nullptr) {
+      // A VI that delivered a request but has no session was connected across
+      // a crash teardown (accept raced do_crash). Kill it so the client fails
+      // fast and reconnects against the restarted listener instead of
+      // waiting out its I/O timeout.
+      c.vi->disconnect();
+      continue;
+    }
     // Recover which MsgBuf this descriptor belongs to.
     MsgBuf* req = nullptr;
     for (auto& b : session->recv_bufs) {
@@ -252,10 +359,35 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
     return;
   }
 
+  const Proc proc = req.header().proc;
+  const std::uint64_t t0 = actor->now();
+
+  // Piggybacked cumulative ack: everything the client has seen answered can
+  // leave the replay cache (and the durable duplicate filter).
+  if (req.header().ack_seq != 0) apply_ack(s, req.header());
+
+  // Admission control + deadlines. A request popped into an over-full queue,
+  // or one whose deadline already passed, is shed with kBusy + a retry-after
+  // hint instead of executed. Connection management always passes — a client
+  // that cannot even connect or disconnect can never drain the overload.
+  if (proc != Proc::kConnect && proc != Proc::kDisconnect) {
+    const std::size_t limit = admission_limit_.load(std::memory_order_relaxed);
+    const bool overloaded = limit == 0 || recv_cq_.pending() > limit;
+    const bool expired =
+        req.header().deadline != 0 && t0 > req.header().deadline;
+    if (overloaded || expired) {
+      resp.header().status = PStatus::kBusy;
+      resp.header().aux = overloaded ? cfg_.busy_retry_ns : 0;
+      fabric_.stats().add(overloaded ? "dafs.busy_shed"
+                                     : "dafs.deadline_expired");
+      send_response(s, out);
+      return;
+    }
+  }
+
   // Exactly-once replay: a retransmitted non-idempotent request whose
   // original execution already succeeded is answered with the cached
   // response, never re-applied.
-  const Proc proc = req.header().proc;
   const bool replay_protected = req.header().seq != 0 &&
                                 proc != Proc::kConnect && !is_idempotent(proc);
   if (replay_protected) {
@@ -331,10 +463,40 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
         req.header().seq,
         std::vector<std::byte>(out.mem.data(),
                                out.mem.data() + resp.wire_size())});
-    while (s.replay.size() > kReplayWindow) s.replay.pop_front();
+    s.replay_bytes += s.replay.back().bytes.size();
+    // Bounded by entry count and by bytes; the entry just added always
+    // survives (a retransmission of *this* request must find it).
+    while (s.replay.size() > 1 &&
+           (s.replay.size() > cfg_.replay_entries ||
+            s.replay_bytes > cfg_.replay_max_bytes)) {
+      if (s.replay.size() <= cfg_.replay_entries) {
+        fabric_.stats().add("dafs.replay_forced_evictions");
+      }
+      s.replay_bytes -= s.replay.front().bytes.size();
+      s.replay.pop_front();
+    }
   }
   fabric_.stats().add("dafs.requests");
+  fabric_.histograms().record("dafs.server_service_ns", actor->now() - t0);
   send_response(s, out);
+}
+
+void Server::apply_ack(Session& s, const MsgHeader& req) {
+  std::uint64_t evicted = 0;
+  {
+    std::lock_guard rlock(s.replay_mu);
+    for (auto it = s.replay.begin(); it != s.replay.end();) {
+      if (it->seq <= req.ack_seq) {
+        s.replay_bytes -= it->bytes.size();
+        it = s.replay.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (evicted > 0) fabric_.stats().add("dafs.replay_acked_evictions", evicted);
+  if (req.client_id != 0) store_->dup_forget(req.client_id, req.ack_seq);
 }
 
 void Server::do_resume(Session& s, MsgView& req, MsgView& resp) {
@@ -343,7 +505,11 @@ void Server::do_resume(Session& s, MsgView& req, MsgView& resp) {
   {
     std::lock_guard lock(sessions_mu_);
     for (auto& sess : sessions_) {
-      if (sess->id == old_id && sess.get() != &s) {
+      // A closing session is unresumable: either the client disconnected
+      // cleanly or the server crashed since — its locks, replay cache and
+      // un-synced writes are gone, and pretending otherwise would hide lost
+      // state. kBadSession tells the client to reclaim from its leases.
+      if (sess->id == old_id && sess.get() != &s && !sess->closing) {
         old = sess.get();
         break;
       }
@@ -358,6 +524,8 @@ void Server::do_resume(Session& s, MsgView& req, MsgView& resp) {
     {
       std::scoped_lock rlock(s.replay_mu, old->replay_mu);
       s.replay = std::move(old->replay);
+      s.replay_bytes = old->replay_bytes;
+      old->replay_bytes = 0;
     }
     s.id = old_id;
     old->closing = true;
@@ -514,8 +682,12 @@ void Server::do_namespace(MsgView& req, MsgView& resp) {
       resp.header().status = to_pstatus(store_->sync(req.header().ino));
       return;
     case Proc::kFetchAdd:
-      resp.header().aux = store_->counter_fetch_add(std::string(req.name()),
-                                                    req.header().aux);
+      // Exactly-once across crashes: the volatile replay cache dies with the
+      // server, so the store keeps a durable (client_id, seq) filter and
+      // returns the original old value to a retransmission.
+      resp.header().aux = store_->counter_fetch_add_once(
+          std::string(req.name()), req.header().aux, req.header().client_id,
+          req.header().seq);
       return;
     case Proc::kSetCounter:
       store_->counter_set(std::string(req.name()), req.header().aux);
@@ -657,6 +829,15 @@ void Server::do_write_direct(Session& s, MsgView& req, MsgView& resp) {
 void Server::do_lock(Session& s, MsgView& req, MsgView& resp) {
   Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
   if (req.header().proc == Proc::kLock) {
+    // Post-restart grace: only lease *reclaims* may take locks until the
+    // grace period ends, so surviving clients re-establish their ranges
+    // before fresh acquires can race into them.
+    if (in_grace() && !(req.header().aux & kLockReclaim)) {
+      resp.header().status = PStatus::kBusy;
+      resp.header().aux = cfg_.busy_retry_ns;
+      fabric_.stats().add("dafs.grace_rejections");
+      return;
+    }
     const bool ok = locks_.try_acquire(
         req.header().ino, req.header().offset, req.header().len, s.id,
         (req.header().aux & kLockExclusive) != 0);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -28,6 +29,27 @@ struct ServerConfig {
   /// Worker threads servicing the shared receive CQ.
   int workers = 1;
   fstore::Options store;
+  /// Write-ahead journal in the store (sync = durability barrier, crash
+  /// replay). Always copied into `store.journal_enabled`; the filer journals
+  /// by default — the NFS baseline and raw fstore users do not.
+  bool journal = true;
+  /// Admission bound: when a popped request finds more than this many
+  /// completions still pending in the receive CQ, it is shed with kBusy +
+  /// retry-after instead of executed. 0 admits nothing but connection
+  /// management (drain mode — deterministic overload for tests). Runtime
+  /// adjustable via set_admission_limit().
+  std::size_t admission_max_queue = 256;
+  /// Retry-after hint carried in a kBusy response (virtual ns).
+  std::uint64_t busy_retry_ns = 200'000;  // 200 us
+  /// Real-time window after a restart in which only lease *reclaims* may
+  /// take locks; fresh acquires are shed with kBusy so surviving clients can
+  /// re-establish state before new traffic races them.
+  std::uint64_t grace_period_ms = 50;
+  /// Replay-cache bounds per session: entry count and total cached response
+  /// bytes. Entries acknowledged by the client's piggybacked ack_seq are
+  /// evicted first; the byte cap forces out the oldest beyond it.
+  std::size_t replay_entries = 64;
+  std::size_t replay_max_bytes = 256 * 1024;
 };
 
 /// The DAFS file server ("filer"): accepts sessions over VIA, serves the
@@ -54,6 +76,25 @@ class Server {
   sim::BusyBreakdown worker_busy() const;
   std::size_t session_count() const;
 
+  /// Crash the server now (tests drive this directly; the FaultPlan's
+  /// crash_server_* arming takes the same path from a worker). All volatile
+  /// state — sessions, locks, replay caches, un-synced data — is discarded;
+  /// the listener goes away for `restart_delay_ms` of real time and the
+  /// server then restarts with a lease-reclaim grace period.
+  void inject_crash(std::uint64_t restart_delay_ms);
+  /// Times the server has crashed (and restarted) so far.
+  std::uint64_t crash_count() const { return crash_count_.load(); }
+  /// True while the server is down between crash and restart.
+  bool crashed() const { return crash_pending_.load(); }
+  /// True during the post-restart reclaim grace period.
+  bool in_grace() const;
+  /// Adjust the admission bound at runtime (see ServerConfig). 0 = drain.
+  void set_admission_limit(std::size_t n) {
+    admission_limit_.store(n, std::memory_order_relaxed);
+  }
+  /// Total bytes currently pinned by all sessions' replay caches.
+  std::size_t replay_cache_bytes() const;
+
  private:
   struct MsgBuf {
     std::vector<std::byte> mem;
@@ -79,12 +120,18 @@ class Server {
     /// exactly-once semantics for writes, creates, locks and counters.
     std::mutex replay_mu;
     std::deque<CachedResp> replay;
+    std::size_t replay_bytes = 0;  // under replay_mu
   };
 
   void accept_loop();
   void worker_loop(int idx);
   void handle_request(Session& s, MsgBuf& req, MsgBuf& out);
   void send_response(Session& s, MsgBuf& out);
+  /// Tear down all volatile state and schedule the restart (crash path).
+  void do_crash(std::uint64_t restart_delay_ms);
+  /// Evict replay entries (and durable dup-filter records) the client has
+  /// acknowledged via the piggybacked cumulative ack.
+  void apply_ack(Session& s, const MsgHeader& req);
   /// Post a send-side descriptor on the session VI and reap its completion.
   /// Caller must hold s.send_mu.
   via::DescStatus post_and_reap(Session& s, via::Descriptor& d);
@@ -126,6 +173,13 @@ class Server {
   std::uint64_t next_session_ = 1;
 
   std::atomic<bool> running_{false};
+  std::atomic<bool> crash_pending_{false};
+  std::atomic<std::uint64_t> crash_count_{0};
+  std::atomic<std::size_t> admission_limit_{0};
+  /// Grace-period end, steady_clock ticks since epoch (0 = no grace).
+  std::atomic<std::int64_t> grace_until_{0};
+  mutable std::mutex crash_mu_;
+  std::chrono::steady_clock::time_point restart_at_{};  // under crash_mu_
   std::thread accept_thread_;
   std::vector<std::thread> worker_threads_;
   std::vector<std::unique_ptr<sim::Actor>> worker_actors_;

@@ -20,6 +20,12 @@ FileStore::FileStore(Options opt,
   root.attrs.ino = kRootIno;
   root.attrs.is_dir = true;
   root.attrs.nlink = 2;
+  root.attrs.gen = next_gen_++;
+  // The root exists in the durable image from birth, so a crash of an empty
+  // (or journal-less) store still restarts with a valid file system.
+  DurableInode droot;
+  droot.attrs = root.attrs;
+  durable_.emplace(kRootIno, std::move(droot));
   inodes_.emplace(kRootIno, std::move(root));
 }
 
@@ -69,6 +75,137 @@ std::byte* FileStore::chunk_for_locked(Inode& node, std::uint64_t chunk_idx,
 void FileStore::free_file_data_locked(Inode& node) {
   for (auto& [idx, ptr] : node.chunks) free_chunks_.push_back(ptr);
   node.chunks.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Journal / durable image
+// ---------------------------------------------------------------------------
+
+void FileStore::mirror_meta_locked(Ino ino) {
+  if (!opt_.journal_enabled) return;
+  const Inode* n = find_locked(ino);
+  if (n == nullptr) {
+    durable_.erase(ino);
+    return;
+  }
+  DurableInode& d = durable_[ino];
+  d.attrs = n->attrs;
+  d.entries = n->entries;
+}
+
+void FileStore::apply_durable_write_locked(DurableInode& d, std::uint64_t off,
+                                           std::span<const std::byte> data) {
+  std::uint64_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = off + done;
+    const std::uint64_t ci = pos / opt_.chunk_size;
+    const std::uint64_t co = pos % opt_.chunk_size;
+    const std::uint64_t n_here =
+        std::min<std::uint64_t>(data.size() - done, opt_.chunk_size - co);
+    auto& chunk = d.chunks[ci];
+    if (chunk.size() != opt_.chunk_size) chunk.resize(opt_.chunk_size);
+    std::memcpy(chunk.data() + co, data.data() + done, n_here);
+    done += n_here;
+  }
+}
+
+void FileStore::durable_truncate_locked(DurableInode& d, std::uint64_t size) {
+  const std::uint64_t first_dead =
+      (size + opt_.chunk_size - 1) / opt_.chunk_size;
+  d.chunks.erase(d.chunks.lower_bound(first_dead), d.chunks.end());
+  if (size % opt_.chunk_size != 0) {
+    auto it = d.chunks.find(size / opt_.chunk_size);
+    if (it != d.chunks.end()) {
+      std::memset(it->second.data() + size % opt_.chunk_size, 0,
+                  opt_.chunk_size - size % opt_.chunk_size);
+    }
+  }
+}
+
+void FileStore::commit_intents_locked(Ino ino) {
+  const Inode* n = find_locked(ino);
+  std::size_t committed = 0;
+  for (auto it = journal_.begin(); it != journal_.end();) {
+    if (it->ino != ino) {
+      ++it;
+      continue;
+    }
+    if (n != nullptr) {
+      apply_durable_write_locked(durable_[ino], it->off, it->bytes);
+      committed += it->bytes.size();
+    }
+    journal_bytes_ -= it->bytes.size();
+    it = journal_.erase(it);
+  }
+  if (n != nullptr) {
+    DurableInode& d = durable_[ino];
+    d.attrs = n->attrs;
+    d.entries = n->entries;
+    // A truncate between write and sync must not resurrect dead bytes.
+    durable_truncate_locked(d, n->attrs.size);
+  }
+  if (committed > 0) stats_.add("fstore.journal_committed_bytes", committed);
+}
+
+void FileStore::record_intent_locked(Ino ino, std::uint64_t off,
+                                     std::span<const std::byte> data) {
+  if (!opt_.journal_enabled || data.empty()) return;
+  Intent intent;
+  intent.ino = ino;
+  intent.off = off;
+  intent.bytes.assign(data.begin(), data.end());
+  journal_bytes_ += intent.bytes.size();
+  journal_.push_back(std::move(intent));
+  stats_.add("fstore.journal_intents");
+  // Watermark write-back: an early commit is always legal (durability may
+  // only exceed the contract), and it bounds journal memory under sync-free
+  // streaming workloads.
+  while (journal_bytes_ > opt_.journal_autosync_bytes && !journal_.empty()) {
+    stats_.add("fstore.journal_autosyncs");
+    commit_intents_locked(journal_.front().ino);
+  }
+}
+
+void FileStore::sync_all() {
+  std::lock_guard lock(mu_);
+  while (!journal_.empty()) commit_intents_locked(journal_.front().ino);
+}
+
+std::size_t FileStore::journal_pending_bytes() const {
+  std::lock_guard lock(mu_);
+  return journal_bytes_;
+}
+
+void FileStore::crash() {
+  std::lock_guard lock(mu_);
+  stats_.add("fstore.crashes");
+  if (journal_bytes_ > 0) {
+    stats_.add("fstore.journal_dropped_bytes", journal_bytes_);
+  }
+  journal_.clear();
+  journal_bytes_ = 0;
+  // All volatile state dies: live inode table (chunks recycled into the free
+  // pool — slabs are NIC-registered and must never be freed), the cache
+  // model's LRU. next_ino_/next_gen_ survive (creates journal durably).
+  for (auto& [ino, node] : inodes_) free_file_data_locked(node);
+  inodes_.clear();
+  cache_.clear();
+  lru_.clear();
+  // Journal replay: rebuild the live tree from the durable image.
+  std::uint64_t replayed = 0;
+  for (const auto& [ino, d] : durable_) {
+    Inode n;
+    n.attrs = d.attrs;
+    n.entries = d.entries;
+    auto [it, inserted] = inodes_.emplace(ino, std::move(n));
+    for (const auto& [ci, bytes] : d.chunks) {
+      std::byte* chunk = chunk_for_locked(it->second, ci, /*allocate=*/true);
+      std::memcpy(chunk, bytes.data(),
+                  std::min<std::size_t>(bytes.size(), opt_.chunk_size));
+      replayed += bytes.size();
+    }
+  }
+  stats_.add("fstore.journal_replayed_bytes", replayed);
 }
 
 void FileStore::touch_cache_locked(Ino ino, std::uint64_t chunk_idx) {
@@ -149,9 +286,15 @@ Result<Ino> FileStore::insert_child_locked(Ino dir, std::string_view name,
   node.attrs.is_dir = is_dir;
   node.attrs.nlink = is_dir ? 2 : 1;
   node.attrs.mtime = now();
+  node.attrs.gen = next_gen_++;
   inodes_.emplace(ino, std::move(node));
   d->entries.emplace(std::string(name), ino);
   d->attrs.mtime = now();
+  // Creates are metadata: journaled durable immediately (both the new child
+  // and the parent's entry map), so the name — and its generation number —
+  // survives a crash even before any data is synced.
+  mirror_meta_locked(ino);
+  mirror_meta_locked(dir);
   return ino;
 }
 
@@ -175,13 +318,20 @@ Errc FileStore::remove(Ino dir, std::string_view name) {
   auto it = d->entries.find(std::string(name));
   if (it == d->entries.end()) return Errc::kNoEnt;
   Inode* child = find_locked(it->second);
+  const Ino child_ino = it->second;
   if (child != nullptr) {
     if (child->attrs.is_dir) return Errc::kIsDir;
     free_file_data_locked(*child);
-    inodes_.erase(it->second);
+    inodes_.erase(child_ino);
   }
   d->entries.erase(it);
   d->attrs.mtime = now();
+  if (opt_.journal_enabled) {
+    std::erase_if(journal_,
+                  [&](const Intent& i) { return i.ino == child_ino; });
+    mirror_meta_locked(child_ino);  // live gone -> erases the durable record
+    mirror_meta_locked(dir);
+  }
   stats_.add("fstore.removes");
   return Errc::kOk;
 }
@@ -197,9 +347,12 @@ Errc FileStore::rmdir(Ino dir, std::string_view name) {
   if (child == nullptr) return Errc::kStale;
   if (!child->attrs.is_dir) return Errc::kNotDir;
   if (!child->entries.empty()) return Errc::kNotEmpty;
-  inodes_.erase(it->second);
+  const Ino child_ino = it->second;
+  inodes_.erase(child_ino);
   d->entries.erase(it);
   d->attrs.mtime = now();
+  mirror_meta_locked(child_ino);
+  mirror_meta_locked(dir);
   return Errc::kOk;
 }
 
@@ -219,16 +372,23 @@ Errc FileStore::rename(Ino from_dir, std::string_view from, Ino to_dir,
   if (tgt != td->entries.end()) {
     Inode* existing = find_locked(tgt->second);
     if (existing != nullptr && existing->attrs.is_dir) return Errc::kIsDir;
+    const Ino dead = tgt->second;
     if (existing != nullptr) {
       free_file_data_locked(*existing);
-      inodes_.erase(tgt->second);
+      inodes_.erase(dead);
     }
     td->entries.erase(tgt);
+    if (opt_.journal_enabled) {
+      std::erase_if(journal_, [&](const Intent& i) { return i.ino == dead; });
+      mirror_meta_locked(dead);
+    }
   }
   fd->entries.erase(it);
   td->entries.emplace(std::string(to), moved);
   fd->attrs.mtime = now();
   td->attrs.mtime = now();
+  mirror_meta_locked(from_dir);
+  mirror_meta_locked(to_dir);
   return Errc::kOk;
 }
 
@@ -279,6 +439,17 @@ Errc FileStore::set_size(Ino ino, std::uint64_t size) {
   }
   n->attrs.size = size;
   n->attrs.mtime = now();
+  // set_size is metadata: durable immediately, including the truncation of
+  // already-durable chunks (and of any pending intents past the new EOF —
+  // folding them later must not resurrect dead bytes, which
+  // commit_intents_locked guarantees by re-truncating after the fold).
+  if (opt_.journal_enabled) {
+    auto it = durable_.find(ino);
+    if (it != durable_.end()) {
+      it->second.attrs = n->attrs;
+      durable_truncate_locked(it->second, size);
+    }
+  }
   return Errc::kOk;
 }
 
@@ -346,6 +517,7 @@ Result<std::uint64_t> FileStore::pwrite(Ino ino, std::uint64_t off,
   }
   n->attrs.size = std::max(n->attrs.size, off + in.size());
   n->attrs.mtime = now();
+  record_intent_locked(ino, off, in);
   if (Actor* actor = Actor::current()) {
     actor->charge(CostKind::kCopy,
                   static_cast<sim::Time>(static_cast<double>(in.size()) *
@@ -413,12 +585,33 @@ Errc FileStore::commit_write(Ino ino, std::uint64_t off, std::uint64_t len) {
   if (n->attrs.is_dir) return Errc::kIsDir;
   n->attrs.size = std::max(n->attrs.size, off + len);
   n->attrs.mtime = now();
+  // Direct (RDMA) writes land straight in the cache chunks, so the journal
+  // intent is captured here, from the chunks the DMA just filled.
+  if (opt_.journal_enabled && len > 0) {
+    std::vector<std::byte> data(len);
+    std::uint64_t done = 0;
+    while (done < len) {
+      const std::uint64_t pos = off + done;
+      const std::uint64_t ci = pos / opt_.chunk_size;
+      const std::uint64_t co = pos % opt_.chunk_size;
+      const std::uint64_t n_here = std::min(len - done, opt_.chunk_size - co);
+      const std::byte* chunk = chunk_for_locked(*n, ci, /*allocate=*/false);
+      if (chunk == nullptr) {
+        std::memset(data.data() + done, 0, n_here);
+      } else {
+        std::memcpy(data.data() + done, chunk + co, n_here);
+      }
+      done += n_here;
+    }
+    record_intent_locked(ino, off, data);
+  }
   return Errc::kOk;
 }
 
 Errc FileStore::sync(Ino ino) {
   std::lock_guard lock(mu_);
   if (find_locked(ino) == nullptr) return Errc::kStale;
+  commit_intents_locked(ino);
   stats_.add("fstore.syncs");
   return Errc::kOk;
 }
@@ -434,6 +627,32 @@ std::uint64_t FileStore::counter_fetch_add(const std::string& key,
 void FileStore::counter_set(const std::string& key, std::uint64_t value) {
   std::lock_guard lock(counters_mu_);
   counters_[key] = value;
+}
+
+std::uint64_t FileStore::counter_fetch_add_once(const std::string& key,
+                                                std::uint64_t delta,
+                                                std::uint64_t client_id,
+                                                std::uint32_t seq) {
+  std::lock_guard lock(counters_mu_);
+  const bool filtered = client_id != 0 && seq != 0;
+  if (filtered) {
+    auto it = dup_.find(DupKey{client_id, seq});
+    if (it != dup_.end()) {
+      stats_.add("fstore.dup_filter_hits");
+      return it->second;
+    }
+  }
+  const std::uint64_t old = counters_[key];
+  counters_[key] = old + delta;
+  if (filtered) dup_.emplace(DupKey{client_id, seq}, old);
+  return old;
+}
+
+void FileStore::dup_forget(std::uint64_t client_id, std::uint32_t upto_seq) {
+  std::lock_guard lock(counters_mu_);
+  std::erase_if(dup_, [&](const auto& kv) {
+    return kv.first.client_id == client_id && kv.first.seq <= upto_seq;
+  });
 }
 
 }  // namespace fstore

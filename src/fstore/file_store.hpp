@@ -48,6 +48,18 @@ struct Options {
   /// injected media errors). Not owned; the DAFS server wires the fabric's
   /// plan in here so one switchboard drives every layer.
   sim::FaultPlan* faults = nullptr;
+  /// Write-ahead intent journal + durable image, making `sync` a real
+  /// durability barrier: data writes are recorded as intents and only become
+  /// crash-durable when their inode is synced (all of an inode's un-synced
+  /// intents commit atomically — a torn multi-block write is never partially
+  /// visible after `crash()`); namespace/metadata ops and named counters are
+  /// journaled durable immediately. Off by default (the NFS baseline and raw
+  /// benches model an always-up store); the DAFS server turns it on.
+  bool journal_enabled = false;
+  /// Watermark on un-synced intent bytes: crossing it triggers an internal
+  /// write-back of every pending intent (an early sync is always legal), so
+  /// journal memory stays bounded under sync-free streaming workloads.
+  std::size_t journal_autosync_bytes = 32u << 20;
 };
 
 /// The file server's storage substrate: an in-memory inode-based file system
@@ -108,12 +120,38 @@ class FileStore {
       Ino ino, std::uint64_t off, std::uint64_t len);
   Errc commit_write(Ino ino, std::uint64_t off, std::uint64_t len);
 
+  /// Durability barrier: atomically commit every un-synced intent of `ino`
+  /// to the durable image. After it returns, the data survives `crash()`.
   Errc sync(Ino ino);
+  /// Commit every pending intent (all inodes).
+  void sync_all();
+
+  // ---- crash / restart ------------------------------------------------------
+  /// Simulate the server process dying and restarting: discard all volatile
+  /// state (un-synced intents, live inode table, buffer-cache model) and
+  /// rebuild from the durable image — i.e. replay the journal. Cache slabs
+  /// are recycled, never freed, so NIC registrations held against them stay
+  /// valid across the crash. Counters and the duplicate filter model
+  /// synchronously-journaled state and survive.
+  void crash();
+  /// Un-synced intent bytes currently pending in the journal.
+  std::size_t journal_pending_bytes() const;
 
   // ---- named atomic counters (DAFS extension backing MPI shared pointers) --
   /// Atomically add `delta` to the counter `key`, returning the old value.
   std::uint64_t counter_fetch_add(const std::string& key, std::uint64_t delta);
   void counter_set(const std::string& key, std::uint64_t value);
+  /// Exactly-once variant: if this (client_id, seq) mutation was already
+  /// applied — the client is retransmitting into a restarted server whose
+  /// volatile replay cache died — return the recorded old value instead of
+  /// re-applying. client_id == 0 or seq == 0 bypasses the filter.
+  std::uint64_t counter_fetch_add_once(const std::string& key,
+                                       std::uint64_t delta,
+                                       std::uint64_t client_id,
+                                       std::uint32_t seq);
+  /// Drop duplicate-filter records the client has acknowledged (all seqs
+  /// <= upto_seq), bounding filter memory.
+  void dup_forget(std::uint64_t client_id, std::uint32_t upto_seq);
 
   sim::Stats& stats() { return stats_; }
   const Options& options() const { return opt_; }
@@ -123,6 +161,23 @@ class FileStore {
     Attrs attrs;
     std::map<std::string, Ino> entries;           // directories
     std::map<std::uint64_t, std::byte*> chunks;   // files: chunk idx -> data
+  };
+
+  /// Durable twin of an Inode: attrs + directory entries mirrored on every
+  /// metadata op, file chunks updated only at sync (deep copies — the live
+  /// chunks are volatile cache).
+  struct DurableInode {
+    Attrs attrs;
+    std::map<std::string, Ino> entries;
+    std::map<std::uint64_t, std::vector<std::byte>> chunks;
+  };
+
+  /// One journaled write intent (data captured at write time, applied to the
+  /// durable image when the inode is synced).
+  struct Intent {
+    Ino ino = kInvalidIno;
+    std::uint64_t off = 0;
+    std::vector<std::byte> bytes;
   };
 
   Inode* find_locked(Ino ino);
@@ -135,12 +190,37 @@ class FileStore {
   void touch_cache_locked(Ino ino, std::uint64_t chunk_idx);
   std::uint64_t now() const;
 
+  // ---- journal internals (all under mu_) ----
+  /// Mirror attrs + entries of `ino` into the durable image (erases the
+  /// durable record if the live inode is gone). Metadata-durability step of
+  /// every namespace op.
+  void mirror_meta_locked(Ino ino);
+  /// Append a write intent for [off, off+data.size()) of `ino`; may trigger
+  /// an autosync write-back when the watermark is crossed.
+  void record_intent_locked(Ino ino, std::uint64_t off,
+                            std::span<const std::byte> data);
+  /// Fold all pending intents of `ino` into its durable chunks, then bring
+  /// durable attrs/size in line with the live inode.
+  void commit_intents_locked(Ino ino);
+  void apply_durable_write_locked(DurableInode& d, std::uint64_t off,
+                                  std::span<const std::byte> data);
+  /// Mirror of the live truncation logic for the durable chunk map.
+  void durable_truncate_locked(DurableInode& d, std::uint64_t size);
+
   Options opt_;
   std::function<void(std::span<std::byte>)> on_new_slab_;
 
   mutable std::mutex mu_;
   Ino next_ino_ = kRootIno + 1;
+  std::uint64_t next_gen_ = 1;
   std::unordered_map<Ino, Inode> inodes_;
+
+  // Journal + durable image. Creates are journaled durable-immediately, so
+  // next_ino_/next_gen_ never regress across a crash and handle (ino, gen)
+  // pairs stay unique for the lifetime of the store.
+  std::vector<Intent> journal_;
+  std::size_t journal_bytes_ = 0;
+  std::unordered_map<Ino, DurableInode> durable_;
 
   // Slab allocator for chunks.
   std::vector<std::unique_ptr<std::byte[]>> slabs_;
@@ -165,6 +245,22 @@ class FileStore {
 
   std::mutex counters_mu_;
   std::unordered_map<std::string, std::uint64_t> counters_;
+
+  // Durable duplicate filter for counter mutations: (client_id, seq) -> the
+  // old value returned when first applied. Survives crash() — models the
+  // synchronous journaling real filers give non-idempotent metadata RPCs.
+  struct DupKey {
+    std::uint64_t client_id;
+    std::uint32_t seq;
+    bool operator==(const DupKey&) const = default;
+  };
+  struct DupKeyHash {
+    std::size_t operator()(const DupKey& k) const {
+      return std::hash<std::uint64_t>()(k.client_id * 0x9e3779b97f4a7c15ULL ^
+                                        k.seq);
+    }
+  };
+  std::unordered_map<DupKey, std::uint64_t, DupKeyHash> dup_;
 
   sim::Stats stats_;
 };

@@ -45,6 +45,12 @@ struct Attrs {
   std::uint64_t size = 0;
   std::uint64_t mtime = 0;  // virtual-time stamp
   std::uint32_t nlink = 0;
+  /// Generation number: monotone per created inode, never reused. An
+  /// (ino, gen) pair names one incarnation of a file — a client re-opening a
+  /// path after a server restart compares gen to detect that "the same name"
+  /// is now a different file (removed and recreated), i.e. its handle is
+  /// stale in the NFS sense.
+  std::uint64_t gen = 0;
 };
 
 /// One directory entry.

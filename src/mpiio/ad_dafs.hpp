@@ -85,6 +85,8 @@ class AdDafs final : public AdioDriver {
   }
   bool supports_counters() const override { return true; }
 
+  void set_deadline(std::uint64_t ns) override { s_.set_deadline(ns); }
+
   const char* name() const override { return "dafs"; }
 
  private:

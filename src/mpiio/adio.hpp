@@ -35,6 +35,8 @@ enum class ErrClass : std::uint8_t {
   kAccess,      // MPI_ERR_ACCESS: permission / lock denied
   kNoSpace,     // MPI_ERR_NO_SPACE: device or NIC resources exhausted
   kIo,          // MPI_ERR_IO: transport lost or backend storage failure
+  kFile,        // MPI_ERR_FILE: the handle no longer names the file it was
+                // opened on (server restarted and found it removed/replaced)
 };
 
 constexpr ErrClass error_class(Err e) {
@@ -48,10 +50,13 @@ constexpr ErrClass error_class(Err e) {
     case Err::kInval: return ErrClass::kArg;
     case Err::kLockConflict: return ErrClass::kAccess;
     case Err::kNoResource: return ErrClass::kNoSpace;
-    case Err::kStale:
+    // A stale handle is not a transport hiccup: recovery reconnected fine but
+    // the file truly changed underneath the open. MPI_ERR_FILE, not _IO.
+    case Err::kStale: return ErrClass::kFile;
     case Err::kBadSession:
     case Err::kProtoError:
     case Err::kConnLost:
+    case Err::kBusy:  // deadline/backpressure budget exhausted end-to-end
     case Err::kIo: return ErrClass::kIo;
   }
   return ErrClass::kIo;
@@ -68,6 +73,7 @@ constexpr const char* to_string(ErrClass c) {
     case ErrClass::kAccess: return "MPI_ERR_ACCESS";
     case ErrClass::kNoSpace: return "MPI_ERR_NO_SPACE";
     case ErrClass::kIo: return "MPI_ERR_IO";
+    case ErrClass::kFile: return "MPI_ERR_FILE";
   }
   return "?";
 }
@@ -127,6 +133,11 @@ class AdioDriver {
                                                   std::uint64_t delta) = 0;
   virtual Err counter_set(const std::string& key, std::uint64_t value) = 0;
   virtual bool supports_counters() const = 0;
+
+  /// Per-request deadline budget (virtual ns) for all subsequent operations;
+  /// 0 = none. Plumbed from the MPI-IO "dafs_deadline_ms" hint down to the
+  /// transport. Default: drivers without deadline support ignore it.
+  virtual void set_deadline(std::uint64_t /*ns*/) {}
 
   virtual const char* name() const = 0;
 

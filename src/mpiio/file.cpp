@@ -64,6 +64,11 @@ Result<std::unique_ptr<File>> File::open(const mpi::Comm& comm,
   auto f = std::unique_ptr<File>(
       new File(comm, std::move(path), amode, info, std::move(driver)));
 
+  // The deadline hint applies to every request this file issues, including
+  // the opens below, so plumb it into the driver before anything else.
+  std::uint64_t deadline_ms = f->info_.get_uint("dafs_deadline_ms", 0);
+  if (deadline_ms != 0) f->driver_->set_deadline(deadline_ms * 1'000'000);
+
   std::uint16_t flags = 0;
   if (amode & kModeCreate) flags |= dafs::kOpenCreate;
   if (amode & kModeExcl) flags |= dafs::kOpenExcl;

@@ -13,6 +13,7 @@ void FaultPlan::arm(std::uint64_t seed) {
   reg_failures_left_ = 0;
   fstore_read_failures_left_ = 0;
   short_read_prob_ = 0.0;
+  crash_ = CrashRule{};
   armed_.store(false, std::memory_order_relaxed);
 }
 
@@ -24,13 +25,15 @@ void FaultPlan::clear() {
   reg_failures_left_ = 0;
   fstore_read_failures_left_ = 0;
   short_read_prob_ = 0.0;
+  crash_ = CrashRule{};
   armed_.store(false, std::memory_order_relaxed);
 }
 
 void FaultPlan::recompute_armed_locked() {
   const bool any = drop_prob_ > 0.0 || dup_prob_ > 0.0 || delay_prob_ > 0.0 ||
                    !breaks_.empty() || reg_failures_left_ > 0 ||
-                   fstore_read_failures_left_ > 0 || short_read_prob_ > 0.0;
+                   fstore_read_failures_left_ > 0 || short_read_prob_ > 0.0 ||
+                   crash_.armed;
   armed_.store(any, std::memory_order_relaxed);
 }
 
@@ -73,6 +76,25 @@ void FaultPlan::break_conn_after(std::string conn, std::uint64_t n,
 void FaultPlan::fail_next_registrations(std::uint64_t n) {
   std::lock_guard lock(mu_);
   reg_failures_left_ = n;
+  recompute_armed_locked();
+}
+
+void FaultPlan::crash_server_after_requests(std::uint64_t n,
+                                            std::uint64_t restart_delay_ms) {
+  std::lock_guard lock(mu_);
+  crash_ = CrashRule{};
+  crash_.armed = true;
+  crash_.after_requests = n == 0 ? 1 : n;
+  crash_.restart_delay_ms = restart_delay_ms;
+  recompute_armed_locked();
+}
+
+void FaultPlan::crash_server_at(Time t, std::uint64_t restart_delay_ms) {
+  std::lock_guard lock(mu_);
+  crash_ = CrashRule{};
+  crash_.armed = true;
+  crash_.at_time = t;
+  crash_.restart_delay_ms = restart_delay_ms;
   recompute_armed_locked();
 }
 
@@ -144,6 +166,23 @@ bool FaultPlan::on_fstore_read(std::uint64_t* len) {
     *len = 1 + rng_.below(*len - 1);  // short but never empty
   }
   return false;
+}
+
+bool FaultPlan::on_server_request(Time now, std::uint64_t* restart_delay_ms) {
+  if (!armed()) return false;
+  std::lock_guard lock(mu_);
+  if (!crash_.armed) return false;
+  bool trip = false;
+  if (crash_.after_requests > 0) {
+    trip = ++crash_.seen >= crash_.after_requests;
+  } else {
+    trip = now >= crash_.at_time;
+  }
+  if (!trip) return false;
+  if (restart_delay_ms != nullptr) *restart_delay_ms = crash_.restart_delay_ms;
+  crash_ = CrashRule{};  // one-shot
+  recompute_armed_locked();
+  return true;
 }
 
 }  // namespace sim

@@ -63,6 +63,17 @@ class FaultPlan {
   /// Fail the next `n` memory registrations (VIP kErrorResource upstairs).
   void fail_next_registrations(std::uint64_t n);
 
+  // ---- server crash/restart ----------------------------------------------
+  /// Kill the (DAFS) server after it has admitted `n` further requests; the
+  /// server discards all volatile state (sessions, locks, replay caches,
+  /// un-synced file data) and comes back `restart_delay_ms` of real time
+  /// later on the same node. One-shot; re-arm for repeated crashes.
+  void crash_server_after_requests(std::uint64_t n,
+                                   std::uint64_t restart_delay_ms);
+  /// Kill the server at the first request admitted at or after virtual time
+  /// `t` (same restart semantics).
+  void crash_server_at(Time t, std::uint64_t restart_delay_ms);
+
   // ---- file-store faults --------------------------------------------------
   /// Fail the next `n` file-store reads outright.
   void fail_next_fstore_reads(std::uint64_t n);
@@ -81,6 +92,10 @@ class FaultPlan {
   /// be clamped below its incoming value (short read). len == nullptr for
   /// paths that cannot shorten (extent lookups).
   bool on_fstore_read(std::uint64_t* len);
+  /// Consulted by the server once per admitted request (`now` = the worker's
+  /// virtual clock). True when this request trips a scheduled crash;
+  /// *restart_delay_ms receives the armed restart delay.
+  bool on_server_request(Time now, std::uint64_t* restart_delay_ms);
 
  private:
   static constexpr NodeId kAnyNode = ~NodeId{0};
@@ -111,6 +126,15 @@ class FaultPlan {
   std::uint64_t reg_failures_left_ = 0;
   std::uint64_t fstore_read_failures_left_ = 0;
   double short_read_prob_ = 0.0;
+
+  struct CrashRule {
+    bool armed = false;
+    std::uint64_t after_requests = 0;  // 0 = time-triggered
+    std::uint64_t seen = 0;
+    Time at_time = 0;                  // 0 = request-count-triggered
+    std::uint64_t restart_delay_ms = 0;
+  };
+  CrashRule crash_;
 };
 
 }  // namespace sim

@@ -86,13 +86,15 @@ TEST(LockTable, ZeroLengthMeansToEof) {
   EXPECT_TRUE(t.try_acquire(1, 0, 1000, 2, true));  // below the EOF lock
 }
 
-TEST(LockTable, ReleaseRequiresExactMatch) {
+TEST(LockTable, ReleaseTrimsPosixStyle) {
   LockTable t;
   EXPECT_TRUE(t.try_acquire(1, 0, 100, 1, true));
-  EXPECT_FALSE(t.release(1, 0, 50, 1));
-  EXPECT_FALSE(t.release(1, 0, 100, 2));
-  EXPECT_TRUE(t.release(1, 0, 100, 1));
-  EXPECT_TRUE(t.try_acquire(1, 0, 100, 2, true));
+  EXPECT_FALSE(t.release(1, 0, 100, 2));  // wrong owner: nothing released
+  EXPECT_TRUE(t.release(1, 0, 50, 1));    // partial release trims the range
+  EXPECT_TRUE(t.try_acquire(1, 0, 50, 2, true));    // freed prefix reusable
+  EXPECT_FALSE(t.try_acquire(1, 50, 50, 2, true));  // tail still held
+  EXPECT_TRUE(t.release(1, 50, 50, 1));
+  EXPECT_TRUE(t.try_acquire(1, 50, 50, 2, true));
 }
 
 TEST(LockTable, ReleaseOwnerDropsEverything) {

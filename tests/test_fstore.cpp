@@ -393,4 +393,142 @@ TEST(FStoreProperty, RandomWritesMatchReferenceModel) {
   EXPECT_EQ(fs.getattr(f.value()).value().size, model.size());
 }
 
+// ---------------------------------------------------------------------------
+// Write-ahead journal: sync is a durability barrier, crash replays it
+// ---------------------------------------------------------------------------
+
+Options journal_opt() {
+  Options opt;
+  opt.chunk_size = 512;  // multi-chunk writes with small buffers
+  opt.journal_enabled = true;
+  return opt;
+}
+
+TEST(FStoreJournal, UnsyncedWritesVanishOnCrash) {
+  FileStore fs(journal_opt());
+  auto f = fs.create(kRootIno, "f", true).value();
+  const auto base = pattern(2'000, 1);
+  ASSERT_TRUE(fs.pwrite(f, 0, base).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+
+  const auto late = pattern(2'000, 2);
+  ASSERT_TRUE(fs.pwrite(f, 0, late).ok());  // acknowledged, not durable
+  fs.crash();
+
+  // The file (a durable-immediate create) is still there; its data is the
+  // synced pre-image, byte for byte.
+  ASSERT_EQ(fs.resolve("/f").value(), f);
+  std::vector<std::byte> back(base.size());
+  ASSERT_EQ(fs.pread(f, 0, back).value(), base.size());
+  EXPECT_EQ(std::memcmp(back.data(), base.data(), base.size()), 0);
+  EXPECT_EQ(fs.journal_pending_bytes(), 0u);
+}
+
+TEST(FStoreJournal, TornMultiBlockWriteIsInvisible) {
+  FileStore fs(journal_opt());
+  auto f = fs.create(kRootIno, "f", true).value();
+  // Durable base image spanning four chunks.
+  const auto base = pattern(4 * 512, 10);
+  ASSERT_TRUE(fs.pwrite(f, 0, base).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+
+  // A logical update issued as several block writes ("multi-block write").
+  // The crash lands after some blocks but before the sync: the durable image
+  // must show the full pre-image — no torn mix.
+  const auto update = pattern(4 * 512, 11);
+  ASSERT_TRUE(fs.pwrite(f, 0, std::span(update).subspan(0, 512)).ok());
+  ASSERT_TRUE(fs.pwrite(f, 512, std::span(update).subspan(512, 512)).ok());
+  fs.crash();
+  std::vector<std::byte> back(base.size());
+  ASSERT_EQ(fs.pread(f, 0, back).value(), base.size());
+  EXPECT_EQ(std::memcmp(back.data(), base.data(), base.size()), 0)
+      << "crash exposed a torn multi-block write";
+
+  // The same update fully applied and synced commits atomically: after the
+  // next crash the full post-image is visible.
+  for (std::uint64_t blk = 0; blk < 4; ++blk) {
+    ASSERT_TRUE(
+        fs.pwrite(f, blk * 512, std::span(update).subspan(blk * 512, 512))
+            .ok());
+  }
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  fs.crash();
+  ASSERT_EQ(fs.pread(f, 0, back).value(), update.size());
+  EXPECT_EQ(std::memcmp(back.data(), update.data(), update.size()), 0);
+}
+
+TEST(FStoreJournal, MetadataOpsAreDurableImmediately) {
+  FileStore fs(journal_opt());
+  auto d = fs.mkdir(kRootIno, "dir").value();
+  auto f = fs.create(d, "f", true).value();
+  const auto gen = fs.getattr(f).value().gen;
+  ASSERT_EQ(fs.rename(d, "f", kRootIno, "g"), Errc::kOk);
+  fs.crash();
+  ASSERT_EQ(fs.resolve("/g").value(), f);
+  EXPECT_EQ(fs.getattr(f).value().gen, gen);
+  EXPECT_EQ(fs.resolve("/dir/f").error(), Errc::kNoEnt);
+
+  // Remove + recreate across a crash yields a fresh incarnation: the (ino,
+  // gen) pair never repeats, which is what lease validation keys on.
+  ASSERT_EQ(fs.remove(kRootIno, "g"), Errc::kOk);
+  fs.crash();
+  EXPECT_EQ(fs.resolve("/g").error(), Errc::kNoEnt);
+  auto f2 = fs.create(kRootIno, "g", true).value();
+  const auto gen2 = fs.getattr(f2).value().gen;
+  EXPECT_TRUE(f2 != f || gen2 != gen);
+}
+
+TEST(FStoreJournal, AutosyncBoundsPendingBytes) {
+  Options opt = journal_opt();
+  opt.journal_autosync_bytes = 4 * 512;
+  FileStore fs(opt);
+  auto f = fs.create(kRootIno, "f", true).value();
+  const auto data = pattern(512, 20);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    ASSERT_TRUE(fs.pwrite(f, i * 512, data).ok());
+    EXPECT_LE(fs.journal_pending_bytes(), opt.journal_autosync_bytes);
+  }
+  // The watermark write-backs made earlier stripes durable without an
+  // explicit sync: a crash now keeps everything the autosync flushed.
+  fs.crash();
+  std::vector<std::byte> back(512);
+  ASSERT_EQ(fs.pread(f, 0, back).value(), back.size());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), back.size()), 0);
+}
+
+TEST(FStoreJournal, CountersAndDupFilterSurviveCrash) {
+  FileStore fs(journal_opt());
+  EXPECT_EQ(fs.counter_fetch_add_once("c", 5, /*client_id=*/7, /*seq=*/1), 0u);
+  EXPECT_EQ(fs.counter_fetch_add_once("c", 5, 7, 2), 5u);
+  fs.crash();
+  // Retransmits of already-applied mutations return the recorded old value
+  // instead of re-applying (exactly-once across restart)...
+  EXPECT_EQ(fs.counter_fetch_add_once("c", 5, 7, 1), 0u);
+  EXPECT_EQ(fs.counter_fetch_add_once("c", 5, 7, 2), 5u);
+  EXPECT_EQ(fs.counter_fetch_add("c", 0), 10u);
+  // ...while a fresh seq applies normally.
+  EXPECT_EQ(fs.counter_fetch_add_once("c", 5, 7, 3), 10u);
+  EXPECT_EQ(fs.counter_fetch_add("c", 0), 15u);
+
+  // Acked records are dropped; a (wrongly) re-sent acked seq re-applies,
+  // which is why clients only ack responses they have fully consumed.
+  fs.dup_forget(7, 3);
+  EXPECT_EQ(fs.counter_fetch_add_once("c", 1, 7, 4), 15u);
+}
+
+TEST(FStoreJournal, TruncateDurabilityFollowsSync) {
+  FileStore fs(journal_opt());
+  auto f = fs.create(kRootIno, "f", true).value();
+  const auto data = pattern(3 * 512, 30);
+  ASSERT_TRUE(fs.pwrite(f, 0, data).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  ASSERT_EQ(fs.set_size(f, 512), Errc::kOk);
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  fs.crash();
+  EXPECT_EQ(fs.getattr(f).value().size, 512u);
+  std::vector<std::byte> back(512);
+  ASSERT_EQ(fs.pread(f, 0, back).value(), 512u);
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), 512), 0);
+}
+
 }  // namespace

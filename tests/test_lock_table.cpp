@@ -1,0 +1,157 @@
+// Unit tests for the server-side byte-range lock table: overlap/conflict
+// detection, POSIX-style partial release (trim/split), owner stacking, and
+// whole-session / whole-table cleanup. The table is pure data structure, so
+// these run without a fabric.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dafs/lock_table.hpp"
+
+namespace {
+
+constexpr std::uint64_t kIno = 7;
+constexpr std::uint64_t kA = 1;  // owners (session ids)
+constexpr std::uint64_t kB = 2;
+
+TEST(LockTable, SharedLocksCoexist) {
+  dafs::LockTable t;
+  EXPECT_TRUE(t.try_acquire(kIno, 0, 100, kA, /*exclusive=*/false));
+  EXPECT_TRUE(t.try_acquire(kIno, 50, 100, kB, /*exclusive=*/false));
+  EXPECT_EQ(t.held(kIno), 2u);
+}
+
+TEST(LockTable, ExclusiveConflictsWithOverlap) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 100, kA, /*exclusive=*/true));
+  // Any overlap with an exclusive lock is refused, shared or exclusive.
+  EXPECT_FALSE(t.try_acquire(kIno, 99, 1, kB, /*exclusive=*/false));
+  EXPECT_FALSE(t.try_acquire(kIno, 50, 100, kB, /*exclusive=*/true));
+  // Adjacent (end-exclusive) ranges do not conflict.
+  EXPECT_TRUE(t.try_acquire(kIno, 100, 50, kB, /*exclusive=*/true));
+}
+
+TEST(LockTable, SharedBlocksExclusive) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 100, kA, /*exclusive=*/false));
+  EXPECT_FALSE(t.try_acquire(kIno, 0, 10, kB, /*exclusive=*/true));
+}
+
+TEST(LockTable, OwnerMayStackItsOwnRanges) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 100, kA, /*exclusive=*/true));
+  // The same owner re-locking an overlapping range is allowed (lease
+  // reclaim after a server restart does exactly this).
+  EXPECT_TRUE(t.try_acquire(kIno, 0, 100, kA, /*exclusive=*/true));
+  EXPECT_EQ(t.held_by(kIno, kA), 2u);
+}
+
+TEST(LockTable, ZeroLenMeansToEof) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 1000, 0, kA, /*exclusive=*/true));
+  EXPECT_FALSE(t.try_acquire(kIno, 1u << 30, 10, kB, /*exclusive=*/true));
+  EXPECT_TRUE(t.try_acquire(kIno, 0, 1000, kB, /*exclusive=*/true));
+}
+
+TEST(LockTable, ReleaseExactRange) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 100, kA, /*exclusive=*/true));
+  EXPECT_TRUE(t.release(kIno, 0, 100, kA));
+  EXPECT_EQ(t.held(kIno), 0u);
+  EXPECT_TRUE(t.try_acquire(kIno, 0, 100, kB, /*exclusive=*/true));
+}
+
+TEST(LockTable, ReleaseMiddleSplitsRange) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 300, kA, /*exclusive=*/true));
+  // Unlock the middle third: [0,300) becomes [0,100) + [200,300).
+  EXPECT_TRUE(t.release(kIno, 100, 100, kA));
+  EXPECT_EQ(t.held_by(kIno, kA), 2u);
+  // The hole is now lockable by someone else, the flanks are not.
+  EXPECT_TRUE(t.try_acquire(kIno, 100, 100, kB, /*exclusive=*/true));
+  EXPECT_FALSE(t.try_acquire(kIno, 0, 100, kB, /*exclusive=*/false));
+  EXPECT_FALSE(t.try_acquire(kIno, 200, 100, kB, /*exclusive=*/false));
+}
+
+TEST(LockTable, ReleaseTrimsHeadAndTail) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 100, 100, kA, /*exclusive=*/true));
+  // Trim the head: [100,200) -> [150,200).
+  EXPECT_TRUE(t.release(kIno, 0, 150, kA));
+  EXPECT_TRUE(t.try_acquire(kIno, 100, 50, kB, /*exclusive=*/true));
+  EXPECT_FALSE(t.try_acquire(kIno, 150, 1, kB, /*exclusive=*/true));
+  // Trim the tail: [150,200) -> [150,175).
+  EXPECT_TRUE(t.release(kIno, 175, 100, kA));
+  EXPECT_TRUE(t.try_acquire(kIno, 175, 25, kB, /*exclusive=*/true));
+  EXPECT_FALSE(t.try_acquire(kIno, 160, 10, kB, /*exclusive=*/true));
+}
+
+TEST(LockTable, ReleaseSplitsEofRange) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 0, kA, /*exclusive=*/true));
+  // Punch a hole in a to-EOF lock; the tail must stay unbounded.
+  EXPECT_TRUE(t.release(kIno, 100, 100, kA));
+  EXPECT_EQ(t.held_by(kIno, kA), 2u);
+  EXPECT_TRUE(t.try_acquire(kIno, 100, 100, kB, /*exclusive=*/true));
+  EXPECT_FALSE(t.try_acquire(kIno, 1u << 20, 1, kB, /*exclusive=*/true));
+}
+
+TEST(LockTable, ReleaseZeroLenDropsTail) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 1000, kA, /*exclusive=*/true));
+  // Unlock from 500 to EOF: only [0,500) survives.
+  EXPECT_TRUE(t.release(kIno, 500, 0, kA));
+  EXPECT_EQ(t.held_by(kIno, kA), 1u);
+  EXPECT_TRUE(t.try_acquire(kIno, 500, 500, kB, /*exclusive=*/true));
+  EXPECT_FALSE(t.try_acquire(kIno, 499, 1, kB, /*exclusive=*/true));
+}
+
+TEST(LockTable, ReleaseOnlyTouchesOwner) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 100, kA, /*exclusive=*/false));
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 100, kB, /*exclusive=*/false));
+  EXPECT_TRUE(t.release(kIno, 0, 100, kA));
+  EXPECT_EQ(t.held_by(kIno, kA), 0u);
+  EXPECT_EQ(t.held_by(kIno, kB), 1u);
+  // Releasing a range the owner does not hold reports nothing released.
+  EXPECT_FALSE(t.release(kIno, 200, 100, kB));
+  EXPECT_FALSE(t.release(kIno + 1, 0, 100, kB));
+}
+
+TEST(LockTable, ReleaseSpanningMultipleRanges) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 100, kA, /*exclusive=*/true));
+  ASSERT_TRUE(t.try_acquire(kIno, 200, 100, kA, /*exclusive=*/true));
+  ASSERT_TRUE(t.try_acquire(kIno, 400, 100, kA, /*exclusive=*/true));
+  // One unlock covering the tail of the first range through the head of the
+  // last: middle range vanishes, flanks are trimmed.
+  EXPECT_TRUE(t.release(kIno, 50, 400, kA));
+  EXPECT_EQ(t.held_by(kIno, kA), 2u);
+  EXPECT_TRUE(t.try_acquire(kIno, 50, 400, kB, /*exclusive=*/true));
+  EXPECT_FALSE(t.try_acquire(kIno, 0, 50, kB, /*exclusive=*/true));
+  EXPECT_FALSE(t.try_acquire(kIno, 450, 50, kB, /*exclusive=*/true));
+}
+
+TEST(LockTable, ReleaseOwnerDropsSessionState) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 100, kA, /*exclusive=*/true));
+  ASSERT_TRUE(t.try_acquire(kIno + 1, 0, 0, kA, /*exclusive=*/true));
+  ASSERT_TRUE(t.try_acquire(kIno, 200, 100, kB, /*exclusive=*/true));
+  t.release_owner(kA);
+  EXPECT_EQ(t.held_by(kIno, kA), 0u);
+  EXPECT_EQ(t.held(kIno + 1), 0u);
+  EXPECT_EQ(t.held_by(kIno, kB), 1u);  // other sessions untouched
+}
+
+TEST(LockTable, ClearForgetsEverything) {
+  dafs::LockTable t;
+  ASSERT_TRUE(t.try_acquire(kIno, 0, 0, kA, /*exclusive=*/true));
+  ASSERT_TRUE(t.try_acquire(kIno + 1, 0, 0, kB, /*exclusive=*/true));
+  t.clear();  // server crash: all volatile lock state vanishes
+  EXPECT_EQ(t.held(kIno), 0u);
+  EXPECT_EQ(t.held(kIno + 1), 0u);
+  EXPECT_TRUE(t.try_acquire(kIno, 0, 0, kB, /*exclusive=*/true));
+}
+
+}  // namespace
