@@ -21,7 +21,12 @@ double per_op_us(bool cache_on, std::size_t size) {
   constexpr int kIters = 20;
   const sim::Time t0 = bed.client_actor->now();
   for (int i = 0; i < kIters; ++i) bench::require(bed.session->pwrite(fh, 0, data), "pwrite");
-  return sim::to_usec(bed.client_actor->now() - t0) / kIters;
+  const double us = sim::to_usec(bed.client_actor->now() - t0) / kIters;
+  emit_metrics_json(bed.fabric, "e10_regcache",
+                    std::string("{\"reg_cache\":") +
+                        (cache_on ? "true" : "false") +
+                        ",\"size\":" + std::to_string(size) + "}");
+  return us;
 }
 
 }  // namespace

@@ -33,8 +33,12 @@ double throughput(std::size_t size, int depth, int total_ops) {
     inflight.erase(inflight.begin());
     ++completed;
   }
-  return mbps(static_cast<std::uint64_t>(total_ops) * size,
-              bed.client_actor->now() - t0);
+  const double rate = mbps(static_cast<std::uint64_t>(total_ops) * size,
+                           bed.client_actor->now() - t0);
+  emit_metrics_json(bed.fabric, "e11_async",
+                    "{\"size\":" + std::to_string(size) +
+                        ",\"depth\":" + std::to_string(depth) + "}");
+  return rate;
 }
 
 }  // namespace

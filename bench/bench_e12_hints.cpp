@@ -53,6 +53,12 @@ double run_collective(const mpiio::Info& info) {
     if (c.rank() == 0) elapsed.store(mv[0]);
     bench::require_ok(f->close(), "close");
   });
+  emit_metrics_json(
+      fabric, "e12_hints",
+      "{\"phase\":\"collective\",\"cb_buffer_size\":" +
+          std::to_string(info.get_uint("cb_buffer_size", 0)) +
+          ",\"cb_nodes\":" + std::to_string(info.get_uint("cb_nodes", 0)) +
+          "}");
   return mbps(static_cast<std::uint64_t>(kNp) * kBlock * kTiles,
               elapsed.load());
 }
@@ -91,6 +97,9 @@ double run_sieving(const char* ds_read) {
     elapsed.store(c.actor().now() - t0);
     bench::require_ok(f->close(), "close");
   });
+  emit_metrics_json(bed.fabric, "e12_hints",
+                    std::string("{\"phase\":\"sieving\",\"romio_ds_read\":\"") +
+                        ds_read + "\"}");
   return mbps(64 * 4096, elapsed.load());
 }
 

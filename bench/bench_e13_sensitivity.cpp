@@ -34,6 +34,10 @@ double dafs_read_mbps(const sim::CostModel& cm) {
   const double out = mbps(static_cast<std::uint64_t>(kIters) * kReq,
                           actor.now() - t0);
   s.reset();
+  emit_metrics_json(fabric, "e13_sensitivity",
+                    "{\"driver\":\"dafs\",\"memcpy_mbps\":" +
+                        fmt(cm.memcpy_mbps, 0) +
+                        ",\"link_mbps\":" + fmt(cm.link_mbps, 1) + "}");
   return out;
 }
 
@@ -53,6 +57,10 @@ double nfs_read_mbps(const sim::CostModel& cm) {
   std::vector<std::byte> back(kReq);
   const sim::Time t0 = actor.now();
   for (int i = 0; i < kIters; ++i) c->pread(ino, 0, back);
+  emit_metrics_json(fabric, "e13_sensitivity",
+                    "{\"driver\":\"nfs\",\"memcpy_mbps\":" +
+                        fmt(cm.memcpy_mbps, 0) +
+                        ",\"link_mbps\":" + fmt(cm.link_mbps, 1) + "}");
   return mbps(static_cast<std::uint64_t>(kIters) * kReq, actor.now() - t0);
 }
 

@@ -90,6 +90,9 @@ double sendrecv_latency(std::size_t size, int iters) {
   }
   const sim::Time rtt = p.actor_a->now() - t0;
   echo.join();
+  emit_metrics_json(p.fabric, "e1_via_latency",
+                    "{\"mode\":\"sendrecv\",\"size\":" + std::to_string(size) +
+                        "}");
   return sim::to_usec(rtt) / (2.0 * iters);
 }
 
@@ -146,6 +149,9 @@ double rdma_latency(std::size_t size, int iters) {
   }
   const sim::Time rtt = p.actor_a->now() - t0;
   echo.join();
+  emit_metrics_json(p.fabric, "e1_via_latency",
+                    "{\"mode\":\"rdma_write\",\"size\":" +
+                        std::to_string(size) + "}");
   return sim::to_usec(rtt) / (2.0 * iters);
 }
 

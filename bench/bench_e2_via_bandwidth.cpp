@@ -85,6 +85,9 @@ double stream_sendrecv(std::uint32_t mtu, std::size_t size, int iters) {
       last_arrival = std::max(last_arrival, done->done_at);
     }
   }
+  emit_metrics_json(bed.fabric, "e2_via_bandwidth",
+                    "{\"mode\":\"sendrecv\",\"mtu\":" + std::to_string(mtu) +
+                        ",\"size\":" + std::to_string(size) + "}");
   return mbps(static_cast<std::uint64_t>(iters) * size, last_arrival);
 }
 
@@ -112,6 +115,9 @@ double stream_rdma(std::uint32_t mtu, std::size_t size, int iters) {
                "send_wait");
     last = std::max(last, done->done_at + bed.fabric.cost().propagation);
   }
+  emit_metrics_json(bed.fabric, "e2_via_bandwidth",
+                    "{\"mode\":\"rdma_write\",\"mtu\":" + std::to_string(mtu) +
+                        ",\"size\":" + std::to_string(size) + "}");
   return mbps(static_cast<std::uint64_t>(iters) * size, last);
 }
 

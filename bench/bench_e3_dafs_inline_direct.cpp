@@ -41,6 +41,10 @@ Point run_mode(bool force_inline, std::size_t size, int iters) {
   const sim::Time rt = bed.client_actor->now() - r0;
 
   const std::uint64_t total = static_cast<std::uint64_t>(iters) * size;
+  emit_metrics_json(bed.fabric, "e3_dafs_inline_direct",
+                    std::string("{\"mode\":\"") +
+                        (force_inline ? "inline" : "direct") +
+                        "\",\"size\":" + std::to_string(size) + "}");
   return Point{mbps(total, rt), mbps(total, wt)};
 }
 

@@ -31,6 +31,9 @@ Point run_dafs(std::size_t size, int iters) {
   }
   const sim::Time rt = bed.client_actor->now() - r0;
   const std::uint64_t total = static_cast<std::uint64_t>(iters) * size;
+  emit_metrics_json(bed.fabric, "e4_dafs_vs_nfs",
+                    "{\"driver\":\"dafs\",\"size\":" + std::to_string(size) +
+                        "}");
   return Point{mbps(total, rt), mbps(total, wt)};
 }
 
@@ -52,6 +55,9 @@ Point run_nfs(std::size_t size, int iters) {
   }
   const sim::Time rt = bed.client_actor->now() - r0;
   const std::uint64_t total = static_cast<std::uint64_t>(iters) * size;
+  emit_metrics_json(bed.fabric, "e4_dafs_vs_nfs",
+                    "{\"driver\":\"nfs\",\"size\":" + std::to_string(size) +
+                        "}");
   return Point{mbps(total, rt), mbps(total, wt)};
 }
 

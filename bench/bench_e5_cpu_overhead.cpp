@@ -46,7 +46,7 @@ Cpu dafs_case(std::size_t size, bool force_inline, bool reading) {
       bench::require(bed.session->pwrite(fh, 0, data), "pwrite");
     }
   }
-  emit_histogram_json(
+  emit_metrics_json(
       bed.fabric, "e5_cpu_overhead",
       std::string("{\"path\":\"") + (force_inline ? "inline" : "direct") +
           "\",\"op\":\"" + (reading ? "read" : "write") +

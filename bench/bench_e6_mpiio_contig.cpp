@@ -93,6 +93,10 @@ Point run(bool use_dafs, std::size_t size) {
     bench::require_ok(f->close(), "close");
   });
 
+  emit_metrics_json(fabric, "e6_mpiio_contig",
+                    std::string("{\"driver\":\"") +
+                        (use_dafs ? "dafs" : "nfs") +
+                        "\",\"size\":" + std::to_string(size) + "}");
   const std::uint64_t total =
       static_cast<std::uint64_t>(kNp) * kIters * size;
   return Point{mbps(total, read_ns.load()), mbps(total, write_ns.load())};

@@ -121,6 +121,14 @@ double run(bool use_dafs, int np, Mode mode, bool writing) {
     if (c.rank() == 0) elapsed.store(mv[0]);
     bench::require_ok(f->close(), "close");
   });
+  emit_metrics_json(
+      fabric, "e7_collective",
+      std::string("{\"driver\":\"") + (use_dafs ? "dafs" : "nfs") +
+          "\",\"np\":" + std::to_string(np) + ",\"mode\":\"" +
+          (mode == Mode::kIndependent
+               ? "independent"
+               : mode == Mode::kNative ? "native" : "two_phase") +
+          "\",\"op\":\"" + (writing ? "write" : "read") + "\"}");
   return mbps(static_cast<std::uint64_t>(np) * kBlock * kTiles,
               elapsed.load());
 }

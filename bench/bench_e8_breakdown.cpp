@@ -74,9 +74,9 @@ Row run(std::size_t size) {
         sim::to_usec(server_after.total() - server_before.total()) / n;
     out.wire_us = out.total_us - out.client_proto_us - out.client_reg_us -
                   out.client_copy_us - out.server_us;
-    emit_histogram_json(fabric, "e8_breakdown",
-                        "{\"op\":\"write_at\",\"size\":" +
-                            std::to_string(size) + "}");
+    emit_metrics_json(fabric, "e8_breakdown",
+                      "{\"op\":\"write_at\",\"size\":" +
+                          std::to_string(size) + "}");
     bench::require_ok(f->close(), "close");
   });
   return out;
@@ -144,8 +144,8 @@ void collective_breakdown() {
                fmt(sim::to_usec(s.max))});
       }
       t.print();
-      emit_histogram_json(fabric, "e8_breakdown",
-                          "{\"op\":\"write_read_at_all\",\"nprocs\":4}");
+      emit_metrics_json(fabric, "e8_breakdown",
+                        "{\"op\":\"write_read_at_all\",\"nprocs\":4}");
     }
     bench::require_ok(f->close(), "close");
   });

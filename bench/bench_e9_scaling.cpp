@@ -40,6 +40,9 @@ double run_dafs(int nclients) {
     });
   }
   for (auto& t : threads) t.join();
+  emit_metrics_json(fabric, "e9_scaling",
+                    "{\"driver\":\"dafs\",\"clients\":" +
+                        std::to_string(nclients) + "}");
   sim::Time finish = 0;
   for (sim::Time t : done) finish = std::max(finish, t);
   return mbps(static_cast<std::uint64_t>(nclients) * kIters * kReq, finish);
@@ -69,6 +72,9 @@ double run_nfs(int nclients) {
     });
   }
   for (auto& t : threads) t.join();
+  emit_metrics_json(fabric, "e9_scaling",
+                    "{\"driver\":\"nfs\",\"clients\":" +
+                        std::to_string(nclients) + "}");
   sim::Time finish = 0;
   for (sim::Time t : done) finish = std::max(finish, t);
   return mbps(static_cast<std::uint64_t>(nclients) * kIters * kReq, finish);

@@ -127,36 +127,20 @@ inline std::string fmt(double v, int prec = 1) {
   return buf;
 }
 
-/// Emit the fabric's histogram registry as a single-line JSON object, next
-/// to the bench's human-readable tables. Schema (documented in
-/// EXPERIMENTS.md "Histogram JSON" section):
+/// Emit the fabric's unified metrics — Stats counters, registered gauges and
+/// every histogram with at least one sample — as one single-line JSON object
+/// next to the bench's human-readable tables. One schema, one writer, for
+/// every bench (documented in EXPERIMENTS.md "Unified metrics JSON"):
 ///   {"bench": "<name>", "params": <object>,
+///    "counters": {"<key>": u64, ...},
+///    "gauges": {"<key>": u64, ...},
 ///    "histograms": {"<key>": {"count": u64, "sum": u64, "min": u64,
 ///                             "max": u64, "mean": f64, "p50": u64,
 ///                             "p95": u64, "p99": u64}, ...}}
 /// Latency keys end in _ns (virtual nanoseconds), size keys in _bytes.
-/// Only histograms with at least one sample appear.
-inline void emit_histogram_json(sim::Fabric& fabric, const std::string& bench,
-                                const std::string& params_json = "{}") {
-  const auto snaps = fabric.histograms().snapshot_all();
-  std::printf("{\"bench\":\"%s\",\"params\":%s,\"histograms\":{",
-              bench.c_str(), params_json.c_str());
-  bool first = true;
-  for (const auto& [key, s] : snaps) {
-    std::printf("%s\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,"
-                "\"max\":%llu,\"mean\":%.1f,\"p50\":%llu,\"p95\":%llu,"
-                "\"p99\":%llu}",
-                first ? "" : ",", key.c_str(),
-                static_cast<unsigned long long>(s.count),
-                static_cast<unsigned long long>(s.sum),
-                static_cast<unsigned long long>(s.min),
-                static_cast<unsigned long long>(s.max), s.mean(),
-                static_cast<unsigned long long>(s.p50()),
-                static_cast<unsigned long long>(s.p95()),
-                static_cast<unsigned long long>(s.quantile(0.99)));
-    first = false;
-  }
-  std::printf("}}\n");
+inline void emit_metrics_json(sim::Fabric& fabric, const std::string& bench,
+                              const std::string& params_json = "{}") {
+  std::printf("%s\n", fabric.metrics().to_json(bench, params_json).c_str());
 }
 
 /// A ready-to-use DAFS testbed: fabric, filer, one client node + session.

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace-event JSON file produced by sim::Tracer.
+
+Checks (hard errors):
+  - the file parses as JSON and has a non-empty `traceEvents` array
+  - every complete ("X") event carries trace/span ids and a non-negative
+    duration
+  - whenever both ends of a parent/child edge are present and closed, the
+    child's time range nests inside the parent's (up to a sub-microsecond
+    formatting epsilon). VIA spans are exempt: a NIC completes its DMA
+    asynchronously, so a send's wire completion can legitimately trail the
+    span that posted it.
+
+Warnings (do not fail the check):
+  - a span whose parent id does not resolve to any span in the file — the
+    flight recorder's rings are bounded, so a long run can legitimately
+    evict a parent while keeping its children
+  - a file with events but no spans (a crash dump from a fabric that traced
+    no requests)
+
+Usage: check_trace.py <trace.json> [more.json ...]
+Exit status 0 when every file passes, 1 otherwise.
+"""
+
+import json
+import sys
+
+# Timestamps are virtual ns rendered as microseconds with three decimals;
+# tolerate the round-trip error on exact shared boundaries.
+EPSILON_US = 0.002
+
+
+def check(path):
+    errors = []
+    warnings = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"], []
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: no traceEvents array"], []
+
+    spans = {}  # span_id -> event
+    instants = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph == "i":
+            instants += 1
+            continue  # instant event (crash, deadline, fault)
+        if ph != "X":
+            errors.append(f"{path}: event {i}: unexpected phase {ph!r}")
+            continue
+        args = ev.get("args", {})
+        trace_id = args.get("trace_id")
+        span_id = args.get("span_id")
+        if not trace_id:
+            errors.append(f"{path}: event {i} ({ev.get('name')}): no trace id")
+        if not span_id:
+            errors.append(f"{path}: event {i} ({ev.get('name')}): no span id")
+            continue
+        if ev.get("dur", 0) < 0:
+            errors.append(
+                f"{path}: span {span_id} ({ev.get('name')}): "
+                f"negative duration {ev['dur']}")
+        spans[span_id] = ev
+
+    for span_id, ev in spans.items():
+        args = ev["args"]
+        parent_id = args.get("parent_span_id", 0)
+        if not parent_id:
+            continue  # root
+        parent = spans.get(parent_id)
+        if parent is None:
+            warnings.append(
+                f"{path}: span {span_id} ({ev.get('name')}): parent "
+                f"{parent_id} not in file (evicted from a bounded ring?)")
+            continue
+        if parent["args"].get("trace_id") != args.get("trace_id"):
+            errors.append(
+                f"{path}: span {span_id} ({ev.get('name')}): parent "
+                f"{parent_id} belongs to a different trace")
+        # Containment only when both spans closed (in-flight spans carry
+        # dur 0 and an in_flight marker) and the child is not a NIC-async
+        # VIA transfer, whose completion may trail the posting span.
+        if args.get("in_flight") or parent["args"].get("in_flight"):
+            continue
+        if ev.get("cat") == "via":
+            continue
+        t0, t1 = ev["ts"], ev["ts"] + ev.get("dur", 0)
+        p0, p1 = parent["ts"], parent["ts"] + parent.get("dur", 0)
+        if t0 < p0 - EPSILON_US or t1 > p1 + EPSILON_US:
+            errors.append(
+                f"{path}: span {span_id} ({ev.get('name')}) "
+                f"[{t0}, {t1}] escapes parent {parent_id} "
+                f"({parent.get('name')}) [{p0}, {p1}]")
+
+    if not spans and not instants:
+        errors.append(f"{path}: empty trace (no spans, no events)")
+    elif not spans:
+        warnings.append(f"{path}: events only, no spans")
+    return errors, warnings
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors, warnings = check(path)
+        for w in warnings:
+            print(f"warning: {w}", file=sys.stderr)
+        for e in errors:
+            print(f"error: {e}", file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            print(f"{path}: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

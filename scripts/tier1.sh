@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the standard build + full test suite, then an
 # AddressSanitizer/UBSan build running the fault-injection slice (ctest -L
-# fault) and the server crash/restart chaos slice (ctest -L chaos), which
-# stress the recovery paths where lifetime bugs would hide.
+# fault), the server crash/restart chaos slice (ctest -L chaos) and the
+# causal-tracing slice (ctest -L trace), which stress the recovery paths
+# where lifetime bugs would hide. A final leg runs a traced end-to-end
+# benchmark and validates the emitted Perfetto JSON (ids resolve, spans
+# nest, no negative durations) with scripts/check_trace.py.
 #
 # Every ctest invocation runs under a per-test timeout so a hung recovery
 # path (the exact bug class the chaos suite hunts) fails the gate instead of
@@ -25,10 +28,16 @@ cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
   --timeout "$TEST_TIMEOUT"
 
-echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos labels) =="
+echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + trace labels) =="
 cmake -B "$ASAN_BUILD" -S . -DDAFS_SANITIZE=ON >/dev/null
-cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault --target test_chaos
+cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault \
+  --target test_chaos --target test_trace
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" \
-  --timeout "$TEST_TIMEOUT" -L 'fault|chaos'
+  --timeout "$TEST_TIMEOUT" -L 'fault|chaos|trace'
+
+echo "== tier1: trace-validation leg (traced bench -> check_trace.py) =="
+TRACE_OUT="$BUILD/tier1_trace.json"
+DAFS_TRACE="$TRACE_OUT" "$BUILD/bench/bench_e8_breakdown" >/dev/null
+python3 scripts/check_trace.py "$TRACE_OUT"
 
 echo "== tier1: all green =="

@@ -156,6 +156,9 @@ Result<OpId> Session::alloc_slot() {
   sl.done = false;
   sl.busy_retries = 0;
   sl.reclaim_retries = 0;
+  sl.trace_id = 0;
+  sl.span_id = 0;
+  sl.parent_span = 0;
   sl.user_buf = nullptr;
   sl.user_cap = 0;
   sl.payload.clear();
@@ -203,6 +206,21 @@ PStatus Session::transmit(OpId id) {
     }
   }
   msg.header().ack_seq = ack;
+  // Trace identity, captured once per request from the span open on the
+  // submitting thread (the MPI-IO op's root). Busy retries re-run this code
+  // with the ids already set, and recovery retransmits the buffer verbatim,
+  // so every retry of this request links back to the original root.
+  if (sl.trace_id == 0) {
+    sim::Tracer& tracer = nic_.fabric().trace();
+    if (const sim::SpanContext ctx = sim::Tracer::current();
+        tracer.enabled() && ctx.active()) {
+      sl.trace_id = ctx.trace_id;
+      sl.parent_span = ctx.span_id;
+      sl.span_id = tracer.new_id();
+    }
+  }
+  msg.header().trace_id = sl.trace_id;
+  msg.header().parent_span_id = sl.span_id;
   sl.proc = msg.header().proc;
   sl.wire_len = msg.wire_size();
   sl.t_submit = actor->now();
@@ -619,6 +637,23 @@ void Session::record_rtt(const Slot& sl) {
   nic_.fabric().histograms().record(
       std::string("dafs.rtt_ns.") + proc_name(sl.proc),
       now > sl.t_submit ? now - sl.t_submit : 0);
+  // Close the client-side request span (opened implicitly at transmit; submit
+  // and completion are separate calls, so no RAII scope can span them).
+  if (sl.trace_id != 0) {
+    sim::Span s;
+    s.trace_id = sl.trace_id;
+    s.span_id = sl.span_id;
+    s.parent_span_id = sl.parent_span;
+    s.t_start = sl.t_submit;
+    s.t_end = now;
+    s.layer = "dafs.client";
+    s.name = std::string("request.") + proc_name(sl.proc);
+    char attrs[96];
+    std::snprintf(attrs, sizeof(attrs), "\"seq\":%u,\"status\":%d", sl.seq,
+                  static_cast<int>(sl.resp.status));
+    s.attrs = attrs;
+    nic_.fabric().trace().record(std::move(s));
+  }
 }
 
 // ---------------------------------------------------------------------------

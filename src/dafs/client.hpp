@@ -154,6 +154,9 @@ class Session {
     int reclaim_retries = 0;     // kBadSession-triggered reclaims so far
     std::size_t wire_len = 0;    // request bytes (for retransmission)
     sim::Time t_submit = 0;      // virtual doorbell time of the request
+    std::uint64_t trace_id = 0;  // trace the request belongs to (0 = none)
+    std::uint64_t span_id = 0;   // this request's client-side span id
+    std::uint64_t parent_span = 0;  // span open at submit (the MPI-IO op)
     MsgHeader resp;
     std::vector<std::byte> payload;   // small response payloads (attrs, dirents)
     std::byte* user_buf = nullptr;    // inline-read destination

@@ -201,8 +201,15 @@ struct MsgHeader {
   /// its replay cache — the piggybacked-ack bound on replay memory.
   std::uint32_t ack_seq = 0;
   std::uint32_t pad0 = 0;
+  /// Request-tracing identifiers (sim/trace.hpp): the root trace this
+  /// request belongs to and the client span to parent server-side spans
+  /// under. Zero when tracing is off. Retransmissions resend the original
+  /// buffer, so a retried request keeps these ids and the server's spans
+  /// for the retry link back to the original root.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
-static_assert(sizeof(MsgHeader) == 88, "fixed wire header layout");
+static_assert(sizeof(MsgHeader) == 104, "fixed wire header layout");
 
 /// One client-buffer segment in a direct-I/O request. Each segment carries
 /// its own file offset, so a single request can describe a scatter/gather

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 
 namespace dafs {
@@ -36,6 +37,9 @@ Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
   admission_limit_.store(cfg_.admission_max_queue, std::memory_order_relaxed);
   // The store registers every buffer-cache slab with the NIC as it is
   // allocated; direct I/O then DMAs straight out of / into the cache.
+  // Journal appends run under the worker's open request span; the tracer
+  // pointer lets the store parent them correctly (same pattern as faults).
+  cfg_.store.tracer = &fabric_.trace();
   store_ = std::make_unique<fstore::FileStore>(
       cfg_.store, [this](std::span<std::byte> slab) {
         const via::MemHandle h =
@@ -44,9 +48,28 @@ Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
         slabs_.emplace_back(slab.data(),
                             std::make_pair(slab.size(), h));
       });
+  // Point-in-time server state for the unified metrics export.
+  sim::MetricsRegistry& m = fabric_.metrics();
+  m.register_gauge("dafs.admission_queue_depth",
+                   [this] { return std::uint64_t{recv_cq_.pending()}; });
+  m.register_gauge("dafs.replay_cache_bytes",
+                   [this] { return std::uint64_t{replay_cache_bytes()}; });
+  m.register_gauge("dafs.sessions_live",
+                   [this] { return std::uint64_t{session_count()}; });
+  m.register_gauge("fstore.journal_pending_bytes",
+                   [this] { return store_->journal_pending_bytes(); });
 }
 
-Server::~Server() { stop(); }
+Server::~Server() {
+  stop();
+  // The gauge callbacks capture `this`; a bench sampling metrics after the
+  // server is gone must not call into a dead object.
+  sim::MetricsRegistry& m = fabric_.metrics();
+  m.unregister_gauge("dafs.admission_queue_depth");
+  m.unregister_gauge("dafs.replay_cache_bytes");
+  m.unregister_gauge("dafs.sessions_live");
+  m.unregister_gauge("fstore.journal_pending_bytes");
+}
 
 void Server::start() {
   if (running_.exchange(true)) return;
@@ -222,6 +245,16 @@ void Server::do_crash(std::uint64_t restart_delay_ms) {
                 std::chrono::milliseconds(restart_delay_ms);
   crash_count_.fetch_add(1);
   fabric_.stats().add("dafs.server_crashes");
+  // Flight recorder: stamp the crash into the timeline and dump everything —
+  // the in-flight spans it orphans are exactly the requests that died.
+  if (sim::Tracer& tracer = fabric_.trace(); tracer.enabled()) {
+    Actor* actor = Actor::current();
+    char attrs[64];
+    std::snprintf(attrs, sizeof(attrs), "\"restart_delay_ms\":%llu",
+                  static_cast<unsigned long long>(restart_delay_ms));
+    tracer.event("server_crash", actor != nullptr ? actor->now() : 0, attrs);
+    tracer.flight_dump("crash");
+  }
   {
     std::lock_guard lock(sessions_mu_);
     for (auto& sess : sessions_) {
@@ -325,6 +358,8 @@ via::DescStatus Server::post_and_reap(Session& s, Descriptor& d) {
 }
 
 void Server::send_response(Session& s, MsgBuf& out) {
+  // Child of the request's service span (inert outside one).
+  sim::SpanScope span(fabric_.trace(), "dafs.server", "reply_send");
   MsgView view(out.mem.data(), out.mem.size());
   out.desc = Descriptor{};
   out.desc.op = via::Opcode::kSend;
@@ -351,6 +386,32 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
   resp.header().session_id = s.id;
   resp.header().seq = req.header().seq;
   resp.header().status = PStatus::kOk;
+
+  // Server-side service span, parented under the client's request span via
+  // the ids the request carried across the wire (inert when it carried
+  // none). Everything below — admission, journal appends in the store, RDMA
+  // in the via layer, the reply send — nests under it via the thread-local
+  // context this scope establishes.
+  sim::Tracer& tracer = fabric_.trace();
+  sim::SpanScope svc(tracer, "dafs.server", proc_name(req.header().proc),
+                     req.header().trace_id, req.header().parent_span_id);
+  if (svc.active()) {
+    svc.attr("seq", std::uint64_t{req.header().seq});
+    svc.attr("session", s.id);
+    // Queue wait: NIC completion of the request message -> worker pickup.
+    // Parented under the *client's* span, as a sibling preceding service.
+    if (req_buf.desc.done_at != 0 && actor->now() > req_buf.desc.done_at) {
+      sim::Span w;
+      w.trace_id = svc.trace_id();
+      w.span_id = tracer.new_id();
+      w.parent_span_id = req.header().parent_span_id;
+      w.t_start = req_buf.desc.done_at;
+      w.t_end = actor->now();
+      w.layer = "dafs.server";
+      w.name = "admission_wait";
+      tracer.record(std::move(w));
+    }
+  }
 
   if (req.header().proc != Proc::kConnect &&
       req.header().session_id != s.id) {
@@ -380,6 +441,14 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
       resp.header().aux = overloaded ? cfg_.busy_retry_ns : 0;
       fabric_.stats().add(overloaded ? "dafs.busy_shed"
                                      : "dafs.deadline_expired");
+      if (expired && tracer.enabled()) {
+        char attrs[96];
+        std::snprintf(attrs, sizeof(attrs),
+                      "\"seq\":%u,\"deadline\":%llu", req.header().seq,
+                      static_cast<unsigned long long>(req.header().deadline));
+        tracer.event("deadline_expired", t0, attrs);
+        tracer.flight_dump("deadline");
+      }
       send_response(s, out);
       return;
     }

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <optional>
 
 #include "sim/actor.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/fault.hpp"
+#include "sim/trace.hpp"
 
 namespace fstore {
 
@@ -150,6 +152,12 @@ void FileStore::commit_intents_locked(Ino ino) {
 void FileStore::record_intent_locked(Ino ino, std::uint64_t off,
                                      std::span<const std::byte> data) {
   if (!opt_.journal_enabled || data.empty()) return;
+  // Child of the worker's open request span (inert outside one).
+  std::optional<sim::SpanScope> span;
+  if (opt_.tracer != nullptr) {
+    span.emplace(*opt_.tracer, "fstore", "journal_append");
+    if (span->active()) span->attr("bytes", data.size());
+  }
   Intent intent;
   intent.ino = ino;
   intent.off = off;
@@ -459,6 +467,8 @@ Errc FileStore::set_size(Ino ino, std::uint64_t size) {
 
 Result<std::uint64_t> FileStore::pread(Ino ino, std::uint64_t off,
                                        std::span<std::byte> out) {
+  std::optional<sim::SpanScope> span;
+  if (opt_.tracer != nullptr) span.emplace(*opt_.tracer, "fstore", "pread");
   std::lock_guard lock(mu_);
   Inode* n = find_locked(ino);
   if (n == nullptr) return Errc::kStale;
@@ -498,6 +508,8 @@ Result<std::uint64_t> FileStore::pread(Ino ino, std::uint64_t off,
 
 Result<std::uint64_t> FileStore::pwrite(Ino ino, std::uint64_t off,
                                         std::span<const std::byte> in) {
+  std::optional<sim::SpanScope> span;
+  if (opt_.tracer != nullptr) span.emplace(*opt_.tracer, "fstore", "pwrite");
   std::lock_guard lock(mu_);
   Inode* n = find_locked(ino);
   if (n == nullptr) return Errc::kStale;
@@ -529,6 +541,10 @@ Result<std::uint64_t> FileStore::pwrite(Ino ino, std::uint64_t off,
 
 Result<std::vector<std::span<std::byte>>> FileStore::extents_for_read(
     Ino ino, std::uint64_t off, std::uint64_t len) {
+  std::optional<sim::SpanScope> span;
+  if (opt_.tracer != nullptr) {
+    span.emplace(*opt_.tracer, "fstore", "extents_for_read");
+  }
   std::lock_guard lock(mu_);
   Inode* n = find_locked(ino);
   if (n == nullptr) return Errc::kStale;
@@ -579,6 +595,10 @@ Result<std::vector<std::span<std::byte>>> FileStore::ensure_extents(
 }
 
 Errc FileStore::commit_write(Ino ino, std::uint64_t off, std::uint64_t len) {
+  std::optional<sim::SpanScope> span;
+  if (opt_.tracer != nullptr) {
+    span.emplace(*opt_.tracer, "fstore", "commit_write");
+  }
   std::lock_guard lock(mu_);
   Inode* n = find_locked(ino);
   if (n == nullptr) return Errc::kStale;

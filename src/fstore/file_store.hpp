@@ -18,6 +18,7 @@
 
 namespace sim {
 class FaultPlan;
+class Tracer;
 }
 
 namespace fstore {
@@ -48,6 +49,10 @@ struct Options {
   /// injected media errors). Not owned; the DAFS server wires the fabric's
   /// plan in here so one switchboard drives every layer.
   sim::FaultPlan* faults = nullptr;
+  /// Optional request tracer (sim/trace.hpp). Not owned; the DAFS server
+  /// wires the fabric's tracer in so journal appends and data-path service
+  /// appear as spans under the worker's open request span.
+  sim::Tracer* tracer = nullptr;
   /// Write-ahead intent journal + durable image, making `sync` a real
   /// durability barrier: data writes are recorded as intents and only become
   /// crash-durable when their inode is synced (all of an inode's un-synced

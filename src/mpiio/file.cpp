@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <optional>
 
 #include "sim/actor.hpp"
 
@@ -39,6 +40,28 @@ void File::record_phase(const char* key, sim::Time t0) const {
   if (a == nullptr) return;
   const sim::Time now = a->now();
   comm_.world().fabric().histograms().record(key, now > t0 ? now - t0 : 0);
+  // Same measurement as a span, nested under this operation's root — the
+  // two-phase breakdown shows up as children on the trace timeline.
+  sim::Tracer& tr = tracer();
+  if (!tr.enabled()) return;
+  const sim::SpanContext ctx = sim::Tracer::current();
+  if (!ctx.active()) return;
+  sim::Span s;
+  s.trace_id = ctx.trace_id;
+  s.span_id = tr.new_id();
+  s.parent_span_id = ctx.span_id;
+  s.t_start = t0;
+  s.t_end = now;
+  s.layer = "mpiio";
+  s.name = key;
+  tr.record(std::move(s));
+}
+
+sim::Tracer& File::tracer() const { return comm_.world().fabric().trace(); }
+
+bool File::trace_sampled() const {
+  if (!tracer().enabled() || trace_sample_ == 0) return false;
+  return trace_ops_++ % trace_sample_ == 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -68,6 +91,8 @@ Result<std::unique_ptr<File>> File::open(const mpi::Comm& comm,
   // the opens below, so plumb it into the driver before anything else.
   std::uint64_t deadline_ms = f->info_.get_uint("dafs_deadline_ms", 0);
   if (deadline_ms != 0) f->driver_->set_deadline(deadline_ms * 1'000'000);
+  // Trace sampling: root spans on every k-th operation (0 = never).
+  f->trace_sample_ = f->info_.get_uint("dafs_trace_sample", 1);
 
   std::uint16_t flags = 0;
   if (amode & kModeCreate) flags |= dafs::kOpenCreate;
@@ -435,6 +460,11 @@ Result<std::uint64_t> File::read_at(std::uint64_t offset, void* buf,
                                     std::uint64_t count,
                                     const Datatype& type) {
   if (const Err st = check_readable(); st != Err::kOk) return st;
+  std::optional<sim::SpanScope> root;
+  if (trace_sampled()) {
+    root.emplace(tracer(), "mpiio", "read_at", /*make_root=*/true);
+    root->attr("bytes", count * type.size());
+  }
   const sim::Time t0 = actor_now();
   auto r = independent_io(false, offset, buf, count, type);
   record_phase("mpiio.read_at_ns", t0);
@@ -445,6 +475,11 @@ Result<std::uint64_t> File::write_at(std::uint64_t offset, const void* buf,
                                      std::uint64_t count,
                                      const Datatype& type) {
   if (const Err st = check_writable(); st != Err::kOk) return st;
+  std::optional<sim::SpanScope> root;
+  if (trace_sampled()) {
+    root.emplace(tracer(), "mpiio", "write_at", /*make_root=*/true);
+    root->attr("bytes", count * type.size());
+  }
   const sim::Time t0 = actor_now();
   auto r = independent_io(true, offset, const_cast<void*>(buf), count, type);
   record_phase("mpiio.write_at_ns", t0);
@@ -861,6 +896,11 @@ Result<std::uint64_t> File::read_at_all(std::uint64_t offset, void* buf,
                                         std::uint64_t count,
                                         const Datatype& type) {
   if (const Err st = check_readable(); st != Err::kOk) return st;
+  std::optional<sim::SpanScope> root;
+  if (trace_sampled()) {
+    root.emplace(tracer(), "mpiio", "read_at_all", /*make_root=*/true);
+    root->attr("rank", std::uint64_t{static_cast<unsigned>(comm_.rank())});
+  }
   const sim::Time t0 = actor_now();
   auto r = collective_io(false, offset, buf, count, type);
   record_phase("mpiio.read_at_all_ns", t0);
@@ -871,6 +911,11 @@ Result<std::uint64_t> File::write_at_all(std::uint64_t offset, const void* buf,
                                          std::uint64_t count,
                                          const Datatype& type) {
   if (const Err st = check_writable(); st != Err::kOk) return st;
+  std::optional<sim::SpanScope> root;
+  if (trace_sampled()) {
+    root.emplace(tracer(), "mpiio", "write_at_all", /*make_root=*/true);
+    root->attr("rank", std::uint64_t{static_cast<unsigned>(comm_.rank())});
+  }
   const sim::Time t0 = actor_now();
   auto r = collective_io(true, offset, const_cast<void*>(buf), count, type);
   record_phase("mpiio.write_at_all_ns", t0);

@@ -175,8 +175,13 @@ class File {
   Result<std::uint64_t> sieved_write(std::vector<IoSeg> segs);
   bool use_sieving(bool writing, const std::vector<IoSeg>& segs) const;
   /// Record `now - t0` into the fabric histogram `key` (no-op outside an
-  /// ActorScope, where there is no virtual clock to read).
+  /// ActorScope, where there is no virtual clock to read). When a trace is
+  /// active on this thread, also records the phase as a span under it.
   void record_phase(const char* key, sim::Time t0) const;
+  sim::Tracer& tracer() const;
+  /// Should this operation open a root trace span? Consults the
+  /// `dafs_trace_sample` hint: 0 never, k every k-th operation (default 1).
+  bool trace_sampled() const;
   Err check_writable() const;
   Err check_readable() const;
   std::uint64_t etypes_of(std::uint64_t count, const mpi::Datatype& type) const;
@@ -200,6 +205,11 @@ class File {
   std::uint64_t pos_ = 0;  // individual pointer, in etypes
   bool atomic_ = false;
   std::string sfp_key_;
+
+  // Tracing: sampling interval from the dafs_trace_sample hint and the
+  // per-file operation counter it divides.
+  std::uint64_t trace_sample_ = 1;
+  mutable std::uint64_t trace_ops_ = 0;
 
   // Split-collective state: the access runs at begin (the standard permits
   // completing the work at either call); end validates pairing and returns

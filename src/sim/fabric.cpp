@@ -4,6 +4,10 @@
 
 namespace sim {
 
+Fabric::Fabric(CostModel cm) : cost_(cm) { trace_.configure_from_env(); }
+
+Fabric::~Fabric() { trace_.dump_final(); }
+
 NodeId Fabric::add_node(const std::string& name) {
   std::lock_guard lock(nodes_mu_);
   const NodeId id = static_cast<NodeId>(nodes_.size());

@@ -10,9 +10,11 @@
 #include "sim/cost_model.hpp"
 #include "sim/fault.hpp"
 #include "sim/histogram.hpp"
+#include "sim/metrics.hpp"
 #include "sim/node.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 namespace sim {
 
@@ -29,7 +31,10 @@ namespace sim {
 /// discovery mechanism a real cluster would use.
 class Fabric {
  public:
-  explicit Fabric(CostModel cm = {}) : cost_(cm) {}
+  /// Reads `DAFS_TRACE` from the environment to arm the tracer; the
+  /// destructor writes the final trace dump if anything was recorded.
+  explicit Fabric(CostModel cm = {});
+  ~Fabric();
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -55,6 +60,10 @@ class Fabric {
   HistogramRegistry& histograms() { return hists_; }
   /// The fabric-wide fault injector (inert until armed; see sim/fault.hpp).
   FaultPlan& faults() { return faults_; }
+  /// Cross-layer request tracer / flight recorder (see sim/trace.hpp).
+  Tracer& trace() { return trace_; }
+  /// Unified counters+gauges+histograms export (see sim/metrics.hpp).
+  MetricsRegistry& metrics() { return metrics_; }
 
  private:
   CostModel cost_;
@@ -67,6 +76,8 @@ class Fabric {
   Stats stats_;
   HistogramRegistry hists_;
   FaultPlan faults_;
+  Tracer trace_;
+  MetricsRegistry metrics_{stats_, hists_};
 };
 
 }  // namespace sim

@@ -1,0 +1,83 @@
+#include "sim/metrics.hpp"
+
+#include <cstdio>
+
+#include "sim/histogram.hpp"
+#include "sim/stats.hpp"
+
+namespace sim {
+
+namespace {
+void append_kv(std::string& out, const std::string& key, std::uint64_t v,
+               bool& first) {
+  char buf[32];
+  if (!first) out += ',';
+  first = false;
+  out += '"';
+  out += key;  // keys are our own metric names: no escaping needed
+  out += "\":";
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+}  // namespace
+
+void MetricsRegistry::register_gauge(const std::string& name, GaugeFn fn) {
+  std::lock_guard lock(mu_);
+  gauges_[name] = std::move(fn);
+}
+
+void MetricsRegistry::unregister_gauge(const std::string& name) {
+  std::lock_guard lock(mu_);
+  gauges_.erase(name);
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::sample_gauges() const {
+  std::map<std::string, GaugeFn> fns;
+  {
+    std::lock_guard lock(mu_);
+    fns = gauges_;
+  }
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, fn] : fns) out[name] = fn ? fn() : 0;
+  return out;
+}
+
+std::string MetricsRegistry::to_json(const std::string& bench,
+                                     const std::string& params_json) const {
+  std::string out;
+  out.reserve(1 << 12);
+  out += "{\"bench\":\"";
+  out += bench;
+  out += "\",\"params\":";
+  out += params_json.empty() ? "{}" : params_json;
+
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [k, v] : stats_.snapshot()) append_kv(out, k, v, first);
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [k, v] : sample_gauges()) append_kv(out, k, v, first);
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [k, s] : hists_.snapshot_all()) {
+    if (!first) out += ',';
+    first = false;
+    char buf[320];
+    std::snprintf(
+        buf, sizeof(buf),
+        "\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+        "\"mean\":%.1f,\"p50\":%llu,\"p95\":%llu,\"p99\":%llu}",
+        k.c_str(), static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.sum),
+        static_cast<unsigned long long>(s.min),
+        static_cast<unsigned long long>(s.max), s.mean(),
+        static_cast<unsigned long long>(s.p50()),
+        static_cast<unsigned long long>(s.p95()),
+        static_cast<unsigned long long>(s.quantile(0.99)));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace sim {
+
+class Stats;
+class HistogramRegistry;
+
+/// One export surface for everything the stack measures: `Stats` counters,
+/// `HistogramRegistry` distributions, and *gauges* — named callbacks sampled
+/// at export time for point-in-time state that is not an accumulating count
+/// (admission-queue depth, replay-cache bytes, live sessions, journal
+/// length). Lives on the Fabric next to the sources it unifies; benches emit
+/// its `to_json()` via `bench::emit_metrics_json` so every benchmark prints
+/// the same schema:
+///
+///   {"bench":"<name>","params":{...},
+///    "counters":{"<key>":N,...},
+///    "gauges":{"<key>":N,...},
+///    "histograms":{"<key>":{"count":..,"sum":..,"min":..,"max":..,
+///                           "mean":..,"p50":..,"p95":..,"p99":..},...}}
+///
+/// Gauge owners (e.g. dafs::Server) must unregister before dying; the
+/// registry copies the callback map under its lock before sampling, so
+/// registration from one thread is safe against export from another.
+class MetricsRegistry {
+ public:
+  using GaugeFn = std::function<std::uint64_t()>;
+
+  MetricsRegistry(const Stats& stats, const HistogramRegistry& hists)
+      : stats_(stats), hists_(hists) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or replace) a gauge. The callback runs on the exporting
+  /// thread and must stay valid until `unregister_gauge`.
+  void register_gauge(const std::string& name, GaugeFn fn);
+  void unregister_gauge(const std::string& name);
+
+  /// Sample every registered gauge now.
+  std::map<std::string, std::uint64_t> sample_gauges() const;
+
+  /// The unified single-line JSON document described above. `params_json`
+  /// must be a complete JSON value (typically an object literal).
+  std::string to_json(const std::string& bench,
+                      const std::string& params_json = "{}") const;
+
+ private:
+  const Stats& stats_;
+  const HistogramRegistry& hists_;
+  mutable std::mutex mu_;
+  std::map<std::string, GaugeFn> gauges_;
+};
+
+}  // namespace sim

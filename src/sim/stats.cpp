@@ -1,0 +1,75 @@
+#include "sim/stats.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace sim {
+
+namespace {
+std::atomic<std::uint64_t> g_stats_gen{1};
+}  // namespace
+
+Stats::Stats() : gen_(g_stats_gen.fetch_add(1, std::memory_order_relaxed)) {}
+
+Stats::~Stats() = default;
+
+Stats::Shard& Stats::shard_for_this_thread() {
+  struct Cache {
+    const Stats* key = nullptr;
+    std::uint64_t gen = 0;
+    Shard* shard = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.key == this && cache.gen == gen_) return *cache.shard;
+
+  static thread_local const std::thread::id me = std::this_thread::get_id();
+  // Shards are tagged with their owning thread so a thread that alternates
+  // between two Stats instances (cache thrash) still finds its own shard
+  // instead of growing a new one each switch.
+  std::lock_guard lock(shards_mu_);
+  Shard* shard = nullptr;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (owners_[i] == me) {
+      shard = shards_[i].get();
+      break;
+    }
+  }
+  if (shard == nullptr) {
+    shards_.push_back(std::make_unique<Shard>());
+    owners_.push_back(me);
+    shard = shards_.back().get();
+  }
+  cache = Cache{this, gen_, shard};
+  return *shard;
+}
+
+std::uint64_t Stats::get(const std::string& key) const {
+  std::uint64_t total = 0;
+  std::lock_guard lock(shards_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard slock(s->mu);
+    auto it = s->counters.find(key);
+    if (it != s->counters.end()) total += it->second;
+  }
+  return total;
+}
+
+std::map<std::string, std::uint64_t> Stats::snapshot() const {
+  std::map<std::string, std::uint64_t> out;
+  std::lock_guard lock(shards_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard slock(s->mu);
+    for (const auto& [k, v] : s->counters) out[k] += v;
+  }
+  return out;
+}
+
+void Stats::reset() {
+  std::lock_guard lock(shards_mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard slock(s->mu);
+    s->counters.clear();
+  }
+}
+
+}  // namespace sim

@@ -2,40 +2,58 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
 
 namespace sim {
 
 /// Named event counters (bytes copied, RDMA operations, kernel crossings,
 /// packets on the wire, ...). Cheap enough for per-operation increments;
 /// benchmarks snapshot/diff them to report the "why" behind the timings.
+///
+/// Counters are sharded per thread: `add` touches only the calling thread's
+/// shard (own mutex, effectively uncontended; the lock exists so readers can
+/// merge safely), so hot data-path increments from the client, server, and
+/// NIC actors never serialize on one global lock. `get`/`snapshot` merge all
+/// shards. `reset` clears shard contents in place, so cached shard pointers
+/// stay valid across it.
 class Stats {
  public:
+  Stats();
+  ~Stats();
+  Stats(const Stats&) = delete;
+  Stats& operator=(const Stats&) = delete;
+
   void add(const std::string& key, std::uint64_t v = 1) {
-    std::lock_guard lock(mu_);
-    counters_[key] += v;
+    Shard& s = shard_for_this_thread();
+    std::lock_guard lock(s.mu);
+    s.counters[key] += v;
   }
 
-  std::uint64_t get(const std::string& key) const {
-    std::lock_guard lock(mu_);
-    auto it = counters_.find(key);
-    return it == counters_.end() ? 0 : it->second;
-  }
+  std::uint64_t get(const std::string& key) const;
 
-  std::map<std::string, std::uint64_t> snapshot() const {
-    std::lock_guard lock(mu_);
-    return counters_;
-  }
+  std::map<std::string, std::uint64_t> snapshot() const;
 
-  void reset() {
-    std::lock_guard lock(mu_);
-    counters_.clear();
-  }
+  void reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::uint64_t> counters_;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, std::uint64_t> counters;
+  };
+
+  Shard& shard_for_this_thread();
+
+  /// Process-unique generation so a thread's cached shard pointer can never
+  /// alias a different Stats instance reusing this object's address.
+  std::uint64_t gen_;
+  mutable std::mutex shards_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::thread::id> owners_;  // parallel to shards_
 };
 
 }  // namespace sim

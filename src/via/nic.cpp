@@ -19,6 +19,10 @@ Nic::~Nic() = default;
 
 MemHandle Nic::register_memory(void* base, std::size_t len, ProtectionTag tag,
                                MemAttrs attrs) {
+  // Registration cost under the caller's open request span, if any: cache
+  // misses in the client's registration cache show up on the timeline.
+  sim::SpanScope span(fabric_.trace(), "via", "register_memory");
+  if (span.active()) span.attr("bytes", std::uint64_t{len});
   if (Actor* actor = Actor::current()) {
     actor->charge(CostKind::kRegistration, cost().reg_time(len));
   }

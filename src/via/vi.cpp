@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
 
 #include "sim/actor.hpp"
@@ -458,6 +459,28 @@ Status Vi::post_send(Descriptor& d) {
   if (lat_key != nullptr) {
     fabric.histograms().record(lat_key, since(d.posted_at, d.done_at));
     fabric.histograms().record(size_key, total);
+    // Doorbell->completion span, child of whatever request span is open on
+    // this thread (the DAFS client request or the server's service span).
+    if (sim::Tracer& tracer = fabric.trace(); tracer.enabled()) {
+      if (const sim::SpanContext ctx = sim::Tracer::current(); ctx.active()) {
+        sim::Span s;
+        s.trace_id = ctx.trace_id;
+        s.span_id = tracer.new_id();
+        s.parent_span_id = ctx.span_id;
+        s.t_start = d.posted_at;
+        s.t_end = d.done_at;
+        s.layer = "via";
+        s.name = d.op == Opcode::kSend ? "send"
+                 : d.op == Opcode::kRdmaWrite ? "rdma_write"
+                                              : "rdma_read";
+        char attrs[64];
+        std::snprintf(attrs, sizeof(attrs), "\"bytes\":%llu,\"status\":%d",
+                      static_cast<unsigned long long>(total),
+                      static_cast<int>(d.status));
+        s.attrs = attrs;
+        tracer.record(std::move(s));
+      }
+    }
   }
 
   // Scheduled break: the Nth completion on a named connection succeeds, then

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -36,6 +37,37 @@ using sim::Actor;
 using sim::ActorScope;
 
 constexpr std::uint64_t kChunk = 32 * 1024;
+
+/// Arms the fabric's flight recorder for the enclosing test; if the test has
+/// failed by the time the guard dies, dumps everything the recorder holds
+/// (closed spans, orphaned in-flight spans, crash/deadline events) and
+/// prints the dump path so the failure can be replayed on a timeline.
+class FlightDumpOnFailure {
+ public:
+  explicit FlightDumpOnFailure(sim::Fabric& fabric) : fabric_(fabric) {
+    fabric_.trace().set_enabled(true);
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    if (info != nullptr) {
+      fabric_.trace().set_dump_path(std::string("chaos_") + info->name() +
+                                    ".json");
+    }
+  }
+  ~FlightDumpOnFailure() {
+    if (!::testing::Test::HasFailure()) return;
+    const std::string path = fabric_.trace().flight_dump("assert");
+    if (!path.empty()) {
+      std::fprintf(stderr,
+                   "[chaos] test failed: flight recorder dumped to %s "
+                   "(load in https://ui.perfetto.dev)\n",
+                   path.c_str());
+    }
+  }
+  FlightDumpOnFailure(const FlightDumpOnFailure&) = delete;
+  FlightDumpOnFailure& operator=(const FlightDumpOnFailure&) = delete;
+
+ private:
+  sim::Fabric& fabric_;
+};
 
 std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
   sim::Rng rng(seed);
@@ -82,6 +114,7 @@ ChaosCounters run_crash_world(std::uint64_t seed) {
   constexpr std::uint64_t kDelta = 7;
 
   sim::Fabric fabric;
+  FlightDumpOnFailure flight(fabric);
   dafs::ServerConfig scfg;
   scfg.grace_period_ms = 10;  // keep reclaim-vs-retry real time short
   dafs::Server server(fabric, fabric.add_node("filer"), scfg);
@@ -244,6 +277,7 @@ TEST(Chaos, SeededCrashMidCollectiveSweep) {
 
 TEST(Chaos, SyncedDataSurvivesUnsyncedDataVanishes) {
   sim::Fabric fabric;
+  FlightDumpOnFailure flight(fabric);
   dafs::ServerConfig scfg;
   scfg.grace_period_ms = 5;
   dafs::Server server(fabric, fabric.add_node("filer"), scfg);
@@ -291,6 +325,7 @@ TEST(Chaos, StaleHandleAfterFileReplacedUnderRestart) {
   static_assert(mpiio::error_class(Err::kBusy) == ErrClass::kIo);
 
   sim::Fabric fabric;
+  FlightDumpOnFailure flight(fabric);
   dafs::ServerConfig scfg;
   scfg.grace_period_ms = 5;
   dafs::Server server(fabric, fabric.add_node("filer"), scfg);
@@ -351,6 +386,7 @@ TEST(Chaos, StaleHandleAfterFileReplacedUnderRestart) {
 
 TEST(Chaos, OverloadShedsWithBusyThenDrains) {
   sim::Fabric fabric;
+  FlightDumpOnFailure flight(fabric);
   dafs::Server server(fabric, fabric.add_node("filer"));
   server.start();
   const auto node = fabric.add_node("client");
@@ -392,6 +428,7 @@ TEST(Chaos, OverloadShedsWithBusyThenDrains) {
 
 TEST(Chaos, ReplayCacheBoundedByBytes) {
   sim::Fabric fabric;
+  FlightDumpOnFailure flight(fabric);
   dafs::ServerConfig scfg;
   scfg.replay_max_bytes = 256;  // a few header-sized responses
   dafs::Server server(fabric, fabric.add_node("filer"), scfg);
@@ -429,6 +466,7 @@ TEST(Chaos, ReplayCacheBoundedByBytes) {
 
 TEST(Chaos, ExpiredDeadlineIsShedNotRetried) {
   sim::Fabric fabric;
+  FlightDumpOnFailure flight(fabric);
   dafs::Server server(fabric, fabric.add_node("filer"));
   server.start();
   const auto node = fabric.add_node("client");
@@ -463,6 +501,7 @@ TEST(Chaos, ExpiredDeadlineIsShedNotRetried) {
 
 TEST(Chaos, DeadlineHintFlowsThroughMpiIo) {
   sim::Fabric fabric;
+  FlightDumpOnFailure flight(fabric);
   dafs::Server server(fabric, fabric.add_node("filer"));
   server.start();
   mpi::WorldConfig wcfg;
