@@ -78,16 +78,17 @@ int main() {
 
   const auto data = make_data(static_cast<std::size_t>(kChunks) * kChunk, 14);
 
-  dafs::ClientConfig ccfg;
-  ccfg.max_recovery_attempts = 8;
-  ccfg.recovery_backoff_ns = 100'000;
-  ccfg.recovery_backoff_cap_ns = 10'000'000;
-  ccfg.recovery_seed = 14;
+  dafs::RetryPolicy retry;
+  retry.attempts = 8;
+  retry.backoff_ns = 100'000;
+  retry.backoff_cap_ns = 10'000'000;
+  retry.jitter_seed = 14;
+  const dafs::MountSpec mspec = dafs::single_mount("dafs", retry);
 
-  DafsBed clean(ccfg);
+  DafsBed clean(mspec);
   const StreamResult base = run_stream(clean, data);
 
-  DafsBed faulted(ccfg);
+  DafsBed faulted(mspec);
   faulted.fabric.faults().arm(14);
   faulted.fabric.faults().break_conn_after("dafs", kBreakEvery,
                                            /*repeat=*/true);

@@ -140,19 +140,20 @@ int main() {
 
   const auto data = make_data(static_cast<std::size_t>(kChunks) * kChunk, 15);
 
-  dafs::ClientConfig ccfg;
-  ccfg.max_recovery_attempts = 8;
-  ccfg.recovery_backoff_ns = 100'000;
-  ccfg.recovery_backoff_cap_ns = 10'000'000;
-  ccfg.recovery_seed = 15;
+  dafs::RetryPolicy retry;
+  retry.attempts = 8;
+  retry.backoff_ns = 100'000;
+  retry.backoff_cap_ns = 10'000'000;
+  retry.jitter_seed = 15;
+  const dafs::MountSpec mspec = dafs::single_mount("dafs", retry);
 
   dafs::ServerConfig scfg;
   scfg.grace_period_ms = 5;  // short grace so the bench stays quick
 
-  DafsBed clean(ccfg, scfg);
+  DafsBed clean(mspec, scfg);
   const StreamResult base = run_stream(clean, data);
 
-  DafsBed crashed(ccfg, scfg);
+  DafsBed crashed(mspec, scfg);
   crashed.fabric.faults().arm(15);
   crashed.fabric.faults().crash_server_after_requests(kCrashAfter, kRestartMs);
   const StreamResult hurt = run_stream(crashed, data);

@@ -1,0 +1,247 @@
+// E16 (failover, beyond the paper): the same crash fault plan hits two
+// recovery designs and the bench times both end to end:
+//   - restart-wait (PR 3): a single filer; the client's only option is to
+//     poll the dead listener until the server's real-time restart delay
+//     elapses, then reclaim its session on the reborn instance.
+//   - failover (this PR): a replicated pair; the primary streams its journal
+//     to a standby, the crash kills only the primary, the client probes
+//     briefly and rotates to the promoted standby — no restart wait.
+// The stream is driven through MPI-IO (write_at + per-window sync), so a
+// traced run (DAFS_TRACE=...) shows the failover retries parented under the
+// originating mpiio spans — scripts/check_trace.py --mpiio-rooted validates
+// exactly that linkage in tier1.sh. Completion is compared in host
+// wall-clock: the outage is a real-time phenomenon (the restart delay and
+// the client's reconnect polling are real sleeps), so wall-clock is the
+// honest ruler; virtual-time bandwidth is reported alongside. Acked-but-
+// unsynced chunks may legally die with the primary on either path; the
+// bench proves the loss is confined to the crash window, repairs it
+// app-side, and verifies the file byte-exact before accepting the timing.
+#include <chrono>
+#include <cstring>
+
+#include "bench/common.hpp"
+#include "mpiio/ad_dafs.hpp"
+#include "mpiio/file.hpp"
+
+using namespace bench;
+
+namespace {
+
+constexpr std::size_t kChunk = 64 * 1024;   // direct path
+constexpr int kChunks = 48;
+constexpr int kWindow = 8;                   // chunks per sync checkpoint
+constexpr std::uint64_t kCrashAfter = 12;    // admitted requests before crash
+constexpr std::uint64_t kRestartMs = 150;    // real-time restart delay
+constexpr std::uint64_t kSeed = 16;
+
+struct RunResult {
+  double wall_ms = 0;       // host wall-clock, stream start -> last sync
+  double virt_mbps = 0;     // modeled bandwidth over the same interval
+  int lost_chunks = 0;      // acked-unsynced chunks the crash devoured
+  std::uint64_t crashes = 0;
+  std::uint64_t failovers = 0;
+};
+
+/// Write the stream through MPI-IO with a sync checkpoint per window, then
+/// verify/repair/verify. The crash lands mid-stream in both scenarios; every
+/// write must eventually succeed (transparently recovered or retried).
+RunResult run_world(sim::Fabric& fabric, mpi::World& world,
+                    const dafs::MountSpec& mspec,
+                    const std::vector<std::byte>& data) {
+  RunResult out;
+  world.run([&](mpi::Comm& c) {
+    via::Nic nic(fabric, world.node_of(c.rank()), "cli");
+    auto session = std::move(dafs::Session::connect(nic, mspec).value());
+    auto f = std::move(mpiio::File::open(c, "/e16",
+                                         mpiio::kModeCreate | mpiio::kModeRdwr,
+                                         mpiio::Info{},
+                                         mpiio::dafs_driver(*session))
+                           .value());
+    const auto wall0 = std::chrono::steady_clock::now();
+    const sim::Time t0 = c.actor().now();
+    for (int i = 0; i < kChunks; ++i) {
+      const std::uint64_t off = static_cast<std::uint64_t>(i) * kChunk;
+      bool ok = false;
+      for (int t = 0; t < 8 && !ok; ++t) {
+        auto r = f->write_at(off, data.data() + off, kChunk,
+                             mpi::Datatype::byte());
+        ok = r.ok() && r.value() == kChunk;
+      }
+      if (!ok) {
+        std::fprintf(stderr, "bench: write chunk %d failed\n", i);
+        std::abort();
+      }
+      if ((i + 1) % kWindow == 0) require_ok(f->sync(), "sync");
+    }
+    out.wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - wall0)
+            .count();
+    out.virt_mbps = mbps(static_cast<std::uint64_t>(kChunks) * kChunk,
+                         c.actor().now() - t0);
+
+    // Verify; chunks acked after the last pre-crash checkpoint may have
+    // legally vanished. They must be confined to one window — everything
+    // checkpointed survives — and an app-level rewrite repairs them.
+    std::vector<std::byte> back(data.size());
+    auto rd = f->read_at(0, back.data(), back.size(), mpi::Datatype::byte());
+    if (!rd.ok()) {
+      std::fprintf(stderr, "bench: verify read failed\n");
+      std::abort();
+    }
+    std::vector<int> lost;
+    for (int i = 0; i < kChunks; ++i) {
+      const std::size_t off = static_cast<std::size_t>(i) * kChunk;
+      if (rd.value() < off + kChunk ||
+          std::memcmp(back.data() + off, data.data() + off, kChunk) != 0) {
+        lost.push_back(i);
+      }
+    }
+    if (static_cast<int>(lost.size()) > kWindow ||
+        (!lost.empty() && lost.back() - lost.front() >= kWindow)) {
+      std::fprintf(stderr, "bench: lost chunks not confined to one window\n");
+      std::abort();
+    }
+    out.lost_chunks = static_cast<int>(lost.size());
+    for (int i : lost) {
+      const std::size_t off = static_cast<std::size_t>(i) * kChunk;
+      auto w =
+          f->write_at(off, data.data() + off, kChunk, mpi::Datatype::byte());
+      if (!w.ok() || w.value() != kChunk) {
+        std::fprintf(stderr, "bench: repair write chunk %d failed\n", i);
+        std::abort();
+      }
+    }
+    require_ok(f->sync(), "repair sync");
+    rd = f->read_at(0, back.data(), back.size(), mpi::Datatype::byte());
+    if (!rd.ok() || rd.value() != back.size() ||
+        std::memcmp(back.data(), data.data(), back.size()) != 0) {
+      std::fprintf(stderr, "bench: file not byte-exact after repair\n");
+      std::abort();
+    }
+    f->close();
+  });
+  out.crashes = fabric.stats().get("dafs.server_crashes");
+  out.failovers = fabric.stats().get("dafs.failovers");
+  if (out.crashes == 0) {
+    std::fprintf(stderr, "bench: armed crash never fired\n");
+    std::abort();
+  }
+  return out;
+}
+
+dafs::RetryPolicy retry_policy() {
+  dafs::RetryPolicy retry;
+  retry.attempts = 8;
+  retry.backoff_ns = 100'000;
+  retry.backoff_cap_ns = 10'000'000;
+  retry.jitter_seed = kSeed;
+  return retry;
+}
+
+/// PR 3 path: one filer, the client waits out the real restart delay.
+RunResult run_restart_wait(const std::vector<std::byte>& data) {
+  sim::Fabric fabric;
+  dafs::ServerConfig scfg;
+  scfg.grace_period_ms = 5;
+  dafs::Server server(fabric, fabric.add_node("filer"), scfg);
+  server.start();
+  mpi::WorldConfig wcfg;
+  wcfg.nprocs = 1;
+  wcfg.fabric = &fabric;
+  mpi::World world(wcfg);
+  fabric.faults().arm(kSeed);
+  fabric.faults().crash_server_after_requests(kCrashAfter, kRestartMs);
+  const RunResult r =
+      run_world(fabric, world, dafs::single_mount("dafs", retry_policy()), data);
+  fabric.faults().clear();
+  server.stop();
+  return r;
+}
+
+/// This PR's path: a replicated pair, the client rotates to the standby.
+/// Same fault plan (same seed, same request count, same restart delay),
+/// restricted to the primary's node.
+RunResult run_failover(const std::vector<std::byte>& data) {
+  sim::Fabric fabric;
+  sim::NodeId primary_node = fabric.add_node("filer-a");
+  sim::NodeId standby_node = fabric.add_node("filer-b");
+  dafs::ServerConfig pcfg;
+  pcfg.grace_period_ms = 5;
+  pcfg.service = "dafs";
+  pcfg.repl_peer = "dafs-repl";
+  dafs::ServerConfig bcfg;
+  bcfg.grace_period_ms = 5;
+  bcfg.service = "dafs-b";
+  bcfg.repl_listen = "dafs-repl";
+  dafs::Server primary(fabric, primary_node, pcfg);
+  dafs::Server standby(fabric, standby_node, bcfg);
+  primary.start();
+  standby.start();
+  mpi::WorldConfig wcfg;
+  wcfg.nprocs = 1;
+  wcfg.fabric = &fabric;
+  mpi::World world(wcfg);
+  fabric.faults().arm(kSeed);
+  fabric.faults().restrict_crash_to_node(primary_node);
+  fabric.faults().crash_server_after_requests(kCrashAfter, kRestartMs);
+  const RunResult r = run_world(
+      fabric, world, dafs::failover_mount({"dafs", "dafs-b"}, retry_policy()),
+      data);
+  fabric.faults().clear();
+  if (r.failovers == 0) {
+    std::fprintf(stderr, "bench: failover run never rotated endpoints\n");
+    std::abort();
+  }
+  // The replication-lag gauge, promotion/fencing counters and the
+  // failover/reconnect latency histograms all ride in the unified metrics
+  // document of THIS fabric (the interesting one).
+  emit_metrics_json(fabric, "e16_failover",
+                    "{\"chunk\":65536,\"chunks\":48,\"sync_every\":8,"
+                    "\"crash_after\":12,\"restart_ms\":150,\"seed\":16}");
+  standby.stop();
+  primary.stop();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E16 [failover]: %d x 64 KiB MPI-IO writes, sync every %d chunks, "
+      "filer killed after request %llu (restart %llu ms later). restart-wait "
+      "= single filer, client polls through the outage; failover = "
+      "journal-replicated pair, client rotates to the promoted standby.\n\n",
+      kChunks, kWindow, static_cast<unsigned long long>(kCrashAfter),
+      static_cast<unsigned long long>(kRestartMs));
+
+  const auto data = make_data(static_cast<std::size_t>(kChunks) * kChunk, 16);
+
+  const RunResult wait = run_restart_wait(data);
+  const RunResult fo = run_failover(data);
+
+  Table t({"scenario", "wall ms", "virt MB/s", "lost chunks", "crashes",
+           "failovers"});
+  t.row({"restart-wait", fmt(wait.wall_ms), fmt(wait.virt_mbps),
+         std::to_string(wait.lost_chunks), std::to_string(wait.crashes),
+         std::to_string(wait.failovers)});
+  t.row({"failover", fmt(fo.wall_ms), fmt(fo.virt_mbps),
+         std::to_string(fo.lost_chunks), std::to_string(fo.crashes),
+         std::to_string(fo.failovers)});
+  t.print();
+  std::printf("outage advantage: failover finished in %.1f ms vs %.1f ms "
+              "restart-wait (%.1fx)\n",
+              fo.wall_ms, wait.wall_ms,
+              wait.wall_ms / (fo.wall_ms > 0 ? fo.wall_ms : 1));
+
+  // The acceptance bar: under the identical fault plan, failing over to the
+  // standby must beat waiting out the primary's restart.
+  if (fo.wall_ms >= wait.wall_ms) {
+    std::fprintf(stderr,
+                 "bench: failover (%.1f ms) not faster than restart-wait "
+                 "(%.1f ms)\n",
+                 fo.wall_ms, wait.wall_ms);
+    std::abort();
+  }
+  return 0;
+}

@@ -11,6 +11,14 @@ Checks (hard errors):
     asynchronously, so a send's wire completion can legitimately trail the
     span that posted it.
 
+With --mpiio-rooted (hard errors, opt-in):
+  - at least one "mpiio" root span is present
+  - every "dafs.client" span chains up to a root whose category is "mpiio".
+    This is the failover-retry linkage check: a client request that crossed
+    a crash, reclaim or endpoint rotation keeps its original ids, so the
+    retried attempt must still land under the MPI-IO operation that issued
+    it. A chain broken by ring eviction is a warning, not an error.
+
 Warnings (do not fail the check):
   - a span whose parent id does not resolve to any span in the file — the
     flight recorder's rings are bounded, so a long run can legitimately
@@ -18,7 +26,7 @@ Warnings (do not fail the check):
   - a file with events but no spans (a crash dump from a fabric that traced
     no requests)
 
-Usage: check_trace.py <trace.json> [more.json ...]
+Usage: check_trace.py [--mpiio-rooted] <trace.json> [more.json ...]
 Exit status 0 when every file passes, 1 otherwise.
 """
 
@@ -30,7 +38,43 @@ import sys
 EPSILON_US = 0.002
 
 
-def check(path):
+def check_mpiio_rooted(path, spans, errors, warnings):
+    """Failover-retry linkage: every dafs.client span must chain up to an
+    mpiio root span (retried attempts keep the original ids, so recovery
+    never detaches a request from the operation that issued it)."""
+    if not any(ev.get("cat") == "mpiio" for ev in spans.values()):
+        errors.append(f"{path}: --mpiio-rooted: no mpiio root spans in file")
+        return
+    for span_id, ev in spans.items():
+        if ev.get("cat") != "dafs.client":
+            continue
+        cur, hops = ev, 0
+        while True:
+            parent_id = cur["args"].get("parent_span_id", 0)
+            if not parent_id:
+                if cur.get("cat") != "mpiio":
+                    errors.append(
+                        f"{path}: --mpiio-rooted: span {span_id} "
+                        f"({ev.get('name')}) roots at {cur.get('name')!r} "
+                        f"[{cur.get('cat')}], not an mpiio span")
+                break
+            parent = spans.get(parent_id)
+            if parent is None:
+                warnings.append(
+                    f"{path}: --mpiio-rooted: span {span_id} "
+                    f"({ev.get('name')}): chain broken at evicted parent "
+                    f"{parent_id}")
+                break
+            cur = parent
+            hops += 1
+            if hops > len(spans):
+                errors.append(
+                    f"{path}: --mpiio-rooted: span {span_id} "
+                    f"({ev.get('name')}): parent cycle")
+                break
+
+
+def check(path, mpiio_rooted=False):
     errors = []
     warnings = []
     try:
@@ -101,16 +145,21 @@ def check(path):
         errors.append(f"{path}: empty trace (no spans, no events)")
     elif not spans:
         warnings.append(f"{path}: events only, no spans")
+    if mpiio_rooted and spans:
+        check_mpiio_rooted(path, spans, errors, warnings)
     return errors, warnings
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    mpiio_rooted = "--mpiio-rooted" in args
+    args = [a for a in args if a != "--mpiio-rooted"]
+    if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failed = False
-    for path in argv[1:]:
-        errors, warnings = check(path)
+    for path in args:
+        errors, warnings = check(path, mpiio_rooted=mpiio_rooted)
         for w in warnings:
             print(f"warning: {w}", file=sys.stderr)
         for e in errors:

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 gate: the standard build + full test suite, then an
 # AddressSanitizer/UBSan build running the fault-injection slice (ctest -L
-# fault), the server crash/restart chaos slice (ctest -L chaos) and the
-# causal-tracing slice (ctest -L trace), which stress the recovery paths
-# where lifetime bugs would hide. A final leg runs a traced end-to-end
-# benchmark and validates the emitted Perfetto JSON (ids resolve, spans
-# nest, no negative durations) with scripts/check_trace.py.
+# fault), the server crash/restart chaos slice (ctest -L chaos), the
+# dual-filer failover slice (ctest -L failover) and the causal-tracing
+# slice (ctest -L trace), which stress the recovery paths where lifetime
+# bugs would hide. A final leg runs traced end-to-end benchmarks and
+# validates the emitted Perfetto JSON (ids resolve, spans nest, no negative
+# durations) with scripts/check_trace.py — including the failover-retry
+# linkage check (--mpiio-rooted) against the traced failover bench.
 #
 # Every ctest invocation runs under a per-test timeout so a hung recovery
 # path (the exact bug class the chaos suite hunts) fails the gate instead of
@@ -28,16 +30,22 @@ cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
   --timeout "$TEST_TIMEOUT"
 
-echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + trace labels) =="
+echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace labels) =="
 cmake -B "$ASAN_BUILD" -S . -DDAFS_SANITIZE=ON >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault \
-  --target test_chaos --target test_trace
+  --target test_chaos --target test_failover --target test_trace
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" \
-  --timeout "$TEST_TIMEOUT" -L 'fault|chaos|trace'
+  --timeout "$TEST_TIMEOUT" -L 'fault|chaos|failover|trace'
 
-echo "== tier1: trace-validation leg (traced bench -> check_trace.py) =="
+echo "== tier1: trace-validation leg (traced benches -> check_trace.py) =="
 TRACE_OUT="$BUILD/tier1_trace.json"
 DAFS_TRACE="$TRACE_OUT" "$BUILD/bench/bench_e8_breakdown" >/dev/null
 python3 scripts/check_trace.py "$TRACE_OUT"
+# Failover bench: besides the structural checks, require every dafs.client
+# span — including the retries that crossed the crash and the endpoint
+# rotation — to chain up to the mpiio span that issued it.
+FAILOVER_TRACE="$BUILD/tier1_trace_failover.json"
+DAFS_TRACE="$FAILOVER_TRACE" "$BUILD/bench/bench_e16_failover" >/dev/null
+python3 scripts/check_trace.py --mpiio-rooted "$FAILOVER_TRACE"
 
 echo "== tier1: all green =="

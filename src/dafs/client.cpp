@@ -46,63 +46,115 @@ via::ViAttrs session_vi_attrs(via::ProtectionTag tag) {
 }
 }  // namespace
 
-Session::Session(via::Nic& nic, ClientConfig cfg)
+Session::Session(via::Nic& nic, MountSpec spec)
     : nic_(nic),
-      cfg_(std::move(cfg)),
+      cfg_(std::move(spec.client)),
+      eps_(std::move(spec.endpoints)),
       ptag_(nic.create_ptag()),
       vi_(std::make_unique<via::Vi>(nic, session_vi_attrs(ptag_))),
-      backoff_rng_(cfg_.recovery_seed) {
-  deadline_ns_ = cfg_.deadline_ns;
+      backoff_rng_(1) {
+  // Normalize: an empty endpoint list means one default endpoint at the
+  // ClientConfig's service (also what the deprecated shim produces).
+  if (eps_.empty()) eps_.push_back(Endpoint{cfg_.service, RetryPolicy{}});
+  backoff_rng_ = sim::Rng(eps_[0].retry.jitter_seed);
+  deadline_ns_ = eps_[0].retry.deadline_ns;
+}
+
+Result<std::unique_ptr<Session>> Session::connect(via::Nic& nic,
+                                                  const MountSpec& spec) {
+  auto s = std::unique_ptr<Session>(new Session(nic, spec));
+  if (const PStatus st = s->do_connect(); st != PStatus::kOk) return st;
+  return s;
 }
 
 Result<std::unique_ptr<Session>> Session::connect(via::Nic& nic,
                                                   ClientConfig cfg) {
-  auto s = std::unique_ptr<Session>(new Session(nic, std::move(cfg)));
-  if (const PStatus st = s->do_connect(); st != PStatus::kOk) return st;
-  return s;
+  // Deprecated single-endpoint shim.
+  MountSpec spec;
+  spec.endpoints.push_back(Endpoint{cfg.service, RetryPolicy{}});
+  spec.client = std::move(cfg);
+  return connect(nic, spec);
+}
+
+void Session::advance_endpoint() {
+  if (eps_.size() > 1) nic_.fabric().stats().add("dafs.endpoint_rotations");
+  ep_ = (ep_ + 1) % eps_.size();
+  ++rotations_;
+  // Reseed the jitter RNG per rotation so two passes through the same
+  // endpoint list do not replay the same backoff schedule.
+  backoff_rng_ = sim::Rng(eps_[ep_].retry.jitter_seed ^
+                          (0x9e3779b97f4a7c15ULL * rotations_));
 }
 
 PStatus Session::do_connect() {
   Actor* actor = Actor::current();
   assert(actor && "Session::connect outside an ActorScope");
   (void)actor;
+  PStatus last = PStatus::kProtoError;
+  for (std::size_t pass = 0; pass < eps_.size(); ++pass) {
+    last = connect_once();
+    if (last != PStatus::kFenced) break;
+    // A fenced filer was deposed while we were away: it answers every
+    // request kFenced. Try the next endpoint on a fresh VI.
+    advance_endpoint();
+    vi_->disconnect();
+    vi_ = std::make_unique<via::Vi>(nic_, session_vi_attrs(ptag_));
+  }
+  if (last != PStatus::kOk) return last;
+  nic_.fabric().stats().add("dafs.client_sessions");
+  return PStatus::kOk;
+}
 
+PStatus Session::connect_once() {
   // The service may still be coming up; retry name-service misses briefly.
+  // With failover targets, alternate endpoints between probes: whichever
+  // member of the pair is serving clients answers first.
   via::Status cst = via::Status::kNoMatchingListener;
   for (int attempt = 0; attempt < 200; ++attempt) {
-    cst = nic_.connect(*vi_, cfg_.service, kIoWait);
+    cst = nic_.connect(*vi_, active_service(), kIoWait);
     if (cst != via::Status::kNoMatchingListener) break;
+    if (eps_.size() > 1) advance_endpoint();
     std::this_thread::sleep_for(10ms);
   }
   if (cst != via::Status::kSuccess) return PStatus::kProtoError;
   // Receive buffers must be posted before the first request leaves (credit
-  // contract with the server).
-  recv_bufs_.resize(cfg_.credits);
+  // contract with the server). Allocation and registration happen once —
+  // a second pass (fenced first endpoint) reuses them on the fresh VI.
+  if (recv_bufs_.empty()) {
+    recv_bufs_.resize(cfg_.credits);
+    for (auto& rb : recv_bufs_) {
+      rb.mem.resize(cfg_.msg_buf_size);
+      rb.handle =
+          nic_.register_memory(rb.mem.data(), rb.mem.size(), ptag_, {});
+      if (rb.handle == via::kInvalidMemHandle) return PStatus::kNoResource;
+    }
+    slots_.resize(cfg_.credits);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      auto& sl = slots_[i];
+      sl.send_buf.resize(cfg_.msg_buf_size);
+      sl.send_handle = nic_.register_memory(sl.send_buf.data(),
+                                            sl.send_buf.size(), ptag_, {});
+      if (sl.send_handle == via::kInvalidMemHandle) {
+        return PStatus::kNoResource;
+      }
+      free_slots_.push_back(static_cast<OpId>(i));
+    }
+    // Full-size: lease reclaim runs open/lock RPCs (with path names) through
+    // this buffer while every regular slot is occupied by an in-flight
+    // request.
+    resume_buf_.resize(cfg_.msg_buf_size);
+    resume_handle_ = nic_.register_memory(resume_buf_.data(),
+                                          resume_buf_.size(), ptag_, {});
+    if (resume_handle_ == via::kInvalidMemHandle) return PStatus::kNoResource;
+  }
   for (auto& rb : recv_bufs_) {
-    rb.mem.resize(cfg_.msg_buf_size);
-    rb.handle = nic_.register_memory(rb.mem.data(), rb.mem.size(), ptag_, {});
-    if (rb.handle == via::kInvalidMemHandle) return PStatus::kNoResource;
+    rb.desc = via::Descriptor{};
     rb.desc.segs = {via::DataSegment{
         rb.mem.data(), rb.handle, static_cast<std::uint32_t>(rb.mem.size())}};
     if (vi_->post_recv(rb.desc) != via::Status::kSuccess) {
       return PStatus::kProtoError;
     }
   }
-  slots_.resize(cfg_.credits);
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    auto& sl = slots_[i];
-    sl.send_buf.resize(cfg_.msg_buf_size);
-    sl.send_handle =
-        nic_.register_memory(sl.send_buf.data(), sl.send_buf.size(), ptag_, {});
-    if (sl.send_handle == via::kInvalidMemHandle) return PStatus::kNoResource;
-    free_slots_.push_back(static_cast<OpId>(i));
-  }
-  // Full-size: lease reclaim runs open/lock RPCs (with path names) through
-  // this buffer while every regular slot is occupied by an in-flight request.
-  resume_buf_.resize(cfg_.msg_buf_size);
-  resume_handle_ = nic_.register_memory(resume_buf_.data(), resume_buf_.size(),
-                                        ptag_, {});
-  if (resume_handle_ == via::kInvalidMemHandle) return PStatus::kNoResource;
 
   auto id = submit_simple(Proc::kConnect, {}, Fh{}, 0, 0, 0, 0);
   if (!id.ok()) return id.error();
@@ -118,7 +170,6 @@ PStatus Session::do_connect() {
     client_id_ = cfg_.client_id != 0 ? cfg_.client_id : session_id_;
   }
   free_slot(id.value());
-  nic_.fabric().stats().add("dafs.client_sessions");
   return PStatus::kOk;
 }
 
@@ -324,6 +375,17 @@ PStatus Session::wait_slot(OpId id) {
       if (recover()) continue;
       return PStatus::kConnLost;
     }
+    if (sl.resp.status == PStatus::kFenced && session_id_ != 0 &&
+        sl.reclaim_retries < kSlotReclaimRetries) {
+      // The bound filer was deposed by a standby promotion and refuses all
+      // stale-session traffic. Recovery's resume gets kFenced too and
+      // rotates to the next endpoint, where resume/reclaim + retransmit
+      // complete this request against the promoted standby.
+      ++sl.reclaim_retries;
+      sl.done = false;
+      if (recover()) continue;
+      return PStatus::kConnLost;
+    }
     if (sl.resp.status != PStatus::kBusy) return sl.resp.status;
     // Shed by the server: honor the retry-after hint and retransmit, up to
     // the slot's budget.
@@ -335,7 +397,9 @@ bool Session::busy_retry(OpId id) {
   Slot& sl = slots_[id];
   const std::uint64_t retry_ns = sl.resp.aux;
   // aux == 0 marks a deadline expiry, not overload: retrying cannot help.
-  if (retry_ns == 0 || sl.busy_retries >= cfg_.max_busy_retries) return false;
+  if (retry_ns == 0 || sl.busy_retries >= policy().max_busy_retries) {
+    return false;
+  }
   ++sl.busy_retries;
   nic_.fabric().stats().add("dafs.busy_retries");
   Actor* actor = Actor::current();
@@ -367,53 +431,93 @@ bool Session::recover() {
   Actor* actor = Actor::current();
   assert(actor && "recovery outside an ActorScope");
   auto& stats = nic_.fabric().stats();
-  sim::Time backoff = cfg_.recovery_backoff_ns;
-  for (int attempt = 1; attempt <= cfg_.max_recovery_attempts; ++attempt) {
-    stats.add("dafs.recovery_attempts");
-    // Capped exponential backoff, jittered to [backoff/2, backoff] so a
-    // herd of clients that died together does not reconnect in lockstep.
-    actor->advance(backoff / 2 + backoff_rng_.below(backoff / 2 + 1));
-    backoff = std::min<sim::Time>(backoff * 2, cfg_.recovery_backoff_cap_ns);
+  const std::size_t home = ep_;
+  const sim::Time t_fail = actor->now();
+  // Passes run the bound endpoint's retry budget; kFenced (or a dead
+  // listener on a failover mount) cuts a pass short and rotates. A
+  // single-endpoint mount gets one pass of long-polling through the outage;
+  // a failover mount instead keeps sweeping the endpoint list — a takeover
+  // is not instant, so the standby may answer only some sweeps later — and
+  // spends its whole per-endpoint budget on short cross-endpoint probes.
+  const std::size_t max_passes =
+      eps_.size() == 1
+          ? 1
+          : eps_.size() *
+                static_cast<std::size_t>(std::max(1, eps_[ep_].retry.attempts));
+  for (std::size_t pass = 0; pass < max_passes; ++pass) {
+    const Endpoint& ep = eps_[ep_];
+    sim::Time backoff = ep.retry.backoff_ns;
+    bool rotate = false;
+    for (int attempt = 1; attempt <= ep.retry.attempts && !rotate;
+         ++attempt) {
+      stats.add("dafs.recovery_attempts");
+      // Capped exponential backoff, jittered to [backoff/2, backoff] so a
+      // herd of clients that died together does not reconnect in lockstep.
+      actor->advance(backoff / 2 + backoff_rng_.below(backoff / 2 + 1));
+      backoff = std::min<sim::Time>(backoff * 2, ep.retry.backoff_cap_ns);
 
-    const sim::Time t0 = actor->now();
-    // A VI that saw a transport failure is finished; replace the endpoint.
-    // NIC memory registrations are independent of the VI and survive, so
-    // the server can still RDMA against the same client buffers.
-    vi_->disconnect();
-    vi_ = std::make_unique<via::Vi>(nic_, session_vi_attrs(ptag_));
-    // A crashed server takes its listener down for the whole (real-time)
-    // restart delay, not just an instant: poll through the outage instead of
-    // burning every recovery attempt against a void.
-    via::Status cst = via::Status::kNoMatchingListener;
-    for (int i = 0; i < 400 && cst == via::Status::kNoMatchingListener; ++i) {
-      cst = nic_.connect(*vi_, cfg_.service, kIoWait);
-      if (cst == via::Status::kNoMatchingListener) {
-        std::this_thread::sleep_for(5ms);
+      const sim::Time t0 = actor->now();
+      // A VI that saw a transport failure is finished; replace the endpoint.
+      // NIC memory registrations are independent of the VI and survive, so
+      // the server can still RDMA against the same client buffers.
+      vi_->disconnect();
+      vi_ = std::make_unique<via::Vi>(nic_, session_vi_attrs(ptag_));
+      // A crashed server takes its listener down for the whole (real-time)
+      // restart delay. A single-endpoint mount has nowhere else to go, so
+      // it polls through the outage; a failover mount probes briefly and
+      // rotates to the standby instead — that is the point of the pair.
+      const int polls = eps_.size() == 1 ? 400 : 8;
+      const auto poll_sleep =
+          eps_.size() == 1 ? std::chrono::milliseconds(5)
+                           : std::chrono::milliseconds(1);
+      via::Status cst = via::Status::kNoMatchingListener;
+      for (int i = 0;
+           i < polls && cst == via::Status::kNoMatchingListener; ++i) {
+        cst = nic_.connect(*vi_, ep.service, kIoWait);
+        if (cst == via::Status::kNoMatchingListener) {
+          std::this_thread::sleep_for(poll_sleep);
+        }
       }
-    }
-    if (cst != via::Status::kSuccess) continue;
-    bool armed = true;
-    for (auto& rb : recv_bufs_) {
-      rb.desc = via::Descriptor{};
-      rb.desc.segs = {via::DataSegment{
-          rb.mem.data(), rb.handle,
-          static_cast<std::uint32_t>(rb.mem.size())}};
-      if (vi_->post_recv(rb.desc) != via::Status::kSuccess) {
-        armed = false;
-        break;
+      if (cst != via::Status::kSuccess) {
+        if (eps_.size() > 1) rotate = true;
+        continue;
       }
+      bool armed = true;
+      for (auto& rb : recv_bufs_) {
+        rb.desc = via::Descriptor{};
+        rb.desc.segs = {via::DataSegment{
+            rb.mem.data(), rb.handle,
+            static_cast<std::uint32_t>(rb.mem.size())}};
+        if (vi_->post_recv(rb.desc) != via::Status::kSuccess) {
+          armed = false;
+          break;
+        }
+      }
+      if (!armed) continue;
+      const ResumeOutcome ro = resume_session();
+      if (ro == ResumeOutcome::kFailed) continue;
+      if (ro == ResumeOutcome::kFenced) {
+        // Deposed filer: it will never serve this session again.
+        rotate = true;
+        continue;
+      }
+      // kBadSession after a reconnect means the server restarted (or a
+      // promoted standby never saw us): rebuild its state from our leases
+      // before retransmitting.
+      if (ro == ResumeOutcome::kLostState && !reclaim_session()) continue;
+      if (!retransmit_inflight()) continue;
+      nic_.fabric().histograms().record("dafs.reconnect_ns",
+                                        actor->now() - t0);
+      stats.add("dafs.recoveries");
+      if (ep_ != home) {
+        ++failovers_;
+        stats.add("dafs.failovers");
+        nic_.fabric().histograms().record("dafs.failover_ns",
+                                          actor->now() - t_fail);
+      }
+      return true;
     }
-    if (!armed) continue;
-    const ResumeOutcome ro = resume_session();
-    if (ro == ResumeOutcome::kFailed) continue;
-    // kBadSession after a reconnect means the server restarted and forgot
-    // us: rebuild its state from our leases before retransmitting.
-    if (ro == ResumeOutcome::kLostState && !reclaim_session()) continue;
-    if (!retransmit_inflight()) continue;
-    nic_.fabric().histograms().record("dafs.reconnect_ns",
-                                      actor->now() - t0);
-    stats.add("dafs.recoveries");
-    return true;
+    advance_endpoint();
   }
   dead_ = true;
   stats.add("dafs.recovery_failures");
@@ -487,6 +591,7 @@ Session::ResumeOutcome Session::resume_session() {
     return ResumeOutcome::kResumed;
   }
   if (r.status == PStatus::kBadSession) return ResumeOutcome::kLostState;
+  if (r.status == PStatus::kFenced) return ResumeOutcome::kFenced;
   return ResumeOutcome::kFailed;
 }
 
@@ -515,6 +620,9 @@ bool Session::reclaim_session() {
       msg.set_name(lease.path);
       const RawResp r = raw_rpc();
       if (!r.transport_ok) return false;
+      // A deposition mid-reclaim must not condemn the handle as stale; abort
+      // the whole reclaim so recovery rotates to the promoted standby.
+      if (r.status == PStatus::kFenced) return false;
       if (r.status == PStatus::kBusy && tries < 200) {
         actor->advance(std::max<std::uint64_t>(r.hdr.aux, 1'000));
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -563,6 +671,9 @@ bool Session::reclaim_session() {
       const RawResp r = raw_rpc();
       if (!r.transport_ok) return false;
       st = r.status;
+      // Deposed mid-reclaim: abort so recovery rotates instead of treating
+      // the fence as a lost lock.
+      if (st == PStatus::kFenced) return false;
       if ((st == PStatus::kBusy || st == PStatus::kLockConflict) &&
           tries < 200) {
         actor->advance(std::max<std::uint64_t>(r.hdr.aux, 20'000));

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dafs/mount.hpp"
 #include "dafs/proto.hpp"
 #include "fstore/types.hpp"
 #include "sim/expected.hpp"
@@ -18,38 +19,6 @@ namespace dafs {
 
 template <typename T>
 using Result = sim::Expected<T, PStatus>;
-
-struct ClientConfig {
-  std::string service = "dafs";
-  std::size_t msg_buf_size = kMsgBufSize;
-  /// Max outstanding requests (== request slots == posted receive buffers).
-  /// Must not exceed the server's per-session receive credits.
-  std::size_t credits = 8;
-  /// Transfers at or above this size use direct (RDMA) I/O; below it, data
-  /// rides inline in the message. E3 sweeps this crossover.
-  std::size_t direct_threshold = 4096;
-  /// Cache memory registrations across operations (E10 ablation flag).
-  bool reg_cache = true;
-  std::size_t reg_cache_entries = 64;
-  /// Split direct-I/O segments so no RDMA descriptor exceeds this.
-  std::size_t max_rdma_seg = 2u << 20;
-  /// Transport-failure recovery: reconnect attempts before the session is
-  /// declared dead, plus base/cap (virtual ns) and seed of the jittered
-  /// exponential backoff between attempts.
-  int max_recovery_attempts = 8;
-  std::uint64_t recovery_backoff_ns = 100'000;         // 100 us
-  std::uint64_t recovery_backoff_cap_ns = 10'000'000;  // 10 ms
-  std::uint64_t recovery_seed = 1;
-  /// Stable client identity for the server's durable duplicate filter
-  /// (exactly-once counters across server restarts). 0 = adopt the first
-  /// server-assigned session id, which is unique and never reused.
-  std::uint64_t client_id = 0;
-  /// Per-request deadline budget (virtual ns) stamped on every request;
-  /// 0 = no deadline. Runtime-adjustable via set_deadline().
-  std::uint64_t deadline_ns = 0;
-  /// Retransmissions of a kBusy-shed request before surfacing kBusy.
-  int max_busy_retries = 64;
-};
 
 /// An open file handle (DAFS handles carry more state; the inode suffices
 /// for the emulated server).
@@ -78,8 +47,18 @@ using OpId = std::uint32_t;
 /// opens its own session), matching the DAFS provider model.
 class Session {
  public:
+  /// Mount `spec` and bind to its first reachable endpoint. Later endpoints
+  /// are failover targets: the recovery path rotates to them when the bound
+  /// filer stays unreachable or answers kFenced (deposed by a standby
+  /// promotion).
   static Result<std::unique_ptr<Session>> connect(via::Nic& nic,
-                                                  ClientConfig cfg = {});
+                                                  const MountSpec& spec = {});
+  /// Old single-endpoint signature; builds a one-endpoint MountSpec from
+  /// `cfg.service` with a default RetryPolicy. Kept only for out-of-tree
+  /// callers — everything in-tree mounts a MountSpec.
+  [[deprecated("use connect(via::Nic&, const MountSpec&)")]]
+  static Result<std::unique_ptr<Session>> connect(via::Nic& nic,
+                                                  ClientConfig cfg);
   ~Session();
 
   Session(const Session&) = delete;
@@ -133,6 +112,16 @@ class Session {
   std::uint64_t client_id() const { return client_id_; }
   via::Nic& nic() { return nic_; }
   const ClientConfig& config() const { return cfg_; }
+  /// Endpoint list this session was mounted with (never empty).
+  const std::vector<Endpoint>& endpoints() const { return eps_; }
+  /// Index of the endpoint the session is currently bound to.
+  std::size_t endpoint_index() const { return ep_; }
+  /// Service name of the bound endpoint.
+  const std::string& active_service() const { return eps_[ep_].service; }
+  /// Retry policy of the bound endpoint.
+  const RetryPolicy& policy() const { return eps_[ep_].retry; }
+  /// Times the session rotated to a different endpoint (failovers).
+  std::uint64_t failovers() const { return failovers_; }
   /// Registration-cache counters (hits/misses/evictions).
   std::uint64_t reg_cache_hits() const { return reg_hits_; }
   std::uint64_t reg_cache_misses() const { return reg_misses_; }
@@ -180,8 +169,15 @@ class Session {
     std::uint64_t last_use = 0;
   };
 
-  Session(via::Nic& nic, ClientConfig cfg);
+  Session(via::Nic& nic, MountSpec spec);
   PStatus do_connect();
+  /// One establishment pass against the bound endpoint (connect retry loop,
+  /// buffer arming, kConnect RPC). do_connect rotates endpoints between
+  /// passes when the answer is kFenced.
+  PStatus connect_once();
+  /// Rotate to the next endpoint in the mount order (wraps; reseeds the
+  /// backoff jitter from the new endpoint's policy).
+  void advance_endpoint();
 
   /// Allocate a free request slot; kProtoError if the session is dead,
   /// kInval if the caller exceeded the credit limit.
@@ -208,6 +204,7 @@ class Session {
     kFailed,     // transport error / garbled answer: retry the attempt
     kResumed,    // server still had the session (connection-level failure)
     kLostState,  // kBadSession: server restarted, reclaim from leases
+    kFenced,     // server was deposed: rotate to the next endpoint
   };
   ResumeOutcome resume_session();
   /// Rebuild server-side state from client leases after a server restart:
@@ -268,6 +265,12 @@ class Session {
 
   via::Nic& nic_;
   ClientConfig cfg_;
+  /// Normalized endpoint list from the MountSpec (never empty) and the
+  /// index of the endpoint currently bound.
+  std::vector<Endpoint> eps_;
+  std::size_t ep_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t rotations_ = 0;
   via::ProtectionTag ptag_;
   /// Owned by pointer so recovery can replace the endpoint: a VI that has
   /// seen a transport failure is dead for good, but the NIC registrations

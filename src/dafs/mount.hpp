@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dafs/proto.hpp"
+
+/// \file mount.hpp
+/// The client-facing mount description: which filer endpoints a session may
+/// bind to (in failover order) and the one retry/deadline/backoff policy
+/// type shared by client recovery, server-to-server replication, and the
+/// MPI-IO hint layer (parsed in src/mpiio/info.hpp).
+namespace dafs {
+
+/// One consolidated retry policy. Previously these knobs were duplicated
+/// across ClientConfig (recovery_*), ServerConfig and ad-hoc `dafs_*` MPI-IO
+/// hints; every layer that retries — client reconnect/failover, the
+/// replication channel, kBusy backoff — now takes a RetryPolicy.
+struct RetryPolicy {
+  /// Reconnect/resume attempts against one endpoint before giving up on it
+  /// (the session dies once every endpoint's budget is exhausted).
+  int attempts = 8;
+  /// Base and cap (virtual ns) of the jittered exponential backoff between
+  /// attempts.
+  std::uint64_t backoff_ns = 100'000;         // 100 us
+  std::uint64_t backoff_cap_ns = 10'000'000;  // 10 ms
+  /// Seed of the backoff jitter RNG.
+  std::uint64_t jitter_seed = 1;
+  /// Retransmissions of a kBusy-shed request before surfacing kBusy.
+  int max_busy_retries = 64;
+  /// Per-request deadline budget (virtual ns) stamped on every request;
+  /// 0 = no deadline. For the replication channel this bounds the
+  /// semi-synchronous barrier wait instead.
+  std::uint64_t deadline_ns = 0;
+};
+
+/// Session-local knobs (transport sizing, data-path thresholds, identity).
+/// The retry/recovery knobs that used to live here moved to RetryPolicy,
+/// carried per-endpoint in MountSpec.
+struct ClientConfig {
+  /// Service name used by the deprecated single-endpoint connect shim and
+  /// as the default when a MountSpec names no endpoints.
+  std::string service = "dafs";
+  std::size_t msg_buf_size = kMsgBufSize;
+  /// Max outstanding requests (== request slots == posted receive buffers).
+  /// Must not exceed the server's per-session receive credits.
+  std::size_t credits = 8;
+  /// Transfers at or above this size use direct (RDMA) I/O; below it, data
+  /// rides inline in the message. E3 sweeps this crossover.
+  std::size_t direct_threshold = 4096;
+  /// Cache memory registrations across operations (E10 ablation flag).
+  bool reg_cache = true;
+  std::size_t reg_cache_entries = 64;
+  /// Split direct-I/O segments so no RDMA descriptor exceeds this.
+  std::size_t max_rdma_seg = 2u << 20;
+  /// Stable client identity for the server's durable duplicate filter
+  /// (exactly-once counters across server restarts). 0 = adopt the first
+  /// server-assigned session id, which is unique and never reused.
+  std::uint64_t client_id = 0;
+};
+
+/// One filer endpoint a session may bind to.
+struct Endpoint {
+  std::string service = "dafs";
+  RetryPolicy retry;
+};
+
+/// What `Session::connect` mounts: an ordered endpoint list (first is the
+/// preferred primary; later entries are failover targets tried in order when
+/// the bound endpoint dies or answers kFenced) plus the session-local knobs.
+/// An empty endpoint list means one default endpoint at `client.service`.
+struct MountSpec {
+  std::vector<Endpoint> endpoints;
+  ClientConfig client;
+};
+
+/// A single-endpoint mount (the common non-replicated case).
+inline MountSpec single_mount(std::string service, RetryPolicy retry = {},
+                              ClientConfig client = {}) {
+  MountSpec m;
+  m.endpoints.push_back(Endpoint{std::move(service), retry});
+  m.client = std::move(client);
+  return m;
+}
+
+/// An ordered failover mount over `services`, one shared policy.
+inline MountSpec failover_mount(std::vector<std::string> services,
+                                RetryPolicy retry = {},
+                                ClientConfig client = {}) {
+  MountSpec m;
+  for (auto& s : services) m.endpoints.push_back(Endpoint{std::move(s), retry});
+  m.client = std::move(client);
+  return m;
+}
+
+}  // namespace dafs

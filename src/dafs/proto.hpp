@@ -99,6 +99,9 @@ enum class PStatus : std::uint8_t {
   kIo,           // backend storage error
   kBusy,         // server shed the request (admission queue full / restart
                  // grace period); retry-after hint (virtual ns) in aux
+  kFenced,       // server was deposed by a standby promotion and must not
+                 // serve stale sessions; the client rotates to the next
+                 // endpoint in its MountSpec
 };
 
 constexpr PStatus to_pstatus(fstore::Errc e) {
@@ -148,6 +151,7 @@ constexpr const char* to_string(PStatus s) {
     case PStatus::kNoResource: return "no-resource";
     case PStatus::kIo: return "io-error";
     case PStatus::kBusy: return "busy";
+    case PStatus::kFenced: return "fenced";
   }
   return "?";
 }

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file repl.hpp
+/// Wire format of the primary->standby replication channel: the primary
+/// streams its FStoreJournal byte log (which already carries namespace ops,
+/// synced data, counters, the durable duplicate filter and server-state
+/// watermarks) to the standby over a dedicated VIA connection. Stop-and-wait:
+/// each kRecords chunk is acknowledged with the standby's new journal size,
+/// which doubles as the resume/resync offset. Epochs fence a deposed primary:
+/// a standby that promoted answers every later hello with status=fenced and
+/// its (higher) epoch.
+namespace dafs {
+
+enum class ReplOp : std::uint8_t {
+  kHello = 1,  // primary -> standby: epoch; opens (or reopens) the stream
+  kHelloAck,   // standby -> primary: offset = journal bytes already held;
+               //   status=1 (fenced) when the receiver has promoted
+  kRecords,    // primary -> standby: `len` journal bytes at `offset`
+  kAck,        // standby -> primary: offset = new journal size
+};
+
+inline constexpr std::uint32_t kReplMagic = 0x5245504C;  // "REPL"
+
+struct ReplHeader {
+  std::uint32_t magic = kReplMagic;
+  ReplOp op = ReplOp::kHello;
+  std::uint8_t status = 0;  // 0 = ok, 1 = fenced
+  std::uint16_t pad = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;  // payload bytes following the header (kRecords)
+  std::uint32_t pad1 = 0;
+};
+static_assert(sizeof(ReplHeader) == 32, "fixed replication header layout");
+
+/// Replication message buffer size: one header plus up to this many journal
+/// bytes per kRecords chunk.
+inline constexpr std::size_t kReplBufSize = 256 * 1024;
+
+}  // namespace dafs

@@ -3,9 +3,14 @@
 #include <pthread.h>
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstdio>
 #include <cstring>
+#include <span>
+
+#include "dafs/repl.hpp"
+#include "sim/rng.hpp"
 
 namespace dafs {
 
@@ -35,6 +40,12 @@ Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
   // The filer journals so sync is a durability barrier and crash() replays.
   cfg_.store.journal_enabled = cfg_.journal;
   admission_limit_.store(cfg_.admission_max_queue, std::memory_order_relaxed);
+  // A standby serves no clients until promoted; its journal (the durable
+  // image it will materialize from) must be on.
+  if (!cfg_.repl_listen.empty()) {
+    cfg_.store.journal_enabled = true;
+    role_.store(Role::kStandby, std::memory_order_release);
+  }
   // The store registers every buffer-cache slab with the NIC as it is
   // allocated; direct I/O then DMAs straight out of / into the cache.
   // Journal appends run under the worker's open request span; the tracer
@@ -58,6 +69,19 @@ Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
                    [this] { return std::uint64_t{session_count()}; });
   m.register_gauge("fstore.journal_pending_bytes",
                    [this] { return store_->journal_pending_bytes(); });
+  // Replication gauges: lag/acked are primary-side (the pair's standby does
+  // not register them, so they never collide within one pair); the role
+  // gauge is registered by any replicated member (last registration wins).
+  if (!cfg_.repl_peer.empty()) {
+    m.register_gauge("dafs.repl_lag_bytes", [this] { return repl_lag_bytes(); });
+    m.register_gauge("dafs.repl_acked_bytes",
+                     [this] { return repl_acked_bytes(); });
+  }
+  if (!cfg_.repl_peer.empty() || !cfg_.repl_listen.empty()) {
+    m.register_gauge("dafs.role", [this] {
+      return static_cast<std::uint64_t>(static_cast<int>(role()));
+    });
+  }
 }
 
 Server::~Server() {
@@ -69,6 +93,19 @@ Server::~Server() {
   m.unregister_gauge("dafs.replay_cache_bytes");
   m.unregister_gauge("dafs.sessions_live");
   m.unregister_gauge("fstore.journal_pending_bytes");
+  if (!cfg_.repl_peer.empty()) {
+    m.unregister_gauge("dafs.repl_lag_bytes");
+    m.unregister_gauge("dafs.repl_acked_bytes");
+  }
+  if (!cfg_.repl_peer.empty() || !cfg_.repl_listen.empty()) {
+    m.unregister_gauge("dafs.role");
+  }
+}
+
+std::uint64_t Server::repl_lag_bytes() const {
+  const std::uint64_t size = store_->journal_size();
+  const std::uint64_t acked = repl_acked_.load(std::memory_order_relaxed);
+  return size > acked ? size - acked : 0;
 }
 
 void Server::start() {
@@ -98,15 +135,32 @@ void Server::start() {
       worker_loop(i);
     });
   }
+  if (!cfg_.repl_listen.empty()) {
+    repl_actor_ =
+        std::make_unique<Actor>("dafs-repl-recv", &fabric_.node(node_));
+    repl_thread_ = std::thread([this] {
+      pthread_setname_np(pthread_self(), "dafs-repl-r");
+      repl_receiver_loop();
+    });
+  } else if (!cfg_.repl_peer.empty()) {
+    repl_actor_ =
+        std::make_unique<Actor>("dafs-repl-send", &fabric_.node(node_));
+    repl_thread_ = std::thread([this] {
+      pthread_setname_np(pthread_self(), "dafs-repl-s");
+      repl_sender_loop();
+    });
+  }
 }
 
 void Server::stop() {
   if (!running_.exchange(false)) return;
+  repl_cv_.notify_all();  // release any barrier waiter
   if (accept_thread_.joinable()) accept_thread_.join();
   for (auto& t : worker_threads_) {
     if (t.joinable()) t.join();
   }
   worker_threads_.clear();
+  if (repl_thread_.joinable()) repl_thread_.join();
   std::lock_guard lock(sessions_mu_);
   for (auto& s : sessions_) {
     if (s->vi) s->vi->disconnect();
@@ -146,6 +200,14 @@ via::MemHandle Server::slab_handle(const std::byte* p) const {
 void Server::accept_loop() {
   ActorScope scope(*accept_actor_);
   while (running_.load()) {
+    // A standby has no client listener: connects to its service fail with
+    // kNoMatchingListener until promotion flips the role, exactly like a
+    // crashed filer. Failover clients rotate on to it the moment it serves.
+    while (running_.load() &&
+           role_.load(std::memory_order_acquire) == Role::kStandby) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!running_.load()) break;
     {
       // The listener lives only while the server is "up". Destroying it on a
       // crash makes new connects fail with kNoMatchingListener — exactly what
@@ -178,6 +240,14 @@ void Server::accept_loop() {
         via::Vi* vi = session->vi.get();
         {
           std::lock_guard lock(sessions_mu_);
+          // Checked under sessions_mu_ so an arm can't interleave with the
+          // crash teardown sweep: do_crash publishes crash_pending_ before
+          // taking this lock, so either the flag is visible here (abandon the
+          // session, never register it) or this registration completes first
+          // and the sweep — which runs strictly after — tears it down. A
+          // session registered after the sweep would otherwise be served
+          // straight through the outage with writes the standby never sees.
+          if (crash_pending_.load()) break;
           by_vi_.emplace(vi, session.get());
           sessions_.push_back(std::move(session));
         }
@@ -219,11 +289,28 @@ void Server::accept_loop() {
     while (running_.load() && std::chrono::steady_clock::now() < until) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
+    crash_pending_.store(false);
+    // A restarted replicated primary must not serve clients until the
+    // replication handshake has resolved whether it was deposed during the
+    // outage: a promoted standby answers the hello "fenced". Serving before
+    // that answer would let stale-epoch writes land here and silently
+    // diverge from the pair. Bounded wait — with the standby also gone there
+    // is no one who could have deposed us, so after the budget the filer
+    // serves (degraded) rather than stay down forever.
+    if (!cfg_.repl_peer.empty()) {
+      const auto fence_deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+      while (running_.load() &&
+             role_.load(std::memory_order_acquire) == Role::kPrimary &&
+             !repl_connected_.load(std::memory_order_relaxed) &&
+             std::chrono::steady_clock::now() < fence_deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
     grace_until_.store((std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(cfg_.grace_period_ms))
                            .time_since_epoch()
                            .count());
-    crash_pending_.store(false);
     fabric_.stats().add("dafs.server_restarts");
   }
 }
@@ -255,6 +342,14 @@ void Server::do_crash(std::uint64_t restart_delay_ms) {
     tracer.event("server_crash", actor != nullptr ? actor->now() : 0, attrs);
     tracer.flight_dump("crash");
   }
+  // Publish the crash BEFORE tearing anything down. Both the accept loop's
+  // arming path (under sessions_mu_) and the barrier's degraded branch key
+  // off this flag: setting it first closes the window where a session armed
+  // concurrently with the teardown sweep — or a request that finds the
+  // replication channel already dead — would be served straight through the
+  // outage. restart_at_ is read under crash_mu_, which this function holds
+  // end to end, so the flag can never be observed with a stale restart time.
+  crash_pending_.store(true);
   {
     std::lock_guard lock(sessions_mu_);
     for (auto& sess : sessions_) {
@@ -276,9 +371,14 @@ void Server::do_crash(std::uint64_t restart_delay_ms) {
   }
   locks_.clear();    // volatile: clients re-acquire via lease reclaim
   store_->crash();   // un-synced data vanishes; journal replays durable image
-  // Publish last: the accept loop reads restart_at_ under crash_mu_ after
-  // observing the flag, so it never sees a stale restart time.
-  crash_pending_.store(true);
+  // Kill the replication channel with the process: the standby observes the
+  // death promptly and promotes instead of waiting out an idle timeout.
+  {
+    std::lock_guard rlock(repl_mu_);
+    if (repl_vi_) repl_vi_->disconnect();
+    repl_connected_.store(false, std::memory_order_relaxed);
+  }
+  repl_cv_.notify_all();
 }
 
 std::size_t Server::replay_cache_bytes() const {
@@ -300,9 +400,17 @@ void Server::worker_loop(int idx) {
     // Scheduled crash: the fault plan may kill the server on this request.
     // The tripping request dies unanswered, like every other in-flight op.
     std::uint64_t restart_ms = 0;
-    if (fabric_.faults().on_server_request(worker_actors_[idx]->now(),
+    if (fabric_.faults().on_server_request(worker_actors_[idx]->now(), node_,
                                            &restart_ms)) {
       do_crash(restart_ms);
+      continue;
+    }
+    if (crash_pending_.load()) {
+      // The filer is crashing: every request in flight dies unanswered, like
+      // the rest of the process state. Killing the VI (instead of silently
+      // dropping) makes the client observe the death immediately and start
+      // its failover probe rather than waiting out an I/O timeout.
+      c.vi->disconnect();
       continue;
     }
     Session* session = nullptr;
@@ -413,6 +521,18 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
     }
   }
 
+  // A fenced (deposed) primary must not serve stale sessions: any write it
+  // applied now would fork history from the promoted standby. Everything but
+  // a clean disconnect is refused with kFenced, which sends the client to
+  // the next endpoint in its MountSpec.
+  if (role_.load(std::memory_order_acquire) == Role::kFenced &&
+      req.header().proc != Proc::kDisconnect) {
+    resp.header().status = PStatus::kFenced;
+    fabric_.stats().add("dafs.fenced_rejections");
+    send_response(s, out);
+    return;
+  }
+
   if (req.header().proc != Proc::kConnect &&
       req.header().session_id != s.id) {
     resp.header().status = PStatus::kBadSession;
@@ -477,6 +597,13 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
         do_resume(s, req, resp);
       } else {
         resp.header().aux = s.id;
+        // Ship the session-id watermark so a promoted standby mints ids the
+        // deposed primary could never have issued (no id reuse across the
+        // pair) — the same guarantee the journal gives a local restart.
+        if (!cfg_.repl_peer.empty()) {
+          store_->journal_server_state(s.id + 1,
+                                       epoch_.load(std::memory_order_relaxed));
+        }
       }
       break;
     case Proc::kDisconnect:
@@ -545,9 +672,370 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
       s.replay.pop_front();
     }
   }
+  // Semi-synchronous replication: a successful op whose loss a failover
+  // could not hide (non-idempotent execution, or a sync that just made data
+  // durable) is held until the standby holds the records it produced —
+  // otherwise an acknowledged write could vanish in a failover, which the
+  // client would never retransmit. If the barrier reports the filer is
+  // crashing, the executed-but-unshipped op must die unacknowledged: the
+  // client will retransmit it against whichever filer survives, and an ack
+  // now would promise durability the standby cannot honor.
+  if (resp.header().status == PStatus::kOk &&
+      (replay_protected || proc == Proc::kSync)) {
+    if (!replicate_barrier()) {
+      fabric_.stats().add("dafs.acks_dropped_in_crash");
+      return;
+    }
+  }
   fabric_.stats().add("dafs.requests");
   fabric_.histograms().record("dafs.server_service_ns", actor->now() - t0);
   send_response(s, out);
+}
+
+// ---------------------------------------------------------------------------
+// Replication
+// ---------------------------------------------------------------------------
+
+bool Server::replicate_barrier() {
+  if (cfg_.repl_peer.empty() ||
+      role_.load(std::memory_order_acquire) != Role::kPrimary) {
+    return true;
+  }
+  const std::uint64_t target = store_->journal_size();
+  if (repl_acked_.load(std::memory_order_relaxed) >= target) return true;
+  if (!repl_connected_.load(std::memory_order_relaxed)) {
+    // do_crash publishes crash_pending_ before it kills the channel, so a
+    // request that finds the channel down *because the filer is crashing*
+    // reliably sees the flag here and must not be acknowledged.
+    if (crash_pending_.load()) return false;
+    // Degraded: no standby attached (never came up, or died). Answering
+    // anyway preserves availability; the gap is visible in this counter.
+    fabric_.stats().add("dafs.repl_degraded_responses");
+    return true;
+  }
+  const std::uint64_t budget_ns = cfg_.repl_retry.deadline_ns != 0
+                                      ? cfg_.repl_retry.deadline_ns
+                                      : 200'000'000;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(budget_ns);
+  std::unique_lock lock(repl_mu_);
+  while (repl_acked_.load(std::memory_order_relaxed) < target &&
+         repl_connected_.load(std::memory_order_relaxed) && running_.load()) {
+    if (repl_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      fabric_.stats().add("dafs.repl_barrier_timeouts");
+      return true;
+    }
+  }
+  if (repl_acked_.load(std::memory_order_relaxed) >= target) return true;
+  // The wait ended early: connection lost or shutdown. A crash in progress
+  // means the op must die unacknowledged; otherwise degrade and answer.
+  if (crash_pending_.load() || !running_.load()) return false;
+  fabric_.stats().add("dafs.repl_degraded_responses");
+  return true;
+}
+
+void Server::repl_sender_loop() {
+  ActorScope scope(*repl_actor_);
+  // One registered chunk buffer (header + journal bytes) and a small ring of
+  // receive buffers for the stop-and-wait acks.
+  std::vector<std::byte> chunk(kReplBufSize);
+  const via::MemHandle chunk_h =
+      nic_.register_memory(chunk.data(), chunk.size(), ptag_, {});
+  constexpr std::size_t kAckBufs = 4;
+  std::array<MsgBuf, kAckBufs> acks;
+  for (auto& a : acks) {
+    a.mem.resize(sizeof(ReplHeader));
+    a.handle = nic_.register_memory(a.mem.data(), a.mem.size(), ptag_, {});
+  }
+  sim::Rng jitter(cfg_.repl_retry.jitter_seed);
+  std::uint64_t reconnect_backoff_ms = 1;
+
+  const auto post_ack_recv = [&](MsgBuf& a) {
+    a.desc = Descriptor{};
+    a.desc.segs = {DataSegment{a.mem.data(), a.handle,
+                               static_cast<std::uint32_t>(a.mem.size())}};
+    return repl_vi_->post_recv(a.desc) == via::Status::kSuccess;
+  };
+  // Reap one ack (or hello-ack); false on channel death / shutdown.
+  const auto wait_ack = [&](ReplHeader& out_hdr) {
+    for (;;) {
+      Descriptor* d = nullptr;
+      const via::Status st =
+          repl_vi_->recv_wait(d, std::chrono::milliseconds(100));
+      if (st == via::Status::kTimeout) {
+        if (!running_.load() || crash_pending_.load()) return false;
+        continue;
+      }
+      if (st != via::Status::kSuccess || d->status != DescStatus::kSuccess) {
+        return false;
+      }
+      MsgBuf* a = nullptr;
+      for (auto& b : acks) {
+        if (&b.desc == d) {
+          a = &b;
+          break;
+        }
+      }
+      assert(a != nullptr);
+      std::memcpy(&out_hdr, a->mem.data(), sizeof(out_hdr));
+      const bool reposted = post_ack_recv(*a);
+      return out_hdr.magic == kReplMagic && reposted;
+    }
+  };
+  const auto send_hdr_and_payload = [&](const ReplHeader& h,
+                                        std::span<const std::byte> payload) {
+    std::memcpy(chunk.data(), &h, sizeof(h));
+    if (!payload.empty()) {
+      std::memcpy(chunk.data() + sizeof(h), payload.data(), payload.size());
+    }
+    Descriptor d;
+    d.op = via::Opcode::kSend;
+    d.segs = {DataSegment{
+        chunk.data(), chunk_h,
+        static_cast<std::uint32_t>(sizeof(h) + payload.size())}};
+    if (repl_vi_->post_send(d) != via::Status::kSuccess) return false;
+    Descriptor* done = nullptr;
+    if (repl_vi_->send_wait(done, kSendWait) != via::Status::kSuccess) {
+      return false;
+    }
+    return done->status == DescStatus::kSuccess;
+  };
+
+  while (running_.load()) {
+    if (role_.load(std::memory_order_acquire) != Role::kPrimary ||
+        crash_pending_.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    // Connect (with jittered backoff — the standby may still be coming up).
+    {
+      auto vi = std::make_unique<via::Vi>(nic_, via::ViAttrs{});
+      if (nic_.connect(*vi, cfg_.repl_peer, kSendWait) !=
+          via::Status::kSuccess) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            reconnect_backoff_ms + jitter.below(reconnect_backoff_ms + 1)));
+        reconnect_backoff_ms = std::min<std::uint64_t>(
+            reconnect_backoff_ms * 2, 50);
+        continue;
+      }
+      reconnect_backoff_ms = 1;
+      std::lock_guard rlock(repl_mu_);
+      repl_vi_ = std::move(vi);
+    }
+    bool armed = true;
+    for (auto& a : acks) armed = armed && post_ack_recv(a);
+    std::uint64_t sent_off = 0;
+    bool streaming = false;
+    if (armed) {
+      // Handshake: our epoch out, the standby's resume offset (or a fence)
+      // back.
+      ReplHeader hello;
+      hello.op = ReplOp::kHello;
+      hello.epoch = epoch_.load(std::memory_order_relaxed);
+      ReplHeader ack;
+      if (send_hdr_and_payload(hello, {}) && wait_ack(ack) &&
+          ack.op == ReplOp::kHelloAck) {
+        if (ack.status != 0) {
+          // The peer promoted while we were gone: we are the deposed filer.
+          peer_epoch_.store(std::max(peer_epoch_.load(), ack.epoch));
+          role_.store(Role::kFenced, std::memory_order_release);
+          fabric_.stats().add("dafs.fenced");
+        } else {
+          sent_off = ack.offset;
+          repl_acked_.store(ack.offset, std::memory_order_relaxed);
+          repl_connected_.store(true, std::memory_order_relaxed);
+          repl_cv_.notify_all();
+          streaming = true;
+        }
+      }
+    }
+    while (streaming && running_.load() && !crash_pending_.load() &&
+           role_.load(std::memory_order_acquire) == Role::kPrimary) {
+      const std::uint64_t jsize = store_->journal_size();
+      if (sent_off >= jsize) {
+        // Idle: nothing new to ship. Poll finely — the barrier latency of
+        // every sync/write rides on this.
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        continue;
+      }
+      const auto records =
+          store_->journal_log().read(sent_off, kReplBufSize - sizeof(ReplHeader));
+      ReplHeader h;
+      h.op = ReplOp::kRecords;
+      h.epoch = epoch_.load(std::memory_order_relaxed);
+      h.offset = sent_off;
+      h.len = static_cast<std::uint32_t>(records.size());
+      if (!send_hdr_and_payload(h, records)) break;
+      ReplHeader ack;
+      if (!wait_ack(ack) || ack.op != ReplOp::kAck) break;
+      if (ack.status != 0) {
+        peer_epoch_.store(std::max(peer_epoch_.load(), ack.epoch));
+        role_.store(Role::kFenced, std::memory_order_release);
+        fabric_.stats().add("dafs.fenced");
+        break;
+      }
+      // The ack carries the standby's journal size: normally offset+len,
+      // but also the resync point after a mismatch.
+      sent_off = ack.offset;
+      repl_acked_.store(ack.offset, std::memory_order_relaxed);
+      fabric_.stats().add("dafs.repl_shipped_bytes", h.len);
+      repl_cv_.notify_all();
+    }
+    {
+      std::lock_guard rlock(repl_mu_);
+      repl_connected_.store(false, std::memory_order_relaxed);
+      if (repl_vi_) {
+        repl_vi_->disconnect();
+        repl_vi_.reset();
+      }
+    }
+    repl_cv_.notify_all();
+  }
+}
+
+void Server::repl_receiver_loop() {
+  ActorScope scope(*repl_actor_);
+  constexpr std::size_t kRecvBufs = 4;
+  std::array<MsgBuf, kRecvBufs> bufs;
+  for (auto& b : bufs) {
+    b.mem.resize(kReplBufSize);
+    b.handle = nic_.register_memory(b.mem.data(), b.mem.size(), ptag_, {});
+  }
+  std::vector<std::byte> ack_buf(sizeof(ReplHeader));
+  const via::MemHandle ack_h =
+      nic_.register_memory(ack_buf.data(), ack_buf.size(), ptag_, {});
+
+  // The replication listener outlives promotion: a deposed primary that
+  // restarts and re-handshakes must find someone to tell it it is fenced.
+  via::Listener listener(nic_, cfg_.repl_listen);
+  while (running_.load()) {
+    via::Vi vi(nic_, via::ViAttrs{});
+    const auto post_recv = [&](MsgBuf& b) {
+      b.desc = Descriptor{};
+      b.desc.segs = {DataSegment{b.mem.data(), b.handle,
+                                 static_cast<std::uint32_t>(b.mem.size())}};
+      return vi.post_recv(b.desc) == via::Status::kSuccess;
+    };
+    bool armed = true;
+    for (auto& b : bufs) armed = armed && post_recv(b);
+    if (!armed) break;  // NIC out of resources; replication is over
+    bool accepted = false;
+    while (running_.load()) {
+      if (listener.accept(vi, kPollPeriod) == via::Status::kSuccess) {
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) break;
+    const auto send_ack = [&](ReplOp op, std::uint8_t status,
+                              std::uint64_t offset) {
+      ReplHeader a;
+      a.op = op;
+      a.status = status;
+      a.epoch = epoch_.load(std::memory_order_relaxed);
+      a.offset = offset;
+      std::memcpy(ack_buf.data(), &a, sizeof(a));
+      Descriptor d;
+      d.op = via::Opcode::kSend;
+      d.segs = {DataSegment{ack_buf.data(), ack_h,
+                            static_cast<std::uint32_t>(sizeof(a))}};
+      if (vi.post_send(d) != via::Status::kSuccess) return false;
+      Descriptor* done = nullptr;
+      return vi.send_wait(done, kSendWait) == via::Status::kSuccess &&
+             done->status == DescStatus::kSuccess;
+    };
+    bool hello_ok = false;
+    while (running_.load()) {
+      Descriptor* d = nullptr;
+      const via::Status st = vi.recv_wait(d, std::chrono::milliseconds(100));
+      if (st == via::Status::kTimeout) continue;
+      if (st != via::Status::kSuccess || d->status != DescStatus::kSuccess) {
+        // Channel death after a completed handshake, while we still hold the
+        // standby role: the primary is gone. Take over.
+        if (hello_ok && running_.load() &&
+            role_.load(std::memory_order_acquire) == Role::kStandby) {
+          promote();
+        }
+        break;
+      }
+      MsgBuf* b = nullptr;
+      for (auto& cand : bufs) {
+        if (&cand.desc == d) {
+          b = &cand;
+          break;
+        }
+      }
+      assert(b != nullptr);
+      ReplHeader h;
+      std::memcpy(&h, b->mem.data(), sizeof(h));
+      bool ok = h.magic == kReplMagic;
+      if (ok && h.op == ReplOp::kHello) {
+        peer_epoch_.store(std::max(peer_epoch_.load(), h.epoch));
+        if (role_.load(std::memory_order_acquire) == Role::kStandby) {
+          hello_ok = true;
+          ok = send_ack(ReplOp::kHelloAck, 0, store_->journal_size());
+        } else {
+          // We promoted; whoever greets us on this channel is deposed.
+          ok = send_ack(ReplOp::kHelloAck, 1, store_->journal_size());
+        }
+      } else if (ok && h.op == ReplOp::kRecords) {
+        if (role_.load(std::memory_order_acquire) != Role::kStandby) {
+          ok = send_ack(ReplOp::kAck, 1, store_->journal_size());
+        } else if (h.offset != store_->journal_size()) {
+          // Stream out of step (lost ack): our size is the resync point.
+          fabric_.stats().add("dafs.repl_resyncs");
+          ok = send_ack(ReplOp::kAck, 0, store_->journal_size());
+        } else {
+          const auto res = store_->journal_log().import(std::span(
+              b->mem.data() + sizeof(ReplHeader), std::size_t{h.len}));
+          if (res.truncated != 0) {
+            // Torn/corrupt chunk tail: keep the valid prefix, ack what we
+            // hold, and let the primary resend from there.
+            fabric_.stats().add("dafs.repl_truncated_bytes", res.truncated);
+          }
+          fabric_.stats().add("dafs.repl_applied_bytes", res.accepted);
+          ok = send_ack(ReplOp::kAck, 0, store_->journal_size());
+        }
+      }
+      if (!(ok && post_recv(*b))) {
+        if (hello_ok && running_.load() &&
+            role_.load(std::memory_order_acquire) == Role::kStandby) {
+          promote();
+        }
+        break;
+      }
+    }
+    vi.disconnect();
+  }
+}
+
+void Server::promote() {
+  fabric_.stats().add("dafs.promotions");
+  // Fence the old primary: our epoch strictly dominates everything it ever
+  // streamed, so its post-restart hello is answered "fenced".
+  epoch_.store(
+      std::max(epoch_.load(std::memory_order_relaxed),
+               peer_epoch_.load(std::memory_order_relaxed) + 1),
+      std::memory_order_relaxed);
+  // Materialize the shipped journal into the live image — the same replay a
+  // restarted filer runs over its local journal.
+  store_->crash();
+  // Mint session ids the deposed primary could never have issued. The accept
+  // loop reads next_session_ only after observing the role flip below, and
+  // sessions_mu_ orders this against any straggling worker.
+  {
+    std::lock_guard lock(sessions_mu_);
+    next_session_ =
+        std::max(next_session_, store_->server_state_watermark() + 1024);
+  }
+  // Surviving clients re-establish locks via lease reclaim before fresh
+  // acquires are admitted — the same grace window as a local restart.
+  grace_until_.store((std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(cfg_.grace_period_ms))
+                         .time_since_epoch()
+                         .count());
+  role_.store(Role::kPrimary, std::memory_order_release);
+  fabric_.stats().add("dafs.server_restarts");
 }
 
 void Server::apply_ack(Session& s, const MsgHeader& req) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "dafs/lock_table.hpp"
+#include "dafs/mount.hpp"
 #include "dafs/proto.hpp"
 #include "fstore/file_store.hpp"
 #include "sim/actor.hpp"
@@ -50,6 +52,25 @@ struct ServerConfig {
   /// evicted first; the byte cap forces out the oldest beyond it.
   std::size_t replay_entries = 64;
   std::size_t replay_max_bytes = 256 * 1024;
+  /// Replicated-pair wiring. A *primary* names the standby's replication
+  /// service in `repl_peer` and streams its journal there, holding each
+  /// successful non-idempotent response until the standby has acknowledged
+  /// the records it depends on (semi-synchronous; see replicate_barrier).
+  /// A *standby* names its own replication service in `repl_listen`, starts
+  /// in Role::kStandby (no client listener), imports the stream, and
+  /// promotes itself when the channel dies after a completed handshake.
+  /// Both empty (default) = unreplicated, exactly the old behavior.
+  std::string repl_peer;
+  std::string repl_listen;
+  /// Policy of the replication channel: `attempts`/backoff govern sender
+  /// reconnects, `deadline_ns` bounds the semi-synchronous barrier wait
+  /// before a response is released unreplicated (degraded mode).
+  RetryPolicy repl_retry{.attempts = 4,
+                         .backoff_ns = 200'000,
+                         .backoff_cap_ns = 5'000'000,
+                         .jitter_seed = 1,
+                         .max_busy_retries = 64,
+                         .deadline_ns = 200'000'000};
 };
 
 /// The DAFS file server ("filer"): accepts sessions over VIA, serves the
@@ -95,6 +116,23 @@ class Server {
   /// Total bytes currently pinned by all sessions' replay caches.
   std::size_t replay_cache_bytes() const;
 
+  /// Replicated-pair role. kPrimary serves clients; kStandby only imports
+  /// the journal stream; kFenced is a deposed primary that answers every
+  /// request (except kDisconnect) with PStatus::kFenced.
+  enum class Role : int { kPrimary = 0, kStandby = 1, kFenced = 2 };
+  Role role() const { return role_.load(std::memory_order_acquire); }
+  /// Fencing epoch: starts at 1, bumped past the deposed primary's on
+  /// promotion.
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+  /// Journal bytes the standby has acknowledged / still owes (primary side).
+  std::uint64_t repl_acked_bytes() const {
+    return repl_acked_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t repl_lag_bytes() const;
+  bool repl_connected() const {
+    return repl_connected_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct MsgBuf {
     std::vector<std::byte> mem;
@@ -125,6 +163,23 @@ class Server {
 
   void accept_loop();
   void worker_loop(int idx);
+  /// Primary side of the replication channel: connect to repl_peer, hello,
+  /// then stream journal chunks stop-and-wait, publishing acked offsets.
+  void repl_sender_loop();
+  /// Standby side: accept the stream, import chunks into the local journal,
+  /// answer hellos (fenced once promoted), promote on channel death.
+  void repl_receiver_loop();
+  /// Standby -> primary transition: materialize the shipped journal, arm the
+  /// reclaim grace window, bump the epoch past the deposed primary's.
+  void promote();
+  /// Semi-synchronous replication barrier: hold a successful non-idempotent
+  /// response until the standby acked everything journaled so far, bounded
+  /// by repl_retry.deadline_ns (degraded skip on timeout/disconnect).
+  /// Hold a successful replicated op until the standby acks its journal
+  /// records. Returns false when the op must NOT be acknowledged (the filer
+  /// is crashing and the records never reached the standby): the caller
+  /// drops the response so the client retransmits against the survivor.
+  bool replicate_barrier();
   void handle_request(Session& s, MsgBuf& req, MsgBuf& out);
   void send_response(Session& s, MsgBuf& out);
   /// Tear down all volatile state and schedule the restart (crash path).
@@ -185,6 +240,20 @@ class Server {
   std::vector<std::unique_ptr<sim::Actor>> worker_actors_;
   std::unique_ptr<sim::Actor> accept_actor_;
   std::vector<std::unique_ptr<MsgBuf>> worker_send_bufs_;
+
+  // Replication state (inert when repl_peer and repl_listen are both empty).
+  std::atomic<Role> role_{Role::kPrimary};
+  std::atomic<std::uint64_t> epoch_{1};
+  std::atomic<std::uint64_t> repl_acked_{0};
+  std::atomic<std::uint64_t> peer_epoch_{0};
+  std::atomic<bool> repl_connected_{false};
+  std::mutex repl_mu_;
+  std::condition_variable repl_cv_;
+  /// Sender-side channel VI, under repl_mu_. do_crash() disconnects it (so
+  /// the standby observes the death promptly); only the sender resets it.
+  std::unique_ptr<via::Vi> repl_vi_;
+  std::thread repl_thread_;
+  std::unique_ptr<sim::Actor> repl_actor_;
 };
 
 }  // namespace dafs

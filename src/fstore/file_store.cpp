@@ -23,11 +23,9 @@ FileStore::FileStore(Options opt,
   root.attrs.is_dir = true;
   root.attrs.nlink = 2;
   root.attrs.gen = next_gen_++;
-  // The root exists in the durable image from birth, so a crash of an empty
-  // (or journal-less) store still restarts with a valid file system.
-  DurableInode droot;
-  droot.attrs = root.attrs;
-  durable_.emplace(kRootIno, std::move(droot));
+  // The root is implicit (recreated by crash replay before any records
+  // apply), so an empty — or journal-less — store still restarts with a
+  // valid file system.
   inodes_.emplace(kRootIno, std::move(root));
 }
 
@@ -83,20 +81,8 @@ void FileStore::free_file_data_locked(Inode& node) {
 // Journal / durable image
 // ---------------------------------------------------------------------------
 
-void FileStore::mirror_meta_locked(Ino ino) {
-  if (!opt_.journal_enabled) return;
-  const Inode* n = find_locked(ino);
-  if (n == nullptr) {
-    durable_.erase(ino);
-    return;
-  }
-  DurableInode& d = durable_[ino];
-  d.attrs = n->attrs;
-  d.entries = n->entries;
-}
-
-void FileStore::apply_durable_write_locked(DurableInode& d, std::uint64_t off,
-                                           std::span<const std::byte> data) {
+void FileStore::apply_bytes_locked(Inode& n, std::uint64_t off,
+                                   std::span<const std::byte> data) {
   std::uint64_t done = 0;
   while (done < data.size()) {
     const std::uint64_t pos = off + done;
@@ -104,21 +90,23 @@ void FileStore::apply_durable_write_locked(DurableInode& d, std::uint64_t off,
     const std::uint64_t co = pos % opt_.chunk_size;
     const std::uint64_t n_here =
         std::min<std::uint64_t>(data.size() - done, opt_.chunk_size - co);
-    auto& chunk = d.chunks[ci];
-    if (chunk.size() != opt_.chunk_size) chunk.resize(opt_.chunk_size);
-    std::memcpy(chunk.data() + co, data.data() + done, n_here);
+    std::byte* chunk = chunk_for_locked(n, ci, /*allocate=*/true);
+    std::memcpy(chunk + co, data.data() + done, n_here);
     done += n_here;
   }
 }
 
-void FileStore::durable_truncate_locked(DurableInode& d, std::uint64_t size) {
+void FileStore::truncate_chunks_locked(Inode& n, std::uint64_t size) {
   const std::uint64_t first_dead =
       (size + opt_.chunk_size - 1) / opt_.chunk_size;
-  d.chunks.erase(d.chunks.lower_bound(first_dead), d.chunks.end());
+  for (auto it = n.chunks.lower_bound(first_dead); it != n.chunks.end();) {
+    free_chunks_.push_back(it->second);
+    it = n.chunks.erase(it);
+  }
   if (size % opt_.chunk_size != 0) {
-    auto it = d.chunks.find(size / opt_.chunk_size);
-    if (it != d.chunks.end()) {
-      std::memset(it->second.data() + size % opt_.chunk_size, 0,
+    auto it = n.chunks.find(size / opt_.chunk_size);
+    if (it != n.chunks.end()) {
+      std::memset(it->second + size % opt_.chunk_size, 0,
                   opt_.chunk_size - size % opt_.chunk_size);
     }
   }
@@ -127,24 +115,35 @@ void FileStore::durable_truncate_locked(DurableInode& d, std::uint64_t size) {
 void FileStore::commit_intents_locked(Ino ino) {
   const Inode* n = find_locked(ino);
   std::size_t committed = 0;
+  std::uint32_t nintents = 0;
+  RecWriter body;
   for (auto it = journal_.begin(); it != journal_.end();) {
     if (it->ino != ino) {
       ++it;
       continue;
     }
     if (n != nullptr) {
-      apply_durable_write_locked(durable_[ino], it->off, it->bytes);
+      body.u64(it->off);
+      body.bytes(it->bytes);
+      ++nintents;
       committed += it->bytes.size();
     }
     journal_bytes_ -= it->bytes.size();
     it = journal_.erase(it);
   }
-  if (n != nullptr) {
-    DurableInode& d = durable_[ino];
-    d.attrs = n->attrs;
-    d.entries = n->entries;
-    // A truncate between write and sync must not resurrect dead bytes.
-    durable_truncate_locked(d, n->attrs.size);
+  // One record per sync: the whole batch (plus the final size, which a
+  // truncate between write and sync may have shrunk — replay re-truncates,
+  // never resurrecting dead bytes) applies atomically, so a torn multi-block
+  // write is never partially visible after a crash.
+  if (n != nullptr && committed > 0 && opt_.journal_enabled) {
+    RecWriter w;
+    w.u64(ino);
+    w.u64(n->attrs.size);
+    w.u64(n->attrs.mtime);
+    w.u32(nintents);
+    std::vector<std::byte> payload(w.out().begin(), w.out().end());
+    payload.insert(payload.end(), body.out().begin(), body.out().end());
+    jlog_.append(RecType::kSyncCommit, payload);
   }
   if (committed > 0) stats_.add("fstore.journal_committed_bytes", committed);
 }
@@ -184,6 +183,151 @@ std::size_t FileStore::journal_pending_bytes() const {
   return journal_bytes_;
 }
 
+std::uint64_t FileStore::apply_record_locked(RecType type,
+                                             std::span<const std::byte> p) {
+  RecReader r(p);
+  switch (type) {
+    case RecType::kCreate: {
+      const Ino dir = r.u64();
+      const Ino ino = r.u64();
+      const std::uint64_t gen = r.u64();
+      const std::uint64_t mtime = r.u64();
+      const bool is_dir = r.u8() != 0;
+      const std::string name = r.str();
+      if (!r.ok()) break;
+      Inode* d = find_locked(dir);
+      if (d == nullptr) break;
+      Inode node;
+      node.attrs.ino = ino;
+      node.attrs.is_dir = is_dir;
+      node.attrs.nlink = is_dir ? 2 : 1;
+      node.attrs.mtime = mtime;
+      node.attrs.gen = gen;
+      inodes_.emplace(ino, std::move(node));
+      d->entries[name] = ino;
+      // Id watermarks never regress: a promoted standby keeps minting fresh
+      // (ino, gen) pairs past everything the primary ever handed out.
+      next_ino_ = std::max(next_ino_, ino + 1);
+      next_gen_ = std::max(next_gen_, gen + 1);
+      break;
+    }
+    case RecType::kRemove: {
+      const Ino dir = r.u64();
+      const std::string name = r.str();
+      if (!r.ok()) break;
+      Inode* d = find_locked(dir);
+      if (d == nullptr) break;
+      auto it = d->entries.find(name);
+      if (it == d->entries.end()) break;
+      if (Inode* child = find_locked(it->second)) {
+        free_file_data_locked(*child);
+        inodes_.erase(it->second);
+      }
+      d->entries.erase(it);
+      break;
+    }
+    case RecType::kRename: {
+      const Ino from_dir = r.u64();
+      const Ino to_dir = r.u64();
+      const std::string from = r.str();
+      const std::string to = r.str();
+      if (!r.ok()) break;
+      Inode* fd = find_locked(from_dir);
+      Inode* td = find_locked(to_dir);
+      if (fd == nullptr || td == nullptr) break;
+      auto it = fd->entries.find(from);
+      if (it == fd->entries.end()) break;
+      const Ino moved = it->second;
+      auto tgt = td->entries.find(to);
+      if (tgt != td->entries.end()) {
+        if (Inode* dead = find_locked(tgt->second)) {
+          free_file_data_locked(*dead);
+          inodes_.erase(tgt->second);
+        }
+        td->entries.erase(tgt);
+      }
+      fd->entries.erase(it);
+      td->entries[to] = moved;
+      break;
+    }
+    case RecType::kSetSize: {
+      const Ino ino = r.u64();
+      const std::uint64_t size = r.u64();
+      const std::uint64_t mtime = r.u64();
+      if (!r.ok()) break;
+      if (Inode* n = find_locked(ino)) {
+        truncate_chunks_locked(*n, size);
+        n->attrs.size = size;
+        n->attrs.mtime = mtime;
+      }
+      break;
+    }
+    case RecType::kSyncCommit: {
+      const Ino ino = r.u64();
+      const std::uint64_t size = r.u64();
+      const std::uint64_t mtime = r.u64();
+      const std::uint32_t n_intents = r.u32();
+      Inode* n = find_locked(ino);
+      std::uint64_t applied = 0;
+      for (std::uint32_t i = 0; i < n_intents && r.ok(); ++i) {
+        const std::uint64_t off = r.u64();
+        const auto data = r.bytes();
+        if (!r.ok() || n == nullptr) continue;
+        apply_bytes_locked(*n, off, data);
+        applied += data.size();
+      }
+      if (n != nullptr && r.ok()) {
+        // Recorded size last: a truncate that raced the writes must win.
+        n->attrs.size = size;
+        truncate_chunks_locked(*n, size);
+        n->attrs.mtime = mtime;
+      }
+      return applied;
+    }
+    case RecType::kCounterSet: {
+      const std::uint64_t value = r.u64();
+      const std::string key = r.str();
+      if (!r.ok()) break;
+      std::lock_guard clock(counters_mu_);
+      counters_[key] = value;
+      break;
+    }
+    case RecType::kCounterAdd: {
+      const std::uint64_t delta = r.u64();
+      const std::uint64_t client_id = r.u64();
+      const std::uint32_t seq = r.u32();
+      const std::uint64_t old = r.u64();
+      const std::string key = r.str();
+      if (!r.ok()) break;
+      std::lock_guard clock(counters_mu_);
+      counters_[key] = old + delta;
+      if (client_id != 0 && seq != 0) {
+        dup_.emplace(DupKey{client_id, seq}, old);
+      }
+      break;
+    }
+    case RecType::kDupForget: {
+      const std::uint64_t client_id = r.u64();
+      const std::uint32_t upto_seq = r.u32();
+      if (!r.ok()) break;
+      std::lock_guard clock(counters_mu_);
+      std::erase_if(dup_, [&](const auto& kv) {
+        return kv.first.client_id == client_id && kv.first.seq <= upto_seq;
+      });
+      break;
+    }
+    case RecType::kServerState: {
+      const std::uint64_t next_session = r.u64();
+      const std::uint64_t epoch = r.u64();
+      if (!r.ok()) break;
+      srv_next_session_ = std::max(srv_next_session_, next_session);
+      srv_epoch_ = std::max(srv_epoch_, epoch);
+      break;
+    }
+  }
+  return 0;
+}
+
 void FileStore::crash() {
   std::lock_guard lock(mu_);
   stats_.add("fstore.crashes");
@@ -199,21 +343,47 @@ void FileStore::crash() {
   inodes_.clear();
   cache_.clear();
   lru_.clear();
-  // Journal replay: rebuild the live tree from the durable image.
-  std::uint64_t replayed = 0;
-  for (const auto& [ino, d] : durable_) {
-    Inode n;
-    n.attrs = d.attrs;
-    n.entries = d.entries;
-    auto [it, inserted] = inodes_.emplace(ino, std::move(n));
-    for (const auto& [ci, bytes] : d.chunks) {
-      std::byte* chunk = chunk_for_locked(it->second, ci, /*allocate=*/true);
-      std::memcpy(chunk, bytes.data(),
-                  std::min<std::size_t>(bytes.size(), opt_.chunk_size));
-      replayed += bytes.size();
-    }
+  Inode root;
+  root.attrs.ino = kRootIno;
+  root.attrs.is_dir = true;
+  root.attrs.nlink = 2;
+  root.attrs.gen = 1;
+  inodes_.emplace(kRootIno, std::move(root));
+  if (!opt_.journal_enabled) return;  // counters survive, files do not
+  // Counters and the dup filter are rebuilt from their records, so clear
+  // the live maps first (a standby importing a primary's stream starts from
+  // nothing and must converge to exactly the shipped state).
+  {
+    std::lock_guard clock(counters_mu_);
+    counters_.clear();
+    dup_.clear();
   }
+  // Journal replay: truncate any torn/corrupt tail, then apply every record
+  // in order to rebuild the live tree.
+  std::uint64_t replayed = 0;
+  const std::uint64_t torn = jlog_.replay(
+      [&](RecType type, std::span<const std::byte> payload) {
+        replayed += apply_record_locked(type, payload);
+      });
+  if (torn > 0) stats_.add("fstore.journal_truncated_bytes", torn);
   stats_.add("fstore.journal_replayed_bytes", replayed);
+}
+
+void FileStore::journal_server_state(std::uint64_t next_session,
+                                     std::uint64_t epoch) {
+  std::lock_guard lock(mu_);
+  srv_next_session_ = std::max(srv_next_session_, next_session);
+  srv_epoch_ = std::max(srv_epoch_, epoch);
+  if (!opt_.journal_enabled) return;
+  RecWriter w;
+  w.u64(next_session);
+  w.u64(epoch);
+  jlog_.append(RecType::kServerState, w.out());
+}
+
+std::uint64_t FileStore::server_state_watermark() const {
+  std::lock_guard lock(mu_);
+  return srv_next_session_;
 }
 
 void FileStore::touch_cache_locked(Ino ino, std::uint64_t chunk_idx) {
@@ -295,14 +465,23 @@ Result<Ino> FileStore::insert_child_locked(Ino dir, std::string_view name,
   node.attrs.nlink = is_dir ? 2 : 1;
   node.attrs.mtime = now();
   node.attrs.gen = next_gen_++;
+  const std::uint64_t mtime = node.attrs.mtime;
+  const std::uint64_t gen = node.attrs.gen;
   inodes_.emplace(ino, std::move(node));
   d->entries.emplace(std::string(name), ino);
   d->attrs.mtime = now();
-  // Creates are metadata: journaled durable immediately (both the new child
-  // and the parent's entry map), so the name — and its generation number —
-  // survives a crash even before any data is synced.
-  mirror_meta_locked(ino);
-  mirror_meta_locked(dir);
+  // Creates are metadata: journaled durable immediately, so the name — and
+  // its generation number — survives a crash even before any data is synced.
+  if (opt_.journal_enabled) {
+    RecWriter w;
+    w.u64(dir);
+    w.u64(ino);
+    w.u64(gen);
+    w.u64(mtime);
+    w.u8(is_dir ? 1 : 0);
+    w.str(name);
+    jlog_.append(RecType::kCreate, w.out());
+  }
   return ino;
 }
 
@@ -335,10 +514,17 @@ Errc FileStore::remove(Ino dir, std::string_view name) {
   d->entries.erase(it);
   d->attrs.mtime = now();
   if (opt_.journal_enabled) {
-    std::erase_if(journal_,
-                  [&](const Intent& i) { return i.ino == child_ino; });
-    mirror_meta_locked(child_ino);  // live gone -> erases the durable record
-    mirror_meta_locked(dir);
+    std::size_t dropped = 0;
+    std::erase_if(journal_, [&](const Intent& i) {
+      if (i.ino != child_ino) return false;
+      dropped += i.bytes.size();
+      return true;
+    });
+    journal_bytes_ -= dropped;
+    RecWriter w;
+    w.u64(dir);
+    w.str(name);
+    jlog_.append(RecType::kRemove, w.out());
   }
   stats_.add("fstore.removes");
   return Errc::kOk;
@@ -355,12 +541,16 @@ Errc FileStore::rmdir(Ino dir, std::string_view name) {
   if (child == nullptr) return Errc::kStale;
   if (!child->attrs.is_dir) return Errc::kNotDir;
   if (!child->entries.empty()) return Errc::kNotEmpty;
-  const Ino child_ino = it->second;
-  inodes_.erase(child_ino);
+  inodes_.erase(it->second);
+  const std::string gone = it->first;
   d->entries.erase(it);
   d->attrs.mtime = now();
-  mirror_meta_locked(child_ino);
-  mirror_meta_locked(dir);
+  if (opt_.journal_enabled) {
+    RecWriter w;
+    w.u64(dir);
+    w.str(gone);
+    jlog_.append(RecType::kRemove, w.out());
+  }
   return Errc::kOk;
 }
 
@@ -387,16 +577,29 @@ Errc FileStore::rename(Ino from_dir, std::string_view from, Ino to_dir,
     }
     td->entries.erase(tgt);
     if (opt_.journal_enabled) {
-      std::erase_if(journal_, [&](const Intent& i) { return i.ino == dead; });
-      mirror_meta_locked(dead);
+      std::size_t dropped = 0;
+      std::erase_if(journal_, [&](const Intent& i) {
+        if (i.ino != dead) return false;
+        dropped += i.bytes.size();
+        return true;
+      });
+      journal_bytes_ -= dropped;
     }
   }
   fd->entries.erase(it);
   td->entries.emplace(std::string(to), moved);
   fd->attrs.mtime = now();
   td->attrs.mtime = now();
-  mirror_meta_locked(from_dir);
-  mirror_meta_locked(to_dir);
+  // One record covers the whole move, including the replaced target: replay
+  // mirrors the live logic above.
+  if (opt_.journal_enabled) {
+    RecWriter w;
+    w.u64(from_dir);
+    w.u64(to_dir);
+    w.str(from);
+    w.str(to);
+    jlog_.append(RecType::kRename, w.out());
+  }
   return Errc::kOk;
 }
 
@@ -430,33 +633,19 @@ Errc FileStore::set_size(Ino ino, std::uint64_t size) {
   Inode* n = find_locked(ino);
   if (n == nullptr) return Errc::kStale;
   if (n->attrs.is_dir) return Errc::kIsDir;
-  if (size < n->attrs.size) {
-    // Drop whole chunks past the new EOF and zero the tail of the last one.
-    const std::uint64_t first_dead = (size + opt_.chunk_size - 1) / opt_.chunk_size;
-    for (auto it = n->chunks.lower_bound(first_dead); it != n->chunks.end();) {
-      free_chunks_.push_back(it->second);
-      it = n->chunks.erase(it);
-    }
-    if (size % opt_.chunk_size != 0) {
-      auto it = n->chunks.find(size / opt_.chunk_size);
-      if (it != n->chunks.end()) {
-        std::memset(it->second + size % opt_.chunk_size, 0,
-                    opt_.chunk_size - size % opt_.chunk_size);
-      }
-    }
-  }
+  if (size < n->attrs.size) truncate_chunks_locked(*n, size);
   n->attrs.size = size;
   n->attrs.mtime = now();
-  // set_size is metadata: durable immediately, including the truncation of
-  // already-durable chunks (and of any pending intents past the new EOF —
-  // folding them later must not resurrect dead bytes, which
-  // commit_intents_locked guarantees by re-truncating after the fold).
+  // set_size is metadata: durable immediately. Pending intents past the new
+  // EOF must not resurrect dead bytes when folded later, which the
+  // kSyncCommit record guarantees by carrying — and replay re-applying —
+  // the final size after the writes.
   if (opt_.journal_enabled) {
-    auto it = durable_.find(ino);
-    if (it != durable_.end()) {
-      it->second.attrs = n->attrs;
-      durable_truncate_locked(it->second, size);
-    }
+    RecWriter w;
+    w.u64(ino);
+    w.u64(size);
+    w.u64(n->attrs.mtime);
+    jlog_.append(RecType::kSetSize, w.out());
   }
   return Errc::kOk;
 }
@@ -638,15 +827,18 @@ Errc FileStore::sync(Ino ino) {
 
 std::uint64_t FileStore::counter_fetch_add(const std::string& key,
                                            std::uint64_t delta) {
-  std::lock_guard lock(counters_mu_);
-  const std::uint64_t old = counters_[key];
-  counters_[key] = old + delta;
-  return old;
+  return counter_fetch_add_once(key, delta, 0, 0);
 }
 
 void FileStore::counter_set(const std::string& key, std::uint64_t value) {
   std::lock_guard lock(counters_mu_);
   counters_[key] = value;
+  if (opt_.journal_enabled) {
+    RecWriter w;
+    w.u64(value);
+    w.str(key);
+    jlog_.append(RecType::kCounterSet, w.out());
+  }
 }
 
 std::uint64_t FileStore::counter_fetch_add_once(const std::string& key,
@@ -665,6 +857,18 @@ std::uint64_t FileStore::counter_fetch_add_once(const std::string& key,
   const std::uint64_t old = counters_[key];
   counters_[key] = old + delta;
   if (filtered) dup_.emplace(DupKey{client_id, seq}, old);
+  // Counter mutations — and their dup-filter records — are synchronously
+  // journaled, which is what makes them exactly-once across crash-restart
+  // *and* across a failover to the standby the record was shipped to.
+  if (opt_.journal_enabled) {
+    RecWriter w;
+    w.u64(delta);
+    w.u64(client_id);
+    w.u32(seq);
+    w.u64(old);
+    w.str(key);
+    jlog_.append(RecType::kCounterAdd, w.out());
+  }
   return old;
 }
 
@@ -673,6 +877,12 @@ void FileStore::dup_forget(std::uint64_t client_id, std::uint32_t upto_seq) {
   std::erase_if(dup_, [&](const auto& kv) {
     return kv.first.client_id == client_id && kv.first.seq <= upto_seq;
   });
+  if (opt_.journal_enabled) {
+    RecWriter w;
+    w.u64(client_id);
+    w.u32(upto_seq);
+    jlog_.append(RecType::kDupForget, w.out());
+  }
 }
 
 }  // namespace fstore

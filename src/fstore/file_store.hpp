@@ -14,6 +14,7 @@
 
 #include "sim/expected.hpp"
 #include "sim/stats.hpp"
+#include "fstore/journal.hpp"
 #include "fstore/types.hpp"
 
 namespace sim {
@@ -53,13 +54,16 @@ struct Options {
   /// wires the fabric's tracer in so journal appends and data-path service
   /// appear as spans under the worker's open request span.
   sim::Tracer* tracer = nullptr;
-  /// Write-ahead intent journal + durable image, making `sync` a real
-  /// durability barrier: data writes are recorded as intents and only become
-  /// crash-durable when their inode is synced (all of an inode's un-synced
-  /// intents commit atomically — a torn multi-block write is never partially
-  /// visible after `crash()`); namespace/metadata ops and named counters are
-  /// journaled durable immediately. Off by default (the NFS baseline and raw
-  /// benches model an always-up store); the DAFS server turns it on.
+  /// Write-ahead record journal, making `sync` a real durability barrier:
+  /// data writes are held as volatile intents and become one CRC-framed
+  /// `kSyncCommit` record when their inode is synced (all of an inode's
+  /// un-synced intents commit atomically — a torn multi-block write is never
+  /// partially visible after `crash()`); namespace/metadata ops and named
+  /// counters append records durable-immediately. The record log is the
+  /// durable image: crash replay rebuilds live state from it, and the DAFS
+  /// replication channel ships its raw bytes to a standby filer. Off by
+  /// default (the NFS baseline and raw benches model an always-up store);
+  /// the DAFS server turns it on.
   bool journal_enabled = false;
   /// Watermark on un-synced intent bytes: crossing it triggers an internal
   /// write-back of every pending intent (an early sync is always legal), so
@@ -134,13 +138,30 @@ class FileStore {
   // ---- crash / restart ------------------------------------------------------
   /// Simulate the server process dying and restarting: discard all volatile
   /// state (un-synced intents, live inode table, buffer-cache model) and
-  /// rebuild from the durable image — i.e. replay the journal. Cache slabs
-  /// are recycled, never freed, so NIC registrations held against them stay
-  /// valid across the crash. Counters and the duplicate filter model
-  /// synchronously-journaled state and survive.
+  /// replay the record journal from offset 0, truncating any torn or
+  /// corrupt tail first. Cache slabs are recycled, never freed, so NIC
+  /// registrations held against them stay valid across the crash. Counters
+  /// and the duplicate filter are rebuilt from their synchronously-journaled
+  /// records and so survive. A standby filer that imported a primary's
+  /// journal stream calls this to materialize the shipped state.
   void crash();
-  /// Un-synced intent bytes currently pending in the journal.
+  /// Un-synced intent bytes currently pending (not yet folded into a
+  /// kSyncCommit record).
   std::size_t journal_pending_bytes() const;
+
+  // ---- record log (replication surface) -------------------------------------
+  /// The CRC-framed record log backing durability. The DAFS server streams
+  /// its raw bytes to a standby (`read`) and a standby imports them
+  /// (`import`); both ends replay identically.
+  FStoreJournal& journal_log() { return jlog_; }
+  const FStoreJournal& journal_log() const { return jlog_; }
+  /// Current record-log size in bytes (the replication high-water mark).
+  std::uint64_t journal_size() const { return jlog_.size(); }
+  /// Append an opaque server-state record (session-id watermark + epoch).
+  /// The store ignores it on replay except to remember the latest values,
+  /// which `server_state_watermark` exposes to a promoted standby.
+  void journal_server_state(std::uint64_t next_session, std::uint64_t epoch);
+  std::uint64_t server_state_watermark() const;
 
   // ---- named atomic counters (DAFS extension backing MPI shared pointers) --
   /// Atomically add `delta` to the counter `key`, returning the old value.
@@ -168,17 +189,8 @@ class FileStore {
     std::map<std::uint64_t, std::byte*> chunks;   // files: chunk idx -> data
   };
 
-  /// Durable twin of an Inode: attrs + directory entries mirrored on every
-  /// metadata op, file chunks updated only at sync (deep copies — the live
-  /// chunks are volatile cache).
-  struct DurableInode {
-    Attrs attrs;
-    std::map<std::string, Ino> entries;
-    std::map<std::uint64_t, std::vector<std::byte>> chunks;
-  };
-
-  /// One journaled write intent (data captured at write time, applied to the
-  /// durable image when the inode is synced).
+  /// One pending write intent (data captured at write time, folded into a
+  /// single kSyncCommit record when the inode is synced).
   struct Intent {
     Ino ino = kInvalidIno;
     std::uint64_t off = 0;
@@ -195,22 +207,25 @@ class FileStore {
   void touch_cache_locked(Ino ino, std::uint64_t chunk_idx);
   std::uint64_t now() const;
 
-  // ---- journal internals (all under mu_) ----
-  /// Mirror attrs + entries of `ino` into the durable image (erases the
-  /// durable record if the live inode is gone). Metadata-durability step of
-  /// every namespace op.
-  void mirror_meta_locked(Ino ino);
+  // ---- journal internals (all under mu_ unless noted) ----
   /// Append a write intent for [off, off+data.size()) of `ino`; may trigger
   /// an autosync write-back when the watermark is crossed.
   void record_intent_locked(Ino ino, std::uint64_t off,
                             std::span<const std::byte> data);
-  /// Fold all pending intents of `ino` into its durable chunks, then bring
-  /// durable attrs/size in line with the live inode.
+  /// Fold all pending intents of `ino` into one kSyncCommit record carrying
+  /// the live size/mtime, so the whole batch replays atomically (and a
+  /// truncate between write and sync never resurrects dead bytes — replay
+  /// re-truncates to the recorded size after applying the writes).
   void commit_intents_locked(Ino ino);
-  void apply_durable_write_locked(DurableInode& d, std::uint64_t off,
-                                  std::span<const std::byte> data);
-  /// Mirror of the live truncation logic for the durable chunk map.
-  void durable_truncate_locked(DurableInode& d, std::uint64_t size);
+  /// Write `data` at `off` of a live inode's chunks (replay data path).
+  void apply_bytes_locked(Inode& n, std::uint64_t off,
+                          std::span<const std::byte> data);
+  /// Drop whole chunks past the new EOF and zero the tail of the last one.
+  void truncate_chunks_locked(Inode& n, std::uint64_t size);
+  /// Apply one journal record to live state (crash replay). Counter records
+  /// additionally take counters_mu_. Returns data bytes applied.
+  std::uint64_t apply_record_locked(RecType type,
+                                    std::span<const std::byte> payload);
 
   Options opt_;
   std::function<void(std::span<std::byte>)> on_new_slab_;
@@ -220,12 +235,16 @@ class FileStore {
   std::uint64_t next_gen_ = 1;
   std::unordered_map<Ino, Inode> inodes_;
 
-  // Journal + durable image. Creates are journaled durable-immediately, so
-  // next_ino_/next_gen_ never regress across a crash and handle (ino, gen)
-  // pairs stay unique for the lifetime of the store.
+  // Pending (volatile) write intents + the durable record log. Creates are
+  // journaled durable-immediately, so next_ino_/next_gen_ never regress
+  // across a crash and handle (ino, gen) pairs stay unique for the lifetime
+  // of the store. The record log only grows (no compaction yet — ROADMAP).
   std::vector<Intent> journal_;
   std::size_t journal_bytes_ = 0;
-  std::unordered_map<Ino, DurableInode> durable_;
+  FStoreJournal jlog_;
+  // Latest kServerState record seen (appended locally or replayed).
+  std::uint64_t srv_next_session_ = 0;
+  std::uint64_t srv_epoch_ = 0;
 
   // Slab allocator for chunks.
   std::vector<std::unique_ptr<std::byte[]>> slabs_;

@@ -1,0 +1,133 @@
+#include "fstore/journal.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace fstore {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = table[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t FStoreJournal::valid_prefix(std::span<const std::byte> log,
+                                          std::size_t* records) {
+  std::size_t pos = 0;
+  std::size_t count = 0;
+  while (log.size() - pos >= sizeof(RecHeader)) {
+    RecHeader h;
+    std::memcpy(&h, log.data() + pos, sizeof(h));
+    if (h.magic != kRecMagic) break;
+    if (log.size() - pos - sizeof(RecHeader) < h.len) break;  // torn tail
+    const auto payload = log.subspan(pos + sizeof(RecHeader), h.len);
+    if (crc32(payload) != h.crc) break;  // bit rot / partial overwrite
+    pos += sizeof(RecHeader) + h.len;
+    ++count;
+  }
+  if (records != nullptr) *records = count;
+  return pos;
+}
+
+std::uint64_t FStoreJournal::append(RecType type,
+                                    std::span<const std::byte> payload) {
+  RecHeader h;
+  h.magic = kRecMagic;
+  h.len = static_cast<std::uint32_t>(payload.size());
+  h.crc = crc32(payload);
+  h.type = static_cast<std::uint8_t>(type);
+  std::lock_guard lock(mu_);
+  const auto* hb = reinterpret_cast<const std::byte*>(&h);
+  log_.insert(log_.end(), hb, hb + sizeof(h));
+  log_.insert(log_.end(), payload.begin(), payload.end());
+  return log_.size();
+}
+
+std::uint64_t FStoreJournal::size() const {
+  std::lock_guard lock(mu_);
+  return log_.size();
+}
+
+std::vector<std::byte> FStoreJournal::read(std::uint64_t from,
+                                           std::size_t max_bytes) const {
+  std::lock_guard lock(mu_);
+  std::vector<std::byte> out;
+  if (from >= log_.size()) return out;
+  std::size_t pos = from;
+  while (log_.size() - pos >= sizeof(RecHeader)) {
+    RecHeader h;
+    std::memcpy(&h, log_.data() + pos, sizeof(h));
+    if (h.magic != kRecMagic) break;  // caller's offset was not a boundary
+    const std::size_t rec = sizeof(RecHeader) + h.len;
+    if (log_.size() - pos < rec) break;
+    if (!out.empty() && (pos + rec) - from > max_bytes) break;
+    pos += rec;
+    if (pos - from >= max_bytes) break;
+  }
+  out.assign(log_.begin() + static_cast<std::ptrdiff_t>(from),
+             log_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return out;
+}
+
+FStoreJournal::ImportResult FStoreJournal::import(
+    std::span<const std::byte> stream) {
+  ImportResult res;
+  res.accepted = valid_prefix(stream, nullptr);
+  res.truncated = res.accepted < stream.size();
+  if (res.accepted > 0) {
+    std::lock_guard lock(mu_);
+    log_.insert(log_.end(), stream.begin(),
+                stream.begin() + static_cast<std::ptrdiff_t>(res.accepted));
+  }
+  return res;
+}
+
+std::uint64_t FStoreJournal::replay(
+    const std::function<void(RecType, std::span<const std::byte>)>& fn) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t good = valid_prefix(log_, nullptr);
+  const std::uint64_t torn = log_.size() - good;
+  log_.resize(good);
+  std::size_t pos = 0;
+  while (pos < log_.size()) {
+    RecHeader h;
+    std::memcpy(&h, log_.data() + pos, sizeof(h));
+    fn(static_cast<RecType>(h.type),
+       std::span<const std::byte>(log_).subspan(pos + sizeof(RecHeader),
+                                                h.len));
+    pos += sizeof(RecHeader) + h.len;
+  }
+  return torn;
+}
+
+void FStoreJournal::corrupt_tail_byte() {
+  std::lock_guard lock(mu_);
+  if (log_.empty()) return;
+  log_.back() ^= std::byte{0x01};
+}
+
+void FStoreJournal::reset() {
+  std::lock_guard lock(mu_);
+  log_.clear();
+}
+
+}  // namespace fstore

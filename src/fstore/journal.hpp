@@ -1,0 +1,172 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fstore {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte span. Table-driven;
+/// the table is built once on first use.
+std::uint32_t crc32(std::span<const std::byte> data);
+
+/// Record types in the store's write-ahead log. The log *is* the durable
+/// image: local crash-restart replays it from offset 0, and the replication
+/// channel ships its raw bytes to a standby filer which imports them
+/// verbatim, so both ends apply exactly the same record stream.
+enum class RecType : std::uint8_t {
+  kCreate = 1,   // dir, ino, gen, mtime, is_dir, name
+  kRemove,       // dir, name (also the rmdir form)
+  kRename,       // from_dir, to_dir, from, to (replaces a file target)
+  kSetSize,      // ino, size, mtime
+  kSyncCommit,   // ino, size, mtime, n x (off, bytes): one sync, atomically
+  kCounterSet,   // value, key
+  kCounterAdd,   // delta, client_id, seq, old, key (dup-filter record)
+  kDupForget,    // client_id, upto_seq
+  kServerState,  // next_session, epoch — opaque to the store, read by the
+                 // DAFS server so a promoted standby mints session ids past
+                 // the primary's watermark
+};
+
+/// Frame prefixed to every record. `crc` covers the payload only, so a torn
+/// or bit-flipped tail is detected record-by-record and replay truncates the
+/// log back to the last fully-valid frame instead of applying garbage.
+struct RecHeader {
+  std::uint32_t magic = 0;
+  std::uint32_t len = 0;  // payload bytes following this header
+  std::uint32_t crc = 0;  // CRC-32 of the payload
+  std::uint8_t type = 0;
+  std::uint8_t pad[3] = {};
+};
+static_assert(sizeof(RecHeader) == 16);
+
+inline constexpr std::uint32_t kRecMagic = 0x4653'4A31;  // "FSJ1"
+
+/// Append-only payload builder for journal records (native-endian PODs,
+/// length-prefixed strings/blobs; the log never leaves the process except
+/// over the in-process simulated fabric).
+class RecWriter {
+ public:
+  void u8(std::uint8_t v) { raw(&v, 1); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void bytes(std::span<const std::byte> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+  std::span<const std::byte> out() const { return buf_; }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+/// Cursor over a record payload. Out-of-bounds reads poison the reader
+/// (`ok()` goes false) and return zero values; the CRC makes this a
+/// should-never-happen belt-and-braces check, not the torn-tail detector.
+class RecReader {
+ public:
+  explicit RecReader(std::span<const std::byte> in) : in_(in) {}
+
+  std::uint8_t u8() { return pod<std::uint8_t>(); }
+  std::uint32_t u32() { return pod<std::uint32_t>(); }
+  std::uint64_t u64() { return pod<std::uint64_t>(); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    if (!take(n)) return {};
+    std::string s(reinterpret_cast<const char*>(in_.data() + pos_ - n), n);
+    return s;
+  }
+  std::span<const std::byte> bytes() {
+    const std::uint32_t n = u32();
+    if (!take(n)) return {};
+    return in_.subspan(pos_ - n, n);
+  }
+  bool ok() const { return ok_; }
+
+ private:
+  template <typename T>
+  T pod() {
+    if (!take(sizeof(T))) return T{};
+    T v;
+    std::memcpy(&v, in_.data() + pos_ - sizeof(T), sizeof(T));
+    return v;
+  }
+  bool take(std::size_t n) {
+    if (!ok_ || in_.size() - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  std::span<const std::byte> in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// The store's write-ahead record log: a flat byte stream of CRC-framed
+/// records. One instance per FileStore; appends come from the store's
+/// mutation paths (and the DAFS server's session-watermark records), reads
+/// from the replication sender, imports from the replication receiver, and
+/// replay from crash-restart. All entry points are internally locked so the
+/// sender thread can stream while workers append.
+class FStoreJournal {
+ public:
+  /// Frame `payload` as one record and append it. Returns the log size after
+  /// the append (the record's end offset — the value replication acks).
+  std::uint64_t append(RecType type, std::span<const std::byte> payload);
+
+  /// Current log size in bytes.
+  std::uint64_t size() const;
+
+  /// Copy out whole records starting at byte offset `from` (which must be a
+  /// record boundary — `0`, a previous append's return, or an ack). At most
+  /// `max_bytes`, but always at least one record when any remain, so a
+  /// single oversized record still makes progress through a bounded pipe.
+  std::vector<std::byte> read(std::uint64_t from, std::size_t max_bytes) const;
+
+  struct ImportResult {
+    std::uint64_t accepted = 0;  // bytes appended (whole valid records)
+    bool truncated = false;      // stream had a torn/corrupt tail we dropped
+  };
+  /// Validate `stream` frame-by-frame (magic, bounds, CRC) and append the
+  /// longest valid prefix — the standby-side half of torn-tail truncation.
+  ImportResult import(std::span<const std::byte> stream);
+
+  /// Iterate every valid record in order. A torn or corrupt tail is
+  /// truncated off the log in place; returns the number of bytes dropped.
+  /// `fn` runs under the journal lock and must not call back into the log.
+  std::uint64_t replay(
+      const std::function<void(RecType, std::span<const std::byte>)>& fn);
+
+  /// Test hook: flip one byte in the last record's payload, simulating a
+  /// torn/corrupted tail on stable storage.
+  void corrupt_tail_byte();
+
+  void reset();
+
+ private:
+  /// Byte length of the valid record prefix of `log` (frames parse, CRCs
+  /// match); sets `*records` to the count when non-null.
+  static std::uint64_t valid_prefix(std::span<const std::byte> log,
+                                    std::size_t* records);
+
+  mutable std::mutex mu_;
+  std::vector<std::byte> log_;
+};
+
+}  // namespace fstore

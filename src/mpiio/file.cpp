@@ -87,10 +87,11 @@ Result<std::unique_ptr<File>> File::open(const mpi::Comm& comm,
   auto f = std::unique_ptr<File>(
       new File(comm, std::move(path), amode, info, std::move(driver)));
 
-  // The deadline hint applies to every request this file issues, including
-  // the opens below, so plumb it into the driver before anything else.
-  std::uint64_t deadline_ms = f->info_.get_uint("dafs_deadline_ms", 0);
-  if (deadline_ms != 0) f->driver_->set_deadline(deadline_ms * 1'000'000);
+  // Retry/deadline hints parse into the one consolidated RetryPolicy; its
+  // deadline applies to every request this file issues, including the opens
+  // below, so plumb it into the driver before anything else.
+  const dafs::RetryPolicy rpolicy = parse_retry_policy(f->info_);
+  if (rpolicy.deadline_ns != 0) f->driver_->set_deadline(rpolicy.deadline_ns);
   // Trace sampling: root spans on every k-th operation (0 = never).
   f->trace_sample_ = f->info_.get_uint("dafs_trace_sample", 1);
 

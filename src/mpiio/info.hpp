@@ -4,6 +4,9 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
+
+#include "dafs/mount.hpp"
 
 namespace mpiio {
 
@@ -54,5 +57,59 @@ class Info {
  private:
   std::map<std::string, std::string> kv_;
 };
+
+/// Parse the consolidated `dafs_*` retry hints into the one dafs::RetryPolicy
+/// shared by client reconnect/failover, the server replication channel and
+/// per-request deadlines. Absent hints keep `base`'s values:
+///   dafs_retry_attempts        reconnect/resume attempts per endpoint
+///   dafs_retry_backoff_ns      base of the jittered exponential backoff
+///   dafs_retry_backoff_cap_ns  backoff cap
+///   dafs_retry_jitter_seed     backoff jitter RNG seed
+///   dafs_busy_retries          retransmissions of a kBusy-shed request
+///   dafs_deadline_ms           per-request deadline (milliseconds, 0 = none)
+inline dafs::RetryPolicy parse_retry_policy(const Info& info,
+                                            dafs::RetryPolicy base = {}) {
+  dafs::RetryPolicy p = base;
+  p.attempts = static_cast<int>(
+      info.get_uint("dafs_retry_attempts", static_cast<std::uint64_t>(p.attempts)));
+  p.backoff_ns = info.get_uint("dafs_retry_backoff_ns", p.backoff_ns);
+  p.backoff_cap_ns = info.get_uint("dafs_retry_backoff_cap_ns", p.backoff_cap_ns);
+  p.jitter_seed = info.get_uint("dafs_retry_jitter_seed", p.jitter_seed);
+  p.max_busy_retries = static_cast<int>(info.get_uint(
+      "dafs_busy_retries", static_cast<std::uint64_t>(p.max_busy_retries)));
+  p.deadline_ns =
+      info.get_uint("dafs_deadline_ms", p.deadline_ns / 1'000'000) * 1'000'000;
+  return p;
+}
+
+/// Parse a full mount description. `dafs_endpoints` is a comma-separated,
+/// ordered list of filer service names (first = preferred primary, the rest
+/// failover targets); every endpoint gets the policy from
+/// parse_retry_policy. Absent/empty hint: `base`'s endpoints (re-policied),
+/// or one default endpoint at base.client.service.
+inline dafs::MountSpec parse_mount_spec(const Info& info,
+                                        dafs::MountSpec base = {}) {
+  dafs::MountSpec m = std::move(base);
+  const dafs::RetryPolicy p = parse_retry_policy(
+      info, m.endpoints.empty() ? dafs::RetryPolicy{} : m.endpoints[0].retry);
+  const auto eps = info.get("dafs_endpoints");
+  if (eps && !eps->empty()) {
+    m.endpoints.clear();
+    std::size_t start = 0;
+    while (start <= eps->size()) {
+      std::size_t comma = eps->find(',', start);
+      if (comma == std::string::npos) comma = eps->size();
+      std::string name = eps->substr(start, comma - start);
+      if (!name.empty()) m.endpoints.push_back(dafs::Endpoint{std::move(name), p});
+      start = comma + 1;
+    }
+  }
+  if (m.endpoints.empty()) {
+    m.endpoints.push_back(dafs::Endpoint{m.client.service, p});
+  } else {
+    for (auto& e : m.endpoints) e.retry = p;
+  }
+  return m;
+}
 
 }  // namespace mpiio

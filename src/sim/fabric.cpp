@@ -71,4 +71,11 @@ void* Fabric::lookup(const std::string& key) const {
   return it == names_.end() ? nullptr : it->second;
 }
 
+void Fabric::with_bound(const std::string& key,
+                        const std::function<void(void*)>& fn) const {
+  std::lock_guard lock(names_mu_);
+  auto it = names_.find(key);
+  fn(it == names_.end() ? nullptr : it->second);
+}
+
 }  // namespace sim

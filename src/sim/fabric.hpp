@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -55,6 +56,12 @@ class Fabric {
   void bind(const std::string& key, void* endpoint);
   void unbind(const std::string& key);
   void* lookup(const std::string& key) const;
+  /// Run `fn` on the endpoint bound to `key` (nullptr if unbound) while the
+  /// registry lock is held, so the endpoint cannot be unbound — and, by the
+  /// owner's unbind-before-destroy contract, cannot be destroyed — while
+  /// `fn` inspects it. `fn` must not call back into bind/unbind/lookup.
+  void with_bound(const std::string& key,
+                  const std::function<void(void*)>& fn) const;
 
   Stats& stats() { return stats_; }
   HistogramRegistry& histograms() { return hists_; }

@@ -14,6 +14,7 @@ void FaultPlan::arm(std::uint64_t seed) {
   fstore_read_failures_left_ = 0;
   short_read_prob_ = 0.0;
   crash_ = CrashRule{};
+  crash_node_filter_ = kAnyNode;
   armed_.store(false, std::memory_order_relaxed);
 }
 
@@ -98,6 +99,11 @@ void FaultPlan::crash_server_at(Time t, std::uint64_t restart_delay_ms) {
   recompute_armed_locked();
 }
 
+void FaultPlan::restrict_crash_to_node(NodeId node) {
+  std::lock_guard lock(mu_);
+  crash_node_filter_ = node;
+}
+
 void FaultPlan::fail_next_fstore_reads(std::uint64_t n) {
   std::lock_guard lock(mu_);
   fstore_read_failures_left_ = n;
@@ -168,10 +174,14 @@ bool FaultPlan::on_fstore_read(std::uint64_t* len) {
   return false;
 }
 
-bool FaultPlan::on_server_request(Time now, std::uint64_t* restart_delay_ms) {
+bool FaultPlan::on_server_request(Time now, NodeId node,
+                                  std::uint64_t* restart_delay_ms) {
   if (!armed()) return false;
   std::lock_guard lock(mu_);
   if (!crash_.armed) return false;
+  if (crash_node_filter_ != kAnyNode && node != crash_node_filter_) {
+    return false;
+  }
   bool trip = false;
   if (crash_.after_requests > 0) {
     trip = ++crash_.seen >= crash_.after_requests;

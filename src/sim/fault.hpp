@@ -73,6 +73,11 @@ class FaultPlan {
   /// Kill the server at the first request admitted at or after virtual time
   /// `t` (same restart semantics).
   void crash_server_at(Time t, std::uint64_t restart_delay_ms);
+  /// Restrict the armed server crash to the server on `node`. With a
+  /// replicated pair in one fabric both filers consult the same plan; this
+  /// pins the kill to the primary so the standby never trips it.
+  /// kInvalidNode = any server. Survives until the next arm().
+  void restrict_crash_to_node(NodeId node);
 
   // ---- file-store faults --------------------------------------------------
   /// Fail the next `n` file-store reads outright.
@@ -93,9 +98,11 @@ class FaultPlan {
   /// paths that cannot shorten (extent lookups).
   bool on_fstore_read(std::uint64_t* len);
   /// Consulted by the server once per admitted request (`now` = the worker's
-  /// virtual clock). True when this request trips a scheduled crash;
-  /// *restart_delay_ms receives the armed restart delay.
-  bool on_server_request(Time now, std::uint64_t* restart_delay_ms);
+  /// virtual clock, `node` = the node the server runs on). True when this
+  /// request trips a scheduled crash; *restart_delay_ms receives the armed
+  /// restart delay.
+  bool on_server_request(Time now, NodeId node,
+                         std::uint64_t* restart_delay_ms);
 
  private:
   static constexpr NodeId kAnyNode = ~NodeId{0};
@@ -135,6 +142,7 @@ class FaultPlan {
     std::uint64_t restart_delay_ms = 0;
   };
   CrashRule crash_;
+  NodeId crash_node_filter_ = kAnyNode;
 };
 
 }  // namespace sim

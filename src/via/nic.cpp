@@ -49,20 +49,34 @@ Status Nic::connect(Vi& vi, const std::string& service,
   assert(actor && "connect outside an ActorScope");
   if (vi.state() != Vi::State::kIdle) return Status::kInvalidState;
 
-  auto* listener = static_cast<Listener*>(fabric_.lookup("via:" + service));
-  if (listener == nullptr) return Status::kNoMatchingListener;
-
   vi.conn_name_ = service;
 
   Listener::Request req;
   req.client_vi = &vi;
   req.client_time = actor->now();
 
-  std::unique_lock lock(listener->mu_);
-  if (listener->closed_) return Status::kNoMatchingListener;
-  listener->pending_.push_back(&req);
-  listener->cv_.notify_all();
+  // Enqueue under the fabric registry lock: a Listener unbinds itself (same
+  // lock) before its destructor tears anything down, so a listener resolved
+  // here is alive for the whole enqueue, and a request enqueued here is
+  // visible to that destructor's fail-pending sweep. A bare lookup() would
+  // race destruction — the listener lives on its accept loop's stack.
+  const std::string key = "via:" + service;
+  bool enqueued = false;
+  fabric_.with_bound(key, [&](void* ep) {
+    auto* listener = static_cast<Listener*>(ep);
+    if (listener == nullptr) return;
+    std::lock_guard lk(listener->mu_);
+    if (listener->closed_) return;
+    listener->pending_.push_back(&req);
+    listener->cv_.notify_all();
+    enqueued = true;
+  });
+  if (!enqueued) return Status::kNoMatchingListener;
 
+  // From here on the listener pointer is dead to us: whoever resolves the
+  // request — accept, reject, or the destructor's sweep — finds it through
+  // pending_ and completes the rendezvous under the request's own mutex.
+  std::unique_lock lock(req.mu);
   const bool got = [&] {
     if (timeout > std::chrono::hours(1)) {
       req.cv.wait(lock, [&] { return req.done; });
@@ -72,14 +86,27 @@ Status Nic::connect(Vi& vi, const std::string& service,
   }();
 
   if (!got) {
-    // Withdraw the request if the listener has not claimed it yet; if it
-    // has, we must wait for the (imminent) resolution.
-    auto it = std::find(listener->pending_.begin(), listener->pending_.end(),
-                        &req);
-    if (it != listener->pending_.end()) {
-      listener->pending_.erase(it);
-      return Status::kTimeout;
-    }
+    // Withdraw the request if the listener still exists and has not claimed
+    // it yet. Re-resolve under the registry lock — the listener (even a
+    // different incarnation rebound to the same service) is alive while we
+    // search its queue; if the request is in neither a live listener's
+    // queue nor withdrawn, someone claimed or failed it and the resolution
+    // is imminent.
+    lock.unlock();
+    bool withdrawn = false;
+    fabric_.with_bound(key, [&](void* ep) {
+      auto* listener = static_cast<Listener*>(ep);
+      if (listener == nullptr) return;
+      std::lock_guard lk(listener->mu_);
+      auto it = std::find(listener->pending_.begin(),
+                          listener->pending_.end(), &req);
+      if (it != listener->pending_.end()) {
+        listener->pending_.erase(it);
+        withdrawn = true;
+      }
+    });
+    if (withdrawn) return Status::kTimeout;
+    lock.lock();
     req.cv.wait(lock, [&] { return req.done; });
   }
 
@@ -102,10 +129,17 @@ Listener::Listener(Nic& nic, std::string service)
 }
 
 Listener::~Listener() {
+  // Unbind first: after this returns no connector can reach us (resolution
+  // and enqueue happen under the registry lock), so the sweep below sees
+  // every request that will ever be enqueued.
   nic_.fabric().unbind(key_);
   std::lock_guard lock(mu_);
   closed_ = true;
   for (Request* req : pending_) {
+    // Notify while holding the request's mutex: the waiter cannot wake,
+    // return, and pop its stack frame (destroying the request) before the
+    // notify has finished touching it.
+    std::lock_guard rlock(req->mu);
     req->done = true;
     req->accepted = false;
     req->cv.notify_all();
@@ -147,7 +181,7 @@ Status Listener::accept(Vi& vi, std::chrono::milliseconds timeout) {
                                                  nic_.cost().connect_setup);
   actor->sync_to(agreed + nic_.cost().propagation);
 
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(req->mu);
   req->server_time = agreed;
   req->done = true;
   req->accepted = true;
@@ -160,7 +194,7 @@ Status Listener::reject(std::chrono::milliseconds timeout) {
   if (Status st = take_request(req, timeout); st != Status::kSuccess) {
     return st;
   }
-  std::lock_guard lock(mu_);
+  std::lock_guard lock(req->mu);
   req->done = true;
   req->accepted = false;
   req->cv.notify_all();

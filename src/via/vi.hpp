@@ -160,7 +160,13 @@ class Listener {
   struct Request {
     Vi* client_vi = nullptr;
     sim::Time client_time = 0;
-    // rendezvous state
+    // Rendezvous state, under the request's OWN mutex — never the
+    // listener's. The request outlives the exchange (it sits on the
+    // connecting thread's stack until `done`), the listener need not: its
+    // accept loop can destroy it (stack unwind on shutdown or crash) while
+    // connectors are still waiting, so a waiter must never need to touch
+    // listener memory to wake up or to finish waking up.
+    std::mutex mu;
     bool done = false;
     bool accepted = false;
     sim::Time server_time = 0;

@@ -76,12 +76,12 @@ std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
-dafs::ClientConfig chaos_cfg(std::uint64_t seed, int rank) {
-  dafs::ClientConfig cfg;
-  cfg.recovery_backoff_ns = 20'000;
-  cfg.recovery_backoff_cap_ns = 2'000'000;
-  cfg.recovery_seed = seed * 131 + static_cast<std::uint64_t>(rank);
-  return cfg;
+dafs::MountSpec chaos_cfg(std::uint64_t seed, int rank) {
+  dafs::RetryPolicy retry;
+  retry.backoff_ns = 20'000;
+  retry.backoff_cap_ns = 2'000'000;
+  retry.jitter_seed = seed * 131 + static_cast<std::uint64_t>(rank);
+  return dafs::single_mount("dafs", retry);
 }
 
 /// Wait (real time) until the server's listener is back after a crash.
@@ -393,9 +393,9 @@ TEST(Chaos, OverloadShedsWithBusyThenDrains) {
   Actor actor("client", &fabric.node(node));
   ActorScope scope(actor);
   via::Nic nic(fabric, node, "nic");
-  dafs::ClientConfig ccfg = chaos_cfg(9, 0);
-  ccfg.max_busy_retries = 4;  // bounded backoff, then surface kBusy
-  auto s = std::move(dafs::Session::connect(nic, ccfg).value());
+  dafs::MountSpec mspec = chaos_cfg(9, 0);
+  mspec.endpoints[0].retry.max_busy_retries = 4;  // bounded, then kBusy
+  auto s = std::move(dafs::Session::connect(nic, mspec).value());
   auto fh = s->open("/busy.dat", dafs::kOpenCreate).value();
   const auto data = pattern(1024, 91);
   ASSERT_TRUE(s->pwrite(fh, 0, data).ok());

@@ -47,7 +47,8 @@ class DafsTest : public ::testing::Test {
 
   std::unique_ptr<Session> Connect(ClientConfig cfg = {}) {
     ActorScope scope(client_actor_);
-    auto r = Session::connect(client_nic_, cfg);
+    auto r = Session::connect(client_nic_,
+                              dafs::MountSpec{{}, std::move(cfg)});
     EXPECT_TRUE(r.ok());
     return r.ok() ? std::move(r.value()) : nullptr;
   }

@@ -1,0 +1,431 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dafs/client.hpp"
+#include "dafs/server.hpp"
+#include "mpiio/ad_dafs.hpp"
+#include "mpiio/file.hpp"
+#include "sim/fault.hpp"
+#include "sim/rng.hpp"
+
+/// \file test_failover.cpp
+/// Dual-filer session failover suite (ctest label `failover`): a primary
+/// filer streams its write-ahead journal to a standby over a dedicated VIA
+/// channel; when the primary dies, clients mounted on both endpoints rotate
+/// to the standby, which replays the shipped journal, honors the durable
+/// duplicate filter (exactly-once across the failover) and serves lease
+/// reclaims. A deposed primary that restarts learns its epoch is stale and
+/// fences itself: stale-session traffic is rejected with kFenced and pushed
+/// back onto the pair's new primary. The capstone is an 8-seed, 4-rank
+/// crash-mid-collective sweep over the whole story.
+
+namespace {
+
+using dafs::PStatus;
+using mpi::Comm;
+using mpi::Datatype;
+using mpiio::Err;
+using mpiio::File;
+using mpiio::Info;
+using sim::Actor;
+using sim::ActorScope;
+
+using Role = dafs::Server::Role;
+
+constexpr std::uint64_t kChunk = 32 * 1024;
+
+std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::byte> out(n);
+  for (auto& b : out) b = static_cast<std::byte>(rng.next() & 0xff);
+  return out;
+}
+
+/// A failover mount over the pair, with test-speed backoffs and a per-rank
+/// jitter stream.
+dafs::MountSpec failover_cfg(std::uint64_t seed, int rank) {
+  dafs::RetryPolicy retry;
+  retry.backoff_ns = 20'000;
+  retry.backoff_cap_ns = 2'000'000;
+  retry.jitter_seed = seed * 131 + static_cast<std::uint64_t>(rank);
+  return dafs::failover_mount({"dafs", "dafs-b"}, retry);
+}
+
+/// Primary ("dafs", journal shipped to "dafs-repl") + standby ("dafs-b",
+/// importing on "dafs-repl") on their own nodes of one fabric.
+struct FilerPair {
+  sim::NodeId primary_node;
+  sim::NodeId standby_node;
+  std::unique_ptr<dafs::Server> primary;
+  std::unique_ptr<dafs::Server> standby;
+
+  explicit FilerPair(sim::Fabric& fabric, dafs::ServerConfig base = {}) {
+    primary_node = fabric.add_node("filer-a");
+    standby_node = fabric.add_node("filer-b");
+    dafs::ServerConfig pcfg = base;
+    pcfg.service = "dafs";
+    pcfg.repl_peer = "dafs-repl";
+    dafs::ServerConfig bcfg = base;
+    bcfg.service = "dafs-b";
+    bcfg.repl_listen = "dafs-repl";
+    primary = std::make_unique<dafs::Server>(fabric, primary_node, pcfg);
+    standby = std::make_unique<dafs::Server>(fabric, standby_node, bcfg);
+    primary->start();
+    standby->start();
+  }
+
+  ~FilerPair() {
+    // Standby first: tearing the primary down first looks exactly like a
+    // crash and would promote the standby mid-teardown.
+    standby->stop();
+    primary->stop();
+  }
+
+  /// Real-time wait for the standby to take over after a primary death.
+  void wait_promoted() const {
+    while (standby->role() != Role::kPrimary) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  /// Real-time wait for the restarted deposed primary to fence itself (its
+  /// replication hello is answered "fenced" by the promoted standby).
+  void wait_fenced() const {
+    while (primary->role() != Role::kFenced) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+};
+
+void wait_restart(dafs::Server& server) {
+  while (server.crashed()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replication channel: the journal ships while both filers are healthy
+// ---------------------------------------------------------------------------
+
+TEST(Failover, JournalShipsToStandby) {
+  sim::Fabric fabric;
+  FilerPair pair(fabric);
+  const auto node = fabric.add_node("client");
+  Actor actor("client", &fabric.node(node));
+  ActorScope scope(actor);
+  via::Nic nic(fabric, node, "nic");
+  auto s = std::move(
+      dafs::Session::connect(nic, failover_cfg(1, 0)).value());
+  EXPECT_EQ(s->endpoint_index(), 0u) << "fresh mount binds the primary";
+
+  const auto data = pattern(kChunk, 11);
+  auto fh = s->open("/ship.dat", dafs::kOpenCreate).value();
+  ASSERT_TRUE(s->pwrite(fh, 0, data).ok());
+  ASSERT_EQ(s->sync(fh), PStatus::kOk);
+  ASSERT_TRUE(s->fetch_add("ship.ctr", 3).ok());
+
+  // The sync and the counter are non-idempotent successes: the semi-sync
+  // barrier held their responses until the standby acked the journal, so by
+  // now the pair owes each other nothing.
+  EXPECT_TRUE(pair.primary->repl_connected());
+  EXPECT_GT(pair.primary->repl_acked_bytes(), 0u);
+  EXPECT_EQ(pair.primary->repl_lag_bytes(), 0u);
+  EXPECT_GT(fabric.stats().get("dafs.repl_shipped_bytes"), 0u);
+  EXPECT_EQ(fabric.stats().get("dafs.repl_shipped_bytes"),
+            fabric.stats().get("dafs.repl_applied_bytes"));
+  EXPECT_EQ(pair.primary->role(), Role::kPrimary);
+  EXPECT_EQ(pair.standby->role(), Role::kStandby);
+  EXPECT_EQ(fabric.stats().get("dafs.promotions"), 0u);
+  s.reset();
+}
+
+// ---------------------------------------------------------------------------
+// The basic failover: crash the primary, the session rotates to the standby
+// ---------------------------------------------------------------------------
+
+TEST(Failover, SessionRotatesToPromotedStandby) {
+  sim::Fabric fabric;
+  dafs::ServerConfig scfg;
+  scfg.grace_period_ms = 10;
+  FilerPair pair(fabric, scfg);
+  const auto node = fabric.add_node("client");
+  Actor actor("client", &fabric.node(node));
+  ActorScope scope(actor);
+  via::Nic nic(fabric, node, "nic");
+  auto s = std::move(
+      dafs::Session::connect(nic, failover_cfg(2, 0)).value());
+
+  // Durable state minted on the primary: synced bytes and a counter.
+  const auto data = pattern(2 * kChunk, 21);
+  auto fh = s->open("/fo.dat", dafs::kOpenCreate).value();
+  ASSERT_TRUE(s->pwrite(fh, 0, data).ok());
+  ASSERT_EQ(s->sync(fh), PStatus::kOk);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(s->fetch_add("fo.ctr", 5).ok());
+
+  // Kill the primary with a restart delay far beyond the failover time:
+  // rotating to the standby is the only way the next op can succeed.
+  pair.primary->inject_crash(/*restart_delay_ms=*/250);
+  pair.wait_promoted();
+  EXPECT_GE(fabric.stats().get("dafs.promotions"), 1u);
+  EXPECT_GE(pair.standby->epoch(), 2u) << "promotion bumps the fencing epoch";
+
+  // Transparent recovery onto the standby: the synced image and the
+  // exactly-once counter history came over in the shipped journal.
+  std::vector<std::byte> back(data.size());
+  ASSERT_TRUE(s->pread(fh, 0, back).ok());
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), back.size()), 0)
+      << "synced bytes must survive the failover byte-exact";
+  EXPECT_EQ(s->endpoint_index(), 1u);
+  EXPECT_EQ(s->active_service(), "dafs-b");
+  EXPECT_EQ(s->failovers(), 1u);
+  EXPECT_GE(fabric.stats().get("dafs.failovers"), 1u);
+  auto ctr = s->fetch_add("fo.ctr", 0);
+  ASSERT_TRUE(ctr.ok());
+  EXPECT_EQ(ctr.value(), 20u) << "counter adds must apply exactly once";
+
+  // The pair keeps serving: new writes land on the new primary.
+  ASSERT_TRUE(s->pwrite(fh, data.size(), pattern(kChunk, 22)).ok());
+  ASSERT_EQ(s->sync(fh), PStatus::kOk);
+  s.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Fencing: a deposed primary that restarts must reject stale sessions
+// ---------------------------------------------------------------------------
+
+TEST(Failover, DeposedPrimaryFencesItselfAndRejectsStaleSessions) {
+  sim::Fabric fabric;
+  dafs::ServerConfig scfg;
+  scfg.grace_period_ms = 10;
+  FilerPair pair(fabric, scfg);
+  const auto node = fabric.add_node("client");
+  Actor actor("client", &fabric.node(node));
+  ActorScope scope(actor);
+  via::Nic nic(fabric, node, "nic");
+
+  // Two sessions bound to the primary. A fails over during the outage; B
+  // sits out the crash and only notices once the deposed primary is back.
+  auto a = std::move(dafs::Session::connect(nic, failover_cfg(3, 0)).value());
+  auto b = std::move(dafs::Session::connect(nic, failover_cfg(3, 1)).value());
+  auto fa = a->open("/fence.dat", dafs::kOpenCreate).value();
+  ASSERT_TRUE(a->pwrite(fa, 0, pattern(kChunk, 31)).ok());
+  ASSERT_EQ(a->sync(fa), PStatus::kOk);
+  auto fb = b->open("/fence.dat").value();
+  ASSERT_TRUE(b->fetch_add("fence.ctr", 2).ok());
+
+  pair.primary->inject_crash(/*restart_delay_ms=*/30);
+  pair.wait_promoted();
+  std::vector<std::byte> probe(16);
+  ASSERT_TRUE(a->pread(fa, 0, probe).ok());
+  EXPECT_EQ(a->endpoint_index(), 1u);
+
+  // The restarted primary reconnects its replication channel, learns from
+  // the promoted standby that its epoch is stale, and fences itself.
+  wait_restart(*pair.primary);
+  pair.wait_fenced();
+  EXPECT_EQ(pair.primary->role(), Role::kFenced);
+  EXPECT_LT(pair.primary->epoch(), pair.standby->epoch());
+
+  // B wakes up and retries against its old home: the fenced filer rejects
+  // the stale-session traffic, B rotates, reclaims on the new primary and
+  // the op succeeds — with the pre-crash counter history intact.
+  const std::uint64_t fenced_before =
+      fabric.stats().get("dafs.fenced_rejections");
+  auto ctr = b->fetch_add("fence.ctr", 0);
+  ASSERT_TRUE(ctr.ok());
+  EXPECT_EQ(ctr.value(), 2u);
+  EXPECT_EQ(b->endpoint_index(), 1u);
+  EXPECT_TRUE(b->pread(fb, 0, probe).ok());
+  EXPECT_GT(fabric.stats().get("dafs.fenced_rejections"), fenced_before)
+      << "the deposed primary must have turned B away";
+
+  // A fresh single-endpoint mount of the fenced filer is refused outright...
+  dafs::RetryPolicy fast;
+  fast.attempts = 2;
+  fast.backoff_ns = 1'000;
+  fast.backoff_cap_ns = 4'000;
+  auto refused =
+      dafs::Session::connect(nic, dafs::single_mount("dafs", fast));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.error(), PStatus::kFenced);
+
+  // ...while a failover mount rotates past it and lands on the new primary.
+  auto fresh = dafs::Session::connect(nic, failover_cfg(3, 2));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value()->endpoint_index(), 1u);
+  fresh.value().reset();
+  b.reset();
+  a.reset();
+}
+
+// ---------------------------------------------------------------------------
+// The capstone: seeded crash-mid-collective sweep over the pair
+// ---------------------------------------------------------------------------
+
+/// One seed: a 4-rank world writes a durable baseline through the primary,
+/// then the crash schedule kills the primary mid-collective-write. Every
+/// rank must finish through the standby: synced bytes byte-exact, counter
+/// mutations exactly-once, and the deposed primary fenced off. Restart
+/// delays are long relative to failover, so waiting out the outage (the
+/// pre-pair PR's only option) can never be what made the seed pass.
+void run_failover_world(std::uint64_t seed) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  constexpr int kRanks = 4;
+  constexpr int kAdds = 5;
+  constexpr std::uint64_t kDelta = 7;
+
+  sim::Fabric fabric;
+  dafs::ServerConfig scfg;
+  scfg.grace_period_ms = 10;
+  FilerPair pair(fabric, scfg);
+
+  mpi::WorldConfig wcfg;
+  wcfg.nprocs = kRanks;
+  wcfg.fabric = &fabric;
+  wcfg.name = "failover";
+  mpi::World world(wcfg);
+  world.run([&](Comm& c) {
+    via::Nic nic(fabric, world.node_of(c.rank()), "cli");
+    auto session = std::move(
+        dafs::Session::connect(nic, failover_cfg(seed, c.rank())).value());
+    auto fa = std::move(File::open(c, "/a.dat",
+                                   mpiio::kModeCreate | mpiio::kModeRdwr,
+                                   Info{}, mpiio::dafs_driver(*session))
+                            .value());
+    auto fb = std::move(File::open(c, "/b.dat",
+                                   mpiio::kModeCreate | mpiio::kModeRdwr,
+                                   Info{}, mpiio::dafs_driver(*session))
+                            .value());
+    auto poll_fh = session->open("/a.dat").value();
+
+    // Phase 1 (healthy pair): durable baseline. The sync barrier also means
+    // the journal carrying these bytes was acked by the standby, so the
+    // baseline must survive the failover byte-exact.
+    const std::uint64_t off = c.rank() * kChunk;
+    const auto da = pattern(kChunk, 1000 + seed * 10 + c.rank());
+    ASSERT_TRUE(fa->write_at_all(off, da.data(), kChunk, Datatype::byte()).ok());
+    ASSERT_EQ(fa->sync(), Err::kOk);
+    c.barrier();
+
+    // Arm: kill the primary — and only the primary — a handful of admitted
+    // requests into phase 2, with a restart delay far beyond the failover
+    // time. Odd seeds add transfer delays on the client connections to
+    // shake up the interleaving.
+    if (c.rank() == 0) {
+      auto& plan = fabric.faults();
+      plan.arm(seed);
+      plan.restrict_crash_to_node(pair.primary_node);
+      plan.crash_server_after_requests(2 + seed * 3,
+                                       /*restart_delay_ms=*/60);
+      if (seed % 2 == 1) {
+        plan.restrict_to_conn("dafs");
+        plan.set_delay(0.2, 30'000);
+      }
+    }
+    c.barrier();
+
+    // Phase 2 (crash lands here): collective writes plus counter traffic.
+    // Failover is transparent, so every op must eventually succeed.
+    const auto db = pattern(kChunk, 2000 + seed * 10 + c.rank());
+    bool ok = false;
+    for (int t = 0; t < 8 && !ok; ++t) {
+      ok = fb->write_at_all(off, db.data(), kChunk, Datatype::byte()).ok();
+    }
+    ASSERT_TRUE(ok) << "collective write across failover, seed " << seed;
+    for (int i = 0; i < kAdds; ++i) {
+      auto r = session->fetch_add("fo.ctr", kDelta);
+      ASSERT_TRUE(r.ok()) << "fetch_add " << i << ", seed " << seed << ": "
+                          << dafs::to_string(r.error());
+    }
+    c.barrier();
+
+    // Make sure the armed crash actually fired, then wait for the takeover.
+    if (c.rank() == 0) {
+      int guard = 0;
+      while (fabric.stats().get("dafs.server_crashes") == 0 && guard++ < 500) {
+        (void)session->getattr(poll_fh);
+      }
+      EXPECT_GE(fabric.stats().get("dafs.server_crashes"), 1u)
+          << "seed " << seed;
+      pair.wait_promoted();
+      fabric.faults().clear();
+    }
+    c.barrier();
+
+    // Phase 3 (on the standby): rewrite /b.dat clean and sync — acked but
+    // un-synced phase-2 bytes legally died with the primary — then verify
+    // the durable baseline never moved.
+    ok = false;
+    for (int t = 0; t < 8 && !ok; ++t) {
+      ok = fb->write_at_all(off, db.data(), kChunk, Datatype::byte()).ok();
+    }
+    ASSERT_TRUE(ok) << "clean rewrite, seed " << seed;
+    ASSERT_EQ(fb->sync(), Err::kOk);
+
+    std::vector<std::byte> back(kChunk);
+    ASSERT_TRUE(fa->read_at_all(off, back.data(), kChunk, Datatype::byte()).ok());
+    EXPECT_EQ(std::memcmp(back.data(), da.data(), kChunk), 0)
+        << "synced baseline after failover, seed " << seed;
+    ASSERT_TRUE(fb->read_at_all(off, back.data(), kChunk, Datatype::byte()).ok());
+    EXPECT_EQ(std::memcmp(back.data(), db.data(), kChunk), 0);
+    EXPECT_EQ(session->active_service(), "dafs-b")
+        << "rank " << c.rank() << " must have rotated, seed " << seed;
+
+    fa->close();
+    fb->close();
+  });
+
+  // Every rank's session crossed over, and exactly one promotion happened.
+  EXPECT_GE(fabric.stats().get("dafs.failovers"),
+            static_cast<std::uint64_t>(kRanks))
+      << "seed " << seed;
+  EXPECT_EQ(fabric.stats().get("dafs.promotions"), 1u) << "seed " << seed;
+  EXPECT_EQ(pair.standby->role(), Role::kPrimary) << "seed " << seed;
+
+  // Exactly-once across the failover, checked through a pristine failover
+  // mount (it rotates past the fenced or still-down old primary on its own).
+  {
+    const auto node = fabric.add_node("verify");
+    Actor actor("verify", &fabric.node(node));
+    ActorScope scope(actor);
+    via::Nic nic(fabric, node, "vnic");
+    auto s = std::move(
+        dafs::Session::connect(nic, failover_cfg(seed, 99)).value());
+    EXPECT_EQ(s->endpoint_index(), 1u) << "seed " << seed;
+    EXPECT_EQ(s->fetch_add("fo.ctr", 0).value(),
+              static_cast<std::uint64_t>(kRanks) * kAdds * kDelta)
+        << "seed " << seed;
+    for (const char* path : {"/a.dat", "/b.dat"}) {
+      auto fh = s->open(path).value();
+      const std::uint64_t base =
+          std::string_view(path) == "/a.dat" ? 1000 : 2000;
+      std::vector<std::byte> all(kRanks * kChunk);
+      auto rd = s->pread(fh, 0, all);
+      EXPECT_TRUE(rd.ok());
+      if (!rd.ok()) continue;
+      for (int r = 0; r < kRanks; ++r) {
+        const auto expect = pattern(kChunk, base + seed * 10 + r);
+        EXPECT_EQ(std::memcmp(all.data() + r * kChunk, expect.data(), kChunk),
+                  0)
+            << path << " rank " << r << " seed " << seed;
+      }
+    }
+    s.reset();
+  }
+
+  EXPECT_LT(std::chrono::steady_clock::now() - wall_start,
+            std::chrono::seconds(60))
+      << "seed " << seed;
+}
+
+TEST(Failover, SeededCrashMidCollectiveSweep) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) run_failover_world(seed);
+}
+
+}  // namespace

@@ -41,14 +41,14 @@ std::vector<std::byte> pattern(std::size_t n, std::uint64_t seed) {
   return out;
 }
 
-/// Client config tuned for tests: short (virtual-time) backoffs, per-rank
-/// jitter seeds.
-dafs::ClientConfig recovery_cfg(std::uint64_t seed, int rank) {
-  dafs::ClientConfig cfg;
-  cfg.recovery_backoff_ns = 20'000;
-  cfg.recovery_backoff_cap_ns = 2'000'000;
-  cfg.recovery_seed = seed * 131 + static_cast<std::uint64_t>(rank);
-  return cfg;
+/// Mount tuned for tests: short (virtual-time) backoffs, per-rank jitter
+/// seeds.
+dafs::MountSpec recovery_cfg(std::uint64_t seed, int rank) {
+  dafs::RetryPolicy retry;
+  retry.backoff_ns = 20'000;
+  retry.backoff_cap_ns = 2'000'000;
+  retry.jitter_seed = seed * 131 + static_cast<std::uint64_t>(rank);
+  return dafs::single_mount("dafs", retry);
 }
 
 // ---------------------------------------------------------------------------
@@ -500,12 +500,12 @@ TEST(Fault, ExhaustedRetriesAgreeOnErrorClass) {
   std::array<ErrClass, 4> wclass{};
   std::array<ErrClass, 4> rclass{};
   world.run([&](Comm& c) {
-    dafs::ClientConfig ccfg = recovery_cfg(99, c.rank());
-    ccfg.max_recovery_attempts = 2;  // exhaust quickly
-    ccfg.recovery_backoff_ns = 1'000;
-    ccfg.recovery_backoff_cap_ns = 4'000;
+    dafs::MountSpec mspec = recovery_cfg(99, c.rank());
+    mspec.endpoints[0].retry.attempts = 2;  // exhaust quickly
+    mspec.endpoints[0].retry.backoff_ns = 1'000;
+    mspec.endpoints[0].retry.backoff_cap_ns = 4'000;
     via::Nic nic(fabric, world.node_of(c.rank()), "cli");
-    auto session = std::move(dafs::Session::connect(nic, ccfg).value());
+    auto session = std::move(dafs::Session::connect(nic, mspec).value());
     auto f = std::move(File::open(c, "/dead.dat",
                                   mpiio::kModeCreate | mpiio::kModeRdwr,
                                   Info{}, mpiio::dafs_driver(*session))

@@ -516,6 +516,69 @@ TEST(FStoreJournal, CountersAndDupFilterSurviveCrash) {
   EXPECT_EQ(fs.counter_fetch_add_once("c", 1, 7, 4), 15u);
 }
 
+TEST(FStoreJournal, CorruptTailIsTruncatedOnReplay) {
+  FileStore fs(journal_opt());
+  auto f = fs.create(kRootIno, "f", true).value();
+  const auto first = pattern(512, 40);
+  ASSERT_TRUE(fs.pwrite(f, 0, first).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  // A second synced write ends the log on a payload-bearing kSyncCommit
+  // record; flipping a byte in its payload breaks that record's CRC.
+  const auto second = pattern(512, 41);
+  ASSERT_TRUE(fs.pwrite(f, 512, second).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+
+  const std::uint64_t full = fs.journal_size();
+  fs.journal_log().corrupt_tail_byte();
+  fs.crash();
+
+  // Replay detected the corrupt tail record, truncated it off the log, and
+  // counted the dropped bytes; the durable image is exactly the first sync.
+  EXPECT_LT(fs.journal_size(), full);
+  EXPECT_GT(fs.stats().get("fstore.journal_truncated_bytes"), 0u);
+  EXPECT_EQ(fs.getattr(f).value().size, 512u);
+  std::vector<std::byte> back(512);
+  ASSERT_EQ(fs.pread(f, 0, back).value(), 512u);
+  EXPECT_EQ(std::memcmp(back.data(), first.data(), 512), 0);
+
+  // The truncated log is self-consistent: a second crash replays cleanly
+  // without dropping anything further.
+  const std::uint64_t clean = fs.journal_size();
+  fs.crash();
+  EXPECT_EQ(fs.journal_size(), clean);
+  ASSERT_EQ(fs.pread(f, 0, back).value(), 512u);
+  EXPECT_EQ(std::memcmp(back.data(), first.data(), 512), 0);
+}
+
+TEST(FStoreJournal, ImportRejectsCorruptStreamTail) {
+  // Build a donor log of framed records, corrupt its tail, and import it
+  // into a fresh journal — the standby-side half of torn-tail handling.
+  FileStore donor(journal_opt());
+  auto f = donor.create(kRootIno, "f", true).value();
+  ASSERT_TRUE(donor.pwrite(f, 0, pattern(512, 50)).ok());
+  ASSERT_EQ(donor.sync(f), Errc::kOk);
+  const std::uint64_t intact = donor.journal_size();
+  ASSERT_TRUE(donor.pwrite(f, 512, pattern(512, 51)).ok());
+  ASSERT_EQ(donor.sync(f), Errc::kOk);
+  donor.journal_log().corrupt_tail_byte();
+  const auto stream =
+      donor.journal_log().read(0, static_cast<std::size_t>(-1));
+
+  fstore::FStoreJournal target;
+  const auto res = target.import(stream);
+  EXPECT_TRUE(res.truncated);
+  // The longest valid prefix ends where the intact records end: everything
+  // before the corrupted tail record was accepted, nothing after.
+  EXPECT_EQ(res.accepted, intact);
+  EXPECT_EQ(target.size(), intact);
+
+  // Re-importing the same intact prefix from the target round-trips clean.
+  fstore::FStoreJournal copy;
+  const auto res2 = copy.import(target.read(0, static_cast<std::size_t>(-1)));
+  EXPECT_FALSE(res2.truncated);
+  EXPECT_EQ(copy.size(), intact);
+}
+
 TEST(FStoreJournal, TruncateDurabilityFollowsSync) {
   FileStore fs(journal_opt());
   auto f = fs.create(kRootIno, "f", true).value();

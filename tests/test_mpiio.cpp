@@ -59,7 +59,7 @@ class MpiioTest : public ::testing::Test {
     std::unique_ptr<dafs::Session> session;
     DafsCtx(sim::Fabric& f, sim::NodeId node, dafs::ClientConfig cfg = {})
         : nic(f, node, "dafs-cli") {
-      auto r = dafs::Session::connect(nic, cfg);
+      auto r = dafs::Session::connect(nic, dafs::MountSpec{{}, std::move(cfg)});
       EXPECT_TRUE(r.ok());
       if (r.ok()) session = std::move(r.value());
     }

@@ -162,9 +162,10 @@ TEST(Trace, RetryAfterCrashLinksToOriginalTrace) {
   Actor actor("client", &fabric.node(node));
   ActorScope scope(actor);
   via::Nic nic(fabric, node, "nic");
-  dafs::ClientConfig ccfg;
-  ccfg.recovery_backoff_ns = 20'000;
-  auto s = std::move(dafs::Session::connect(nic, ccfg).value());
+  dafs::RetryPolicy retry;
+  retry.backoff_ns = 20'000;
+  auto s = std::move(
+      dafs::Session::connect(nic, dafs::single_mount("dafs", retry)).value());
   auto fh = s->open("/r.dat", dafs::kOpenCreate).value();
   const auto data = pattern(kChunk);
   ASSERT_TRUE(s->pwrite(fh, 0, data).ok());
