@@ -9,7 +9,10 @@ Checks (hard errors):
     child's time range nests inside the parent's (up to a sub-microsecond
     formatting epsilon). VIA spans are exempt: a NIC completes its DMA
     asynchronously, so a send's wire completion can legitimately trail the
-    span that posted it.
+    span that posted it. Server-side service spans ("dafs.server") are
+    exempt at the end only: the worker reaps its reply-send completion
+    after the client has already received the reply, so the service span
+    may trail its client-side parent but must still start inside it.
 
 With --mpiio-rooted (hard errors, opt-in):
   - at least one "mpiio" root span is present
@@ -135,7 +138,15 @@ def check(path, mpiio_rooted=False):
             continue
         t0, t1 = ev["ts"], ev["ts"] + ev.get("dur", 0)
         p0, p1 = parent["ts"], parent["ts"] + parent.get("dur", 0)
-        if t0 < p0 - EPSILON_US or t1 > p1 + EPSILON_US:
+        # A server-side service span closes only after the worker reaps the
+        # completion of its reply *send*, which can trail the client's
+        # receipt of that reply — i.e. the end of the client-side parent
+        # span. Same asynchronous-hardware argument as the VIA exemption,
+        # but only for the end: the service must still start inside the
+        # request that triggered it.
+        end_exempt = ev.get("cat") == "dafs.server"
+        if t0 < p0 - EPSILON_US or (
+                not end_exempt and t1 > p1 + EPSILON_US):
             errors.append(
                 f"{path}: span {span_id} ({ev.get('name')}) "
                 f"[{t0}, {t1}] escapes parent {parent_id} "

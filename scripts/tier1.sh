@@ -2,12 +2,13 @@
 # Tier-1 gate: the standard build + full test suite, then an
 # AddressSanitizer/UBSan build running the fault-injection slice (ctest -L
 # fault), the server crash/restart chaos slice (ctest -L chaos), the
-# dual-filer failover slice (ctest -L failover) and the causal-tracing
-# slice (ctest -L trace), which stress the recovery paths where lifetime
-# bugs would hide. A final leg runs traced end-to-end benchmarks and
-# validates the emitted Perfetto JSON (ids resolve, spans nest, no negative
-# durations) with scripts/check_trace.py — including the failover-retry
-# linkage check (--mpiio-rooted) against the traced failover bench.
+# dual-filer failover slice (ctest -L failover), the causal-tracing
+# slice (ctest -L trace) and the striped-layout slice (ctest -L stripe),
+# which stress the recovery paths where lifetime bugs would hide. A final
+# leg runs traced end-to-end benchmarks and validates the emitted Perfetto
+# JSON (ids resolve, spans nest, no negative durations) with
+# scripts/check_trace.py — including the --mpiio-rooted linkage check
+# against the traced failover bench and the traced striped collective.
 #
 # Every ctest invocation runs under a per-test timeout so a hung recovery
 # path (the exact bug class the chaos suite hunts) fails the gate instead of
@@ -30,12 +31,13 @@ cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
   --timeout "$TEST_TIMEOUT"
 
-echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace labels) =="
+echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace + stripe labels) =="
 cmake -B "$ASAN_BUILD" -S . -DDAFS_SANITIZE=ON >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault \
-  --target test_chaos --target test_failover --target test_trace
+  --target test_chaos --target test_failover --target test_trace \
+  --target test_stripe
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" \
-  --timeout "$TEST_TIMEOUT" -L 'fault|chaos|failover|trace'
+  --timeout "$TEST_TIMEOUT" -L 'fault|chaos|failover|trace|stripe'
 
 echo "== tier1: trace-validation leg (traced benches -> check_trace.py) =="
 TRACE_OUT="$BUILD/tier1_trace.json"
@@ -47,5 +49,11 @@ python3 scripts/check_trace.py "$TRACE_OUT"
 FAILOVER_TRACE="$BUILD/tier1_trace_failover.json"
 DAFS_TRACE="$FAILOVER_TRACE" "$BUILD/bench/bench_e16_failover" >/dev/null
 python3 scripts/check_trace.py --mpiio-rooted "$FAILOVER_TRACE"
+# Striped bench: the E17 sweep runs last in bench_e9_scaling, so the dump is
+# a traced striped collective — every per-server sub-transfer must chain up
+# to the write_at_all that split it across the layout.
+STRIPE_TRACE="$BUILD/tier1_trace_stripe.json"
+DAFS_TRACE="$STRIPE_TRACE" "$BUILD/bench/bench_e9_scaling" >/dev/null
+python3 scripts/check_trace.py --mpiio-rooted "$STRIPE_TRACE"
 
 echo "== tier1: all green =="

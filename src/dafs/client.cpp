@@ -1,6 +1,7 @@
 #include "dafs/client.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <cstring>
@@ -623,7 +624,16 @@ bool Session::reclaim_session() {
       // A deposition mid-reclaim must not condemn the handle as stale; abort
       // the whole reclaim so recovery rotates to the promoted standby.
       if (r.status == PStatus::kFenced) return false;
-      if (r.status == PStatus::kBusy && tries < 200) {
+      if (r.status == PStatus::kBusy) {
+        // Shed by the restarting server's admission control. Honor the
+        // mount's busy-retry budget exactly like the normal request path
+        // (aux == 0 marks a deadline shed — retrying cannot help). On
+        // exhaustion abort the whole reclaim so recovery retries or rotates;
+        // falling through here would condemn a live handle as stale.
+        if (r.hdr.aux == 0 || tries >= policy().max_busy_retries) {
+          return false;
+        }
+        stats.add("dafs.busy_retries");
         actor->advance(std::max<std::uint64_t>(r.hdr.aux, 1'000));
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         continue;
@@ -659,7 +669,9 @@ bool Session::reclaim_session() {
   for (auto it = lock_leases_.begin(); it != lock_leases_.end();) {
     const LockLease& l = *it;
     PStatus st = PStatus::kOk;
-    for (int tries = 0;; ++tries) {
+    int busy_tries = 0;
+    int conflict_tries = 0;
+    for (;;) {
       MsgView msg(resume_buf_.data(), resume_buf_.size());
       msg.header() = MsgHeader{};
       msg.header().proc = Proc::kLock;
@@ -674,8 +686,24 @@ bool Session::reclaim_session() {
       // Deposed mid-reclaim: abort so recovery rotates instead of treating
       // the fence as a lost lock.
       if (st == PStatus::kFenced) return false;
-      if ((st == PStatus::kBusy || st == PStatus::kLockConflict) &&
-          tries < 200) {
+      if (st == PStatus::kBusy) {
+        // Same policy-driven budget as the normal request path (aux == 0 is
+        // a deadline shed: no retry); exhaustion aborts the reclaim so
+        // recovery surfaces it instead of silently dropping the lease.
+        if (r.hdr.aux == 0 || busy_tries >= policy().max_busy_retries) {
+          return false;
+        }
+        ++busy_tries;
+        stats.add("dafs.busy_retries");
+        actor->advance(std::max<std::uint64_t>(r.hdr.aux, 20'000));
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      if (st == PStatus::kLockConflict &&
+          conflict_tries < policy().max_busy_retries) {
+        // Another reclaimer holds the range right now; back off briefly.
+        // Budget exhaustion falls through to the lease-lost path below.
+        ++conflict_tries;
         actor->advance(std::max<std::uint64_t>(r.hdr.aux, 20'000));
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
         continue;
@@ -1178,6 +1206,14 @@ Result<std::uint64_t> Session::write_batch(Fh fh, std::span<const IoVec> iovs) {
   return run_sync(id.value());
 }
 
+Result<OpId> Session::submit_read_batch(Fh fh, std::span<const IoVec> iovs) {
+  return submit_io(Proc::kReadDirect, fh, iovs, false);
+}
+
+Result<OpId> Session::submit_write_batch(Fh fh, std::span<const IoVec> iovs) {
+  return submit_io(Proc::kWriteDirect, fh, iovs, true);
+}
+
 // ---------------------------------------------------------------------------
 // Asynchronous I/O
 // ---------------------------------------------------------------------------
@@ -1350,6 +1386,553 @@ PStatus Session::set_counter(std::string_view key, std::uint64_t value) {
   const PStatus st = wait_slot(id.value());
   free_slot(id.value());
   return st;
+}
+
+// ---------------------------------------------------------------------------
+// Client: striped multi-filer mounts
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Pieces per server per round of a striped batch. Each piece becomes at
+/// least one DirectSeg; the cap keeps every sub-request comfortably inside
+/// one message buffer's segment table (kMsgBufSize admits ~500 segs) with
+/// headroom for max_rdma_seg splitting of stripe-sized pieces.
+constexpr std::size_t kMaxPiecesPerRound = 256;
+}  // namespace
+
+Client::Client(std::uint64_t stripe_size) : stripe_size_(stripe_size) {}
+
+Client::~Client() = default;
+
+Result<std::unique_ptr<Client>> Client::connect(via::Nic& nic,
+                                                const MountSpec& spec) {
+  auto c = std::unique_ptr<Client>(new Client(
+      spec.stripe_size == 0 ? kDefaultStripeSize : spec.stripe_size));
+  {
+    // The metadata session keeps the MountSpec's failover endpoint chain.
+    MountSpec meta = spec;
+    meta.data_endpoints.clear();
+    auto s = Session::connect(nic, meta);
+    if (!s.ok()) return s.error();
+    c->meta_ = std::move(s.value());
+  }
+  // One single-endpoint data session per data server: its own VI, credit
+  // window and registration cache, so per-server sub-transfers overlap. An
+  // empty data list degenerates to the metadata filer carrying all data —
+  // exactly a plain Session mount.
+  std::vector<Endpoint> data = spec.data_endpoints;
+  if (data.empty()) {
+    data.push_back(Endpoint{c->meta_->active_service(), c->meta_->policy()});
+  }
+  for (const Endpoint& ep : data) {
+    MountSpec dm;
+    dm.endpoints.push_back(ep);
+    dm.client = spec.client;
+    // Data sessions adopt their (unique) session id as client identity: a
+    // caller-pinned client_id shared across N seq spaces would alias entries
+    // in the server's durable duplicate filter.
+    dm.client.client_id = 0;
+    auto s = Session::connect(nic, dm);
+    if (!s.ok()) return s.error();
+    c->data_services_.push_back(ep.service);
+    c->data_.push_back(std::move(s.value()));
+  }
+  // Consecutive mounts get consecutive skews, so N clients of an N-wide
+  // layout start their fan-out on N different servers.
+  static std::atomic<std::size_t> next_skew{0};
+  c->skew_ = next_skew.fetch_add(1, std::memory_order_relaxed) %
+             c->data_.size();
+  return c;
+}
+
+Client::OpenFile* Client::lookup(Fh fh) {
+  for (auto& of : open_files_) {
+    if (of.meta.ino == fh.ino) return &of;
+  }
+  return nullptr;
+}
+
+Layout Client::layout_of(Fh) const {
+  // Every file opened through this mount shares the mount-wide layout; a
+  // per-inode map would go here if layouts ever diverge.
+  Layout l;
+  l.stripe_size = stripe_size_;
+  l.data_services = data_services_;
+  l.meta_service = meta_->active_service();
+  return l;
+}
+
+void Client::set_deadline(std::uint64_t ns) {
+  meta_->set_deadline(ns);
+  for (auto& ds : data_) ds->set_deadline(ns);
+}
+
+Result<Fh> Client::open(std::string_view path, std::uint16_t flags) {
+  auto fh = meta_->open(path, flags);
+  if (!fh.ok()) return fh;
+  OpenFile of;
+  of.meta = fh.value();
+  // Subfile open on every data server: always create (a reader may touch a
+  // stripe whose server never saw a write — the sparse subfile reads as
+  // zeros), never exclusive (data server 0 shares the metadata filer's file),
+  // truncate only when the caller truncates.
+  const std::uint16_t dflags =
+      kOpenCreate | kOpenDataServer |
+      static_cast<std::uint16_t>(flags & kOpenTrunc);
+  for (auto& ds : data_) {
+    auto dfh = ds->open(path, dflags);
+    if (!dfh.ok()) return dfh.error();
+    of.data_fh.push_back(dfh.value());
+  }
+  for (auto& e : open_files_) {
+    if (e.meta.ino == of.meta.ino) {
+      e = std::move(of);
+      return fh;
+    }
+  }
+  open_files_.push_back(std::move(of));
+  return fh;
+}
+
+PStatus Client::close(Fh fh) {
+  // Client-side bookkeeping only: sessions have no close RPC (handles are
+  // leases, reclaimed or expired server-side).
+  std::erase_if(open_files_,
+                [&](const OpenFile& of) { return of.meta.ino == fh.ino; });
+  return PStatus::kOk;
+}
+
+Result<std::uint64_t> Client::logical_size(OpenFile& of) {
+  // The striped logical size: subfiles store stripes at logical offsets, so
+  // it is the max over the subfile sizes.
+  std::uint64_t size = 0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    auto a = data_[i]->getattr(of.data_fh[i]);
+    if (!a.ok()) return a.error();
+    size = std::max(size, a.value().size);
+  }
+  return size;
+}
+
+Result<fstore::Attrs> Client::getattr(Fh fh) {
+  auto a = meta_->getattr(fh);
+  if (!a.ok()) return a;
+  fstore::Attrs attrs = a.value();
+  if (OpenFile* of = lookup(fh); of != nullptr && data_.size() > 1) {
+    auto sz = logical_size(*of);
+    if (!sz.ok()) return sz.error();
+    attrs.size = std::max(attrs.size, sz.value());
+  }
+  return attrs;
+}
+
+PStatus Client::set_size(Fh fh, std::uint64_t size) {
+  OpenFile* of = lookup(fh);
+  if (of == nullptr) return meta_->set_size(fh, size);
+  // Every subfile gets the logical size: a shrink discards stripes past the
+  // end everywhere, an extend makes the new range read as hole-zeros, and
+  // the max-over-subfiles logical size comes out exactly `size`.
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (const PStatus st = data_[i]->set_size(of->data_fh[i], size);
+        st != PStatus::kOk) {
+      return st;
+    }
+  }
+  return PStatus::kOk;
+}
+
+PStatus Client::remove(std::string_view path) {
+  const PStatus st = meta_->remove(path);
+  // Subfiles: kNoEnt is expected wherever the file never existed (or on data
+  // server 0, which shares the metadata filer's namespace).
+  for (auto& ds : data_) {
+    const PStatus dst = ds->remove(path);
+    if (dst != PStatus::kOk && dst != PStatus::kNoEnt) return dst;
+  }
+  return st;
+}
+
+PStatus Client::mkdir(std::string_view path) {
+  const PStatus st = meta_->mkdir(path);
+  if (st != PStatus::kOk) return st;
+  // Mirror directories onto the data servers so subfile creates resolve;
+  // kExists covers data server 0 sharing the metadata namespace.
+  for (auto& ds : data_) {
+    const PStatus dst = ds->mkdir(path);
+    if (dst != PStatus::kOk && dst != PStatus::kExists) return dst;
+  }
+  return PStatus::kOk;
+}
+
+PStatus Client::rmdir(std::string_view path) {
+  const PStatus st = meta_->rmdir(path);
+  for (auto& ds : data_) {
+    const PStatus dst = ds->rmdir(path);
+    if (dst != PStatus::kOk && dst != PStatus::kNoEnt &&
+        dst != PStatus::kNotEmpty) {
+      return dst;
+    }
+  }
+  return st;
+}
+
+PStatus Client::rename(std::string_view from, std::string_view to) {
+  const PStatus st = meta_->rename(from, to);
+  if (st != PStatus::kOk) return st;
+  for (auto& ds : data_) {
+    const PStatus dst = ds->rename(from, to);
+    if (dst != PStatus::kOk && dst != PStatus::kNoEnt) return dst;
+  }
+  return PStatus::kOk;
+}
+
+Result<std::vector<fstore::DirEntry>> Client::readdir(std::string_view path) {
+  return meta_->readdir(path);
+}
+
+PStatus Client::sync(Fh fh) {
+  OpenFile* of = lookup(fh);
+  if (of == nullptr) return meta_->sync(fh);
+  PStatus worst = PStatus::kOk;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (const PStatus st = data_[i]->sync(of->data_fh[i]);
+        st != PStatus::kOk) {
+      worst = st;
+    }
+  }
+  return worst;
+}
+
+// ---- striped data path ----
+
+std::vector<std::vector<IoVec>> Client::split(
+    std::span<const IoVec> iovs) const {
+  std::vector<std::vector<IoVec>> per(data_.size());
+  for (const IoVec& v : iovs) {
+    std::uint64_t off = v.file_off;
+    std::byte* buf = v.buf;
+    std::uint64_t left = v.len;
+    while (left > 0) {
+      const std::uint64_t in_stripe = stripe_size_ - off % stripe_size_;
+      const std::uint64_t n = std::min(left, in_stripe);
+      per[server_of(off)].push_back(IoVec{off, buf, n});
+      off += n;
+      buf += n;
+      left -= n;
+    }
+  }
+  // Sorted per server: the short-count merge distributes a server's returned
+  // byte count prefix-wise over its pieces, which is exact when per-piece
+  // actual reads are monotone (sorted offsets, non-overlapping pieces).
+  for (auto& pieces : per) {
+    std::stable_sort(pieces.begin(), pieces.end(),
+                     [](const IoVec& a, const IoVec& b) {
+                       return a.file_off < b.file_off;
+                     });
+  }
+  return per;
+}
+
+Result<std::uint64_t> Client::run_batch(Fh fh, std::span<const IoVec> iovs,
+                                        bool writing) {
+  OpenFile* of = lookup(fh);
+  if (of == nullptr) return PStatus::kInval;
+  if (data_.size() == 1) {
+    // Degenerate layout: one subfile holds everything, no split or merge.
+    return writing ? data_[0]->write_batch(of->data_fh[0], iovs)
+                   : data_[0]->read_batch(of->data_fh[0], iovs);
+  }
+  auto per = split(iovs);
+  std::vector<std::size_t> cursor(per.size(), 0);
+  std::uint64_t total = 0;
+  PStatus worst = PStatus::kOk;
+  std::uint64_t known_size = 0;
+  bool have_size = false;
+  // Rounds of one in-flight sub-batch per involved server: every server's
+  // request is on the wire before the first wait, so the per-stripe RDMA
+  // transfers overlap across filers.
+  for (;;) {
+    struct Sub {
+      std::size_t server;
+      OpId op;
+      std::span<const IoVec> pieces;
+      std::uint64_t want;
+    };
+    std::vector<Sub> subs;
+    bool more = false;
+    PStatus submit_err = PStatus::kOk;
+    for (std::size_t i = 0; i < per.size(); ++i) {
+      const std::size_t s = (skew_ + i) % per.size();
+      const std::size_t left = per[s].size() - cursor[s];
+      if (left == 0) continue;
+      const std::size_t take = std::min(left, kMaxPiecesPerRound);
+      const std::span<const IoVec> chunk(per[s].data() + cursor[s], take);
+      std::uint64_t want = 0;
+      for (const IoVec& p : chunk) want += p.len;
+      auto id = writing
+                    ? data_[s]->submit_write_batch(of->data_fh[s], chunk)
+                    : data_[s]->submit_read_batch(of->data_fh[s], chunk);
+      if (!id.ok()) {
+        submit_err = id.error();
+        break;
+      }
+      subs.push_back(Sub{s, id.value(), chunk, want});
+      cursor[s] += take;
+      if (cursor[s] < per[s].size()) more = true;
+    }
+    // Collect everything submitted even after an error: an outstanding op
+    // references caller buffers and must not outlive this call.
+    for (const Sub& sub : subs) {
+      std::uint64_t got = 0;
+      const PStatus st = data_[sub.server]->wait(sub.op, &got);
+      if (st != PStatus::kOk) {
+        if (worst == PStatus::kOk) worst = st;
+        continue;
+      }
+      if (writing) {
+        total += got;
+        continue;
+      }
+      if (got >= sub.want) {
+        total += sub.want;
+        continue;
+      }
+      // Short read: this subfile ends before the logical file does (later
+      // stripes live on other servers). Bytes inside the logical size are
+      // holes on this server — zeros by definition — so fill and count them;
+      // bytes past the logical size stay short (EOF).
+      if (!have_size) {
+        auto sz = logical_size(*of);
+        if (!sz.ok()) {
+          if (worst == PStatus::kOk) worst = sz.error();
+          continue;
+        }
+        known_size = sz.value();
+        have_size = true;
+      }
+      std::uint64_t rem = got;
+      for (const IoVec& p : sub.pieces) {
+        const std::uint64_t take = std::min<std::uint64_t>(p.len, rem);
+        rem -= take;
+        const std::uint64_t expected =
+            known_size > p.file_off
+                ? std::min<std::uint64_t>(p.len, known_size - p.file_off)
+                : 0;
+        if (expected > take) {
+          std::memset(p.buf + take, 0, expected - take);
+        }
+        total += std::max(expected, take);
+      }
+    }
+    if (submit_err != PStatus::kOk) {
+      if (worst == PStatus::kOk) worst = submit_err;
+      break;
+    }
+    if (!more) break;
+  }
+  if (worst != PStatus::kOk) return worst;
+  return total;
+}
+
+Result<std::uint64_t> Client::pread(Fh fh, std::uint64_t off,
+                                    std::span<std::byte> out) {
+  OpenFile* of = lookup(fh);
+  if (of == nullptr) return PStatus::kInval;
+  if (data_.size() == 1) return data_[0]->pread(of->data_fh[0], off, out);
+  if (out.empty() ||
+      off / stripe_size_ == (off + out.size() - 1) / stripe_size_) {
+    // Entirely within one stripe: route through the owning session's pread so
+    // small transfers keep the inline/direct crossover.
+    const std::size_t s = server_of(off);
+    auto r = data_[s]->pread(of->data_fh[s], off, out);
+    if (!r.ok()) return r;
+    if (r.value() < out.size()) {
+      auto size = logical_size(*of);
+      if (!size.ok()) return size.error();
+      const std::uint64_t expected =
+          size.value() > off
+              ? std::min<std::uint64_t>(out.size(), size.value() - off)
+              : 0;
+      if (expected > r.value()) {
+        std::memset(out.data() + r.value(), 0, expected - r.value());
+      }
+      return std::max(expected, r.value());
+    }
+    return r;
+  }
+  IoVec v{off, out.data(), out.size()};
+  return run_batch(fh, std::span(&v, 1), false);
+}
+
+Result<std::uint64_t> Client::pwrite(Fh fh, std::uint64_t off,
+                                     std::span<const std::byte> in) {
+  OpenFile* of = lookup(fh);
+  if (of == nullptr) return PStatus::kInval;
+  if (data_.size() == 1) return data_[0]->pwrite(of->data_fh[0], off, in);
+  if (in.empty() ||
+      off / stripe_size_ == (off + in.size() - 1) / stripe_size_) {
+    const std::size_t s = server_of(off);
+    return data_[s]->pwrite(of->data_fh[s], off, in);
+  }
+  IoVec v{off, const_cast<std::byte*>(in.data()), in.size()};
+  return run_batch(fh, std::span(&v, 1), true);
+}
+
+Result<std::uint64_t> Client::read_batch(Fh fh, std::span<const IoVec> iovs) {
+  return run_batch(fh, iovs, false);
+}
+
+Result<std::uint64_t> Client::write_batch(Fh fh, std::span<const IoVec> iovs) {
+  return run_batch(fh, iovs, true);
+}
+
+// ---- asynchronous striped I/O ----
+
+Result<OpId> Client::submit_batch(Fh fh, std::span<const IoVec> iovs,
+                                  bool writing) {
+  OpenFile* of = lookup(fh);
+  if (of == nullptr) return PStatus::kInval;
+  Pending p;
+  p.fh = fh;
+  p.writing = writing;
+  auto per = split(iovs);
+  PStatus err = PStatus::kOk;
+  for (std::size_t i = 0; i < per.size(); ++i) {
+    const std::size_t s = (skew_ + i) % per.size();
+    if (per[s].empty()) continue;
+    auto id = writing
+                  ? data_[s]->submit_write_batch(of->data_fh[s], per[s])
+                  : data_[s]->submit_read_batch(of->data_fh[s], per[s]);
+    if (!id.ok()) {
+      err = id.error();
+      break;
+    }
+    SubOp sub;
+    sub.server = s;
+    sub.op = id.value();
+    sub.iovs = std::move(per[s]);
+    p.subs.push_back(std::move(sub));
+  }
+  if (err != PStatus::kOk) {
+    // Drain what went out: those ops reference the caller's buffers.
+    for (SubOp& sub : p.subs) data_[sub.server]->wait(sub.op, nullptr);
+    return err;
+  }
+  OpId id;
+  if (!free_ops_.empty()) {
+    id = free_ops_.back();
+    free_ops_.pop_back();
+    pending_[id] = std::move(p);
+  } else {
+    id = static_cast<OpId>(pending_.size());
+    pending_.push_back(std::move(p));
+  }
+  return id;
+}
+
+Result<OpId> Client::submit_pread(Fh fh, std::uint64_t off,
+                                  std::span<std::byte> out) {
+  IoVec v{off, out.data(), out.size()};
+  return submit_batch(fh, std::span(&v, 1), false);
+}
+
+Result<OpId> Client::submit_pwrite(Fh fh, std::uint64_t off,
+                                   std::span<const std::byte> in) {
+  IoVec v{off, const_cast<std::byte*>(in.data()), in.size()};
+  return submit_batch(fh, std::span(&v, 1), true);
+}
+
+PStatus Client::finish(Pending& p, std::uint64_t* bytes) {
+  OpenFile* of = lookup(p.fh);
+  PStatus worst = PStatus::kOk;
+  std::uint64_t total = 0;
+  std::uint64_t known_size = 0;
+  bool have_size = false;
+  for (SubOp& sub : p.subs) {
+    std::uint64_t got = 0;
+    const PStatus st = data_[sub.server]->wait(sub.op, &got);
+    if (st != PStatus::kOk) {
+      if (worst == PStatus::kOk) worst = st;
+      continue;
+    }
+    if (p.writing) {
+      total += got;
+      continue;
+    }
+    std::uint64_t want = 0;
+    for (const IoVec& v : sub.iovs) want += v.len;
+    if (got >= want) {
+      total += want;
+      continue;
+    }
+    if (!have_size) {
+      if (of == nullptr) {
+        if (worst == PStatus::kOk) worst = PStatus::kInval;
+        continue;
+      }
+      auto sz = logical_size(*of);
+      if (!sz.ok()) {
+        if (worst == PStatus::kOk) worst = sz.error();
+        continue;
+      }
+      known_size = sz.value();
+      have_size = true;
+    }
+    std::uint64_t rem = got;
+    for (const IoVec& v : sub.iovs) {
+      const std::uint64_t take = std::min<std::uint64_t>(v.len, rem);
+      rem -= take;
+      const std::uint64_t expected =
+          known_size > v.file_off
+              ? std::min<std::uint64_t>(v.len, known_size - v.file_off)
+              : 0;
+      if (expected > take) std::memset(v.buf + take, 0, expected - take);
+      total += std::max(expected, take);
+    }
+  }
+  if (bytes != nullptr) *bytes = total;
+  return worst;
+}
+
+PStatus Client::wait(OpId op, std::uint64_t* bytes) {
+  if (op >= pending_.size()) return PStatus::kInval;
+  Pending p = std::move(pending_[op]);
+  pending_[op] = Pending{};
+  free_ops_.push_back(op);
+  return finish(p, bytes);
+}
+
+PStatus Client::wait_all(std::span<const OpId> ops) {
+  PStatus worst = PStatus::kOk;
+  for (const OpId op : ops) {
+    if (const PStatus st = wait(op); st != PStatus::kOk) worst = st;
+  }
+  return worst;
+}
+
+// ---- locks & counters (metadata session) ----
+
+PStatus Client::lock(Fh fh, std::uint64_t start, std::uint64_t len,
+                     bool exclusive) {
+  return meta_->lock(fh, start, len, exclusive);
+}
+
+PStatus Client::try_lock(Fh fh, std::uint64_t start, std::uint64_t len,
+                         bool exclusive) {
+  return meta_->try_lock(fh, start, len, exclusive);
+}
+
+PStatus Client::unlock(Fh fh, std::uint64_t start, std::uint64_t len) {
+  return meta_->unlock(fh, start, len);
+}
+
+Result<std::uint64_t> Client::fetch_add(std::string_view key,
+                                        std::uint64_t delta) {
+  return meta_->fetch_add(key, delta);
+}
+
+PStatus Client::set_counter(std::string_view key, std::uint64_t value) {
+  return meta_->set_counter(key, value);
 }
 
 }  // namespace dafs

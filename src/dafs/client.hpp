@@ -84,6 +84,11 @@ class Session {
   /// direct request when possible, minimizing round trips.
   Result<std::uint64_t> read_batch(Fh fh, std::span<const IoVec> iovs);
   Result<std::uint64_t> write_batch(Fh fh, std::span<const IoVec> iovs);
+  /// Asynchronous list I/O: submit the batch and return the op id without
+  /// waiting. The striped Client uses these to drive one in-flight batch per
+  /// data server; wait()/test()/wait_all() complete them like any other op.
+  Result<OpId> submit_read_batch(Fh fh, std::span<const IoVec> iovs);
+  Result<OpId> submit_write_batch(Fh fh, std::span<const IoVec> iovs);
 
   // ---- asynchronous I/O ------------------------------------------------------
   Result<OpId> submit_pread(Fh fh, std::uint64_t off, std::span<std::byte> out);
@@ -302,6 +307,132 @@ class Session {
   std::uint64_t reg_clock_ = 0;
   std::uint64_t reg_hits_ = 0;
   std::uint64_t reg_misses_ = 0;
+};
+
+/// The striped multi-filer client: one metadata Session (filer 0) plus one
+/// data Session per entry in MountSpec::data_endpoints, with a client-held
+/// Layout per open file. Data requests are split at stripe boundaries, the
+/// per-server sub-batches issued in parallel over each server's own VI, and
+/// the partial statuses/short counts merged back into one result.
+///
+/// Data placement is Lustre-style round-robin: data server `s` owns stripe
+/// `k` iff `k % nservers == s`. Each data server stores its stripes in a
+/// subfile at the *logical* offsets (the store's sparse chunks make the gaps
+/// free and read as zeros), so the logical file size is the max over the
+/// subfile sizes and no offset translation exists anywhere.
+///
+/// Metadata — create/attrs/locks/leases/counters — all goes to the metadata
+/// session. A one-data-server mount behaves exactly like a plain Session
+/// (the degenerate layout), so callers can use Client unconditionally.
+///
+/// Concurrency contract: like Session, one owning thread.
+class Client {
+ public:
+  /// Mount `spec`: connect the metadata session to spec.endpoints and one
+  /// data session per spec.data_endpoints entry (empty data_endpoints means
+  /// data lives on the metadata filer). Fails if any connect fails.
+  static Result<std::unique_ptr<Client>> connect(via::Nic& nic,
+                                                 const MountSpec& spec);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // ---- namespace (metadata session, plus data-subfile fan-out) -------------
+  Result<Fh> open(std::string_view path, std::uint16_t flags = 0);
+  PStatus close(Fh fh);
+  /// Metadata attrs with size = the striped logical size (max over subfiles).
+  Result<fstore::Attrs> getattr(Fh fh);
+  PStatus set_size(Fh fh, std::uint64_t size);
+  PStatus remove(std::string_view path);
+  PStatus mkdir(std::string_view path);
+  PStatus rmdir(std::string_view path);
+  PStatus rename(std::string_view from, std::string_view to);
+  Result<std::vector<fstore::DirEntry>> readdir(std::string_view path);
+  PStatus sync(Fh fh);
+
+  // ---- data (striped) -------------------------------------------------------
+  Result<std::uint64_t> pread(Fh fh, std::uint64_t off,
+                              std::span<std::byte> out);
+  Result<std::uint64_t> pwrite(Fh fh, std::uint64_t off,
+                               std::span<const std::byte> in);
+  Result<std::uint64_t> read_batch(Fh fh, std::span<const IoVec> iovs);
+  Result<std::uint64_t> write_batch(Fh fh, std::span<const IoVec> iovs);
+
+  // ---- asynchronous I/O -----------------------------------------------------
+  Result<OpId> submit_pread(Fh fh, std::uint64_t off, std::span<std::byte> out);
+  Result<OpId> submit_pwrite(Fh fh, std::uint64_t off,
+                             std::span<const std::byte> in);
+  PStatus wait(OpId op, std::uint64_t* bytes = nullptr);
+  PStatus wait_all(std::span<const OpId> ops);
+
+  // ---- locks & counters (metadata session) ----------------------------------
+  PStatus lock(Fh fh, std::uint64_t start, std::uint64_t len, bool exclusive);
+  PStatus try_lock(Fh fh, std::uint64_t start, std::uint64_t len,
+                   bool exclusive);
+  PStatus unlock(Fh fh, std::uint64_t start, std::uint64_t len);
+  Result<std::uint64_t> fetch_add(std::string_view key, std::uint64_t delta);
+  PStatus set_counter(std::string_view key, std::uint64_t value);
+
+  /// The layout every file opened through this mount gets.
+  std::uint64_t stripe_size() const { return stripe_size_; }
+  std::size_t data_servers() const { return data_.size(); }
+  /// Layout handed out at open for `fh` (default layout if unknown).
+  Layout layout_of(Fh fh) const;
+  Session& meta_session() { return *meta_; }
+  Session& data_session(std::size_t i) { return *data_[i]; }
+  const ClientConfig& config() const { return meta_->config(); }
+  void set_deadline(std::uint64_t ns);
+  bool is_stale(Fh fh) const { return meta_->is_stale(fh); }
+
+ private:
+  struct OpenFile {
+    Fh meta;                   // handle on the metadata session
+    std::vector<Fh> data_fh;   // parallel to data_ (subfile handles)
+  };
+  struct SubOp {
+    std::size_t server = 0;    // index into data_
+    OpId op = 0;               // that session's op id
+    /// Pieces of the split batch this sub-op carries, in submission order
+    /// (read merge distributes the server's short count over them).
+    std::vector<IoVec> iovs;
+  };
+  struct Pending {
+    Fh fh;  // the Client-level handle (size fixup on short reads)
+    std::vector<SubOp> subs;
+    bool writing = false;
+  };
+
+  Client(std::uint64_t stripe_size);
+
+  OpenFile* lookup(Fh fh);
+  std::size_t server_of(std::uint64_t off) const {
+    return static_cast<std::size_t>((off / stripe_size_) % data_.size());
+  }
+  /// Split `iovs` at stripe boundaries into per-server piece lists.
+  std::vector<std::vector<IoVec>> split(std::span<const IoVec> iovs) const;
+  /// Striped logical size: max over the data subfile sizes.
+  Result<std::uint64_t> logical_size(OpenFile& of);
+  Result<std::uint64_t> run_batch(Fh fh, std::span<const IoVec> iovs,
+                                  bool writing);
+  Result<OpId> submit_batch(Fh fh, std::span<const IoVec> iovs, bool writing);
+  PStatus finish(Pending& p, std::uint64_t* bytes);
+
+  std::uint64_t stripe_size_ = kDefaultStripeSize;
+  /// Per-client rotation of the sub-batch fan-out order. Without it every
+  /// client submits to server 0 first, so under a collective all N servers
+  /// service the same client's request concurrently and convoy on that one
+  /// client link; skewing the start index by client identity gives each
+  /// server a different first client (a Latin-square-ish schedule).
+  std::size_t skew_ = 0;
+  std::unique_ptr<Session> meta_;
+  /// Data sessions in layout order. data_[0] targets the same filer as
+  /// meta_ (its own VI and credits; same store, so the same subfile).
+  std::vector<std::unique_ptr<Session>> data_;
+  std::vector<std::string> data_services_;
+  std::vector<OpenFile> open_files_;
+  std::vector<Pending> pending_;
+  std::vector<OpId> free_ops_;
 };
 
 }  // namespace dafs

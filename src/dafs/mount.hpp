@@ -68,13 +68,38 @@ struct Endpoint {
   RetryPolicy retry;
 };
 
+/// Default stripe width of a striped mount (Lustre's historical default is
+/// 64 KiB too; E17 sweeps this).
+inline constexpr std::uint64_t kDefaultStripeSize = 64 * 1024;
+
+/// A file's striping layout, handed to the client at open: stripe width, the
+/// ordered data-server list the stripes round-robin over, and the metadata
+/// server every namespace/lock/lease operation goes to. Data server `s` owns
+/// stripe `k` iff `k % data_services.size() == s`; each data server stores
+/// its stripes in a subfile at the *logical* file offsets (sparse), so no
+/// offset translation exists anywhere and the logical size is the max over
+/// the subfile sizes.
+struct Layout {
+  std::uint64_t stripe_size = kDefaultStripeSize;
+  std::vector<std::string> data_services;
+  std::string meta_service;
+};
+
 /// What `Session::connect` mounts: an ordered endpoint list (first is the
 /// preferred primary; later entries are failover targets tried in order when
 /// the bound endpoint dies or answers kFenced) plus the session-local knobs.
 /// An empty endpoint list means one default endpoint at `client.service`.
+///
+/// `Client::connect` (the striped multi-filer client) additionally reads
+/// `data_endpoints`: when non-empty, file data round-robins across those
+/// filers in `stripe_size` units while metadata stays on `endpoints` (filer
+/// 0, conventionally also data server 0). Empty `data_endpoints` means all
+/// data lives on the metadata filer — exactly a plain Session mount.
 struct MountSpec {
   std::vector<Endpoint> endpoints;
   ClientConfig client;
+  std::vector<Endpoint> data_endpoints;
+  std::uint64_t stripe_size = kDefaultStripeSize;
 };
 
 /// A single-endpoint mount (the common non-replicated case).
@@ -92,6 +117,23 @@ inline MountSpec failover_mount(std::vector<std::string> services,
                                 ClientConfig client = {}) {
   MountSpec m;
   for (auto& s : services) m.endpoints.push_back(Endpoint{std::move(s), retry});
+  m.client = std::move(client);
+  return m;
+}
+
+/// A striped mount over `services`: the first service is the metadata filer
+/// (and data server 0), and file data round-robins across all of them in
+/// `stripe_size` units. One service degenerates to a single-filer mount.
+inline MountSpec striped_mount(std::vector<std::string> services,
+                               std::uint64_t stripe_size = kDefaultStripeSize,
+                               RetryPolicy retry = {},
+                               ClientConfig client = {}) {
+  MountSpec m;
+  if (!services.empty()) m.endpoints.push_back(Endpoint{services[0], retry});
+  for (auto& s : services) {
+    m.data_endpoints.push_back(Endpoint{std::move(s), retry});
+  }
+  m.stripe_size = stripe_size == 0 ? kDefaultStripeSize : stripe_size;
   m.client = std::move(client);
   return m;
 }

@@ -160,6 +160,12 @@ constexpr const char* to_string(PStatus s) {
 inline constexpr std::uint16_t kOpenCreate = 0x1;
 inline constexpr std::uint16_t kOpenExcl = 0x2;
 inline constexpr std::uint16_t kOpenTrunc = 0x4;
+/// [ext] This open targets a striped subfile: the striped dafs::Client is
+/// opening the per-data-server backing file of a layout, not the logical
+/// file. Semantically identical to a plain open (the subfile stores its
+/// stripes at the logical offsets, sparse); servers count these opens
+/// ("dafs.data_opens") so striped traffic is visible in the stats.
+inline constexpr std::uint16_t kOpenDataServer = 0x8;
 
 /// kConnect flags (header.flags): resume an existing session after a
 /// transport failure instead of minting a new one. The old session id rides

@@ -1120,6 +1120,11 @@ void put_attrs(MsgView& resp, const fstore::Attrs& attrs) {
 
 void Server::do_open(MsgView& req, MsgView& resp) {
   Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  // A striped client opening a layout's per-server subfile; semantically a
+  // plain open, but counted so striped traffic is visible in the stats.
+  if (req.header().flags & kOpenDataServer) {
+    fabric_.stats().add("dafs.data_opens");
+  }
   const auto [dir_path, leaf] = split_path(req.name());
   fstore::Ino ino = fstore::kInvalidIno;
   if (leaf.empty()) {

@@ -113,6 +113,9 @@ class Server {
   void set_admission_limit(std::size_t n) {
     admission_limit_.store(n, std::memory_order_relaxed);
   }
+  std::size_t admission_limit() const {
+    return admission_limit_.load(std::memory_order_relaxed);
+  }
   /// Total bytes currently pinned by all sessions' replay caches.
   std::size_t replay_cache_bytes() const;
 

@@ -21,7 +21,8 @@ std::vector<dafs::IoVec> to_iovecs(std::span<const IoSeg> segs) {
 
 }  // namespace
 
-Result<std::uint64_t> AdDafs::read_list(std::span<const IoSeg> segs) {
+template <typename S>
+Result<std::uint64_t> AdDafsT<S>::read_list(std::span<const IoSeg> segs) {
   // Small segments would each pay a direct-I/O registration; fall back to
   // the per-segment path (inline transfers) when everything is tiny.
   std::uint64_t total_len = 0;
@@ -45,7 +46,8 @@ Result<std::uint64_t> AdDafs::read_list(std::span<const IoSeg> segs) {
   return total;
 }
 
-Result<std::uint64_t> AdDafs::write_list(std::span<const IoSeg> segs) {
+template <typename S>
+Result<std::uint64_t> AdDafsT<S>::write_list(std::span<const IoSeg> segs) {
   std::uint64_t total_len = 0;
   for (const IoSeg& s : segs) total_len += s.len;
   if (total_len < s_.config().direct_threshold) {
@@ -66,5 +68,8 @@ Result<std::uint64_t> AdDafs::write_list(std::span<const IoSeg> segs) {
   }
   return total;
 }
+
+template class AdDafsT<dafs::Session>;
+template class AdDafsT<dafs::Client>;
 
 }  // namespace mpiio

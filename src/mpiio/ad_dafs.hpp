@@ -12,10 +12,16 @@ namespace mpiio {
 /// zero client copies); list I/O maps onto a single batched direct request;
 /// locks and shared counters come from the DAFS server, so sieving writes,
 /// atomic mode and shared file pointers all work without extra
-/// infrastructure. The session is borrowed (one per rank, owned by the app).
-class AdDafs final : public AdioDriver {
+/// infrastructure. The endpoint is borrowed (one per rank, owned by the app).
+///
+/// Templated over the endpoint type: a plain dafs::Session (single filer) or
+/// the striped dafs::Client (multi-filer layouts). Both expose the same
+/// open/pread/batch/lock/counter surface; the Client additionally reports
+/// its stripe width so the collective layer can align file domains.
+template <typename S>
+class AdDafsT final : public AdioDriver {
  public:
-  explicit AdDafs(dafs::Session& session) : s_(session) {}
+  explicit AdDafsT(S& session) : s_(session) {}
 
   Err open(const std::string& path, std::uint16_t open_flags) override {
     auto r = s_.open(path, open_flags);
@@ -26,6 +32,9 @@ class AdDafs final : public AdioDriver {
   }
 
   Err close() override {
+    if constexpr (requires { s_.close(fh_); }) {
+      s_.close(fh_);
+    }
     fh_ = dafs::Fh{};
     return Err::kOk;
   }
@@ -87,16 +96,35 @@ class AdDafs final : public AdioDriver {
 
   void set_deadline(std::uint64_t ns) override { s_.set_deadline(ns); }
 
+  std::uint64_t stripe_size() const override {
+    if constexpr (requires { s_.stripe_size(); }) {
+      // Striped layouts matter to the collective layer only when data
+      // actually spans multiple servers.
+      return s_.data_servers() > 1 ? s_.stripe_size() : 0;
+    } else {
+      return 0;
+    }
+  }
+
   const char* name() const override { return "dafs"; }
 
  private:
-  dafs::Session& s_;
+  S& s_;
   dafs::Fh fh_;
   std::string path_;
 };
 
+using AdDafs = AdDafsT<dafs::Session>;
+
+extern template class AdDafsT<dafs::Session>;
+extern template class AdDafsT<dafs::Client>;
+
 inline std::unique_ptr<AdioDriver> dafs_driver(dafs::Session& session) {
-  return std::make_unique<AdDafs>(session);
+  return std::make_unique<AdDafsT<dafs::Session>>(session);
+}
+
+inline std::unique_ptr<AdioDriver> dafs_driver(dafs::Client& client) {
+  return std::make_unique<AdDafsT<dafs::Client>>(client);
 }
 
 }  // namespace mpiio

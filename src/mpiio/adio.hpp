@@ -140,6 +140,12 @@ class AdioDriver {
   /// transport. Default: drivers without deadline support ignore it.
   virtual void set_deadline(std::uint64_t /*ns*/) {}
 
+  /// Stripe width of the file's layout, when the backing store stripes data
+  /// across servers (the striped DAFS client); 0 = unstriped. The collective
+  /// layer aligns two-phase file domains to this so each aggregator talks to
+  /// a minimal server subset.
+  virtual std::uint64_t stripe_size() const { return 0; }
+
   virtual const char* name() const = 0;
 
  protected:

@@ -87,6 +87,10 @@ Result<std::unique_ptr<File>> File::open(const mpi::Comm& comm,
   auto f = std::unique_ptr<File>(
       new File(comm, std::move(path), amode, info, std::move(driver)));
 
+  // Malformed hint values surface in the fabric's unified metrics
+  // ("mpiio.bad_hint") instead of aborting the rank.
+  f->info_.bind_stats(&comm.world().fabric().stats());
+
   // Retry/deadline hints parse into the one consolidated RetryPolicy; its
   // deadline applies to every request this file issues, including the opens
   // below, so plumb it into the driver before anything else.
@@ -591,14 +595,22 @@ Result<std::uint64_t> File::collective_io(bool writing,
   const auto naggr = static_cast<int>(std::min<std::uint64_t>(
       info_.get_uint("cb_nodes", static_cast<std::uint64_t>(n)),
       static_cast<std::uint64_t>(n)));
-  const std::uint64_t span = gmax - gmin;
-  const std::uint64_t dlen = (span + static_cast<std::uint64_t>(naggr) - 1) /
-                             static_cast<std::uint64_t>(naggr);
+  // Striped layouts: align file domains to stripe boundaries so each
+  // aggregator's two-phase exchange covers whole stripes and talks to a
+  // minimal data-server subset. base <= gmin plus dlen rounded up to a
+  // stripe multiple keeps the domain count <= naggr.
+  const std::uint64_t ss =
+      info_.get_uint("dafs_stripe_size", driver_->stripe_size());
+  const std::uint64_t base = ss > 0 ? gmin - gmin % ss : gmin;
+  const std::uint64_t span = gmax - base;
+  std::uint64_t dlen = (span + static_cast<std::uint64_t>(naggr) - 1) /
+                       static_cast<std::uint64_t>(naggr);
+  if (ss > 0) dlen = (dlen + ss - 1) / ss * ss;
   auto domain_of = [&](std::uint64_t off) {
-    return static_cast<int>((off - gmin) / dlen);
+    return static_cast<int>((off - base) / dlen);
   };
   auto domain_end = [&](int d) {
-    return gmin + (static_cast<std::uint64_t>(d) + 1) * dlen;
+    return base + (static_cast<std::uint64_t>(d) + 1) * dlen;
   };
 
   // Split my segments across aggregator domains.
@@ -670,6 +682,10 @@ Result<std::uint64_t> File::collective_io(bool writing,
     std::vector<std::byte> data_out;
     for (int d = 0; d < naggr; ++d) {
       data_sdispls[static_cast<std::size_t>(d)] = data_out.size();
+      // Pieces bound for my own domain never cross the wire: the disk phase
+      // below writes them straight from user memory, so packing (a host
+      // copy) and a self-send would both be pure overhead.
+      if (d == comm_.rank()) continue;
       const auto& ps = out_pieces[static_cast<std::size_t>(d)];
       const auto& ms = out_mem[static_cast<std::size_t>(d)];
       for (std::size_t k = 0; k < ps.size(); ++k) {
@@ -693,6 +709,8 @@ Result<std::uint64_t> File::collective_io(bool writing,
       for (std::uint64_t k = 0; k < nm / sizeof(Piece); ++k) {
         bytes += pieces[k].len;
       }
+      // My own pieces stay in user memory (the pack loop skipped them).
+      if (s == comm_.rank()) bytes = 0;
       data_rcounts[static_cast<std::size_t>(s)] = bytes;
       data_rdispls[static_cast<std::size_t>(s)] = data_in_total;
       data_in_total += bytes;
@@ -708,7 +726,10 @@ Result<std::uint64_t> File::collective_io(bool writing,
     // collective, so the other ranks must not be left waiting on a rank
     // that bailed out early.
     Err disk_st = Err::kOk;
-    if (aggregator && data_in_total > 0) {
+    const bool have_self_pieces =
+        aggregator &&
+        !out_pieces[static_cast<std::size_t>(comm_.rank())].empty();
+    if (aggregator && (data_in_total > 0 || have_self_pieces)) {
       // Assemble (off, len, src-bytes) triples, sort, coalesce and write.
       struct Item {
         std::uint64_t off;
@@ -717,6 +738,15 @@ Result<std::uint64_t> File::collective_io(bool writing,
       };
       std::vector<Item> items;
       for (int s = 0; s < n; ++s) {
+        if (s == comm_.rank()) {
+          // My own pieces: straight out of the caller's buffers.
+          const auto& ps = out_pieces[static_cast<std::size_t>(s)];
+          const auto& ms = out_mem[static_cast<std::size_t>(s)];
+          for (std::size_t k = 0; k < ps.size(); ++k) {
+            items.push_back(Item{ps[k].off, ps[k].len, ms[k]});
+          }
+          continue;
+        }
         const auto* pieces = reinterpret_cast<const Piece*>(
             meta_in.data() + meta_rdispls[static_cast<std::size_t>(s)]);
         const std::uint64_t np =
@@ -733,8 +763,19 @@ Result<std::uint64_t> File::collective_io(bool writing,
       std::vector<std::byte> stage;
       std::size_t i = 0;
       while (i < items.size()) {
-        if (items[i].len > cb_buffer) {
-          // Giant piece (already contiguous): write it directly.
+        // Extent of the contiguous run starting at i, bounded by the
+        // collective buffer (an over-sized piece forms a run of its own).
+        std::uint64_t run_len = items[i].len;
+        std::size_t j = i + 1;
+        while (run_len <= cb_buffer && j < items.size() &&
+               items[j].off == items[i].off + run_len &&
+               run_len + items[j].len <= cb_buffer) {
+          run_len += items[j].len;
+          ++j;
+        }
+        if (j == i + 1) {
+          // A single piece is already contiguous in its source buffer;
+          // staging it would buy nothing but a host copy.
           auto r = driver_->pwrite(
               items[i].off,
               std::span<const std::byte>(items[i].data, items[i].len));
@@ -742,21 +783,16 @@ Result<std::uint64_t> File::collective_io(bool writing,
             disk_st = r.error();
             break;
           }
-          ++i;
+          i = j;
           continue;
         }
-        // Coalesce a contiguous run, bounded by the collective buffer size.
-        std::uint64_t run_off = items[i].off;
         stage.clear();
-        std::size_t j = i;
-        while (j < items.size() &&
-               items[j].off == run_off + stage.size() &&
-               stage.size() + items[j].len <= cb_buffer) {
-          stage.insert(stage.end(), items[j].data, items[j].data + items[j].len);
-          ++j;
+        for (std::size_t k = i; k < j; ++k) {
+          stage.insert(stage.end(), items[k].data,
+                       items[k].data + items[k].len);
         }
         charge_copy(stage.size());
-        auto r = driver_->pwrite(run_off, stage);
+        auto r = driver_->pwrite(items[i].off, stage);
         if (!r.ok()) {
           disk_st = r.error();
           break;

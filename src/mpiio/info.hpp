@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <charconv>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -7,6 +9,7 @@
 #include <utility>
 
 #include "dafs/mount.hpp"
+#include "sim/stats.hpp"
 
 namespace mpiio {
 
@@ -37,10 +40,22 @@ class Info {
     return it->second;
   }
 
+  /// Numeric hint. A malformed or overflowing value is an application bug,
+  /// not a reason to abort the rank: it counts as a bad hint (see
+  /// bad_hints() / the "mpiio.bad_hint" stat) and the fallback applies, the
+  /// same as an absent key.
   std::uint64_t get_uint(const std::string& key, std::uint64_t fallback) const {
     auto v = get(key);
     if (!v) return fallback;
-    return std::stoull(*v);
+    std::uint64_t out = 0;
+    const char* first = v->data();
+    const char* last = first + v->size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc{} || ptr != last || first == last) {
+      note_bad_hint();
+      return fallback;
+    }
+    return out;
   }
 
   /// Tri-state hint: returns fallback for "automatic"/absent.
@@ -54,8 +69,23 @@ class Info {
 
   const std::map<std::string, std::string>& all() const { return kv_; }
 
+  /// Hint values that failed to parse so far (monotone; also mirrored into
+  /// the bound fabric stats as "mpiio.bad_hint" when a sink is attached).
+  std::uint64_t bad_hints() const { return bad_hints_; }
+
+  /// Attach a fabric stats sink so bad-hint events surface in the unified
+  /// metrics; File::open binds its copy to the world's fabric.
+  void bind_stats(sim::Stats* stats) { stats_ = stats; }
+
  private:
+  void note_bad_hint() const {
+    ++bad_hints_;
+    if (stats_ != nullptr) stats_->add("mpiio.bad_hint");
+  }
+
   std::map<std::string, std::string> kv_;
+  mutable std::uint64_t bad_hints_ = 0;
+  sim::Stats* stats_ = nullptr;
 };
 
 /// Parse the consolidated `dafs_*` retry hints into the one dafs::RetryPolicy
@@ -77,16 +107,29 @@ inline dafs::RetryPolicy parse_retry_policy(const Info& info,
   p.jitter_seed = info.get_uint("dafs_retry_jitter_seed", p.jitter_seed);
   p.max_busy_retries = static_cast<int>(info.get_uint(
       "dafs_busy_retries", static_cast<std::uint64_t>(p.max_busy_retries)));
-  p.deadline_ns =
-      info.get_uint("dafs_deadline_ms", p.deadline_ns / 1'000'000) * 1'000'000;
+  // The hint is in milliseconds but the policy is in nanoseconds; converting
+  // unconditionally would round-trip base.deadline_ns through ms and
+  // silently truncate a sub-ms deadline to 0 (= none) even with no hint set.
+  if (info.get("dafs_deadline_ms")) {
+    p.deadline_ns =
+        info.get_uint("dafs_deadline_ms", p.deadline_ns / 1'000'000) *
+        1'000'000;
+  }
   return p;
 }
 
 /// Parse a full mount description. `dafs_endpoints` is a comma-separated,
 /// ordered list of filer service names (first = preferred primary, the rest
-/// failover targets); every endpoint gets the policy from
-/// parse_retry_policy. Absent/empty hint: `base`'s endpoints (re-policied),
-/// or one default endpoint at base.client.service.
+/// failover targets); tokens are whitespace-trimmed and duplicates dropped,
+/// and every endpoint gets the policy from parse_retry_policy. Absent/empty
+/// hint: `base`'s endpoints (re-policied), or one default endpoint at
+/// base.client.service.
+///
+/// Striping hints (the layout the striped dafs::Client mounts with):
+///   dafs_stripe_size    stripe width in bytes (default: base's, 64 KiB)
+///   dafs_stripe_count   K > 1 turns the first K `dafs_endpoints` entries
+///                       into the data-server list; metadata stays on the
+///                       first endpoint (filer 0), Lustre-style.
 inline dafs::MountSpec parse_mount_spec(const Info& info,
                                         dafs::MountSpec base = {}) {
   dafs::MountSpec m = std::move(base);
@@ -100,7 +143,18 @@ inline dafs::MountSpec parse_mount_spec(const Info& info,
       std::size_t comma = eps->find(',', start);
       if (comma == std::string::npos) comma = eps->size();
       std::string name = eps->substr(start, comma - start);
-      if (!name.empty()) m.endpoints.push_back(dafs::Endpoint{std::move(name), p});
+      // Trim surrounding whitespace ("a, b" must not yield an endpoint
+      // named " b" that can never resolve) and drop duplicate names.
+      const auto b = name.find_first_not_of(" \t");
+      const auto e = name.find_last_not_of(" \t");
+      name = b == std::string::npos ? std::string{}
+                                    : name.substr(b, e - b + 1);
+      const bool dup = std::any_of(
+          m.endpoints.begin(), m.endpoints.end(),
+          [&](const dafs::Endpoint& ep) { return ep.service == name; });
+      if (!name.empty() && !dup) {
+        m.endpoints.push_back(dafs::Endpoint{std::move(name), p});
+      }
       start = comma + 1;
     }
   }
@@ -109,6 +163,19 @@ inline dafs::MountSpec parse_mount_spec(const Info& info,
   } else {
     for (auto& e : m.endpoints) e.retry = p;
   }
+  m.stripe_size = info.get_uint("dafs_stripe_size", m.stripe_size);
+  if (m.stripe_size == 0) m.stripe_size = dafs::kDefaultStripeSize;
+  const std::uint64_t sc =
+      info.get_uint("dafs_stripe_count",
+                    static_cast<std::uint64_t>(m.data_endpoints.size()));
+  if (sc > 1) {
+    const std::size_t k = std::min<std::size_t>(
+        static_cast<std::size_t>(sc), m.endpoints.size());
+    m.data_endpoints.assign(m.endpoints.begin(), m.endpoints.begin() + k);
+    // Metadata (and its failover chain, if any) stays on filer 0.
+    m.endpoints.resize(1);
+  }
+  for (auto& e : m.data_endpoints) e.retry = p;
   return m;
 }
 

@@ -1,19 +1,30 @@
 #pragma once
 
+#include <algorithm>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "sim/time.hpp"
 
 namespace sim {
 
 /// A serially-reusable resource in virtual time (a link direction, a node's
-/// CPU, a DMA engine). Occupations are granted first-come-first-served in
-/// *real* call order; each occupation starts no earlier than both the
-/// requested ready time and the end of the previous occupation. This is the
-/// standard conservative shortcut for analytic contention modelling: a second
-/// flow through the same link pushes completions out, which is what produces
-/// saturation in the multi-client experiments.
+/// CPU, a DMA engine). The resource keeps a bounded list of busy intervals;
+/// an occupation is placed into the earliest idle gap that starts no earlier
+/// than the requested ready time and fits the whole duration. Overlapping
+/// demand therefore still serializes (which is what produces saturation in
+/// the multi-client experiments), but an occupation whose ready time falls
+/// into a genuinely idle window is *not* queued behind reservations made —
+/// in real call order — by actors whose virtual clocks have raced ahead.
+///
+/// The distinction matters: with a single free-pointer granted in wall-clock
+/// call order, one actor that legitimately fast-forwarded (say a server
+/// worker that absorbed a long cold-path CPU charge) ratchets the resource
+/// into the virtual future, and every causally-unrelated occupation after it
+/// inherits phantom queueing that no real hardware would impose. Multi-actor
+/// runs with skewed clocks (striped servers, staggered warm-ups) then report
+/// serialization that does not exist.
 class Resource {
  public:
   Resource() = default;
@@ -26,16 +37,31 @@ class Resource {
   /// `earliest_start`. Returns the completion time.
   Time occupy(Time earliest_start, Time duration) {
     std::lock_guard lock(mu_);
-    const Time start = std::max(earliest_start, free_);
-    free_ = start + duration;
+    Time start = std::max(earliest_start, horizon_);
+    std::size_t i = 0;
+    for (; i < busy_.size(); ++i) {
+      if (busy_[i].end <= start) continue;       // interval wholly in the past
+      if (start + duration <= busy_[i].start) break;  // gap fits: place here
+      start = busy_[i].end;                      // occupied: try after it
+    }
+    busy_.insert(busy_.begin() + static_cast<std::ptrdiff_t>(i),
+                 Interval{start, start + duration});
+    coalesce_around(i);
     busy_accum_ += duration;
-    return free_;
+    // Bound memory: fold the oldest intervals into the horizon. Gaps before
+    // the horizon are forfeited (conservatively busy), which degrades toward
+    // the old free-pointer behaviour only for the distant past.
+    while (busy_.size() > kMaxIntervals) {
+      horizon_ = busy_.front().end;
+      busy_.erase(busy_.begin());
+    }
+    return start + duration;
   }
 
-  /// Earliest time a new occupation could start.
+  /// End of the latest granted occupation (idle gaps may exist before it).
   Time busy_until() const {
     std::lock_guard lock(mu_);
-    return free_;
+    return busy_.empty() ? horizon_ : busy_.back().end;
   }
 
   /// Total occupied virtual time (for utilization reporting).
@@ -47,9 +73,30 @@ class Resource {
   const std::string& name() const { return name_; }
 
  private:
+  struct Interval {
+    Time start;
+    Time end;
+  };
+
+  static constexpr std::size_t kMaxIntervals = 64;
+
+  /// Merge busy_[i] with its neighbours where the intervals touch, keeping
+  /// the list sorted and disjoint.
+  void coalesce_around(std::size_t i) {
+    if (i + 1 < busy_.size() && busy_[i].end == busy_[i + 1].start) {
+      busy_[i].end = busy_[i + 1].end;
+      busy_.erase(busy_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+    }
+    if (i > 0 && busy_[i - 1].end == busy_[i].start) {
+      busy_[i - 1].end = busy_[i].end;
+      busy_.erase(busy_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+
   std::string name_;
   mutable std::mutex mu_;
-  Time free_ = 0;
+  std::vector<Interval> busy_;  // sorted by start, pairwise disjoint
+  Time horizon_ = 0;            // everything before this is considered busy
   Time busy_accum_ = 0;
 };
 

@@ -177,6 +177,105 @@ TEST(InfoHints, GettersAndDefaults) {
   EXPECT_EQ(info.all().size(), 2u);
 }
 
+TEST(InfoHints, MalformedNumericHintFallsBackInsteadOfThrowing) {
+  // Regression: get_uint used to call std::stoull unguarded, so a malformed
+  // or overflowing hint aborted the rank with an uncaught exception.
+  Info info;
+  info.set("dafs_deadline_ms", "abc");
+  EXPECT_EQ(info.get_uint("dafs_deadline_ms", 42), 42u);
+  EXPECT_EQ(info.bad_hints(), 1u);
+
+  info.set("cb_nodes", "12abc");  // trailing junk is malformed, not "12"
+  EXPECT_EQ(info.get_uint("cb_nodes", 7), 7u);
+  EXPECT_EQ(info.bad_hints(), 2u);
+
+  info.set("cb_buffer_size", "99999999999999999999999");  // > UINT64_MAX
+  EXPECT_EQ(info.get_uint("cb_buffer_size", 9), 9u);
+
+  info.set("ind_rd_buffer_size", "-5");
+  EXPECT_EQ(info.get_uint("ind_rd_buffer_size", 3), 3u);
+
+  info.set("ind_wr_buffer_size", "");
+  EXPECT_EQ(info.get_uint("ind_wr_buffer_size", 5), 5u);
+  EXPECT_EQ(info.bad_hints(), 5u);
+
+  // A well-formed value afterwards still parses.
+  info.set("cb_nodes", "16");
+  EXPECT_EQ(info.get_uint("cb_nodes", 7), 16u);
+  EXPECT_EQ(info.bad_hints(), 5u);
+}
+
+TEST(InfoHints, SubMillisecondDeadlineSurvivesAbsentHint) {
+  // Regression: parse_retry_policy round-tripped base.deadline_ns through
+  // milliseconds even when dafs_deadline_ms was absent, truncating any
+  // sub-ms deadline to 0 (= no deadline at all).
+  dafs::RetryPolicy base;
+  base.deadline_ns = 500'000;  // 0.5 ms
+  Info info;
+  EXPECT_EQ(mpiio::parse_retry_policy(info, base).deadline_ns, 500'000u);
+
+  info.set("dafs_deadline_ms", std::uint64_t{3});
+  EXPECT_EQ(mpiio::parse_retry_policy(info, base).deadline_ns, 3'000'000u);
+
+  info.set("dafs_deadline_ms", std::uint64_t{0});  // explicit "no deadline"
+  EXPECT_EQ(mpiio::parse_retry_policy(info, base).deadline_ns, 0u);
+}
+
+TEST(InfoHints, BusyRetryBudgetFlowsIntoPolicy) {
+  // The lease-reclaim loops in dafs::Session honor RetryPolicy's
+  // max_busy_retries (they used to hard-code 200); this is the hint that
+  // feeds it. Behavioral coverage of the reclaim path itself rides with the
+  // crash/failover/stripe fault tests.
+  Info info;
+  info.set("dafs_busy_retries", std::uint64_t{7});
+  EXPECT_EQ(mpiio::parse_retry_policy(info).max_busy_retries, 7);
+  EXPECT_EQ(mpiio::parse_retry_policy(Info{}).max_busy_retries,
+            dafs::RetryPolicy{}.max_busy_retries);
+}
+
+TEST(InfoHints, EndpointListTrimsWhitespaceAndDropsDuplicates) {
+  // Regression: "a, b" used to produce an endpoint literally named " b",
+  // which can never resolve against the fabric name service.
+  Info info;
+  info.set("dafs_endpoints", "filer-a, filer-b ,filer-a,, \t ,filer-c");
+  const dafs::MountSpec m = mpiio::parse_mount_spec(info);
+  ASSERT_EQ(m.endpoints.size(), 3u);
+  EXPECT_EQ(m.endpoints[0].service, "filer-a");
+  EXPECT_EQ(m.endpoints[1].service, "filer-b");
+  EXPECT_EQ(m.endpoints[2].service, "filer-c");
+
+  // All-whitespace list degenerates to the default endpoint.
+  Info junk;
+  junk.set("dafs_endpoints", " ,  , ");
+  const dafs::MountSpec d = mpiio::parse_mount_spec(junk);
+  ASSERT_EQ(d.endpoints.size(), 1u);
+  EXPECT_EQ(d.endpoints[0].service, "dafs");
+}
+
+TEST(InfoHints, StripeHintsCarveDataServersOutOfEndpoints) {
+  Info info;
+  info.set("dafs_endpoints", "f0,f1,f2,f3");
+  info.set("dafs_stripe_count", std::uint64_t{3});
+  info.set("dafs_stripe_size", std::uint64_t{128 * 1024});
+  const dafs::MountSpec m = mpiio::parse_mount_spec(info);
+  EXPECT_EQ(m.stripe_size, 128u * 1024u);
+  ASSERT_EQ(m.data_endpoints.size(), 3u);
+  EXPECT_EQ(m.data_endpoints[0].service, "f0");
+  EXPECT_EQ(m.data_endpoints[1].service, "f1");
+  EXPECT_EQ(m.data_endpoints[2].service, "f2");
+  // Metadata stays on filer 0.
+  ASSERT_EQ(m.endpoints.size(), 1u);
+  EXPECT_EQ(m.endpoints[0].service, "f0");
+
+  // Without a stripe count the endpoint list is a failover chain, not a
+  // stripe set.
+  Info plain;
+  plain.set("dafs_endpoints", "f0,f1");
+  const dafs::MountSpec p = mpiio::parse_mount_spec(plain);
+  EXPECT_EQ(p.endpoints.size(), 2u);
+  EXPECT_TRUE(p.data_endpoints.empty());
+}
+
 // ---------------------------------------------------------------------------
 // ADIO defaults
 // ---------------------------------------------------------------------------
