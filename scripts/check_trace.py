@@ -29,7 +29,14 @@ Warnings (do not fail the check):
   - a file with events but no spans (a crash dump from a fabric that traced
     no requests)
 
-Usage: check_trace.py [--mpiio-rooted] <trace.json> [more.json ...]
+With --require-span NAME (hard errors, opt-in, repeatable):
+  - at least one span with that exact name is present in the file. The
+    tier-1 gate uses this to prove the traced quorum bench actually
+    recorded an election ("raft.election") and a catch-up burst
+    ("raft.resilver"), not just that the trace is structurally sound.
+
+Usage: check_trace.py [--mpiio-rooted] [--require-span NAME ...] \
+    <trace.json> [more.json ...]
 Exit status 0 when every file passes, 1 otherwise.
 """
 
@@ -77,7 +84,7 @@ def check_mpiio_rooted(path, spans, errors, warnings):
                 break
 
 
-def check(path, mpiio_rooted=False):
+def check(path, mpiio_rooted=False, require_spans=()):
     errors = []
     warnings = []
     try:
@@ -158,6 +165,11 @@ def check(path, mpiio_rooted=False):
         warnings.append(f"{path}: events only, no spans")
     if mpiio_rooted and spans:
         check_mpiio_rooted(path, spans, errors, warnings)
+    present = {ev.get("name") for ev in spans.values()}
+    for name in require_spans:
+        if name not in present:
+            errors.append(
+                f"{path}: --require-span: no span named {name!r} in file")
     return errors, warnings
 
 
@@ -165,12 +177,27 @@ def main(argv):
     args = argv[1:]
     mpiio_rooted = "--mpiio-rooted" in args
     args = [a for a in args if a != "--mpiio-rooted"]
+    require_spans = []
+    paths = []
+    i = 0
+    while i < len(args):
+        if args[i] == "--require-span":
+            if i + 1 >= len(args):
+                print("error: --require-span needs a name", file=sys.stderr)
+                return 2
+            require_spans.append(args[i + 1])
+            i += 2
+        else:
+            paths.append(args[i])
+            i += 1
+    args = paths
     if not args:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     failed = False
     for path in args:
-        errors, warnings = check(path, mpiio_rooted=mpiio_rooted)
+        errors, warnings = check(path, mpiio_rooted=mpiio_rooted,
+                                 require_spans=require_spans)
         for w in warnings:
             print(f"warning: {w}", file=sys.stderr)
         for e in errors:

@@ -3,12 +3,14 @@
 # AddressSanitizer/UBSan build running the fault-injection slice (ctest -L
 # fault), the server crash/restart chaos slice (ctest -L chaos), the
 # dual-filer failover slice (ctest -L failover), the causal-tracing
-# slice (ctest -L trace) and the striped-layout slice (ctest -L stripe),
-# which stress the recovery paths where lifetime bugs would hide. A final
-# leg runs traced end-to-end benchmarks and validates the emitted Perfetto
-# JSON (ids resolve, spans nest, no negative durations) with
-# scripts/check_trace.py — including the --mpiio-rooted linkage check
-# against the traced failover bench and the traced striped collective.
+# slice (ctest -L trace), the striped-layout slice (ctest -L stripe) and
+# the quorum-replication slice (ctest -L raft), which stress the recovery
+# paths where lifetime bugs would hide. A final leg runs traced end-to-end
+# benchmarks and validates the emitted Perfetto JSON (ids resolve, spans
+# nest, no negative durations) with scripts/check_trace.py — including the
+# --mpiio-rooted linkage check against the traced failover bench and the
+# traced striped collective, and the --require-span check that the traced
+# quorum bench actually recorded a leader election and a re-silver burst.
 #
 # Every ctest invocation runs under a per-test timeout so a hung recovery
 # path (the exact bug class the chaos suite hunts) fails the gate instead of
@@ -31,13 +33,13 @@ cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
   --timeout "$TEST_TIMEOUT"
 
-echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace + stripe labels) =="
+echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace + stripe + raft labels) =="
 cmake -B "$ASAN_BUILD" -S . -DDAFS_SANITIZE=ON >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault \
   --target test_chaos --target test_failover --target test_trace \
-  --target test_stripe
+  --target test_stripe --target test_quorum
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" \
-  --timeout "$TEST_TIMEOUT" -L 'fault|chaos|failover|trace|stripe'
+  --timeout "$TEST_TIMEOUT" -L 'fault|chaos|failover|trace|stripe|raft'
 
 echo "== tier1: trace-validation leg (traced benches -> check_trace.py) =="
 TRACE_OUT="$BUILD/tier1_trace.json"
@@ -55,5 +57,13 @@ python3 scripts/check_trace.py --mpiio-rooted "$FAILOVER_TRACE"
 STRIPE_TRACE="$BUILD/tier1_trace_stripe.json"
 DAFS_TRACE="$STRIPE_TRACE" "$BUILD/bench/bench_e9_scaling" >/dev/null
 python3 scripts/check_trace.py --mpiio-rooted "$STRIPE_TRACE"
+# Quorum bench: the kill-the-leader run must leave behind an election span
+# (a successor won a term) and a re-silver span (the rebooted ex-leader
+# caught its journal up) — proving the traced recovery actually exercised
+# both halves of the consensus path, not just that the trace is well-formed.
+QUORUM_TRACE="$BUILD/tier1_trace_quorum.json"
+DAFS_TRACE="$QUORUM_TRACE" "$BUILD/bench/bench_e18_quorum" >/dev/null
+python3 scripts/check_trace.py --require-span raft.election \
+  --require-span raft.resilver "$QUORUM_TRACE"
 
 echo "== tier1: all green =="

@@ -87,17 +87,60 @@ void Session::advance_endpoint() {
                           (0x9e3779b97f4a7c15ULL * rotations_));
 }
 
+void Session::demote_endpoint() {
+  if (eps_.size() > 1) {
+    nic_.fabric().stats().add("dafs.endpoint_demotions");
+    // Physically move the refusing endpoint to the back of the list so a
+    // later full sweep reprobes it last, then bind whatever slid into its
+    // place (wrapping when it was already last).
+    Endpoint demoted = std::move(eps_[ep_]);
+    eps_.erase(eps_.begin() + static_cast<std::ptrdiff_t>(ep_));
+    eps_.push_back(std::move(demoted));
+    if (ep_ >= eps_.size() - 1) ep_ = 0;
+  }
+  ++rotations_;
+  backoff_rng_ = sim::Rng(eps_[ep_].retry.jitter_seed ^
+                          (0x9e3779b97f4a7c15ULL * rotations_));
+}
+
+bool Session::follow_leader_hint(std::uint64_t aux) {
+  if (aux == 0) return false;
+  const auto member = static_cast<std::uint32_t>(aux - 1);
+  for (std::size_t i = 0; i < eps_.size(); ++i) {
+    if (eps_[i].member != member) continue;
+    if (i == ep_) return false;  // the hint names the endpoint we just tried
+    ep_ = i;
+    ++rotations_;
+    backoff_rng_ = sim::Rng(eps_[ep_].retry.jitter_seed ^
+                            (0x9e3779b97f4a7c15ULL * rotations_));
+    nic_.fabric().stats().add("dafs.leader_hints_followed");
+    return true;
+  }
+  return false;
+}
+
 PStatus Session::do_connect() {
   Actor* actor = Actor::current();
   assert(actor && "Session::connect outside an ActorScope");
   (void)actor;
   PStatus last = PStatus::kProtoError;
-  for (std::size_t pass = 0; pass < eps_.size(); ++pass) {
+  // One pass per endpoint plus generous slack: a quorum group caught
+  // mid-election answers kNotLeader everywhere with no hint until a leader
+  // emerges, so passes that land in that window burn budget without
+  // progress. The short sleep below spans an election timeout across one
+  // sweep of the mount.
+  for (std::size_t pass = 0; pass < eps_.size() + 8; ++pass) {
     last = connect_once();
-    if (last != PStatus::kFenced) break;
-    // A fenced filer was deposed while we were away: it answers every
-    // request kFenced. Try the next endpoint on a fresh VI.
-    advance_endpoint();
+    if (last != PStatus::kFenced && last != PStatus::kNotLeader) break;
+    // The filer answered but refuses service: a deposed pair member fences
+    // every request, a quorum follower redirects. Demote it behind the
+    // rest of the rotation — unless the follower named the leader and that
+    // endpoint is in the mount, in which case jump straight there. Either
+    // way the next attempt needs a fresh VI.
+    if (last != PStatus::kNotLeader || !follow_leader_hint(leader_hint_)) {
+      demote_endpoint();
+      if (last == PStatus::kNotLeader) std::this_thread::sleep_for(20ms);
+    }
     vi_->disconnect();
     vi_ = std::make_unique<via::Vi>(nic_, session_vi_attrs(ptag_));
   }
@@ -387,6 +430,21 @@ PStatus Session::wait_slot(OpId id) {
       if (recover()) continue;
       return PStatus::kConnLost;
     }
+    if (sl.resp.status == PStatus::kNotLeader) {
+      // Remember the follower's leader hint even when we surface the error:
+      // do_connect and recover() both consume it to jump straight to the
+      // leader instead of sweeping the mount blind.
+      leader_hint_ = sl.resp.aux;
+      if (session_id_ != 0 && sl.reclaim_retries < kSlotReclaimRetries) {
+        // A quorum follower answered a bound session's request: leadership
+        // moved underneath us. Recovery follows the hint (resume against
+        // the new leader, reclaim if it never saw us) and retransmits.
+        ++sl.reclaim_retries;
+        sl.done = false;
+        if (recover()) continue;
+        return PStatus::kConnLost;
+      }
+    }
     if (sl.resp.status != PStatus::kBusy) return sl.resp.status;
     // Shed by the server: honor the retry-after hint and retransmit, up to
     // the slot's budget.
@@ -432,7 +490,10 @@ bool Session::recover() {
   Actor* actor = Actor::current();
   assert(actor && "recovery outside an ActorScope");
   auto& stats = nic_.fabric().stats();
-  const std::size_t home = ep_;
+  // Identify the starting endpoint by service, not index: demotion reorders
+  // eps_, so after a fenced home is pushed to the back the survivor we land
+  // on may occupy the very slot we started from.
+  const std::string home = eps_[ep_].service;
   const sim::Time t_fail = actor->now();
   // Passes run the bound endpoint's retry budget; kFenced (or a dead
   // listener on a failover mount) cuts a pass short and rotates. A
@@ -446,9 +507,12 @@ bool Session::recover() {
           : eps_.size() *
                 static_cast<std::size_t>(std::max(1, eps_[ep_].retry.attempts));
   for (std::size_t pass = 0; pass < max_passes; ++pass) {
-    const Endpoint& ep = eps_[ep_];
+    const Endpoint ep = eps_[ep_];  // by value: demotion reorders eps_
     sim::Time backoff = ep.retry.backoff_ns;
     bool rotate = false;
+    // Set when the pass already repositioned ep_ itself (demotion or a
+    // leader-hint jump); suppresses the blind advance at the pass end.
+    bool moved = false;
     for (int attempt = 1; attempt <= ep.retry.attempts && !rotate;
          ++attempt) {
       stats.add("dafs.recovery_attempts");
@@ -498,7 +562,24 @@ bool Session::recover() {
       const ResumeOutcome ro = resume_session();
       if (ro == ResumeOutcome::kFailed) continue;
       if (ro == ResumeOutcome::kFenced) {
-        // Deposed filer: it will never serve this session again.
+        // Deposed filer: it will never serve this session again. Demote it
+        // to the back of the rotation so later sweeps reprobe it last.
+        demote_endpoint();
+        moved = true;
+        rotate = true;
+        continue;
+      }
+      if (ro == ResumeOutcome::kNotLeader) {
+        // Quorum follower: jump straight to the hinted leader when the
+        // mount knows its endpoint; otherwise demote the follower and
+        // sweep. Either way leadership is still settling (an election in
+        // progress, or hints chasing a heartbeat behind), and that is a
+        // real-time wait: pace the sweep instead of burning the whole pass
+        // budget before a leader can possibly emerge.
+        const bool jumped = follow_leader_hint(leader_hint_);
+        if (!jumped) demote_endpoint();
+        std::this_thread::sleep_for(std::chrono::milliseconds(jumped ? 2 : 10));
+        moved = true;
         rotate = true;
         continue;
       }
@@ -510,7 +591,7 @@ bool Session::recover() {
       nic_.fabric().histograms().record("dafs.reconnect_ns",
                                         actor->now() - t0);
       stats.add("dafs.recoveries");
-      if (ep_ != home) {
+      if (eps_[ep_].service != home) {
         ++failovers_;
         stats.add("dafs.failovers");
         nic_.fabric().histograms().record("dafs.failover_ns",
@@ -518,7 +599,7 @@ bool Session::recover() {
       }
       return true;
     }
-    advance_endpoint();
+    if (!moved) advance_endpoint();
   }
   dead_ = true;
   stats.add("dafs.recovery_failures");
@@ -593,6 +674,10 @@ Session::ResumeOutcome Session::resume_session() {
   }
   if (r.status == PStatus::kBadSession) return ResumeOutcome::kLostState;
   if (r.status == PStatus::kFenced) return ResumeOutcome::kFenced;
+  if (r.status == PStatus::kNotLeader) {
+    leader_hint_ = r.hdr.aux;
+    return ResumeOutcome::kNotLeader;
+  }
   return ResumeOutcome::kFailed;
 }
 
@@ -621,9 +706,14 @@ bool Session::reclaim_session() {
       msg.set_name(lease.path);
       const RawResp r = raw_rpc();
       if (!r.transport_ok) return false;
-      // A deposition mid-reclaim must not condemn the handle as stale; abort
-      // the whole reclaim so recovery rotates to the promoted standby.
+      // A deposition (or quorum leadership change) mid-reclaim must not
+      // condemn the handle as stale; abort the whole reclaim so recovery
+      // rotates to whoever serves now.
       if (r.status == PStatus::kFenced) return false;
+      if (r.status == PStatus::kNotLeader) {
+        leader_hint_ = r.hdr.aux;
+        return false;
+      }
       if (r.status == PStatus::kBusy) {
         // Shed by the restarting server's admission control. Honor the
         // mount's busy-retry budget exactly like the normal request path
@@ -683,9 +773,13 @@ bool Session::reclaim_session() {
       const RawResp r = raw_rpc();
       if (!r.transport_ok) return false;
       st = r.status;
-      // Deposed mid-reclaim: abort so recovery rotates instead of treating
-      // the fence as a lost lock.
+      // Deposed (or redirected) mid-reclaim: abort so recovery rotates
+      // instead of treating the refusal as a lost lock.
       if (st == PStatus::kFenced) return false;
+      if (st == PStatus::kNotLeader) {
+        leader_hint_ = r.hdr.aux;
+        return false;
+      }
       if (st == PStatus::kBusy) {
         // Same policy-driven budget as the normal request path (aux == 0 is
         // a deadline shed: no retry); exhaustion aborts the reclaim so

@@ -183,6 +183,16 @@ class Session {
   /// Rotate to the next endpoint in the mount order (wraps; reseeds the
   /// backoff jitter from the new endpoint's policy).
   void advance_endpoint();
+  /// Demote the bound endpoint to the back of the rotation and bind the
+  /// next one. Used when the endpoint *answered* but refused service
+  /// (kFenced / kNotLeader): it is alive yet useless for now, so it should
+  /// be the last thing reprobed — unlike a transport failure, where the
+  /// plain in-place rotation of advance_endpoint is right.
+  void demote_endpoint();
+  /// Bind the endpoint tagged with quorum member `aux - 1` (the wire
+  /// encoding of a kNotLeader leader hint; aux == 0 means no hint). Returns
+  /// false when the hint is empty, unknown, or names the bound endpoint.
+  bool follow_leader_hint(std::uint64_t aux);
 
   /// Allocate a free request slot; kProtoError if the session is dead,
   /// kInval if the caller exceeded the credit limit.
@@ -210,6 +220,7 @@ class Session {
     kResumed,    // server still had the session (connection-level failure)
     kLostState,  // kBadSession: server restarted, reclaim from leases
     kFenced,     // server was deposed: rotate to the next endpoint
+    kNotLeader,  // quorum follower: follow its leader hint (or demote)
   };
   ResumeOutcome resume_session();
   /// Rebuild server-side state from client leases after a server restart:
@@ -276,6 +287,10 @@ class Session {
   std::size_t ep_ = 0;
   std::uint64_t failovers_ = 0;
   std::uint64_t rotations_ = 0;
+  /// Last kNotLeader leader hint seen (wire encoding: member index + 1,
+  /// 0 = none). Recorded wherever a kNotLeader answer lands — connect,
+  /// resume, wait — and consumed by the recovery rotation.
+  std::uint64_t leader_hint_ = 0;
   via::ProtectionTag ptag_;
   /// Owned by pointer so recovery can replace the endpoint: a VI that has
   /// seen a transport failure is dead for good, but the NIC registrations

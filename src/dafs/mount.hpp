@@ -62,10 +62,18 @@ struct ClientConfig {
   std::uint64_t client_id = 0;
 };
 
+/// Sentinel for Endpoint::member on a non-quorum mount.
+inline constexpr std::uint32_t kNoMember = 0xFFFFFFFFu;
+
 /// One filer endpoint a session may bind to.
 struct Endpoint {
   std::string service = "dafs";
   RetryPolicy retry;
+  /// Quorum member index this endpoint serves (kNoMember on plain mounts).
+  /// A follower's kNotLeader answer carries the leader's member index, and
+  /// recovery jumps straight to the endpoint with that `member` instead of
+  /// sweeping the list blind.
+  std::uint32_t member = kNoMember;
 };
 
 /// Default stripe width of a striped mount (Lustre's historical default is
@@ -117,6 +125,27 @@ inline MountSpec failover_mount(std::vector<std::string> services,
                                 ClientConfig client = {}) {
   MountSpec m;
   for (auto& s : services) m.endpoints.push_back(Endpoint{std::move(s), retry});
+  m.client = std::move(client);
+  return m;
+}
+
+/// A quorum mount over a replication group's client services, in member
+/// order: `services[i]` is member `i`'s client-facing service. Every
+/// endpoint is tagged with its member index so kNotLeader hints resolve to
+/// a direct jump. The initial order is rotated per `preferred` so different
+/// clients spread their first probes across the group.
+inline MountSpec quorum_mount(std::vector<std::string> services,
+                              RetryPolicy retry = {},
+                              ClientConfig client = {},
+                              std::size_t preferred = 0) {
+  MountSpec m;
+  const std::size_t n = services.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (preferred + k) % n;
+    Endpoint ep{services[i], retry};
+    ep.member = static_cast<std::uint32_t>(i);
+    m.endpoints.push_back(std::move(ep));
+  }
   m.client = std::move(client);
   return m;
 }

@@ -102,6 +102,11 @@ enum class PStatus : std::uint8_t {
   kFenced,       // server was deposed by a standby promotion and must not
                  // serve stale sessions; the client rotates to the next
                  // endpoint in its MountSpec
+  kNotLeader,    // quorum follower (or deposed/stepped-down leader): only the
+                 // group leader serves clients. aux carries a leader hint —
+                 // 1 + the leader's member index when known, 0 when unknown —
+                 // so the client jumps straight to the leader instead of
+                 // probing the rotation blind
 };
 
 constexpr PStatus to_pstatus(fstore::Errc e) {
@@ -152,6 +157,7 @@ constexpr const char* to_string(PStatus s) {
     case PStatus::kIo: return "io-error";
     case PStatus::kBusy: return "busy";
     case PStatus::kFenced: return "fenced";
+    case PStatus::kNotLeader: return "not-leader";
   }
   return "?";
 }

@@ -4,22 +4,41 @@
 #include <cstdint>
 
 /// \file repl.hpp
-/// Wire format of the primary->standby replication channel: the primary
-/// streams its FStoreJournal byte log (which already carries namespace ops,
-/// synced data, counters, the durable duplicate filter and server-state
-/// watermarks) to the standby over a dedicated VIA connection. Stop-and-wait:
+/// Wire format of the filer-to-filer replication channel. Two protocols
+/// share the header:
+///
+/// Pair mode (PR 5, kHello..kAck): the primary streams its FStoreJournal
+/// byte log to one standby over a dedicated VIA connection. Stop-and-wait:
 /// each kRecords chunk is acknowledged with the standby's new journal size,
 /// which doubles as the resume/resync offset. Epochs fence a deposed primary:
 /// a standby that promoted answers every later hello with status=fenced and
 /// its (higher) epoch.
+///
+/// Quorum mode (kVoteReq..kAppendResp): a Raft-style group of N >= 3 filers.
+/// The byte offset into the shared journal is the log index; kTermMark
+/// records embedded in the log carry term boundaries. A candidate solicits
+/// votes with its (last_off, last_term); the leader ships journal bytes with
+/// (prev_off, prev_term) matching and commits at majority ack. The fencing
+/// epoch IS the consensus term, so a partitioned ex-leader can never
+/// acknowledge a write the new leader does not have.
 namespace dafs {
 
 enum class ReplOp : std::uint8_t {
-  kHello = 1,  // primary -> standby: epoch; opens (or reopens) the stream
-  kHelloAck,   // standby -> primary: offset = journal bytes already held;
-               //   status=1 (fenced) when the receiver has promoted
-  kRecords,    // primary -> standby: `len` journal bytes at `offset`
-  kAck,        // standby -> primary: offset = new journal size
+  kHello = 1,   // primary -> standby: epoch; opens (or reopens) the stream
+  kHelloAck,    // standby -> primary: offset = journal bytes already held;
+                //   status=1 (fenced) when the receiver has promoted
+  kRecords,     // primary -> standby: `len` journal bytes at `offset`
+  kAck,         // standby -> primary: offset = new journal size
+
+  // ---- quorum protocol ----
+  kVoteReq,     // candidate -> peer: term=candidate term, offset=last_off,
+                //   prev_term=last_term, member=candidate index
+  kVoteResp,    // peer -> candidate: status=1 granted, term=peer term
+  kAppend,      // leader -> follower: term, offset=prev_off,
+                //   prev_term=term at prev_off, commit=leader commit offset,
+                //   member=leader index, len journal bytes follow
+  kAppendResp,  // follower -> leader: status=1 ok (offset=match_off) or
+                //   0 reject (term newer, or offset=conflict backoff hint)
 };
 
 inline constexpr std::uint32_t kReplMagic = 0x5245504C;  // "REPL"
@@ -27,17 +46,19 @@ inline constexpr std::uint32_t kReplMagic = 0x5245504C;  // "REPL"
 struct ReplHeader {
   std::uint32_t magic = kReplMagic;
   ReplOp op = ReplOp::kHello;
-  std::uint8_t status = 0;  // 0 = ok, 1 = fenced
+  std::uint8_t status = 0;    // 0 = ok/denied, 1 = fenced/granted/accepted
   std::uint16_t pad = 0;
-  std::uint64_t epoch = 0;
-  std::uint64_t offset = 0;
-  std::uint32_t len = 0;  // payload bytes following the header (kRecords)
-  std::uint32_t pad1 = 0;
+  std::uint64_t epoch = 0;    // pair: fencing epoch; quorum: term
+  std::uint64_t offset = 0;   // pair: journal offset; quorum: prev/match/last
+  std::uint32_t len = 0;      // payload bytes following the header
+  std::uint32_t member = 0;   // quorum: sender's member index
+  std::uint64_t prev_term = 0;  // quorum: term at `offset` (append/vote)
+  std::uint64_t commit = 0;     // quorum: leader's commit offset
 };
-static_assert(sizeof(ReplHeader) == 32, "fixed replication header layout");
+static_assert(sizeof(ReplHeader) == 48, "fixed replication header layout");
 
 /// Replication message buffer size: one header plus up to this many journal
-/// bytes per kRecords chunk.
+/// bytes per kRecords/kAppend chunk.
 inline constexpr std::size_t kReplBufSize = 256 * 1024;
 
 }  // namespace dafs

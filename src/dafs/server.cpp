@@ -7,9 +7,11 @@
 #include <cassert>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <span>
 
 #include "dafs/repl.hpp"
+#include "fstore/journal.hpp"
 #include "sim/rng.hpp"
 
 namespace dafs {
@@ -46,6 +48,21 @@ Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
     cfg_.store.journal_enabled = true;
     role_.store(Role::kStandby, std::memory_order_release);
   }
+  // A quorum member starts as a follower — it listens for clients (answering
+  // kNotLeader with a hint) but serves nothing until it wins an election.
+  // The journal is the replicated log, so it must be on.
+  if (quorum()) {
+    cfg_.store.journal_enabled = true;
+    role_.store(Role::kStandby, std::memory_order_release);
+    epoch_.store(0, std::memory_order_relaxed);  // terms count from 0
+    const std::size_t n = cfg_.quorum_group.size();
+    match_off_.assign(n, 0);
+    next_off_.assign(n, 0);
+    peer_heard_.assign(n, std::chrono::steady_clock::time_point{});
+    raft_rng_ = std::make_unique<sim::Rng>(cfg_.repl_retry.jitter_seed ^
+                                           (0x9e3779b97f4a7c15ULL *
+                                            (cfg_.member_id + 1)));
+  }
   // The store registers every buffer-cache slab with the NIC as it is
   // allocated; direct I/O then DMAs straight out of / into the cache.
   // Journal appends run under the worker's open request span; the tracer
@@ -77,10 +94,17 @@ Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
     m.register_gauge("dafs.repl_acked_bytes",
                      [this] { return repl_acked_bytes(); });
   }
-  if (!cfg_.repl_peer.empty() || !cfg_.repl_listen.empty()) {
+  if (!cfg_.repl_peer.empty() || !cfg_.repl_listen.empty() || quorum()) {
     m.register_gauge("dafs.role", [this] {
       return static_cast<std::uint64_t>(static_cast<int>(role()));
     });
+  }
+  // Quorum gauges (one member registers last and wins, same convention as
+  // dafs.role; benches sample them per-phase, not per-member).
+  if (quorum()) {
+    m.register_gauge("dafs.term", [this] { return epoch(); });
+    m.register_gauge("dafs.resilver_bytes",
+                     [this] { return resilver_bytes(); });
   }
 }
 
@@ -97,8 +121,12 @@ Server::~Server() {
     m.unregister_gauge("dafs.repl_lag_bytes");
     m.unregister_gauge("dafs.repl_acked_bytes");
   }
-  if (!cfg_.repl_peer.empty() || !cfg_.repl_listen.empty()) {
+  if (!cfg_.repl_peer.empty() || !cfg_.repl_listen.empty() || quorum()) {
     m.unregister_gauge("dafs.role");
+  }
+  if (quorum()) {
+    m.unregister_gauge("dafs.term");
+    m.unregister_gauge("dafs.resilver_bytes");
   }
 }
 
@@ -135,7 +163,30 @@ void Server::start() {
       worker_loop(i);
     });
   }
-  if (!cfg_.repl_listen.empty()) {
+  if (quorum()) {
+    // Rebuild the term-run table from the (possibly pre-existing) journal
+    // before any peer can ask about it.
+    {
+      std::lock_guard rlock(raft_mu_);
+      rebuild_term_runs_locked();
+      reset_election_deadline_locked();
+    }
+    quorum_listener_thread_ = std::thread([this] {
+      pthread_setname_np(pthread_self(), "dafs-raft-l");
+      quorum_listener_loop();
+    });
+    quorum_tick_thread_ = std::thread([this] {
+      pthread_setname_np(pthread_self(), "dafs-raft-t");
+      quorum_tick_loop();
+    });
+    for (std::uint32_t p = 0; p < cfg_.quorum_group.size(); ++p) {
+      if (p == cfg_.member_id) continue;
+      quorum_sender_threads_.emplace_back([this, p] {
+        pthread_setname_np(pthread_self(), "dafs-raft-s");
+        quorum_sender_loop(p);
+      });
+    }
+  } else if (!cfg_.repl_listen.empty()) {
     repl_actor_ =
         std::make_unique<Actor>("dafs-repl-recv", &fabric_.node(node_));
     repl_thread_ = std::thread([this] {
@@ -155,12 +206,36 @@ void Server::start() {
 void Server::stop() {
   if (!running_.exchange(false)) return;
   repl_cv_.notify_all();  // release any barrier waiter
+  raft_cv_.notify_all();
   if (accept_thread_.joinable()) accept_thread_.join();
   for (auto& t : worker_threads_) {
     if (t.joinable()) t.join();
   }
   worker_threads_.clear();
   if (repl_thread_.joinable()) repl_thread_.join();
+  if (quorum_tick_thread_.joinable()) quorum_tick_thread_.join();
+  for (auto& t : quorum_sender_threads_) {
+    if (t.joinable()) t.join();
+  }
+  quorum_sender_threads_.clear();
+  if (quorum_listener_thread_.joinable()) quorum_listener_thread_.join();
+  {
+    // Handler threads exit once running_ is false and their VI dies; sever
+    // the VIs so none of them sits out a full recv poll.
+    std::lock_guard qlock(quorum_mu_);
+    for (via::Vi* vi : quorum_conn_vis_) vi->disconnect();
+  }
+  for (;;) {
+    std::vector<std::unique_ptr<ConnSlot>> conns;
+    {
+      std::lock_guard qlock(quorum_mu_);
+      conns.swap(quorum_conn_threads_);
+    }
+    if (conns.empty()) break;
+    for (auto& slot : conns) {
+      if (slot->thread.joinable()) slot->thread.join();
+    }
+  }
   std::lock_guard lock(sessions_mu_);
   for (auto& s : sessions_) {
     if (s->vi) s->vi->disconnect();
@@ -200,10 +275,12 @@ via::MemHandle Server::slab_handle(const std::byte* p) const {
 void Server::accept_loop() {
   ActorScope scope(*accept_actor_);
   while (running_.load()) {
-    // A standby has no client listener: connects to its service fail with
-    // kNoMatchingListener until promotion flips the role, exactly like a
-    // crashed filer. Failover clients rotate on to it the moment it serves.
-    while (running_.load() &&
+    // A pair standby has no client listener: connects to its service fail
+    // with kNoMatchingListener until promotion flips the role, exactly like
+    // a crashed filer. A *quorum* follower is different — it listens and
+    // answers kNotLeader with a leader hint, so clients discover the leader
+    // instead of probing dead air.
+    while (running_.load() && !quorum() &&
            role_.load(std::memory_order_acquire) == Role::kStandby) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
@@ -379,6 +456,33 @@ void Server::do_crash(std::uint64_t restart_delay_ms) {
     repl_connected_.store(false, std::memory_order_relaxed);
   }
   repl_cv_.notify_all();
+  if (quorum()) {
+    // A crashed member loses its leadership (volatile) but keeps its term
+    // and vote (the durable Raft metadata a real filer fsyncs beside the
+    // journal — deliberately not reset here). It rejoins as a follower and
+    // re-silvers from whoever leads when it comes back.
+    {
+      std::lock_guard rlock(raft_mu_);
+      role_.store(Role::kStandby, std::memory_order_release);
+      leader_member_.store(-1, std::memory_order_relaxed);
+      // store_->crash() above replayed the journal and may have truncated a
+      // torn tail; the term table and commit view must match the bytes that
+      // survived.
+      rebuild_term_runs_locked();
+      const std::uint64_t jsize = store_->journal_size();
+      if (commit_off_.load(std::memory_order_relaxed) > jsize) {
+        commit_off_.store(jsize, std::memory_order_relaxed);
+      }
+      reset_election_deadline_locked();
+    }
+    // Sever the peer connections with the process so the group observes the
+    // death promptly instead of waiting out poll timeouts.
+    {
+      std::lock_guard qlock(quorum_mu_);
+      for (via::Vi* vi : quorum_conn_vis_) vi->disconnect();
+    }
+    raft_cv_.notify_all();
+  }
 }
 
 std::size_t Server::replay_cache_bytes() const {
@@ -532,6 +636,18 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
     send_response(s, out);
     return;
   }
+  // A quorum follower (or candidate) serves nothing but redirects: the
+  // kNotLeader answer carries 1 + the leader's member index in aux so the
+  // client jumps straight to the leader instead of round-robin probing.
+  if (quorum() &&
+      role_.load(std::memory_order_acquire) != Role::kPrimary &&
+      req.header().proc != Proc::kDisconnect) {
+    resp.header().status = PStatus::kNotLeader;
+    resp.header().aux = leader_hint();
+    fabric_.stats().add("dafs.not_leader_rejections");
+    send_response(s, out);
+    return;
+  }
 
   if (req.header().proc != Proc::kConnect &&
       req.header().session_id != s.id) {
@@ -600,7 +716,7 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
         // Ship the session-id watermark so a promoted standby mints ids the
         // deposed primary could never have issued (no id reuse across the
         // pair) — the same guarantee the journal gives a local restart.
-        if (!cfg_.repl_peer.empty()) {
+        if (!cfg_.repl_peer.empty() || quorum()) {
           store_->journal_server_state(s.id + 1,
                                        epoch_.load(std::memory_order_relaxed));
         }
@@ -682,7 +798,38 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
   // now would promise durability the standby cannot honor.
   if (resp.header().status == PStatus::kOk &&
       (replay_protected || proc == Proc::kSync)) {
-    if (!replicate_barrier()) {
+    if (quorum()) {
+      // Quorum commit barrier — unlike the pair's semi-sync barrier this
+      // NEVER degrades: an op a majority does not hold is either dropped
+      // (crash) or demoted to kNotLeader so the client re-runs it against
+      // the real leader (safe: the durable dup filter and idempotent
+      // rewrites make the retry exactly-once).
+      switch (quorum_commit_barrier()) {
+        case QuorumAck::kOk:
+          break;
+        case QuorumAck::kDrop:
+          fabric_.stats().add("dafs.acks_dropped_in_crash");
+          return;
+        case QuorumAck::kNotLeader:
+          resp.header().status = PStatus::kNotLeader;
+          resp.header().aux = leader_hint();
+          fabric_.stats().add("dafs.quorum_barrier_demotions");
+          // The kOk response was optimistically cached above; a later
+          // retransmission must not be answered with an ack the group never
+          // committed.
+          if (replay_protected) {
+            std::lock_guard rlock(s.replay_mu);
+            for (auto it = s.replay.begin(); it != s.replay.end(); ++it) {
+              if (it->seq == req.header().seq) {
+                s.replay_bytes -= it->bytes.size();
+                s.replay.erase(it);
+                break;
+              }
+            }
+          }
+          break;
+      }
+    } else if (!replicate_barrier()) {
       fabric_.stats().add("dafs.acks_dropped_in_crash");
       return;
     }
@@ -734,13 +881,749 @@ bool Server::replicate_barrier() {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Quorum (Raft-style) replication
+// ---------------------------------------------------------------------------
+
+std::uint64_t Server::leader_hint() const {
+  const std::int32_t lm = leader_member_.load(std::memory_order_relaxed);
+  return lm >= 0 ? static_cast<std::uint64_t>(lm) + 1 : 0;
+}
+
+std::uint64_t Server::term_at_locked(std::uint64_t off) const {
+  // Term of the byte *preceding* `off` — the "term of the entry at
+  // prevLogIndex" in Raft, with byte offsets as log indices. The empty
+  // prefix (off == 0) is term 0 by convention, as are any bytes predating
+  // the first kTermMark.
+  std::uint64_t term = 0;
+  for (const TermRun& r : term_runs_) {
+    if (r.start_off < off) {
+      term = r.term;
+    } else {
+      break;
+    }
+  }
+  return term;
+}
+
+void Server::rebuild_term_runs_locked() {
+  term_runs_.clear();
+  store_->journal_log().scan([this](std::uint64_t off, fstore::RecType type,
+                                    std::span<const std::byte> payload) {
+    if (type != fstore::RecType::kTermMark) return;
+    fstore::RecReader r(payload);
+    const std::uint64_t term = r.u64();
+    if (r.ok()) term_runs_.push_back(TermRun{off, term});
+  });
+}
+
+void Server::reset_election_deadline_locked() {
+  const std::uint64_t lo = cfg_.election_timeout_min_ms;
+  const std::uint64_t hi = std::max(cfg_.election_timeout_max_ms, lo + 1);
+  election_deadline_ = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(raft_rng_->range(lo, hi));
+}
+
+void Server::become_follower_locked(std::uint64_t term) {
+  const std::uint64_t cur = epoch_.load(std::memory_order_relaxed);
+  if (term > cur) {
+    epoch_.store(term, std::memory_order_relaxed);
+    voted_for_ = kNoVote;
+    leader_member_.store(-1, std::memory_order_relaxed);
+  }
+  const Role r = role_.load(std::memory_order_acquire);
+  if (r == Role::kPrimary || r == Role::kCandidate) {
+    if (r == Role::kPrimary) {
+      fabric_.stats().add("dafs.leader_stepdowns");
+      leader_member_.store(-1, std::memory_order_relaxed);
+    }
+    role_.store(Role::kStandby, std::memory_order_release);
+    // Barrier waiters must re-check: their ops can no longer be committed
+    // by this member and will be demoted to kNotLeader.
+    raft_cv_.notify_all();
+  }
+}
+
+void Server::run_election_locked() {
+  const std::uint64_t term = epoch_.load(std::memory_order_relaxed) + 1;
+  epoch_.store(term, std::memory_order_relaxed);
+  voted_for_ = cfg_.member_id;
+  votes_ = 1;  // own vote
+  votes_term_ = term;
+  leader_member_.store(-1, std::memory_order_relaxed);
+  role_.store(Role::kCandidate, std::memory_order_release);
+  Actor* actor = Actor::current();
+  election_started_ = actor != nullptr ? actor->now() : 0;
+  reset_election_deadline_locked();
+  fabric_.stats().add("dafs.elections_started");
+  raft_cv_.notify_all();
+  // A single-member group is its own majority.
+  if (cfg_.quorum_group.size() == 1) become_leader_locked();
+}
+
+void Server::on_vote_granted(std::uint64_t term) {
+  std::lock_guard lock(raft_mu_);
+  if (epoch_.load(std::memory_order_relaxed) != term || votes_term_ != term ||
+      role_.load(std::memory_order_acquire) != Role::kCandidate) {
+    return;
+  }
+  ++votes_;
+  const auto majority =
+      static_cast<std::uint32_t>(cfg_.quorum_group.size() / 2 + 1);
+  if (votes_ >= majority) become_leader_locked();
+}
+
+void Server::become_leader_locked() {
+  const std::uint64_t term = epoch_.load(std::memory_order_relaxed);
+  fabric_.stats().add("dafs.elections_won");
+  leader_member_.store(static_cast<std::int32_t>(cfg_.member_id),
+                       std::memory_order_relaxed);
+  // The election span the bench's unavailability analysis keys on: start of
+  // candidacy to leadership. Rooted — elections happen outside any request.
+  sim::Tracer& tracer = fabric_.trace();
+  Actor* actor = Actor::current();
+  if (tracer.enabled()) {
+    sim::Span s;
+    s.trace_id = tracer.new_id();
+    s.span_id = tracer.new_id();
+    s.t_start = election_started_;
+    s.t_end = actor != nullptr ? std::max(actor->now(), election_started_)
+                               : election_started_;
+    s.layer = "dafs.server";
+    s.name = "raft.election";
+    char attrs[64];
+    std::snprintf(attrs, sizeof(attrs), "\"term\":%llu,\"member\":%u",
+                  static_cast<unsigned long long>(term), cfg_.member_id);
+    s.attrs = attrs;
+    tracer.record(std::move(s));
+  }
+  // Open this term's run in the replicated byte log. This is Raft's no-op
+  // entry: once a majority holds the mark, every prior-term byte before it
+  // is committed at *this* term, so advance_commit's current-term gate can
+  // pass. It also fences: any ex-leader's unreplicated suffix now conflicts
+  // at this boundary and will be truncated when it rejoins.
+  fstore::RecWriter w;
+  w.u64(term);
+  store_->journal_log().append(fstore::RecType::kTermMark, w.out());
+  rebuild_term_runs_locked();
+  // Materialize the replicated journal into the live image and drop every
+  // piece of client-facing volatile state — a leadership win is a restart
+  // from the journal's point of view. Sessions from a previous stint (or
+  // from clients that probed this member while it followed) are severed so
+  // clients re-enter through connect/resume against the rebuilt image.
+  {
+    std::lock_guard lock(sessions_mu_);
+    for (auto& sess : sessions_) {
+      if (sess->closing) continue;
+      sess->closing = true;
+      {
+        std::lock_guard rlock(sess->replay_mu);
+        sess->replay.clear();
+        sess->replay_bytes = 0;
+      }
+      if (sess->vi && sess->vi->state() != via::Vi::State::kIdle) {
+        sess->vi->disconnect();
+      }
+    }
+    by_vi_.clear();
+  }
+  locks_.clear();
+  store_->crash();
+  {
+    std::lock_guard lock(sessions_mu_);
+    next_session_ =
+        std::max(next_session_, store_->server_state_watermark() + 1024);
+  }
+  grace_until_.store((std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(cfg_.grace_period_ms))
+                         .time_since_epoch()
+                         .count());
+  const std::uint64_t jsize = store_->journal_size();
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t p = 0; p < cfg_.quorum_group.size(); ++p) {
+    match_off_[p] = 0;
+    next_off_[p] = jsize;
+    peer_heard_[p] = now;
+  }
+  role_.store(Role::kPrimary, std::memory_order_release);
+  fabric_.stats().add("dafs.promotions");
+  raft_cv_.notify_all();
+}
+
+void Server::advance_commit_locked() {
+  if (role_.load(std::memory_order_acquire) != Role::kPrimary) return;
+  std::vector<std::uint64_t> offs;
+  offs.reserve(cfg_.quorum_group.size());
+  offs.push_back(store_->journal_size());  // self
+  for (std::uint32_t p = 0; p < cfg_.quorum_group.size(); ++p) {
+    if (p == cfg_.member_id) continue;
+    offs.push_back(match_off_[p]);
+  }
+  std::sort(offs.begin(), offs.end(), std::greater<>());
+  // Largest offset held by a majority; commit only when the bytes at its
+  // boundary were appended under the current term (Raft's commit gate — a
+  // majority-held prior-term suffix may still be overwritten).
+  const std::uint64_t cand = offs[cfg_.quorum_group.size() / 2];
+  if (cand > commit_off_.load(std::memory_order_relaxed) &&
+      term_at_locked(cand) == epoch_.load(std::memory_order_relaxed)) {
+    commit_off_.store(cand, std::memory_order_relaxed);
+    raft_cv_.notify_all();
+  }
+}
+
+Server::QuorumAck Server::quorum_commit_barrier() {
+  const std::uint64_t target = store_->journal_size();
+  const std::uint64_t budget_ns = cfg_.repl_retry.deadline_ns != 0
+                                      ? cfg_.repl_retry.deadline_ns
+                                      : 200'000'000;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(budget_ns);
+  std::unique_lock lock(raft_mu_);
+  advance_commit_locked();   // single-member groups commit on the spot
+  raft_cv_.notify_all();     // kick idle per-peer senders out of their
+                             // heartbeat wait so the new bytes ship now
+  for (;;) {
+    if (crash_pending_.load() || !running_.load()) return QuorumAck::kDrop;
+    if (role_.load(std::memory_order_acquire) != Role::kPrimary) {
+      return QuorumAck::kNotLeader;
+    }
+    if (commit_off_.load(std::memory_order_relaxed) >= target) {
+      return QuorumAck::kOk;
+    }
+    if (raft_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      fabric_.stats().add("dafs.quorum_barrier_timeouts");
+      return crash_pending_.load() ? QuorumAck::kDrop : QuorumAck::kNotLeader;
+    }
+  }
+}
+
+void Server::quorum_tick_loop() {
+  Actor actor("dafs-raft-tick", &fabric_.node(node_));
+  ActorScope scope(actor);
+  // Leader lease: step down once a majority of the group has been silent
+  // for this long — a partitioned ex-leader stops acknowledging strictly
+  // before a new leader (elected after one election timeout) can diverge.
+  const auto lease =
+      std::chrono::milliseconds(2 * cfg_.election_timeout_max_ms);
+  while (running_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (crash_pending_.load()) {
+      std::lock_guard lock(raft_mu_);
+      reset_election_deadline_locked();  // the dead start no elections
+      continue;
+    }
+    std::lock_guard lock(raft_mu_);
+    const Role r = role_.load(std::memory_order_acquire);
+    if (r == Role::kPrimary) {
+      const auto now = std::chrono::steady_clock::now();
+      std::uint32_t heard = 1;  // self
+      for (std::uint32_t p = 0; p < cfg_.quorum_group.size(); ++p) {
+        if (p == cfg_.member_id) continue;
+        if (peer_heard_[p] != std::chrono::steady_clock::time_point{} &&
+            now - peer_heard_[p] < lease) {
+          ++heard;
+        }
+      }
+      if (heard < cfg_.quorum_group.size() / 2 + 1) {
+        fabric_.stats().add("dafs.leader_lease_expirations");
+        become_follower_locked(epoch_.load(std::memory_order_relaxed));
+        reset_election_deadline_locked();
+      }
+    } else if (r == Role::kStandby || r == Role::kCandidate) {
+      if (std::chrono::steady_clock::now() >= election_deadline_) {
+        run_election_locked();
+      }
+    }
+  }
+}
+
+void Server::quorum_listener_loop() {
+  Actor actor("dafs-raft-listen", &fabric_.node(node_));
+  ActorScope scope(actor);
+  // The listener lives for the whole server lifetime — a crashed member
+  // stops *answering* (handlers check crash_pending_), not listening, and
+  // rejoins the moment it restarts.
+  via::Listener listener(nic_, cfg_.quorum_group[cfg_.member_id]);
+  while (running_.load()) {
+    // Declared before the VI so the exit paths destroy the VI first: its
+    // destructor flushes still-posted recv descriptors, which live inside
+    // these buffers.
+    std::vector<std::unique_ptr<MsgBuf>> bufs;
+    auto vi = std::make_unique<via::Vi>(nic_, via::ViAttrs{});
+    // Pre-arm the connection before accepting (legal on an idle VI), so a
+    // vote request racing the handshake finds its buffers posted.
+    bool armed = true;
+    for (int i = 0; i < 4 && armed; ++i) {
+      auto b = std::make_unique<MsgBuf>();
+      b->mem.resize(kReplBufSize);
+      b->handle = nic_.register_memory(b->mem.data(), b->mem.size(), ptag_, {});
+      b->desc.segs = {DataSegment{
+          b->mem.data(), b->handle, static_cast<std::uint32_t>(b->mem.size())}};
+      armed = vi->post_recv(b->desc) == via::Status::kSuccess;
+      bufs.push_back(std::move(b));
+    }
+    if (!armed) break;  // NIC out of resources; the member goes deaf
+    bool accepted = false;
+    while (running_.load()) {
+      if (listener.accept(*vi, kPollPeriod) == via::Status::kSuccess) {
+        accepted = true;
+        break;
+      }
+    }
+    if (!accepted) break;
+    // Reap handlers whose connections already died: join them now (instant —
+    // `done` is only set on the way out) so churny peers can't pile up
+    // finished-but-unjoined threads between here and stop().
+    std::vector<std::unique_ptr<ConnSlot>> finished;
+    {
+      std::lock_guard qlock(quorum_mu_);
+      for (auto& slot : quorum_conn_threads_) {
+        if (slot->done.load(std::memory_order_acquire)) {
+          finished.push_back(std::move(slot));
+        }
+      }
+      std::erase_if(quorum_conn_threads_,
+                    [](const std::unique_ptr<ConnSlot>& s) { return !s; });
+    }
+    for (auto& slot : finished) {
+      if (slot->thread.joinable()) slot->thread.join();
+    }
+    auto slot = std::make_unique<ConnSlot>();
+    ConnSlot* raw = slot.get();
+    std::lock_guard qlock(quorum_mu_);
+    quorum_conn_vis_.push_back(vi.get());
+    raw->thread = std::thread(
+        [this, raw, v = std::move(vi), bs = std::move(bufs)]() mutable {
+          pthread_setname_np(pthread_self(), "dafs-raft-h");
+          quorum_conn_loop(std::move(v), std::move(bs));
+          raw->done.store(true, std::memory_order_release);
+        });
+    quorum_conn_threads_.push_back(std::move(slot));
+  }
+}
+
+void Server::quorum_conn_loop(std::unique_ptr<via::Vi> vi,
+                              std::vector<std::unique_ptr<MsgBuf>> bufs) {
+  Actor actor("dafs-raft-conn", &fabric_.node(node_));
+  ActorScope scope(actor);
+  std::vector<std::byte> resp_buf(sizeof(ReplHeader));
+  const via::MemHandle resp_h =
+      nic_.register_memory(resp_buf.data(), resp_buf.size(), ptag_, {});
+  const auto send_resp = [&](const ReplHeader& h) {
+    std::memcpy(resp_buf.data(), &h, sizeof(h));
+    Descriptor d;
+    d.op = via::Opcode::kSend;
+    d.segs = {DataSegment{resp_buf.data(), resp_h,
+                          static_cast<std::uint32_t>(sizeof(h))}};
+    if (vi->post_send(d) != via::Status::kSuccess) return false;
+    Descriptor* done = nullptr;
+    return vi->send_wait(done, kSendWait) == via::Status::kSuccess &&
+           done->status == DescStatus::kSuccess;
+  };
+  // Re-silvering accounting: one span per catch-up burst, opened when this
+  // follower starts importing while behind the leader's commit (or had a
+  // divergent suffix truncated), closed when it has caught up.
+  bool resilver_open = false;
+  sim::Time resilver_t0 = 0;
+  std::uint64_t resilver_span_bytes = 0;
+  sim::Tracer& tracer = fabric_.trace();
+  const auto close_resilver = [&] {
+    if (!resilver_open) return;
+    resilver_open = false;
+    fabric_.stats().add("dafs.resilvers");
+    if (!tracer.enabled()) return;
+    sim::Span s;
+    s.trace_id = tracer.new_id();
+    s.span_id = tracer.new_id();
+    s.t_start = resilver_t0;
+    s.t_end = std::max(actor.now(), resilver_t0);
+    s.layer = "dafs.server";
+    s.name = "raft.resilver";
+    char attrs[64];
+    std::snprintf(attrs, sizeof(attrs), "\"bytes\":%llu,\"member\":%u",
+                  static_cast<unsigned long long>(resilver_span_bytes),
+                  cfg_.member_id);
+    s.attrs = attrs;
+    tracer.record(std::move(s));
+  };
+
+  while (running_.load()) {
+    Descriptor* d = nullptr;
+    const via::Status st = vi->recv_wait(d, std::chrono::milliseconds(100));
+    if (st == via::Status::kTimeout) continue;
+    if (st != via::Status::kSuccess || d->status != DescStatus::kSuccess) break;
+    if (crash_pending_.load()) break;  // the dead neither vote nor ack
+    MsgBuf* b = nullptr;
+    for (auto& cand : bufs) {
+      if (&cand->desc == d) {
+        b = cand.get();
+        break;
+      }
+    }
+    assert(b != nullptr);
+    ReplHeader h;
+    std::memcpy(&h, b->mem.data(), sizeof(h));
+    if (h.magic != kReplMagic) break;
+    ReplHeader r;
+    r.member = cfg_.member_id;
+    bool progressed = false;   // imported or truncated bytes this message
+    bool caught_up = false;    // at/past the leader's commit afterwards
+    std::uint64_t moved = 0;   // bytes imported (catch-up volume)
+    if (h.op == ReplOp::kVoteReq) {
+      r.op = ReplOp::kVoteResp;
+      std::lock_guard lock(raft_mu_);
+      if (h.epoch > epoch_.load(std::memory_order_relaxed)) {
+        become_follower_locked(h.epoch);
+      }
+      const std::uint64_t term = epoch_.load(std::memory_order_relaxed);
+      const std::uint64_t my_size = store_->journal_size();
+      const std::uint64_t my_last = term_at_locked(my_size);
+      // Raft's up-to-date check over (last term, byte length).
+      const bool up_to_date =
+          h.prev_term > my_last ||
+          (h.prev_term == my_last && h.offset >= my_size);
+      const bool grant = h.epoch == term && up_to_date &&
+                         (voted_for_ == kNoVote || voted_for_ == h.member);
+      if (grant) {
+        voted_for_ = h.member;
+        reset_election_deadline_locked();
+        fabric_.stats().add("dafs.votes_granted");
+      }
+      r.status = grant ? 1 : 0;
+      r.epoch = term;
+    } else if (h.op == ReplOp::kAppend) {
+      r.op = ReplOp::kAppendResp;
+      std::lock_guard lock(raft_mu_);
+      const std::uint64_t cur = epoch_.load(std::memory_order_relaxed);
+      if (h.epoch < cur) {
+        // Stale leader: our term fences it (it steps down on this reply).
+        r.status = 0;
+        r.epoch = cur;
+        r.offset = store_->journal_size();
+      } else {
+        become_follower_locked(h.epoch);  // also: candidate yields to leader
+        leader_member_.store(static_cast<std::int32_t>(h.member),
+                             std::memory_order_relaxed);
+        reset_election_deadline_locked();
+        r.epoch = epoch_.load(std::memory_order_relaxed);
+        const std::uint64_t my_size = store_->journal_size();
+        if (h.offset > my_size) {
+          // Hole: we are shorter than the leader thinks. Back it off to our
+          // end.
+          r.status = 0;
+          r.offset = my_size;
+          fabric_.stats().add("dafs.append_rejects");
+        } else if (term_at_locked(h.offset) != h.prev_term) {
+          // Divergent at the boundary: skip back past our whole conflicting
+          // term run so the leader retries from before it.
+          std::uint64_t hint = 0;
+          for (const TermRun& run : term_runs_) {
+            if (run.start_off < h.offset) {
+              hint = run.start_off;
+            } else {
+              break;
+            }
+          }
+          r.status = 0;
+          r.offset = hint;
+          fabric_.stats().add("dafs.append_rejects");
+        } else {
+          const bool behind = my_size < h.commit;
+          if (h.offset < my_size) {
+            // Divergent suffix (our unreplicated bytes from a deposed
+            // stint): cut back to the leader's matching prefix.
+            const std::uint64_t dropped =
+                store_->journal_log().truncate(h.offset);
+            fabric_.stats().add("dafs.resilver_truncated_bytes", dropped);
+            progressed = true;
+          }
+          if (h.len > 0) {
+            const auto res = store_->journal_log().import(std::span(
+                b->mem.data() + sizeof(ReplHeader), std::size_t{h.len}));
+            moved = res.accepted;
+            progressed = progressed || res.accepted > 0;
+          }
+          if (progressed) rebuild_term_runs_locked();
+          const std::uint64_t new_size = store_->journal_size();
+          const std::uint64_t new_commit = std::min(h.commit, new_size);
+          if (new_commit > commit_off_.load(std::memory_order_relaxed)) {
+            commit_off_.store(new_commit, std::memory_order_relaxed);
+          }
+          r.status = 1;
+          r.offset = new_size;
+          caught_up = new_size >= h.commit;
+          progressed = progressed && behind;
+        }
+      }
+    } else {
+      break;  // pair-protocol op on a quorum channel: not ours
+    }
+    if (progressed) {
+      if (!resilver_open) {
+        resilver_open = true;
+        resilver_t0 = actor.now();
+        resilver_span_bytes = 0;
+      }
+      resilver_span_bytes += moved;
+      resilver_bytes_.fetch_add(moved, std::memory_order_relaxed);
+    }
+    if (caught_up) close_resilver();
+    b->desc.segs = {DataSegment{b->mem.data(), b->handle,
+                                static_cast<std::uint32_t>(b->mem.size())}};
+    if (!send_resp(r) || vi->post_recv(b->desc) != via::Status::kSuccess) {
+      break;
+    }
+  }
+  close_resilver();
+  {
+    std::lock_guard qlock(quorum_mu_);
+    quorum_conn_vis_.erase(
+        std::remove(quorum_conn_vis_.begin(), quorum_conn_vis_.end(), vi.get()),
+        quorum_conn_vis_.end());
+  }
+  vi->disconnect();
+}
+
+void Server::quorum_sender_loop(std::uint32_t peer) {
+  Actor actor("dafs-raft-send" + std::to_string(peer), &fabric_.node(node_));
+  ActorScope scope(actor);
+  std::vector<std::byte> chunk(kReplBufSize);
+  via::MemHandle chunk_h =
+      nic_.register_memory(chunk.data(), chunk.size(), ptag_, {});
+  // A single journal record larger than the default chunk (a max-size client
+  // write plus its header) must still ship whole; grow and re-register.
+  const auto reserve_chunk = [&](std::size_t need) {
+    if (need <= chunk.size()) return;
+    [[maybe_unused]] const via::Status ds = nic_.deregister_memory(chunk_h);
+    assert(ds == via::Status::kSuccess);
+    chunk.assign(need, std::byte{});
+    chunk_h = nic_.register_memory(chunk.data(), chunk.size(), ptag_, {});
+  };
+  constexpr std::size_t kRespBufs = 4;
+  std::array<MsgBuf, kRespBufs> resps;
+  for (auto& a : resps) {
+    a.mem.resize(sizeof(ReplHeader));
+    a.handle = nic_.register_memory(a.mem.data(), a.mem.size(), ptag_, {});
+  }
+  std::unique_ptr<via::Vi> vi;
+  sim::Rng jitter(cfg_.repl_retry.jitter_seed ^
+                  (0x9e3779b97f4a7c15ULL * (peer + 1)));
+  std::uint64_t backoff_ms = 1;
+  std::uint64_t last_vote_term = 0;
+
+  // Shared connect/exchange backoff: escalates on every failed attempt
+  // (unreachable peer OR a broken exchange on a live connection) and resets
+  // only on a completed request/response. Without pacing the exchange
+  // failures too, a persistent fault turns the loop into a reconnect storm —
+  // each cycle costs the peer an accepted VI and a handler thread.
+  const auto backoff = [&] {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(backoff_ms + jitter.below(backoff_ms + 1)));
+    backoff_ms = std::min<std::uint64_t>(backoff_ms * 2, 50);
+  };
+  const auto drop_conn = [&] {
+    if (vi) {
+      vi->disconnect();
+      vi.reset();
+    }
+  };
+  const auto post_resp_recvs = [&] {
+    bool ok = true;
+    for (auto& a : resps) {
+      a.desc = Descriptor{};
+      a.desc.segs = {DataSegment{a.mem.data(), a.handle,
+                                 static_cast<std::uint32_t>(a.mem.size())}};
+      ok = ok && vi->post_recv(a.desc) == via::Status::kSuccess;
+    }
+    return ok;
+  };
+  const auto send_msg = [&](const ReplHeader& h,
+                            std::span<const std::byte> payload) {
+    reserve_chunk(sizeof(h) + payload.size());
+    std::memcpy(chunk.data(), &h, sizeof(h));
+    if (!payload.empty()) {
+      std::memcpy(chunk.data() + sizeof(h), payload.data(), payload.size());
+    }
+    Descriptor d;
+    d.op = via::Opcode::kSend;
+    d.segs = {DataSegment{
+        chunk.data(), chunk_h,
+        static_cast<std::uint32_t>(sizeof(h) + payload.size())}};
+    if (vi->post_send(d) != via::Status::kSuccess) return false;
+    Descriptor* done = nullptr;
+    if (vi->send_wait(done, kSendWait) != via::Status::kSuccess) return false;
+    return done->status == DescStatus::kSuccess;
+  };
+  const auto wait_resp = [&](ReplHeader& out) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(200);
+    for (;;) {
+      Descriptor* d = nullptr;
+      const via::Status st = vi->recv_wait(d, std::chrono::milliseconds(20));
+      if (st == via::Status::kTimeout) {
+        if (!running_.load() || crash_pending_.load() ||
+            std::chrono::steady_clock::now() >= deadline) {
+          return false;
+        }
+        continue;
+      }
+      if (st != via::Status::kSuccess || d->status != DescStatus::kSuccess) {
+        return false;
+      }
+      MsgBuf* a = nullptr;
+      for (auto& cand : resps) {
+        if (&cand.desc == d) {
+          a = &cand;
+          break;
+        }
+      }
+      assert(a != nullptr);
+      std::memcpy(&out, a->mem.data(), sizeof(out));
+      a->desc.segs = {DataSegment{a->mem.data(), a->handle,
+                                  static_cast<std::uint32_t>(a->mem.size())}};
+      const bool reposted = vi->post_recv(a->desc) == via::Status::kSuccess;
+      return out.magic == kReplMagic && reposted;
+    }
+  };
+
+  while (running_.load()) {
+    if (crash_pending_.load()) {
+      drop_conn();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    const Role r = role_.load(std::memory_order_acquire);
+    const std::uint64_t term = epoch_.load(std::memory_order_relaxed);
+    const bool want_vote = r == Role::kCandidate && last_vote_term < term;
+    if (!want_vote && r != Role::kPrimary) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    if (!vi) {
+      auto v = std::make_unique<via::Vi>(nic_, via::ViAttrs{});
+      if (nic_.connect(*v, cfg_.quorum_group[peer],
+                       std::chrono::milliseconds(200)) !=
+          via::Status::kSuccess) {
+        backoff();
+        continue;
+      }
+      vi = std::move(v);
+      if (!post_resp_recvs()) {
+        drop_conn();
+        backoff();
+        continue;
+      }
+    }
+    if (want_vote) {
+      ReplHeader h;
+      h.op = ReplOp::kVoteReq;
+      h.epoch = term;
+      h.member = cfg_.member_id;
+      {
+        std::lock_guard lock(raft_mu_);
+        h.offset = store_->journal_size();
+        h.prev_term = term_at_locked(h.offset);
+      }
+      ReplHeader resp;
+      if (!send_msg(h, {}) || !wait_resp(resp)) {
+        drop_conn();
+        backoff();
+        continue;
+      }
+      backoff_ms = 1;
+      last_vote_term = term;
+      if (resp.op == ReplOp::kVoteResp) {
+        if (resp.epoch > term) {
+          std::lock_guard lock(raft_mu_);
+          become_follower_locked(resp.epoch);
+        } else if (resp.status == 1) {
+          on_vote_granted(term);
+        }
+      }
+      continue;
+    }
+    // Leader: ship what the peer is missing, or an empty heartbeat.
+    std::uint64_t next = 0;
+    std::uint64_t prev_term = 0;
+    std::uint64_t commit = 0;
+    {
+      std::lock_guard lock(raft_mu_);
+      if (role_.load(std::memory_order_acquire) != Role::kPrimary ||
+          epoch_.load(std::memory_order_relaxed) != term) {
+        continue;
+      }
+      next = std::min(next_off_[peer], store_->journal_size());
+      prev_term = term_at_locked(next);
+      commit = commit_off_.load(std::memory_order_relaxed);
+    }
+    std::vector<std::byte> payload;
+    if (next < store_->journal_size()) {
+      payload =
+          store_->journal_log().read(next, kReplBufSize - sizeof(ReplHeader));
+    }
+    ReplHeader h;
+    h.op = ReplOp::kAppend;
+    h.epoch = term;
+    h.offset = next;
+    h.prev_term = prev_term;
+    h.commit = commit;
+    h.member = cfg_.member_id;
+    h.len = static_cast<std::uint32_t>(payload.size());
+    ReplHeader resp;
+    if (!send_msg(h, payload) || !wait_resp(resp) ||
+        resp.op != ReplOp::kAppendResp) {
+      drop_conn();
+      backoff();
+      continue;
+    }
+    backoff_ms = 1;
+    bool in_sync = false;
+    {
+      std::lock_guard lock(raft_mu_);
+      peer_heard_[peer] = std::chrono::steady_clock::now();
+      if (resp.epoch > epoch_.load(std::memory_order_relaxed)) {
+        become_follower_locked(resp.epoch);
+        continue;
+      }
+      if (role_.load(std::memory_order_acquire) == Role::kPrimary &&
+          epoch_.load(std::memory_order_relaxed) == term) {
+        if (resp.status == 1) {
+          match_off_[peer] = resp.offset;
+          next_off_[peer] = resp.offset;
+          fabric_.stats().add("dafs.quorum_shipped_bytes", h.len);
+          advance_commit_locked();
+          in_sync = resp.offset >= store_->journal_size();
+        } else {
+          // Conflict hint: back off (never forward) and retry immediately.
+          next_off_[peer] = std::min(resp.offset, next);
+          fabric_.stats().add("dafs.append_backoffs");
+        }
+      }
+    }
+    if (in_sync) {
+      // Nothing to ship: heartbeat cadence, but wake instantly when the
+      // commit barrier signals fresh journal bytes.
+      std::unique_lock lock(raft_mu_);
+      raft_cv_.wait_for(lock, std::chrono::milliseconds(cfg_.heartbeat_ms));
+    }
+  }
+  drop_conn();
+}
+
 void Server::repl_sender_loop() {
   ActorScope scope(*repl_actor_);
   // One registered chunk buffer (header + journal bytes) and a small ring of
   // receive buffers for the stop-and-wait acks.
   std::vector<std::byte> chunk(kReplBufSize);
-  const via::MemHandle chunk_h =
+  via::MemHandle chunk_h =
       nic_.register_memory(chunk.data(), chunk.size(), ptag_, {});
+  const auto reserve_chunk = [&](std::size_t need) {
+    if (need <= chunk.size()) return;
+    [[maybe_unused]] const via::Status ds = nic_.deregister_memory(chunk_h);
+    assert(ds == via::Status::kSuccess);
+    chunk.assign(need, std::byte{});
+    chunk_h = nic_.register_memory(chunk.data(), chunk.size(), ptag_, {});
+  };
   constexpr std::size_t kAckBufs = 4;
   std::array<MsgBuf, kAckBufs> acks;
   for (auto& a : acks) {
@@ -784,6 +1667,7 @@ void Server::repl_sender_loop() {
   };
   const auto send_hdr_and_payload = [&](const ReplHeader& h,
                                         std::span<const std::byte> payload) {
+    reserve_chunk(sizeof(h) + payload.size());
     std::memcpy(chunk.data(), &h, sizeof(h));
     if (!payload.empty()) {
       std::memcpy(chunk.data() + sizeof(h), payload.data(), payload.size());

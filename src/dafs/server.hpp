@@ -18,6 +18,7 @@
 #include "fstore/file_store.hpp"
 #include "sim/actor.hpp"
 #include "sim/fabric.hpp"
+#include "sim/rng.hpp"
 #include "via/vi.hpp"
 
 namespace dafs {
@@ -71,6 +72,20 @@ struct ServerConfig {
                          .jitter_seed = 1,
                          .max_busy_retries = 64,
                          .deadline_ns = 200'000'000};
+  /// Quorum-replicated group (Raft-style, N >= 3). Every member lists the
+  /// *whole* group's replication services here in the same order (index =
+  /// member id) and names its own slot in `member_id`. Non-empty supersedes
+  /// repl_peer/repl_listen: members elect a leader with randomized timeouts,
+  /// the leader ships journal bytes with (term, offset) matching and commits
+  /// at majority ack, and the fencing epoch IS the consensus term. Followers
+  /// answer clients kNotLeader with a leader hint instead of going dark.
+  std::vector<std::string> quorum_group;
+  std::uint32_t member_id = 0;
+  /// Randomized election timeout window and leader heartbeat period (real
+  /// milliseconds, like grace_period_ms — the group runs on wall time).
+  std::uint64_t election_timeout_min_ms = 50;
+  std::uint64_t election_timeout_max_ms = 100;
+  std::uint64_t heartbeat_ms = 10;
 };
 
 /// The DAFS file server ("filer"): accepts sessions over VIA, serves the
@@ -119,13 +134,16 @@ class Server {
   /// Total bytes currently pinned by all sessions' replay caches.
   std::size_t replay_cache_bytes() const;
 
-  /// Replicated-pair role. kPrimary serves clients; kStandby only imports
-  /// the journal stream; kFenced is a deposed primary that answers every
-  /// request (except kDisconnect) with PStatus::kFenced.
-  enum class Role : int { kPrimary = 0, kStandby = 1, kFenced = 2 };
+  /// Replicated role. Pair mode: kPrimary serves clients, kStandby only
+  /// imports the journal stream, kFenced is a deposed primary that answers
+  /// every request (except kDisconnect) with PStatus::kFenced. Quorum mode:
+  /// kPrimary is the elected leader, kStandby a follower (serving kNotLeader
+  /// with a leader hint), kCandidate a member soliciting votes.
+  enum class Role : int { kPrimary = 0, kStandby = 1, kFenced = 2,
+                          kCandidate = 3 };
   Role role() const { return role_.load(std::memory_order_acquire); }
   /// Fencing epoch: starts at 1, bumped past the deposed primary's on
-  /// promotion.
+  /// promotion. In quorum mode this is the consensus term.
   std::uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
   /// Journal bytes the standby has acknowledged / still owes (primary side).
   std::uint64_t repl_acked_bytes() const {
@@ -134,6 +152,22 @@ class Server {
   std::uint64_t repl_lag_bytes() const;
   bool repl_connected() const {
     return repl_connected_.load(std::memory_order_relaxed);
+  }
+
+  /// Quorum mode (non-empty ServerConfig::quorum_group)?
+  bool quorum() const { return !cfg_.quorum_group.empty(); }
+  /// Majority-committed journal offset (quorum leader/follower view).
+  std::uint64_t commit_offset() const {
+    return commit_off_.load(std::memory_order_relaxed);
+  }
+  /// Member index of the leader this member believes in, or -1 when unknown.
+  std::int32_t leader_member() const {
+    return leader_member_.load(std::memory_order_relaxed);
+  }
+  /// Total journal bytes this member imported while catching up from a
+  /// leader (re-silvering) since construction.
+  std::uint64_t resilver_bytes() const {
+    return resilver_bytes_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -183,6 +217,54 @@ class Server {
   /// is crashing and the records never reached the standby): the caller
   /// drops the response so the client retransmits against the survivor.
   bool replicate_barrier();
+
+  // ---- quorum (Raft-style) machinery; all inert unless quorum() ----------
+  /// What the commit barrier tells handle_request to do with a successful
+  /// replicated op.
+  enum class QuorumAck {
+    kOk,         // majority holds the records: acknowledge
+    kDrop,       // filer is crashing: the op dies unanswered
+    kNotLeader,  // lost leadership mid-wait: answer kNotLeader, client retries
+  };
+  /// Hold a successful replicated op until a majority of the group holds the
+  /// journal records it produced (commit_off_ >= journal size at entry).
+  /// Never degrades: a quorum that cannot be reached within the deadline
+  /// demotes the answer to kNotLeader instead of acknowledging unreplicated.
+  QuorumAck quorum_commit_barrier();
+  /// Accept loop for the member's replication service: one handler thread
+  /// per inbound peer connection.
+  void quorum_listener_loop();
+  /// Serve kVoteReq/kAppend from one peer connection until it dies. `bufs`
+  /// are the pre-armed receive buffers the listener posted before accept.
+  void quorum_conn_loop(std::unique_ptr<via::Vi> vi,
+                        std::vector<std::unique_ptr<MsgBuf>> bufs);
+  /// Election timers (follower/candidate) and leader lease (step down when a
+  /// majority has been unreachable for a full lease window).
+  void quorum_tick_loop();
+  /// Outbound half toward one peer: vote requests while candidate, append
+  /// streams + heartbeats while leader.
+  void quorum_sender_loop(std::uint32_t peer);
+  /// Become candidate for a fresh term and solicit votes (raft_mu_ held).
+  void run_election_locked();
+  /// Count a granted vote for `term`; wins the election at majority.
+  void on_vote_granted(std::uint64_t term);
+  /// Adopt `term` (if newer) and drop to follower (raft_mu_ held).
+  void become_follower_locked(std::uint64_t term);
+  /// Candidate -> leader: fence with a kTermMark, materialize the journal,
+  /// reset client-facing volatile state, start serving (raft_mu_ held).
+  void become_leader_locked();
+  /// Advance commit_off_ to the majority-held offset, current-term gated
+  /// (raft_mu_ held, leader only).
+  void advance_commit_locked();
+  /// Term at byte offset `off` per the kTermMark run table (raft_mu_ held).
+  std::uint64_t term_at_locked(std::uint64_t off) const;
+  /// Rebuild the term-run table by scanning the journal (raft_mu_ held).
+  void rebuild_term_runs_locked();
+  /// Reset the randomized election deadline (raft_mu_ held).
+  void reset_election_deadline_locked();
+  /// 1 + leader member index for the kNotLeader aux hint (0 = unknown).
+  std::uint64_t leader_hint() const;
+
   void handle_request(Session& s, MsgBuf& req, MsgBuf& out);
   void send_response(Session& s, MsgBuf& out);
   /// Tear down all volatile state and schedule the restart (crash path).
@@ -257,6 +339,50 @@ class Server {
   std::unique_ptr<via::Vi> repl_vi_;
   std::thread repl_thread_;
   std::unique_ptr<sim::Actor> repl_actor_;
+
+  // Quorum (Raft) state, inert when cfg_.quorum_group is empty. The current
+  // term lives in epoch_ (the fencing epoch IS the term); epoch_ and
+  // voted_for_ are deliberately NOT cleared by do_crash — they model the
+  // durable Raft metadata a real filer would fsync beside its journal.
+  /// One run of journal bytes appended under a single term: [start_off,
+  /// next run's start_off) carries `term`. Rebuilt from kTermMark records.
+  struct TermRun {
+    std::uint64_t start_off = 0;
+    std::uint64_t term = 0;
+  };
+  static constexpr std::uint32_t kNoVote = UINT32_MAX;
+  mutable std::mutex raft_mu_;
+  std::condition_variable raft_cv_;
+  std::vector<TermRun> term_runs_;             // under raft_mu_
+  std::uint32_t voted_for_ = kNoVote;          // under raft_mu_ (durable)
+  std::uint32_t votes_ = 0;                    // under raft_mu_ (candidate)
+  std::uint64_t votes_term_ = 0;               // under raft_mu_
+  std::vector<std::uint64_t> match_off_;       // under raft_mu_ (leader)
+  std::vector<std::uint64_t> next_off_;        // under raft_mu_ (leader)
+  std::vector<std::chrono::steady_clock::time_point>
+      peer_heard_;                             // under raft_mu_ (leader lease)
+  std::chrono::steady_clock::time_point election_deadline_{};  // raft_mu_
+  sim::Time election_started_{0};              // under raft_mu_ (span start)
+  std::unique_ptr<sim::Rng> raft_rng_;         // under raft_mu_
+  std::atomic<std::uint64_t> commit_off_{0};
+  std::atomic<std::int32_t> leader_member_{-1};
+  std::atomic<std::uint64_t> resilver_bytes_{0};
+  /// Inbound peer-connection VIs, so do_crash can sever them and the peers
+  /// observe the death promptly.
+  std::mutex quorum_mu_;
+  std::vector<via::Vi*> quorum_conn_vis_;      // under quorum_mu_
+  /// One inbound-connection handler thread per accepted peer VI. `done` is
+  /// set by the handler on exit so the listener can reap finished slots
+  /// eagerly — connection churn must not accumulate unjoined threads (each
+  /// one pins its stack mapping until joined).
+  struct ConnSlot {
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::vector<std::unique_ptr<ConnSlot>> quorum_conn_threads_;  // quorum_mu_
+  std::thread quorum_listener_thread_;
+  std::thread quorum_tick_thread_;
+  std::vector<std::thread> quorum_sender_threads_;
 };
 
 }  // namespace dafs

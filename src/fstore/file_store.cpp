@@ -115,35 +115,58 @@ void FileStore::truncate_chunks_locked(Inode& n, std::uint64_t size) {
 void FileStore::commit_intents_locked(Ino ino) {
   const Inode* n = find_locked(ino);
   std::size_t committed = 0;
-  std::uint32_t nintents = 0;
-  RecWriter body;
+  std::vector<Intent> batch;
   for (auto it = journal_.begin(); it != journal_.end();) {
     if (it->ino != ino) {
       ++it;
       continue;
     }
-    if (n != nullptr) {
-      body.u64(it->off);
-      body.bytes(it->bytes);
-      ++nintents;
-      committed += it->bytes.size();
-    }
     journal_bytes_ -= it->bytes.size();
+    if (n != nullptr) {
+      committed += it->bytes.size();
+      batch.push_back(std::move(*it));
+    }
     it = journal_.erase(it);
   }
-  // One record per sync: the whole batch (plus the final size, which a
-  // truncate between write and sync may have shrunk — replay re-truncates,
-  // never resurrecting dead bytes) applies atomically, so a torn multi-block
-  // write is never partially visible after a crash.
+  // The batch (plus the final size, which a truncate between write and sync
+  // may have shrunk — replay re-applies it, never resurrecting dead bytes)
+  // is journalled in kSyncRecDataCap-bounded records: the replication
+  // message buffers are fixed-size and every record must ship whole.
+  // Intents pack into a record until the cap, and a single oversized intent
+  // is sliced into adjacent sub-ranges — replay applies records in order,
+  // which folds to the same bytes. Torn-tail truncation can now surface a
+  // prefix of the batch after a local crash, which is legal: the sync never
+  // acknowledged, and each record re-applies the final size itself.
   if (n != nullptr && committed > 0 && opt_.journal_enabled) {
-    RecWriter w;
-    w.u64(ino);
-    w.u64(n->attrs.size);
-    w.u64(n->attrs.mtime);
-    w.u32(nintents);
-    std::vector<std::byte> payload(w.out().begin(), w.out().end());
-    payload.insert(payload.end(), body.out().begin(), body.out().end());
-    jlog_.append(RecType::kSyncCommit, payload);
+    std::size_t i = 0;   // next intent
+    std::size_t sub = 0; // bytes of batch[i] already journalled
+    while (i < batch.size()) {
+      RecWriter body;
+      std::uint32_t nintents = 0;
+      std::size_t rec_bytes = 0;
+      while (i < batch.size() && rec_bytes < kSyncRecDataCap) {
+        const Intent& in = batch[i];
+        const std::size_t take =
+            std::min(in.bytes.size() - sub, kSyncRecDataCap - rec_bytes);
+        body.u64(in.off + sub);
+        body.bytes(std::span(in.bytes).subspan(sub, take));
+        ++nintents;
+        rec_bytes += take;
+        sub += take;
+        if (sub == in.bytes.size()) {
+          sub = 0;
+          ++i;
+        }
+      }
+      RecWriter w;
+      w.u64(ino);
+      w.u64(n->attrs.size);
+      w.u64(n->attrs.mtime);
+      w.u32(nintents);
+      std::vector<std::byte> payload(w.out().begin(), w.out().end());
+      payload.insert(payload.end(), body.out().begin(), body.out().end());
+      jlog_.append(RecType::kSyncCommit, payload);
+    }
   }
   if (committed > 0) stats_.add("fstore.journal_committed_bytes", committed);
 }
@@ -324,6 +347,10 @@ std::uint64_t FileStore::apply_record_locked(RecType type,
       srv_epoch_ = std::max(srv_epoch_, epoch);
       break;
     }
+    case RecType::kTermMark:
+      // Consensus bookkeeping only; the DAFS server rebuilds its term-run
+      // table from these via journal_log().scan().
+      break;
   }
   return 0;
 }

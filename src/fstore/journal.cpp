@@ -79,7 +79,10 @@ std::vector<std::byte> FStoreJournal::read(std::uint64_t from,
     if (h.magic != kRecMagic) break;  // caller's offset was not a boundary
     const std::size_t rec = sizeof(RecHeader) + h.len;
     if (log_.size() - pos < rec) break;
-    if (!out.empty() && (pos + rec) - from > max_bytes) break;
+    // Stop before exceeding the budget — unless this is the first record,
+    // which is returned whole so an oversized record cannot wedge a reader
+    // that pages through the log in max_bytes steps.
+    if (pos != from && (pos + rec) - from > max_bytes) break;
     pos += rec;
     if (pos - from >= max_bytes) break;
   }
@@ -117,6 +120,30 @@ std::uint64_t FStoreJournal::replay(
     pos += sizeof(RecHeader) + h.len;
   }
   return torn;
+}
+
+void FStoreJournal::scan(
+    const std::function<void(std::uint64_t, RecType,
+                             std::span<const std::byte>)>& fn) const {
+  std::lock_guard lock(mu_);
+  const std::uint64_t good = valid_prefix(log_, nullptr);
+  std::size_t pos = 0;
+  while (pos < good) {
+    RecHeader h;
+    std::memcpy(&h, log_.data() + pos, sizeof(h));
+    fn(pos, static_cast<RecType>(h.type),
+       std::span<const std::byte>(log_).subspan(pos + sizeof(RecHeader),
+                                                h.len));
+    pos += sizeof(RecHeader) + h.len;
+  }
+}
+
+std::uint64_t FStoreJournal::truncate(std::uint64_t size) {
+  std::lock_guard lock(mu_);
+  if (size >= log_.size()) return 0;
+  const std::uint64_t dropped = log_.size() - size;
+  log_.resize(size);
+  return dropped;
 }
 
 void FStoreJournal::corrupt_tail_byte() {

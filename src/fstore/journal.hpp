@@ -32,6 +32,9 @@ enum class RecType : std::uint8_t {
   kServerState,  // next_session, epoch — opaque to the store, read by the
                  // DAFS server so a promoted standby mints session ids past
                  // the primary's watermark
+  kTermMark,     // term — opaque to the store; a quorum leader appends one on
+                 // election so the byte log carries term boundaries and a
+                 // follower can locate/truncate a divergent suffix
 };
 
 /// Frame prefixed to every record. `crc` covers the payload only, so a torn
@@ -47,6 +50,13 @@ struct RecHeader {
 static_assert(sizeof(RecHeader) == 16);
 
 inline constexpr std::uint32_t kRecMagic = 0x4653'4A31;  // "FSJ1"
+
+/// Upper bound on the data bytes one kSyncCommit record carries. The
+/// replication layers (pair shipping and quorum catch-up) move raw record
+/// frames through fixed 256 KiB message buffers and must ship every record
+/// whole, so a sync that folds more than this is journalled as several
+/// consecutive records rather than one unbounded batch.
+inline constexpr std::size_t kSyncRecDataCap = 128 * 1024;
 
 /// Append-only payload builder for journal records (native-endian PODs,
 /// length-prefixed strings/blobs; the log never leaves the process except
@@ -152,6 +162,18 @@ class FStoreJournal {
   /// `fn` runs under the journal lock and must not call back into the log.
   std::uint64_t replay(
       const std::function<void(RecType, std::span<const std::byte>)>& fn);
+
+  /// Iterate every valid record with its start offset, without mutating the
+  /// log (a torn tail is skipped, not truncated). Used to rebuild term-run
+  /// tables from kTermMark records. Same locking contract as replay().
+  void scan(const std::function<void(std::uint64_t, RecType,
+                                     std::span<const std::byte>)>& fn) const;
+
+  /// Discard every byte at or past `size` — the divergent-suffix half of
+  /// quorum re-silvering (a rejoining follower cuts back to the leader's
+  /// matching offset before catching up). Returns the bytes dropped; a
+  /// `size` at or past the current end is a no-op.
+  std::uint64_t truncate(std::uint64_t size);
 
   /// Test hook: flip one byte in the last record's payload, simulating a
   /// torn/corrupted tail on stable storage.

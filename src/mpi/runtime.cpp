@@ -791,7 +791,10 @@ void Comm::alltoallv(const void* sbuf, std::span<const std::uint64_t> scounts,
   const auto* in = static_cast<const std::byte*>(sbuf);
   auto* out = static_cast<std::byte*>(rbuf);
   const auto me = static_cast<std::size_t>(rank());
-  std::memcpy(out + rdispls[me], in + sdispls[me], scounts[me]);
+  if (scounts[me] > 0) {
+    // sbuf/rbuf may legally be null when every local count is zero.
+    std::memcpy(out + rdispls[me], in + sdispls[me], scounts[me]);
+  }
   for (int s = 1; s < n; ++s) {
     const auto to = static_cast<std::size_t>((rank() + s) % n);
     const auto from = static_cast<std::size_t>((rank() - s + n) % n);

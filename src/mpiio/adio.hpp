@@ -56,8 +56,9 @@ constexpr ErrClass error_class(Err e) {
     case Err::kBadSession:
     case Err::kProtoError:
     case Err::kConnLost:
-    case Err::kBusy:    // deadline/backpressure budget exhausted end-to-end
-    case Err::kFenced:  // every endpoint deposed/unreachable: transport-class
+    case Err::kBusy:       // deadline/backpressure budget exhausted end-to-end
+    case Err::kFenced:     // every endpoint deposed/unreachable
+    case Err::kNotLeader:  // no reachable quorum leader: transport-class
     case Err::kIo: return ErrClass::kIo;
   }
   return ErrClass::kIo;

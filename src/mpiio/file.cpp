@@ -641,7 +641,9 @@ Result<std::uint64_t> File::collective_io(bool writing,
     meta_scounts[static_cast<std::size_t>(d)] = ps.size() * sizeof(Piece);
     const std::size_t at = meta_out.size();
     meta_out.resize(at + ps.size() * sizeof(Piece));
-    std::memcpy(meta_out.data() + at, ps.data(), ps.size() * sizeof(Piece));
+    if (!ps.empty()) {
+      std::memcpy(meta_out.data() + at, ps.data(), ps.size() * sizeof(Piece));
+    }
   }
   // Everyone learns how much metadata each rank sends to each aggregator.
   std::vector<std::uint64_t> all_meta(static_cast<std::size_t>(n) *

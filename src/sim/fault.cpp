@@ -1,5 +1,7 @@
 #include "sim/fault.hpp"
 
+#include <utility>
+
 namespace sim {
 
 void FaultPlan::arm(std::uint64_t seed) {
@@ -15,6 +17,7 @@ void FaultPlan::arm(std::uint64_t seed) {
   short_read_prob_ = 0.0;
   crash_ = CrashRule{};
   crash_node_filter_ = kAnyNode;
+  partitions_.clear();
   armed_.store(false, std::memory_order_relaxed);
 }
 
@@ -27,6 +30,7 @@ void FaultPlan::clear() {
   fstore_read_failures_left_ = 0;
   short_read_prob_ = 0.0;
   crash_ = CrashRule{};
+  partitions_.clear();
   armed_.store(false, std::memory_order_relaxed);
 }
 
@@ -34,7 +38,7 @@ void FaultPlan::recompute_armed_locked() {
   const bool any = drop_prob_ > 0.0 || dup_prob_ > 0.0 || delay_prob_ > 0.0 ||
                    !breaks_.empty() || reg_failures_left_ > 0 ||
                    fstore_read_failures_left_ > 0 || short_read_prob_ > 0.0 ||
-                   crash_.armed;
+                   crash_.armed || !partitions_.empty();
   armed_.store(any, std::memory_order_relaxed);
 }
 
@@ -104,6 +108,64 @@ void FaultPlan::restrict_crash_to_node(NodeId node) {
   crash_node_filter_ = node;
 }
 
+void FaultPlan::partition_nodes(NodeId a, NodeId b, std::uint64_t heal_after_ms) {
+  if (a == b) return;
+  if (a > b) std::swap(a, b);
+  std::lock_guard lock(mu_);
+  for (auto& p : partitions_) {
+    if (p.a == a && p.b == b) {
+      p.timed = heal_after_ms > 0;
+      p.heal_at = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(heal_after_ms);
+      return;
+    }
+  }
+  Partition p;
+  p.a = a;
+  p.b = b;
+  p.timed = heal_after_ms > 0;
+  p.heal_at = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(heal_after_ms);
+  partitions_.push_back(p);
+  recompute_armed_locked();
+}
+
+void FaultPlan::heal_partition(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  std::lock_guard lock(mu_);
+  std::erase_if(partitions_,
+                [&](const Partition& p) { return p.a == a && p.b == b; });
+  recompute_armed_locked();
+}
+
+void FaultPlan::heal_all_partitions() {
+  std::lock_guard lock(mu_);
+  partitions_.clear();
+  recompute_armed_locked();
+}
+
+bool FaultPlan::partitioned_locked(NodeId a, NodeId b) {
+  if (partitions_.empty()) return false;
+  if (a > b) std::swap(a, b);
+  // Lazily retire partitions whose heal deadline (real time, like server
+  // restart delays) has passed.
+  const auto now = std::chrono::steady_clock::now();
+  const std::size_t before = partitions_.size();
+  std::erase_if(partitions_,
+                [&](const Partition& p) { return p.timed && now >= p.heal_at; });
+  if (partitions_.size() != before) recompute_armed_locked();
+  for (const Partition& p : partitions_) {
+    if (p.a == a && p.b == b) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::partitioned(NodeId a, NodeId b) {
+  if (!armed()) return false;
+  std::lock_guard lock(mu_);
+  return partitioned_locked(a, b);
+}
+
 void FaultPlan::fail_next_fstore_reads(std::uint64_t n) {
   std::lock_guard lock(mu_);
   fstore_read_failures_left_ = n;
@@ -129,6 +191,12 @@ TransferFault FaultPlan::on_transfer(const std::string& conn, NodeId src,
   TransferFault f;
   if (!armed()) return f;
   std::lock_guard lock(mu_);
+  // Partitions cut the link unconditionally (both directions, every conn),
+  // independent of the node/conn filters that scope the probabilistic faults.
+  if (partitioned_locked(src, dst)) {
+    f.drop = true;
+    return f;
+  }
   if (!transfer_candidate_locked(conn, src, dst)) return f;
   if (drop_prob_ > 0.0 && rng_.unit() < drop_prob_) {
     f.drop = true;

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/node.hpp"
 #include "sim/rng.hpp"
@@ -52,6 +54,22 @@ class FaultPlan {
   /// Restrict transfer faults to connections established under this name
   /// service key (via::Nic::connect / Listener service). Empty = all.
   void restrict_to_conn(std::string conn);
+
+  // ---- link partitions ----------------------------------------------------
+  /// Sever the link between nodes `a` and `b` symmetrically: every transfer
+  /// in either direction is dropped (a reliable VI breaks on first use) and
+  /// new connects between the two nodes fail as if no listener existed.
+  /// `heal_after_ms` > 0 heals the partition that much real time after it was
+  /// installed; 0 keeps it until heal_partition()/clear(). Deterministic: no
+  /// RNG involved, so election and split-brain schedules replay from a seed.
+  void partition_nodes(NodeId a, NodeId b, std::uint64_t heal_after_ms = 0);
+  /// Remove the partition between `a` and `b` (no-op when none exists).
+  void heal_partition(NodeId a, NodeId b);
+  /// Remove every installed partition.
+  void heal_all_partitions();
+  /// True while `a` and `b` are partitioned (lazily applies expired heal
+  /// deadlines). Consulted by via::Nic::connect and by tests.
+  bool partitioned(NodeId a, NodeId b);
 
   // ---- connection break ---------------------------------------------------
   /// Break the VI connection named `conn` after its Nth successful
@@ -109,6 +127,7 @@ class FaultPlan {
 
   bool transfer_candidate_locked(const std::string& conn, NodeId src,
                                  NodeId dst) const;
+  bool partitioned_locked(NodeId a, NodeId b);
   void recompute_armed_locked();
 
   mutable std::mutex mu_;
@@ -143,6 +162,14 @@ class FaultPlan {
   };
   CrashRule crash_;
   NodeId crash_node_filter_ = kAnyNode;
+
+  struct Partition {
+    NodeId a = 0;  // normalized: a < b
+    NodeId b = 0;
+    bool timed = false;
+    std::chrono::steady_clock::time_point heal_at{};
+  };
+  std::vector<Partition> partitions_;
 };
 
 }  // namespace sim

@@ -65,6 +65,9 @@ Status Nic::connect(Vi& vi, const std::string& service,
   fabric_.with_bound(key, [&](void* ep) {
     auto* listener = static_cast<Listener*>(ep);
     if (listener == nullptr) return;
+    // A severed link also swallows the connect handshake: to a partitioned
+    // peer the listener is indistinguishable from absent.
+    if (fabric_.faults().partitioned(node_, listener->nic_.node_id())) return;
     std::lock_guard lk(listener->mu_);
     if (listener->closed_) return;
     listener->pending_.push_back(&req);

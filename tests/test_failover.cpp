@@ -223,7 +223,11 @@ TEST(Failover, DeposedPrimaryFencesItselfAndRejectsStaleSessions) {
   pair.wait_promoted();
   std::vector<std::byte> probe(16);
   ASSERT_TRUE(a->pread(fa, 0, probe).ok());
-  EXPECT_EQ(a->endpoint_index(), 1u);
+  // Under sanitizer timing the 30 ms restart can beat this probe, in which
+  // case A's rotation was triggered by a fenced rejection (which demotes,
+  // reordering the list) rather than a dead listener — identify the landing
+  // endpoint by service, not position.
+  EXPECT_EQ(a->active_service(), "dafs-b");
 
   // The restarted primary reconnects its replication channel, learns from
   // the promoted standby that its epoch is stale, and fences itself.
@@ -240,7 +244,9 @@ TEST(Failover, DeposedPrimaryFencesItselfAndRejectsStaleSessions) {
   auto ctr = b->fetch_add("fence.ctr", 0);
   ASSERT_TRUE(ctr.ok());
   EXPECT_EQ(ctr.value(), 2u);
-  EXPECT_EQ(b->endpoint_index(), 1u);
+  // Fenced rejection demotes the deposed filer to the back of the rotation,
+  // so identify the endpoint by service, not position.
+  EXPECT_EQ(b->active_service(), "dafs-b");
   EXPECT_TRUE(b->pread(fb, 0, probe).ok());
   EXPECT_GT(fabric.stats().get("dafs.fenced_rejections"), fenced_before)
       << "the deposed primary must have turned B away";
@@ -258,7 +264,7 @@ TEST(Failover, DeposedPrimaryFencesItselfAndRejectsStaleSessions) {
   // ...while a failover mount rotates past it and lands on the new primary.
   auto fresh = dafs::Session::connect(nic, failover_cfg(3, 2));
   ASSERT_TRUE(fresh.ok());
-  EXPECT_EQ(fresh.value()->endpoint_index(), 1u);
+  EXPECT_EQ(fresh.value()->active_service(), "dafs-b");
   fresh.value().reset();
   b.reset();
   a.reset();
@@ -397,7 +403,9 @@ void run_failover_world(std::uint64_t seed) {
     via::Nic nic(fabric, node, "vnic");
     auto s = std::move(
         dafs::Session::connect(nic, failover_cfg(seed, 99)).value());
-    EXPECT_EQ(s->endpoint_index(), 1u) << "seed " << seed;
+    // A fenced rejection from the old primary demotes it, reordering the
+    // endpoint list — identify the landing endpoint by service, not position.
+    EXPECT_EQ(s->active_service(), "dafs-b") << "seed " << seed;
     EXPECT_EQ(s->fetch_add("fo.ctr", 0).value(),
               static_cast<std::uint64_t>(kRanks) * kAdds * kDelta)
         << "seed " << seed;

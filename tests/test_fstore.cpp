@@ -579,6 +579,98 @@ TEST(FStoreJournal, ImportRejectsCorruptStreamTail) {
   EXPECT_EQ(copy.size(), intact);
 }
 
+TEST(FStoreJournal, DivergentSuffixTruncation) {
+  // The quorum re-silver path: a deposed leader rejoins with journal bytes
+  // the new leader never committed, truncates them off, and replays. The
+  // truncated log must be a self-consistent prefix — the pre-divergence
+  // image byte for byte, nothing torn.
+  FileStore fs(journal_opt());
+  auto f = fs.create(kRootIno, "f", true).value();
+  const auto kept = pattern(512, 60);
+  ASSERT_TRUE(fs.pwrite(f, 0, kept).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  const std::uint64_t match = fs.journal_size();
+
+  // The divergent suffix: writes acknowledged only locally.
+  ASSERT_TRUE(fs.pwrite(f, 512, pattern(512, 61)).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  const std::uint64_t full = fs.journal_size();
+  ASSERT_GT(full, match);
+
+  EXPECT_EQ(fs.journal_log().truncate(match), full - match);
+  EXPECT_EQ(fs.journal_size(), match);
+  fs.crash();
+
+  // Replay of the truncated log: the suffix write is gone, the kept image
+  // intact, and nothing further was dropped as torn.
+  EXPECT_EQ(fs.journal_size(), match);
+  EXPECT_EQ(fs.getattr(f).value().size, 512u);
+  std::vector<std::byte> back(512);
+  ASSERT_EQ(fs.pread(f, 0, back).value(), 512u);
+  EXPECT_EQ(std::memcmp(back.data(), kept.data(), 512), 0);
+
+  // The log still ends on a whole record: a non-mutating scan walks exactly
+  // to the truncation point.
+  std::uint64_t walked = 0;
+  fs.journal_log().scan(
+      [&](std::uint64_t off, fstore::RecType, std::span<const std::byte> p) {
+        walked = off + sizeof(fstore::RecHeader) + p.size();
+      });
+  EXPECT_EQ(walked, match);
+
+  // Truncating at or past the end is a no-op.
+  EXPECT_EQ(fs.journal_log().truncate(match), 0u);
+  EXPECT_EQ(fs.journal_log().truncate(match + 1024), 0u);
+}
+
+TEST(FStoreJournal, RepeatedTornTailImportIsIdempotent) {
+  // A follower that reconnects mid-catch-up can receive the same journal
+  // chunk twice; its handling — truncate back to the chunk's offset, then
+  // import — must be idempotent: replaying twice yields byte-identical
+  // journal state and an identical durable image, even when the stream
+  // carries a torn tail both times.
+  FileStore donor(journal_opt());
+  auto f = donor.create(kRootIno, "f", true).value();
+  const auto first = pattern(512, 70);
+  ASSERT_TRUE(donor.pwrite(f, 0, first).ok());
+  ASSERT_EQ(donor.sync(f), Errc::kOk);
+  const std::uint64_t intact = donor.journal_size();
+  ASSERT_TRUE(donor.pwrite(f, 512, pattern(512, 71)).ok());
+  ASSERT_EQ(donor.sync(f), Errc::kOk);
+  donor.journal_log().corrupt_tail_byte();
+  const auto stream =
+      donor.journal_log().read(0, static_cast<std::size_t>(-1));
+
+  FileStore t(journal_opt());
+  const std::uint64_t base = t.journal_size();  // whatever construction logged
+  const auto r1 = t.journal_log().import(stream);
+  EXPECT_TRUE(r1.truncated);
+  EXPECT_EQ(r1.accepted, intact);
+  t.crash();
+  const auto image1 =
+      t.journal_log().read(0, static_cast<std::size_t>(-1));
+  std::vector<std::byte> back1(512);
+  ASSERT_EQ(t.pread(f, 0, back1).value(), 512u);
+  EXPECT_EQ(std::memcmp(back1.data(), first.data(), 512), 0);
+
+  // Duplicate delivery of the same chunk: truncate to its offset, import
+  // again, replay again.
+  EXPECT_EQ(t.journal_log().truncate(base), intact);
+  const auto r2 = t.journal_log().import(stream);
+  EXPECT_TRUE(r2.truncated);
+  EXPECT_EQ(r2.accepted, intact);
+  t.crash();
+
+  const auto image2 =
+      t.journal_log().read(0, static_cast<std::size_t>(-1));
+  EXPECT_EQ(image1.size(), image2.size());
+  EXPECT_TRUE(image1 == image2) << "second replay diverged from the first";
+  std::vector<std::byte> back2(512);
+  ASSERT_EQ(t.pread(f, 0, back2).value(), 512u);
+  EXPECT_EQ(std::memcmp(back2.data(), back1.data(), 512), 0);
+  EXPECT_EQ(t.getattr(f).value().size, 512u);
+}
+
 TEST(FStoreJournal, TruncateDurabilityFollowsSync) {
   FileStore fs(journal_opt());
   auto f = fs.create(kRootIno, "f", true).value();
