@@ -3,9 +3,10 @@
 # AddressSanitizer/UBSan build running the fault-injection slice (ctest -L
 # fault), the server crash/restart chaos slice (ctest -L chaos), the
 # dual-filer failover slice (ctest -L failover), the causal-tracing
-# slice (ctest -L trace), the striped-layout slice (ctest -L stripe) and
-# the quorum-replication slice (ctest -L raft), which stress the recovery
-# paths where lifetime bugs would hide. A final leg runs traced end-to-end
+# slice (ctest -L trace), the striped-layout slice (ctest -L stripe), the
+# quorum-replication slice (ctest -L raft) and the data-integrity slice
+# (ctest -L integrity), which stress the recovery paths where lifetime
+# bugs would hide. A final leg runs traced end-to-end
 # benchmarks and validates the emitted Perfetto JSON (ids resolve, spans
 # nest, no negative durations) with scripts/check_trace.py — including the
 # --mpiio-rooted linkage check against the traced failover bench and the
@@ -33,13 +34,13 @@ cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
   --timeout "$TEST_TIMEOUT"
 
-echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace + stripe + raft labels) =="
+echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace + stripe + raft + integrity labels) =="
 cmake -B "$ASAN_BUILD" -S . -DDAFS_SANITIZE=ON >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault \
   --target test_chaos --target test_failover --target test_trace \
-  --target test_stripe --target test_quorum
+  --target test_stripe --target test_quorum --target test_integrity
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" \
-  --timeout "$TEST_TIMEOUT" -L 'fault|chaos|failover|trace|stripe|raft'
+  --timeout "$TEST_TIMEOUT" -L 'fault|chaos|failover|trace|stripe|raft|integrity'
 
 echo "== tier1: trace-validation leg (traced benches -> check_trace.py) =="
 TRACE_OUT="$BUILD/tier1_trace.json"
@@ -65,5 +66,12 @@ QUORUM_TRACE="$BUILD/tier1_trace_quorum.json"
 DAFS_TRACE="$QUORUM_TRACE" "$BUILD/bench/bench_e18_quorum" >/dev/null
 python3 scripts/check_trace.py --require-span raft.election \
   --require-span raft.resilver "$QUORUM_TRACE"
+# Integrity bench: the dafs_integrity sweep runs with the background
+# scrubber on, so the traced dump must record at least one completed
+# scrub pass over the store — proving the scrubber actually walked the
+# blocks behind the reported verify-overhead numbers.
+INTEGRITY_TRACE="$BUILD/tier1_trace_integrity.json"
+DAFS_TRACE="$INTEGRITY_TRACE" "$BUILD/bench/bench_e19_integrity" >/dev/null
+python3 scripts/check_trace.py --require-span scrub.pass "$INTEGRITY_TRACE"
 
 echo "== tier1: all green =="

@@ -7,6 +7,7 @@
 #include <cstring>
 #include <thread>
 
+#include "fstore/journal.hpp"
 #include "sim/actor.hpp"
 
 namespace dafs {
@@ -249,6 +250,7 @@ Result<OpId> Session::alloc_slot() {
   Slot& sl = slots_[id];
   sl.in_use = true;
   sl.done = false;
+  sl.t_submit = 0;
   sl.busy_retries = 0;
   sl.reclaim_retries = 0;
   sl.trace_id = 0;
@@ -256,6 +258,7 @@ Result<OpId> Session::alloc_slot() {
   sl.parent_span = 0;
   sl.user_buf = nullptr;
   sl.user_cap = 0;
+  sl.verify_buf = nullptr;
   sl.payload.clear();
   sl.temp_handles.clear();
   return id;
@@ -318,7 +321,11 @@ PStatus Session::transmit(OpId id) {
   msg.header().parent_span_id = sl.span_id;
   sl.proc = msg.header().proc;
   sl.wire_len = msg.wire_size();
-  sl.t_submit = actor->now();
+  // First transmission only: a busy/corrupt retry re-enters here, and the
+  // request span (and end-to-end RTT) must keep covering the failed
+  // attempts — re-stamping would start the span after the server-side spans
+  // those attempts already recorded.
+  if (sl.t_submit == 0) sl.t_submit = actor->now();
 
   sl.send_desc = via::Descriptor{};
   sl.send_desc.op = via::Opcode::kSend;
@@ -372,7 +379,31 @@ bool Session::process_response(RecvBuf& rb) {
   if (live) {
     Slot& sl = slots_[id];
     sl.resp = h;
-    if (h.data_len > 0) {
+    // Wire-payload verification: the server stamped a CRC-32C over the data
+    // it produced (inline payload bytes, or the direct bytes it RDMA-wrote
+    // into our contiguous buffer). Verify before any byte reaches the
+    // caller; a mismatch turns the response into kCorrupt so wait_slot
+    // retries it instead of surfacing damaged data.
+    bool rejected = false;
+    if (h.status == PStatus::kOk && (h.flags & kFlagPayloadCrc) != 0) {
+      std::span<const std::byte> covered;
+      if (h.data_len > 0) {
+        covered = {resp.data_payload(), h.data_len};
+      } else if (sl.verify_buf != nullptr && h.len > 0) {
+        covered = {sl.verify_buf, h.len};
+      }
+      if (!covered.empty()) {
+        Actor::current()->charge(CostKind::kCopy,
+                                 nic_.cost().copy_time(covered.size()));
+        nic_.fabric().stats().add("dafs.integrity_crc_bytes", covered.size());
+        if (fstore::crc32c(covered) != h.payload_crc) {
+          nic_.fabric().stats().add("dafs.integrity_client_rejects");
+          sl.resp.status = PStatus::kCorrupt;
+          rejected = true;
+        }
+      }
+    }
+    if (h.data_len > 0 && !rejected) {
       Actor* actor = Actor::current();
       const std::uint32_t n = h.data_len;
       if (sl.user_buf != nullptr) {
@@ -445,6 +476,14 @@ PStatus Session::wait_slot(OpId id) {
         return PStatus::kConnLost;
       }
     }
+    if (sl.resp.status == PStatus::kCorrupt) {
+      // Damaged data, not damaged state: the server never executed (writes)
+      // or can safely re-execute (reads) this request. Retry with backoff —
+      // a wire flip is transient, and an at-rest flip may be repaired by a
+      // scrub pass between attempts.
+      if (corrupt_retry(id)) continue;
+      return sl.resp.status;
+    }
     if (sl.resp.status != PStatus::kBusy) return sl.resp.status;
     // Shed by the server: honor the retry-after hint and retransmit, up to
     // the slot's budget.
@@ -473,6 +512,38 @@ bool Session::busy_retry(OpId id) {
   sl.resp.status = PStatus::kConnLost;
   sl.done = true;
   return false;
+}
+
+bool Session::corrupt_retry(OpId id) {
+  Slot& sl = slots_[id];
+  if (sl.busy_retries >= policy().max_busy_retries) return false;
+  ++sl.busy_retries;
+  nic_.fabric().stats().add("dafs.corrupt_retries");
+  Actor* actor = Actor::current();
+  // Jittered virtual backoff plus a real-time yield: the filer's scrubber
+  // runs on real time, so the sleep is what gives a quorum repair a chance
+  // to restore the block between attempts.
+  const std::uint64_t base =
+      std::max<std::uint64_t>(policy().backoff_ns, 100'000);
+  actor->advance(base / 2 + backoff_rng_.below(base / 2 + 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  sl.done = false;
+  // A kCorrupt answer is never replay-cached and never mutated state, so
+  // the fresh seq transmit() stamps makes this a new submission, not a
+  // replay-protected retransmission.
+  if (transmit(id) == PStatus::kOk) return true;
+  sl.resp.status = PStatus::kConnLost;
+  sl.done = true;
+  return false;
+}
+
+std::uint16_t Session::integrity_flags() const {
+  switch (cfg_.integrity) {
+    case IntegrityMode::kOff: return 0;
+    case IntegrityMode::kWire: return kFlagPayloadCrc;
+    case IntegrityMode::kFull: return kFlagPayloadCrc | kFlagVerifyStore;
+  }
+  return 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -976,6 +1047,35 @@ Result<OpId> Session::submit_io(Proc proc, Fh fh, std::span<const IoVec> iovs,
   msg.header() = MsgHeader{};
   msg.header().proc = proc;
   msg.header().ino = fh.ino;
+  const std::uint16_t integ = integrity_flags();
+  if ((integ & kFlagPayloadCrc) != 0) {
+    msg.header().flags |= writing ? kFlagPayloadCrc : integ;
+    if (writing) {
+      // Direct write: CRC over the outgoing bytes in segment order (the
+      // order the server pulls and verifies them in).
+      std::uint32_t crc = 0;
+      std::uint64_t covered = 0;
+      for (const IoVec& v : iovs) {
+        crc = fstore::crc32c({v.buf, v.len}, crc);
+        covered += v.len;
+      }
+      msg.header().payload_crc = crc;
+      Actor::current()->charge(CostKind::kCopy,
+                               nic_.cost().copy_time(covered));
+      nic_.fabric().stats().add("dafs.integrity_crc_bytes", covered);
+    } else {
+      // Direct read: the server's response CRC covers the moved bytes in
+      // segment order. Only a contiguous ascending batch (memory and file)
+      // makes those bytes a prefix of one flat buffer we can re-hash —
+      // EOF clamps a contiguous range to a prefix, never a gap.
+      bool contig = !iovs.empty();
+      for (std::size_t i = 1; i < iovs.size() && contig; ++i) {
+        contig = iovs[i - 1].buf + iovs[i - 1].len == iovs[i].buf &&
+                 iovs[i - 1].file_off + iovs[i - 1].len == iovs[i].file_off;
+      }
+      if (contig) sl.verify_buf = iovs[0].buf;
+    }
+  }
 
   // Registration strategy: a batch may carry hundreds of segments; taking a
   // cache entry per segment could evict a handle that an earlier segment of
@@ -1235,7 +1335,8 @@ Result<std::uint64_t> Session::pread(Fh fh, std::uint64_t off,
         MsgView(nullptr, cfg_.msg_buf_size).inline_capacity(0);
     const std::uint64_t want =
         std::min<std::uint64_t>(out.size() - done, cap);
-    auto id = submit_simple(Proc::kReadInline, {}, fh, off + done, want, 0, 0);
+    auto id = submit_simple(Proc::kReadInline, {}, fh, off + done, want, 0,
+                            integrity_flags());
     if (!id.ok()) return id.error();
     slots_[id.value()].user_buf = out.data() + done;
     slots_[id.value()].user_cap = want;
@@ -1276,6 +1377,13 @@ Result<std::uint64_t> Session::pwrite(Fh fh, std::uint64_t off,
     nic_.fabric().stats().add("dafs.client_copy_bytes", want);
     msg.header().data_len = static_cast<std::uint32_t>(want);
     msg.header().len = want;
+    if ((integrity_flags() & kFlagPayloadCrc) != 0 && want > 0) {
+      msg.header().flags |= kFlagPayloadCrc;
+      msg.header().payload_crc =
+          fstore::crc32c({msg.data_payload(), want});
+      actor->charge(CostKind::kCopy, nic_.cost().copy_time(want));
+      nic_.fabric().stats().add("dafs.integrity_crc_bytes", want);
+    }
     if (const PStatus st = transmit(id.value()); st != PStatus::kOk) {
       free_slot(id.value());
       return st;
@@ -1319,7 +1427,8 @@ Result<OpId> Session::submit_pread(Fh fh, std::uint64_t off,
     IoVec v{off, out.data(), out.size()};
     return submit_io(Proc::kReadDirect, fh, std::span(&v, 1), false);
   }
-  auto id = submit_simple(Proc::kReadInline, {}, fh, off, out.size(), 0, 0);
+  auto id = submit_simple(Proc::kReadInline, {}, fh, off, out.size(), 0,
+                          integrity_flags());
   if (id.ok()) {
     slots_[id.value()].user_buf = out.data();
     slots_[id.value()].user_cap = out.size();
@@ -1346,6 +1455,13 @@ Result<OpId> Session::submit_pwrite(Fh fh, std::uint64_t off,
   Actor::current()->charge(CostKind::kCopy, nic_.cost().copy_time(in.size()));
   msg.header().data_len = static_cast<std::uint32_t>(in.size());
   msg.header().len = in.size();
+  if ((integrity_flags() & kFlagPayloadCrc) != 0 && !in.empty()) {
+    msg.header().flags |= kFlagPayloadCrc;
+    msg.header().payload_crc = fstore::crc32c({msg.data_payload(), in.size()});
+    Actor::current()->charge(CostKind::kCopy,
+                             nic_.cost().copy_time(in.size()));
+    nic_.fabric().stats().add("dafs.integrity_crc_bytes", in.size());
+  }
   if (const PStatus st = transmit(id.value()); st != PStatus::kOk) {
     free_slot(id.value());
     return st;

@@ -155,6 +155,10 @@ class Session {
     std::vector<std::byte> payload;   // small response payloads (attrs, dirents)
     std::byte* user_buf = nullptr;    // inline-read destination
     std::uint64_t user_cap = 0;
+    /// Direct-read destination when the request's segments were contiguous
+    /// (memory and file): the server's payload CRC then covers exactly the
+    /// first resp.len bytes here. Null = skip client-side wire verification.
+    std::byte* verify_buf = nullptr;
     std::vector<via::MemHandle> temp_handles;  // dereg on completion
     std::vector<std::byte> send_buf;
     via::MemHandle send_handle = via::kInvalidMemHandle;
@@ -244,6 +248,13 @@ class Session {
   /// False once the slot's retry budget is exhausted (or expiry was the
   /// shed reason): the caller surfaces kBusy.
   bool busy_retry(OpId id);
+  /// Retransmit a kCorrupt-answered request (fresh seq — a kCorrupt answer
+  /// means the op never executed or is an idempotent read, and the server
+  /// never replay-caches failures). Backs off between attempts so a scrub
+  /// repair can land; false once the retry budget is exhausted.
+  bool corrupt_retry(OpId id);
+  /// Header flags the session's IntegrityMode asks for on data procedures.
+  std::uint16_t integrity_flags() const;
   /// Record the request's submit->response RTT into the fabric histogram
   /// registry, keyed by procedure ("dafs.rtt_ns.<proc>").
   void record_rtt(const Slot& sl);

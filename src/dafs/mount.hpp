@@ -37,6 +37,23 @@ struct RetryPolicy {
   std::uint64_t deadline_ns = 0;
 };
 
+/// How much end-to-end integrity checking a session asks for (the
+/// `dafs_integrity` MPI-IO hint; E19 sweeps the overhead).
+enum class IntegrityMode : std::uint8_t {
+  kOff,   // trust the transport's and store's own guarantees
+  kWire,  // CRC-32C on every data payload, verified by the consumer
+  kFull,  // kWire + the server re-verifies at-rest block checksums on reads
+};
+
+constexpr const char* to_string(IntegrityMode m) {
+  switch (m) {
+    case IntegrityMode::kOff: return "off";
+    case IntegrityMode::kWire: return "wire";
+    case IntegrityMode::kFull: return "full";
+  }
+  return "?";
+}
+
 /// Session-local knobs (transport sizing, data-path thresholds, identity).
 /// The retry/recovery knobs that used to live here moved to RetryPolicy,
 /// carried per-endpoint in MountSpec.
@@ -60,6 +77,8 @@ struct ClientConfig {
   /// (exactly-once counters across server restarts). 0 = adopt the first
   /// server-assigned session id, which is unique and never reused.
   std::uint64_t client_id = 0;
+  /// End-to-end integrity mode (`dafs_integrity` hint).
+  IntegrityMode integrity = IntegrityMode::kOff;
 };
 
 /// Sentinel for Endpoint::member on a non-quorum mount.

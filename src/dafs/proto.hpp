@@ -107,6 +107,10 @@ enum class PStatus : std::uint8_t {
                  // 1 + the leader's member index when known, 0 when unknown —
                  // so the client jumps straight to the leader instead of
                  // probing the rotation blind
+  kCorrupt,      // checksum mismatch: an at-rest block failed verification,
+                 // or a wire payload arrived damaged. Never carries data; a
+                 // client treats it like kBusy for reads (retry — a scrub
+                 // repair may restore the block) and rewrites for writes
 };
 
 constexpr PStatus to_pstatus(fstore::Errc e) {
@@ -120,6 +124,7 @@ constexpr PStatus to_pstatus(fstore::Errc e) {
     case fstore::Errc::kInval: return PStatus::kInval;
     case fstore::Errc::kStale: return PStatus::kStale;
     case fstore::Errc::kIo: return PStatus::kIo;
+    case fstore::Errc::kCorrupt: return PStatus::kCorrupt;
   }
   return PStatus::kProtoError;
 }
@@ -135,6 +140,7 @@ constexpr fstore::Errc to_errc(PStatus s) {
     case PStatus::kInval: return fstore::Errc::kInval;
     case PStatus::kStale: return fstore::Errc::kStale;
     case PStatus::kIo: return fstore::Errc::kIo;
+    case PStatus::kCorrupt: return fstore::Errc::kCorrupt;
     default: return fstore::Errc::kInval;
   }
 }
@@ -158,6 +164,7 @@ constexpr const char* to_string(PStatus s) {
     case PStatus::kBusy: return "busy";
     case PStatus::kFenced: return "fenced";
     case PStatus::kNotLeader: return "not-leader";
+    case PStatus::kCorrupt: return "corrupt";
   }
   return "?";
 }
@@ -177,6 +184,16 @@ inline constexpr std::uint16_t kOpenDataServer = 0x8;
 /// transport failure instead of minting a new one. The old session id rides
 /// in header.aux.
 inline constexpr std::uint16_t kConnectResume = 0x1;
+
+/// Integrity flags (header.flags on data procedures, [ext]):
+/// `payload_crc` holds the CRC-32C of the message's data payload (inline
+/// data bytes, or — for direct transfers — the file bytes the RDMA moved, in
+/// segment order). Set by whichever side produced the bytes; the consumer
+/// verifies before trusting them.
+inline constexpr std::uint16_t kFlagPayloadCrc = 0x10;
+/// The client asks the server to recompute at-rest block checksums on the
+/// read path ("full" integrity mode) instead of trusting the stored bytes.
+inline constexpr std::uint16_t kFlagVerifyStore = 0x20;
 
 /// Lock flags (header.aux bit 0).
 inline constexpr std::uint64_t kLockExclusive = 0x1;
@@ -216,7 +233,9 @@ struct MsgHeader {
   /// received by this client. The server may evict acknowledged entries from
   /// its replay cache — the piggybacked-ack bound on replay memory.
   std::uint32_t ack_seq = 0;
-  std::uint32_t pad0 = 0;
+  /// CRC-32C of the data payload when kFlagPayloadCrc is set (see the flag
+  /// for exactly which bytes it covers); 0 otherwise.
+  std::uint32_t payload_crc = 0;
   /// Request-tracing identifiers (sim/trace.hpp): the root trace this
   /// request belongs to and the client span to parent server-side spans
   /// under. Zero when tracing is off. Retransmissions resend the original

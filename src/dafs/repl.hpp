@@ -39,6 +39,15 @@ enum class ReplOp : std::uint8_t {
                 //   member=leader index, len journal bytes follow
   kAppendResp,  // follower -> leader: status=1 ok (offset=match_off) or
                 //   0 reject (term newer, or offset=conflict backoff hint)
+
+  // ---- scrub repair (quorum only) ----
+  kBlockFetch,  // scrubbing member -> peer: fetch a verified copy of one
+                //   block. epoch=requester term, offset=file offset,
+                //   len=bytes wanted (<= chunk size), commit=ino,
+                //   member=requester index
+  kBlockData,   // peer -> scrubber: status=1 + `len` payload bytes when the
+                //   peer's copy verified clean; status=0, no payload when
+                //   the peer's copy is missing or itself corrupt
 };
 
 inline constexpr std::uint32_t kReplMagic = 0x5245504C;  // "REPL"

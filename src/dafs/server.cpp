@@ -106,6 +106,9 @@ Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
     m.register_gauge("dafs.resilver_bytes",
                      [this] { return resilver_bytes(); });
   }
+  if (cfg_.scrub_enabled) {
+    m.register_gauge("dafs.scrub_passes", [this] { return scrub_passes(); });
+  }
 }
 
 Server::~Server() {
@@ -127,6 +130,9 @@ Server::~Server() {
   if (quorum()) {
     m.unregister_gauge("dafs.term");
     m.unregister_gauge("dafs.resilver_bytes");
+  }
+  if (cfg_.scrub_enabled) {
+    m.unregister_gauge("dafs.scrub_passes");
   }
 }
 
@@ -161,6 +167,12 @@ void Server::start() {
       pthread_setname_np(pthread_self(),
                          ("dafs-w" + std::to_string(i)).c_str());
       worker_loop(i);
+    });
+  }
+  if (cfg_.scrub_enabled) {
+    scrub_thread_ = std::thread([this] {
+      pthread_setname_np(pthread_self(), "dafs-scrub");
+      scrub_loop();
     });
   }
   if (quorum()) {
@@ -213,6 +225,7 @@ void Server::stop() {
   }
   worker_threads_.clear();
   if (repl_thread_.joinable()) repl_thread_.join();
+  if (scrub_thread_.joinable()) scrub_thread_.join();
   if (quorum_tick_thread_.joinable()) quorum_tick_thread_.join();
   for (auto& t : quorum_sender_threads_) {
     if (t.joinable()) t.join();
@@ -1206,15 +1219,19 @@ void Server::quorum_conn_loop(std::unique_ptr<via::Vi> vi,
                               std::vector<std::unique_ptr<MsgBuf>> bufs) {
   Actor actor("dafs-raft-conn", &fabric_.node(node_));
   ActorScope scope(actor);
-  std::vector<std::byte> resp_buf(sizeof(ReplHeader));
+  // Sized for the largest reply: a kBlockData response carrying one whole
+  // store chunk after the header (everything else is header-only).
+  std::vector<std::byte> resp_buf(sizeof(ReplHeader) + cfg_.store.chunk_size);
   const via::MemHandle resp_h =
       nic_.register_memory(resp_buf.data(), resp_buf.size(), ptag_, {});
+  // Sends the header plus h.len payload bytes the caller already placed at
+  // resp_buf + sizeof(ReplHeader).
   const auto send_resp = [&](const ReplHeader& h) {
     std::memcpy(resp_buf.data(), &h, sizeof(h));
     Descriptor d;
     d.op = via::Opcode::kSend;
     d.segs = {DataSegment{resp_buf.data(), resp_h,
-                          static_cast<std::uint32_t>(sizeof(h))}};
+                          static_cast<std::uint32_t>(sizeof(h) + h.len)}};
     if (vi->post_send(d) != via::Status::kSuccess) return false;
     Descriptor* done = nullptr;
     return vi->send_wait(done, kSendWait) == via::Status::kSuccess &&
@@ -1353,6 +1370,33 @@ void Server::quorum_conn_loop(std::unique_ptr<via::Vi> vi,
           r.offset = new_size;
           caught_up = new_size >= h.commit;
           progressed = progressed && behind;
+        }
+      }
+    } else if (h.op == ReplOp::kBlockFetch) {
+      // Scrub repair: the leader asks for a verified copy of one block. A
+      // follower's live image is only materialized on promotion, so replay
+      // the imported journal first (one replay per fetch — repairs are
+      // rare), then serve the block only when it passes its own checksum: a
+      // peer whose copy is itself rotten answers status=0 rather than
+      // spreading the rot.
+      r.op = ReplOp::kBlockData;
+      r.epoch = epoch_.load(std::memory_order_relaxed);
+      r.offset = h.offset;
+      r.commit = h.commit;
+      r.status = 0;
+      std::lock_guard lock(raft_mu_);
+      const std::size_t want =
+          std::min<std::size_t>(h.len, cfg_.store.chunk_size);
+      if (role_.load(std::memory_order_acquire) == Role::kStandby &&
+          want > 0 && store_->crash() == fstore::Errc::kOk) {
+        auto got = store_->pread(
+            h.commit, h.offset,
+            std::span<std::byte>(resp_buf.data() + sizeof(ReplHeader), want),
+            /*verify=*/true);
+        if (got.ok()) {
+          r.status = 1;
+          r.len = static_cast<std::uint32_t>(got.value());
+          fabric_.stats().add("dafs.scrub_blocks_served");
         }
       }
     } else {
@@ -1608,6 +1652,169 @@ void Server::quorum_sender_loop(std::uint32_t peer) {
     }
   }
   drop_conn();
+}
+
+// ---------------------------------------------------------------------------
+// Background scrub
+// ---------------------------------------------------------------------------
+
+void Server::scrub_loop() {
+  Actor actor("dafs-scrub", &fabric_.node(node_));
+  ActorScope scope(actor);
+  sim::Tracer& tracer = fabric_.trace();
+  fstore::FileStore::ScrubCursor cursor;
+  bool pass_open = false;
+  sim::Time pass_t0 = 0;
+  std::uint64_t pass_checked = 0;
+  std::uint64_t pass_bad = 0;
+  while (running_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(cfg_.scrub_interval_ms));
+    if (!running_.load()) break;
+    // Only a serving filer scrubs: a crashed one has no live image, and in a
+    // quorum a follower's image is only materialized on promotion — the
+    // leader scrubs and repairs from its followers' verified copies.
+    if (crash_pending_.load() ||
+        role_.load(std::memory_order_acquire) != Role::kPrimary) {
+      continue;
+    }
+    if (!pass_open) {
+      pass_open = true;
+      pass_t0 = actor.now();
+      pass_checked = 0;
+      pass_bad = 0;
+    }
+    const fstore::FileStore::ScrubStep step =
+        store_->scrub_step(&cursor, cfg_.scrub_chunks_per_step);
+    pass_checked += step.checked;
+    if (step.checked > 0) {
+      fabric_.stats().add("dafs.scrub_blocks_verified", step.checked);
+    }
+    for (const fstore::FileStore::ScrubBlock& bad : step.bad) {
+      ++pass_bad;
+      fabric_.stats().add("dafs.scrub_corruptions");
+      if (scrub_repair_block(bad.ino, bad.chunk)) {
+        fabric_.stats().add("dafs.scrub_repairs");
+      } else {
+        // No healthy copy anywhere: the block stays rotted, and verified
+        // reads keep demoting it to kCorrupt — a read error, never silent
+        // bad bytes.
+        fabric_.stats().add("dafs.scrub_repair_failed");
+      }
+    }
+    if (step.wrapped) {
+      scrub_passes_.fetch_add(1, std::memory_order_relaxed);
+      if (tracer.enabled()) {
+        sim::Span sp;
+        sp.trace_id = tracer.new_id();
+        sp.span_id = tracer.new_id();
+        sp.t_start = pass_t0;
+        sp.t_end = std::max(actor.now(), pass_t0);
+        sp.layer = "dafs.server";
+        sp.name = "scrub.pass";
+        char attrs[96];
+        std::snprintf(attrs, sizeof(attrs), "\"checked\":%llu,\"bad\":%llu",
+                      static_cast<unsigned long long>(pass_checked),
+                      static_cast<unsigned long long>(pass_bad));
+        sp.attrs = attrs;
+        tracer.record(std::move(sp));
+      }
+      pass_open = false;
+    }
+  }
+}
+
+bool Server::scrub_repair_block(fstore::Ino ino, std::uint64_t chunk) {
+  if (!quorum() || cfg_.quorum_group.size() < 2) return false;
+  const std::size_t chunk_size = cfg_.store.chunk_size;
+  std::vector<std::byte> data_buf(sizeof(ReplHeader) + chunk_size);
+  const via::MemHandle data_h =
+      nic_.register_memory(data_buf.data(), data_buf.size(), ptag_, {});
+  std::vector<std::byte> req_buf(sizeof(ReplHeader));
+  const via::MemHandle req_h =
+      nic_.register_memory(req_buf.data(), req_buf.size(), ptag_, {});
+  sim::Rng jitter(cfg_.repl_retry.jitter_seed ^
+                  (0x9e3779b97f4a7c15ULL * (ino + chunk + 1)));
+  bool repaired = false;
+  const int attempts = std::max(1, cfg_.repl_retry.attempts);
+  std::uint64_t backoff_ns = std::max<std::uint64_t>(cfg_.repl_retry.backoff_ns,
+                                                     1);
+  for (int a = 0;
+       a < attempts && !repaired && running_.load() && !crash_pending_.load();
+       ++a) {
+    if (a > 0) {
+      // Capped, jittered exponential backoff between sweeps of the group —
+      // real time, like the rest of the scrubber.
+      const std::uint64_t ns =
+          std::min(backoff_ns, cfg_.repl_retry.backoff_cap_ns);
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(ns / 2 + jitter.below(ns / 2 + 1)));
+      backoff_ns = std::min(backoff_ns * 2, cfg_.repl_retry.backoff_cap_ns);
+    }
+    for (std::uint32_t peer = 0;
+         peer < cfg_.quorum_group.size() && !repaired; ++peer) {
+      if (peer == cfg_.member_id) continue;
+      via::Vi vi(nic_, via::ViAttrs{});
+      Descriptor recv_d;
+      recv_d.segs = {DataSegment{data_buf.data(), data_h,
+                                 static_cast<std::uint32_t>(data_buf.size())}};
+      if (vi.post_recv(recv_d) != via::Status::kSuccess) continue;
+      if (nic_.connect(vi, cfg_.quorum_group[peer],
+                       std::chrono::milliseconds(200)) !=
+          via::Status::kSuccess) {
+        continue;
+      }
+      ReplHeader req;
+      req.op = ReplOp::kBlockFetch;
+      req.epoch = epoch_.load(std::memory_order_relaxed);
+      req.offset = chunk * chunk_size;
+      req.len = static_cast<std::uint32_t>(chunk_size);
+      req.commit = ino;
+      req.member = cfg_.member_id;
+      std::memcpy(req_buf.data(), &req, sizeof(req));
+      Descriptor d;
+      d.op = via::Opcode::kSend;
+      d.segs = {DataSegment{req_buf.data(), req_h,
+                            static_cast<std::uint32_t>(sizeof(req))}};
+      bool sent = vi.post_send(d) == via::Status::kSuccess;
+      if (sent) {
+        Descriptor* done = nullptr;
+        sent = vi.send_wait(done, kSendWait) == via::Status::kSuccess &&
+               done->status == DescStatus::kSuccess;
+      }
+      ReplHeader resp{};
+      bool got = false;
+      if (sent) {
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+        while (running_.load() && !crash_pending_.load()) {
+          Descriptor* rd = nullptr;
+          const via::Status st = vi.recv_wait(rd, std::chrono::milliseconds(20));
+          if (st == via::Status::kTimeout) {
+            if (std::chrono::steady_clock::now() >= deadline) break;
+            continue;
+          }
+          if (st == via::Status::kSuccess && rd->status == DescStatus::kSuccess) {
+            std::memcpy(&resp, data_buf.data(), sizeof(resp));
+            got = resp.magic == kReplMagic && resp.op == ReplOp::kBlockData;
+          }
+          break;
+        }
+      }
+      vi.disconnect();
+      if (!got || resp.status != 1) continue;
+      const std::size_t len = std::min<std::size_t>(resp.len, chunk_size);
+      if (store_->repair_chunk(
+              ino, chunk,
+              {data_buf.data() + sizeof(ReplHeader), len}) ==
+          fstore::Errc::kOk) {
+        repaired = true;
+      }
+    }
+  }
+  [[maybe_unused]] const via::Status d1 = nic_.deregister_memory(data_h);
+  [[maybe_unused]] const via::Status d2 = nic_.deregister_memory(req_h);
+  return repaired;
 }
 
 void Server::repl_sender_loop() {
@@ -2187,18 +2394,40 @@ void Server::do_read_inline(MsgView& req, MsgView& resp) {
   const std::uint64_t want = std::min<std::uint64_t>(req.header().len, cap);
   auto r = store_->pread(
       req.header().ino, req.header().offset,
-      std::span<std::byte>(resp.data_payload(), want));
+      std::span<std::byte>(resp.data_payload(), want),
+      (req.header().flags & kFlagVerifyStore) != 0);
   if (!r.ok()) {
     resp.header().status = to_pstatus(r.error());
     return;
   }
   resp.header().len = r.value();
   resp.header().data_len = static_cast<std::uint32_t>(r.value());
+  if ((req.header().flags & kFlagPayloadCrc) != 0 && r.value() > 0) {
+    resp.header().flags |= kFlagPayloadCrc;
+    resp.header().payload_crc = fstore::crc32c({resp.data_payload(), r.value()});
+    Actor::current()->charge(CostKind::kCopy,
+                             fabric_.cost().copy_time(r.value()));
+    fabric_.stats().add("dafs.integrity_crc_bytes", r.value());
+  }
   fabric_.stats().add("dafs.inline_read_bytes", r.value());
 }
 
 void Server::do_write_inline(MsgView& req, MsgView& resp) {
   Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  if ((req.header().flags & kFlagPayloadCrc) != 0 && req.header().data_len > 0) {
+    Actor::current()->charge(CostKind::kCopy,
+                             fabric_.cost().copy_time(req.header().data_len));
+    fabric_.stats().add("dafs.integrity_crc_bytes", req.header().data_len);
+    if (fstore::crc32c({req.data_payload(), req.header().data_len}) !=
+        req.header().payload_crc) {
+      // The payload rotted on the wire: refuse before any byte lands. The
+      // kCorrupt answer is never replay-cached (only kOk is), so the
+      // client's fresh-seq rewrite re-executes cleanly — exactly once.
+      resp.header().status = PStatus::kCorrupt;
+      fabric_.stats().add("dafs.integrity_server_rejects");
+      return;
+    }
+  }
   auto r = store_->pwrite(
       req.header().ino, req.header().offset,
       std::span<const std::byte>(req.data_payload(), req.header().data_len));
@@ -2213,11 +2442,14 @@ void Server::do_write_inline(MsgView& req, MsgView& resp) {
 void Server::do_read_direct(Session& s, MsgView& req, MsgView& resp) {
   Actor* actor = Actor::current();
   actor->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  const bool verify = (req.header().flags & kFlagVerifyStore) != 0;
+  const bool stamp = (req.header().flags & kFlagPayloadCrc) != 0;
+  std::uint32_t crc = 0;
   std::uint64_t total = 0;
   std::lock_guard lock(s.send_mu);
   for (const DirectSeg& seg : req.segs()) {
-    auto extents =
-        store_->extents_for_read(req.header().ino, seg.file_off, seg.len);
+    auto extents = store_->extents_for_read(req.header().ino, seg.file_off,
+                                            seg.len, verify);
     if (!extents.ok()) {
       resp.header().status = to_pstatus(extents.error());
       return;
@@ -2236,16 +2468,42 @@ void Server::do_read_direct(Session& s, MsgView& req, MsgView& resp) {
       resp.header().status = PStatus::kProtoError;
       return;
     }
+    if (stamp) {
+      // Chained over the moved bytes in segment order — the same order a
+      // contiguous client buffer receives them, so the client can re-hash
+      // its landed prefix against payload_crc.
+      for (const auto& span : extents.value()) {
+        crc = fstore::crc32c(span, crc);
+      }
+    }
     total += actual;
   }
   resp.header().len = total;
+  if (stamp && total > 0) {
+    resp.header().flags |= kFlagPayloadCrc;
+    resp.header().payload_crc = crc;
+    actor->charge(CostKind::kCopy, fabric_.cost().copy_time(total));
+    fabric_.stats().add("dafs.integrity_crc_bytes", total);
+  }
   fabric_.stats().add("dafs.direct_read_bytes", total);
 }
 
 void Server::do_write_direct(Session& s, MsgView& req, MsgView& resp) {
   Actor* actor = Actor::current();
   actor->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  const bool check = (req.header().flags & kFlagPayloadCrc) != 0;
+  std::uint32_t crc = 0;
   std::uint64_t total = 0;
+  // With a payload CRC, commits are deferred until every segment has been
+  // pulled and the whole-request checksum verified, so a damaged transfer
+  // never reaches the durable image (size, mtime and journal untouched).
+  // The pulled bytes do land in cache chunks transiently; the client's
+  // fresh-seq rewrite overwrites them — and their checksums — either way.
+  struct PendingCommit {
+    std::uint64_t off;
+    std::uint32_t len;
+  };
+  std::vector<PendingCommit> pending;
   std::lock_guard lock(s.send_mu);
   for (const DirectSeg& seg : req.segs()) {
     auto extents =
@@ -2265,8 +2523,27 @@ void Server::do_write_direct(Session& s, MsgView& req, MsgView& resp) {
       resp.header().status = PStatus::kProtoError;
       return;
     }
-    store_->commit_write(req.header().ino, seg.file_off, seg.len);
+    if (check) {
+      for (const auto& span : extents.value()) {
+        crc = fstore::crc32c(span, crc);
+      }
+      pending.push_back({seg.file_off, seg.len});
+    } else {
+      store_->commit_write(req.header().ino, seg.file_off, seg.len);
+    }
     total += seg.len;
+  }
+  if (check && total > 0) {
+    actor->charge(CostKind::kCopy, fabric_.cost().copy_time(total));
+    fabric_.stats().add("dafs.integrity_crc_bytes", total);
+    if (crc != req.header().payload_crc) {
+      resp.header().status = PStatus::kCorrupt;
+      fabric_.stats().add("dafs.integrity_server_rejects");
+      return;
+    }
+  }
+  for (const PendingCommit& p : pending) {
+    store_->commit_write(req.header().ino, p.off, p.len);
   }
   resp.header().len = total;
   fabric_.stats().add("dafs.direct_write_bytes", total);

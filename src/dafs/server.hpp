@@ -86,6 +86,16 @@ struct ServerConfig {
   std::uint64_t election_timeout_min_ms = 50;
   std::uint64_t election_timeout_max_ms = 100;
   std::uint64_t heartbeat_ms = 10;
+  /// Background integrity scrub: walk the store's allocated blocks at a
+  /// paced rate, re-verifying every block checksum; in a quorum group a
+  /// rotted block is repaired from a healthy replica's verified copy. Off by
+  /// default (E19 sweeps the verify/scrub overhead).
+  bool scrub_enabled = false;
+  /// Real milliseconds between scrub steps (the scrubber, like the raft
+  /// timers, runs on wall time).
+  std::uint64_t scrub_interval_ms = 5;
+  /// Chunks verified per scrub step.
+  std::size_t scrub_chunks_per_step = 64;
 };
 
 /// The DAFS file server ("filer"): accepts sessions over VIA, serves the
@@ -168,6 +178,10 @@ class Server {
   /// leader (re-silvering) since construction.
   std::uint64_t resilver_bytes() const {
     return resilver_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Completed background-scrub passes over the whole store.
+  std::uint64_t scrub_passes() const {
+    return scrub_passes_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -264,6 +278,18 @@ class Server {
   void reset_election_deadline_locked();
   /// 1 + leader member index for the kNotLeader aux hint (0 = unknown).
   std::uint64_t leader_hint() const;
+
+  /// Background scrubber: paced walk over the store's allocated blocks, one
+  /// "scrub.pass" span per completed pass. Corrupt blocks are repaired from
+  /// a quorum peer when one holds a verified copy; otherwise they stay
+  /// rotted and reads keep demoting to kCorrupt instead of serving bad
+  /// bytes.
+  void scrub_loop();
+  /// Fetch a verified copy of block `chunk` of `ino` from a healthy quorum
+  /// peer (kBlockFetch) and overwrite the rotted local block. Sweeps the
+  /// group under cfg_.repl_retry's capped, jittered backoff; false when no
+  /// peer could supply a clean copy within the budget.
+  bool scrub_repair_block(fstore::Ino ino, std::uint64_t chunk);
 
   void handle_request(Session& s, MsgBuf& req, MsgBuf& out);
   void send_response(Session& s, MsgBuf& out);
@@ -383,6 +409,10 @@ class Server {
   std::thread quorum_listener_thread_;
   std::thread quorum_tick_thread_;
   std::vector<std::thread> quorum_sender_threads_;
+
+  // Background scrub state (inert unless cfg_.scrub_enabled).
+  std::thread scrub_thread_;
+  std::atomic<std::uint64_t> scrub_passes_{0};
 };
 
 }  // namespace dafs

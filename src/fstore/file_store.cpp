@@ -18,6 +18,9 @@ using sim::CostKind;
 FileStore::FileStore(Options opt,
                      std::function<void(std::span<std::byte>)> on_new_slab)
     : opt_(opt), on_new_slab_(std::move(on_new_slab)) {
+  // Fresh chunks are zero-filled, so they are born with this checksum.
+  const std::vector<std::byte> zeros(opt_.chunk_size);
+  zero_chunk_crc_ = crc32c(zeros);
   Inode root;
   root.attrs.ino = kRootIno;
   root.attrs.is_dir = true;
@@ -68,6 +71,7 @@ std::byte* FileStore::chunk_for_locked(Inode& node, std::uint64_t chunk_idx,
   free_chunks_.pop_back();
   std::memset(chunk, 0, opt_.chunk_size);
   node.chunks.emplace(chunk_idx, chunk);
+  node.csums.emplace(chunk_idx, zero_chunk_crc_);
   stats_.add("fstore.chunks_allocated");
   return chunk;
 }
@@ -75,6 +79,157 @@ std::byte* FileStore::chunk_for_locked(Inode& node, std::uint64_t chunk_idx,
 void FileStore::free_file_data_locked(Inode& node) {
   for (auto& [idx, ptr] : node.chunks) free_chunks_.push_back(ptr);
   node.chunks.clear();
+  node.csums.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Block integrity
+// ---------------------------------------------------------------------------
+
+void FileStore::update_csum_locked(Inode& node, std::uint64_t chunk_idx) {
+  auto it = node.chunks.find(chunk_idx);
+  if (it == node.chunks.end()) return;
+  node.csums[chunk_idx] =
+      crc32c(std::span<const std::byte>(it->second, opt_.chunk_size));
+}
+
+bool FileStore::chunk_clean_locked(const Inode& node,
+                                   std::uint64_t chunk_idx) const {
+  auto it = node.chunks.find(chunk_idx);
+  if (it == node.chunks.end()) return true;  // hole: nothing stored to rot
+  auto cs = node.csums.find(chunk_idx);
+  if (cs == node.csums.end()) return true;   // pre-integrity chunk (unreached)
+  return crc32c(std::span<const std::byte>(it->second, opt_.chunk_size)) ==
+         cs->second;
+}
+
+void FileStore::charge_crc(std::uint64_t bytes) const {
+  if (bytes == 0) return;
+  if (Actor* actor = Actor::current()) {
+    actor->charge(CostKind::kCopy,
+                  static_cast<sim::Time>(static_cast<double>(bytes) * 1'000.0 /
+                                         opt_.crc_mbps));
+  }
+}
+
+void FileStore::maybe_corrupt_written_locked(Inode& node, std::uint64_t off,
+                                             std::uint64_t len) {
+  if (opt_.faults == nullptr || len == 0 || !opt_.faults->armed()) return;
+  std::uint64_t flip = 0;
+  if (!opt_.faults->on_fstore_write(&flip)) return;
+  // Flip one seeded bit inside the freshly-written range. The checksum was
+  // recorded before this hook runs, so the rot is silent until a verifying
+  // read or the scrubber recomputes the block checksum.
+  const std::uint64_t pos = off + flip % len;
+  const std::uint64_t ci = pos / opt_.chunk_size;
+  auto it = node.chunks.find(ci);
+  if (it == node.chunks.end()) return;
+  it->second[pos % opt_.chunk_size] ^=
+      static_cast<std::byte>(1u << ((flip >> 16) % 8));
+  stats_.add("fault.fstore_bitflips");
+}
+
+Errc FileStore::verify_range(Ino ino, std::uint64_t off, std::uint64_t len) {
+  std::lock_guard lock(mu_);
+  const Inode* n = find_locked(ino);
+  if (n == nullptr) return Errc::kStale;
+  if (n->attrs.is_dir) return Errc::kIsDir;
+  if (off >= n->attrs.size) return Errc::kOk;
+  len = std::min(len, n->attrs.size - off);
+  std::uint64_t checked = 0;
+  for (std::uint64_t ci = off / opt_.chunk_size;
+       ci <= (off + len - 1) / opt_.chunk_size; ++ci) {
+    if (n->chunks.count(ci) != 0) checked += opt_.chunk_size;
+    if (!chunk_clean_locked(*n, ci)) {
+      charge_crc(checked);
+      stats_.add("fstore.corrupt_blocks_detected");
+      return Errc::kCorrupt;
+    }
+  }
+  charge_crc(checked);
+  return Errc::kOk;
+}
+
+FileStore::ScrubStep FileStore::scrub_step(ScrubCursor* cursor,
+                                           std::size_t max_chunks) {
+  std::lock_guard lock(mu_);
+  ScrubStep out;
+  std::uint64_t crc_bytes = 0;
+  while (out.checked < max_chunks) {
+    // Smallest live inode at or past the cursor (the table is unordered, so
+    // scan — store scale in the sim keeps this cheap).
+    const Inode* best = nullptr;
+    Ino best_ino = ~Ino{0};
+    for (const auto& [ino, node] : inodes_) {
+      if (ino < cursor->ino || node.attrs.is_dir || node.chunks.empty()) {
+        continue;
+      }
+      if (ino < best_ino) {
+        best = &node;
+        best_ino = ino;
+      }
+    }
+    if (best == nullptr) {
+      // Walk fell off the end of the table: one pass is complete.
+      out.wrapped = true;
+      *cursor = ScrubCursor{};
+      break;
+    }
+    auto it = best->chunks.lower_bound(cursor->chunk);
+    for (; it != best->chunks.end() && out.checked < max_chunks; ++it) {
+      ++out.checked;
+      crc_bytes += opt_.chunk_size;
+      if (!chunk_clean_locked(*best, it->first)) {
+        out.bad.push_back(ScrubBlock{best_ino, it->first});
+      }
+    }
+    if (it == best->chunks.end()) {
+      cursor->ino = best_ino + 1;
+      cursor->chunk = 0;
+    } else {
+      cursor->ino = best_ino;
+      cursor->chunk = it->first;
+    }
+  }
+  charge_crc(crc_bytes);
+  stats_.add("fstore.scrub_chunks_checked", out.checked);
+  return out;
+}
+
+Errc FileStore::repair_chunk(Ino ino, std::uint64_t chunk,
+                             std::span<const std::byte> data) {
+  std::lock_guard lock(mu_);
+  Inode* n = find_locked(ino);
+  if (n == nullptr) return Errc::kStale;
+  if (n->attrs.is_dir) return Errc::kIsDir;
+  auto it = n->chunks.find(chunk);
+  if (it == n->chunks.end()) return Errc::kNoEnt;
+  const std::size_t len = std::min(data.size(), opt_.chunk_size);
+  // The stored checksum was recorded at write time, before any rot, so it
+  // names the bytes this chunk is supposed to hold. A candidate copy that
+  // does not hash to it is stale (fetched from a replica whose journal is
+  // behind) — installing it would silently rewind an acknowledged write.
+  auto cs = n->csums.find(chunk);
+  if (cs != n->csums.end()) {
+    std::uint32_t have = crc32c(data.first(len));
+    static constexpr std::byte kZeros[256] = {};
+    for (std::size_t pad = opt_.chunk_size - len; pad > 0;) {
+      const std::size_t step = std::min(pad, sizeof(kZeros));
+      have = crc32c(std::span<const std::byte>(kZeros, step), have);
+      pad -= step;
+    }
+    if (have != cs->second) {
+      stats_.add("fstore.repair_rejected_stale");
+      return Errc::kCorrupt;
+    }
+  }
+  if (len > 0) std::memcpy(it->second, data.data(), len);
+  if (len < opt_.chunk_size) {
+    std::memset(it->second + len, 0, opt_.chunk_size - len);
+  }
+  update_csum_locked(*n, chunk);
+  stats_.add("fstore.chunks_repaired");
+  return Errc::kOk;
 }
 
 // ---------------------------------------------------------------------------
@@ -92,6 +247,7 @@ void FileStore::apply_bytes_locked(Inode& n, std::uint64_t off,
         std::min<std::uint64_t>(data.size() - done, opt_.chunk_size - co);
     std::byte* chunk = chunk_for_locked(n, ci, /*allocate=*/true);
     std::memcpy(chunk + co, data.data() + done, n_here);
+    update_csum_locked(n, ci);
     done += n_here;
   }
 }
@@ -101,6 +257,7 @@ void FileStore::truncate_chunks_locked(Inode& n, std::uint64_t size) {
       (size + opt_.chunk_size - 1) / opt_.chunk_size;
   for (auto it = n.chunks.lower_bound(first_dead); it != n.chunks.end();) {
     free_chunks_.push_back(it->second);
+    n.csums.erase(it->first);
     it = n.chunks.erase(it);
   }
   if (size % opt_.chunk_size != 0) {
@@ -108,6 +265,7 @@ void FileStore::truncate_chunks_locked(Inode& n, std::uint64_t size) {
     if (it != n.chunks.end()) {
       std::memset(it->second + size % opt_.chunk_size, 0,
                   opt_.chunk_size - size % opt_.chunk_size);
+      update_csum_locked(n, it->first);
     }
   }
 }
@@ -355,9 +513,10 @@ std::uint64_t FileStore::apply_record_locked(RecType type,
   return 0;
 }
 
-void FileStore::crash() {
+Errc FileStore::crash() {
   std::lock_guard lock(mu_);
   stats_.add("fstore.crashes");
+  journal_corrupt_offset_ = ~std::uint64_t{0};
   if (journal_bytes_ > 0) {
     stats_.add("fstore.journal_dropped_bytes", journal_bytes_);
   }
@@ -376,7 +535,7 @@ void FileStore::crash() {
   root.attrs.nlink = 2;
   root.attrs.gen = 1;
   inodes_.emplace(kRootIno, std::move(root));
-  if (!opt_.journal_enabled) return;  // counters survive, files do not
+  if (!opt_.journal_enabled) return Errc::kOk;  // counters survive, files don't
   // Counters and the dup filter are rebuilt from their records, so clear
   // the live maps first (a standby importing a primary's stream starts from
   // nothing and must converge to exactly the shipped state).
@@ -385,15 +544,30 @@ void FileStore::crash() {
     counters_.clear();
     dup_.clear();
   }
-  // Journal replay: truncate any torn/corrupt tail, then apply every record
-  // in order to rebuild the live tree.
+  // Journal replay: truncate a torn tail (the legal crash form), then apply
+  // every record in order to rebuild the live tree. Interior corruption is
+  // *not* truncated — the valid prefix is applied so the damage can be
+  // inspected, but kCorrupt tells the caller to refuse the mount.
   std::uint64_t replayed = 0;
-  const std::uint64_t torn = jlog_.replay(
+  const FStoreJournal::ReplayResult rep = jlog_.replay(
       [&](RecType type, std::span<const std::byte> payload) {
         replayed += apply_record_locked(type, payload);
       });
-  if (torn > 0) stats_.add("fstore.journal_truncated_bytes", torn);
+  if (rep.torn_bytes > 0) {
+    stats_.add("fstore.journal_truncated_bytes", rep.torn_bytes);
+  }
   stats_.add("fstore.journal_replayed_bytes", replayed);
+  if (rep.interior_corrupt) {
+    journal_corrupt_offset_ = rep.corrupt_offset;
+    stats_.add("fstore.journal_interior_corrupt");
+    return Errc::kCorrupt;
+  }
+  return Errc::kOk;
+}
+
+std::uint64_t FileStore::journal_corrupt_offset() const {
+  std::lock_guard lock(mu_);
+  return journal_corrupt_offset_;
 }
 
 void FileStore::journal_server_state(std::uint64_t next_session,
@@ -682,7 +856,7 @@ Errc FileStore::set_size(Ino ino, std::uint64_t size) {
 // ---------------------------------------------------------------------------
 
 Result<std::uint64_t> FileStore::pread(Ino ino, std::uint64_t off,
-                                       std::span<std::byte> out) {
+                                       std::span<std::byte> out, bool verify) {
   std::optional<sim::SpanScope> span;
   if (opt_.tracer != nullptr) span.emplace(*opt_.tracer, "fstore", "pread");
   std::lock_guard lock(mu_);
@@ -704,6 +878,11 @@ Result<std::uint64_t> FileStore::pread(Ino ino, std::uint64_t off,
     const std::uint64_t co = pos % opt_.chunk_size;
     const std::uint64_t n_here = std::min(len - done, opt_.chunk_size - co);
     touch_cache_locked(ino, ci);
+    if (verify && !chunk_clean_locked(*n, ci)) {
+      charge_crc(done + n_here);
+      stats_.add("fstore.corrupt_blocks_detected");
+      return Errc::kCorrupt;
+    }
     const std::byte* chunk =
         chunk_for_locked(*n, ci, /*allocate=*/false);
     if (chunk == nullptr) {
@@ -713,6 +892,7 @@ Result<std::uint64_t> FileStore::pread(Ino ino, std::uint64_t off,
     }
     done += n_here;
   }
+  if (verify) charge_crc(len);
   if (Actor* actor = Actor::current()) {
     actor->charge(CostKind::kCopy,
                   static_cast<sim::Time>(static_cast<double>(len) * 1'000.0 /
@@ -741,11 +921,13 @@ Result<std::uint64_t> FileStore::pwrite(Ino ino, std::uint64_t off,
     touch_cache_locked(ino, ci);
     std::byte* chunk = chunk_for_locked(*n, ci, /*allocate=*/true);
     std::memcpy(chunk + co, in.data() + done, n_here);
+    update_csum_locked(*n, ci);
     done += n_here;
   }
   n->attrs.size = std::max(n->attrs.size, off + in.size());
   n->attrs.mtime = now();
   record_intent_locked(ino, off, in);
+  maybe_corrupt_written_locked(*n, off, in.size());
   if (Actor* actor = Actor::current()) {
     actor->charge(CostKind::kCopy,
                   static_cast<sim::Time>(static_cast<double>(in.size()) *
@@ -756,7 +938,7 @@ Result<std::uint64_t> FileStore::pwrite(Ino ino, std::uint64_t off,
 }
 
 Result<std::vector<std::span<std::byte>>> FileStore::extents_for_read(
-    Ino ino, std::uint64_t off, std::uint64_t len) {
+    Ino ino, std::uint64_t off, std::uint64_t len, bool verify) {
   std::optional<sim::SpanScope> span;
   if (opt_.tracer != nullptr) {
     span.emplace(*opt_.tracer, "fstore", "extents_for_read");
@@ -781,11 +963,19 @@ Result<std::vector<std::span<std::byte>>> FileStore::extents_for_read(
     const std::uint64_t co = pos % opt_.chunk_size;
     const std::uint64_t n_here = std::min(len - done, opt_.chunk_size - co);
     touch_cache_locked(ino, ci);
+    // Checksum-gate the chunk *before* it becomes a DMA source: a verifying
+    // server must never RDMA rotted bytes into a client buffer.
+    if (verify && !chunk_clean_locked(*n, ci)) {
+      charge_crc(done + n_here);
+      stats_.add("fstore.corrupt_blocks_detected");
+      return Errc::kCorrupt;
+    }
     // DMA source must be materialized even for holes.
     std::byte* chunk = chunk_for_locked(*n, ci, /*allocate=*/true);
     out.emplace_back(chunk + co, n_here);
     done += n_here;
   }
+  if (verify) charge_crc(len);
   return out;
 }
 
@@ -821,6 +1011,12 @@ Errc FileStore::commit_write(Ino ino, std::uint64_t off, std::uint64_t len) {
   if (n->attrs.is_dir) return Errc::kIsDir;
   n->attrs.size = std::max(n->attrs.size, off + len);
   n->attrs.mtime = now();
+  // The DMA mutated the chunks behind the checksums' back: re-checksum every
+  // chunk the committed range touches.
+  for (std::uint64_t ci = off / opt_.chunk_size;
+       len > 0 && ci <= (off + len - 1) / opt_.chunk_size; ++ci) {
+    update_csum_locked(*n, ci);
+  }
   // Direct (RDMA) writes land straight in the cache chunks, so the journal
   // intent is captured here, from the chunks the DMA just filled.
   if (opt_.journal_enabled && len > 0) {
@@ -841,6 +1037,7 @@ Errc FileStore::commit_write(Ino ino, std::uint64_t off, std::uint64_t len) {
     }
     record_intent_locked(ino, off, data);
   }
+  maybe_corrupt_written_locked(*n, off, len);
   return Errc::kOk;
 }
 

@@ -46,6 +46,11 @@ struct Options {
   /// Host copy rate for the copying data path (keep in sync with the
   /// fabric's CostModel::memcpy_mbps).
   double memcpy_mbps = 400.0;
+  /// Modeled CRC-32C throughput, charged per byte verified on the
+  /// verify-on-read path and by the scrubber (software checksumming on
+  /// paper-era hosts runs well above the copy rate but is not free — E19
+  /// sweeps the resulting overhead).
+  double crc_mbps = 2000.0;
   /// Optional fault plan consulted on the read paths (short reads and
   /// injected media errors). Not owned; the DAFS server wires the fabric's
   /// plan in here so one switchboard drives every layer.
@@ -110,8 +115,11 @@ class FileStore {
 
   // ---- data: copying path --------------------------------------------------
   /// Read up to out.size() bytes at `off`; returns bytes read (short at EOF).
+  /// With `verify`, every touched chunk's CRC-32C is recomputed against the
+  /// stored block checksum first — a mismatch returns kCorrupt instead of
+  /// serving rotted bytes (and charges modeled checksum time).
   Result<std::uint64_t> pread(Ino ino, std::uint64_t off,
-                              std::span<std::byte> out);
+                              std::span<std::byte> out, bool verify = false);
   /// Write in.size() bytes at `off`, extending the file as needed.
   Result<std::uint64_t> pwrite(Ino ino, std::uint64_t off,
                                std::span<const std::byte> in);
@@ -119,9 +127,10 @@ class FileStore {
   // ---- data: zero-copy (DMA) path -------------------------------------------
   /// Chunk-pieces covering [off, off+len) of existing file data, clamped to
   /// EOF. The spans point into the buffer cache; valid until the file is
-  /// truncated or removed.
+  /// truncated or removed. `verify` as in pread: checksum-check every chunk
+  /// before exposing it as a DMA source.
   Result<std::vector<std::span<std::byte>>> extents_for_read(
-      Ino ino, std::uint64_t off, std::uint64_t len);
+      Ino ino, std::uint64_t off, std::uint64_t len, bool verify = false);
   /// Allocate (if needed) and return chunk-pieces covering [off, off+len)
   /// for an incoming write; call `commit_write` afterwards to update size
   /// and mtime.
@@ -144,7 +153,18 @@ class FileStore {
   /// and the duplicate filter are rebuilt from their synchronously-journaled
   /// records and so survive. A standby filer that imported a primary's
   /// journal stream calls this to materialize the shipped state.
-  void crash();
+  ///
+  /// Returns kOk, or kCorrupt when replay found *interior* journal
+  /// corruption — a bad frame with valid records after it. A torn tail is
+  /// legal (the interrupted final write never acknowledged) and is truncated
+  /// as before; interior rot is not: replay applies only the records before
+  /// the bad frame, leaves the log untruncated (truncation would silently
+  /// erase the valid suffix), and `journal_corrupt_offset()` names the bad
+  /// frame so the mount can be refused.
+  Errc crash();
+  /// Offset of the interior-corrupt journal frame found by the last crash()
+  /// replay, or ~0ull when the journal replayed clean.
+  std::uint64_t journal_corrupt_offset() const;
   /// Un-synced intent bytes currently pending (not yet folded into a
   /// kSyncCommit record).
   std::size_t journal_pending_bytes() const;
@@ -179,6 +199,40 @@ class FileStore {
   /// <= upto_seq), bounding filter memory.
   void dup_forget(std::uint64_t client_id, std::uint32_t upto_seq);
 
+  // ---- block integrity (checksums at rest) ---------------------------------
+  /// Recompute the CRC-32C of every chunk overlapping [off, off+len) of
+  /// `ino` (clamped to EOF) against the stored block checksums. kOk when all
+  /// match, kCorrupt on the first mismatch. Holes verify trivially.
+  Errc verify_range(Ino ino, std::uint64_t off, std::uint64_t len);
+
+  /// Scrub cursor: an (inode, chunk) position in the store's block walk.
+  struct ScrubCursor {
+    Ino ino = 0;
+    std::uint64_t chunk = 0;
+  };
+  struct ScrubBlock {
+    Ino ino = kInvalidIno;
+    std::uint64_t chunk = 0;
+  };
+  struct ScrubStep {
+    std::size_t checked = 0;       // chunks verified this step
+    bool wrapped = false;          // the walk completed a full pass
+    std::vector<ScrubBlock> bad;   // chunks whose checksum mismatched
+  };
+  /// Verify up to `max_chunks` allocated chunks starting at `*cursor`,
+  /// advancing the cursor; the background scrubber calls this at a paced
+  /// rate. When the walk falls off the end of the inode table the cursor
+  /// resets and `wrapped` reports a completed pass. Charges modeled checksum
+  /// time for the bytes verified.
+  ScrubStep scrub_step(ScrubCursor* cursor, std::size_t max_chunks);
+
+  /// Overwrite one allocated chunk with `data` (zero-padded to the chunk
+  /// size) and recompute its stored checksum — the scrub-repair write path.
+  /// Deliberately journal-free: repair restores bytes the journal already
+  /// vouches for, it does not create new history.
+  Errc repair_chunk(Ino ino, std::uint64_t chunk,
+                    std::span<const std::byte> data);
+
   sim::Stats& stats() { return stats_; }
   const Options& options() const { return opt_; }
 
@@ -187,6 +241,10 @@ class FileStore {
     Attrs attrs;
     std::map<std::string, Ino> entries;           // directories
     std::map<std::uint64_t, std::byte*> chunks;   // files: chunk idx -> data
+    /// Per-chunk CRC-32C over the full chunk (tail bytes past EOF are kept
+    /// zeroed, so the full-chunk checksum is well defined). Maintained by
+    /// every mutation path; one entry per allocated chunk.
+    std::map<std::uint64_t, std::uint32_t> csums;
   };
 
   /// One pending write intent (data captured at write time, folded into a
@@ -199,6 +257,17 @@ class FileStore {
 
   Inode* find_locked(Ino ino);
   const Inode* find_locked(Ino ino) const;
+  /// Recompute and store the full-chunk checksum of an allocated chunk.
+  void update_csum_locked(Inode& node, std::uint64_t chunk_idx);
+  /// True when the chunk's bytes still match its stored checksum.
+  bool chunk_clean_locked(const Inode& node, std::uint64_t chunk_idx) const;
+  /// Charge modeled CRC time for `bytes` to the calling actor.
+  void charge_crc(std::uint64_t bytes) const;
+  /// Post-write fault hook: flip one seeded bit in the just-written range
+  /// when the plan armed at-rest corruption (the checksum was recorded
+  /// first, so the rot is detectable).
+  void maybe_corrupt_written_locked(Inode& node, std::uint64_t off,
+                                    std::uint64_t len);
   Result<Ino> insert_child_locked(Ino dir, std::string_view name,
                                   bool exclusive, bool is_dir);
   std::byte* chunk_for_locked(Inode& node, std::uint64_t chunk_idx,
@@ -245,6 +314,10 @@ class FileStore {
   // Latest kServerState record seen (appended locally or replayed).
   std::uint64_t srv_next_session_ = 0;
   std::uint64_t srv_epoch_ = 0;
+  // CRC-32C of an all-zero chunk (fresh allocations start checksummed) and
+  // the interior-corruption verdict of the last crash() replay.
+  std::uint32_t zero_chunk_crc_ = 0;
+  std::uint64_t journal_corrupt_offset_ = ~std::uint64_t{0};
 
   // Slab allocator for chunks.
   std::vector<std::unique_ptr<std::byte[]>> slabs_;

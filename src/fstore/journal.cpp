@@ -7,12 +7,12 @@ namespace fstore {
 
 namespace {
 
-std::array<std::uint32_t, 256> make_crc_table() {
+std::array<std::uint32_t, 256> make_crc_table(std::uint32_t poly) {
   std::array<std::uint32_t, 256> t{};
   for (std::uint32_t i = 0; i < 256; ++i) {
     std::uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
-      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      c = (c & 1u) ? poly ^ (c >> 1) : c >> 1;
     }
     t[i] = c;
   }
@@ -22,8 +22,19 @@ std::array<std::uint32_t, 256> make_crc_table() {
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::byte> data) {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  static const std::array<std::uint32_t, 256> table =
+      make_crc_table(0xEDB88320u);
   std::uint32_t c = 0xFFFFFFFFu;
+  for (std::byte b : data) {
+    c = table[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table =
+      make_crc_table(0x82F63B78u);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
   for (std::byte b : data) {
     c = table[(c ^ static_cast<std::uint8_t>(b)) & 0xFFu] ^ (c >> 8);
   }
@@ -46,6 +57,22 @@ std::uint64_t FStoreJournal::valid_prefix(std::span<const std::byte> log,
   }
   if (records != nullptr) *records = count;
   return pos;
+}
+
+bool FStoreJournal::has_valid_record(std::span<const std::byte> tail) {
+  // Scan every byte offset for a complete, CRC-clean frame. A torn write
+  // leaves only the interrupted suffix (no full frame can follow the break),
+  // so finding one proves the damage sits *inside* otherwise-intact storage.
+  for (std::size_t pos = 0; pos + sizeof(RecHeader) <= tail.size(); ++pos) {
+    RecHeader h;
+    std::memcpy(&h, tail.data() + pos, sizeof(h));
+    if (h.magic != kRecMagic) continue;
+    if (tail.size() - pos - sizeof(RecHeader) < h.len) continue;
+    if (crc32(tail.subspan(pos + sizeof(RecHeader), h.len)) == h.crc) {
+      return true;
+    }
+  }
+  return false;
 }
 
 std::uint64_t FStoreJournal::append(RecType type,
@@ -104,14 +131,27 @@ FStoreJournal::ImportResult FStoreJournal::import(
   return res;
 }
 
-std::uint64_t FStoreJournal::replay(
+FStoreJournal::ReplayResult FStoreJournal::replay(
     const std::function<void(RecType, std::span<const std::byte>)>& fn) {
   std::lock_guard lock(mu_);
+  ReplayResult res;
   const std::uint64_t good = valid_prefix(log_, nullptr);
-  const std::uint64_t torn = log_.size() - good;
-  log_.resize(good);
+  if (good < log_.size()) {
+    if (has_valid_record(std::span<const std::byte>(log_).subspan(
+            good + 1))) {
+      // Interior corruption: valid records live past the bad frame, so this
+      // is bit rot, not a torn final write. Truncating would silently erase
+      // a legal journal suffix — keep the log intact (evidence included)
+      // and let the caller refuse the mount.
+      res.interior_corrupt = true;
+      res.corrupt_offset = good;
+    } else {
+      res.torn_bytes = log_.size() - good;
+      log_.resize(good);
+    }
+  }
   std::size_t pos = 0;
-  while (pos < log_.size()) {
+  while (pos < good) {
     RecHeader h;
     std::memcpy(&h, log_.data() + pos, sizeof(h));
     fn(static_cast<RecType>(h.type),
@@ -119,7 +159,7 @@ std::uint64_t FStoreJournal::replay(
                                                 h.len));
     pos += sizeof(RecHeader) + h.len;
   }
-  return torn;
+  return res;
 }
 
 void FStoreJournal::scan(
@@ -150,6 +190,17 @@ void FStoreJournal::corrupt_tail_byte() {
   std::lock_guard lock(mu_);
   if (log_.empty()) return;
   log_.back() ^= std::byte{0x01};
+}
+
+void FStoreJournal::corrupt_byte_at(std::uint64_t off) {
+  std::lock_guard lock(mu_);
+  if (off >= log_.size()) return;
+  log_[off] ^= std::byte{0x01};
+}
+
+void FStoreJournal::chop_tail(std::uint64_t n) {
+  std::lock_guard lock(mu_);
+  log_.resize(log_.size() - std::min<std::uint64_t>(n, log_.size()));
 }
 
 void FStoreJournal::reset() {

@@ -16,6 +16,14 @@ namespace fstore {
 /// the table is built once on first use.
 std::uint32_t crc32(std::span<const std::byte> data);
 
+/// CRC-32C (Castagnoli polynomial, reflected) — the block/wire checksum of
+/// the integrity layer (at-rest chunk checksums, DAFS payload checksums).
+/// Kept distinct from the journal's CRC-32 so a framed journal record can
+/// never masquerade as a verified data block. `seed` chains incremental
+/// computations: pass the previous call's return value to extend a running
+/// checksum over a scatter/gather byte stream.
+std::uint32_t crc32c(std::span<const std::byte> data, std::uint32_t seed = 0);
+
 /// Record types in the store's write-ahead log. The log *is* the durable
 /// image: local crash-restart replays it from offset 0, and the replication
 /// channel ships its raw bytes to a standby filer which imports them
@@ -157,10 +165,21 @@ class FStoreJournal {
   /// longest valid prefix — the standby-side half of torn-tail truncation.
   ImportResult import(std::span<const std::byte> stream);
 
-  /// Iterate every valid record in order. A torn or corrupt tail is
-  /// truncated off the log in place; returns the number of bytes dropped.
+  struct ReplayResult {
+    std::uint64_t torn_bytes = 0;      // tail bytes truncated off the log
+    bool interior_corrupt = false;     // a bad frame had valid records after it
+    std::uint64_t corrupt_offset = 0;  // offset of the bad frame when interior
+  };
+  /// Iterate every valid record in order. A *torn tail* — an invalid frame
+  /// with no valid record anywhere after it, i.e. an interrupted final write
+  /// — is truncated off the log in place and counted in `torn_bytes`; that
+  /// is the legal crash form. A bad frame *followed by* at least one valid
+  /// record is interior corruption (bit rot inside stable storage): replay
+  /// refuses to truncate — truncating would silently erase the valid suffix
+  /// — applies only the records before the bad frame, and surfaces the bad
+  /// frame's offset so the mount can be refused / the store marked kCorrupt.
   /// `fn` runs under the journal lock and must not call back into the log.
-  std::uint64_t replay(
+  ReplayResult replay(
       const std::function<void(RecType, std::span<const std::byte>)>& fn);
 
   /// Iterate every valid record with its start offset, without mutating the
@@ -178,6 +197,13 @@ class FStoreJournal {
   /// Test hook: flip one byte in the last record's payload, simulating a
   /// torn/corrupted tail on stable storage.
   void corrupt_tail_byte();
+  /// Test hook: flip one byte at absolute log offset `off`, simulating bit
+  /// rot *inside* the record stream (interior corruption when valid records
+  /// follow the damaged frame).
+  void corrupt_byte_at(std::uint64_t off);
+  /// Test hook: chop `n` bytes off the end of the log, simulating a write
+  /// torn mid-record by a power cut.
+  void chop_tail(std::uint64_t n);
 
   void reset();
 
@@ -186,6 +212,10 @@ class FStoreJournal {
   /// match); sets `*records` to the count when non-null.
   static std::uint64_t valid_prefix(std::span<const std::byte> log,
                                     std::size_t* records);
+  /// True when a complete valid record exists anywhere in `tail` — the
+  /// torn-vs-interior discriminator: a torn write leaves only garbage after
+  /// the break, while bit rot leaves the undamaged suffix intact.
+  static bool has_valid_record(std::span<const std::byte> tail);
 
   mutable std::mutex mu_;
   std::vector<std::byte> log_;

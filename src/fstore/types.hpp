@@ -21,6 +21,7 @@ enum class Errc : std::uint8_t {
   kInval,      // bad argument
   kStale,      // inode number no longer valid
   kIo,         // media/backend read failure (fault-injected)
+  kCorrupt,    // checksum mismatch: at-rest block or journal interior record
 };
 
 constexpr const char* to_string(Errc e) {
@@ -34,6 +35,7 @@ constexpr const char* to_string(Errc e) {
     case Errc::kInval: return "invalid";
     case Errc::kStale: return "stale";
     case Errc::kIo: return "io-error";
+    case Errc::kCorrupt: return "corrupt";
   }
   return "?";
 }

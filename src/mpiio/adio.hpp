@@ -59,6 +59,9 @@ constexpr ErrClass error_class(Err e) {
     case Err::kBusy:       // deadline/backpressure budget exhausted end-to-end
     case Err::kFenced:     // every endpoint deposed/unreachable
     case Err::kNotLeader:  // no reachable quorum leader: transport-class
+    case Err::kCorrupt:    // checksum mismatch survived every retry: the
+                           // data is gone, not the transport — still the
+                           // I/O-failure class MPI applications handle
     case Err::kIo: return ErrClass::kIo;
   }
   return ErrClass::kIo;

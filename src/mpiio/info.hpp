@@ -118,6 +118,21 @@ inline dafs::RetryPolicy parse_retry_policy(const Info& info,
   return p;
 }
 
+/// Parse the `dafs_integrity` hint: "off" (default), "wire" (CRC-32C on
+/// every data payload) or "full" (wire + server-side at-rest verification on
+/// reads). Any other value is a bad hint and keeps `base`.
+inline dafs::IntegrityMode parse_integrity_mode(
+    const Info& info, dafs::IntegrityMode base = dafs::IntegrityMode::kOff) {
+  const auto v = info.get("dafs_integrity");
+  if (!v) return base;
+  if (*v == "off") return dafs::IntegrityMode::kOff;
+  if (*v == "wire") return dafs::IntegrityMode::kWire;
+  if (*v == "full") return dafs::IntegrityMode::kFull;
+  // Reuse the numeric-hint failure accounting for the malformed enum.
+  (void)info.get_uint("dafs_integrity", 0);
+  return base;
+}
+
 /// Parse a full mount description. `dafs_endpoints` is a comma-separated,
 /// ordered list of filer service names (first = preferred primary, the rest
 /// failover targets); tokens are whitespace-trimmed and duplicates dropped,
@@ -163,6 +178,7 @@ inline dafs::MountSpec parse_mount_spec(const Info& info,
   } else {
     for (auto& e : m.endpoints) e.retry = p;
   }
+  m.client.integrity = parse_integrity_mode(info, m.client.integrity);
   m.stripe_size = info.get_uint("dafs_stripe_size", m.stripe_size);
   if (m.stripe_size == 0) m.stripe_size = dafs::kDefaultStripeSize;
   const std::uint64_t sc =

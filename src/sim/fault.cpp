@@ -15,6 +15,10 @@ void FaultPlan::arm(std::uint64_t seed) {
   reg_failures_left_ = 0;
   fstore_read_failures_left_ = 0;
   short_read_prob_ = 0.0;
+  corrupt_prob_ = 0.0;
+  corrupt_transfers_left_ = 0;
+  fstore_corrupt_armed_ = false;
+  fstore_corrupt_skip_ = 0;
   crash_ = CrashRule{};
   crash_node_filter_ = kAnyNode;
   partitions_.clear();
@@ -29,6 +33,10 @@ void FaultPlan::clear() {
   reg_failures_left_ = 0;
   fstore_read_failures_left_ = 0;
   short_read_prob_ = 0.0;
+  corrupt_prob_ = 0.0;
+  corrupt_transfers_left_ = 0;
+  fstore_corrupt_armed_ = false;
+  fstore_corrupt_skip_ = 0;
   crash_ = CrashRule{};
   partitions_.clear();
   armed_.store(false, std::memory_order_relaxed);
@@ -38,7 +46,9 @@ void FaultPlan::recompute_armed_locked() {
   const bool any = drop_prob_ > 0.0 || dup_prob_ > 0.0 || delay_prob_ > 0.0 ||
                    !breaks_.empty() || reg_failures_left_ > 0 ||
                    fstore_read_failures_left_ > 0 || short_read_prob_ > 0.0 ||
-                   crash_.armed || !partitions_.empty();
+                   corrupt_prob_ > 0.0 || corrupt_transfers_left_ > 0 ||
+                   fstore_corrupt_armed_ || crash_.armed ||
+                   !partitions_.empty();
   armed_.store(any, std::memory_order_relaxed);
 }
 
@@ -178,6 +188,25 @@ void FaultPlan::set_short_read_prob(double p) {
   recompute_armed_locked();
 }
 
+void FaultPlan::set_corrupt_prob(double p) {
+  std::lock_guard lock(mu_);
+  corrupt_prob_ = p;
+  recompute_armed_locked();
+}
+
+void FaultPlan::corrupt_next_transfers(std::uint64_t n) {
+  std::lock_guard lock(mu_);
+  corrupt_transfers_left_ = n;
+  recompute_armed_locked();
+}
+
+void FaultPlan::corrupt_fstore_block_after(std::uint64_t skip) {
+  std::lock_guard lock(mu_);
+  fstore_corrupt_armed_ = true;
+  fstore_corrupt_skip_ = skip;
+  recompute_armed_locked();
+}
+
 bool FaultPlan::transfer_candidate_locked(const std::string& conn, NodeId src,
                                           NodeId dst) const {
   if (node_filter_ != kAnyNode && src != node_filter_ && dst != node_filter_) {
@@ -204,6 +233,17 @@ TransferFault FaultPlan::on_transfer(const std::string& conn, NodeId src,
   }
   if (dup_prob_ > 0.0 && rng_.unit() < dup_prob_) f.duplicate = true;
   if (delay_prob_ > 0.0 && rng_.unit() < delay_prob_) f.delay = delay_;
+  if (corrupt_transfers_left_ > 0) {
+    --corrupt_transfers_left_;
+    f.corrupt = true;
+    if (corrupt_transfers_left_ == 0) recompute_armed_locked();
+  } else if (corrupt_prob_ > 0.0 && rng_.unit() < corrupt_prob_) {
+    f.corrupt = true;
+  }
+  if (f.corrupt) {
+    f.corrupt_seed = rng_.next();
+    if (f.corrupt_seed == 0) f.corrupt_seed = 1;  // 0 = "intact" downstream
+  }
   return f;
 }
 
@@ -240,6 +280,20 @@ bool FaultPlan::on_fstore_read(std::uint64_t* len) {
     *len = 1 + rng_.below(*len - 1);  // short but never empty
   }
   return false;
+}
+
+bool FaultPlan::on_fstore_write(std::uint64_t* flip) {
+  if (!armed()) return false;
+  std::lock_guard lock(mu_);
+  if (!fstore_corrupt_armed_) return false;
+  if (fstore_corrupt_skip_ > 0) {
+    --fstore_corrupt_skip_;
+    return false;
+  }
+  fstore_corrupt_armed_ = false;  // one-shot
+  if (flip != nullptr) *flip = rng_.next();
+  recompute_armed_locked();
+  return true;
 }
 
 bool FaultPlan::on_server_request(Time now, NodeId node,

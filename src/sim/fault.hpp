@@ -19,6 +19,11 @@ struct TransferFault {
   bool drop = false;       // message never arrives (reliable VI => conn break)
   bool duplicate = false;  // message delivered twice
   Time delay = 0;          // extra latency before the wire sees it
+  bool corrupt = false;    // flip one payload bit at the receiver
+  /// Seed for targeting the flipped bit (byte = seed % len, bit = seed>>16
+  /// % 8), drawn from the plan's RNG so a seeded schedule reproduces the
+  /// exact same damage.
+  std::uint64_t corrupt_seed = 0;
 };
 
 /// Seeded, deterministic fault injector consulted by the VIA layer, the
@@ -48,6 +53,12 @@ class FaultPlan {
   void set_drop_prob(double p);
   void set_duplicate_prob(double p);
   void set_delay(double p, Time delay);
+  /// Each matching transfer independently has one payload bit flipped at the
+  /// receiver with probability `p` (wire corruption the NIC's own CRC missed).
+  void set_corrupt_prob(double p);
+  /// Deterministic form: corrupt exactly the next `n` matching transfers
+  /// that carry a payload, then disarm.
+  void corrupt_next_transfers(std::uint64_t n);
   /// Restrict transfer faults to transfers touching `node` (a filer, say),
   /// leaving e.g. MPI rank-to-rank traffic unharmed. kInvalidNode = all.
   void restrict_to_node(NodeId node);
@@ -103,6 +114,11 @@ class FaultPlan {
   /// Each file-store pread independently returns a short count with
   /// probability `p` (at least 1 byte, strictly less than requested).
   void set_short_read_prob(double p);
+  /// At-rest bit rot: after `skip` further data-write operations, flip one
+  /// seeded bit inside the range the next write stored — *after* its block
+  /// checksum was recorded, so the damage is silent until a verifying read
+  /// or a scrub pass recomputes the checksum. One-shot; re-arm for more.
+  void corrupt_fstore_block_after(std::uint64_t skip);
 
   // ---- queries (layer-facing) --------------------------------------------
   bool armed() const { return armed_.load(std::memory_order_relaxed); }
@@ -115,6 +131,11 @@ class FaultPlan {
   /// be clamped below its incoming value (short read). len == nullptr for
   /// paths that cannot shorten (extent lookups).
   bool on_fstore_read(std::uint64_t* len);
+  /// Consulted by the file store once per data-write operation, *after* the
+  /// write (and its checksum) landed. True when this write's range should be
+  /// silently damaged; *flip receives a seed targeting the flipped bit
+  /// (byte = seed % len, bit = seed>>16 % 8).
+  bool on_fstore_write(std::uint64_t* flip);
   /// Consulted by the server once per admitted request (`now` = the worker's
   /// virtual clock, `node` = the node the server runs on). True when this
   /// request trips a scheduled crash; *restart_delay_ms receives the armed
@@ -152,6 +173,11 @@ class FaultPlan {
   std::uint64_t reg_failures_left_ = 0;
   std::uint64_t fstore_read_failures_left_ = 0;
   double short_read_prob_ = 0.0;
+
+  double corrupt_prob_ = 0.0;
+  std::uint64_t corrupt_transfers_left_ = 0;
+  bool fstore_corrupt_armed_ = false;
+  std::uint64_t fstore_corrupt_skip_ = 0;
 
   struct CrashRule {
     bool armed = false;

@@ -33,6 +33,22 @@ bool bounded_wait(std::condition_variable& cv, std::unique_lock<std::mutex>& lk,
 /// done_at from another actor's clock).
 Time since(Time from, Time to) { return to > from ? to - from : 0; }
 
+/// Apply a TransferFault's wire corruption to a scattered payload of `total`
+/// bytes: flip bit `(seed>>16) % 8` of byte `seed % total`, walking the
+/// segment list to find the owning segment.
+template <typename Segs>
+void flip_scattered_bit(Segs& segs, std::uint64_t total, std::uint64_t seed) {
+  std::uint64_t t = seed % total;
+  const std::byte mask{static_cast<unsigned char>(1u << ((seed >> 16) % 8))};
+  for (auto& seg : segs) {
+    if (t < seg.len) {
+      seg.addr[t] ^= mask;
+      return;
+    }
+    t -= seg.len;
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -341,7 +357,8 @@ Status Vi::post_send(Descriptor& d) {
           fabric.transfer(src, dst, kWireHeaderBytes + total, faulted_start);
       DepositOutcome out = peer->deposit(&d, static_cast<std::uint32_t>(total),
                                          d.has_immediate, d.immediate, arrival,
-                                         lenient);
+                                         lenient,
+                                         tf.corrupt ? tf.corrupt_seed : 0);
       if (tf.duplicate && out.sender_status == DescStatus::kSuccess) {
         // Deliver the same message a second time (e.g. a spurious transport
         // retransmit); exercises duplicate suppression upstairs.
@@ -379,6 +396,11 @@ Status Vi::post_send(Descriptor& d) {
       for (const auto& seg : d.segs) {
         std::memcpy(dst_mem + off, seg.addr, seg.len);
         off += seg.len;
+      }
+      if (tf.corrupt && total > 0) {
+        dst_mem[tf.corrupt_seed % total] ^= std::byte{
+            static_cast<unsigned char>(1u << ((tf.corrupt_seed >> 16) % 8))};
+        fabric.stats().add("fault.transfer_corruptions");
       }
       const Time arrival =
           fabric.transfer(src, dst, kWireHeaderBytes + total, faulted_start);
@@ -420,6 +442,10 @@ Status Vi::post_send(Descriptor& d) {
       for (const auto& seg : d.segs) {
         std::memcpy(seg.addr, src_mem + off, seg.len);
         off += seg.len;
+      }
+      if (tf.corrupt && total > 0) {
+        flip_scattered_bit(d.segs, total, tf.corrupt_seed);
+        fabric.stats().add("fault.transfer_corruptions");
       }
       // Request goes out, data comes back: one round trip plus the payload.
       const Time req_arrival =
@@ -524,7 +550,8 @@ void Vi::fault_break(Vi* peer, Time t) {
 Vi::DepositOutcome Vi::deposit(const Descriptor* gather,
                                std::uint32_t report_len, bool has_imm,
                                std::uint32_t imm, Time arrival,
-                               bool lenient_wait) {
+                               bool lenient_wait,
+                               std::uint64_t corrupt_seed) {
   std::unique_lock lock(mu_);
   if (state_ != State::kConnected) {
     return DepositOutcome{DescStatus::kFlushed, false};
@@ -589,6 +616,13 @@ Vi::DepositOutcome Vi::deposit(const Descriptor* gather,
         dst_off += n;
         copied += n;
       }
+    }
+    if (corrupt_seed != 0 && copied > 0) {
+      // Wire corruption survived the link CRC: one bit of the delivered
+      // copy flips; the sender's gather buffers stay intact (a retransmit
+      // re-reads clean bytes).
+      flip_scattered_bit(r->segs, copied, corrupt_seed);
+      nic_.fabric().stats().add("fault.transfer_corruptions");
     }
     r->length = copied;
   } else {

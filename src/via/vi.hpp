@@ -107,9 +107,11 @@ class Vi {
     bool broke = false;
     sim::Time delivered = 0;  // arrival incl. receive-descriptor processing
   };
+  /// `corrupt_seed` != 0 flips one seeded bit in the scattered bytes after
+  /// the copy (wire corruption the link CRC missed); 0 = deliver intact.
   DepositOutcome deposit(const Descriptor* gather, std::uint32_t report_len,
                          bool has_imm, std::uint32_t imm, sim::Time arrival,
-                         bool lenient_wait);
+                         bool lenient_wait, std::uint64_t corrupt_seed = 0);
 
   void complete_send(Descriptor& d);          // push to done list / CQ
   void complete_recv_locked(Descriptor& d);   // mu_ held

@@ -550,6 +550,66 @@ TEST(FStoreJournal, CorruptTailIsTruncatedOnReplay) {
   EXPECT_EQ(std::memcmp(back.data(), first.data(), 512), 0);
 }
 
+TEST(FStoreJournal, InteriorCorruptionRefusesMountWithoutTruncating) {
+  FileStore fs(journal_opt());
+  auto f = fs.create(kRootIno, "f", true).value();
+  const auto first = pattern(512, 80);
+  ASSERT_TRUE(fs.pwrite(f, 0, first).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  const std::uint64_t s1 = fs.journal_size();
+  ASSERT_TRUE(fs.pwrite(f, 512, pattern(512, 81)).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  // A third synced write leaves valid records *after* the frame we damage —
+  // the discriminator between bit rot and a torn final write.
+  ASSERT_TRUE(fs.pwrite(f, 1024, pattern(512, 82)).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  const std::uint64_t full = fs.journal_size();
+
+  // Flip one byte inside the second record's payload: its frame starts at
+  // s1, so replay must name s1 as the corrupt offset.
+  fs.journal_log().corrupt_byte_at(s1 + sizeof(fstore::RecHeader) + 4);
+  EXPECT_EQ(fs.crash(), Errc::kCorrupt);
+  EXPECT_EQ(fs.journal_corrupt_offset(), s1);
+  EXPECT_EQ(fs.stats().get("fstore.journal_interior_corrupt"), 1u);
+  // The log was NOT truncated — that would silently erase the valid suffix
+  // (the third record). The evidence stays in place for inspection.
+  EXPECT_EQ(fs.journal_size(), full);
+  EXPECT_EQ(fs.stats().get("fstore.journal_truncated_bytes"), 0u);
+  // Only the records before the bad frame were applied: the durable image is
+  // exactly the first sync.
+  EXPECT_EQ(fs.getattr(f).value().size, 512u);
+  std::vector<std::byte> back(512);
+  ASSERT_EQ(fs.pread(f, 0, back).value(), 512u);
+  EXPECT_EQ(std::memcmp(back.data(), first.data(), 512), 0);
+}
+
+TEST(FStoreJournal, ChoppedTailIsLegalTornWrite) {
+  FileStore fs(journal_opt());
+  auto f = fs.create(kRootIno, "f", true).value();
+  const auto first = pattern(512, 85);
+  ASSERT_TRUE(fs.pwrite(f, 0, first).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  const std::uint64_t intact = fs.journal_size();
+  ASSERT_TRUE(fs.pwrite(f, 512, pattern(512, 86)).ok());
+  ASSERT_EQ(fs.sync(f), Errc::kOk);
+  const std::uint64_t full = fs.journal_size();
+
+  // A power cut tears the final record mid-write: only part of its bytes
+  // reached stable storage. No valid record follows the break, so this is
+  // the legal crash form — truncate and mount.
+  fs.journal_log().chop_tail(5);
+  EXPECT_EQ(fs.crash(), Errc::kOk);
+  EXPECT_EQ(fs.journal_corrupt_offset(), ~std::uint64_t{0});
+  EXPECT_EQ(fs.journal_size(), intact);
+  EXPECT_EQ(fs.stats().get("fstore.journal_truncated_bytes"),
+            full - 5 - intact);
+  EXPECT_EQ(fs.stats().get("fstore.journal_interior_corrupt"), 0u);
+  EXPECT_EQ(fs.getattr(f).value().size, 512u);
+  std::vector<std::byte> back(512);
+  ASSERT_EQ(fs.pread(f, 0, back).value(), 512u);
+  EXPECT_EQ(std::memcmp(back.data(), first.data(), 512), 0);
+}
+
 TEST(FStoreJournal, ImportRejectsCorruptStreamTail) {
   // Build a donor log of framed records, corrupt its tail, and import it
   // into a fresh journal — the standby-side half of torn-tail handling.
