@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validate the unified metrics JSON a bench emits (bench/common.hpp
+emit_metrics_json; schema documented in EXPERIMENTS.md "Unified metrics
+JSON").
+
+The input file is a bench's captured stdout: human-readable tables mixed
+with one (or more) single-line JSON documents. Every line that parses as a
+JSON object with a "bench" key is validated:
+
+  - required sections present: bench, params, counters, gauges, histograms
+  - counter and gauge values are non-negative integers with dotted
+    lowercase keys
+  - histogram entries carry count/sum/min/max/mean/p50/p95/p99 with
+    min <= p50 <= p95 <= p99 <= max and count >= 1
+  - when a "timeseries" section is present: interval_ns > 0, a non-empty
+    series map, per-series equal-length t/v arrays, t strictly increasing
+
+With --require-timeseries, at least one document must carry a non-empty
+timeseries section (used for the telemetry bench, which arms the sampler).
+
+Usage: check_metrics.py [--require-timeseries] <bench-stdout-file>...
+"""
+import argparse
+import json
+import re
+import sys
+
+KEY_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+PERCENTILE_ORDER = ["min", "p50", "p95", "p99", "max"]
+HIST_FIELDS = ["count", "sum", "min", "max", "mean", "p50", "p95", "p99"]
+
+
+def fail(msg):
+    print(f"check_metrics: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_kv_section(doc_name, section, kv):
+    if not isinstance(kv, dict):
+        fail(f"{doc_name}: '{section}' is not an object")
+    for key, value in kv.items():
+        if not KEY_RE.match(key):
+            fail(f"{doc_name}: {section} key {key!r} is not dotted lowercase")
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            fail(f"{doc_name}: {section}[{key!r}] = {value!r} is not a "
+                 "non-negative integer")
+
+
+def check_histograms(doc_name, hists):
+    if not isinstance(hists, dict):
+        fail(f"{doc_name}: 'histograms' is not an object")
+    for key, h in hists.items():
+        if not KEY_RE.match(key):
+            fail(f"{doc_name}: histogram key {key!r} is not dotted lowercase")
+        for f in HIST_FIELDS:
+            if f not in h:
+                fail(f"{doc_name}: histogram {key!r} missing field {f!r}")
+        if h["count"] < 1:
+            fail(f"{doc_name}: histogram {key!r} exported with count 0")
+        vals = [h[f] for f in PERCENTILE_ORDER]
+        for lo, hi, lo_n, hi_n in zip(vals, vals[1:], PERCENTILE_ORDER,
+                                      PERCENTILE_ORDER[1:]):
+            if lo > hi:
+                fail(f"{doc_name}: histogram {key!r}: {lo_n}={lo} > "
+                     f"{hi_n}={hi}")
+
+
+def check_timeseries(doc_name, ts):
+    if not isinstance(ts, dict):
+        fail(f"{doc_name}: 'timeseries' is not an object")
+    if ts.get("interval_ns", 0) <= 0:
+        fail(f"{doc_name}: timeseries interval_ns must be > 0")
+    series = ts.get("series")
+    if not isinstance(series, dict) or not series:
+        fail(f"{doc_name}: timeseries 'series' must be a non-empty object")
+    for key, s in series.items():
+        t, v = s.get("t"), s.get("v")
+        if not isinstance(t, list) or not isinstance(v, list):
+            fail(f"{doc_name}: series {key!r} needs 't' and 'v' arrays")
+        if len(t) != len(v):
+            fail(f"{doc_name}: series {key!r}: len(t)={len(t)} != "
+                 f"len(v)={len(v)}")
+        if not t:
+            fail(f"{doc_name}: series {key!r} is empty")
+        for a, b in zip(t, t[1:]):
+            if a >= b:
+                fail(f"{doc_name}: series {key!r} time regresses: "
+                     f"{a} >= {b}")
+
+
+def check_doc(doc):
+    name = doc.get("bench")
+    if not isinstance(name, str) or not name:
+        fail("metrics document with empty 'bench' name")
+    for section in ("params", "counters", "gauges", "histograms"):
+        if section not in doc:
+            fail(f"{name}: missing required section {section!r}")
+    if not isinstance(doc["params"], dict):
+        fail(f"{name}: 'params' is not an object")
+    check_kv_section(name, "counters", doc["counters"])
+    check_kv_section(name, "gauges", doc["gauges"])
+    check_histograms(name, doc["histograms"])
+    if not doc["counters"]:
+        fail(f"{name}: 'counters' is empty — the bench measured nothing")
+    has_ts = "timeseries" in doc
+    if has_ts:
+        check_timeseries(name, doc["timeseries"])
+    return name, has_ts
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--require-timeseries", action="store_true",
+                    help="fail unless at least one document carries a "
+                         "non-empty timeseries section")
+    ap.add_argument("files", nargs="+")
+    args = ap.parse_args()
+
+    docs = 0
+    with_ts = 0
+    for path in args.files:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if not line.startswith("{"):
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(obj, dict) or "bench" not in obj:
+                    continue
+                name, has_ts = check_doc(obj)
+                docs += 1
+                with_ts += int(has_ts)
+                print(f"check_metrics: {path}: '{name}' ok"
+                      f"{' (+timeseries)' if has_ts else ''}")
+    if docs == 0:
+        fail("no metrics documents found in input")
+    if args.require_timeseries and with_ts == 0:
+        fail("no document carried a timeseries section "
+             "(--require-timeseries)")
+    print(f"check_metrics: PASS ({docs} document(s), {with_ts} with "
+          "timeseries)")
+
+
+if __name__ == "__main__":
+    main()

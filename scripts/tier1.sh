@@ -4,14 +4,19 @@
 # fault), the server crash/restart chaos slice (ctest -L chaos), the
 # dual-filer failover slice (ctest -L failover), the causal-tracing
 # slice (ctest -L trace), the striped-layout slice (ctest -L stripe), the
-# quorum-replication slice (ctest -L raft) and the data-integrity slice
-# (ctest -L integrity), which stress the recovery paths where lifetime
-# bugs would hide. A final leg runs traced end-to-end
+# quorum-replication slice (ctest -L raft), the data-integrity slice
+# (ctest -L integrity) and the live-telemetry slice (ctest -L telemetry),
+# which stress the recovery paths where lifetime bugs would hide. A final
+# leg runs traced end-to-end
 # benchmarks and validates the emitted Perfetto JSON (ids resolve, spans
 # nest, no negative durations) with scripts/check_trace.py — including the
 # --mpiio-rooted linkage check against the traced failover bench and the
 # traced striped collective, and the --require-span check that the traced
 # quorum bench actually recorded a leader election and a re-silver burst.
+# A metrics-validation leg then replays the breakdown and telemetry benches
+# with stdout captured and checks their unified metrics JSON (schema,
+# dotted-lowercase keys, percentile ordering, monotone time series) with
+# scripts/check_metrics.py.
 #
 # Every ctest invocation runs under a per-test timeout so a hung recovery
 # path (the exact bug class the chaos suite hunts) fails the gate instead of
@@ -34,13 +39,15 @@ cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
   --timeout "$TEST_TIMEOUT"
 
-echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace + stripe + raft + integrity labels) =="
+echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace + stripe + raft + integrity + telemetry labels) =="
 cmake -B "$ASAN_BUILD" -S . -DDAFS_SANITIZE=ON >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault \
   --target test_chaos --target test_failover --target test_trace \
-  --target test_stripe --target test_quorum --target test_integrity
+  --target test_stripe --target test_quorum --target test_integrity \
+  --target test_telemetry
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" \
-  --timeout "$TEST_TIMEOUT" -L 'fault|chaos|failover|trace|stripe|raft|integrity'
+  --timeout "$TEST_TIMEOUT" \
+  -L 'fault|chaos|failover|trace|stripe|raft|integrity|telemetry'
 
 echo "== tier1: trace-validation leg (traced benches -> check_trace.py) =="
 TRACE_OUT="$BUILD/tier1_trace.json"
@@ -73,5 +80,16 @@ python3 scripts/check_trace.py --require-span raft.election \
 INTEGRITY_TRACE="$BUILD/tier1_trace_integrity.json"
 DAFS_TRACE="$INTEGRITY_TRACE" "$BUILD/bench/bench_e19_integrity" >/dev/null
 python3 scripts/check_trace.py --require-span scrub.pass "$INTEGRITY_TRACE"
+
+echo "== tier1: metrics-validation leg (bench JSON -> check_metrics.py) =="
+# The breakdown bench emits the plain schema (counters/gauges/histograms);
+# the telemetry bench additionally arms the time-series sampler, so its
+# document must carry a monotone, non-empty "timeseries" section.
+METRICS_OUT="$BUILD/tier1_metrics_e8.txt"
+"$BUILD/bench/bench_e8_breakdown" >"$METRICS_OUT"
+python3 scripts/check_metrics.py "$METRICS_OUT"
+TELEMETRY_OUT="$BUILD/tier1_metrics_e20.txt"
+"$BUILD/bench/bench_e20_telemetry" >"$TELEMETRY_OUT"
+python3 scripts/check_metrics.py --require-timeseries "$TELEMETRY_OUT"
 
 echo "== tier1: all green =="

@@ -1599,6 +1599,58 @@ PStatus Session::set_counter(std::string_view key, std::uint64_t value) {
 }
 
 // ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Parse a kStatsQuery response payload (layout in proto.hpp). Every read is
+/// bounds-checked: a short or internally-inconsistent snapshot is a protocol
+/// error, never an out-of-bounds read.
+bool parse_stats_payload(std::span<const std::byte> payload,
+                         StatsSnapshot& out) {
+  const std::byte* p = payload.data();
+  const std::byte* end = p + payload.size();
+  if (payload.size() < sizeof(WireStatsHeader)) return false;
+  std::memcpy(&out.header, p, sizeof(out.header));
+  p += sizeof(out.header);
+  if (out.header.version != kStatsVersion) return false;
+  out.sessions.resize(out.header.nsessions);
+  for (WireSessionStats& s : out.sessions) {
+    if (p + sizeof(WireSessionStats) > end) return false;
+    std::memcpy(&s, p, sizeof(s));
+    p += sizeof(s);
+  }
+  out.kv.reserve(out.header.nkv);
+  for (std::uint32_t i = 0; i < out.header.nkv; ++i) {
+    WireStatsKv kv;
+    if (p + sizeof(kv) > end) return false;
+    std::memcpy(&kv, p, sizeof(kv));
+    p += sizeof(kv);
+    if (p + kv.key_len > end) return false;
+    out.kv.emplace_back(
+        std::string(reinterpret_cast<const char*>(p), kv.key_len), kv.value);
+    p += kv.key_len;
+  }
+  return true;
+}
+}  // namespace
+
+Result<StatsSnapshot> Session::query_stats() {
+  auto id = submit_simple(Proc::kStatsQuery, {}, Fh{}, 0, 0, 0, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  StatsSnapshot snap;
+  bool parsed = false;
+  if (st == PStatus::kOk) {
+    parsed = parse_stats_payload(slots_[id.value()].payload, snap);
+  }
+  free_slot(id.value());
+  if (st != PStatus::kOk) return st;
+  if (!parsed) return PStatus::kProtoError;
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
 // Client: striped multi-filer mounts
 // ---------------------------------------------------------------------------
 

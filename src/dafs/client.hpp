@@ -37,6 +37,30 @@ struct IoVec {
 /// Identifier of an in-flight asynchronous operation.
 using OpId = std::uint32_t;
 
+/// Parsed kStatsQuery snapshot (wire format in proto.hpp): server state
+/// header, the per-client attribution table, and the counter/gauge kv list.
+struct StatsSnapshot {
+  WireStatsHeader header;
+  std::vector<WireSessionStats> sessions;
+  std::vector<std::pair<std::string, std::uint64_t>> kv;
+
+  /// The attribution row for `client_id`, or nullptr when the server has
+  /// not seen that client (or clipped it from a truncated snapshot).
+  const WireSessionStats* find_client(std::uint64_t client_id) const {
+    for (const WireSessionStats& s : sessions) {
+      if (s.client_id == client_id) return &s;
+    }
+    return nullptr;
+  }
+  /// The kv entry named `key`, or 0 when absent.
+  std::uint64_t value(std::string_view key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    return 0;
+  }
+};
+
 /// A uDAFS-style client session: a user-space file-access library speaking
 /// the DAFS protocol over one VI. Small transfers ride inline in messages;
 /// large ones are *direct*: the client registers the user buffer (with a
@@ -112,6 +136,13 @@ class Session {
   PStatus unlock(Fh fh, std::uint64_t start, std::uint64_t len);
   Result<std::uint64_t> fetch_add(std::string_view key, std::uint64_t delta);
   PStatus set_counter(std::string_view key, std::uint64_t value);
+
+  // ---- telemetry -------------------------------------------------------------
+  /// Live stats snapshot from the bound filer. Served outside the server's
+  /// admission control (succeeds while the data plane sheds kBusy) and by
+  /// fenced/follower members (which report their role/term instead of
+  /// refusing).
+  Result<StatsSnapshot> query_stats();
 
   std::uint64_t session_id() const { return session_id_; }
   std::uint64_t client_id() const { return client_id_; }
@@ -399,6 +430,9 @@ class Client {
   PStatus unlock(Fh fh, std::uint64_t start, std::uint64_t len);
   Result<std::uint64_t> fetch_add(std::string_view key, std::uint64_t delta);
   PStatus set_counter(std::string_view key, std::uint64_t value);
+
+  // ---- telemetry (metadata session; use data_session(i) for data filers) ----
+  Result<StatsSnapshot> query_stats() { return meta_->query_stats(); }
 
   /// The layout every file opened through this mount gets.
   std::uint64_t stripe_size() const { return stripe_size_; }

@@ -37,6 +37,10 @@ enum class Proc : std::uint8_t {
   kUnlock,
   kFetchAdd,     // [ext] named atomic counter; name payload, delta in aux
   kSetCounter,   // [ext]
+  kStatsQuery,   // [ext] live telemetry snapshot: WireStatsHeader + tables
+                 // in the response payload. Served outside admission control
+                 // and by fenced/follower members — the management plane
+                 // must answer precisely when the data plane is refusing.
 };
 
 /// True when a procedure can safely be re-executed after a connection loss
@@ -49,6 +53,7 @@ constexpr bool is_idempotent(Proc p) {
     case Proc::kReadInline:
     case Proc::kReadDirect:
     case Proc::kSync:
+    case Proc::kStatsQuery:
       return true;
     default:
       return false;
@@ -77,6 +82,7 @@ constexpr const char* proc_name(Proc p) {
     case Proc::kUnlock: return "unlock";
     case Proc::kFetchAdd: return "fetch_add";
     case Proc::kSetCounter: return "set_counter";
+    case Proc::kStatsQuery: return "stats_query";
   }
   return "?";
 }
@@ -258,6 +264,63 @@ struct DirectSeg {
   std::uint32_t pad = 0;
 };
 static_assert(sizeof(DirectSeg) == 32);
+
+/// ---- kStatsQuery snapshot wire format [ext] -------------------------------
+/// The response payload is, in order:
+///   1. one WireStatsHeader (`version` guards layout drift)
+///   2. `nsessions` packed WireSessionStats records (per-client attribution)
+///   3. `nkv` packed key/value records: WireStatsKv then `key_len` key bytes
+///      (selected fabric counters and gauges, by dotted name)
+/// The whole snapshot must fit one message buffer; when the session table or
+/// kv section would overflow it, the server clips and sets `truncated`.
+
+inline constexpr std::uint32_t kStatsVersion = 1;
+
+struct WireStatsHeader {
+  std::uint32_t version = kStatsVersion;
+  std::uint32_t nsessions = 0;  // WireSessionStats records following
+  std::uint32_t nkv = 0;        // WireStatsKv records after the table
+  std::uint32_t truncated = 0;  // 1 = clipped to the message buffer
+  std::uint32_t role = 0;       // dafs::Server::Role numeric value
+  std::uint32_t pad = 0;
+  std::uint64_t term = 0;       // fencing epoch / consensus term
+  std::uint64_t now_ns = 0;     // server virtual clock at snapshot time
+  std::uint64_t sessions_live = 0;
+  std::uint64_t admission_queue_depth = 0;
+  std::uint64_t admission_limit = 0;
+  std::uint64_t replay_cache_bytes = 0;
+  std::uint64_t requests_total = 0;     // "dafs.requests"
+  std::uint64_t busy_sheds = 0;         // "dafs.busy_shed"
+  std::uint64_t crash_count = 0;
+  std::uint64_t scrub_passes = 0;       // completed whole-store passes
+  std::uint64_t scrub_blocks = 0;       // blocks verified so far (progress)
+  std::uint64_t resilver_bytes = 0;
+  std::uint64_t commit_offset = 0;      // quorum majority-committed offset
+};
+static_assert(sizeof(WireStatsHeader) == 128);
+
+/// Per-client accounting row, keyed by the stable client_id (survives
+/// reconnects and server restarts, unlike session ids).
+struct WireSessionStats {
+  std::uint64_t client_id = 0;
+  std::uint64_t bytes_in = 0;       // request wire bytes + RDMA-read payload
+  std::uint64_t bytes_out = 0;      // response wire bytes + RDMA-written payload
+  std::uint64_t ops_read = 0;       // kReadInline + kReadDirect
+  std::uint64_t ops_write = 0;      // kWriteInline + kWriteDirect
+  std::uint64_t ops_meta = 0;       // everything else this client sent
+  std::uint64_t queue_wait_ns = 0;  // total NIC-completion -> worker pickup
+  std::uint64_t service_ns = 0;     // total execution time of admitted ops
+  std::uint64_t retransmits = 0;    // replay-cache hits (dup seq arrivals)
+  std::uint64_t sheds = 0;          // kBusy sheds (overload or deadline)
+};
+static_assert(sizeof(WireSessionStats) == 80);
+
+struct WireStatsKv {
+  std::uint64_t value = 0;
+  std::uint32_t key_len = 0;  // key bytes follow this record
+  std::uint32_t pad = 0;
+};
+static_assert(sizeof(WireStatsKv) == 16);
 
 /// Packed readdir entry: header then name bytes.
 struct WireDirent {

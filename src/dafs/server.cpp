@@ -76,65 +76,46 @@ Server::Server(sim::Fabric& fabric, sim::NodeId node, ServerConfig cfg)
         slabs_.emplace_back(slab.data(),
                             std::make_pair(slab.size(), h));
       });
-  // Point-in-time server state for the unified metrics export.
+  // Point-in-time server state for the unified metrics export. RAII scopes:
+  // the callbacks capture `this`, and gauges_ is the last-declared member,
+  // so they unregister before anything they read starts tearing down.
   sim::MetricsRegistry& m = fabric_.metrics();
-  m.register_gauge("dafs.admission_queue_depth",
-                   [this] { return std::uint64_t{recv_cq_.pending()}; });
-  m.register_gauge("dafs.replay_cache_bytes",
-                   [this] { return std::uint64_t{replay_cache_bytes()}; });
-  m.register_gauge("dafs.sessions_live",
-                   [this] { return std::uint64_t{session_count()}; });
-  m.register_gauge("fstore.journal_pending_bytes",
-                   [this] { return store_->journal_pending_bytes(); });
+  gauges_.emplace_back(m, "dafs.admission_queue_depth",
+                       [this] { return std::uint64_t{recv_cq_.pending()}; });
+  gauges_.emplace_back(m, "dafs.replay_cache_bytes",
+                       [this] { return std::uint64_t{replay_cache_bytes()}; });
+  gauges_.emplace_back(m, "dafs.sessions_live",
+                       [this] { return std::uint64_t{session_count()}; });
+  gauges_.emplace_back(m, "fstore.journal_pending_bytes",
+                       [this] { return store_->journal_pending_bytes(); });
   // Replication gauges: lag/acked are primary-side (the pair's standby does
   // not register them, so they never collide within one pair); the role
   // gauge is registered by any replicated member (last registration wins).
   if (!cfg_.repl_peer.empty()) {
-    m.register_gauge("dafs.repl_lag_bytes", [this] { return repl_lag_bytes(); });
-    m.register_gauge("dafs.repl_acked_bytes",
-                     [this] { return repl_acked_bytes(); });
+    gauges_.emplace_back(m, "dafs.repl_lag_bytes",
+                         [this] { return repl_lag_bytes(); });
+    gauges_.emplace_back(m, "dafs.repl_acked_bytes",
+                         [this] { return repl_acked_bytes(); });
   }
   if (!cfg_.repl_peer.empty() || !cfg_.repl_listen.empty() || quorum()) {
-    m.register_gauge("dafs.role", [this] {
+    gauges_.emplace_back(m, "dafs.role", [this] {
       return static_cast<std::uint64_t>(static_cast<int>(role()));
     });
   }
   // Quorum gauges (one member registers last and wins, same convention as
   // dafs.role; benches sample them per-phase, not per-member).
   if (quorum()) {
-    m.register_gauge("dafs.term", [this] { return epoch(); });
-    m.register_gauge("dafs.resilver_bytes",
-                     [this] { return resilver_bytes(); });
+    gauges_.emplace_back(m, "dafs.term", [this] { return epoch(); });
+    gauges_.emplace_back(m, "dafs.resilver_bytes",
+                         [this] { return resilver_bytes(); });
   }
   if (cfg_.scrub_enabled) {
-    m.register_gauge("dafs.scrub_passes", [this] { return scrub_passes(); });
+    gauges_.emplace_back(m, "dafs.scrub_passes",
+                         [this] { return scrub_passes(); });
   }
 }
 
-Server::~Server() {
-  stop();
-  // The gauge callbacks capture `this`; a bench sampling metrics after the
-  // server is gone must not call into a dead object.
-  sim::MetricsRegistry& m = fabric_.metrics();
-  m.unregister_gauge("dafs.admission_queue_depth");
-  m.unregister_gauge("dafs.replay_cache_bytes");
-  m.unregister_gauge("dafs.sessions_live");
-  m.unregister_gauge("fstore.journal_pending_bytes");
-  if (!cfg_.repl_peer.empty()) {
-    m.unregister_gauge("dafs.repl_lag_bytes");
-    m.unregister_gauge("dafs.repl_acked_bytes");
-  }
-  if (!cfg_.repl_peer.empty() || !cfg_.repl_listen.empty() || quorum()) {
-    m.unregister_gauge("dafs.role");
-  }
-  if (quorum()) {
-    m.unregister_gauge("dafs.term");
-    m.unregister_gauge("dafs.resilver_bytes");
-  }
-  if (cfg_.scrub_enabled) {
-    m.unregister_gauge("dafs.scrub_passes");
-  }
-}
+Server::~Server() { stop(); }
 
 std::uint64_t Server::repl_lag_bytes() const {
   const std::uint64_t size = store_->journal_size();
@@ -554,6 +535,9 @@ void Server::worker_loop(int idx) {
     }
     assert(req != nullptr);
     handle_request(*session, *req, *worker_send_bufs_[idx]);
+    // Time-series heartbeat: the sampler itself decides (by cadence) whether
+    // this tick records a snapshot; a no-op unless enable_timeseries() ran.
+    fabric_.metrics().tick(worker_actors_[idx]->now());
     // Return the buffer to the session's receive pool (credit restored). A
     // failed repost means the connection died; the session is torn down (or
     // resumed onto a fresh VI) elsewhere.
@@ -638,6 +622,38 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
     }
   }
 
+  // Queue wait this request experienced (NIC completion -> worker pickup),
+  // attributed to the issuing client whether the request is served or shed.
+  const std::uint64_t entry_now = actor->now();
+  const std::uint64_t wait_ns =
+      req_buf.desc.done_at != 0 && entry_now > req_buf.desc.done_at
+          ? entry_now - req_buf.desc.done_at
+          : 0;
+
+  // Live-telemetry fast path. kStatsQuery is answered ahead of every
+  // data-plane refusal — a fenced or follower member still reports its
+  // role/term, and an overloaded server still reports who is flooding it
+  // (the query never reaches the admission check below). A stats plane that
+  // sheds with the data plane is useless during exactly the incidents it
+  // exists to observe.
+  if (req.header().proc == Proc::kStatsQuery) {
+    if (req.header().session_id != s.id) {
+      resp.header().status = PStatus::kBadSession;
+    } else {
+      do_stats(resp);
+      ClientStat d;
+      d.ops_meta = 1;
+      d.bytes_in = req.wire_size();
+      d.bytes_out = resp.wire_size();
+      d.queue_wait_ns = wait_ns;
+      d.service_ns = actor->now() - entry_now;
+      account_client(req.header().client_id, d);
+    }
+    fabric_.stats().add("dafs.stats_queries");
+    send_response(s, out);
+    return;
+  }
+
   // A fenced (deposed) primary must not serve stale sessions: any write it
   // applied now would fork history from the promoted standby. Everything but
   // a clean disconnect is refused with kFenced, which sends the client to
@@ -690,6 +706,10 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
       resp.header().aux = overloaded ? cfg_.busy_retry_ns : 0;
       fabric_.stats().add(overloaded ? "dafs.busy_shed"
                                      : "dafs.deadline_expired");
+      ClientStat d;
+      d.sheds = 1;
+      d.queue_wait_ns = wait_ns;
+      account_client(req.header().client_id, d);
       if (expired && tracer.enabled()) {
         char attrs[96];
         std::snprintf(attrs, sizeof(attrs),
@@ -714,6 +734,10 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
       if (c.seq == req.header().seq) {
         std::memcpy(out.mem.data(), c.bytes.data(), c.bytes.size());
         fabric_.stats().add("dafs.replay_hits");
+        ClientStat d;
+        d.retransmits = 1;
+        d.queue_wait_ns = wait_ns;
+        account_client(req.header().client_id, d);
         send_response(s, out);
         return;
       }
@@ -849,7 +873,169 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
   }
   fabric_.stats().add("dafs.requests");
   fabric_.histograms().record("dafs.server_service_ns", actor->now() - t0);
+  // Per-client attribution for the executed op. Direct transfers move their
+  // payload by RDMA, outside the message wire image, so those bytes are
+  // added from the transfer length the handler reported in header().len.
+  {
+    ClientStat d;
+    d.bytes_in = req.wire_size() +
+                 (proc == Proc::kWriteDirect ? resp.header().len : 0);
+    d.bytes_out = resp.wire_size() +
+                  (proc == Proc::kReadDirect ? resp.header().len : 0);
+    if (proc == Proc::kReadInline || proc == Proc::kReadDirect) {
+      d.ops_read = 1;
+    } else if (proc == Proc::kWriteInline || proc == Proc::kWriteDirect) {
+      d.ops_write = 1;
+    } else {
+      d.ops_meta = 1;
+    }
+    d.queue_wait_ns = wait_ns;
+    d.service_ns = actor->now() - t0;
+    account_client(req.header().client_id, d);
+  }
   send_response(s, out);
+}
+
+// ---------------------------------------------------------------------------
+// Live telemetry (kStatsQuery + per-client attribution)
+// ---------------------------------------------------------------------------
+
+void Server::account_client(std::uint64_t client_id, const ClientStat& delta) {
+  // 0 is "no identity yet" — only a client's very first kConnect, before the
+  // server has minted it a session to adopt as its id.
+  if (client_id == 0) return;
+  std::lock_guard lock(cstats_mu_);
+  auto [it, fresh] = cstats_.try_emplace(client_id);
+  ClientStat& c = it->second;
+  c.bytes_in += delta.bytes_in;
+  c.bytes_out += delta.bytes_out;
+  c.ops_read += delta.ops_read;
+  c.ops_write += delta.ops_write;
+  c.ops_meta += delta.ops_meta;
+  c.queue_wait_ns += delta.queue_wait_ns;
+  c.service_ns += delta.service_ns;
+  c.retransmits += delta.retransmits;
+  c.sheds += delta.sheds;
+  if (!fresh) return;
+  // First sight of this client: surface its row in the metrics JSON (and
+  // the time-series sampler) as dafs.session.<client_id>.*. The callbacks
+  // re-find the row so they stay valid across map rebalancing.
+  sim::MetricsRegistry& m = fabric_.metrics();
+  const std::string prefix =
+      "dafs.session." + std::to_string(client_id) + ".";
+  const auto field = [this, client_id](std::uint64_t ClientStat::* f) {
+    return [this, client_id, f]() -> std::uint64_t {
+      std::lock_guard lock(cstats_mu_);
+      const auto it = cstats_.find(client_id);
+      return it == cstats_.end() ? 0 : it->second.*f;
+    };
+  };
+  session_gauges_.emplace_back(m, prefix + "bytes_in",
+                               field(&ClientStat::bytes_in));
+  session_gauges_.emplace_back(m, prefix + "bytes_out",
+                               field(&ClientStat::bytes_out));
+  session_gauges_.emplace_back(m, prefix + "ops_read",
+                               field(&ClientStat::ops_read));
+  session_gauges_.emplace_back(m, prefix + "ops_write",
+                               field(&ClientStat::ops_write));
+  session_gauges_.emplace_back(m, prefix + "ops_meta",
+                               field(&ClientStat::ops_meta));
+  session_gauges_.emplace_back(m, prefix + "queue_wait_ns",
+                               field(&ClientStat::queue_wait_ns));
+  session_gauges_.emplace_back(m, prefix + "service_ns",
+                               field(&ClientStat::service_ns));
+  session_gauges_.emplace_back(m, prefix + "retransmits",
+                               field(&ClientStat::retransmits));
+  session_gauges_.emplace_back(m, prefix + "sheds",
+                               field(&ClientStat::sheds));
+}
+
+std::map<std::uint64_t, Server::ClientStat> Server::client_stats() const {
+  std::lock_guard lock(cstats_mu_);
+  return cstats_;
+}
+
+void Server::do_stats(MsgView& resp) {
+  Actor* actor = Actor::current();
+  WireStatsHeader h;
+  h.role = static_cast<std::uint32_t>(
+      static_cast<int>(role_.load(std::memory_order_acquire)));
+  h.term = epoch_.load(std::memory_order_relaxed);
+  h.now_ns = actor->now();
+  h.sessions_live = session_count();
+  h.admission_queue_depth = recv_cq_.pending();
+  h.admission_limit = admission_limit();
+  h.replay_cache_bytes = replay_cache_bytes();
+  h.requests_total = fabric_.stats().get("dafs.requests");
+  h.busy_sheds = fabric_.stats().get("dafs.busy_shed");
+  h.crash_count = crash_count();
+  h.scrub_passes = scrub_passes();
+  h.scrub_blocks = fabric_.stats().get("dafs.scrub_blocks_verified");
+  h.resilver_bytes = resilver_bytes();
+  h.commit_offset = commit_offset();
+
+  resp.header().name_len = 0;
+  std::byte* base = resp.data_payload();
+  const std::size_t cap = resp.inline_capacity(0);
+  std::size_t off = sizeof(WireStatsHeader);
+
+  // Session table. Holding cstats_mu_ here is safe: nothing below takes it
+  // (the gauge sampling further down runs after the guard is released).
+  {
+    std::lock_guard lock(cstats_mu_);
+    for (const auto& [cid, cs] : cstats_) {
+      if (off + sizeof(WireSessionStats) > cap) {
+        h.truncated = 1;
+        break;
+      }
+      WireSessionStats w;
+      w.client_id = cid;
+      w.bytes_in = cs.bytes_in;
+      w.bytes_out = cs.bytes_out;
+      w.ops_read = cs.ops_read;
+      w.ops_write = cs.ops_write;
+      w.ops_meta = cs.ops_meta;
+      w.queue_wait_ns = cs.queue_wait_ns;
+      w.service_ns = cs.service_ns;
+      w.retransmits = cs.retransmits;
+      w.sheds = cs.sheds;
+      std::memcpy(base + off, &w, sizeof(w));
+      off += sizeof(w);
+      ++h.nsessions;
+    }
+  }
+
+  // Key/value section: every fabric counter, then every gauge (sampled
+  // now). Clipped, never split — a key that does not fit whole is dropped
+  // and the snapshot marked truncated.
+  const auto put_kv = [&](const std::string& key, std::uint64_t value) {
+    const std::size_t need = sizeof(WireStatsKv) + key.size();
+    if (off + need > cap) {
+      h.truncated = 1;
+      return false;
+    }
+    WireStatsKv kv;
+    kv.value = value;
+    kv.key_len = static_cast<std::uint32_t>(key.size());
+    std::memcpy(base + off, &kv, sizeof(kv));
+    std::memcpy(base + off + sizeof(kv), key.data(), key.size());
+    off += need;
+    ++h.nkv;
+    return true;
+  };
+  for (const auto& [key, value] : fabric_.stats().snapshot()) {
+    if (!put_kv(key, value)) break;
+  }
+  if (h.truncated == 0) {
+    for (const auto& [key, value] : fabric_.metrics().sample_gauges()) {
+      if (!put_kv(key, value)) break;
+    }
+  }
+
+  std::memcpy(base, &h, sizeof(h));
+  resp.header().data_len = static_cast<std::uint32_t>(off);
+  resp.header().len = off;
+  actor->charge(CostKind::kCopy, fabric_.cost().copy_time(off));
 }
 
 // ---------------------------------------------------------------------------

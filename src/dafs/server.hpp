@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -184,6 +185,26 @@ class Server {
     return scrub_passes_.load(std::memory_order_relaxed);
   }
 
+  /// Cumulative per-client attribution (the kStatsQuery session table and
+  /// the `dafs.session.<client_id>.*` metrics entries). Keyed by the stable
+  /// client_id, so the row survives reconnects — and crash/restarts: this
+  /// is telemetry about the clients, not volatile session state, so
+  /// do_crash deliberately leaves it alone.
+  struct ClientStat {
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    std::uint64_t ops_read = 0;
+    std::uint64_t ops_write = 0;
+    std::uint64_t ops_meta = 0;
+    std::uint64_t queue_wait_ns = 0;
+    std::uint64_t service_ns = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t sheds = 0;
+  };
+  /// Point-in-time copy of the per-client table (tests diff it against
+  /// independently-accumulated ground truth).
+  std::map<std::uint64_t, ClientStat> client_stats() const;
+
  private:
   struct MsgBuf {
     std::vector<std::byte> mem;
@@ -292,6 +313,14 @@ class Server {
   bool scrub_repair_block(fstore::Ino ino, std::uint64_t chunk);
 
   void handle_request(Session& s, MsgBuf& req, MsgBuf& out);
+  /// Fill a kStatsQuery response: WireStatsHeader + per-client session table
+  /// + counter/gauge kv section, clipped to the message buffer (truncated
+  /// flag set when anything was dropped).
+  void do_stats(MsgView& resp);
+  /// Merge an accounting delta into the per-client table; first sight of a
+  /// client_id also registers its `dafs.session.<cid>.*` gauges. client_id 0
+  /// (a client's very first kConnect, before it has an identity) is ignored.
+  void account_client(std::uint64_t client_id, const ClientStat& delta);
   void send_response(Session& s, MsgBuf& out);
   /// Tear down all volatile state and schedule the restart (crash path).
   void do_crash(std::uint64_t restart_delay_ms);
@@ -413,6 +442,17 @@ class Server {
   // Background scrub state (inert unless cfg_.scrub_enabled).
   std::thread scrub_thread_;
   std::atomic<std::uint64_t> scrub_passes_{0};
+
+  // Per-client attribution table (see ClientStat). Deliberately survives
+  // do_crash: the rows describe client behavior, not volatile session state.
+  mutable std::mutex cstats_mu_;
+  std::map<std::uint64_t, ClientStat> cstats_;  // under cstats_mu_
+
+  // RAII gauge registrations. Declared LAST so they are destroyed FIRST:
+  // every callback captures `this` (and the members above), so the scopes
+  // must unregister before anything they read starts tearing down.
+  std::vector<sim::GaugeScope> gauges_;
+  std::vector<sim::GaugeScope> session_gauges_;  // grown under cstats_mu_
 };
 
 }  // namespace dafs

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+
+#include "sim/metric_key.hpp"
 
 namespace sim {
 
@@ -114,6 +117,7 @@ class HistogramRegistry {
   /// The named histogram, created empty on first use. The reference stays
   /// valid for the registry's lifetime.
   Histogram& get(const std::string& name) {
+    assert(valid_metric_key(name) && "histogram keys are dotted lowercase");
     std::lock_guard lock(mu_);
     auto& slot = hists_[name];
     if (!slot) slot = std::make_unique<Histogram>();

@@ -1,11 +1,39 @@
 #include "sim/metrics.hpp"
 
+#include <cassert>
 #include <cstdio>
 
 #include "sim/histogram.hpp"
+#include "sim/metric_key.hpp"
 #include "sim/stats.hpp"
 
 namespace sim {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 namespace {
 void append_kv(std::string& out, const std::string& key, std::uint64_t v,
@@ -14,7 +42,7 @@ void append_kv(std::string& out, const std::string& key, std::uint64_t v,
   if (!first) out += ',';
   first = false;
   out += '"';
-  out += key;  // keys are our own metric names: no escaping needed
+  out += json_escape(key);
   out += "\":";
   std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
   out += buf;
@@ -22,6 +50,7 @@ void append_kv(std::string& out, const std::string& key, std::uint64_t v,
 }  // namespace
 
 void MetricsRegistry::register_gauge(const std::string& name, GaugeFn fn) {
+  assert(valid_metric_key(name) && "gauge keys are dotted lowercase");
   std::lock_guard lock(mu_);
   gauges_[name] = std::move(fn);
 }
@@ -42,12 +71,18 @@ std::map<std::string, std::uint64_t> MetricsRegistry::sample_gauges() const {
   return out;
 }
 
+void MetricsRegistry::enable_timeseries(TimeSeriesConfig cfg) {
+  ts_ = std::make_unique<TimeSeries>(stats_, *this, std::move(cfg));
+}
+
+void MetricsRegistry::disable_timeseries() { ts_.reset(); }
+
 std::string MetricsRegistry::to_json(const std::string& bench,
                                      const std::string& params_json) const {
   std::string out;
   out.reserve(1 << 12);
   out += "{\"bench\":\"";
-  out += bench;
+  out += json_escape(bench);
   out += "\",\"params\":";
   out += params_json.empty() ? "{}" : params_json;
 
@@ -62,12 +97,15 @@ std::string MetricsRegistry::to_json(const std::string& bench,
   for (const auto& [k, s] : hists_.snapshot_all()) {
     if (!first) out += ',';
     first = false;
-    char buf[320];
+    out += '"';
+    out += json_escape(k);
+    out += '"';
+    char buf[288];
     std::snprintf(
         buf, sizeof(buf),
-        "\"%s\":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
+        ":{\"count\":%llu,\"sum\":%llu,\"min\":%llu,\"max\":%llu,"
         "\"mean\":%.1f,\"p50\":%llu,\"p95\":%llu,\"p99\":%llu}",
-        k.c_str(), static_cast<unsigned long long>(s.count),
+        static_cast<unsigned long long>(s.count),
         static_cast<unsigned long long>(s.sum),
         static_cast<unsigned long long>(s.min),
         static_cast<unsigned long long>(s.max), s.mean(),
@@ -76,7 +114,12 @@ std::string MetricsRegistry::to_json(const std::string& bench,
         static_cast<unsigned long long>(s.quantile(0.99)));
     out += buf;
   }
-  out += "}}";
+  out += '}';
+  if (ts_) {
+    out += ",\"timeseries\":";
+    out += ts_->to_json();
+  }
+  out += '}';
   return out;
 }
 

@@ -3,13 +3,25 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
+
+#include "sim/timeseries.hpp"
 
 namespace sim {
 
 class Stats;
 class HistogramRegistry;
+
+/// Escape a string for embedding inside a JSON string literal: `"`, `\` and
+/// control characters become their escaped forms. Metric keys follow the
+/// dotted-lowercase convention (sim/metric_key.hpp) and never need this, but
+/// the exporter escapes every key anyway — one hostile or buggy key must
+/// corrupt its own value, not the whole document.
+std::string json_escape(std::string_view s);
 
 /// One export surface for everything the stack measures: `Stats` counters,
 /// `HistogramRegistry` distributions, and *gauges* — named callbacks sampled
@@ -23,11 +35,14 @@ class HistogramRegistry;
 ///    "counters":{"<key>":N,...},
 ///    "gauges":{"<key>":N,...},
 ///    "histograms":{"<key>":{"count":..,"sum":..,"min":..,"max":..,
-///                           "mean":..,"p50":..,"p95":..,"p99":..},...}}
+///                           "mean":..,"p50":..,"p95":..,"p99":..},...
+///    [,"timeseries":{"interval_ns":..,"capacity":..,
+///                    "series":{"<key>":{"t":[..],"v":[..]},...}}]}
 ///
-/// Gauge owners (e.g. dafs::Server) must unregister before dying; the
-/// registry copies the callback map under its lock before sampling, so
-/// registration from one thread is safe against export from another.
+/// Gauge owners must unregister before dying — prefer holding a `GaugeScope`
+/// (below), which cannot forget. The registry copies the callback map under
+/// its lock before sampling, so registration from one thread is safe against
+/// export from another.
 class MetricsRegistry {
  public:
   using GaugeFn = std::function<std::uint64_t()>;
@@ -46,6 +61,20 @@ class MetricsRegistry {
   /// Sample every registered gauge now.
   std::map<std::string, std::uint64_t> sample_gauges() const;
 
+  /// Arm the time-series sampler (sim/timeseries.hpp). Call once, before
+  /// any thread ticks — the pointer itself is not hot-swappable (the
+  /// sampler's own state is internally locked). Re-enabling replaces the
+  /// sampler and discards its rings.
+  void enable_timeseries(TimeSeriesConfig cfg = {});
+  void disable_timeseries();
+  /// The armed sampler, or nullptr. Valid until disable/re-enable.
+  TimeSeries* timeseries() const { return ts_.get(); }
+  /// Forward `now` to the armed sampler; free no-op when disabled or inside
+  /// the sampling interval, so hot loops can call this per operation.
+  void tick(std::uint64_t now) {
+    if (ts_) ts_->tick(now);
+  }
+
   /// The unified single-line JSON document described above. `params_json`
   /// must be a complete JSON value (typically an object literal).
   std::string to_json(const std::string& bench,
@@ -56,6 +85,52 @@ class MetricsRegistry {
   const HistogramRegistry& hists_;
   mutable std::mutex mu_;
   std::map<std::string, GaugeFn> gauges_;
+  std::unique_ptr<TimeSeries> ts_;
+};
+
+/// RAII gauge registration: registers in the constructor, unregisters in
+/// the destructor. A gauge callback almost always captures `this` of its
+/// owner, so a forgotten unregister is a use-after-free wired directly into
+/// the export path — with chaos tests crashing and restarting servers, the
+/// scope form is the only registration that cannot dangle. Move-only; a
+/// moved-from scope owns nothing.
+class GaugeScope {
+ public:
+  GaugeScope() = default;
+  GaugeScope(MetricsRegistry& reg, std::string name,
+             MetricsRegistry::GaugeFn fn)
+      : reg_(&reg), name_(std::move(name)) {
+    reg_->register_gauge(name_, std::move(fn));
+  }
+  ~GaugeScope() { reset(); }
+
+  GaugeScope(GaugeScope&& o) noexcept
+      : reg_(std::exchange(o.reg_, nullptr)), name_(std::move(o.name_)) {}
+  GaugeScope& operator=(GaugeScope&& o) noexcept {
+    if (this != &o) {
+      reset();
+      reg_ = std::exchange(o.reg_, nullptr);
+      name_ = std::move(o.name_);
+    }
+    return *this;
+  }
+  GaugeScope(const GaugeScope&) = delete;
+  GaugeScope& operator=(const GaugeScope&) = delete;
+
+  /// Unregister now (idempotent).
+  void reset() {
+    if (reg_ != nullptr) {
+      reg_->unregister_gauge(name_);
+      reg_ = nullptr;
+    }
+  }
+
+  const std::string& name() const { return name_; }
+  bool armed() const { return reg_ != nullptr; }
+
+ private:
+  MetricsRegistry* reg_ = nullptr;
+  std::string name_;
 };
 
 }  // namespace sim

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -8,6 +9,8 @@
 #include <thread>
 #include <unordered_map>
 #include <vector>
+
+#include "sim/metric_key.hpp"
 
 namespace sim {
 
@@ -29,6 +32,7 @@ class Stats {
   Stats& operator=(const Stats&) = delete;
 
   void add(const std::string& key, std::uint64_t v = 1) {
+    assert(valid_metric_key(key) && "counter keys are dotted lowercase");
     Shard& s = shard_for_this_thread();
     std::lock_guard lock(s.mu);
     s.counters[key] += v;

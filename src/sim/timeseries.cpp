@@ -1,0 +1,118 @@
+#include "sim/timeseries.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+#include "sim/metric_key.hpp"
+#include "sim/metrics.hpp"
+#include "sim/stats.hpp"
+
+namespace sim {
+
+TimeSeries::TimeSeries(const Stats& stats, const MetricsRegistry& reg,
+                       TimeSeriesConfig cfg)
+    : stats_(stats), reg_(reg), cfg_(std::move(cfg)) {
+#ifndef NDEBUG
+  for (const auto& k : cfg_.gauges) assert(valid_metric_key(k));
+  for (const auto& k : cfg_.counters) assert(valid_metric_key(k));
+#endif
+}
+
+void TimeSeries::append_locked(const std::string& key, std::uint64_t t,
+                               std::uint64_t v) {
+  Ring& r = rings_[key];
+  r.pts.push_back(Point{t, v});
+  while (r.pts.size() > cfg_.capacity) r.pts.pop_front();
+}
+
+void TimeSeries::tick(std::uint64_t now) {
+  std::lock_guard lock(mu_);
+  if (have_sample_ &&
+      (now <= last_t_ || now - last_t_ < cfg_.interval_ns)) {
+    return;
+  }
+  // Gauge values at `now`. Sampling under mu_ keeps the whole sample
+  // atomic per timestamp; the registry takes its own lock only to copy the
+  // callback map, so there is no lock-order edge back into this class.
+  if (cfg_.gauges.empty()) {
+    for (const auto& [name, v] : reg_.sample_gauges()) {
+      append_locked(name, now, v);
+    }
+  } else {
+    const auto all = reg_.sample_gauges();
+    for (const auto& name : cfg_.gauges) {
+      const auto it = all.find(name);
+      append_locked(name, now, it == all.end() ? 0 : it->second);
+    }
+  }
+  // Counter deltas since the previous sample (the first sample's delta is
+  // the counter's absolute value: growth since t=0).
+  for (const auto& name : cfg_.counters) {
+    const std::uint64_t cur = stats_.get(name);
+    Ring& r = rings_[name];
+    const std::uint64_t delta = cur >= r.last_counter ? cur - r.last_counter
+                                                      : cur;  // reset() ran
+    r.last_counter = cur;
+    append_locked(name, now, delta);
+  }
+  have_sample_ = true;
+  last_t_ = now;
+  ++samples_;
+}
+
+std::map<std::string, std::vector<TimeSeries::Point>> TimeSeries::snapshot()
+    const {
+  std::lock_guard lock(mu_);
+  std::map<std::string, std::vector<Point>> out;
+  for (const auto& [name, r] : rings_) {
+    out.emplace(name, std::vector<Point>(r.pts.begin(), r.pts.end()));
+  }
+  return out;
+}
+
+std::uint64_t TimeSeries::samples() const {
+  std::lock_guard lock(mu_);
+  return samples_;
+}
+
+std::string TimeSeries::to_json() const {
+  char buf[64];
+  std::string out;
+  out.reserve(1 << 12);
+  std::snprintf(buf, sizeof(buf), "{\"interval_ns\":%llu,\"capacity\":%llu",
+                static_cast<unsigned long long>(cfg_.interval_ns),
+                static_cast<unsigned long long>(cfg_.capacity));
+  out += buf;
+  out += ",\"series\":{";
+  bool first = true;
+  std::lock_guard lock(mu_);
+  for (const auto& [name, r] : rings_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":{\"t\":[";
+    bool f2 = true;
+    for (const Point& p : r.pts) {
+      if (!f2) out += ',';
+      f2 = false;
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(p.t));
+      out += buf;
+    }
+    out += "],\"v\":[";
+    f2 = true;
+    for (const Point& p : r.pts) {
+      if (!f2) out += ',';
+      f2 = false;
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(p.v));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sim

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sim {
+
+class Stats;
+class MetricsRegistry;
+
+/// Knobs for the time-series sampler (see TimeSeries below).
+struct TimeSeriesConfig {
+  /// Minimum virtual time between samples. tick() calls landing inside the
+  /// interval are free no-ops, so callers can tick from a hot loop.
+  std::uint64_t interval_ns = 1'000'000;  // 1 ms virtual
+  /// Points retained per series; the ring drops its oldest point beyond it.
+  std::size_t capacity = 512;
+  /// Gauges to sample by name. Empty = every gauge registered at tick time,
+  /// so a bench gets the whole live-state picture without enumerating keys.
+  std::vector<std::string> gauges;
+  /// Counters to sample *as deltas*: each point holds the counter's growth
+  /// since the previous sample (a rate once divided by the interval), which
+  /// is what makes outages and storms visible — a cumulative count only
+  /// flattens them into the total.
+  std::vector<std::string> counters;
+};
+
+/// Bounded-ring time series over the metrics plane: on a sim-clock cadence,
+/// snapshot selected gauges (point-in-time values) and counters (deltas
+/// since the last sample) into per-key rings, so a bench can render a
+/// failover outage, an election storm, or a scrub repair episode as a
+/// timeline instead of one end-of-run number.
+///
+/// Driven by `MetricsRegistry::tick(now)` — the DAFS server ticks after
+/// every request it services, and benches may tick from their own loops;
+/// samples are taken at most once per `interval_ns` of virtual time and
+/// only at strictly increasing timestamps, so rings are monotone in sim
+/// time no matter how many actors tick concurrently.
+class TimeSeries {
+ public:
+  struct Point {
+    std::uint64_t t = 0;  // virtual ns of the sample
+    std::uint64_t v = 0;  // gauge value, or counter delta over the interval
+  };
+
+  TimeSeries(const Stats& stats, const MetricsRegistry& reg,
+             TimeSeriesConfig cfg);
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  /// Sample if at least `interval_ns` of virtual time passed since the last
+  /// sample. `now` values at or before the last sample time are ignored
+  /// (another actor already sampled this window), keeping every ring
+  /// strictly monotone.
+  void tick(std::uint64_t now);
+
+  /// Point-in-time copy of every ring (series name -> points, oldest first).
+  std::map<std::string, std::vector<Point>> snapshot() const;
+
+  std::uint64_t interval_ns() const { return cfg_.interval_ns; }
+  std::size_t capacity() const { return cfg_.capacity; }
+  /// Samples taken so far (each sample appends one point to every series).
+  std::uint64_t samples() const;
+
+  /// The `"timeseries"` JSON value MetricsRegistry::to_json embeds:
+  ///   {"interval_ns":N,"capacity":N,
+  ///    "series":{"<key>":{"t":[...],"v":[...]},...}}
+  std::string to_json() const;
+
+ private:
+  struct Ring {
+    std::deque<Point> pts;
+    std::uint64_t last_counter = 0;  // previous absolute counter value
+  };
+
+  void append_locked(const std::string& key, std::uint64_t t, std::uint64_t v);
+
+  const Stats& stats_;
+  const MetricsRegistry& reg_;
+  const TimeSeriesConfig cfg_;
+
+  mutable std::mutex mu_;
+  bool have_sample_ = false;   // under mu_
+  std::uint64_t last_t_ = 0;   // under mu_
+  std::uint64_t samples_ = 0;  // under mu_
+  std::map<std::string, Ring> rings_;  // under mu_
+};
+
+}  // namespace sim
