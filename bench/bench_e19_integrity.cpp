@@ -56,7 +56,7 @@ RunResult run_mode(const char* mode, bool stage_rot) {
   // A permanently rotted block on a single filer must fail fast, not ride
   // the full busy budget.
   info.set("dafs_busy_retries", std::uint64_t{3});
-  const dafs::MountSpec mspec = mpiio::parse_mount_spec(info);
+  const dafs::MountSpec mspec = mpiio::HintSet::parse(info).mount_spec();
 
   mpi::WorldConfig wcfg;
   wcfg.nprocs = 1;

@@ -5,7 +5,8 @@
 # dual-filer failover slice (ctest -L failover), the causal-tracing
 # slice (ctest -L trace), the striped-layout slice (ctest -L stripe), the
 # quorum-replication slice (ctest -L raft), the data-integrity slice
-# (ctest -L integrity) and the live-telemetry slice (ctest -L telemetry),
+# (ctest -L integrity), the live-telemetry slice (ctest -L telemetry) and
+# the client-cache/delegation slice (ctest -L cache),
 # which stress the recovery paths where lifetime bugs would hide. A final
 # leg runs traced end-to-end
 # benchmarks and validates the emitted Perfetto JSON (ids resolve, spans
@@ -39,15 +40,15 @@ cmake --build "$BUILD" -j "$JOBS"
 ctest --test-dir "$BUILD" --output-on-failure -j "$JOBS" \
   --timeout "$TEST_TIMEOUT"
 
-echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace + stripe + raft + integrity + telemetry labels) =="
+echo "== tier1: sanitizer leg (ASan+UBSan, fault + chaos + failover + trace + stripe + raft + integrity + telemetry + cache labels) =="
 cmake -B "$ASAN_BUILD" -S . -DDAFS_SANITIZE=ON >/dev/null
 cmake --build "$ASAN_BUILD" -j "$JOBS" --target test_fault \
   --target test_chaos --target test_failover --target test_trace \
   --target test_stripe --target test_quorum --target test_integrity \
-  --target test_telemetry
+  --target test_telemetry --target test_cache
 ctest --test-dir "$ASAN_BUILD" --output-on-failure -j "$JOBS" \
   --timeout "$TEST_TIMEOUT" \
-  -L 'fault|chaos|failover|trace|stripe|raft|integrity|telemetry'
+  -L 'fault|chaos|failover|trace|stripe|raft|integrity|telemetry|cache'
 
 echo "== tier1: trace-validation leg (traced benches -> check_trace.py) =="
 TRACE_OUT="$BUILD/tier1_trace.json"
@@ -80,6 +81,12 @@ python3 scripts/check_trace.py --require-span raft.election \
 INTEGRITY_TRACE="$BUILD/tier1_trace_integrity.json"
 DAFS_TRACE="$INTEGRITY_TRACE" "$BUILD/bench/bench_e19_integrity" >/dev/null
 python3 scripts/check_trace.py --require-span scrub.pass "$INTEGRITY_TRACE"
+# Cache bench: the recall episode runs last, so the traced dump must record
+# a dafs.deleg.recall span — proving a conflicting open actually drove the
+# server through recall-start, holder flush and delegation return.
+CACHE_TRACE="$BUILD/tier1_trace_cache.json"
+DAFS_TRACE="$CACHE_TRACE" "$BUILD/bench/bench_e21_cache" >/dev/null
+python3 scripts/check_trace.py --require-span dafs.deleg.recall "$CACHE_TRACE"
 
 echo "== tier1: metrics-validation leg (bench JSON -> check_metrics.py) =="
 # The breakdown bench emits the plain schema (counters/gauges/histograms);
@@ -91,5 +98,8 @@ python3 scripts/check_metrics.py "$METRICS_OUT"
 TELEMETRY_OUT="$BUILD/tier1_metrics_e20.txt"
 "$BUILD/bench/bench_e20_telemetry" >"$TELEMETRY_OUT"
 python3 scripts/check_metrics.py --require-timeseries "$TELEMETRY_OUT"
+CACHE_OUT="$BUILD/tier1_metrics_e21.txt"
+"$BUILD/bench/bench_e21_cache" >"$CACHE_OUT"
+python3 scripts/check_metrics.py "$CACHE_OUT"
 
 echo "== tier1: all green =="

@@ -1,0 +1,198 @@
+#include "dafs/cache.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dafs {
+
+FileCache::Map::iterator FileCache::first_overlap(std::uint64_t off) {
+  auto it = map_.upper_bound(off);
+  if (it != map_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->first + prev->second.data.size() > off) return prev;
+  }
+  return it;
+}
+
+bool FileCache::read(std::uint64_t off, std::span<std::byte> out) {
+  std::uint64_t pos = off;
+  const std::uint64_t end = off + out.size();
+  auto it = first_overlap(off);
+  while (pos < end) {
+    if (it == map_.end() || it->first > pos) return false;  // gap
+    Ext& e = it->second;
+    const std::uint64_t take =
+        std::min(end, it->first + e.data.size()) - pos;
+    std::memcpy(out.data() + (pos - off), e.data.data() + (pos - it->first),
+                take);
+    e.lru = ++clock_;
+    pos += take;
+    ++it;
+  }
+  return true;
+}
+
+void FileCache::overlay_dirty(std::uint64_t off,
+                              std::span<std::byte> buf) const {
+  const std::uint64_t end = off + buf.size();
+  for (const auto& [start, e] : map_) {
+    if (start >= end) break;
+    if (!e.dirty || start + e.data.size() <= off) continue;
+    const std::uint64_t lo = std::max(off, start);
+    const std::uint64_t hi = std::min(end, start + e.data.size());
+    std::memcpy(buf.data() + (lo - off), e.data.data() + (lo - start),
+                hi - lo);
+  }
+}
+
+void FileCache::account_remove(const Ext& e, std::uint64_t n) {
+  bytes_ -= n;
+  if (e.dirty) dirty_bytes_ -= n;
+}
+
+void FileCache::punch(std::uint64_t off, std::uint64_t len, bool keep_dirty) {
+  const std::uint64_t end = off + len;
+  auto it = first_overlap(off);
+  while (it != map_.end() && it->first < end) {
+    Ext& e = it->second;
+    const std::uint64_t estart = it->first;
+    const std::uint64_t eend = estart + e.data.size();
+    if (keep_dirty && e.dirty) {
+      ++it;
+      continue;
+    }
+    if (estart < off && eend > end) {
+      // The punch lands strictly inside one extent: split into two remnants.
+      Ext right;
+      right.data.assign(e.data.begin() + static_cast<std::ptrdiff_t>(end - estart),
+                        e.data.end());
+      right.dirty = e.dirty;
+      right.lru = e.lru;
+      account_remove(e, len);
+      e.data.resize(off - estart);
+      it = map_.emplace_hint(std::next(it), end, std::move(right));
+      ++it;
+    } else if (estart < off) {
+      // Trim the tail.
+      account_remove(e, eend - off);
+      e.data.resize(off - estart);
+      ++it;
+    } else if (eend > end) {
+      // Trim the head: re-key the remnant at `end`.
+      Ext rest;
+      rest.data.assign(e.data.begin() + static_cast<std::ptrdiff_t>(end - estart),
+                       e.data.end());
+      rest.dirty = e.dirty;
+      rest.lru = e.lru;
+      account_remove(e, end - estart);
+      it = map_.erase(it);
+      it = map_.emplace_hint(it, end, std::move(rest));
+      ++it;
+    } else {
+      // Fully covered.
+      account_remove(e, e.data.size());
+      it = map_.erase(it);
+    }
+  }
+}
+
+void FileCache::insert(std::uint64_t off, std::span<const std::byte> data,
+                       bool dirty) {
+  if (data.empty()) return;
+  Ext e;
+  e.data.assign(data.begin(), data.end());
+  e.dirty = dirty;
+  e.lru = ++clock_;
+  bytes_ += data.size();
+  if (dirty) dirty_bytes_ += data.size();
+  map_.emplace(off, std::move(e));
+}
+
+void FileCache::put_dirty(std::uint64_t off, std::span<const std::byte> data) {
+  if (data.empty()) return;
+  punch(off, data.size(), /*keep_dirty=*/false);
+  insert(off, data, /*dirty=*/true);
+  evict_clean();
+}
+
+void FileCache::put_clean(std::uint64_t off, std::span<const std::byte> data) {
+  if (data.empty()) return;
+  punch(off, data.size(), /*keep_dirty=*/true);
+  // Insert only into the gaps between surviving (dirty) extents.
+  std::uint64_t pos = off;
+  const std::uint64_t end = off + data.size();
+  auto it = first_overlap(off);
+  while (pos < end) {
+    const std::uint64_t gap_end =
+        (it == map_.end() || it->first >= end) ? end : it->first;
+    if (gap_end > pos) {
+      insert(pos, data.subspan(pos - off, gap_end - pos), /*dirty=*/false);
+    }
+    if (it == map_.end() || it->first >= end) break;
+    pos = it->first + it->second.data.size();
+    ++it;
+  }
+  evict_clean();
+}
+
+std::vector<FileCache::Extent> FileCache::take_dirty() {
+  std::vector<Extent> out;
+  for (auto& [start, e] : map_) {
+    if (!e.dirty) continue;
+    e.dirty = false;
+    dirty_bytes_ -= e.data.size();
+    if (!out.empty() &&
+        out.back().off + out.back().data.size() == start) {
+      out.back().data.insert(out.back().data.end(), e.data.begin(),
+                             e.data.end());
+    } else {
+      Extent x;
+      x.off = start;
+      x.data = e.data;  // stays cached (now clean)
+      out.push_back(std::move(x));
+    }
+  }
+  return out;
+}
+
+std::uint64_t FileCache::dirty_end() const {
+  std::uint64_t end = 0;
+  for (const auto& [start, e] : map_) {
+    if (e.dirty) end = std::max(end, start + e.data.size());
+  }
+  return end;
+}
+
+void FileCache::clear() {
+  map_.clear();
+  bytes_ = 0;
+  dirty_bytes_ = 0;
+}
+
+void FileCache::drop_clean() {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->second.dirty) {
+      ++it;
+    } else {
+      bytes_ -= it->second.data.size();
+      it = map_.erase(it);
+    }
+  }
+}
+
+void FileCache::evict_clean() {
+  while (bytes_ > capacity_ && bytes_ - dirty_bytes_ > 0) {
+    auto victim = map_.end();
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      if (it->second.dirty) continue;
+      if (victim == map_.end() || it->second.lru < victim->second.lru) {
+        victim = it;
+      }
+    }
+    if (victim == map_.end()) return;
+    bytes_ -= victim->second.data.size();
+    map_.erase(victim);
+  }
+}
+
+}  // namespace dafs

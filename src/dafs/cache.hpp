@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+/// \file cache.hpp
+/// The per-open-file client data cache backing delegations. A FileCache is a
+/// plain byte-extent store with no protocol knowledge: the Client decides
+/// when cached bytes may be served (delegation held, lease unexpired) and
+/// when dirty extents must flush (recall, close, sync, budget, teardown).
+/// Extents are non-overlapping; inserts trim/split whatever they overlap.
+namespace dafs {
+
+class FileCache {
+ public:
+  /// `capacity` is the byte budget (`OpenOptions::cache_bytes`). Clean bytes
+  /// are LRU-evicted to stay under it; dirty bytes are never evicted — the
+  /// owner must flush when over_budget() says so.
+  explicit FileCache(std::uint64_t capacity) : capacity_(capacity) {}
+
+  /// Full-coverage read: fills `out` and returns true only when every byte
+  /// of [off, off+out.size()) is cached (clean or dirty). On false, `out`
+  /// may be partially written — the caller re-reads from the server anyway.
+  bool read(std::uint64_t off, std::span<std::byte> out);
+
+  /// Record server-backed bytes. Dirty bytes win: the incoming range is
+  /// inserted only into the gaps around dirty extents it overlaps (a server
+  /// read is always older than an unflushed local write).
+  void put_clean(std::uint64_t off, std::span<const std::byte> data);
+
+  /// Buffer a write-back write: overwrites anything cached in range.
+  void put_dirty(std::uint64_t off, std::span<const std::byte> data);
+
+  /// Overlay cached dirty bytes onto a freshly server-read buffer so
+  /// read-your-writes holds under write-back.
+  void overlay_dirty(std::uint64_t off, std::span<std::byte> buf) const;
+
+  struct Extent {
+    std::uint64_t off = 0;
+    std::vector<std::byte> data;
+  };
+  /// Drain the dirty set (ascending offsets, adjacent runs coalesced). The
+  /// bytes stay cached, re-marked clean: a successful flush makes them
+  /// server-backed. On flush failure the owner drops the cache wholesale.
+  std::vector<Extent> take_dirty();
+
+  void clear();
+  /// Drop clean bytes only (lease lapsed: they are unverifiable, while the
+  /// dirty set still has to attempt a flush and let the server fence it).
+  void drop_clean();
+
+  bool has_dirty() const { return dirty_bytes_ > 0; }
+  /// One past the last dirty byte's file offset (0 when nothing is dirty) —
+  /// the buffered tail a logical file size must cover under write-back.
+  std::uint64_t dirty_end() const;
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t dirty_bytes() const { return dirty_bytes_; }
+  std::uint64_t capacity() const { return capacity_; }
+  bool over_budget() const { return bytes_ > capacity_; }
+
+ private:
+  struct Ext {
+    std::vector<std::byte> data;
+    bool dirty = false;
+    std::uint64_t lru = 0;
+  };
+  using Map = std::map<std::uint64_t, Ext>;
+
+  /// First extent intersecting [off, ...), or end().
+  Map::iterator first_overlap(std::uint64_t off);
+  /// Remove [off, off+len) from every overlapping extent, splitting at the
+  /// edges. With `keep_dirty`, dirty extents in range are left untouched.
+  void punch(std::uint64_t off, std::uint64_t len, bool keep_dirty);
+  void insert(std::uint64_t off, std::span<const std::byte> data, bool dirty);
+  void account_remove(const Ext& e, std::uint64_t n);
+  void evict_clean();
+
+  std::uint64_t capacity_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t dirty_bytes_ = 0;
+  std::uint64_t clock_ = 0;
+  Map map_;  // keyed by extent start offset; extents never overlap
+};
+
+}  // namespace dafs

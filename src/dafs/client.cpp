@@ -69,15 +69,6 @@ Result<std::unique_ptr<Session>> Session::connect(via::Nic& nic,
   return s;
 }
 
-Result<std::unique_ptr<Session>> Session::connect(via::Nic& nic,
-                                                  ClientConfig cfg) {
-  // Deprecated single-endpoint shim.
-  MountSpec spec;
-  spec.endpoints.push_back(Endpoint{cfg.service, RetryPolicy{}});
-  spec.client = std::move(cfg);
-  return connect(nic, spec);
-}
-
 void Session::advance_endpoint() {
   if (eps_.size() > 1) nic_.fabric().stats().add("dafs.endpoint_rotations");
   ep_ = (ep_ + 1) % eps_.size();
@@ -417,6 +408,13 @@ bool Session::process_response(RecvBuf& rb) {
         actor->charge(CostKind::kCopy, nic_.cost().copy_time(n));
       }
     }
+    // Recall notification: the server piggybacks kFlagDelegRecall on any
+    // response to a holder's request. Sticky until the cache owner services
+    // it — a response flag alone would be lost on ops that discard flags.
+    if ((h.flags & kFlagDelegRecall) != 0 &&
+        sl.ino != fstore::kInvalidIno) {
+      recalled_.insert(sl.ino);
+    }
     sl.done = true;
     record_rtt(sl);
   } else {
@@ -553,6 +551,11 @@ std::uint16_t Session::integrity_flags() const {
 bool Session::recover() {
   if (recovering_ || dead_) return false;
   recovering_ = true;
+  // Whatever we reconnect to may be a different incarnation (restart,
+  // failover, new leader) that never issued our delegations. The ids keep
+  // fencing correctly end-to-end; this only tells caches to stop trusting
+  // locally-held bytes until revalidated.
+  ++recovery_epoch_;
   struct Reset {
     bool& flag;
     ~Reset() { flag = false; }
@@ -1016,11 +1019,13 @@ via::MemHandle Session::reg_for(const std::byte* buf, std::size_t len,
 
 Result<OpId> Session::submit_simple(Proc proc, std::string_view name, Fh fh,
                                     std::uint64_t offset, std::uint64_t len,
-                                    std::uint64_t aux, std::uint16_t flags) {
+                                    std::uint64_t aux, std::uint16_t flags,
+                                    std::uint64_t deleg) {
   if (fh.valid() && stale_.count(fh.ino) != 0) return PStatus::kStale;
   auto id = alloc_slot();
   if (!id.ok()) return id;
   Slot& sl = slots_[id.value()];
+  sl.ino = fh.ino;
   MsgView msg(sl.send_buf.data(), sl.send_buf.size());
   msg.header() = MsgHeader{};
   msg.header().proc = proc;
@@ -1029,6 +1034,7 @@ Result<OpId> Session::submit_simple(Proc proc, std::string_view name, Fh fh,
   msg.header().offset = offset;
   msg.header().len = len;
   msg.header().aux = aux;
+  msg.header().deleg = deleg != 0 ? deleg : deleg_of(fh.ino);
   msg.set_name(name);
   if (const PStatus st = transmit(id.value()); st != PStatus::kOk) {
     free_slot(id.value());
@@ -1043,10 +1049,12 @@ Result<OpId> Session::submit_io(Proc proc, Fh fh, std::span<const IoVec> iovs,
   auto id = alloc_slot();
   if (!id.ok()) return id;
   Slot& sl = slots_[id.value()];
+  sl.ino = fh.ino;
   MsgView msg(sl.send_buf.data(), sl.send_buf.size());
   msg.header() = MsgHeader{};
   msg.header().proc = proc;
   msg.header().ino = fh.ino;
+  msg.header().deleg = deleg_of(fh.ino);
   const std::uint16_t integ = integrity_flags();
   if ((integ & kFlagPayloadCrc) != 0) {
     msg.header().flags |= writing ? kFlagPayloadCrc : integ;
@@ -1164,24 +1172,71 @@ Result<std::uint64_t> Session::run_sync(OpId id) {
 // Namespace operations
 // ---------------------------------------------------------------------------
 
-Result<Fh> Session::open(std::string_view path, std::uint16_t flags) {
-  auto id = submit_simple(Proc::kOpen, path, Fh{}, 0, 0, 0, flags);
+Result<Fh> Session::open(std::string_view path, std::uint16_t flags,
+                         DelegGrant* grant, std::uint64_t deleg) {
+  auto id = submit_simple(Proc::kOpen, path, Fh{}, 0, 0, 0, flags, deleg);
   if (!id.ok()) return id.error();
   const PStatus st = wait_slot(id.value());
-  const Fh fh{slots_[id.value()].resp.ino};
+  const Slot& sl = slots_[id.value()];
+  const Fh fh{sl.resp.ino};
   std::uint64_t gen = 0;
-  if (st == PStatus::kOk &&
-      slots_[id.value()].payload.size() >= sizeof(fstore::Attrs)) {
+  if (st == PStatus::kOk && sl.payload.size() >= sizeof(fstore::Attrs)) {
     fstore::Attrs a;
-    std::memcpy(&a, slots_[id.value()].payload.data(), sizeof(a));
+    std::memcpy(&a, sl.payload.data(), sizeof(a));
     gen = a.gen;
   }
+  const std::uint64_t granted = st == PStatus::kOk ? sl.resp.deleg : 0;
+  const bool granted_write = (sl.resp.flags & kFlagDelegWrite) != 0;
+  const std::uint64_t granted_term = sl.resp.aux;
   free_slot(id.value());
   if (st != PStatus::kOk) return st;
+  if (grant != nullptr) {
+    grant->id = granted;
+    grant->write = granted_write;
+    grant->term_ns = granted ? granted_term : 0;
+  }
+  // Stamp the ino: either the grant this open earned, or the id the caller
+  // threaded through (a striped client's data-subfile open riding the meta
+  // session's delegation).
+  if (granted != 0) {
+    set_deleg(fh.ino, granted);
+  } else if (deleg != 0) {
+    set_deleg(fh.ino, deleg);
+  }
   // Lease: enough client-side state to re-open and re-validate this handle
   // ((ino, gen) names one file incarnation) after a server restart.
   record_open_lease(path, fh.ino, gen);
   return fh;
+}
+
+Result<std::uint64_t> Session::deleg_renew(Fh fh) {
+  auto id = submit_simple(Proc::kDelegRecall, {}, fh, 0, 0, 0, 0);
+  if (!id.ok()) return id.error();
+  const PStatus st = wait_slot(id.value());
+  const std::uint64_t term = slots_[id.value()].resp.aux;
+  const bool recall = (slots_[id.value()].resp.flags & kFlagDelegRecall) != 0;
+  free_slot(id.value());
+  if (st != PStatus::kOk) {
+    if (st == PStatus::kDelegExpired) clear_deleg(fh.ino);
+    return st;
+  }
+  if (recall) recalled_.insert(fh.ino);
+  return term;
+}
+
+PStatus Session::deleg_return(Fh fh) {
+  if (deleg_of(fh.ino) == 0) return PStatus::kOk;
+  auto id = submit_simple(Proc::kDelegReturn, {}, fh, 0, 0, 0, 0);
+  if (!id.ok()) {
+    clear_deleg(fh.ino);
+    clear_recall(fh.ino);
+    return id.error();
+  }
+  const PStatus st = wait_slot(id.value());
+  free_slot(id.value());
+  clear_deleg(fh.ino);
+  clear_recall(fh.ino);
+  return st;
 }
 
 void Session::record_open_lease(std::string_view path, fstore::Ino ino,
@@ -1362,10 +1417,12 @@ Result<std::uint64_t> Session::pwrite(Fh fh, std::uint64_t off,
     auto id = alloc_slot();
     if (!id.ok()) return id.error();
     Slot& sl = slots_[id.value()];
+    sl.ino = fh.ino;
     MsgView msg(sl.send_buf.data(), sl.send_buf.size());
     msg.header() = MsgHeader{};
     msg.header().proc = Proc::kWriteInline;
     msg.header().ino = fh.ino;
+    msg.header().deleg = deleg_of(fh.ino);
     msg.header().offset = off + done;
     const std::uint64_t want = std::min<std::uint64_t>(
         in.size() - done, msg.inline_capacity(0));
@@ -1664,7 +1721,15 @@ constexpr std::size_t kMaxPiecesPerRound = 256;
 
 Client::Client(std::uint64_t stripe_size) : stripe_size_(stripe_size) {}
 
-Client::~Client() = default;
+Client::~Client() {
+  // End-of-job flush: after_job opens buffer until unmount. Errors have
+  // nowhere to surface from a destructor; the fence counters record them.
+  for (auto& of : open_files_) {
+    if (of.cache == nullptr) continue;
+    flush_dirty(of);
+    if (of.deleg != 0) meta_->deleg_return(of.meta);
+  }
+}
 
 Result<std::unique_ptr<Client>> Client::connect(via::Nic& nic,
                                                 const MountSpec& spec) {
@@ -1678,17 +1743,24 @@ Result<std::unique_ptr<Client>> Client::connect(via::Nic& nic,
     if (!s.ok()) return s.error();
     c->meta_ = std::move(s.value());
   }
-  // One single-endpoint data session per data server: its own VI, credit
-  // window and registration cache, so per-server sub-transfers overlap. An
-  // empty data list degenerates to the metadata filer carrying all data —
-  // exactly a plain Session mount.
-  std::vector<Endpoint> data = spec.data_endpoints;
-  if (data.empty()) {
-    data.push_back(Endpoint{c->meta_->active_service(), c->meta_->policy()});
+  // One data session per data server: its own VI, credit window and
+  // registration cache, so per-server sub-transfers overlap. An empty data
+  // list degenerates to the metadata filer carrying all data — exactly a
+  // plain Session mount, so the data session inherits the meta mount's full
+  // failover chain (a quorum leader change must not strand it on the old
+  // leader); explicit data servers stay single-endpoint.
+  std::vector<std::vector<Endpoint>> data;
+  if (spec.data_endpoints.empty()) {
+    data.push_back(spec.endpoints.empty()
+                       ? std::vector<Endpoint>{Endpoint{
+                             c->meta_->active_service(), c->meta_->policy()}}
+                       : spec.endpoints);
+  } else {
+    for (const Endpoint& ep : spec.data_endpoints) data.push_back({ep});
   }
-  for (const Endpoint& ep : data) {
+  for (const std::vector<Endpoint>& chain : data) {
     MountSpec dm;
-    dm.endpoints.push_back(ep);
+    dm.endpoints = chain;
     dm.client = spec.client;
     // Data sessions adopt their (unique) session id as client identity: a
     // caller-pinned client_id shared across N seq spaces would alias entries
@@ -1696,7 +1768,7 @@ Result<std::unique_ptr<Client>> Client::connect(via::Nic& nic,
     dm.client.client_id = 0;
     auto s = Session::connect(nic, dm);
     if (!s.ok()) return s.error();
-    c->data_services_.push_back(ep.service);
+    c->data_services_.push_back(s.value()->active_service());
     c->data_.push_back(std::move(s.value()));
   }
   // Consecutive mounts get consecutive skews, so N clients of an N-wide
@@ -1704,6 +1776,9 @@ Result<std::unique_ptr<Client>> Client::connect(via::Nic& nic,
   static std::atomic<std::size_t> next_skew{0};
   c->skew_ = next_skew.fetch_add(1, std::memory_order_relaxed) %
              c->data_.size();
+  c->fabric_ = &nic.fabric();
+  c->gauges_.emplace_back(c->fabric_->metrics(), "dafs.cache.bytes",
+                          [p = c.get()] { return p->cache_bytes(); });
   return c;
 }
 
@@ -1712,6 +1787,141 @@ Client::OpenFile* Client::lookup(Fh fh) {
     if (of.meta.ino == fh.ino) return &of;
   }
   return nullptr;
+}
+
+Client::OpenFile* Client::lookup_path(std::string_view path) {
+  for (auto& of : open_files_) {
+    if (of.path == path) return &of;
+  }
+  return nullptr;
+}
+
+std::uint64_t Client::sessions_epoch() const {
+  // Sum of monotonic counters is monotonic; any recovery on either session
+  // the delegation spans changes it.
+  return meta_->recovery_epoch() +
+         (data_.empty() ? 0 : data_[0]->recovery_epoch());
+}
+
+std::uint64_t Client::cache_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& of : open_files_) {
+    if (of.cache != nullptr) total += of.cache->bytes();
+  }
+  return total;
+}
+
+bool Client::has_delegation(Fh fh) const {
+  for (const auto& of : open_files_) {
+    if (of.meta.ino == fh.ino) return of.deleg != 0;
+  }
+  return false;
+}
+
+void Client::renew_local(OpenFile& of) {
+  Actor* actor = Actor::current();
+  const std::uint64_t now = actor != nullptr ? actor->now() : 0;
+  // Conservative local horizon: a quarter-term safety margin under the
+  // server-side expiry absorbs clock skew accumulated since the renewing
+  // response was timestamped (virtual clocks sync on message delivery, then
+  // drift apart as each actor charges local costs).
+  of.lease_expires = now + of.term_ns - of.term_ns / 4;
+}
+
+void Client::drop_deleg(OpenFile& of) {
+  if (of.deleg != 0 && of.cache != nullptr && of.cache->has_dirty()) {
+    // Final flush attempt under the (possibly lapsed) delegation: the
+    // server's id check decides — a fence lands in pending_error and the
+    // buffered bytes are gone, exactly the relaxed-consistency contract.
+    if (const PStatus st = flush_dirty(of); st != PStatus::kOk) {
+      of.pending_error = st;
+    }
+  }
+  of.deleg = 0;
+  of.attrs_valid = false;
+  if (of.cache != nullptr) of.cache->clear();
+  meta_->clear_deleg(of.meta.ino);
+  meta_->clear_recall(of.meta.ino);
+  if (!data_.empty()) {
+    data_[0]->clear_deleg(of.meta.ino);
+    data_[0]->clear_recall(of.meta.ino);
+  }
+}
+
+PStatus Client::flush_dirty(OpenFile& of) {
+  if (of.cache == nullptr || !of.cache->has_dirty()) return PStatus::kOk;
+  PStatus worst = PStatus::kOk;
+  std::uint64_t flushed = 0;
+  for (FileCache::Extent& x : of.cache->take_dirty()) {
+    auto r = data_[0]->pwrite(of.data_fh[0], x.off,
+                              std::span<const std::byte>(x.data));
+    if (!r.ok()) {
+      worst = r.error();
+      continue;
+    }
+    flushed += r.value();
+  }
+  if (fabric_ != nullptr && flushed > 0) {
+    fabric_->stats().add("dafs.cache.writeback_bytes", flushed);
+    fabric_->stats().add("dafs.cache.writebacks");
+  }
+  if (worst != PStatus::kOk) {
+    of.pending_error = worst;
+    // take_dirty re-marked the extents clean optimistically; a failed flush
+    // means some of them never reached the server — nothing cached is
+    // authoritative anymore.
+    of.cache->clear();
+  }
+  return worst;
+}
+
+void Client::service_recall(OpenFile& of) {
+  if (fabric_ != nullptr) fabric_->stats().add("dafs.cache.recalls_serviced");
+  flush_dirty(of);  // failure lands in pending_error
+  meta_->deleg_return(of.meta);
+  drop_deleg(of);
+}
+
+void Client::check_recall(OpenFile& of) {
+  if (of.deleg == 0) return;
+  if (meta_->recall_pending(of.meta.ino) ||
+      (!data_.empty() && data_[0]->recall_pending(of.meta.ino))) {
+    service_recall(of);
+  }
+}
+
+bool Client::cache_live(OpenFile& of) {
+  if (of.cache == nullptr || of.deleg == 0) return false;
+  if (sessions_epoch() != of.grant_epoch) {
+    // A transport recovery may have rebound to an incarnation that never
+    // issued this delegation. Server-side id fencing keeps writes safe
+    // either way; dropping here keeps *reads* safe too — a conflicting
+    // writer could already have gotten in through the new incarnation.
+    drop_deleg(of);
+    return false;
+  }
+  Actor* actor = Actor::current();
+  const std::uint64_t now = actor != nullptr ? actor->now() : 0;
+  if (now >= of.lease_expires) {
+    // The lease horizon passed without a renewing server op (cache hits are
+    // local). One renewal poll decides: renewed, or expired server-side.
+    auto term = meta_->deleg_renew(of.meta);
+    if (!term.ok()) {
+      if (fabric_ != nullptr) {
+        fabric_->stats().add("dafs.cache.client_expiries");
+      }
+      drop_deleg(of);
+      return false;
+    }
+    of.term_ns = term.value();
+    renew_local(of);
+  }
+  if (meta_->recall_pending(of.meta.ino) ||
+      (!data_.empty() && data_[0]->recall_pending(of.meta.ino))) {
+    service_recall(of);
+    return false;
+  }
+  return true;
 }
 
 Layout Client::layout_of(Fh) const {
@@ -1730,24 +1940,67 @@ void Client::set_deadline(std::uint64_t ns) {
 }
 
 Result<Fh> Client::open(std::string_view path, std::uint16_t flags) {
-  auto fh = meta_->open(path, flags);
+  OpenOptions opts;
+  opts.flags = flags;
+  return open(path, opts);
+}
+
+Result<Fh> Client::open(std::string_view path, const OpenOptions& opts) {
+  // A delegation covers one ino on one filer, so caching is only offered on
+  // single-data-server mounts (where meta and data target the same file).
+  const bool want_cache = opts.cache_bytes > 0 && data_.size() == 1;
+  // A warm re-open (after_job keeps the delegation across close) stamps the
+  // held id so the server renews/re-advertises instead of recalling itself.
+  OpenFile* prior = lookup_path(path);
+  const std::uint64_t prior_deleg = prior != nullptr ? prior->deleg : 0;
+  std::uint16_t mflags = opts.flags;
+  if (want_cache) {
+    // Always ask for the write flavor: OpenOptions carries no access mode,
+    // and a read delegation would turn the first buffered write into a
+    // self-conflict.
+    mflags |= kOpenWantDeleg | kOpenWantWriteDeleg;
+  }
+  Session::DelegGrant grant;
+  auto fh = meta_->open(path, mflags, want_cache ? &grant : nullptr,
+                        prior_deleg);
   if (!fh.ok()) return fh;
   OpenFile of;
   of.meta = fh.value();
+  of.path = std::string(path);
+  of.opts = opts;
   // Subfile open on every data server: always create (a reader may touch a
   // stripe whose server never saw a write — the sparse subfile reads as
   // zeros), never exclusive (data server 0 shares the metadata filer's file),
-  // truncate only when the caller truncates.
+  // truncate only when the caller truncates. Each rides the meta session's
+  // grant so the server recognizes it as the holder's own plumbing.
   const std::uint16_t dflags =
       kOpenCreate | kOpenDataServer |
-      static_cast<std::uint16_t>(flags & kOpenTrunc);
+      static_cast<std::uint16_t>(opts.flags & kOpenTrunc);
   for (auto& ds : data_) {
-    auto dfh = ds->open(path, dflags);
+    auto dfh = ds->open(path, dflags, nullptr, grant.id);
     if (!dfh.ok()) return dfh.error();
     of.data_fh.push_back(dfh.value());
   }
+  if (want_cache && grant.id != 0) {
+    of.deleg = grant.id;
+    of.deleg_write = grant.write;
+    of.term_ns = grant.term_ns;
+    of.grant_epoch = sessions_epoch();
+    of.cache = std::make_unique<FileCache>(opts.cache_bytes);
+    renew_local(of);
+  }
   for (auto& e : open_files_) {
     if (e.meta.ino == of.meta.ino) {
+      if (e.cache != nullptr && e.deleg != 0 && e.deleg == of.deleg &&
+          (opts.flags & kOpenTrunc) == 0) {
+        // Same delegation across the re-open: the cached bytes are still
+        // exactly what the server would serve — keep them warm.
+        of.cache = std::move(e.cache);
+        of.attrs = e.attrs;
+        of.attrs_at = e.attrs_at;
+        of.attrs_valid = e.attrs_valid;
+        of.pending_error = e.pending_error;
+      }
       e = std::move(of);
       return fh;
     }
@@ -1757,11 +2010,32 @@ Result<Fh> Client::open(std::string_view path, std::uint16_t flags) {
 }
 
 PStatus Client::close(Fh fh) {
-  // Client-side bookkeeping only: sessions have no close RPC (handles are
-  // leases, reclaimed or expired server-side).
+  OpenFile* of = lookup(fh);
+  if (of == nullptr) return PStatus::kOk;
+  PStatus st = of->pending_error;
+  of->pending_error = PStatus::kOk;
+  if (of->cache != nullptr &&
+      of->opts.consistency == Consistency::kAfterJob && of->deleg != 0) {
+    // after_job: the cache and delegation stay warm across close; dirty
+    // data flushes at sync, recall, budget pressure or Client teardown.
+    return st;
+  }
+  if (of->cache != nullptr) {
+    if (const PStatus fst = flush_dirty(*of); fst != PStatus::kOk) st = fst;
+    if (of->deleg != 0) meta_->deleg_return(of->meta);
+    of->deleg = 0;
+    meta_->clear_deleg(of->meta.ino);
+    meta_->clear_recall(of->meta.ino);
+    if (!data_.empty()) {
+      data_[0]->clear_deleg(of->meta.ino);
+      data_[0]->clear_recall(of->meta.ino);
+    }
+  }
+  // Otherwise client-side bookkeeping only: sessions have no close RPC
+  // (handles are leases, reclaimed or expired server-side).
   std::erase_if(open_files_,
-                [&](const OpenFile& of) { return of.meta.ino == fh.ino; });
-  return PStatus::kOk;
+                [&](const OpenFile& e) { return e.meta.ino == fh.ino; });
+  return st;
 }
 
 Result<std::uint64_t> Client::logical_size(OpenFile& of) {
@@ -1777,6 +2051,16 @@ Result<std::uint64_t> Client::logical_size(OpenFile& of) {
 }
 
 Result<fstore::Attrs> Client::getattr(Fh fh) {
+  OpenFile* cof = lookup(fh);
+  if (cof != nullptr && cof->cache != nullptr && cache_live(*cof)) {
+    Actor* actor = Actor::current();
+    const std::uint64_t now = actor != nullptr ? actor->now() : 0;
+    if (cof->attrs_valid && cof->opts.attr_ttl_ns > 0 &&
+        now < cof->attrs_at + cof->opts.attr_ttl_ns) {
+      if (fabric_ != nullptr) fabric_->stats().add("dafs.cache.attr_hits");
+      return cof->attrs;
+    }
+  }
   auto a = meta_->getattr(fh);
   if (!a.ok()) return a;
   fstore::Attrs attrs = a.value();
@@ -1784,6 +2068,17 @@ Result<fstore::Attrs> Client::getattr(Fh fh) {
     auto sz = logical_size(*of);
     if (!sz.ok()) return sz.error();
     attrs.size = std::max(attrs.size, sz.value());
+  }
+  if (cof != nullptr && cof->cache != nullptr && cof->deleg != 0) {
+    // Under write-back the server has not seen the dirty tail yet: the
+    // logical size covers whatever is buffered past the server's EOF.
+    attrs.size = std::max(attrs.size, cof->cache->dirty_end());
+    cof->attrs = attrs;
+    Actor* actor = Actor::current();
+    cof->attrs_at = actor != nullptr ? actor->now() : 0;
+    cof->attrs_valid = true;
+    renew_local(*cof);
+    check_recall(*cof);
   }
   return attrs;
 }
@@ -1855,7 +2150,14 @@ Result<std::vector<fstore::DirEntry>> Client::readdir(std::string_view path) {
 PStatus Client::sync(Fh fh) {
   OpenFile* of = lookup(fh);
   if (of == nullptr) return meta_->sync(fh);
-  PStatus worst = PStatus::kOk;
+  // Dirty write-back extents reach the server before the durability fan-out,
+  // so "synced" covers them too. A fence (kDelegExpired) surfaces here: the
+  // buffered bytes were discarded, not written.
+  PStatus worst = flush_dirty(*of);
+  if (of->pending_error != PStatus::kOk) {
+    if (worst == PStatus::kOk) worst = of->pending_error;
+    of->pending_error = PStatus::kOk;
+  }
   for (std::size_t i = 0; i < data_.size(); ++i) {
     if (const PStatus st = data_[i]->sync(of->data_fh[i]);
         st != PStatus::kOk) {
@@ -1863,6 +2165,26 @@ PStatus Client::sync(Fh fh) {
     }
   }
   return worst;
+}
+
+PStatus Client::flush(Fh fh) {
+  OpenFile* of = lookup(fh);
+  if (of == nullptr) return PStatus::kInval;
+  PStatus st = flush_dirty(*of);
+  if (st == PStatus::kOk) {
+    st = of->pending_error;
+  }
+  // Whatever flush reports is surfaced here, once — close() must not see it
+  // again.
+  of->pending_error = PStatus::kOk;
+  if (st == PStatus::kDelegExpired) {
+    // The server fenced the write-back: this delegation is dead on its side
+    // and every byte cached under it is suspect. Drop it now (flush_dirty
+    // already discarded the rejected extents) instead of limping on until
+    // the next lease check.
+    drop_deleg(*of);
+  }
+  return st;
 }
 
 // ---- striped data path ----
@@ -2000,6 +2322,40 @@ Result<std::uint64_t> Client::pread(Fh fh, std::uint64_t off,
                                     std::span<std::byte> out) {
   OpenFile* of = lookup(fh);
   if (of == nullptr) return PStatus::kInval;
+  if (of->cache != nullptr && data_.size() == 1 && cache_live(*of)) {
+    if (!out.empty() && of->cache->read(off, out)) {
+      // A hit is local but not free: the copy out of the cache is charged
+      // at memory-bandwidth cost, so cached and uncached per-op latencies
+      // stay comparable in the model.
+      if (Actor* actor = Actor::current();
+          actor != nullptr && fabric_ != nullptr) {
+        actor->charge(CostKind::kCopy, fabric_->cost().copy_time(out.size()));
+      }
+      if (fabric_ != nullptr) fabric_->stats().add("dafs.cache.hits");
+      return out.size();
+    }
+    if (fabric_ != nullptr) fabric_->stats().add("dafs.cache.misses");
+    auto r = data_[0]->pread(of->data_fh[0], off, out);
+    if (!r.ok()) return r;
+    renew_local(*of);
+    check_recall(*of);
+    if (of->deleg == 0) return r;  // recall serviced mid-read: stop caching
+    // Populate with the server's bytes (put_clean skips dirty ranges), zero
+    // the tail the server did not cover, then overlay the dirty extents so
+    // read-your-writes holds — buffered writes past the server's EOF extend
+    // the readable range.
+    of->cache->put_clean(off, out.subspan(0, r.value()));
+    std::memset(out.data() + r.value(), 0, out.size() - r.value());
+    of->cache->overlay_dirty(off, out);
+    const std::uint64_t dirty_tail = of->cache->dirty_end();
+    const std::uint64_t n =
+        dirty_tail > off
+            ? std::max<std::uint64_t>(
+                  r.value(), std::min<std::uint64_t>(dirty_tail - off,
+                                                     out.size()))
+            : r.value();
+    return n;
+  }
   if (data_.size() == 1) return data_[0]->pread(of->data_fh[0], off, out);
   if (out.empty() ||
       off / stripe_size_ == (off + out.size() - 1) / stripe_size_) {
@@ -2030,6 +2386,41 @@ Result<std::uint64_t> Client::pwrite(Fh fh, std::uint64_t off,
                                      std::span<const std::byte> in) {
   OpenFile* of = lookup(fh);
   if (of == nullptr) return PStatus::kInval;
+  if (of->cache != nullptr && data_.size() == 1 && cache_live(*of) &&
+      of->deleg_write) {
+    if (of->opts.consistency != Consistency::kAfterWrite) {
+      // Write-back: buffer dirty, no server round trip — but the marshalling
+      // copy into the cache is real client work and is charged as such.
+      // Visibility is owed at close (after_close) or sync/unmount
+      // (after_job); recall, lease expiry and budget pressure flush earlier.
+      if (Actor* actor = Actor::current();
+          actor != nullptr && fabric_ != nullptr) {
+        actor->charge(CostKind::kCopy, fabric_->cost().copy_time(in.size()));
+      }
+      of->cache->put_dirty(off, in);
+      if (of->attrs_valid) {
+        of->attrs.size = std::max(of->attrs.size, off + in.size());
+      }
+      if (of->cache->over_budget()) {
+        if (const PStatus st = flush_dirty(*of); st != PStatus::kOk) {
+          return st;
+        }
+      }
+      return in.size();
+    }
+    // after_write: write-through, but keep the cache coherent for reads.
+    auto r = data_[0]->pwrite(of->data_fh[0], off, in);
+    if (!r.ok()) return r;
+    renew_local(*of);
+    check_recall(*of);
+    if (of->deleg != 0) {
+      of->cache->put_clean(off, in.subspan(0, r.value()));
+      if (of->attrs_valid) {
+        of->attrs.size = std::max(of->attrs.size, off + r.value());
+      }
+    }
+    return r;
+  }
   if (data_.size() == 1) return data_[0]->pwrite(of->data_fh[0], off, in);
   if (in.empty() ||
       off / stripe_size_ == (off + in.size() - 1) / stripe_size_) {

@@ -5,13 +5,16 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "dafs/cache.hpp"
 #include "dafs/mount.hpp"
 #include "dafs/proto.hpp"
 #include "fstore/types.hpp"
 #include "sim/expected.hpp"
+#include "sim/metrics.hpp"
 #include "sim/rng.hpp"
 #include "via/vi.hpp"
 
@@ -77,19 +80,28 @@ class Session {
   /// promotion).
   static Result<std::unique_ptr<Session>> connect(via::Nic& nic,
                                                   const MountSpec& spec = {});
-  /// Old single-endpoint signature; builds a one-endpoint MountSpec from
-  /// `cfg.service` with a default RetryPolicy. Kept only for out-of-tree
-  /// callers — everything in-tree mounts a MountSpec.
-  [[deprecated("use connect(via::Nic&, const MountSpec&)")]]
-  static Result<std::unique_ptr<Session>> connect(via::Nic& nic,
-                                                  ClientConfig cfg);
   ~Session();
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
+  /// What the server granted at open (all zero when it granted nothing).
+  struct DelegGrant {
+    std::uint64_t id = 0;       // delegation id (a pure capability token)
+    bool write = false;         // write delegation (else read-only)
+    std::uint64_t term_ns = 0;  // lease term; renewed by every stamped op
+  };
+
   // ---- namespace -----------------------------------------------------------
-  Result<Fh> open(std::string_view path, std::uint16_t flags = 0);
+  /// Open `path`. With `grant`, the request asks for a delegation (the
+  /// caller must also set kOpenWantDeleg in `flags`) and `*grant` reports
+  /// what the server issued. `deleg` pre-stamps the request with an id this
+  /// session did not earn itself — the striped Client passes the meta
+  /// session's grant into its data-subfile opens so the server recognizes
+  /// them as the holder's own plumbing; the id is then recorded as this
+  /// session's stamp for the opened ino.
+  Result<Fh> open(std::string_view path, std::uint16_t flags = 0,
+                  DelegGrant* grant = nullptr, std::uint64_t deleg = 0);
   Result<fstore::Attrs> getattr(Fh fh);
   PStatus set_size(Fh fh, std::uint64_t size);
   PStatus remove(std::string_view path);
@@ -98,6 +110,32 @@ class Session {
   PStatus rename(std::string_view from, std::string_view to);
   Result<std::vector<fstore::DirEntry>> readdir(std::string_view path);
   PStatus sync(Fh fh);
+
+  // ---- delegations ----------------------------------------------------------
+  /// Renewal/recall poll: renews the lease on the delegation stamped for
+  /// `fh` and returns the renewed term (ns). kDelegExpired once the server
+  /// no longer honors the id (also clears the local stamp). A pending recall
+  /// surfaces through recall_pending().
+  Result<std::uint64_t> deleg_renew(Fh fh);
+  /// Voluntarily return the delegation stamped for `fh` (no-op when none).
+  PStatus deleg_return(Fh fh);
+  /// The delegation id stamped on every request for `ino` (0 = none).
+  std::uint64_t deleg_of(fstore::Ino ino) const {
+    auto it = delegs_.find(ino);
+    return it == delegs_.end() ? 0 : it->second;
+  }
+  void set_deleg(fstore::Ino ino, std::uint64_t id) { delegs_[ino] = id; }
+  void clear_deleg(fstore::Ino ino) { delegs_.erase(ino); }
+  /// Sticky recall notification: set when any response for `ino` carried
+  /// kFlagDelegRecall; the cache owner services it and clears the flag.
+  bool recall_pending(fstore::Ino ino) const {
+    return recalled_.count(ino) != 0;
+  }
+  void clear_recall(fstore::Ino ino) { recalled_.erase(ino); }
+  /// Bumped at every transport recovery. A recovery can land the session on
+  /// a different server incarnation that never issued our delegations, so a
+  /// cache compares the epoch it recorded at grant before serving bytes.
+  std::uint64_t recovery_epoch() const { return recovery_epoch_; }
 
   // ---- data -----------------------------------------------------------------
   Result<std::uint64_t> pread(Fh fh, std::uint64_t off,
@@ -174,6 +212,7 @@ class Session {
     bool in_use = false;
     bool done = false;
     Proc proc{};                 // procedure in flight (RTT attribution)
+    fstore::Ino ino = fstore::kInvalidIno;  // target file (recall routing)
     std::uint32_t seq = 0;       // session sequence number of the request
     int busy_retries = 0;        // kBusy retransmissions so far
     int reclaim_retries = 0;     // kBadSession-triggered reclaims so far
@@ -297,9 +336,12 @@ class Session {
   Result<OpId> submit_io(Proc proc, Fh fh, std::span<const IoVec> iovs,
                          bool writing);
   Result<std::uint64_t> run_sync(OpId id);
+  /// `deleg` overrides the per-ino stamp (opens resolve by path, so the fh
+  /// carries no ino to look the stamp up by); 0 = use the stamp map.
   Result<OpId> submit_simple(Proc proc, std::string_view name, Fh fh,
                              std::uint64_t offset, std::uint64_t len,
-                             std::uint64_t aux, std::uint16_t flags);
+                             std::uint64_t aux, std::uint16_t flags,
+                             std::uint64_t deleg = 0);
 
   /// Leases: the client-side record of server state it can rebuild after a
   /// crash-restart wiped the server's volatile tables.
@@ -349,6 +391,12 @@ class Session {
   std::vector<OpenLease> leases_;
   std::vector<LockLease> lock_leases_;
   std::unordered_set<fstore::Ino> stale_;
+  /// Per-ino delegation stamp: every request for the ino carries this id in
+  /// MsgHeader::deleg, which is both the server's holder check and the
+  /// per-request lease renewal.
+  std::unordered_map<fstore::Ino, std::uint64_t> delegs_;
+  std::unordered_set<fstore::Ino> recalled_;
+  std::uint64_t recovery_epoch_ = 0;
 
   std::vector<Slot> slots_;
   std::vector<OpId> free_slots_;
@@ -397,6 +445,14 @@ class Client {
 
   // ---- namespace (metadata session, plus data-subfile fan-out) -------------
   Result<Fh> open(std::string_view path, std::uint16_t flags = 0);
+  /// The typed open path: consistency level, cache budget and attr TTL.
+  /// A non-zero cache_bytes on a single-data-server mount asks the server
+  /// for a (write) delegation; while it is held, reads are served from the
+  /// client cache and — under after_close/after_job — writes are buffered
+  /// dirty and flushed on recall, close, sync, budget pressure or teardown.
+  /// Striped (multi-server) mounts ignore the cache request: a delegation is
+  /// per-ino on one filer and cannot cover a striped file.
+  Result<Fh> open(std::string_view path, const OpenOptions& opts);
   PStatus close(Fh fh);
   /// Metadata attrs with size = the striped logical size (max over subfiles).
   Result<fstore::Attrs> getattr(Fh fh);
@@ -407,6 +463,17 @@ class Client {
   PStatus rename(std::string_view from, std::string_view to);
   Result<std::vector<fstore::DirEntry>> readdir(std::string_view path);
   PStatus sync(Fh fh);
+
+  // ---- cache ---------------------------------------------------------------
+  /// Flush `fh`'s dirty write-back extents now (close/sync do this
+  /// implicitly). kDelegExpired means the server fenced the write-back: the
+  /// delegation lapsed and the buffered bytes were discarded, not written.
+  PStatus flush(Fh fh);
+  /// Cached bytes across every open file (the dafs.cache.bytes gauge).
+  std::uint64_t cache_bytes() const;
+  /// Whether a live delegation currently backs `fh`'s cache (test probe;
+  /// does not renew or revalidate).
+  bool has_delegation(Fh fh) const;
 
   // ---- data (striped) -------------------------------------------------------
   Result<std::uint64_t> pread(Fh fh, std::uint64_t off,
@@ -449,6 +516,23 @@ class Client {
   struct OpenFile {
     Fh meta;                   // handle on the metadata session
     std::vector<Fh> data_fh;   // parallel to data_ (subfile handles)
+    std::string path;          // open path (warm re-open matching)
+    OpenOptions opts;
+    /// Data cache; null when this open runs uncached (cache_bytes == 0,
+    /// striped mount, or no delegation granted).
+    std::unique_ptr<FileCache> cache;
+    std::uint64_t deleg = 0;          // delegation id (0 = none held)
+    bool deleg_write = false;
+    std::uint64_t term_ns = 0;        // lease term at grant
+    std::uint64_t lease_expires = 0;  // local conservative expiry (virtual ns)
+    std::uint64_t grant_epoch = 0;    // sessions' recovery epoch at grant
+    /// Attr cache under the delegation (serves getattr within attr_ttl_ns).
+    fstore::Attrs attrs{};
+    std::uint64_t attrs_at = 0;
+    bool attrs_valid = false;
+    /// First error of a background flush (recall/expiry/budget write-back):
+    /// surfaced and cleared by the next flush/sync/close.
+    PStatus pending_error = PStatus::kOk;
   };
   struct SubOp {
     std::size_t server = 0;    // index into data_
@@ -464,6 +548,25 @@ class Client {
   };
 
   Client(std::uint64_t stripe_size);
+
+  /// Combined recovery epoch of the sessions a delegation spans.
+  std::uint64_t sessions_epoch() const;
+  /// Is the cache servable right now? Checks the grant epoch, renews an
+  /// expiring lease (one kDelegRecall poll), and services a pending recall.
+  /// False means: go to the server (and the deleg may have been dropped).
+  bool cache_live(OpenFile& of);
+  /// Push the local lease horizon after a server-renewed operation.
+  void renew_local(OpenFile& of);
+  /// Forget the delegation and every cached byte (stamps cleared; dirty data
+  /// is attempted as a final flush first — its failure lands in
+  /// pending_error, not in the caller's result).
+  void drop_deleg(OpenFile& of);
+  PStatus flush_dirty(OpenFile& of);
+  /// Flush + return + drop, in response to a server recall.
+  void service_recall(OpenFile& of);
+  /// Act on a recall notification piggybacked on a completed operation.
+  void check_recall(OpenFile& of);
+  OpenFile* lookup_path(std::string_view path);
 
   OpenFile* lookup(Fh fh);
   std::size_t server_of(std::uint64_t off) const {
@@ -493,6 +596,10 @@ class Client {
   std::vector<OpenFile> open_files_;
   std::vector<Pending> pending_;
   std::vector<OpId> free_ops_;
+  sim::Fabric* fabric_ = nullptr;
+  /// Gauge registrations (dafs.cache.bytes). Declared last so gauges die
+  /// before anything they sample.
+  std::vector<sim::GaugeScope> gauges_;
 };
 
 }  // namespace dafs

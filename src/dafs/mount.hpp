@@ -58,8 +58,7 @@ constexpr const char* to_string(IntegrityMode m) {
 /// The retry/recovery knobs that used to live here moved to RetryPolicy,
 /// carried per-endpoint in MountSpec.
 struct ClientConfig {
-  /// Service name used by the deprecated single-endpoint connect shim and
-  /// as the default when a MountSpec names no endpoints.
+  /// Default service name when a MountSpec names no endpoints.
   std::string service = "dafs";
   std::size_t msg_buf_size = kMsgBufSize;
   /// Max outstanding requests (== request slots == posted receive buffers).
@@ -79,6 +78,50 @@ struct ClientConfig {
   std::uint64_t client_id = 0;
   /// End-to-end integrity mode (`dafs_integrity` hint).
   IntegrityMode integrity = IntegrityMode::kOff;
+};
+
+/// Client-visible consistency level of an open (`dafs_consistency` hint).
+/// Selects when other clients observe this open's writes, and therefore how
+/// much the client cache is allowed to do under a delegation:
+///   - kAfterWrite: every write is visible at the server when the call
+///     returns (write-through). Reads may still be served from cache while a
+///     delegation guarantees no other writer; on a conflicting file the
+///     cache is off entirely — exactly the pre-cache behavior.
+///   - kAfterClose: writes become visible no later than close()/sync()
+///     (write-back under a write delegation; dirty extents flush on recall,
+///     close, sync or lease expiry).
+///   - kAfterJob: writes become visible when the client unmounts (Client
+///     destruction) or on explicit sync; close() keeps the cache and the
+///     delegation warm for re-opens within the same job.
+enum class Consistency : std::uint8_t {
+  kAfterWrite = 0,
+  kAfterClose = 1,
+  kAfterJob = 2,
+};
+
+constexpr const char* to_string(Consistency c) {
+  switch (c) {
+    case Consistency::kAfterWrite: return "after_write";
+    case Consistency::kAfterClose: return "after_close";
+    case Consistency::kAfterJob: return "after_job";
+  }
+  return "?";
+}
+
+/// Typed open-path options (the redesigned open API): consistency level,
+/// cache budget and attribute TTL, threaded from the MPI-IO hint layer
+/// (mpiio::HintSet) down to Client::open. Plain `open(path, flags)` is the
+/// degenerate case — after_write, no cache.
+struct OpenOptions {
+  /// kOpen* protocol flags (create/excl/trunc).
+  std::uint16_t flags = 0;
+  Consistency consistency = Consistency::kAfterWrite;
+  /// Per-file data-cache budget in bytes; 0 disables caching (and with it
+  /// delegation requests) for this open.
+  std::uint64_t cache_bytes = 0;
+  /// How long a cached getattr answer may be served without revalidating
+  /// (virtual ns; 0 = always revalidate).
+  std::uint64_t attr_ttl_ns = 0;
 };
 
 /// Sentinel for Endpoint::member on a non-quorum mount.

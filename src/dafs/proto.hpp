@@ -41,6 +41,16 @@ enum class Proc : std::uint8_t {
                  // in the response payload. Served outside admission control
                  // and by fenced/follower members — the management plane
                  // must answer precisely when the data plane is refusing.
+  kDelegRecall,  // [ext] delegation lease renewal / recall poll: `ino` names
+                 // the delegated file, `deleg` the delegation id. A valid
+                 // holder gets kOk with the renewed term (ns) in `aux`; when
+                 // the server wants the delegation back the response carries
+                 // kFlagDelegRecall — the client must flush and return it.
+                 // An unknown or expired id answers kDelegExpired.
+  kDelegReturn,  // [ext] voluntary delegation return (after flushing dirty
+                 // state): `ino` + `deleg`. Always answers kOk — returning a
+                 // delegation the server already revoked is a no-op, which
+                 // also makes the op safely re-executable after a reconnect.
 };
 
 /// True when a procedure can safely be re-executed after a connection loss
@@ -54,6 +64,11 @@ constexpr bool is_idempotent(Proc p) {
     case Proc::kReadDirect:
     case Proc::kSync:
     case Proc::kStatsQuery:
+    // Delegation leases are volatile leader state, never journaled: renewing
+    // twice is harmless and returning an already-dropped delegation is kOk,
+    // so neither needs the replay cache.
+    case Proc::kDelegRecall:
+    case Proc::kDelegReturn:
       return true;
     default:
       return false;
@@ -83,6 +98,8 @@ constexpr const char* proc_name(Proc p) {
     case Proc::kFetchAdd: return "fetch_add";
     case Proc::kSetCounter: return "set_counter";
     case Proc::kStatsQuery: return "stats_query";
+    case Proc::kDelegRecall: return "deleg_recall";
+    case Proc::kDelegReturn: return "deleg_return";
   }
   return "?";
 }
@@ -117,6 +134,11 @@ enum class PStatus : std::uint8_t {
                  // or a wire payload arrived damaged. Never carries data; a
                  // client treats it like kBusy for reads (retry — a scrub
                  // repair may restore the block) and rewrites for writes
+  kDelegExpired, // the request carried a delegation id the server does not
+                 // hold live: the lease term lapsed, the delegation was
+                 // revoked, or a failover produced a leader that never
+                 // issued it. Writes are *fenced* (not applied) — the holder
+                 // must discard its cache and revalidate before retrying
 };
 
 constexpr PStatus to_pstatus(fstore::Errc e) {
@@ -171,6 +193,7 @@ constexpr const char* to_string(PStatus s) {
     case PStatus::kFenced: return "fenced";
     case PStatus::kNotLeader: return "not-leader";
     case PStatus::kCorrupt: return "corrupt";
+    case PStatus::kDelegExpired: return "deleg-expired";
   }
   return "?";
 }
@@ -185,6 +208,17 @@ inline constexpr std::uint16_t kOpenTrunc = 0x4;
 /// stripes at the logical offsets, sparse); servers count these opens
 /// ("dafs.data_opens") so striped traffic is visible in the stats.
 inline constexpr std::uint16_t kOpenDataServer = 0x8;
+/// [ext] The opener asks for a read delegation: if it is the only opener of
+/// the file (and no other delegation is live), the server returns a
+/// delegation id in the response's `deleg` field and the lease term (virtual
+/// ns) in `aux` — until recall or expiry the holder may serve reads from a
+/// local cache without revalidating.
+inline constexpr std::uint16_t kOpenWantDeleg = 0x40;
+/// [ext] Combined with kOpenWantDeleg: ask for a *write* delegation (the
+/// response sets kFlagDelegWrite when granted). A write delegation
+/// additionally permits local write-back: dirty extents are flushed on
+/// recall, close, sync or term expiry, stamped with the delegation id.
+inline constexpr std::uint16_t kOpenWantWriteDeleg = 0x80;
 
 /// kConnect flags (header.flags): resume an existing session after a
 /// transport failure instead of minting a new one. The old session id rides
@@ -200,6 +234,17 @@ inline constexpr std::uint16_t kFlagPayloadCrc = 0x10;
 /// The client asks the server to recompute at-rest block checksums on the
 /// read path ("full" integrity mode) instead of trusting the stored bytes.
 inline constexpr std::uint16_t kFlagVerifyStore = 0x20;
+
+/// Delegation flags (header.flags, [ext]).
+/// On an open response: the granted delegation is a write delegation.
+inline constexpr std::uint16_t kFlagDelegWrite = 0x100;
+/// On any response to a request that carried a live delegation id: the
+/// server wants that delegation back. The holder must flush its dirty
+/// extents (writes stamped with the id), then send kDelegReturn. While the
+/// recall is pending, conflicting requests from other sessions are shed
+/// with kBusy + a retry-after hint; if the holder's lease term lapses first
+/// the server revokes unilaterally and fences stragglers (kDelegExpired).
+inline constexpr std::uint16_t kFlagDelegRecall = 0x200;
 
 /// Lock flags (header.aux bit 0).
 inline constexpr std::uint64_t kLockExclusive = 0x1;
@@ -249,8 +294,16 @@ struct MsgHeader {
   /// for the retry link back to the original root.
   std::uint64_t trace_id = 0;
   std::uint64_t parent_span_id = 0;
+  /// Delegation id this request rides under ([ext]; 0 = none). Stamped by
+  /// the holder on every request touching a delegated file — data I/O,
+  /// subfile opens, renewals, the return. The server uses it two ways: a
+  /// matching live id marks the request as the holder's own (renewing the
+  /// lease instead of triggering a recall against itself), and a write
+  /// carrying a dead id is fenced with kDelegExpired. On an open response it
+  /// carries the granted delegation id (0 = not granted).
+  std::uint64_t deleg = 0;
 };
-static_assert(sizeof(MsgHeader) == 104, "fixed wire header layout");
+static_assert(sizeof(MsgHeader) == 112, "fixed wire header layout");
 
 /// One client-buffer segment in a direct-I/O request. Each segment carries
 /// its own file offset, so a single request can describe a scatter/gather

@@ -441,6 +441,14 @@ void Server::do_crash(std::uint64_t restart_delay_ms) {
     by_vi_.clear();
   }
   locks_.clear();    // volatile: clients re-acquire via lease reclaim
+  {
+    // Delegations are volatile leader state: a new incarnation never honors
+    // old ids (they fence by mismatch) and re-grants from scratch.
+    std::lock_guard dlock(deleg_mu_);
+    delegs_.clear();
+    openers_.clear();
+    session_opens_.clear();
+  }
   store_->crash();   // un-synced data vanishes; journal replays durable image
   // Kill the replication channel with the process: the standby observes the
   // death promptly and promotes instead of waiting out an idle timeout.
@@ -744,6 +752,39 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
     }
   }
 
+  // Delegation gate: a data-plane access to a delegated file either renews
+  // the holder's lease (matching id), triggers a recall against a foreign
+  // holder (kBusy + retry-after until returned or lapsed), or fences a
+  // write-back whose delegation died (kDelegExpired). Runs after the replay
+  // lookup — a replayed response was already applied under a live lease.
+  {
+    bool write_class = false;
+    bool read_class = false;
+    switch (proc) {
+      case Proc::kWriteInline:
+      case Proc::kWriteDirect:
+      case Proc::kSetSize:
+        write_class = true;
+        break;
+      case Proc::kReadInline:
+      case Proc::kReadDirect:
+        read_class = true;
+        break;
+      default:
+        break;
+    }
+    if ((write_class || read_class) &&
+        deleg_gate(req.header().ino, req.header().deleg, write_class, resp) !=
+            PStatus::kOk) {
+      ClientStat d;
+      d.sheds = 1;
+      d.queue_wait_ns = wait_ns;
+      account_client(req.header().client_id, d);
+      send_response(s, out);
+      return;
+    }
+  }
+
   switch (req.header().proc) {
     case Proc::kConnect:
       if (req.header().flags & kConnectResume) {
@@ -761,10 +802,15 @@ void Server::handle_request(Session& s, MsgBuf& req_buf, MsgBuf& out) {
       break;
     case Proc::kDisconnect:
       locks_.release_owner(s.id);
+      release_session_delegs(s.id);
       s.closing = true;
       break;
     case Proc::kOpen:
-      do_open(req, resp);
+      do_open(s, req, resp);
+      break;
+    case Proc::kDelegRecall:
+    case Proc::kDelegReturn:
+      do_deleg(req, resp);
       break;
     case Proc::kGetattr:
     case Proc::kSetSize:
@@ -1227,6 +1273,14 @@ void Server::become_leader_locked() {
     by_vi_.clear();
   }
   locks_.clear();
+  {
+    // Delegations issued while (or before) this member last led are void —
+    // stale holders fence by id mismatch against this incarnation.
+    std::lock_guard dlock(deleg_mu_);
+    delegs_.clear();
+    openers_.clear();
+    session_opens_.clear();
+  }
   store_->crash();
   {
     std::lock_guard lock(sessions_mu_);
@@ -2297,6 +2351,14 @@ void Server::promote() {
   // Materialize the shipped journal into the live image — the same replay a
   // restarted filer runs over its local journal.
   store_->crash();
+  {
+    // The deposed primary's delegations are void on this side; their ids
+    // fence by mismatch if a holder ever reaches us with cached write-backs.
+    std::lock_guard dlock(deleg_mu_);
+    delegs_.clear();
+    openers_.clear();
+    session_opens_.clear();
+  }
   // Mint session ids the deposed primary could never have issued. The accept
   // loop reads next_session_ only after observing the role flip below, and
   // sessions_mu_ orders this against any straggling worker.
@@ -2395,7 +2457,7 @@ void put_attrs(MsgView& resp, const fstore::Attrs& attrs) {
 
 }  // namespace
 
-void Server::do_open(MsgView& req, MsgView& resp) {
+void Server::do_open(Session& s, MsgView& req, MsgView& resp) {
   Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
   // A striped client opening a layout's per-server subfile; semantically a
   // plain open, but counted so striped traffic is visible in the stats.
@@ -2429,6 +2491,15 @@ void Server::do_open(MsgView& req, MsgView& resp) {
       ino = r.value();
     }
   }
+  // An open is a conflict point for delegations: a foreign open of a
+  // write-delegated file (or a truncating open of any delegated file) must
+  // recall the holder before this opener proceeds — gated here, before the
+  // truncate below mutates anything.
+  if (deleg_gate(ino, req.header().deleg,
+                 (req.header().flags & kOpenTrunc) != 0,
+                 resp) != PStatus::kOk) {
+    return;
+  }
   if (req.header().flags & kOpenTrunc) {
     if (const fstore::Errc e = store_->set_size(ino, 0);
         e != fstore::Errc::kOk) {
@@ -2443,6 +2514,22 @@ void Server::do_open(MsgView& req, MsgView& resp) {
   }
   resp.header().ino = ino;
   put_attrs(resp, attrs.value());
+  if ((req.header().flags & kOpenDataServer) == 0) {
+    // Opener refcount, keyed (ino, session): the sole-opener grant check and
+    // the disconnect sweep both read it. Data-subfile opens are excluded —
+    // they are the striped client's internal plumbing for a file whose real
+    // open already registered through the metadata path, and counting them
+    // (under their own session identity) would make every striped client
+    // look like two independent openers and starve grants forever.
+    {
+      std::lock_guard lock(deleg_mu_);
+      int& count = openers_[ino][s.id];
+      if (count++ == 0) session_opens_[s.id].push_back(ino);
+    }
+    if ((req.header().flags & kOpenWantDeleg) != 0) {
+      maybe_grant_deleg(s, req.header(), resp, ino);
+    }
+  }
 }
 
 void Server::do_namespace(MsgView& req, MsgView& resp) {
@@ -2754,6 +2841,218 @@ void Server::do_lock(Session& s, MsgView& req, MsgView& resp) {
   } else {
     locks_.release(req.header().ino, req.header().offset, req.header().len,
                    s.id);
+  }
+}
+
+PStatus Server::deleg_gate(std::uint64_t ino, std::uint64_t deleg_id,
+                           bool write_class, MsgView& resp) {
+  std::lock_guard lock(deleg_mu_);
+  Actor* actor = Actor::current();
+  const sim::Time now = actor != nullptr ? actor->now() : 0;
+  auto it = delegs_.find(ino);
+  if (it == delegs_.end()) {
+    if (deleg_id != 0 && write_class) {
+      // A write stamped with a delegation this server does not hold live:
+      // the lease lapsed and was revoked, the holder disconnected, or a
+      // crash/failover produced an incarnation that never issued it. The
+      // cached bytes behind it may be stale relative to writes the server
+      // admitted since — fence.
+      resp.header().status = PStatus::kDelegExpired;
+      fabric_.stats().add("dafs.cache.expired_fences");
+      return PStatus::kDelegExpired;
+    }
+    return PStatus::kOk;
+  }
+  Deleg& d = it->second;
+  if (deleg_id == d.id) {
+    // The holder. Expiry is checked against the server clock — a holder
+    // whose lease ran out is indistinguishable from a dead one and gets the
+    // same fence its stale id would earn after revocation.
+    if (now >= d.expires_at) {
+      finish_recall_locked(ino, d, "expired");
+      delegs_.erase(it);
+      if (write_class) {
+        resp.header().status = PStatus::kDelegExpired;
+        fabric_.stats().add("dafs.cache.expired_fences");
+        return PStatus::kDelegExpired;
+      }
+      return PStatus::kOk;
+    }
+    // Live holder: every request renews the lease, and a pending recall
+    // rides back on the response flags.
+    d.expires_at = now + cfg_.deleg_term_ns;
+    if (d.recalling) resp.header().flags |= kFlagDelegRecall;
+    return PStatus::kOk;
+  }
+  // Foreign access to a delegated file.
+  if (now >= d.expires_at) {
+    // The holder never returned it within the term: revoke unilaterally and
+    // admit this access. The holder is fenced by id mismatch from here on.
+    finish_recall_locked(ino, d, "revoked");
+    delegs_.erase(it);
+    if (deleg_id != 0 && write_class) {
+      resp.header().status = PStatus::kDelegExpired;
+      fabric_.stats().add("dafs.cache.expired_fences");
+      return PStatus::kDelegExpired;
+    }
+    return PStatus::kOk;
+  }
+  if (deleg_id != 0 && write_class) {
+    // A writer carrying some other (dead) delegation's id while a different
+    // client holds this file: its cache was built under a revoked lease.
+    resp.header().status = PStatus::kDelegExpired;
+    fabric_.stats().add("dafs.cache.expired_fences");
+    return PStatus::kDelegExpired;
+  }
+  // A read delegation only promises "no other writer": foreign reads pass.
+  if (!d.write && !write_class) return PStatus::kOk;
+  // Conflict. Start the recall (idempotently) and hold the intruder off
+  // with the ordinary busy-retry protocol; its retry loop outlasts the
+  // lease term, so it gets in once the holder returns or the lease lapses.
+  if (!d.recalling) {
+    d.recalling = true;
+    d.recall_started = now;
+    fabric_.stats().add("dafs.cache.recalls");
+  }
+  resp.header().status = PStatus::kBusy;
+  resp.header().aux = cfg_.busy_retry_ns;
+  fabric_.stats().add("dafs.deleg_conflict_sheds");
+  return PStatus::kBusy;
+}
+
+void Server::do_deleg(MsgView& req, MsgView& resp) {
+  Actor::current()->charge(CostKind::kDispatch, fabric_.cost().fs_op);
+  const std::uint64_t ino = req.header().ino;
+  const std::uint64_t id = req.header().deleg;
+  std::lock_guard lock(deleg_mu_);
+  Actor* actor = Actor::current();
+  const sim::Time now = actor != nullptr ? actor->now() : 0;
+  auto it = delegs_.find(ino);
+  if (req.header().proc == Proc::kDelegReturn) {
+    // Always succeeds: returning something we no longer track is a no-op.
+    if (it != delegs_.end() && it->second.id == id) {
+      finish_recall_locked(ino, it->second, "returned");
+      delegs_.erase(it);
+    }
+    return;
+  }
+  // kDelegRecall: the holder's renewal/recall poll.
+  if (it == delegs_.end() || it->second.id != id) {
+    resp.header().status = PStatus::kDelegExpired;
+    return;
+  }
+  Deleg& d = it->second;
+  if (now >= d.expires_at) {
+    finish_recall_locked(ino, d, "expired");
+    delegs_.erase(it);
+    resp.header().status = PStatus::kDelegExpired;
+    return;
+  }
+  d.expires_at = now + cfg_.deleg_term_ns;
+  resp.header().aux = cfg_.deleg_term_ns;
+  if (d.recalling) resp.header().flags |= kFlagDelegRecall;
+}
+
+void Server::maybe_grant_deleg(Session& s, const MsgHeader& req, MsgView& resp,
+                               std::uint64_t ino) {
+  // No fresh leases during the post-restart grace window: a pre-crash holder
+  // may still believe in a delegation this incarnation knows nothing about,
+  // and granting now would let two caches think they are alone.
+  if (in_grace()) return;
+  Actor* actor = Actor::current();
+  const sim::Time now = actor != nullptr ? actor->now() : 0;
+  std::lock_guard lock(deleg_mu_);
+  auto it = delegs_.find(ino);
+  if (it != delegs_.end()) {
+    Deleg& d = it->second;
+    if (req.deleg == d.id && now < d.expires_at && !d.recalling) {
+      // The holder re-opening its own delegated file: re-arm the lease and
+      // re-advertise the grant.
+      d.expires_at = now + cfg_.deleg_term_ns;
+      resp.header().deleg = d.id;
+      resp.header().aux = cfg_.deleg_term_ns;
+      if (d.write) resp.header().flags |= kFlagDelegWrite;
+      return;
+    }
+    if (now < d.expires_at) return;  // someone else holds it live
+    finish_recall_locked(ino, d, "expired");
+    delegs_.erase(it);
+  }
+  // Grant only to a sole opener: any other session with the file open could
+  // already be reading bytes the new holder would cache-and-mutate.
+  auto op = openers_.find(ino);
+  if (op != openers_.end()) {
+    for (const auto& [sid, count] : op->second) {
+      if (sid != s.id && count > 0) return;
+    }
+  }
+  Deleg d;
+  // Ids must never collide across server incarnations or quorum members:
+  // a stale id from before a crash/failover has to fence, not alias a fresh
+  // grant. Salt the counter with the member slot and the crash count
+  // (next_deleg_ itself is deliberately not reset on crash).
+  d.id = ((static_cast<std::uint64_t>(cfg_.member_id) + 1) << 56) |
+         ((crash_count_.load(std::memory_order_relaxed) & 0xFFFF) << 40) |
+         (next_deleg_++ & 0xFFFFFFFFFFull);
+  d.session_id = s.id;
+  d.write = (req.flags & kOpenWantWriteDeleg) != 0;
+  d.expires_at = now + cfg_.deleg_term_ns;
+  delegs_.emplace(ino, d);
+  fabric_.stats().add("dafs.cache.grants");
+  resp.header().deleg = d.id;
+  resp.header().aux = cfg_.deleg_term_ns;
+  if (d.write) resp.header().flags |= kFlagDelegWrite;
+}
+
+void Server::finish_recall_locked(std::uint64_t ino, Deleg& d,
+                                  const char* how) {
+  if (!d.recalling) return;
+  d.recalling = false;
+  Actor* actor = Actor::current();
+  const sim::Time now =
+      actor != nullptr ? std::max(actor->now(), d.recall_started)
+                       : d.recall_started;
+  fabric_.histograms().record("dafs.deleg.recall_ns", now - d.recall_started);
+  sim::Tracer& tracer = fabric_.trace();
+  if (!tracer.enabled()) return;
+  // Rooted span: the recall outlives the request that triggered it and
+  // completes under whichever request observes the return/expiry.
+  sim::Span sp;
+  sp.trace_id = tracer.new_id();
+  sp.span_id = tracer.new_id();
+  sp.t_start = d.recall_started;
+  sp.t_end = now;
+  sp.layer = "dafs.server";
+  sp.name = "dafs.deleg.recall";
+  char attrs[96];
+  std::snprintf(attrs, sizeof(attrs),
+                "\"ino\":%llu,\"deleg\":%llu,\"how\":\"%s\"",
+                static_cast<unsigned long long>(ino),
+                static_cast<unsigned long long>(d.id), how);
+  sp.attrs = attrs;
+  tracer.record(std::move(sp));
+}
+
+void Server::release_session_delegs(std::uint64_t session_id) {
+  std::lock_guard lock(deleg_mu_);
+  for (auto it = delegs_.begin(); it != delegs_.end();) {
+    if (it->second.session_id == session_id) {
+      // A disconnect is an implicit return: the cache dies with the session.
+      finish_recall_locked(it->first, it->second, "returned");
+      it = delegs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  auto so = session_opens_.find(session_id);
+  if (so != session_opens_.end()) {
+    for (std::uint64_t ino : so->second) {
+      auto op = openers_.find(ino);
+      if (op == openers_.end()) continue;
+      op->second.erase(session_id);
+      if (op->second.empty()) openers_.erase(op);
+    }
+    session_opens_.erase(so);
   }
 }
 

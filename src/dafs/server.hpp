@@ -49,6 +49,16 @@ struct ServerConfig {
   /// take locks; fresh acquires are shed with kBusy so surviving clients can
   /// re-establish state before new traffic races them.
   std::uint64_t grace_period_ms = 50;
+  /// Delegation lease term (virtual ns). Every grant and every holder
+  /// request re-arms the term; a holder that stays silent this long is
+  /// revoked (its cached bytes must not be served — the client enforces the
+  /// same deadline locally) and its late write-backs are fenced with
+  /// kDelegExpired. Must comfortably exceed busy_retry_ns so a recalled
+  /// holder gets a chance to flush before the conflicting writer's retries
+  /// outlast the lease, and must dwarf the virtual cost of a single data
+  /// op (an 8 KiB transfer runs ~2 ms of simulated work) or ordinary
+  /// traffic expires leases as a side effect.
+  std::uint64_t deleg_term_ns = 10'000'000;  // 10 ms
   /// Replay-cache bounds per session: entry count and total cached response
   /// bytes. Entries acknowledged by the client's piggybacked ack_seq are
   /// evicted first; the byte cap forces out the oldest beyond it.
@@ -331,9 +341,44 @@ class Server {
   /// Caller must hold s.send_mu.
   via::DescStatus post_and_reap(Session& s, via::Descriptor& d);
 
+  // ---- delegations (volatile leader state; see proto.hpp [ext]) ----------
+  /// One live delegation. Never journaled or replicated: a restart, a
+  /// standby promotion or a quorum leader change invalidates every id, and
+  /// a stale holder's write-back is fenced by id mismatch (kDelegExpired).
+  struct Deleg {
+    std::uint64_t id = 0;
+    std::uint64_t session_id = 0;  // granting (metadata) session
+    bool write = false;
+    sim::Time expires_at = 0;      // renewed by every holder request
+    bool recalling = false;
+    sim::Time recall_started = 0;  // "dafs.deleg.recall" span start
+  };
+  /// Admission gate for data-plane requests touching `ino` (deleg_mu_ taken
+  /// inside). A live holder's request (matching `deleg` id) renews the lease
+  /// and picks up a pending recall flag; a foreign access triggers a recall
+  /// (kBusy + retry-after until the holder returns or the term lapses); a
+  /// write carrying a dead id is fenced with kDelegExpired. Returns the
+  /// status already written into `resp` (kOk = proceed with the op).
+  PStatus deleg_gate(std::uint64_t ino, std::uint64_t deleg_id,
+                     bool write_class, MsgView& resp);
+  /// kDelegRecall (lease renewal / recall poll) and kDelegReturn.
+  void do_deleg(MsgView& req, MsgView& resp);
+  /// Try to grant a delegation for a successful open (deleg_mu_ taken
+  /// inside): sole opener, no live delegation, not in the reclaim grace
+  /// window. Writes grant id/term/kind into the open response.
+  void maybe_grant_deleg(Session& s, const MsgHeader& req, MsgView& resp,
+                         std::uint64_t ino);
+  /// Record the "dafs.deleg.recall" span for a recall that just completed
+  /// (deleg_mu_ held). `how` lands in the span attrs: returned / expired /
+  /// revoked.
+  void finish_recall_locked(std::uint64_t ino, Deleg& d, const char* how);
+  /// Drop every delegation and opener record `session_id` holds (clean
+  /// disconnect path; crash paths clear the whole tables instead).
+  void release_session_delegs(std::uint64_t session_id);
+
   // Request handlers; `req` is the parsed request, `resp` the response being
   // built (header pre-initialized from the request).
-  void do_open(MsgView& req, MsgView& resp);
+  void do_open(Session& s, MsgView& req, MsgView& resp);
   void do_namespace(MsgView& req, MsgView& resp);
   void do_read_inline(MsgView& req, MsgView& resp);
   void do_write_inline(MsgView& req, MsgView& resp);
@@ -361,6 +406,18 @@ class Server {
   mutable std::mutex slabs_mu_;
   std::vector<std::pair<const std::byte*, std::pair<std::size_t, via::MemHandle>>>
       slabs_;
+
+  /// Delegation table and opener tracking, all under deleg_mu_. `openers_`
+  /// refcounts (ino, session) opens so grants only go to sole openers;
+  /// `session_opens_` is the reverse index a disconnect sweeps.
+  mutable std::mutex deleg_mu_;
+  std::unordered_map<std::uint64_t, Deleg> delegs_;
+  std::unordered_map<std::uint64_t, std::map<std::uint64_t, int>> openers_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> session_opens_;
+  /// Monotonic grant counter, deliberately NOT reset by do_crash (the Server
+  /// object outlives its crashes), salted with the member id and crash count
+  /// so no two incarnations ever mint the same delegation id.
+  std::uint64_t next_deleg_ = 1;
 
   mutable std::mutex sessions_mu_;
   std::vector<std::unique_ptr<Session>> sessions_;

@@ -24,9 +24,21 @@ class AdDafsT final : public AdioDriver {
   explicit AdDafsT(S& session) : s_(session) {}
 
   Err open(const std::string& path, std::uint16_t open_flags) override {
-    auto r = s_.open(path, open_flags);
-    if (!r.ok()) return r.error();
-    fh_ = r.value();
+    // The striped Client has the typed cache-aware open; a plain Session
+    // does not, and falls back to the flags-only form. OpenOptions carry
+    // the protocol flags, so the two paths stay equivalent when no cache
+    // was requested.
+    if constexpr (requires(dafs::OpenOptions o) { s_.open(path, o); }) {
+      dafs::OpenOptions o = opts_;
+      o.flags = open_flags;
+      auto r = s_.open(path, o);
+      if (!r.ok()) return r.error();
+      fh_ = r.value();
+    } else {
+      auto r = s_.open(path, open_flags);
+      if (!r.ok()) return r.error();
+      fh_ = r.value();
+    }
     path_ = path;
     return Err::kOk;
   }
@@ -96,6 +108,10 @@ class AdDafsT final : public AdioDriver {
 
   void set_deadline(std::uint64_t ns) override { s_.set_deadline(ns); }
 
+  void set_open_options(const dafs::OpenOptions& opts) override {
+    opts_ = opts;
+  }
+
   std::uint64_t stripe_size() const override {
     if constexpr (requires { s_.stripe_size(); }) {
       // Striped layouts matter to the collective layer only when data
@@ -112,6 +128,7 @@ class AdDafsT final : public AdioDriver {
   S& s_;
   dafs::Fh fh_;
   std::string path_;
+  dafs::OpenOptions opts_;
 };
 
 using AdDafs = AdDafsT<dafs::Session>;

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "dafs/mount.hpp"
 #include "dafs/proto.hpp"
 #include "sim/expected.hpp"
 
@@ -62,6 +63,9 @@ constexpr ErrClass error_class(Err e) {
     case Err::kCorrupt:    // checksum mismatch survived every retry: the
                            // data is gone, not the transport — still the
                            // I/O-failure class MPI applications handle
+    case Err::kDelegExpired:  // a fenced write-back from a lapsed delegation
+                              // holder: the cached bytes were discarded, the
+                              // write did not happen
     case Err::kIo: return ErrClass::kIo;
   }
   return ErrClass::kIo;
@@ -143,6 +147,12 @@ class AdioDriver {
   /// 0 = none. Plumbed from the MPI-IO "dafs_deadline_ms" hint down to the
   /// transport. Default: drivers without deadline support ignore it.
   virtual void set_deadline(std::uint64_t /*ns*/) {}
+
+  /// Typed open-path options (consistency level, client cache budget, attr
+  /// TTL) from the dafs_consistency / dafs_cache_bytes / dafs_attr_ttl_ms
+  /// hints; must be set before open() to take effect. Default: drivers
+  /// without a client cache ignore them.
+  virtual void set_open_options(const dafs::OpenOptions& /*opts*/) {}
 
   /// Stripe width of the file's layout, when the backing store stripes data
   /// across servers (the striped DAFS client); 0 = unstriped. The collective

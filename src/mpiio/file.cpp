@@ -91,13 +91,17 @@ Result<std::unique_ptr<File>> File::open(const mpi::Comm& comm,
   // ("mpiio.bad_hint") instead of aborting the rank.
   f->info_.bind_stats(&comm.world().fabric().stats());
 
-  // Retry/deadline hints parse into the one consolidated RetryPolicy; its
-  // deadline applies to every request this file issues, including the opens
-  // below, so plumb it into the driver before anything else.
-  const dafs::RetryPolicy rpolicy = parse_retry_policy(f->info_);
+  // All dafs_* hints parse once, through the one typed HintSet. The
+  // consolidated retry policy's deadline applies to every request this file
+  // issues, including the opens below, so plumb it into the driver before
+  // anything else; likewise the cache/consistency options must reach the
+  // driver before open for a delegation to be requested.
+  f->hints_ = HintSet::parse(f->info_);
+  const dafs::RetryPolicy rpolicy = f->hints_.retry_policy();
   if (rpolicy.deadline_ns != 0) f->driver_->set_deadline(rpolicy.deadline_ns);
+  f->driver_->set_open_options(f->hints_.open_options());
   // Trace sampling: root spans on every k-th operation (0 = never).
-  f->trace_sample_ = f->info_.get_uint("dafs_trace_sample", 1);
+  f->trace_sample_ = f->hints_.trace_sample();
 
   std::uint16_t flags = 0;
   if (amode & kModeCreate) flags |= dafs::kOpenCreate;
@@ -599,8 +603,7 @@ Result<std::uint64_t> File::collective_io(bool writing,
   // aggregator's two-phase exchange covers whole stripes and talks to a
   // minimal data-server subset. base <= gmin plus dlen rounded up to a
   // stripe multiple keeps the domain count <= naggr.
-  const std::uint64_t ss =
-      info_.get_uint("dafs_stripe_size", driver_->stripe_size());
+  const std::uint64_t ss = hints_.stripe_size_or(driver_->stripe_size());
   const std::uint64_t base = ss > 0 ? gmin - gmin % ss : gmin;
   const std::uint64_t span = gmax - base;
   std::uint64_t dlen = (span + static_cast<std::uint64_t>(naggr) - 1) /

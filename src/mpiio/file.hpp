@@ -190,6 +190,10 @@ class File {
   std::string path_;
   int amode_;
   Info info_;
+  /// Every dafs_* hint, parsed once at open (info is fixed for the file's
+  /// lifetime); the collective and trace paths read from here instead of
+  /// re-parsing strings per operation.
+  HintSet hints_;
   std::unique_ptr<AdioDriver> driver_;
 
   // view

@@ -6,15 +6,17 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "dafs/mount.hpp"
 #include "sim/stats.hpp"
 
 namespace mpiio {
 
-/// MPI_Info: string key/value hints. The keys this implementation honours
-/// (ROMIO-compatible names):
+/// MPI_Info: string key/value hints. The ROMIO-compatible keys this
+/// implementation honours:
 ///   cb_buffer_size       two-phase collective buffer per aggregator (bytes)
 ///   cb_nodes             number of aggregator ranks
 ///   romio_cb_read        "enable" | "disable" | "automatic"
@@ -23,6 +25,8 @@ namespace mpiio {
 ///   ind_wr_buffer_size   data-sieving write buffer (bytes)
 ///   romio_ds_read        "enable" | "disable" | "automatic"
 ///   romio_ds_write       "enable" | "disable" | "automatic"
+/// Every DAFS-specific (`dafs_*`) hint parses through mpiio::HintSet below;
+/// kDafsHints is the authoritative table.
 class Info {
  public:
   Info() = default;
@@ -43,7 +47,8 @@ class Info {
   /// Numeric hint. A malformed or overflowing value is an application bug,
   /// not a reason to abort the rank: it counts as a bad hint (see
   /// bad_hints() / the "mpiio.bad_hint" stat) and the fallback applies, the
-  /// same as an absent key.
+  /// same as an absent key. Trailing garbage ("64k", "4MB") is malformed —
+  /// suffixed sizes are not part of the hint grammar.
   std::uint64_t get_uint(const std::string& key, std::uint64_t fallback) const {
     auto v = get(key);
     if (!v) return fallback;
@@ -77,122 +82,298 @@ class Info {
   /// metrics; File::open binds its copy to the world's fabric.
   void bind_stats(sim::Stats* stats) { stats_ = stats; }
 
- private:
+  /// Count one bad hint. Public because HintSet's validators (unknown
+  /// `dafs_*` keys, malformed enum values) report through the same channel
+  /// the numeric path uses.
   void note_bad_hint() const {
     ++bad_hints_;
     if (stats_ != nullptr) stats_->add("mpiio.bad_hint");
   }
 
+ private:
   std::map<std::string, std::string> kv_;
   mutable std::uint64_t bad_hints_ = 0;
   sim::Stats* stats_ = nullptr;
 };
 
-/// Parse the consolidated `dafs_*` retry hints into the one dafs::RetryPolicy
-/// shared by client reconnect/failover, the server replication channel and
-/// per-request deadlines. Absent hints keep `base`'s values:
-///   dafs_retry_attempts        reconnect/resume attempts per endpoint
-///   dafs_retry_backoff_ns      base of the jittered exponential backoff
-///   dafs_retry_backoff_cap_ns  backoff cap
-///   dafs_retry_jitter_seed     backoff jitter RNG seed
-///   dafs_busy_retries          retransmissions of a kBusy-shed request
-///   dafs_deadline_ms           per-request deadline (milliseconds, 0 = none)
-inline dafs::RetryPolicy parse_retry_policy(const Info& info,
-                                            dafs::RetryPolicy base = {}) {
-  dafs::RetryPolicy p = base;
-  p.attempts = static_cast<int>(
-      info.get_uint("dafs_retry_attempts", static_cast<std::uint64_t>(p.attempts)));
-  p.backoff_ns = info.get_uint("dafs_retry_backoff_ns", p.backoff_ns);
-  p.backoff_cap_ns = info.get_uint("dafs_retry_backoff_cap_ns", p.backoff_cap_ns);
-  p.jitter_seed = info.get_uint("dafs_retry_jitter_seed", p.jitter_seed);
-  p.max_busy_retries = static_cast<int>(info.get_uint(
-      "dafs_busy_retries", static_cast<std::uint64_t>(p.max_busy_retries)));
-  // The hint is in milliseconds but the policy is in nanoseconds; converting
-  // unconditionally would round-trip base.deadline_ns through ms and
-  // silently truncate a sub-ms deadline to 0 (= none) even with no hint set.
-  if (info.get("dafs_deadline_ms")) {
-    p.deadline_ns =
-        info.get_uint("dafs_deadline_ms", p.deadline_ns / 1'000'000) *
-        1'000'000;
-  }
-  return p;
-}
+// ---------------------------------------------------------------------------
+// HintSet: the single typed parse point for every `dafs_*` hint.
+// ---------------------------------------------------------------------------
 
-/// Parse the `dafs_integrity` hint: "off" (default), "wire" (CRC-32C on
-/// every data payload) or "full" (wire + server-side at-rest verification on
-/// reads). Any other value is a bad hint and keeps `base`.
-inline dafs::IntegrityMode parse_integrity_mode(
-    const Info& info, dafs::IntegrityMode base = dafs::IntegrityMode::kOff) {
-  const auto v = info.get("dafs_integrity");
-  if (!v) return base;
-  if (*v == "off") return dafs::IntegrityMode::kOff;
-  if (*v == "wire") return dafs::IntegrityMode::kWire;
-  if (*v == "full") return dafs::IntegrityMode::kFull;
-  // Reuse the numeric-hint failure accounting for the malformed enum.
-  (void)info.get_uint("dafs_integrity", 0);
-  return base;
-}
+/// Value grammar of a `dafs_*` hint; drives per-key validation in
+/// HintSet::parse.
+enum class HintKind : std::uint8_t {
+  kUint,  // base-10 unsigned integer, nothing else (no size suffixes)
+  kEnum,  // one of a fixed word set
+  kList,  // comma-separated names, whitespace-trimmed, duplicates dropped
+};
 
-/// Parse a full mount description. `dafs_endpoints` is a comma-separated,
-/// ordered list of filer service names (first = preferred primary, the rest
-/// failover targets); tokens are whitespace-trimmed and duplicates dropped,
-/// and every endpoint gets the policy from parse_retry_policy. Absent/empty
-/// hint: `base`'s endpoints (re-policied), or one default endpoint at
-/// base.client.service.
+struct HintDesc {
+  std::string_view key;
+  HintKind kind;
+  std::string_view doc;
+};
+
+/// The authoritative table of every `dafs_*` hint this implementation
+/// honours — parsing, validation and documentation all come from here. A
+/// `dafs_*` key NOT in this table is a bad hint (typo'd hints should be
+/// loud, not silently inert), as is any value that fails its kind's grammar;
+/// both bump Info::bad_hints() / "mpiio.bad_hint" and fall back as if the
+/// key were absent.
 ///
-/// Striping hints (the layout the striped dafs::Client mounts with):
-///   dafs_stripe_size    stripe width in bytes (default: base's, 64 KiB)
-///   dafs_stripe_count   K > 1 turns the first K `dafs_endpoints` entries
-///                       into the data-server list; metadata stays on the
-///                       first endpoint (filer 0), Lustre-style.
-inline dafs::MountSpec parse_mount_spec(const Info& info,
-                                        dafs::MountSpec base = {}) {
-  dafs::MountSpec m = std::move(base);
-  const dafs::RetryPolicy p = parse_retry_policy(
-      info, m.endpoints.empty() ? dafs::RetryPolicy{} : m.endpoints[0].retry);
-  const auto eps = info.get("dafs_endpoints");
-  if (eps && !eps->empty()) {
-    m.endpoints.clear();
-    std::size_t start = 0;
-    while (start <= eps->size()) {
-      std::size_t comma = eps->find(',', start);
-      if (comma == std::string::npos) comma = eps->size();
-      std::string name = eps->substr(start, comma - start);
-      // Trim surrounding whitespace ("a, b" must not yield an endpoint
-      // named " b" that can never resolve) and drop duplicate names.
-      const auto b = name.find_first_not_of(" \t");
-      const auto e = name.find_last_not_of(" \t");
-      name = b == std::string::npos ? std::string{}
-                                    : name.substr(b, e - b + 1);
-      const bool dup = std::any_of(
-          m.endpoints.begin(), m.endpoints.end(),
-          [&](const dafs::Endpoint& ep) { return ep.service == name; });
-      if (!name.empty() && !dup) {
-        m.endpoints.push_back(dafs::Endpoint{std::move(name), p});
+///   key                        kind   meaning
+///   -------------------------  -----  ------------------------------------
+///   dafs_endpoints             list   filer services; first = metadata /
+///                                     preferred primary, rest failover
+///   dafs_stripe_size           uint   stripe width in bytes (0 = default,
+///                                     64 KiB); also aligns collective
+///                                     file domains
+///   dafs_stripe_count          uint   K > 1: first K endpoints become the
+///                                     data-server stripe set
+///   dafs_retry_attempts        uint   reconnect/resume attempts per endpoint
+///   dafs_retry_backoff_ns      uint   base of the jittered exponential
+///                                     backoff
+///   dafs_retry_backoff_cap_ns  uint   backoff cap
+///   dafs_retry_jitter_seed     uint   backoff jitter RNG seed
+///   dafs_busy_retries          uint   retransmissions of a kBusy-shed
+///                                     request
+///   dafs_deadline_ms           uint   per-request deadline, ms (0 = none)
+///   dafs_integrity             enum   off | wire | full (CRC-32C coverage)
+///   dafs_trace_sample          uint   root a trace span every k-th
+///                                     operation (0 = never)
+///   dafs_consistency           enum   after_write | after_close | after_job
+///                                     (client cache consistency level)
+///   dafs_cache_bytes           uint   per-open-file client cache budget in
+///                                     bytes; 0 = caching (and delegation
+///                                     requests) off
+///   dafs_attr_ttl_ms           uint   attribute-cache TTL under a
+///                                     delegation, ms (0 = always
+///                                     revalidate)
+inline constexpr HintDesc kDafsHints[] = {
+    {"dafs_endpoints", HintKind::kList, "filer service list"},
+    {"dafs_stripe_size", HintKind::kUint, "stripe width (bytes)"},
+    {"dafs_stripe_count", HintKind::kUint, "data-server count"},
+    {"dafs_retry_attempts", HintKind::kUint, "attempts per endpoint"},
+    {"dafs_retry_backoff_ns", HintKind::kUint, "backoff base (ns)"},
+    {"dafs_retry_backoff_cap_ns", HintKind::kUint, "backoff cap (ns)"},
+    {"dafs_retry_jitter_seed", HintKind::kUint, "jitter RNG seed"},
+    {"dafs_busy_retries", HintKind::kUint, "kBusy retransmissions"},
+    {"dafs_deadline_ms", HintKind::kUint, "request deadline (ms)"},
+    {"dafs_integrity", HintKind::kEnum, "off | wire | full"},
+    {"dafs_trace_sample", HintKind::kUint, "trace every k-th op"},
+    {"dafs_consistency", HintKind::kEnum,
+     "after_write | after_close | after_job"},
+    {"dafs_cache_bytes", HintKind::kUint, "client cache budget (bytes)"},
+    {"dafs_attr_ttl_ms", HintKind::kUint, "attr-cache TTL (ms)"},
+};
+
+/// Every `dafs_*` hint, parsed once and validated per kDafsHints, exposed as
+/// the typed values the layers below consume: a dafs::RetryPolicy, a
+/// dafs::IntegrityMode, a dafs::MountSpec and the dafs::OpenOptions that
+/// select the client cache's consistency level. "Absent keeps the base
+/// value" holds per key, so a HintSet layered over an existing policy or
+/// mount spec only overrides what the application actually set.
+class HintSet {
+ public:
+  /// THE parse point. Walks every key in `info`: known `dafs_*` hints
+  /// validate against their kind, unknown `dafs_*` keys and malformed
+  /// values both count as bad hints. Non-`dafs_*` (ROMIO) keys are not
+  /// this layer's business and pass untouched.
+  static HintSet parse(const Info& info) {
+    HintSet h;
+    for (const auto& [key, value] : info.all()) {
+      if (!key.starts_with("dafs_")) continue;
+      const HintDesc* d = find_desc(key);
+      if (d == nullptr) {
+        info.note_bad_hint();
+        continue;
       }
-      start = comma + 1;
+      h.apply(*d, value, info);
+    }
+    return h;
+  }
+
+  /// The consolidated retry/deadline policy shared by client
+  /// reconnect/failover, the server replication channel and per-request
+  /// deadlines. Absent hints keep `base`'s values; in particular an absent
+  /// dafs_deadline_ms must not round-trip base.deadline_ns through
+  /// milliseconds (a sub-ms deadline would silently truncate to 0 = none).
+  dafs::RetryPolicy retry_policy(dafs::RetryPolicy base = {}) const {
+    dafs::RetryPolicy p = base;
+    if (retry_attempts_) p.attempts = static_cast<int>(*retry_attempts_);
+    if (retry_backoff_ns_) p.backoff_ns = *retry_backoff_ns_;
+    if (retry_backoff_cap_ns_) p.backoff_cap_ns = *retry_backoff_cap_ns_;
+    if (retry_jitter_seed_) p.jitter_seed = *retry_jitter_seed_;
+    if (busy_retries_) p.max_busy_retries = static_cast<int>(*busy_retries_);
+    if (deadline_ms_) p.deadline_ns = *deadline_ms_ * 1'000'000;
+    return p;
+  }
+
+  /// dafs_integrity: "off" (default), "wire" (CRC-32C on every data
+  /// payload) or "full" (wire + at-rest verification on reads).
+  dafs::IntegrityMode integrity_mode(
+      dafs::IntegrityMode base = dafs::IntegrityMode::kOff) const {
+    return integrity_.value_or(base);
+  }
+
+  /// A full mount description. dafs_endpoints (already trimmed/deduped at
+  /// parse) replaces `base`'s endpoint list when non-empty; every endpoint
+  /// gets retry_policy(). dafs_stripe_count K > 1 carves the first K
+  /// endpoints into the data-server list, metadata staying on the first
+  /// endpoint (filer 0), Lustre-style.
+  dafs::MountSpec mount_spec(dafs::MountSpec base = {}) const {
+    dafs::MountSpec m = std::move(base);
+    const dafs::RetryPolicy p = retry_policy(
+        m.endpoints.empty() ? dafs::RetryPolicy{} : m.endpoints[0].retry);
+    if (!endpoints_.empty()) {
+      m.endpoints.clear();
+      for (const auto& name : endpoints_) {
+        m.endpoints.push_back(dafs::Endpoint{name, p});
+      }
+    }
+    if (m.endpoints.empty()) {
+      m.endpoints.push_back(dafs::Endpoint{m.client.service, p});
+    } else {
+      for (auto& e : m.endpoints) e.retry = p;
+    }
+    m.client.integrity = integrity_mode(m.client.integrity);
+    if (stripe_size_) m.stripe_size = *stripe_size_;
+    if (m.stripe_size == 0) m.stripe_size = dafs::kDefaultStripeSize;
+    const std::uint64_t sc = stripe_count_.value_or(
+        static_cast<std::uint64_t>(m.data_endpoints.size()));
+    if (sc > 1) {
+      const std::size_t k = std::min<std::size_t>(
+          static_cast<std::size_t>(sc), m.endpoints.size());
+      m.data_endpoints.assign(m.endpoints.begin(), m.endpoints.begin() + k);
+      // Metadata (and its failover chain, if any) stays on filer 0.
+      m.endpoints.resize(1);
+    }
+    for (auto& e : m.data_endpoints) e.retry = p;
+    return m;
+  }
+
+  /// The typed open-path options for dafs::Client::open: consistency level,
+  /// cache budget and attribute TTL. `flags` are the kOpen* protocol flags
+  /// the caller computed from the access mode.
+  dafs::OpenOptions open_options(std::uint16_t flags = 0) const {
+    dafs::OpenOptions o;
+    o.flags = flags;
+    o.consistency = consistency_.value_or(dafs::Consistency::kAfterWrite);
+    o.cache_bytes = cache_bytes_.value_or(0);
+    o.attr_ttl_ns = attr_ttl_ms_.value_or(0) * 1'000'000;
+    return o;
+  }
+
+  /// dafs_trace_sample: root spans on every k-th operation (0 = never).
+  std::uint64_t trace_sample() const { return trace_sample_.value_or(1); }
+
+  /// dafs_stripe_size with an explicit fallback (the collective layer
+  /// passes the driver's own layout width).
+  std::uint64_t stripe_size_or(std::uint64_t fallback) const {
+    return stripe_size_.value_or(fallback);
+  }
+
+  /// True when the application asked for a client cache at all — the open
+  /// path only threads OpenOptions to drivers that can use them.
+  bool wants_cache() const { return cache_bytes_.value_or(0) > 0; }
+
+ private:
+  static const HintDesc* find_desc(std::string_view key) {
+    for (const auto& d : kDafsHints) {
+      if (d.key == key) return &d;
+    }
+    return nullptr;
+  }
+
+  static std::optional<std::uint64_t> to_uint(std::string_view v) {
+    std::uint64_t out = 0;
+    const char* first = v.data();
+    const char* last = first + v.size();
+    const auto [ptr, ec] = std::from_chars(first, last, out);
+    if (ec != std::errc{} || ptr != last || first == last) {
+      return std::nullopt;
+    }
+    return out;
+  }
+
+  void apply(const HintDesc& d, const std::string& value, const Info& info) {
+    switch (d.kind) {
+      case HintKind::kUint: {
+        const auto u = to_uint(value);
+        if (!u) {
+          info.note_bad_hint();
+          return;
+        }
+        if (d.key == "dafs_stripe_size") stripe_size_ = *u;
+        else if (d.key == "dafs_stripe_count") stripe_count_ = *u;
+        else if (d.key == "dafs_retry_attempts") retry_attempts_ = *u;
+        else if (d.key == "dafs_retry_backoff_ns") retry_backoff_ns_ = *u;
+        else if (d.key == "dafs_retry_backoff_cap_ns") retry_backoff_cap_ns_ = *u;
+        else if (d.key == "dafs_retry_jitter_seed") retry_jitter_seed_ = *u;
+        else if (d.key == "dafs_busy_retries") busy_retries_ = *u;
+        else if (d.key == "dafs_deadline_ms") deadline_ms_ = *u;
+        else if (d.key == "dafs_trace_sample") trace_sample_ = *u;
+        else if (d.key == "dafs_cache_bytes") cache_bytes_ = *u;
+        else if (d.key == "dafs_attr_ttl_ms") attr_ttl_ms_ = *u;
+        return;
+      }
+      case HintKind::kEnum: {
+        if (d.key == "dafs_integrity") {
+          if (value == "off") integrity_ = dafs::IntegrityMode::kOff;
+          else if (value == "wire") integrity_ = dafs::IntegrityMode::kWire;
+          else if (value == "full") integrity_ = dafs::IntegrityMode::kFull;
+          else info.note_bad_hint();
+        } else {  // dafs_consistency
+          if (value == "after_write") {
+            consistency_ = dafs::Consistency::kAfterWrite;
+          } else if (value == "after_close") {
+            consistency_ = dafs::Consistency::kAfterClose;
+          } else if (value == "after_job") {
+            consistency_ = dafs::Consistency::kAfterJob;
+          } else {
+            info.note_bad_hint();
+          }
+        }
+        return;
+      }
+      case HintKind::kList: {
+        // dafs_endpoints: trim surrounding whitespace ("a, b" must not
+        // yield an endpoint named " b" that can never resolve) and drop
+        // duplicate names. An all-junk list parses to empty = absent.
+        std::size_t start = 0;
+        while (start <= value.size()) {
+          std::size_t comma = value.find(',', start);
+          if (comma == std::string::npos) comma = value.size();
+          std::string name = value.substr(start, comma - start);
+          const auto b = name.find_first_not_of(" \t");
+          const auto e = name.find_last_not_of(" \t");
+          name = b == std::string::npos ? std::string{}
+                                        : name.substr(b, e - b + 1);
+          const bool dup = std::any_of(
+              endpoints_.begin(), endpoints_.end(),
+              [&](const std::string& s) { return s == name; });
+          if (!name.empty() && !dup) endpoints_.push_back(std::move(name));
+          start = comma + 1;
+        }
+        return;
+      }
     }
   }
-  if (m.endpoints.empty()) {
-    m.endpoints.push_back(dafs::Endpoint{m.client.service, p});
-  } else {
-    for (auto& e : m.endpoints) e.retry = p;
-  }
-  m.client.integrity = parse_integrity_mode(info, m.client.integrity);
-  m.stripe_size = info.get_uint("dafs_stripe_size", m.stripe_size);
-  if (m.stripe_size == 0) m.stripe_size = dafs::kDefaultStripeSize;
-  const std::uint64_t sc =
-      info.get_uint("dafs_stripe_count",
-                    static_cast<std::uint64_t>(m.data_endpoints.size()));
-  if (sc > 1) {
-    const std::size_t k = std::min<std::size_t>(
-        static_cast<std::size_t>(sc), m.endpoints.size());
-    m.data_endpoints.assign(m.endpoints.begin(), m.endpoints.begin() + k);
-    // Metadata (and its failover chain, if any) stays on filer 0.
-    m.endpoints.resize(1);
-  }
-  for (auto& e : m.data_endpoints) e.retry = p;
-  return m;
-}
+
+  std::optional<std::uint64_t> retry_attempts_;
+  std::optional<std::uint64_t> retry_backoff_ns_;
+  std::optional<std::uint64_t> retry_backoff_cap_ns_;
+  std::optional<std::uint64_t> retry_jitter_seed_;
+  std::optional<std::uint64_t> busy_retries_;
+  std::optional<std::uint64_t> deadline_ms_;
+  std::optional<dafs::IntegrityMode> integrity_;
+  std::vector<std::string> endpoints_;
+  std::optional<std::uint64_t> stripe_size_;
+  std::optional<std::uint64_t> stripe_count_;
+  std::optional<std::uint64_t> trace_sample_;
+  std::optional<dafs::Consistency> consistency_;
+  std::optional<std::uint64_t> cache_bytes_;
+  std::optional<std::uint64_t> attr_ttl_ms_;
+};
 
 }  // namespace mpiio

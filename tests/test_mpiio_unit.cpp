@@ -206,19 +206,21 @@ TEST(InfoHints, MalformedNumericHintFallsBackInsteadOfThrowing) {
 }
 
 TEST(InfoHints, SubMillisecondDeadlineSurvivesAbsentHint) {
-  // Regression: parse_retry_policy round-tripped base.deadline_ns through
+  // Regression: the retry parser round-tripped base.deadline_ns through
   // milliseconds even when dafs_deadline_ms was absent, truncating any
   // sub-ms deadline to 0 (= no deadline at all).
   dafs::RetryPolicy base;
   base.deadline_ns = 500'000;  // 0.5 ms
   Info info;
-  EXPECT_EQ(mpiio::parse_retry_policy(info, base).deadline_ns, 500'000u);
+  EXPECT_EQ(mpiio::HintSet::parse(info).retry_policy(base).deadline_ns,
+            500'000u);
 
   info.set("dafs_deadline_ms", std::uint64_t{3});
-  EXPECT_EQ(mpiio::parse_retry_policy(info, base).deadline_ns, 3'000'000u);
+  EXPECT_EQ(mpiio::HintSet::parse(info).retry_policy(base).deadline_ns,
+            3'000'000u);
 
   info.set("dafs_deadline_ms", std::uint64_t{0});  // explicit "no deadline"
-  EXPECT_EQ(mpiio::parse_retry_policy(info, base).deadline_ns, 0u);
+  EXPECT_EQ(mpiio::HintSet::parse(info).retry_policy(base).deadline_ns, 0u);
 }
 
 TEST(InfoHints, BusyRetryBudgetFlowsIntoPolicy) {
@@ -228,9 +230,67 @@ TEST(InfoHints, BusyRetryBudgetFlowsIntoPolicy) {
   // crash/failover/stripe fault tests.
   Info info;
   info.set("dafs_busy_retries", std::uint64_t{7});
-  EXPECT_EQ(mpiio::parse_retry_policy(info).max_busy_retries, 7);
-  EXPECT_EQ(mpiio::parse_retry_policy(Info{}).max_busy_retries,
+  EXPECT_EQ(mpiio::HintSet::parse(info).retry_policy().max_busy_retries, 7);
+  EXPECT_EQ(mpiio::HintSet::parse(Info{}).retry_policy().max_busy_retries,
             dafs::RetryPolicy{}.max_busy_retries);
+}
+
+TEST(InfoHints, UintHintRejectsTrailingGarbage) {
+  // Suffixed sizes are not part of the hint grammar: "4k" must not parse as
+  // 4 (a 4-byte stripe would shred every access), it must count as a bad
+  // hint and keep the fallback.
+  Info info;
+  info.set("dafs_stripe_size", "4k");
+  info.set("dafs_cache_bytes", "1MB");
+  info.set("dafs_deadline_ms", "10 ");
+  const auto h = mpiio::HintSet::parse(info);
+  EXPECT_EQ(h.stripe_size_or(64 * 1024), 64u * 1024u);
+  EXPECT_EQ(h.open_options().cache_bytes, 0u);
+  EXPECT_EQ(h.retry_policy().deadline_ns, dafs::RetryPolicy{}.deadline_ns);
+  EXPECT_EQ(info.bad_hints(), 3u);
+
+  // The same grammar applies through the raw accessor.
+  Info raw;
+  raw.set("ind_rd_buffer_size", "64k");
+  EXPECT_EQ(raw.get_uint("ind_rd_buffer_size", 7), 7u);
+  EXPECT_EQ(raw.bad_hints(), 1u);
+}
+
+TEST(InfoHints, UnknownDafsKeyIsABadHint) {
+  // A typo'd dafs_* hint should be loud, not silently inert; ROMIO keys and
+  // other prefixes are not this layer's business.
+  Info info;
+  info.set("dafs_cache_byte", std::uint64_t{1 << 20});  // typo'd
+  info.set("cb_buffer_size", "banana");                 // not ours to judge
+  (void)mpiio::HintSet::parse(info);
+  EXPECT_EQ(info.bad_hints(), 1u);
+}
+
+TEST(InfoHints, ConsistencyAndCacheHintsMakeOpenOptions) {
+  Info info;
+  info.set("dafs_consistency", "after_close");
+  info.set("dafs_cache_bytes", std::uint64_t{1 << 20});
+  info.set("dafs_attr_ttl_ms", std::uint64_t{2});
+  const auto h = mpiio::HintSet::parse(info);
+  EXPECT_TRUE(h.wants_cache());
+  const dafs::OpenOptions o = h.open_options(dafs::kOpenCreate);
+  EXPECT_EQ(o.flags, dafs::kOpenCreate);
+  EXPECT_EQ(o.consistency, dafs::Consistency::kAfterClose);
+  EXPECT_EQ(o.cache_bytes, std::uint64_t{1} << 20);
+  EXPECT_EQ(o.attr_ttl_ns, 2'000'000u);
+
+  // A malformed level is a bad hint and keeps the after_write default.
+  Info bad;
+  bad.set("dafs_consistency", "eventually");
+  const auto hb = mpiio::HintSet::parse(bad);
+  EXPECT_EQ(hb.open_options().consistency, dafs::Consistency::kAfterWrite);
+  EXPECT_EQ(bad.bad_hints(), 1u);
+
+  // Defaults: no hints = no cache, strictest level.
+  const dafs::OpenOptions d = mpiio::HintSet::parse(Info{}).open_options();
+  EXPECT_EQ(d.consistency, dafs::Consistency::kAfterWrite);
+  EXPECT_EQ(d.cache_bytes, 0u);
+  EXPECT_FALSE(mpiio::HintSet::parse(Info{}).wants_cache());
 }
 
 TEST(InfoHints, EndpointListTrimsWhitespaceAndDropsDuplicates) {
@@ -238,7 +298,7 @@ TEST(InfoHints, EndpointListTrimsWhitespaceAndDropsDuplicates) {
   // which can never resolve against the fabric name service.
   Info info;
   info.set("dafs_endpoints", "filer-a, filer-b ,filer-a,, \t ,filer-c");
-  const dafs::MountSpec m = mpiio::parse_mount_spec(info);
+  const dafs::MountSpec m = mpiio::HintSet::parse(info).mount_spec();
   ASSERT_EQ(m.endpoints.size(), 3u);
   EXPECT_EQ(m.endpoints[0].service, "filer-a");
   EXPECT_EQ(m.endpoints[1].service, "filer-b");
@@ -247,7 +307,7 @@ TEST(InfoHints, EndpointListTrimsWhitespaceAndDropsDuplicates) {
   // All-whitespace list degenerates to the default endpoint.
   Info junk;
   junk.set("dafs_endpoints", " ,  , ");
-  const dafs::MountSpec d = mpiio::parse_mount_spec(junk);
+  const dafs::MountSpec d = mpiio::HintSet::parse(junk).mount_spec();
   ASSERT_EQ(d.endpoints.size(), 1u);
   EXPECT_EQ(d.endpoints[0].service, "dafs");
 }
@@ -257,7 +317,7 @@ TEST(InfoHints, StripeHintsCarveDataServersOutOfEndpoints) {
   info.set("dafs_endpoints", "f0,f1,f2,f3");
   info.set("dafs_stripe_count", std::uint64_t{3});
   info.set("dafs_stripe_size", std::uint64_t{128 * 1024});
-  const dafs::MountSpec m = mpiio::parse_mount_spec(info);
+  const dafs::MountSpec m = mpiio::HintSet::parse(info).mount_spec();
   EXPECT_EQ(m.stripe_size, 128u * 1024u);
   ASSERT_EQ(m.data_endpoints.size(), 3u);
   EXPECT_EQ(m.data_endpoints[0].service, "f0");
@@ -271,7 +331,7 @@ TEST(InfoHints, StripeHintsCarveDataServersOutOfEndpoints) {
   // stripe set.
   Info plain;
   plain.set("dafs_endpoints", "f0,f1");
-  const dafs::MountSpec p = mpiio::parse_mount_spec(plain);
+  const dafs::MountSpec p = mpiio::HintSet::parse(plain).mount_spec();
   EXPECT_EQ(p.endpoints.size(), 2u);
   EXPECT_TRUE(p.data_endpoints.empty());
 }
